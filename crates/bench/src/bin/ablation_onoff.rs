@@ -1,0 +1,60 @@
+//! Ablation: self-similar-style ON/OFF cross traffic.
+//!
+//! The paper evaluates against scripted CBR episodes, reactive TCP, and
+//! web sessions. An aggregate of heavy-tailed ON/OFF sources (the
+//! Leland-style construction behind the paper's citation \[19\]) produces
+//! burstiness at many time scales without any scripting — loss episodes
+//! of highly variable length at irregular spacing. This run measures
+//! BADABING against that process across probe rates.
+
+use badabing_bench::scenarios::PROBE_FLOW;
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+use badabing_core::config::BadabingConfig;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_traffic::onoff::attach_onoff_aggregate;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let secs = opts.duration(900.0, 120.0);
+    let mut w = TableWriter::new(&opts.out_path("ablation_onoff"));
+    w.heading(&format!(
+        "Ablation: ON/OFF (heavy-tailed) cross traffic ({secs:.0}s, 32 sources at 85% load)"
+    ));
+    w.row(&format!(
+        "{:>4} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "p", "true freq", "est freq", "true dur", "est dur", "validation"
+    ));
+    w.csv("p,true_frequency,est_frequency,true_duration_secs,est_duration_secs,validation_passes");
+
+    for p in [0.3, 0.5, 0.9] {
+        let mut db = Dumbbell::standard();
+        attach_onoff_aggregate(&mut db, 32, 0.85, 8.0, 0.5, 100, opts.seed);
+        let cfg = BadabingConfig::paper_default(p);
+        let n_slots = (secs / cfg.slot_secs).round() as u64;
+        let h = BadabingHarness::attach(&mut db, cfg, n_slots, PROBE_FLOW, seeded(opts.seed, "probe"));
+        db.run_for(h.horizon_secs() + 1.0);
+        let truth = db.ground_truth(h.horizon_secs());
+        let a = h.analyze(&db.sim);
+        let valid = a.validation.passes(0.5);
+        w.row(&format!(
+            "{:>4.1} {:>11.4} {} {:>11.3} {} {:>11}",
+            p,
+            truth.frequency(),
+            badabing_bench::table::cell(a.frequency(), 11, 4),
+            truth.mean_duration_secs(),
+            badabing_bench::table::cell(a.duration_secs(), 11, 3),
+            if valid { "ok" } else { "FLAGGED" },
+        ));
+        w.csv(&format!(
+            "{p},{},{},{},{},{valid}",
+            truth.frequency(),
+            a.frequency().map_or(String::new(), |v| v.to_string()),
+            truth.mean_duration_secs(),
+            a.duration_secs().map_or(String::new(), |v| v.to_string()),
+        ));
+    }
+    w.finish();
+}

@@ -1,0 +1,85 @@
+//! Ablation: Reno vs SACK cross traffic.
+//!
+//! The testbed's Linux 2.4 senders negotiated SACK (the paper's related
+//! work opens with NewReno and SACK as fruits of understanding loss).
+//! Loss-episode *shape* depends on the recovery style: NewReno flows that
+//! take multiple-loss windows can spiral into timeouts (deep queue
+//! drains, long episodes), while SACK flows repair in about an RTT and
+//! keep the sawtooth tight. This run measures the 40-infinite-source
+//! scenario both ways, plus BADABING's accuracy on each.
+
+use badabing_bench::scenarios::PROBE_FLOW;
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+use badabing_core::config::BadabingConfig;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_sim::packet::FlowId;
+use badabing_sim::time::SimTime;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_tcp::conn::TcpConfig;
+use badabing_tcp::node::{attach_flow, TcpFlowNode};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let secs = opts.duration(600.0, 120.0);
+    let mut w = TableWriter::new(&opts.out_path("ablation_sack"));
+    w.heading(&format!("Ablation: Reno vs SACK cross traffic ({secs:.0}s, 40 infinite sources)"));
+    w.row(&format!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "stack", "true freq", "est freq", "true dur", "est dur", "rtx", "timeouts", "loss rate", "util"
+    ));
+    w.csv("stack,true_frequency,est_frequency,true_duration_secs,est_duration_secs,retransmits,timeouts,router_loss_rate,utilization");
+
+    for sack in [false, true] {
+        let mut db = Dumbbell::standard();
+        let mut senders = Vec::new();
+        for f in 0..40u32 {
+            let cfg = TcpConfig { init_ssthresh: 64.0, sack, ..TcpConfig::default() };
+            let start = SimTime::from_secs_f64(f as f64 * 0.001);
+            let (snd, _) = attach_flow(&mut db, FlowId(f + 1), cfg, start);
+            senders.push(snd);
+        }
+        let cfg = BadabingConfig::paper_default(0.5);
+        let n_slots = (secs / cfg.slot_secs).round() as u64;
+        let h = BadabingHarness::attach(&mut db, cfg, n_slots, PROBE_FLOW, seeded(opts.seed, "probe"));
+        db.run_for(h.horizon_secs() + 1.0);
+        let truth = db.ground_truth(h.horizon_secs());
+        let a = h.analyze(&db.sim);
+        let (mut rtx, mut timeouts) = (0u64, 0u64);
+        for &snd in &senders {
+            let conn = db.sim.node::<TcpFlowNode>(snd).conn();
+            rtx += conn.retransmits();
+            timeouts += conn.timeouts();
+        }
+        let util = db.monitor().borrow().departs() as f64 * 1500.0 * 8.0
+            / (155_520_000.0 * h.horizon_secs());
+        let label = if sack { "sack" } else { "reno" };
+        w.row(&format!(
+            "{:>6} {:>10.4} {} {:>10.3} {} {:>9} {:>9} {:>10.5} {:>10.3}",
+            label,
+            truth.frequency(),
+            badabing_bench::table::cell(a.frequency(), 10, 4),
+            truth.mean_duration_secs(),
+            badabing_bench::table::cell(a.duration_secs(), 10, 3),
+            rtx,
+            timeouts,
+            truth.router_loss_rate,
+            util,
+        ));
+        w.csv(&format!(
+            "{label},{},{},{},{},{rtx},{timeouts},{},{util}",
+            truth.frequency(),
+            a.frequency().map_or(String::new(), |v| v.to_string()),
+            truth.mean_duration_secs(),
+            a.duration_secs().map_or(String::new(), |v| v.to_string()),
+            truth.router_loss_rate,
+        ));
+    }
+    w.row("(recovery style reshapes the loss process itself: SACK flows hold throughput");
+    w.row(" through recovery, so the homogeneous aggregate synchronizes into fewer but");
+    w.row(" harsher episodes — whole windows lost, retransmissions dropped, RTO fallbacks —");
+    w.row(" while NewReno's deflation spreads mild episodes densely. BADABING tracks the");
+    w.row(" truth in both regimes, which is the point: the tool is agnostic to the stack)");
+    w.finish();
+}

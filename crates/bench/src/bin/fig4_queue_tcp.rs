@@ -1,0 +1,27 @@
+//! Figure 4: queue-length time series with 40 infinite TCP sources.
+//!
+//! The paper's figure shows the classic synchronized sawtooth: the queue
+//! climbs to the 100 ms buffer limit, a loss episode synchronizes the
+//! sources' multiplicative decreases, the queue drains, and the cycle
+//! repeats every few seconds.
+
+use badabing_bench::figures::{dump_queue_series, episode_summary};
+use badabing_bench::scenarios::{build, Scenario};
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let secs = opts.duration(60.0, 25.0);
+    let mut db = build(Scenario::InfiniteTcp, opts.seed);
+    db.run_for(secs);
+    let gt = db.ground_truth(secs);
+
+    let mut w = TableWriter::new(&opts.out_path("fig4_queue_tcp"));
+    w.heading("Figure 4: queue length, 40 infinite TCP sources");
+    let t0 = (secs / 3.0).floor();
+    let t1 = (t0 + 10.0).min(secs);
+    dump_queue_series(&gt, t0, t1, &mut w);
+    episode_summary(&gt, &w);
+    w.finish();
+}

@@ -1,0 +1,26 @@
+//! Figure 5: queue-length time series with randomly spaced,
+//! constant-duration (68 ms) loss episodes.
+//!
+//! Between episodes the queue is empty; each burst fills the buffer in
+//! ~50 ms, pins it at capacity for the 68 ms loss period, then drains.
+
+use badabing_bench::figures::{dump_queue_series, episode_summary};
+use badabing_bench::scenarios::{build, Scenario};
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let secs = opts.duration(60.0, 30.0);
+    let mut db = build(Scenario::CbrUniform, opts.seed);
+    db.run_for(secs);
+    let gt = db.ground_truth(secs);
+
+    let mut w = TableWriter::new(&opts.out_path("fig5_queue_cbr"));
+    w.heading("Figure 5: queue length, CBR with constant 68 ms loss episodes");
+    let t0 = (secs / 2.0).floor();
+    let t1 = (t0 + 10.0).min(secs);
+    dump_queue_series(&gt, t0, t1, &mut w);
+    episode_summary(&gt, &w);
+    w.finish();
+}

@@ -1,0 +1,33 @@
+//! Figure 6: queue-length time series with Harpoon-like web traffic.
+//!
+//! Bursty, irregular occupancy; loss episodes appear when session surges
+//! overrun the buffer, with durations governed by the congestion-control
+//! reaction rather than a script.
+
+use badabing_bench::figures::{dump_queue_series, episode_summary};
+use badabing_bench::scenarios::{build, Scenario};
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let secs = opts.duration(120.0, 45.0);
+    let mut db = build(Scenario::Web, opts.seed);
+    db.run_for(secs);
+    let gt = db.ground_truth(secs);
+
+    let mut w = TableWriter::new(&opts.out_path("fig6_queue_web"));
+    w.heading("Figure 6: queue length, Harpoon-like web traffic");
+    // Center the window on the first loss episode so the figure shows one,
+    // like the paper's grey-shaded segments.
+    let (t0, t1) = match gt.episodes.first() {
+        Some(ep) => {
+            let mid = ep.start.as_secs_f64();
+            ((mid - 5.0).max(0.0), (mid + 5.0).min(secs))
+        }
+        None => (0.0, 10.0_f64.min(secs)),
+    };
+    dump_queue_series(&gt, t0, t1, &mut w);
+    episode_summary(&gt, &w);
+    w.finish();
+}

@@ -1,0 +1,55 @@
+//! Figure 7: probability that an N-packet probe sees no loss while inside
+//! a loss episode, for N = 1..10, under infinite-TCP and CBR traffic.
+//!
+//! The paper's result: with CBR traffic, single-packet probes miss about
+//! half the episodes they traverse while 3+-packet probes rarely miss;
+//! with TCP traffic the improvement with N is smaller (and very long
+//! probes start to perturb the queue — Figure 8's subject).
+
+use badabing_bench::scenarios::{self, Scenario, PROBE_FLOW};
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+use badabing_probe::badabing::BadabingReceiver;
+use badabing_probe::fixed::{attach_fixed, FixedIntervalProber, ProbeEpisodeStats};
+use badabing_sim::topology::Dumbbell;
+
+fn run_one(scenario: Scenario, n_packets: u8, secs: f64, seed: u64) -> ProbeEpisodeStats {
+    let mut db = Dumbbell::standard();
+    scenarios::attach(&mut db, scenario, seed);
+    let (prober, receiver) = attach_fixed(&mut db, n_packets, PROBE_FLOW);
+    db.run_for(secs + 1.0);
+    let gt = db.ground_truth(secs);
+    let sent = db.sim.node::<FixedIntervalProber>(prober).sent();
+    let arrivals = db.sim.node::<BadabingReceiver>(receiver).arrivals();
+    ProbeEpisodeStats::compute(sent, arrivals, &gt.episodes)
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let secs = opts.duration(300.0, 60.0);
+    let mut w = TableWriter::new(&opts.out_path("fig7_probe_size"));
+    w.heading(&format!(
+        "Figure 7: P(probe sees no loss | inside a loss episode), {secs:.0}s per point"
+    ));
+    w.row(&format!(
+        "{:>8} {:>22} {:>22}",
+        "packets", "infinite TCP traffic", "CBR traffic"
+    ));
+    w.csv("n_packets,p_no_loss_tcp,p_no_loss_cbr,probes_in_episodes_tcp,probes_in_episodes_cbr");
+    for n in 1..=10u8 {
+        let tcp = run_one(Scenario::InfiniteTcp, n, secs, opts.seed);
+        let cbr = run_one(Scenario::CbrUniform, n, secs, opts.seed);
+        let fmt = |s: &ProbeEpisodeStats| {
+            s.p_no_loss().map_or_else(|| "-".into(), |p| format!("{p:.3}"))
+        };
+        w.row(&format!("{:>8} {:>22} {:>22}", n, fmt(&tcp), fmt(&cbr)));
+        w.csv(&format!(
+            "{n},{},{},{},{}",
+            tcp.p_no_loss().map_or(String::new(), |p| p.to_string()),
+            cbr.p_no_loss().map_or(String::new(), |p| p.to_string()),
+            tcp.probes_in_episodes,
+            cbr.probes_in_episodes,
+        ));
+    }
+    w.finish();
+}

@@ -1,0 +1,74 @@
+//! Figure 9: sensitivity of estimated loss frequency to the α and τ
+//! thresholds, over probe rates p ∈ {0.1 ... 0.9} under CBR traffic.
+//!
+//! (a) τ fixed at 80 ms, α ∈ {0.05, 0.10, 0.20};
+//! (b) α fixed at 0.10, τ ∈ {20, 40, 80} ms.
+//!
+//! The paper's result: larger (more permissive) thresholds raise the
+//! estimated frequency; higher probe rates can use tighter thresholds —
+//! the trade-off behind the §6.2 parameter rules.
+//!
+//! One simulation per probe rate is reused for every threshold
+//! combination: the thresholds only affect post-run marking, not the
+//! probe process itself.
+
+use badabing_bench::runs::{run_badabing, slots_for, P_SWEEP};
+use badabing_bench::scenarios::Scenario;
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+use badabing_core::config::BadabingConfig;
+use badabing_core::detector::CongestionDetector;
+use badabing_core::estimator::Estimates;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let secs = opts.duration(900.0, 120.0);
+    let mut w = TableWriter::new(&opts.out_path("fig9_thresholds"));
+    w.heading(&format!(
+        "Figure 9: loss-frequency sensitivity to alpha and tau ({secs:.0}s CBR per p)"
+    ));
+    w.csv("p,alpha,tau_ms,est_frequency,true_frequency");
+
+    let alphas = [0.05, 0.10, 0.20];
+    let taus_ms = [20.0, 40.0, 80.0];
+
+    w.row(&format!(
+        "{:>4} {:>10} | {:>26} | {:>26}",
+        "p", "true freq", "(a) tau=80ms, alpha=.05/.1/.2", "(b) alpha=.1, tau=20/40/80ms"
+    ));
+    for p in P_SWEEP {
+        let cfg = BadabingConfig::paper_default(p);
+        let n_slots = slots_for(secs, cfg.slot_secs);
+        let run = run_badabing(Scenario::CbrUniform, cfg, n_slots, opts.seed);
+        let obs = run.harness.observations(&run.db.sim);
+        let f_true = run.truth.frequency();
+
+        let freq_for = |alpha: f64, tau_secs: f64| -> f64 {
+            let det = CongestionDetector::with_params(alpha, tau_secs, cfg.owd_window);
+            let (log, _) = det.assemble(&obs, n_slots, cfg.slot_secs);
+            Estimates::from_log(&log).frequency().unwrap_or(0.0)
+        };
+
+        let series_a: Vec<f64> = alphas.iter().map(|&a| freq_for(a, 0.080)).collect();
+        let series_b: Vec<f64> = taus_ms.iter().map(|&t| freq_for(0.10, t / 1000.0)).collect();
+
+        for (i, &a) in alphas.iter().enumerate() {
+            w.csv(&format!("{p},{a},80,{},{f_true}", series_a[i]));
+        }
+        for (i, &t) in taus_ms.iter().enumerate() {
+            w.csv(&format!("{p},0.1,{t},{},{f_true}", series_b[i]));
+        }
+        w.row(&format!(
+            "{:>4.1} {:>10.4} | {:>8.4} {:>8.4} {:>8.4} | {:>8.4} {:>8.4} {:>8.4}",
+            p,
+            f_true,
+            series_a[0],
+            series_a[1],
+            series_a[2],
+            series_b[0],
+            series_b[1],
+            series_b[2],
+        ));
+    }
+    w.finish();
+}

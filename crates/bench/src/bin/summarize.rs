@@ -1,0 +1,55 @@
+//! Collate `results/full_run.log` into a one-page digest
+//! (`results/SUMMARY.md`): the headline rows of every experiment, in
+//! order, ready to paste into a report.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let log_path = Path::new("results/full_run.log");
+    let Ok(log) = fs::read_to_string(log_path) else {
+        eprintln!("results/full_run.log not found — run ./run_experiments.sh first");
+        std::process::exit(1);
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Experiment digest\n");
+    let _ = writeln!(out, "Generated from `results/full_run.log` by `summarize`.\n");
+
+    let mut in_block = false;
+    for line in log.lines() {
+        if line.starts_with("=== running ") {
+            continue;
+        }
+        if let Some(title) = line.strip_prefix("=== ").and_then(|l| l.strip_suffix(" ===")) {
+            let _ = writeln!(out, "\n## {title}\n");
+            let _ = writeln!(out, "```text");
+            in_block = true;
+            continue;
+        }
+        if line.starts_with("[csv written") || line.starts_with('[') && line.contains("took") {
+            if in_block {
+                let _ = writeln!(out, "```");
+                in_block = false;
+            }
+            if line.contains("took") {
+                let _ = writeln!(out, "_{}_", line.trim_matches(['[', ']']));
+            }
+            continue;
+        }
+        if in_block && !line.trim().is_empty() {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    if in_block {
+        let _ = writeln!(out, "```");
+    }
+
+    let dest = Path::new("results/SUMMARY.md");
+    if let Err(e) = fs::write(dest, &out) {
+        eprintln!("cannot write {}: {e}", dest.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} lines)", dest.display(), out.lines().count());
+}

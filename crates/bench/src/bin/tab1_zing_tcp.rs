@@ -1,0 +1,23 @@
+//! Table 1: ZING vs ground truth under 40 infinite TCP sources.
+//!
+//! The paper's result: ZING reports loss frequency orders of magnitude
+//! below truth (0.0005 vs 0.0265) and measures *no* consecutive losses at
+//! all, leaving episode duration at zero — because most packets survive a
+//! loss episode, Poisson-spaced single packets almost never sample two
+//! losses in a row.
+
+use badabing_bench::runs::print_zing_table;
+use badabing_bench::scenarios::Scenario;
+use badabing_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    print_zing_table(
+        Scenario::InfiniteTcp,
+        &opts,
+        900.0,
+        180.0,
+        "tab1_zing_tcp",
+        "Table 1: ZING with infinite TCP sources",
+    );
+}

@@ -1,0 +1,23 @@
+//! Table 2: ZING vs ground truth under randomly spaced, constant-duration
+//! (68 ms) loss episodes.
+//!
+//! The paper's result: ZING gets closer here than with TCP traffic —
+//! during a CBR-driven episode *every* arriving packet drops, so probes
+//! that land in an episode always observe it — but still underestimates
+//! both frequency and duration.
+
+use badabing_bench::runs::print_zing_table;
+use badabing_bench::scenarios::Scenario;
+use badabing_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    print_zing_table(
+        Scenario::CbrUniform,
+        &opts,
+        900.0,
+        180.0,
+        "tab2_zing_cbr",
+        "Table 2: ZING with constant-duration CBR loss episodes",
+    );
+}

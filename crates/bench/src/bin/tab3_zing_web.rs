@@ -1,0 +1,21 @@
+//! Table 3: ZING vs ground truth under Harpoon-like web traffic.
+//!
+//! The paper's result: with bursty reactive traffic neither probe rate
+//! comes close on frequency, and duration estimates collapse to (near)
+//! zero for want of consecutive lost probes.
+
+use badabing_bench::runs::print_zing_table;
+use badabing_bench::scenarios::Scenario;
+use badabing_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    print_zing_table(
+        Scenario::Web,
+        &opts,
+        900.0,
+        180.0,
+        "tab3_zing_web",
+        "Table 3: ZING with Harpoon web-like traffic",
+    );
+}

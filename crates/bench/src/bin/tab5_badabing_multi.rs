@@ -1,0 +1,19 @@
+//! Table 5: BADABING loss estimates, CBR traffic with loss episodes of
+//! 50, 100 or 150 ms (uniformly chosen), same p sweep as Table 4.
+//!
+//! The paper's result mirrors Table 4: good frequency for p ≥ 0.3 and
+//! duration estimates within 25% of the ~97 ms true mean.
+
+use badabing_bench::runs::print_badabing_table;
+use badabing_bench::scenarios::Scenario;
+use badabing_bench::RunOpts;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    print_badabing_table(
+        Scenario::CbrMulti,
+        &opts,
+        "tab5_badabing_multi",
+        "Table 5: BADABING with 50/100/150 ms loss episodes",
+    );
+}

@@ -1,0 +1,77 @@
+//! §7's accuracy model: StdDev(D̂) ≈ 1/√(pNL).
+//!
+//! Not a table in the paper, but the model §7 gives users for choosing p
+//! and N. We verify it empirically: replicate BADABING runs with
+//! different probe seeds over the same CBR traffic, measure the standard
+//! deviation of the duration estimate (in slots) across replications, and
+//! compare with the model's prediction. The paper also notes the
+//! accuracy should "depend on the product pNL, but not on the individual
+//! values" — the sweep exercises different (p, N) at similar products.
+
+use badabing_bench::scenarios::{self, Scenario, PROBE_FLOW};
+use badabing_bench::table::TableWriter;
+use badabing_bench::RunOpts;
+use badabing_core::config::BadabingConfig;
+use badabing_core::validate::duration_stddev_model;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_stats::summary::Summary;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let reps = if opts.quick { 5 } else { 10 };
+    let secs = opts.duration(300.0, 120.0);
+    let mut w = TableWriter::new(&opts.out_path("variance_model"));
+    w.heading(&format!(
+        "StdDev(D-hat) vs 1/sqrt(pNL) model ({secs:.0}s CBR, {reps} replications per point)"
+    ));
+    w.row(&format!(
+        "{:>4} {:>9} {:>12} {:>12} {:>12} {:>8}",
+        "p", "N", "measured sd", "model sd", "mean D (sl)", "ratio"
+    ));
+    w.csv("p,n_slots,measured_sd_slots,model_sd_slots,mean_duration_slots,loss_event_rate");
+
+    for p in [0.1, 0.3, 0.9] {
+        let cfg = BadabingConfig::paper_default(p);
+        let n_slots = (secs / cfg.slot_secs).round() as u64;
+        let mut durations = Summary::new();
+        let mut loss_rate_acc = Summary::new();
+        for rep in 0..reps {
+            let mut db = Dumbbell::standard();
+            // Same traffic every replication; only the probe seed varies.
+            scenarios::attach(&mut db, Scenario::CbrUniform, opts.seed);
+            let h = BadabingHarness::attach(
+                &mut db,
+                cfg,
+                n_slots,
+                PROBE_FLOW,
+                seeded(opts.seed.wrapping_add(1000 + rep), "probe"),
+            );
+            db.run_for(h.horizon_secs() + 1.0);
+            let analysis = h.analyze(&db.sim);
+            if let Some(d) = analysis.estimates.duration_slots_basic() {
+                durations.push(d);
+            }
+            let gt = db.ground_truth(h.horizon_secs());
+            // L: loss events (episodes) per slot.
+            loss_rate_acc.push(gt.episodes.len() as f64 / n_slots as f64);
+        }
+        let measured_sd = durations.std_dev();
+        let l = loss_rate_acc.mean().max(1e-9);
+        let model_sd = duration_stddev_model(p, n_slots as f64, l);
+        let ratio = if model_sd > 0.0 { measured_sd / model_sd } else { f64::NAN };
+        w.row(&format!(
+            "{:>4.1} {:>9} {:>12.3} {:>12.3} {:>12.2} {:>8.2}",
+            p,
+            n_slots,
+            measured_sd,
+            model_sd,
+            durations.mean(),
+            ratio
+        ));
+        w.csv(&format!("{p},{n_slots},{measured_sd},{model_sd},{},{l}", durations.mean()));
+    }
+    w.row("(ratio near 1 means the 1/sqrt(pNL) model predicts the replication spread)");
+    w.finish();
+}

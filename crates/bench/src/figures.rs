@@ -1,0 +1,82 @@
+//! Queue-length figure rendering (Figures 4, 5, 6, 8).
+//!
+//! The paper's queue figures plot buffer occupancy (as drain time in
+//! seconds) over a 10-second window. We print the per-slot maxima over
+//! the window as CSV and a coarse ASCII sparkline so the shape is visible
+//! straight from the terminal.
+
+use crate::table::TableWriter;
+use badabing_sim::monitor::GroundTruth;
+
+/// Dump the queue series over `[t0, t1)` seconds: CSV rows `t,qdelay` and
+/// an ASCII rendering, plus the run's episode summary.
+pub fn dump_queue_series(gt: &GroundTruth, t0: f64, t1: f64, w: &mut TableWriter) {
+    w.csv("t_secs,qdelay_secs");
+    let slot = gt.qdelay.width_secs();
+    let first = (t0 / slot) as usize;
+    let last = ((t1 / slot) as usize).min(gt.qdelay.len());
+    let values = &gt.qdelay.values()[first.min(gt.qdelay.len())..last];
+    for (i, v) in values.iter().enumerate() {
+        w.csv(&format!("{:.3},{v:.6}", t0 + i as f64 * slot));
+    }
+    w.row(&sparkline(values, gt.config.queue_capacity_secs, 72));
+    w.row(&format!(
+        "window [{t0}, {t1}) s; y-range 0..{:.3} s of queue",
+        gt.config.queue_capacity_secs
+    ));
+}
+
+/// Print the run's loss-episode summary.
+pub fn episode_summary(gt: &GroundTruth, w: &TableWriter) {
+    w.row(&format!(
+        "episodes: {}  frequency: {:.4}  mean duration: {:.3} s (σ {:.3})  router loss rate: {:.5}",
+        gt.episodes.len(),
+        gt.frequency(),
+        gt.mean_duration_secs(),
+        gt.std_duration_secs(),
+        gt.router_loss_rate,
+    ));
+}
+
+/// Render values as a one-line ASCII sparkline with `cols` columns,
+/// scaling to `max` at the top glyph.
+pub fn sparkline(values: &[f64], max: f64, cols: usize) -> String {
+    const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || cols == 0 {
+        return String::new();
+    }
+    let chunk = values.len().div_ceil(cols);
+    values
+        .chunks(chunk)
+        .map(|c| {
+            let v = c.iter().copied().fold(0.0f64, f64::max);
+            let idx = ((v / max).clamp(0.0, 1.0) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0.0, 0.05, 0.1], 0.1, 3);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with(' '));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_empty_is_empty() {
+        assert_eq!(sparkline(&[], 1.0, 10), "");
+        assert_eq!(sparkline(&[1.0], 1.0, 0), "");
+    }
+
+    #[test]
+    fn sparkline_chunks_take_max() {
+        let s = sparkline(&[0.0, 1.0, 0.0, 0.0], 1.0, 2);
+        assert_eq!(s.chars().next(), Some('█'));
+    }
+}

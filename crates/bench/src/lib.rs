@@ -1,0 +1,25 @@
+//! Experiment harness: shared scaffolding for regenerating every table
+//! and figure in the paper.
+//!
+//! Each table/figure has a binary under `src/bin/` (see DESIGN.md's
+//! experiment index). They share:
+//!
+//! * [`opts::RunOpts`] — common CLI flags (`--quick`, `--seconds`,
+//!   `--seed`, `--out`);
+//! * [`scenarios`] — the three cross-traffic scenarios of §4/§6 wired
+//!   onto the standard dumbbell;
+//! * [`table`] — fixed-width table printing plus CSV capture under
+//!   `results/`.
+//!
+//! Conventions: every binary prints the paper's corresponding rows (true
+//! values first), runs at the paper's durations by default, and accepts
+//! `--quick` for a shorter smoke run. All runs are deterministic given
+//! `--seed`.
+
+pub mod figures;
+pub mod opts;
+pub mod runs;
+pub mod scenarios;
+pub mod table;
+
+pub use opts::RunOpts;

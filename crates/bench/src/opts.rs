@@ -1,0 +1,99 @@
+//! Minimal CLI parsing shared by the experiment binaries.
+
+use std::path::PathBuf;
+
+/// Common experiment options.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Run length override in (virtual) seconds; `None` uses the paper's
+    /// duration for that experiment.
+    pub seconds: Option<f64>,
+    /// Shrink the run to a smoke test (each binary defines its own quick
+    /// duration).
+    pub quick: bool,
+    /// Master seed for every stochastic component.
+    pub seed: u64,
+    /// Where to write the CSV (default `results/<name>.csv`).
+    pub out: Option<PathBuf>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self { seconds: None, quick: false, seed: 20050821, out: None }
+    }
+}
+
+impl RunOpts {
+    /// Parse from `std::env::args`. Unknown flags abort with usage help.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--seconds" => {
+                    let v = args.next().unwrap_or_else(|| usage("--seconds needs a value"));
+                    opts.seconds =
+                        Some(v.parse().unwrap_or_else(|_| usage("--seconds needs a number")));
+                }
+                "--seed" => {
+                    let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                }
+                "--out" => {
+                    let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
+                    opts.out = Some(PathBuf::from(v));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Effective duration: explicit `--seconds` wins; otherwise `quick`
+    /// picks the smoke duration, else the paper duration.
+    pub fn duration(&self, paper_secs: f64, quick_secs: f64) -> f64 {
+        match self.seconds {
+            Some(s) => s,
+            None if self.quick => quick_secs,
+            None => paper_secs,
+        }
+    }
+
+    /// CSV output path for an experiment named `name`.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        self.out.clone().unwrap_or_else(|| PathBuf::from(format!("results/{name}.csv")))
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <experiment> [--quick] [--seconds S] [--seed N] [--out PATH]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_precedence() {
+        let mut o = RunOpts::default();
+        assert_eq!(o.duration(900.0, 120.0), 900.0);
+        o.quick = true;
+        assert_eq!(o.duration(900.0, 120.0), 120.0);
+        o.seconds = Some(42.0);
+        assert_eq!(o.duration(900.0, 120.0), 42.0);
+    }
+
+    #[test]
+    fn out_path_defaults_to_results_dir() {
+        let o = RunOpts::default();
+        assert_eq!(o.out_path("tab4"), PathBuf::from("results/tab4.csv"));
+        let o2 = RunOpts { out: Some(PathBuf::from("/tmp/x.csv")), ..RunOpts::default() };
+        assert_eq!(o2.out_path("tab4"), PathBuf::from("/tmp/x.csv"));
+    }
+}

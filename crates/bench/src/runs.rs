@@ -1,0 +1,197 @@
+//! One-shot experiment runs shared by the table/figure binaries.
+
+use crate::scenarios::{self, Scenario, PROBE_FLOW, ZING_FLOW};
+use badabing_core::config::BadabingConfig;
+use badabing_probe::badabing::{BadabingAnalysis, BadabingHarness, BadabingProber};
+use badabing_probe::zing::{attach_zing, zing_report, ZingConfig, ZingReport};
+use badabing_sim::monitor::GroundTruth;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+
+/// Result of one BADABING run against a traffic scenario.
+pub struct BadabingRun {
+    /// Ground truth over the measurement horizon.
+    pub truth: GroundTruth,
+    /// The tool's analysis.
+    pub analysis: BadabingAnalysis,
+    /// Probe load actually offered, bits/second.
+    pub load_bps: f64,
+    /// The dumbbell (for further inspection).
+    pub db: Dumbbell,
+    /// The harness (for re-analysis with different detector parameters).
+    pub harness: BadabingHarness,
+}
+
+/// Run BADABING with configuration `cfg` for `n_slots` against
+/// `scenario`. Deterministic in `seed`.
+pub fn run_badabing(scenario: Scenario, cfg: BadabingConfig, n_slots: u64, seed: u64) -> BadabingRun {
+    let mut db = Dumbbell::standard();
+    scenarios::attach(&mut db, scenario, seed);
+    let harness =
+        BadabingHarness::attach(&mut db, cfg, n_slots, PROBE_FLOW, seeded(seed, "probe"));
+    let horizon = harness.horizon_secs();
+    db.run_for(horizon + 1.0);
+    let truth = db.ground_truth(horizon);
+    let analysis = harness.analyze(&db.sim);
+    let sent = db.sim.node::<BadabingProber>(harness.prober).sent();
+    let packets: u64 = sent.iter().map(|s| u64::from(s.packets)).sum();
+    let load_bps = packets as f64 * f64::from(cfg.packet_bytes) * 8.0 / horizon;
+    BadabingRun { truth, analysis, load_bps, db, harness }
+}
+
+/// Result of one ZING run.
+pub struct ZingRun {
+    /// Ground truth over the horizon.
+    pub truth: GroundTruth,
+    /// ZING's measurements.
+    pub report: ZingReport,
+}
+
+/// Run ZING (optionally two instances at different rates share one run —
+/// their combined load is well under 0.05% of the bottleneck).
+pub fn run_zing(scenario: Scenario, configs: &[ZingConfig], secs: f64, seed: u64) -> (GroundTruth, Vec<ZingReport>) {
+    let mut db = Dumbbell::standard();
+    scenarios::attach(&mut db, scenario, seed);
+    let mut ids = Vec::new();
+    for (i, &zcfg) in configs.iter().enumerate() {
+        let flow = badabing_sim::packet::FlowId(ZING_FLOW.0 + i as u32);
+        ids.push(attach_zing(&mut db, zcfg, flow, seeded(seed, &format!("zing{i}"))));
+    }
+    db.run_for(secs + 1.0);
+    let truth = db.ground_truth(secs);
+    let reports =
+        ids.into_iter().map(|(p, r)| zing_report(&db.sim, p, r)).collect();
+    (truth, reports)
+}
+
+/// Print a ZING-vs-truth table (the Tables 1–3 shape) and mirror it to
+/// CSV.
+pub fn print_zing_table(
+    scenario: Scenario,
+    opts: &crate::RunOpts,
+    paper_secs: f64,
+    quick_secs: f64,
+    name: &str,
+    title: &str,
+) {
+    use badabing_probe::report::ToolReport;
+    let secs = opts.duration(paper_secs, quick_secs);
+    let (truth, reports) = run_zing(
+        scenario,
+        &[ZingConfig::paper_10hz(), ZingConfig::paper_20hz()],
+        secs,
+        opts.seed,
+    );
+    let mut w = crate::table::TableWriter::new(&opts.out_path(name));
+    w.heading(&format!("{title} ({secs:.0}s, {})", scenario.label()));
+    w.row(&ToolReport::header());
+    w.csv("source,frequency,duration_mean_secs,duration_std_secs");
+    let rows = [
+        ToolReport::from_truth("true values", &truth),
+        ToolReport::from_zing("zing (10Hz, 256B)", &reports[0]),
+        ToolReport::from_zing("zing (20Hz, 64B)", &reports[1]),
+    ];
+    for r in rows {
+        w.row_csv(&r.fmt_row(), &r.csv_row());
+    }
+    w.row(&format!(
+        "(zing sent {} and {} probes; lost {} and {})",
+        reports[0].sent, reports[1].sent, reports[0].lost, reports[1].lost
+    ));
+    w.finish();
+}
+
+/// The probe-rate sweep used by Tables 4, 5 and 6.
+pub const P_SWEEP: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Print a BADABING p-sweep table (the Tables 4–6 shape) and mirror it
+/// to CSV. Each row runs a fresh simulation at that probe rate with the
+/// paper's recommended α and τ.
+pub fn print_badabing_table(
+    scenario: Scenario,
+    opts: &crate::RunOpts,
+    name: &str,
+    title: &str,
+) {
+    let secs = opts.duration(900.0, 120.0);
+    let mut w = crate::table::TableWriter::new(&opts.out_path(name));
+    w.heading(&format!("{title} ({secs:.0}s, {})", scenario.label()));
+    w.row(&format!(
+        "{:>4} {:>11} {:>11} {:>11} {:>11} {:>9}  {}",
+        "p", "true freq", "est freq", "true dur", "est dur", "±95% dur", "validation"
+    ));
+    w.csv("p,true_frequency,est_frequency,true_duration_secs,est_duration_secs,duration_ci_halfwidth_secs,validation_passes,experiments");
+    for p in P_SWEEP {
+        let cfg = BadabingConfig::paper_default(p);
+        let n_slots = slots_for(secs, cfg.slot_secs);
+        let run = run_badabing(scenario, cfg, n_slots, opts.seed);
+        let f_true = run.truth.frequency();
+        let d_true = run.truth.mean_duration_secs();
+        let f_est = run.analysis.frequency();
+        let d_est = run.analysis.duration_secs();
+        // §8's data-driven variability estimate for the duration.
+        let d_ci = badabing_core::uncertainty::duration_interval_slots(&run.analysis.estimates, 1.96)
+            .map(|i| i.half_width() * cfg.slot_secs);
+        let valid = run.analysis.validation.passes(0.5);
+        w.row(&format!(
+            "{:>4.1} {:>11.4} {} {:>11.3} {} {:>9}  {}",
+            p,
+            f_true,
+            crate::table::cell(f_est, 11, 4),
+            d_true,
+            crate::table::cell(d_est, 11, 3),
+            d_ci.map_or_else(|| format!("{:>9}", "-"), |c| format!("{c:>9.3}")),
+            if valid { "ok" } else { "FLAGGED" },
+        ));
+        w.csv(&format!(
+            "{p},{f_true},{},{d_true},{},{},{valid},{}",
+            f_est.map_or(String::new(), |v| v.to_string()),
+            d_est.map_or(String::new(), |v| v.to_string()),
+            d_ci.map_or(String::new(), |v| v.to_string()),
+            run.analysis.log.len(),
+        ));
+    }
+    w.finish();
+}
+
+/// Convert a duration in seconds to the slot count used throughout
+/// (5 ms slots unless the config overrides it).
+pub fn slots_for(secs: f64, slot_secs: f64) -> u64 {
+    (secs / slot_secs).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_round() {
+        assert_eq!(slots_for(900.0, 0.005), 180_000);
+        assert_eq!(slots_for(0.012, 0.005), 2);
+    }
+
+    #[test]
+    fn badabing_run_produces_consistent_pieces() {
+        let cfg = BadabingConfig::paper_default(0.5);
+        let run = run_badabing(Scenario::CbrUniform, cfg, 6_000, 7);
+        assert!(run.truth.frequency() > 0.0, "30 s of CBR should include episodes");
+        assert!(run.analysis.log.len() > 2_000);
+        // Offered load ≈ p/Δ × 2 probes × 3 pkts × 600 B × 8.
+        let expect = cfg.offered_load_bps();
+        assert!((run.load_bps - expect).abs() / expect < 0.05, "load {}", run.load_bps);
+    }
+
+    #[test]
+    fn zing_run_reports_both_instances() {
+        let (truth, reports) = run_zing(
+            Scenario::CbrUniform,
+            &[ZingConfig::paper_10hz(), ZingConfig::paper_20hz()],
+            30.0,
+            7,
+        );
+        assert!(truth.frequency() > 0.0);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].sent > 200);
+        assert!(reports[1].sent > reports[0].sent, "20 Hz sends more than 10 Hz");
+    }
+}

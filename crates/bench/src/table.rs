@@ -1,0 +1,98 @@
+//! Table printing and CSV capture.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple table writer: prints aligned rows to stdout and mirrors them
+/// into a CSV file under `results/`.
+pub struct TableWriter {
+    csv: Option<fs::File>,
+    csv_path: Option<std::path::PathBuf>,
+}
+
+impl TableWriter {
+    /// Create a writer that mirrors rows into `path` (directories are
+    /// created as needed). Falls back to stdout-only (with a warning) if
+    /// the file cannot be created.
+    pub fn new(path: &Path) -> Self {
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        match fs::File::create(path) {
+            Ok(f) => Self { csv: Some(f), csv_path: Some(path.to_path_buf()) },
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                Self { csv: None, csv_path: None }
+            }
+        }
+    }
+
+    /// A stdout-only writer.
+    pub fn stdout_only() -> Self {
+        Self { csv: None, csv_path: None }
+    }
+
+    /// Print a heading (stdout only).
+    pub fn heading(&self, text: &str) {
+        println!("\n=== {text} ===");
+    }
+
+    /// Print a display row (stdout only).
+    pub fn row(&self, text: &str) {
+        println!("{text}");
+    }
+
+    /// Append a CSV line (file only).
+    pub fn csv(&mut self, line: &str) {
+        if let Some(f) = &mut self.csv {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Print a row and mirror a CSV line.
+    pub fn row_csv(&mut self, display: &str, csv_line: &str) {
+        self.row(display);
+        self.csv(csv_line);
+    }
+
+    /// Note where the CSV went.
+    pub fn finish(self) {
+        if let Some(p) = self.csv_path {
+            println!("\n[csv written to {}]", p.display());
+        }
+    }
+}
+
+/// Format an `Option<f64>` for a table cell (the paper prints 0 where a
+/// tool had nothing to report; estimators distinguish "no data" with `-`).
+pub fn cell(v: Option<f64>, width: usize, precision: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.precision$}"),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_is_mirrored() {
+        let dir = std::env::temp_dir().join("badabing-table-test");
+        let path = dir.join("t.csv");
+        let mut w = TableWriter::new(&path);
+        w.row_csv("pretty", "a,b,c");
+        w.csv("1,2,3");
+        w.finish();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b,c\n1,2,3\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(Some(0.0069), 10, 4), "    0.0069");
+        assert_eq!(cell(None, 6, 2), "     -");
+    }
+}

@@ -1,0 +1,441 @@
+//! Frequency and duration estimators (§5.2.2, §5.3).
+//!
+//! With `yᵢ` the recorded outcome of experiment `i`:
+//!
+//! * **Frequency.** `F̂ = Σ zᵢ / M`, `zᵢ` the first digit of `yᵢ`. Unbiased
+//!   whenever probes report congestion faithfully (`p₁ = p₂ = 1`), and
+//!   consistent under an alternating-renewal congestion process.
+//! * **Duration (basic).** With `R = #{yᵢ ∈ {01,10,11}}` and
+//!   `S = #{yᵢ ∈ {01,10}}` over two-probe experiments,
+//!   `D̂ = 2(R/S − 1) + 1` slots, assuming `r = p₂/p₁ = 1`.
+//! * **Duration (improved).** Three-probe experiments estimate `r̂ = U/V`
+//!   with `U = #{011,110}` and `V = #{001,100}`; then
+//!   `D̂ = (2V/U)(R/S − 1) + 1`, valid even when congestion mid-episode is
+//!   reported with different fidelity than episode boundaries.
+//!
+//! §6.2 notes the paper reports the *mean* of the estimates derived from
+//! the `01` and `10` boundary counts; using `S = #01 + #10` in a single
+//! quotient is exactly that averaging.
+
+use crate::outcome::ExperimentLog;
+use serde::{Deserialize, Serialize};
+
+/// Pattern counts and derived estimates for one run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Estimates {
+    /// Total experiments (`M`).
+    pub experiments: u64,
+    /// Experiments whose first digit was 1 (`Σ zᵢ`).
+    pub z_sum: u64,
+    /// Two-probe experiments.
+    pub basic_experiments: u64,
+    /// Three-probe experiments.
+    pub extended_experiments: u64,
+    /// `R = #{01, 10, 11}` over two-probe experiments.
+    pub r: u64,
+    /// `S = #{01, 10}` over two-probe experiments.
+    pub s: u64,
+    /// `#{01}` alone (for validation).
+    pub n01: u64,
+    /// `#{10}` alone (for validation).
+    pub n10: u64,
+    /// `U = #{011, 110}` over three-probe experiments.
+    pub u: u64,
+    /// `V = #{001, 100}` over three-probe experiments.
+    pub v: u64,
+    /// `#{111}` over three-probe experiments (§5.5: unusable under
+    /// unknown `p₃`, but usable for the triple-window duration estimator
+    /// when the two-state fidelity model is assumed to extend).
+    pub n111: u64,
+    /// Slot width in seconds (copied from the log for unit conversion).
+    pub slot_secs: f64,
+}
+
+impl Estimates {
+    /// Compute all counts from a log.
+    pub fn from_log(log: &ExperimentLog) -> Self {
+        let mut e = Estimates { slot_secs: log.slot_secs(), ..Default::default() };
+        for o in log.outcomes() {
+            e.experiments += 1;
+            if o.z() {
+                e.z_sum += 1;
+            }
+            match o.probes {
+                2 => {
+                    e.basic_experiments += 1;
+                    match o.pattern() {
+                        0b01 => {
+                            e.n01 += 1;
+                            e.s += 1;
+                            e.r += 1;
+                        }
+                        0b10 => {
+                            e.n10 += 1;
+                            e.s += 1;
+                            e.r += 1;
+                        }
+                        0b11 => e.r += 1,
+                        _ => {}
+                    }
+                }
+                3 => {
+                    e.extended_experiments += 1;
+                    match o.pattern() {
+                        0b011 | 0b110 => e.u += 1,
+                        0b001 | 0b100 => e.v += 1,
+                        0b111 => e.n111 += 1,
+                        _ => {}
+                    }
+                }
+                n => panic!("outcome with {n} probes"),
+            }
+        }
+        e
+    }
+
+    /// `F̂ = Σ zᵢ / M`; `None` for an empty log.
+    pub fn frequency(&self) -> Option<f64> {
+        if self.experiments == 0 {
+            None
+        } else {
+            Some(self.z_sum as f64 / self.experiments as f64)
+        }
+    }
+
+    /// Basic duration estimate in slots: `D̂ = 2(R/S − 1) + 1`. `None`
+    /// when `S = 0` (no episode boundary was ever observed — the situation
+    /// ZING finds itself in throughout Table 1).
+    pub fn duration_slots_basic(&self) -> Option<f64> {
+        if self.s == 0 {
+            None
+        } else {
+            Some(2.0 * (self.r as f64 / self.s as f64 - 1.0) + 1.0)
+        }
+    }
+
+    /// Improved duration estimate in slots:
+    /// `D̂ = (2V/U)(R/S − 1) + 1 = (2/r̂)(R/S − 1) + 1`. `None` when
+    /// `S = 0` or `U = 0`.
+    pub fn duration_slots_improved(&self) -> Option<f64> {
+        if self.s == 0 || self.u == 0 {
+            return None;
+        }
+        let ratio = self.r as f64 / self.s as f64 - 1.0;
+        Some(2.0 * self.v as f64 / self.u as f64 * ratio + 1.0)
+    }
+
+    /// Estimated fidelity ratio `r̂ = U/V`; `None` when `V = 0`.
+    pub fn r_hat(&self) -> Option<f64> {
+        if self.v == 0 {
+            None
+        } else {
+            Some(self.u as f64 / self.v as f64)
+        }
+    }
+
+    /// Basic duration estimate in seconds.
+    pub fn duration_secs_basic(&self) -> Option<f64> {
+        self.duration_slots_basic().map(|d| d * self.slot_secs)
+    }
+
+    /// Improved duration estimate in seconds.
+    pub fn duration_secs_improved(&self) -> Option<f64> {
+        self.duration_slots_improved().map(|d| d * self.slot_secs)
+    }
+
+    /// §5.5 extension: a duration estimate from the *three-probe*
+    /// experiments alone.
+    ///
+    /// Over three-slot windows of an alternating process there are `B`
+    /// occurrences of each single-boundary state (`001`, `100`, `011`,
+    /// `110`) and `A − 2B` of `111`, so with
+    /// `R₃ = U + V + #111` and `S₃ = V`:
+    ///
+    /// `E(R₃)/E(S₃) = 2 + r·(D − 2)/2`, giving
+    /// `D̂₃ = (2/r̂)(R₃/S₃ − 2) + 2`.
+    ///
+    /// Assumes `#111` is reported with fidelity `p₂` like the other
+    /// multi-congested states (a mild strengthening of §5.3's model,
+    /// which is why the paper kept this as a "straightforward
+    /// modification" rather than the default). Pass `r = 1` semantics via
+    /// [`Self::r_hat`] falling back to 1 when unavailable.
+    pub fn duration_slots_triple(&self) -> Option<f64> {
+        if self.v == 0 {
+            return None;
+        }
+        let r = self.r_hat().filter(|r| *r > 0.0).unwrap_or(1.0);
+        let r3 = (self.u + self.v + self.n111) as f64;
+        let s3 = self.v as f64;
+        Some(((r3 / s3 - 2.0) * 2.0 / r + 2.0).max(1.0))
+    }
+
+    /// §5.5 pooled duration estimate: the basic/improved two-probe
+    /// estimate and the triple-window estimate, weighted by their
+    /// respective boundary-observation counts (`S` and `S₃ = V`) — using
+    /// every probe for duration "thereby decreasing the total number of
+    /// probes that are required ... for the same level of confidence".
+    pub fn duration_slots_pooled(&self) -> Option<f64> {
+        let two = self.duration_slots_improved().or_else(|| self.duration_slots_basic());
+        let three = self.duration_slots_triple();
+        match (two, three) {
+            (Some(d2), Some(d3)) => {
+                let w2 = self.s as f64;
+                let w3 = self.v as f64;
+                Some((d2 * w2 + d3 * w3) / (w2 + w3))
+            }
+            (Some(d2), None) => Some(d2),
+            (None, Some(d3)) => Some(d3),
+            (None, None) => None,
+        }
+    }
+
+    /// Pooled duration estimate in seconds.
+    pub fn duration_secs_pooled(&self) -> Option<f64> {
+        self.duration_slots_pooled().map(|d| d * self.slot_secs)
+    }
+
+    /// Episode *rate*: episodes per slot, `F̂ / D̂` — the `L` that §7's
+    /// accuracy model needs. `None` until both inputs exist.
+    pub fn episode_rate_per_slot(&self) -> Option<f64> {
+        match (self.frequency(), self.duration_slots_basic()) {
+            (Some(f), Some(d)) if d > 0.0 => Some(f / d),
+            _ => None,
+        }
+    }
+
+    /// Mean *loss-free period* in slots — the complementary episode
+    /// characteristic Zhang et al. track (the paper's §2 citation \[39\]
+    /// reports "loss free period duration" constancy). Under the
+    /// alternating-renewal model `F = D / (D + D′)`, so
+    /// `D̂′ = D̂ (1 − F̂) / F̂`. `None` until both inputs exist or when no
+    /// congestion was seen.
+    pub fn loss_free_slots(&self) -> Option<f64> {
+        let f = self.frequency()?;
+        let d = self.duration_slots_basic()?;
+        if f <= 0.0 || f >= 1.0 {
+            return None;
+        }
+        Some(d * (1.0 - f) / f)
+    }
+
+    /// Mean loss-free period in seconds.
+    pub fn loss_free_secs(&self) -> Option<f64> {
+        self.loss_free_slots().map(|d| d * self.slot_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{ExperimentLog, Outcome};
+
+    fn log_from_patterns(basic: &[(bool, bool)], ext: &[(bool, bool, bool)]) -> ExperimentLog {
+        let mut log = ExperimentLog::new(1_000_000, 0.005);
+        let mut id = 0;
+        for &(a, b) in basic {
+            log.push(Outcome::basic(id, id * 10, a, b));
+            id += 1;
+        }
+        for &(a, b, c) in ext {
+            log.push(Outcome::extended(id, id * 10, a, b, c));
+            id += 1;
+        }
+        log
+    }
+
+    #[test]
+    fn frequency_counts_first_digits() {
+        let log = log_from_patterns(
+            &[(true, false), (false, true), (false, false), (true, true)],
+            &[(true, false, false), (false, false, false)],
+        );
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.experiments, 6);
+        assert_eq!(e.z_sum, 3);
+        assert!((e.frequency().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_counts_r_and_s() {
+        // 4×{01}, 4×{10}, 8×{11}, 4×{00}: R=16, S=8 → D̂ = 2(2−1)+1 = 3.
+        let mut basic = Vec::new();
+        for _ in 0..4 {
+            basic.push((false, true));
+            basic.push((true, false));
+            basic.push((true, true));
+            basic.push((true, true));
+            basic.push((false, false));
+        }
+        let log = log_from_patterns(&basic, &[]);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.r, 16);
+        assert_eq!(e.s, 8);
+        assert_eq!(e.n01, 4);
+        assert_eq!(e.n10, 4);
+        assert!((e.duration_slots_basic().unwrap() - 3.0).abs() < 1e-12);
+        assert!((e.duration_secs_basic().unwrap() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_boundaries_gives_none() {
+        let log = log_from_patterns(&[(true, true), (false, false)], &[]);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.duration_slots_basic(), None);
+        assert!(e.frequency().is_some());
+    }
+
+    #[test]
+    fn empty_log_gives_none_frequency() {
+        let log = ExperimentLog::new(100, 0.005);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.frequency(), None);
+        assert_eq!(e.duration_slots_basic(), None);
+    }
+
+    #[test]
+    fn improved_uses_u_v_correction() {
+        // Perfect reporting (r = 1): U patterns (011/110) and V patterns
+        // (001/100) equally common → improved equals basic.
+        let ext = vec![
+            (false, true, true),
+            (true, true, false),
+            (false, false, true),
+            (true, false, false),
+        ];
+        let basic = vec![(false, true), (true, false), (true, true)];
+        let log = log_from_patterns(&basic, &ext);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.u, 2);
+        assert_eq!(e.v, 2);
+        assert!((e.r_hat().unwrap() - 1.0).abs() < 1e-12);
+        assert!(
+            (e.duration_slots_improved().unwrap() - e.duration_slots_basic().unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn improved_corrects_depressed_p2() {
+        // If mid-episode congestion is under-reported (p2 < p1), 11 states
+        // leak into 01/10/00 and U shrinks relative to V. Check direction:
+        // r̂ < 1 inflates the improved estimate relative to basic.
+        let ext = vec![(false, true, true), (false, false, true), (true, false, false)];
+        let basic = vec![(false, true), (true, false), (true, true)];
+        let log = log_from_patterns(&basic, &ext);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.u, 1);
+        assert_eq!(e.v, 2);
+        let imp = e.duration_slots_improved().unwrap();
+        let bas = e.duration_slots_basic().unwrap();
+        assert!(imp > bas, "improved {imp} should exceed basic {bas}");
+    }
+
+    #[test]
+    fn loss_free_period_from_renewal_identity() {
+        // F̂ = 0.5 (2 of 4 experiments start congested), D̂ = 3 slots →
+        // D̂′ = 3·(1−0.5)/0.5 = 3 slots.
+        let log = log_from_patterns(
+            &[(false, true), (true, false), (true, true), (false, false)],
+            &[],
+        );
+        let e = Estimates::from_log(&log);
+        assert!((e.frequency().unwrap() - 0.5).abs() < 1e-12);
+        let d = e.duration_slots_basic().unwrap();
+        let gap = e.loss_free_slots().unwrap();
+        assert!((gap - d * (1.0 - 0.5) / 0.5).abs() < 1e-12);
+        assert!((e.loss_free_secs().unwrap() - gap * 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_free_period_undefined_at_extremes() {
+        // All congested → F̂ = 1: undefined.
+        let log = log_from_patterns(&[(true, true), (true, false)], &[]);
+        assert_eq!(Estimates::from_log(&log).loss_free_slots(), None);
+        // Never congested → F̂ = 0: undefined (and D̂ is None anyway).
+        let clean = log_from_patterns(&[(false, false)], &[]);
+        assert_eq!(Estimates::from_log(&clean).loss_free_slots(), None);
+    }
+
+    #[test]
+    fn triple_estimator_recovers_duration_on_clean_counts() {
+        // Construct counts for D = 4 slots with perfect reporting:
+        // per episode, one of each single-boundary state and D−2 = 2 of
+        // 111. Use 10 episodes: U = 20, V = 20, #111 = 20.
+        let mut ext = Vec::new();
+        for _ in 0..10 {
+            ext.push((false, false, true)); // 001
+            ext.push((true, false, false)); // 100
+            ext.push((false, true, true)); // 011
+            ext.push((true, true, false)); // 110
+            ext.push((true, true, true)); // 111
+            ext.push((true, true, true)); // 111
+        }
+        let log = log_from_patterns(&[], &ext);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.u, 20);
+        assert_eq!(e.v, 20);
+        assert_eq!(e.n111, 20);
+        // R3/S3 = 60/20 = 3; r̂ = 1 → D̂ = 2(3−2)+2 = 4.
+        assert!((e.duration_slots_triple().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_weights_by_boundary_counts() {
+        // Two-probe part says D = 3 with S = 8 (from duration_counts
+        // test's construction); triple part says D = 4 with V = 4.
+        let mut basic = Vec::new();
+        for _ in 0..4 {
+            basic.push((false, true));
+            basic.push((true, false));
+            basic.push((true, true));
+            basic.push((true, true));
+        }
+        let ext = vec![
+            (false, false, true),
+            (true, false, false),
+            (false, false, true),
+            (true, false, false),
+            (false, true, true),
+            (true, true, false),
+            (false, true, true),
+            (true, true, false),
+            (true, true, true),
+            (true, true, true),
+            (true, true, true),
+            (true, true, true),
+        ];
+        let log = log_from_patterns(&basic, &ext);
+        let e = Estimates::from_log(&log);
+        let d2 = e.duration_slots_basic().unwrap();
+        let d3 = e.duration_slots_triple().unwrap();
+        let pooled = e.duration_slots_pooled().unwrap();
+        let expect = (d2 * e.s as f64 + d3 * e.v as f64) / (e.s + e.v) as f64;
+        assert!((pooled - expect).abs() < 1e-12);
+        assert!(pooled > d2.min(d3) && pooled < d2.max(d3));
+    }
+
+    #[test]
+    fn pooled_falls_back_when_one_side_missing() {
+        // Only two-probe data.
+        let log = log_from_patterns(&[(false, true), (true, true)], &[]);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.duration_slots_pooled(), e.duration_slots_basic());
+        // Only triple data.
+        let log3 = log_from_patterns(&[], &[(false, false, true), (true, true, true)]);
+        let e3 = Estimates::from_log(&log3);
+        assert_eq!(e3.duration_slots_pooled(), e3.duration_slots_triple());
+        // Nothing at all.
+        let empty = log_from_patterns(&[(false, false)], &[]);
+        assert_eq!(Estimates::from_log(&empty).duration_slots_pooled(), None);
+    }
+
+    #[test]
+    fn extended_first_digits_count_toward_frequency() {
+        let log = log_from_patterns(&[], &[(true, false, false), (false, true, true)]);
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.experiments, 2);
+        assert!((e.frequency().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(e.basic_experiments, 0);
+        assert_eq!(e.extended_experiments, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The probe process: geometric experiment scheduling.
+//!
+//! §5.2: "For each time slot i we decide whether or not to commence a basic
+//! experiment; this decision is made independently with some fixed
+//! probability p over all slots." A per-slot Bernoulli(p) process is
+//! equivalent to geometric gaps between experiment starts, which lets the
+//! scheduler jump straight from one experiment to the next instead of
+//! iterating empty slots — important at p = 0.1 with 720 000 slots.
+//!
+//! §5.3: in improved mode, each experiment is extended (three probes) with
+//! probability ½, basic (two probes) otherwise.
+
+use badabing_stats::dist::Geometric;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One scheduled experiment: probes are sent in slots
+/// `start_slot .. start_slot + probes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Experiment {
+    /// Monotonically increasing experiment identifier.
+    pub id: u64,
+    /// The first probed slot.
+    pub start_slot: u64,
+    /// Number of probes (2 = basic, 3 = extended).
+    pub probes: u8,
+}
+
+impl Experiment {
+    /// The slots this experiment probes.
+    pub fn slots(&self) -> impl Iterator<Item = u64> {
+        self.start_slot..self.start_slot + u64::from(self.probes)
+    }
+}
+
+/// Generates the (infinite) sequence of experiments for a run.
+#[derive(Debug)]
+pub struct ExperimentScheduler {
+    gap: Geometric,
+    improved: bool,
+    rng: StdRng,
+    /// Slot of the next candidate start (exclusive of already-returned
+    /// starts).
+    cursor: u64,
+    next_id: u64,
+    first: bool,
+}
+
+impl ExperimentScheduler {
+    /// Create a scheduler with per-slot start probability `p`. When
+    /// `improved`, experiments are extended to three probes with
+    /// probability ½.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64, improved: bool, rng: StdRng) -> Self {
+        Self { gap: Geometric::new(p), improved, rng, cursor: 0, next_id: 0, first: true }
+    }
+
+    /// The next experiment in slot order. Consecutive experiments may
+    /// overlap (an experiment starting at slot `i+1` overlaps one started
+    /// at `i`); the probe sender simply sends all scheduled probes.
+    pub fn next_experiment(&mut self) -> Experiment {
+        // First start: the number of Bernoulli trials to the first success
+        // counts slots 0,1,... so the start is (trials - 1); afterwards
+        // each gap is the trial count itself.
+        let jump = self.gap.sample_trials(&mut self.rng);
+        self.cursor += if self.first { jump - 1 } else { jump };
+        self.first = false;
+        let probes = if self.improved && self.rng.random_bool(0.5) { 3 } else { 2 };
+        let exp = Experiment { id: self.next_id, start_slot: self.cursor, probes };
+        self.next_id += 1;
+        exp
+    }
+
+    /// All experiments whose *start slot* is below `n_slots` (a full
+    /// experiment of `N` slots in the paper's notation).
+    pub fn take_run(&mut self, n_slots: u64) -> Vec<Experiment> {
+        let mut v = Vec::new();
+        loop {
+            let e = self.next_experiment();
+            if e.start_slot >= n_slots {
+                break;
+            }
+            v.push(e);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_stats::rng::seeded;
+
+    #[test]
+    fn experiment_count_matches_p_times_n() {
+        let n_slots = 200_000u64;
+        for &p in &[0.1, 0.3, 0.5, 0.9] {
+            let mut s = ExperimentScheduler::new(p, false, seeded(42, "sched"));
+            let run = s.take_run(n_slots);
+            let expect = p * n_slots as f64;
+            let got = run.len() as f64;
+            assert!(
+                (got - expect).abs() < 4.0 * (n_slots as f64 * p * (1.0 - p)).sqrt().max(1.0),
+                "p={p}: {got} experiments, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn p_one_probes_every_slot() {
+        let mut s = ExperimentScheduler::new(1.0, false, seeded(1, "all"));
+        let run = s.take_run(100);
+        assert_eq!(run.len(), 100);
+        for (i, e) in run.iter().enumerate() {
+            assert_eq!(e.start_slot, i as u64);
+            assert_eq!(e.probes, 2);
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_starts_nondecreasing() {
+        let mut s = ExperimentScheduler::new(0.4, true, seeded(9, "seq"));
+        let run = s.take_run(10_000);
+        for w in run.windows(2) {
+            assert_eq!(w[1].id, w[0].id + 1);
+            assert!(w[1].start_slot > w[0].start_slot, "starts strictly increase");
+        }
+    }
+
+    #[test]
+    fn improved_mode_extends_about_half() {
+        let mut s = ExperimentScheduler::new(0.5, true, seeded(3, "imp"));
+        let run = s.take_run(100_000);
+        let extended = run.iter().filter(|e| e.probes == 3).count();
+        let frac = extended as f64 / run.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "extended fraction {frac}");
+    }
+
+    #[test]
+    fn basic_mode_never_extends() {
+        let mut s = ExperimentScheduler::new(0.5, false, seeded(3, "basic"));
+        assert!(s.take_run(10_000).iter().all(|e| e.probes == 2));
+    }
+
+    #[test]
+    fn slots_iterator_covers_probe_span() {
+        let e = Experiment { id: 0, start_slot: 10, probes: 3 };
+        assert_eq!(e.slots().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<_> =
+            ExperimentScheduler::new(0.2, true, seeded(7, "det")).take_run(5_000);
+        let b: Vec<_> =
+            ExperimentScheduler::new(0.2, true, seeded(7, "det")).take_run(5_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometric_gaps_have_right_mean() {
+        let mut s = ExperimentScheduler::new(0.25, false, seeded(11, "gap"));
+        let run = s.take_run(100_000);
+        let gaps: Vec<f64> = run.windows(2).map(|w| (w[1].start_slot - w[0].start_slot) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean gap {mean}, expected 4");
+    }
+}

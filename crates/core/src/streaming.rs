@@ -1,0 +1,241 @@
+//! Streaming (online) estimation.
+//!
+//! [`crate::estimator::Estimates`] and [`crate::validate::Validation`]
+//! reduce a finished log; long-running deployments (and the adaptive
+//! runtime of [`crate::adaptive`]) instead fold outcomes in as they
+//! arrive and query estimates at any time. [`StreamingEstimator`] keeps
+//! the same counts incrementally and answers the same questions, plus the
+//! run-time quantities a stopping rule needs: the current loss-event-rate
+//! estimate `L̂` and the §7 predicted standard deviation of the duration
+//! estimate.
+
+use crate::estimator::Estimates;
+use crate::outcome::Outcome;
+use crate::validate::{duration_stddev_model, Validation};
+use serde::{Deserialize, Serialize};
+
+/// Incrementally maintained pattern counts and estimates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingEstimator {
+    estimates: Estimates,
+    validation: Validation,
+    /// Highest slot seen so far (+ probe span), for the effective `N`.
+    max_slot_seen: u64,
+    /// Per-slot experiment probability (for the §7 model).
+    p: f64,
+}
+
+impl StreamingEstimator {
+    /// New empty estimator for a process with per-slot probability `p`
+    /// and the given slot width.
+    pub fn new(p: f64, slot_secs: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0,1], got {p}");
+        assert!(slot_secs > 0.0, "slot width must be positive");
+        let estimates = Estimates { slot_secs, ..Default::default() };
+        Self { estimates, validation: Validation::default(), max_slot_seen: 0, p }
+    }
+
+    /// Fold in one outcome.
+    pub fn push(&mut self, o: &Outcome) {
+        let end_slot = o.start_slot + u64::from(o.probes);
+        self.max_slot_seen = self.max_slot_seen.max(end_slot);
+
+        self.estimates.experiments += 1;
+        if o.z() {
+            self.estimates.z_sum += 1;
+        }
+        match o.probes {
+            2 => {
+                self.estimates.basic_experiments += 1;
+                match o.pattern() {
+                    0b00 => self.validation.n00 += 1,
+                    0b01 => {
+                        self.validation.n01 += 1;
+                        self.estimates.n01 += 1;
+                        self.estimates.s += 1;
+                        self.estimates.r += 1;
+                    }
+                    0b10 => {
+                        self.validation.n10 += 1;
+                        self.estimates.n10 += 1;
+                        self.estimates.s += 1;
+                        self.estimates.r += 1;
+                    }
+                    0b11 => {
+                        self.validation.n11 += 1;
+                        self.estimates.r += 1;
+                    }
+                    _ => unreachable!("2-probe pattern out of range"),
+                }
+            }
+            3 => {
+                self.estimates.extended_experiments += 1;
+                match o.pattern() {
+                    0b000 => self.validation.n000 += 1,
+                    0b001 => {
+                        self.validation.n001 += 1;
+                        self.estimates.v += 1;
+                    }
+                    0b100 => {
+                        self.validation.n100 += 1;
+                        self.estimates.v += 1;
+                    }
+                    0b011 => {
+                        self.validation.n011 += 1;
+                        self.estimates.u += 1;
+                    }
+                    0b110 => {
+                        self.validation.n110 += 1;
+                        self.estimates.u += 1;
+                    }
+                    0b010 => self.validation.n010 += 1,
+                    0b101 => self.validation.n101 += 1,
+                    0b111 => {
+                        self.validation.n111 += 1;
+                        self.estimates.n111 += 1;
+                    }
+                    _ => unreachable!("3-probe pattern out of range"),
+                }
+            }
+            n => panic!("outcome with {n} probes"),
+        }
+    }
+
+    /// Current estimates snapshot.
+    pub fn estimates(&self) -> &Estimates {
+        &self.estimates
+    }
+
+    /// Current validation tallies.
+    pub fn validation(&self) -> &Validation {
+        &self.validation
+    }
+
+    /// Outcomes folded in so far.
+    pub fn len(&self) -> u64 {
+        self.estimates.experiments
+    }
+
+    /// Whether nothing has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.experiments == 0
+    }
+
+    /// Effective run length so far, in slots (highest slot probed).
+    pub fn effective_slots(&self) -> u64 {
+        self.max_slot_seen
+    }
+
+    /// Estimated loss-event rate `L̂` per slot: episode *starts* are in
+    /// one-to-one correspondence with `01` boundary observations, each of
+    /// which is sampled with probability `p` per episode edge, so
+    /// `L̂ = #01 / (p · N)`. Returns `None` before any boundary is seen.
+    pub fn loss_event_rate(&self) -> Option<f64> {
+        if self.estimates.n01 == 0 || self.max_slot_seen == 0 {
+            return None;
+        }
+        Some(self.estimates.n01 as f64 / (self.p * self.max_slot_seen as f64))
+    }
+
+    /// §7's predicted `StdDev(D̂)` (in slots) at the current run length,
+    /// using the measured `L̂`. `None` until a loss event rate exists.
+    pub fn predicted_duration_stddev(&self) -> Option<f64> {
+        let l = self.loss_event_rate()?;
+        if self.max_slot_seen == 0 {
+            return None;
+        }
+        Some(duration_stddev_model(self.p, self.max_slot_seen as f64, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::ExperimentLog;
+
+    fn outcomes() -> Vec<Outcome> {
+        vec![
+            Outcome::basic(0, 10, false, false),
+            Outcome::basic(1, 50, false, true),
+            Outcome::basic(2, 90, true, false),
+            Outcome::basic(3, 130, true, true),
+            Outcome::extended(4, 200, false, true, true),
+            Outcome::extended(5, 280, false, false, true),
+            Outcome::extended(6, 360, false, true, false),
+            Outcome::extended(7, 440, true, true, true),
+            Outcome::extended(8, 520, true, false, false),
+        ]
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let mut s = StreamingEstimator::new(0.3, 0.005);
+        let mut log = ExperimentLog::new(1_000, 0.005);
+        for o in outcomes() {
+            s.push(&o);
+            log.push(o);
+        }
+        let batch = Estimates::from_log(&log);
+        let stream = s.estimates();
+        assert_eq!(stream.experiments, batch.experiments);
+        assert_eq!(stream.z_sum, batch.z_sum);
+        assert_eq!(stream.r, batch.r);
+        assert_eq!(stream.s, batch.s);
+        assert_eq!(stream.u, batch.u);
+        assert_eq!(stream.v, batch.v);
+        assert_eq!(stream.n111, batch.n111);
+        assert_eq!(stream.duration_slots_pooled(), batch.duration_slots_pooled());
+        assert_eq!(stream.frequency(), batch.frequency());
+        assert_eq!(stream.duration_slots_basic(), batch.duration_slots_basic());
+
+        let vbatch = Validation::from_log(&log);
+        let vstream = s.validation();
+        assert_eq!(vstream.n01, vbatch.n01);
+        assert_eq!(vstream.n10, vbatch.n10);
+        assert_eq!(vstream.n010, vbatch.n010);
+        assert_eq!(vstream.violations(), vbatch.violations());
+    }
+
+    #[test]
+    fn effective_slots_track_probe_span() {
+        let mut s = StreamingEstimator::new(0.5, 0.005);
+        assert!(s.is_empty());
+        s.push(&Outcome::basic(0, 100, false, false));
+        assert_eq!(s.effective_slots(), 102);
+        s.push(&Outcome::extended(1, 500, false, false, false));
+        assert_eq!(s.effective_slots(), 503);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn loss_event_rate_from_boundaries() {
+        let mut s = StreamingEstimator::new(0.5, 0.005);
+        assert_eq!(s.loss_event_rate(), None);
+        // Two 01 boundaries over 1000 effective slots at p = 0.5:
+        // L̂ = 2 / (0.5 × 1002) ≈ 0.004.
+        s.push(&Outcome::basic(0, 400, false, true));
+        s.push(&Outcome::basic(1, 1000, false, true));
+        let l = s.loss_event_rate().unwrap();
+        assert!((l - 2.0 / (0.5 * 1002.0)).abs() < 1e-12, "L̂ = {l}");
+        assert!(s.predicted_duration_stddev().is_some());
+    }
+
+    #[test]
+    fn predicted_stddev_decreases_with_more_data() {
+        let mut s = StreamingEstimator::new(0.5, 0.005);
+        s.push(&Outcome::basic(0, 100, false, true));
+        let early = s.predicted_duration_stddev().unwrap();
+        // Same boundary density, 10× longer run.
+        for i in 1..10u64 {
+            s.push(&Outcome::basic(i, 100 + i * 100, false, true));
+        }
+        let late = s.predicted_duration_stddev().unwrap();
+        assert!(late < early, "sd should shrink: {early} → {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0,1]")]
+    fn rejects_bad_p() {
+        let _ = StreamingEstimator::new(1.5, 0.005);
+    }
+}

@@ -1,0 +1,233 @@
+//! Statistical consistency of the §5 estimators on synthetic congestion.
+//!
+//! These tests bypass the network entirely: congestion is an alternating
+//! renewal process over slots (the exact setting of the paper's
+//! consistency proofs), probes read the true state subject to the §5.2.1
+//! reporting model (`correct with probability p_k, else all-zeros`), and
+//! the estimators must recover the true frequency and mean duration.
+
+use badabing_core::estimator::Estimates;
+use badabing_core::outcome::{ExperimentLog, Outcome};
+use badabing_core::schedule::ExperimentScheduler;
+use badabing_core::validate::Validation;
+use badabing_stats::dist::{Exponential, Sample};
+use badabing_stats::rng::seeded;
+use badabing_stats::runs::EpisodeSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Alternating renewal congestion: episode lengths ~ 1 + Exp(d-1),
+/// gaps ~ 1 + Exp(g-1) (so means are d and g slots).
+fn synthetic_congestion(n_slots: u64, mean_episode: f64, mean_gap: f64, seed: u64) -> Vec<bool> {
+    let mut rng = seeded(seed, "truth");
+    let ep = Exponential::with_mean((mean_episode - 1.0).max(1e-6));
+    let gap = Exponential::with_mean((mean_gap - 1.0).max(1e-6));
+    let mut slots = vec![false; n_slots as usize];
+    let mut t = 0u64;
+    loop {
+        let g = 1 + gap.sample(&mut rng).round() as u64;
+        t += g;
+        if t >= n_slots {
+            break;
+        }
+        let e = 1 + ep.sample(&mut rng).round() as u64;
+        for s in t..(t + e).min(n_slots) {
+            slots[s as usize] = true;
+        }
+        t += e;
+        if t >= n_slots {
+            break;
+        }
+    }
+    slots
+}
+
+/// Apply the §5.2.1 reporting model to the true states of one experiment:
+/// the record is correct with probability `p[k]` (k = number of congested
+/// slots in the true pattern), otherwise it reads all-zeros.
+fn report(true_states: &[bool], p1: f64, p2: f64, rng: &mut StdRng) -> Vec<bool> {
+    let ones = true_states.iter().filter(|&&b| b).count();
+    let p_correct = match ones {
+        0 => 1.0,
+        1 => p1,
+        _ => p2,
+    };
+    if rng.random::<f64>() < p_correct {
+        true_states.to_vec()
+    } else {
+        vec![false; true_states.len()]
+    }
+}
+
+fn run_probes(
+    truth: &[bool],
+    p: f64,
+    improved: bool,
+    p1: f64,
+    p2: f64,
+    seed: u64,
+) -> ExperimentLog {
+    let n_slots = truth.len() as u64;
+    let mut sched = ExperimentScheduler::new(p, improved, seeded(seed, "sched"));
+    let mut rng = seeded(seed, "report");
+    let mut log = ExperimentLog::new(n_slots, 0.005);
+    for e in sched.take_run(n_slots) {
+        if e.start_slot + u64::from(e.probes) > n_slots {
+            continue;
+        }
+        let states: Vec<bool> =
+            e.slots().map(|s| truth[s as usize]).collect();
+        let reported = report(&states, p1, p2, &mut rng);
+        let o = match reported.len() {
+            2 => Outcome::basic(e.id, e.start_slot, reported[0], reported[1]),
+            3 => Outcome::extended(e.id, e.start_slot, reported[0], reported[1], reported[2]),
+            _ => unreachable!(),
+        };
+        log.push(o);
+    }
+    log
+}
+
+#[test]
+fn perfect_probes_recover_frequency_and_duration() {
+    let truth = synthetic_congestion(400_000, 12.0, 600.0, 1);
+    let es = EpisodeSet::from_bools(&truth);
+    let f_true = es.frequency();
+    let d_true = es.mean_duration_slots();
+    let log = run_probes(&truth, 0.3, false, 1.0, 1.0, 2);
+    let est = Estimates::from_log(&log);
+    let f_hat = est.frequency().unwrap();
+    let d_hat = est.duration_slots_basic().unwrap();
+    assert!(
+        (f_hat - f_true).abs() / f_true < 0.08,
+        "frequency: estimated {f_hat}, true {f_true}"
+    );
+    assert!(
+        (d_hat - d_true).abs() / d_true < 0.12,
+        "duration: estimated {d_hat} slots, true {d_true}"
+    );
+}
+
+#[test]
+fn equal_reporting_fidelity_keeps_duration_consistent() {
+    // §5.2.2: with p1 = p2 (< 1), both R and S shrink by the same factor,
+    // so the duration estimator is unaffected; the frequency estimator is
+    // attenuated by exactly p1.
+    let truth = synthetic_congestion(400_000, 10.0, 500.0, 3);
+    let es = EpisodeSet::from_bools(&truth);
+    let d_true = es.mean_duration_slots();
+    let f_true = es.frequency();
+    let log = run_probes(&truth, 0.5, false, 0.6, 0.6, 4);
+    let est = Estimates::from_log(&log);
+    let d_hat = est.duration_slots_basic().unwrap();
+    assert!(
+        (d_hat - d_true).abs() / d_true < 0.15,
+        "duration robust to uniform under-reporting: {d_hat} vs {d_true}"
+    );
+    let f_hat = est.frequency().unwrap();
+    assert!(
+        (f_hat - 0.6 * f_true).abs() / (0.6 * f_true) < 0.15,
+        "frequency attenuates by p1: {f_hat} vs {}",
+        0.6 * f_true
+    );
+}
+
+#[test]
+fn improved_estimator_corrects_unequal_fidelity() {
+    // p1 = 1, p2 = 0.5: mid-episode congestion under-reported. The basic
+    // estimator is biased low; the improved estimator's U/V correction
+    // recovers the true duration.
+    let truth = synthetic_congestion(600_000, 10.0, 400.0, 5);
+    let es = EpisodeSet::from_bools(&truth);
+    let d_true = es.mean_duration_slots();
+    let log = run_probes(&truth, 0.5, true, 1.0, 0.5, 6);
+    let est = Estimates::from_log(&log);
+    let basic = est.duration_slots_basic().unwrap();
+    let improved = est.duration_slots_improved().unwrap();
+    let r_hat = est.r_hat().unwrap();
+    assert!((r_hat - 0.5).abs() < 0.1, "r̂ should estimate p2/p1 = 0.5, got {r_hat}");
+    assert!(
+        (improved - d_true).abs() / d_true < 0.15,
+        "improved {improved} should track true {d_true}"
+    );
+    assert!(
+        (basic - d_true).abs() > (improved - d_true).abs(),
+        "improved ({improved}) must beat basic ({basic}) against true {d_true}"
+    );
+}
+
+#[test]
+fn validation_passes_on_well_behaved_runs() {
+    let truth = synthetic_congestion(400_000, 8.0, 400.0, 7);
+    let log = run_probes(&truth, 0.5, true, 1.0, 1.0, 8);
+    let v = Validation::from_log(&log);
+    assert!(v.passes(0.25), "balanced synthetic run must validate: {v:?}");
+    // Forbidden patterns can only arise from episodes of length 1
+    // separated by exactly one slot — essentially absent at these scales.
+    assert!(v.violation_rate() < 0.02);
+}
+
+#[test]
+fn frequency_estimator_is_unbiased_across_replications() {
+    // Run many short replications and check the *mean* of F̂ lands on F
+    // (unbiasedness, §5.2.2) even though each replication is noisy.
+    let truth = synthetic_congestion(50_000, 10.0, 500.0, 9);
+    let es = EpisodeSet::from_bools(&truth);
+    let f_true = es.frequency();
+    let mut sum = 0.0;
+    let reps = 40;
+    for k in 0..reps {
+        let log = run_probes(&truth, 0.2, false, 1.0, 1.0, 100 + k);
+        sum += Estimates::from_log(&log).frequency().unwrap();
+    }
+    let mean = sum / reps as f64;
+    assert!(
+        (mean - f_true).abs() / f_true < 0.05,
+        "mean F̂ over {reps} reps = {mean}, true {f_true}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random process parameters and probe rates, perfect probing
+    /// recovers duration within a generous tolerance.
+    #[test]
+    fn duration_estimator_is_consistent(
+        p in 0.2f64..0.9,
+        mean_episode in 4.0f64..25.0,
+        mean_gap in 200.0f64..800.0,
+        seed in 0u64..1000,
+    ) {
+        let truth = synthetic_congestion(300_000, mean_episode, mean_gap, seed);
+        let es = EpisodeSet::from_bools(&truth);
+        prop_assume!(es.count() >= 100);
+        let d_true = es.mean_duration_slots();
+        let log = run_probes(&truth, p, false, 1.0, 1.0, seed.wrapping_add(1));
+        let est = Estimates::from_log(&log);
+        let d_hat = est.duration_slots_basic().expect("boundaries observed");
+        prop_assert!(
+            (d_hat - d_true).abs() / d_true < 0.25,
+            "p={p}: estimated {d_hat}, true {d_true}"
+        );
+    }
+
+    /// The frequency estimator is consistent for any probe rate.
+    #[test]
+    fn frequency_estimator_is_consistent(
+        p in 0.1f64..1.0,
+        mean_episode in 4.0f64..25.0,
+        seed in 0u64..1000,
+    ) {
+        let truth = synthetic_congestion(300_000, mean_episode, 400.0, seed);
+        let es = EpisodeSet::from_bools(&truth);
+        prop_assume!(es.frequency() > 0.005);
+        let log = run_probes(&truth, p, false, 1.0, 1.0, seed.wrapping_add(1));
+        let f_hat = Estimates::from_log(&log).frequency().expect("nonempty");
+        prop_assert!(
+            (f_hat - es.frequency()).abs() / es.frequency() < 0.2,
+            "p={p}: estimated {f_hat}, true {}", es.frequency()
+        );
+    }
+}

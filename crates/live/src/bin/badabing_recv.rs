@@ -1,0 +1,40 @@
+//! The live BADABING receiver.
+//!
+//! Collects probe packets for a fixed duration (or until ctrl-C), then
+//! writes the arrival log to JSON for `badabing_report`.
+//!
+//! ```text
+//! badabing_recv --bind 127.0.0.1:9000 --secs 70 \
+//!     [--session 1] [--log receiver.json]
+//! ```
+
+use badabing_live::cli::Flags;
+use badabing_live::persist::ReceiverFile;
+use badabing_live::receiver::{start_receiver, ReceiverConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+const USAGE: &str =
+    "badabing_recv --bind ADDR --secs S [--session N] [--log PATH]";
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    let flags = Flags::parse(USAGE, &[]);
+    let bind: SocketAddr = flags.req("bind");
+    let secs: f64 = flags.req("secs");
+    let session: u32 = flags.opt("session", 1);
+    let log_path = PathBuf::from(flags.opt_str("log", "receiver.json"));
+
+    let handle = start_receiver(ReceiverConfig { bind, session }).await?;
+    eprintln!("listening on {} for {secs}s (session {session}, ctrl-C to stop early)", handle.local_addr());
+
+    tokio::select! {
+        _ = tokio::time::sleep(std::time::Duration::from_secs_f64(secs)) => {}
+        _ = tokio::signal::ctrl_c() => eprintln!("interrupted, writing log"),
+    }
+    let log = handle.stop().await;
+    eprintln!("collected {} packets ({} rejected)", log.packets, log.rejected);
+    ReceiverFile::new(&log).save(&log_path)?;
+    eprintln!("receiver log written to {}", log_path.display());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The live BADABING sender.
+//!
+//! Sends the full probe schedule to a target (a receiver, or an emulator
+//! in front of one), then writes the run manifest — every probe sent plus
+//! the tool configuration — to a JSON file for `badabing_report`.
+//!
+//! ```text
+//! badabing_send --target 127.0.0.1:9000 --secs 60 \
+//!     [--p 0.3] [--improved] [--session 1] [--seed 1] \
+//!     [--manifest manifest.json]
+//! ```
+
+use badabing_core::config::BadabingConfig;
+use badabing_live::cli::Flags;
+use badabing_live::persist::ManifestFile;
+use badabing_live::sender::{run_sender, SenderConfig};
+use badabing_stats::rng::seeded;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+const USAGE: &str = "badabing_send --target ADDR --secs S [--p P] [--improved] \
+                     [--session N] [--seed N] [--bind ADDR] [--manifest PATH]";
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    let flags = Flags::parse(USAGE, &["improved"]);
+    let target: SocketAddr = flags.req("target");
+    let secs: f64 = flags.req("secs");
+    let p: f64 = flags.opt("p", 0.3);
+    let session: u32 = flags.opt("session", 1);
+    let seed: u64 = flags.opt("seed", 1);
+    let bind: SocketAddr = flags.opt("bind", "0.0.0.0:0".parse().expect("static addr"));
+    let manifest_path = PathBuf::from(flags.opt_str("manifest", "manifest.json"));
+
+    let mut tool = BadabingConfig::paper_default(p);
+    if flags.has("improved") {
+        tool = tool.with_improved();
+    }
+    let cfg = SenderConfig {
+        tool,
+        n_slots: (secs / tool.slot_secs).round() as u64,
+        target,
+        bind,
+        session,
+    };
+    eprintln!(
+        "sending to {target}: p={p}, {} slots of {} ms, offered load ≈ {:.0} kb/s",
+        cfg.n_slots,
+        tool.slot_secs * 1000.0,
+        tool.offered_load_bps() / 1000.0
+    );
+    let manifest = run_sender(cfg, seeded(seed, "live-sender")).await?;
+    eprintln!("sent {} packets in {} probes", manifest.packets_sent, manifest.sent.len());
+    ManifestFile::new(tool, &manifest).save(&manifest_path)?;
+    eprintln!("manifest written to {}", manifest_path.display());
+    Ok(())
+}

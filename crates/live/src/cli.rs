@@ -1,0 +1,72 @@
+//! Tiny flag parser shared by the CLI binaries (keeps the dependency
+//! footprint inside the approved crate list).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags (and bare `--switch`es, stored as empty
+/// strings).
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    usage: &'static str,
+}
+
+impl Flags {
+    /// Parse the process arguments. `switches` lists flags that take no
+    /// value. Exits with `usage` on malformed input or `--help`.
+    pub fn parse(usage: &'static str, switches: &[&str]) -> Self {
+        let mut values = HashMap::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                Self::die(usage, &format!("unexpected argument {arg}"));
+            };
+            if key == "help" {
+                println!("usage: {usage}");
+                std::process::exit(0);
+            }
+            if switches.contains(&key) {
+                values.insert(key.to_string(), String::new());
+            } else {
+                let Some(v) = args.next() else {
+                    Self::die(usage, &format!("--{key} needs a value"));
+                };
+                values.insert(key.to_string(), v);
+            }
+        }
+        Self { values, usage }
+    }
+
+    fn die(usage: &str, msg: &str) -> ! {
+        eprintln!("error: {msg}\nusage: {usage}");
+        std::process::exit(2);
+    }
+
+    /// Whether a bare switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// A required value, parsed.
+    pub fn req<T: std::str::FromStr>(&self, key: &str) -> T {
+        match self.values.get(key).map(|v| v.parse::<T>()) {
+            Some(Ok(v)) => v,
+            Some(Err(_)) => Self::die(self.usage, &format!("--{key}: cannot parse value")),
+            None => Self::die(self.usage, &format!("--{key} is required")),
+        }
+    }
+
+    /// An optional value with a default.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.values.get(key).map(|v| v.parse::<T>()) {
+            Some(Ok(v)) => v,
+            Some(Err(_)) => Self::die(self.usage, &format!("--{key}: cannot parse value")),
+            None => default,
+        }
+    }
+
+    /// An optional string value.
+    pub fn opt_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}

@@ -1,0 +1,370 @@
+//! A user-space bottleneck emulator.
+//!
+//! Stands in for the testbed's congested OC3 hop when running the live
+//! tool on a machine pair (or loopback): a UDP forwarder whose admission
+//! decision is governed by a *virtual* drop-tail queue drained at a
+//! configured rate. Real probe bytes and synthetic cross-traffic bytes
+//! share the queue, so probes experience the same loss/delay coupling the
+//! simulator and the real router produce: when the virtual queue is full,
+//! arriving probes are dropped; otherwise they are forwarded after the
+//! queue's current drain time.
+//!
+//! Scripted episodes reproduce the Iperf scenario: at exponential
+//! intervals, synthetic cross traffic at `burst_factor × rate` is poured
+//! into the queue for long enough to cause a loss episode of the
+//! configured duration.
+
+use badabing_stats::dist::{Exponential, Sample};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::oneshot;
+use tokio::time::{Duration, Instant};
+
+/// Emulator configuration.
+#[derive(Debug, Clone)]
+pub struct EmulatorConfig {
+    /// Listen address for incoming probe datagrams.
+    pub bind: SocketAddr,
+    /// Where admitted datagrams are forwarded.
+    pub target: SocketAddr,
+    /// Virtual bottleneck rate in bits per second.
+    pub rate_bps: u64,
+    /// Virtual buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// Mean gap between scripted loss episodes in seconds
+    /// (`f64::INFINITY` disables episodes).
+    pub episode_mean_gap_secs: f64,
+    /// Loss duration of each episode in seconds.
+    pub episode_loss_secs: f64,
+    /// Synthetic overload during an episode, as a multiple of `rate_bps`
+    /// (must be > 1 for episodes to cause loss).
+    pub burst_factor: f64,
+}
+
+impl EmulatorConfig {
+    /// A loopback-scale bottleneck: 20 Mb/s with 100 ms of buffer and
+    /// 68 ms loss episodes every 10 s — the CBR scenario shrunk to what a
+    /// loopback interface comfortably carries.
+    pub fn loopback_default(bind: SocketAddr, target: SocketAddr) -> Self {
+        Self {
+            bind,
+            target,
+            rate_bps: 20_000_000,
+            buffer_bytes: 250_000, // 100 ms at 20 Mb/s
+            episode_mean_gap_secs: 10.0,
+            episode_loss_secs: 0.068,
+            burst_factor: 3.0,
+        }
+    }
+
+    /// Buffer drain time in seconds.
+    pub fn buffer_secs(&self) -> f64 {
+        self.buffer_bytes as f64 * 8.0 / self.rate_bps as f64
+    }
+}
+
+/// Counters published by the emulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmulatorStats {
+    /// Datagrams forwarded.
+    pub forwarded: u64,
+    /// Datagrams dropped at the virtual queue.
+    pub dropped: u64,
+    /// Scripted episodes run.
+    pub episodes: u64,
+}
+
+/// Virtual queue state: occupancy in bytes, drained continuously.
+struct VirtualQueue {
+    depth_bytes: f64,
+    last_update: Instant,
+    rate_bps: f64,
+    capacity_bytes: f64,
+}
+
+impl VirtualQueue {
+    fn drain_to(&mut self, now: Instant) {
+        let elapsed = now.duration_since(self.last_update).as_secs_f64();
+        self.depth_bytes = (self.depth_bytes - elapsed * self.rate_bps / 8.0).max(0.0);
+        self.last_update = now;
+    }
+
+    /// Try to admit `bytes`; returns the drain delay if admitted.
+    fn offer(&mut self, now: Instant, bytes: f64) -> Option<Duration> {
+        self.drain_to(now);
+        if self.depth_bytes + bytes > self.capacity_bytes {
+            return None;
+        }
+        self.depth_bytes += bytes;
+        Some(Duration::from_secs_f64(self.depth_bytes * 8.0 / self.rate_bps))
+    }
+
+    /// Pour synthetic cross-traffic in (overflow simply saturates —
+    /// synthetic packets "dropped" need no accounting).
+    fn inject(&mut self, now: Instant, bytes: f64) {
+        self.drain_to(now);
+        self.depth_bytes = (self.depth_bytes + bytes).min(self.capacity_bytes);
+    }
+
+    #[cfg(test)]
+    fn is_full(&mut self, now: Instant, headroom_bytes: f64) -> bool {
+        self.drain_to(now);
+        self.depth_bytes + headroom_bytes > self.capacity_bytes
+    }
+}
+
+/// A running emulator.
+pub struct Emulator {
+    stop: oneshot::Sender<()>,
+    stats: Arc<Mutex<EmulatorStats>>,
+    local_addr: SocketAddr,
+    forward_task: tokio::task::JoinHandle<()>,
+    episode_task: tokio::task::JoinHandle<()>,
+}
+
+impl Emulator {
+    /// Start the emulator.
+    pub async fn start(cfg: EmulatorConfig, mut rng: StdRng) -> std::io::Result<Self> {
+        assert!(cfg.rate_bps > 0 && cfg.buffer_bytes > 0, "rate and buffer must be positive");
+        let socket = Arc::new(UdpSocket::bind(cfg.bind).await?);
+        let local_addr = socket.local_addr()?;
+        let out = Arc::new(UdpSocket::bind("127.0.0.1:0".parse::<SocketAddr>().unwrap()).await?);
+        out.connect(cfg.target).await?;
+
+        let queue = Arc::new(Mutex::new(VirtualQueue {
+            depth_bytes: 0.0,
+            last_update: Instant::now(),
+            rate_bps: cfg.rate_bps as f64,
+            capacity_bytes: cfg.buffer_bytes as f64,
+        }));
+        let stats = Arc::new(Mutex::new(EmulatorStats::default()));
+        let (stop_tx, mut stop_rx) = oneshot::channel::<()>();
+
+        // Episode scripting: during an episode window, inject overload
+        // every tick so the queue pins at capacity and arrivals drop.
+        let episode_task = {
+            let queue = queue.clone();
+            let stats = stats.clone();
+            let mean_gap = cfg.episode_mean_gap_secs;
+            let loss_secs = cfg.episode_loss_secs;
+            let burst_factor = cfg.burst_factor;
+            let rate_bps = cfg.rate_bps as f64;
+            let fill_secs = cfg.buffer_secs() / (burst_factor - 1.0).max(1e-6);
+            tokio::spawn(async move {
+                if !mean_gap.is_finite() {
+                    return;
+                }
+                let gap = Exponential::with_mean(mean_gap);
+                let tick = Duration::from_millis(1);
+                loop {
+                    let wait = gap.sample(&mut rng);
+                    tokio::time::sleep(Duration::from_secs_f64(wait)).await;
+                    stats.lock().episodes += 1;
+                    let end = Instant::now()
+                        + Duration::from_secs_f64(fill_secs + loss_secs);
+                    // Inject synthetic load based on *elapsed* time, not
+                    // the nominal tick: tokio's timer floor (~1 ms) would
+                    // otherwise silently scale the offered load down and
+                    // the queue might never reach capacity.
+                    let mut last = Instant::now();
+                    while Instant::now() < end {
+                        let now = Instant::now();
+                        let elapsed = now.duration_since(last).as_secs_f64();
+                        last = now;
+                        queue
+                            .lock()
+                            .inject(now, burst_factor * rate_bps * elapsed / 8.0);
+                        tokio::time::sleep(tick).await;
+                    }
+                }
+            })
+        };
+
+        // Forwarding loop: admit or drop, then forward after the queue's
+        // drain delay (per-datagram task keeps the loop non-blocking; FIFO
+        // order holds because drain delays are computed from monotone
+        // queue depths).
+        let forward_task = {
+            let socket = socket.clone();
+            let out = out.clone();
+            let queue = queue.clone();
+            let stats = stats.clone();
+            tokio::spawn(async move {
+                let mut buf = vec![0u8; 65_536];
+                loop {
+                    tokio::select! {
+                        _ = &mut stop_rx => break,
+                        res = socket.recv(&mut buf) => {
+                            let Ok(len) = res else { break };
+                            let now = Instant::now();
+                            let admitted = queue.lock().offer(now, len as f64);
+                            match admitted {
+                                None => stats.lock().dropped += 1,
+                                Some(delay) => {
+                                    stats.lock().forwarded += 1;
+                                    let data = buf[..len].to_vec();
+                                    let out = out.clone();
+                                    tokio::spawn(async move {
+                                        tokio::time::sleep(delay).await;
+                                        let _ = out.send(&data).await;
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Self { stop: stop_tx, stats, local_addr, forward_task, episode_task })
+    }
+
+    /// The address probes should be sent to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> EmulatorStats {
+        *self.stats.lock()
+    }
+
+    /// Stop forwarding and scripting.
+    pub async fn stop(self) -> EmulatorStats {
+        let _ = self.stop.send(());
+        self.episode_task.abort();
+        let _ = self.forward_task.await;
+        let _ = self.episode_task.await;
+        let stats = *self.stats.lock();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_stats::rng::seeded;
+
+    fn local0() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn virtual_queue_admits_and_drains() {
+        let t0 = Instant::now();
+        let mut q = VirtualQueue {
+            depth_bytes: 0.0,
+            last_update: t0,
+            rate_bps: 8_000_000.0, // 1 MB/s
+            capacity_bytes: 10_000.0,
+        };
+        // Admit 5 KB → drain delay 5 ms.
+        let d = q.offer(t0, 5_000.0).expect("admitted");
+        assert!((d.as_secs_f64() - 0.005).abs() < 1e-9);
+        // Another 6 KB does not fit.
+        assert!(q.offer(t0, 6_000.0).is_none());
+        // 4 ms later, 4 KB drained: 6 KB fits now.
+        let t1 = t0 + Duration::from_millis(4);
+        assert!(q.offer(t1, 6_000.0).is_some());
+    }
+
+    #[test]
+    fn virtual_queue_injection_saturates() {
+        let t0 = Instant::now();
+        let mut q = VirtualQueue {
+            depth_bytes: 0.0,
+            last_update: t0,
+            rate_bps: 8_000_000.0,
+            capacity_bytes: 10_000.0,
+        };
+        q.inject(t0, 50_000.0);
+        assert!((q.depth_bytes - 10_000.0).abs() < 1e-9, "clamped at capacity");
+        assert!(q.is_full(t0, 1.0));
+        assert!(q.offer(t0, 100.0).is_none());
+    }
+
+    #[tokio::test]
+    async fn forwards_when_uncongested() {
+        let sink = UdpSocket::bind(local0()).await.unwrap();
+        let target = sink.local_addr().unwrap();
+        let cfg = EmulatorConfig {
+            episode_mean_gap_secs: f64::INFINITY,
+            ..EmulatorConfig::loopback_default(local0(), target)
+        };
+        let emu = Emulator::start(cfg, seeded(1, "emu")).await.unwrap();
+        let sender = UdpSocket::bind(local0()).await.unwrap();
+        for i in 0..20u8 {
+            sender.send_to(&[i; 100], emu.local_addr()).await.unwrap();
+        }
+        let mut got = 0;
+        let mut buf = [0u8; 256];
+        while let Ok(Ok(_)) =
+            tokio::time::timeout(Duration::from_millis(300), sink.recv(&mut buf)).await
+        {
+            got += 1;
+            if got == 20 {
+                break;
+            }
+        }
+        assert_eq!(got, 20);
+        let stats = emu.stop().await;
+        assert_eq!(stats.forwarded, 20);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[tokio::test]
+    async fn small_buffer_drops_bursts() {
+        let sink = UdpSocket::bind(local0()).await.unwrap();
+        let target = sink.local_addr().unwrap();
+        let cfg = EmulatorConfig {
+            rate_bps: 1_000_000, // 125 kB/s
+            buffer_bytes: 3_000,
+            episode_mean_gap_secs: f64::INFINITY,
+            episode_loss_secs: 0.0,
+            burst_factor: 2.0,
+            bind: local0(),
+            target,
+        };
+        let emu = Emulator::start(cfg, seeded(2, "emu")).await.unwrap();
+        let sender = UdpSocket::bind(local0()).await.unwrap();
+        // 20 kB burst into a 3 kB buffer: most must drop.
+        for _ in 0..20 {
+            sender.send_to(&[0u8; 1000], emu.local_addr()).await.unwrap();
+        }
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        let stats = emu.stop().await;
+        assert!(stats.dropped >= 10, "dropped {}", stats.dropped);
+        assert!(stats.forwarded <= 10);
+    }
+
+    #[tokio::test]
+    async fn scripted_episodes_fill_the_queue() {
+        let sink = UdpSocket::bind(local0()).await.unwrap();
+        let target = sink.local_addr().unwrap();
+        let cfg = EmulatorConfig {
+            rate_bps: 10_000_000,
+            buffer_bytes: 50_000,
+            episode_mean_gap_secs: 0.2, // episodes almost immediately
+            episode_loss_secs: 0.3,
+            burst_factor: 4.0,
+            bind: local0(),
+            target,
+        };
+        let emu = Emulator::start(cfg, seeded(3, "emu")).await.unwrap();
+        let sender = UdpSocket::bind(local0()).await.unwrap();
+        // Trickle probes through one second of scripted congestion.
+        let mut dropped_expected = false;
+        for _ in 0..200 {
+            sender.send_to(&[0u8; 200], emu.local_addr()).await.unwrap();
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        let stats = emu.stop().await;
+        if stats.episodes > 0 && stats.dropped > 0 {
+            dropped_expected = true;
+        }
+        assert!(dropped_expected, "episodes {} drops {}", stats.episodes, stats.dropped);
+    }
+}

@@ -1,0 +1,35 @@
+//! The live BADABING tool: real UDP sockets, real timers.
+//!
+//! This crate is the deployment surface the original ~800-line C++ tool
+//! occupied: a one-way active measurement tool that sends fixed-size
+//! probes from a sender to a collaborating receiver, which collects them
+//! and reports loss characteristics after the run (§6).
+//!
+//! * [`sender`] — drives the geometric experiment schedule off a tokio
+//!   slot clock and stamps every packet with a monotonic send time;
+//! * [`receiver`] — collects arrivals, removes clock offset by tracking
+//!   the minimum observed delay (yielding *queueing* delay, which is what
+//!   the α/OWDmax threshold actually needs), and builds per-probe records;
+//! * [`emulator`] — a user-space bottleneck: a UDP forwarder with a
+//!   virtual drop-tail queue drained at a configured rate, plus scripted
+//!   overload episodes — the loopback stand-in for the testbed's OC3 hop;
+//! * [`analyze`] — joins the sender manifest with receiver records and
+//!   runs the shared `badabing-core` detector/estimator pipeline, so the
+//!   live tool and the simulator report through identical code.
+//!
+//! The quickstart wiring (sender → emulator → receiver on loopback) lives
+//! in `examples/live_loopback.rs` at the workspace root and in this
+//! crate's integration tests.
+
+pub mod analyze;
+pub mod cli;
+pub mod emulator;
+pub mod persist;
+pub mod receiver;
+pub mod sender;
+pub mod skew;
+
+pub use analyze::{analyze_run, LiveAnalysis};
+pub use emulator::{Emulator, EmulatorConfig};
+pub use receiver::{ReceiverConfig, ReceiverHandle, ReceiverLog};
+pub use sender::{SenderConfig, SenderManifest, SentProbeInfo};

@@ -1,0 +1,260 @@
+//! JSON persistence for the CLI workflow.
+//!
+//! The standalone binaries exchange results through files: the sender
+//! writes a manifest (what was sent, plus the tool configuration), the
+//! receiver writes its arrival log, and `badabing-report` joins the two.
+//! The receiver alone cannot account for probes whose every packet was
+//! lost — nothing arrives to decode — which is why the manifest is part
+//! of the protocol rather than an optimization.
+
+use crate::receiver::{ArrivalRecord, ReceiverLog};
+use crate::sender::{SenderManifest, SentProbeInfo};
+use badabing_core::config::BadabingConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Serialized form of a sender run: manifest plus the tool configuration
+/// needed to analyze it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestFile {
+    /// Tool parameters the run used (α, τ, slot width, ...).
+    pub tool: BadabingConfig,
+    /// Session id.
+    pub session: u32,
+    /// Total slots (`N`).
+    pub n_slots: u64,
+    /// Slot width in seconds.
+    pub slot_secs: f64,
+    /// Packets transmitted.
+    pub packets_sent: u64,
+    /// Every probe sent.
+    pub probes: Vec<ProbeEntry>,
+}
+
+/// One sent probe (flattened for stable JSON).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProbeEntry {
+    /// Experiment id.
+    pub experiment: u64,
+    /// Targeted slot.
+    pub slot: u64,
+    /// Send time, seconds from the sender's anchor.
+    pub send_time_secs: f64,
+    /// Packets in the probe.
+    pub packets: u8,
+}
+
+/// Serialized form of a receiver run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReceiverFile {
+    /// Packets accepted.
+    pub packets: u64,
+    /// Datagrams rejected.
+    pub rejected: u64,
+    /// Clock-offset estimate used (minimum raw delay, ns).
+    pub min_raw_delay_ns: Option<i64>,
+    /// Per-probe arrival records.
+    pub arrivals: Vec<ArrivalEntry>,
+}
+
+/// One probe's arrival record (flattened map entry).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArrivalEntry {
+    /// Experiment id.
+    pub experiment: u64,
+    /// Slot.
+    pub slot: u64,
+    /// Packets received.
+    pub received: u8,
+    /// Queueing delay of the last arrival, seconds.
+    pub qdelay_last_secs: f64,
+    /// Maximum queueing delay, seconds.
+    pub qdelay_max_secs: f64,
+}
+
+impl ManifestFile {
+    /// Build from an in-memory manifest and the tool configuration.
+    pub fn new(tool: BadabingConfig, manifest: &SenderManifest) -> Self {
+        Self {
+            tool,
+            session: manifest.session,
+            n_slots: manifest.n_slots,
+            slot_secs: manifest.slot_secs,
+            packets_sent: manifest.packets_sent,
+            probes: manifest
+                .sent
+                .iter()
+                .map(|s| ProbeEntry {
+                    experiment: s.experiment,
+                    slot: s.slot,
+                    send_time_secs: s.send_time_secs,
+                    packets: s.packets,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct the in-memory manifest.
+    pub fn to_manifest(&self) -> SenderManifest {
+        SenderManifest {
+            session: self.session,
+            packets_sent: self.packets_sent,
+            n_slots: self.n_slots,
+            slot_secs: self.slot_secs,
+            sent: self
+                .probes
+                .iter()
+                .map(|p| SentProbeInfo {
+                    experiment: p.experiment,
+                    slot: p.slot,
+                    send_time_secs: p.send_time_secs,
+                    packets: p.packets,
+                })
+                .collect(),
+        }
+    }
+
+    /// Write as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        write_json(path, self)
+    }
+
+    /// Read from JSON.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        read_json(path)
+    }
+}
+
+impl ReceiverFile {
+    /// Build from an in-memory log.
+    pub fn new(log: &ReceiverLog) -> Self {
+        let mut arrivals: Vec<ArrivalEntry> = log
+            .arrivals
+            .iter()
+            .map(|(&(experiment, slot), r)| ArrivalEntry {
+                experiment,
+                slot,
+                received: r.received,
+                qdelay_last_secs: r.qdelay_last_secs,
+                qdelay_max_secs: r.qdelay_max_secs,
+            })
+            .collect();
+        arrivals.sort_by_key(|a| (a.experiment, a.slot));
+        Self {
+            packets: log.packets,
+            rejected: log.rejected,
+            min_raw_delay_ns: log.min_raw_delay_ns,
+            arrivals,
+        }
+    }
+
+    /// Reconstruct the in-memory log.
+    pub fn to_log(&self) -> ReceiverLog {
+        let mut arrivals = HashMap::new();
+        for a in &self.arrivals {
+            arrivals.insert(
+                (a.experiment, a.slot),
+                ArrivalRecord {
+                    received: a.received,
+                    qdelay_last_secs: a.qdelay_last_secs,
+                    qdelay_max_secs: a.qdelay_max_secs,
+                },
+            );
+        }
+        ReceiverLog {
+            arrivals,
+            packets: self.packets,
+            rejected: self.rejected,
+            min_raw_delay_ns: self.min_raw_delay_ns,
+        }
+    }
+
+    /// Write as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        write_json(path, self)
+    }
+
+    /// Read from JSON.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        read_json(path)
+    }
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let data = serde_json::to_vec_pretty(value).map_err(std::io::Error::other)?;
+    std::fs::write(path, data)
+}
+
+fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> std::io::Result<T> {
+    let data = std::fs::read(path)?;
+    serde_json::from_slice(&data).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> (BadabingConfig, SenderManifest) {
+        let tool = BadabingConfig::paper_default(0.3);
+        let manifest = SenderManifest {
+            session: 9,
+            packets_sent: 6,
+            n_slots: 1_000,
+            slot_secs: 0.005,
+            sent: vec![
+                SentProbeInfo { experiment: 0, slot: 4, send_time_secs: 0.02, packets: 3 },
+                SentProbeInfo { experiment: 0, slot: 5, send_time_secs: 0.025, packets: 3 },
+            ],
+        };
+        (tool, manifest)
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let dir = std::env::temp_dir().join("badabing-persist-test");
+        let path = dir.join("manifest.json");
+        let (tool, manifest) = sample_manifest();
+        let file = ManifestFile::new(tool, &manifest);
+        file.save(&path).unwrap();
+        let loaded = ManifestFile::load(&path).unwrap();
+        assert_eq!(loaded.session, 9);
+        assert_eq!(loaded.to_manifest().sent, manifest.sent);
+        assert_eq!(loaded.tool.p, 0.3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn receiver_log_roundtrips_through_json() {
+        let dir = std::env::temp_dir().join("badabing-persist-test2");
+        let path = dir.join("receiver.json");
+        let mut log = ReceiverLog {
+            packets: 5,
+            rejected: 1,
+            min_raw_delay_ns: Some(-12345),
+            ..Default::default()
+        };
+        log.arrivals.insert(
+            (0, 4),
+            ArrivalRecord { received: 3, qdelay_last_secs: 0.01, qdelay_max_secs: 0.02 },
+        );
+        let file = ReceiverFile::new(&log);
+        file.save(&path).unwrap();
+        let back = ReceiverFile::load(&path).unwrap().to_log();
+        assert_eq!(back.packets, 5);
+        assert_eq!(back.rejected, 1);
+        assert_eq!(back.min_raw_delay_ns, Some(-12345));
+        assert_eq!(back.arrivals[&(0, 4)].received, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(ManifestFile::load(Path::new("/nonexistent/m.json")).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! The live probe receiver.
+//!
+//! Collects probe packets, computes per-packet delay against its own
+//! monotonic clock, and removes the unknown clock offset by subtracting
+//! the minimum delay observed so far — what remains is queueing delay
+//! above the path minimum, which is exactly the quantity the §6.1
+//! `(1-α)·OWDmax` threshold discriminates on. (§7 discusses clock skew;
+//! over 15-minute runs on one host pair the min-subtraction approach is
+//! the standard trick, and the integration tests exercise it.)
+
+use badabing_wire::{DecodeError, ProbeHeader};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::oneshot;
+use tokio::time::Instant;
+
+/// Receiver configuration.
+#[derive(Debug, Clone)]
+pub struct ReceiverConfig {
+    /// Address to listen on.
+    pub bind: SocketAddr,
+    /// Only accept packets stamped with this session id.
+    pub session: u32,
+}
+
+/// Per-probe arrival record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArrivalRecord {
+    /// Packets of this probe that arrived.
+    pub received: u8,
+    /// Queueing delay (seconds above path minimum) of the most recent
+    /// arrival.
+    pub qdelay_last_secs: f64,
+    /// Maximum queueing delay over the probe's arrivals.
+    pub qdelay_max_secs: f64,
+}
+
+/// Everything the receiver collected.
+#[derive(Debug, Clone, Default)]
+pub struct ReceiverLog {
+    /// Arrival records keyed by (experiment, slot).
+    pub arrivals: HashMap<(u64, u64), ArrivalRecord>,
+    /// Raw packets accepted.
+    pub packets: u64,
+    /// Datagrams rejected (wrong session, undecodable).
+    pub rejected: u64,
+    /// The minimum raw delay used as the clock-offset estimate, in
+    /// nanoseconds (signed: clocks are unrelated across processes).
+    pub min_raw_delay_ns: Option<i64>,
+}
+
+/// Handle to a running receiver: resolve it to stop listening and take
+/// the log.
+pub struct ReceiverHandle {
+    stop: oneshot::Sender<()>,
+    joined: tokio::task::JoinHandle<ReceiverLog>,
+    local_addr: SocketAddr,
+}
+
+impl ReceiverHandle {
+    /// The actual bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop the receiver and collect its log.
+    pub async fn stop(self) -> ReceiverLog {
+        let _ = self.stop.send(());
+        self.joined.await.expect("receiver task panicked")
+    }
+}
+
+/// Start a receiver task; it records until stopped.
+pub async fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
+    let socket = Arc::new(UdpSocket::bind(cfg.bind).await?);
+    let local_addr = socket.local_addr()?;
+    let (stop_tx, mut stop_rx) = oneshot::channel();
+    let anchor = Instant::now();
+
+    let joined = tokio::spawn(async move {
+        let mut log = ReceiverLog::default();
+        // (exp, slot, receive time secs, raw delay ns)
+        let mut raw_delays: Vec<(u64, u64, f64, i64)> = Vec::new();
+        let mut counts: HashMap<(u64, u64), u8> = HashMap::new();
+        let mut buf = vec![0u8; 65_536];
+        loop {
+            tokio::select! {
+                _ = &mut stop_rx => break,
+                res = socket.recv(&mut buf) => {
+                    let Ok(len) = res else { break };
+                    let now = anchor.elapsed();
+                    let now_ns = now.as_nanos() as i64;
+                    match ProbeHeader::decode(&buf[..len]) {
+                        Ok(h) if h.session == cfg.session => {
+                            log.packets += 1;
+                            let raw = now_ns - h.send_ns as i64;
+                            log.min_raw_delay_ns =
+                                Some(log.min_raw_delay_ns.map_or(raw, |m| m.min(raw)));
+                            raw_delays.push((h.experiment, h.slot, now.as_secs_f64(), raw));
+                            *counts.entry((h.experiment, h.slot)).or_default() += 1;
+                        }
+                        Ok(_) | Err(DecodeError::TooShort { .. })
+                        | Err(DecodeError::BadMagic { .. })
+                        | Err(DecodeError::BadFields) => log.rejected += 1,
+                    }
+                }
+            }
+        }
+        // Clock correction happens once, after the run: fit the lower
+        // envelope (offset + skew line, §7) and subtract it. A running
+        // minimum would bias early records upward; min-subtraction alone
+        // would let clock skew masquerade as queueing delay on long runs.
+        let points: Vec<(f64, f64)> =
+            raw_delays.iter().map(|&(_, _, t, raw)| (t, raw as f64 / 1e9)).collect();
+        let baseline = crate::skew::fit_baseline(&points)
+            .unwrap_or(crate::skew::Baseline { offset: 0.0, slope: 0.0 });
+        for (exp, slot, t, raw) in raw_delays {
+            let q = baseline.correct(t, raw as f64 / 1e9);
+            let rec = log.arrivals.entry((exp, slot)).or_default();
+            rec.received = counts.get(&(exp, slot)).copied().unwrap_or(0);
+            rec.qdelay_last_secs = q;
+            rec.qdelay_max_secs = rec.qdelay_max_secs.max(q);
+        }
+        log
+    });
+
+    Ok(ReceiverHandle { stop: stop_tx, joined, local_addr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local0() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[tokio::test]
+    async fn accepts_session_packets_and_rejects_others() {
+        let handle =
+            start_receiver(ReceiverConfig { bind: local0(), session: 42 }).await.unwrap();
+        let target = handle.local_addr();
+        let sock = UdpSocket::bind(local0()).await.unwrap();
+        let good = ProbeHeader {
+            session: 42,
+            experiment: 1,
+            slot: 10,
+            seq: 0,
+            send_ns: 0,
+            idx: 0,
+            probe_len: 2,
+        };
+        let bad_session = ProbeHeader { session: 9, ..good };
+        sock.send_to(&good.encode(100), target).await.unwrap();
+        sock.send_to(&bad_session.encode(100), target).await.unwrap();
+        sock.send_to(b"garbage", target).await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        let log = handle.stop().await;
+        assert_eq!(log.packets, 1);
+        assert_eq!(log.rejected, 2);
+        assert_eq!(log.arrivals.len(), 1);
+        assert_eq!(log.arrivals[&(1, 10)].received, 1);
+    }
+
+    #[tokio::test]
+    async fn offset_removal_yields_relative_queueing_delay() {
+        let handle =
+            start_receiver(ReceiverConfig { bind: local0(), session: 1 }).await.unwrap();
+        let target = handle.local_addr();
+        let sock = UdpSocket::bind(local0()).await.unwrap();
+        // Two packets with send timestamps from an unrelated clock: the
+        // second "left" 50 ms earlier than its arrival spacing implies,
+        // i.e. it queued ~50 ms longer.
+        let base = 1_000_000_000_000u64; // arbitrary foreign clock
+        let h1 = ProbeHeader {
+            session: 1,
+            experiment: 0,
+            slot: 0,
+            seq: 0,
+            send_ns: base,
+            idx: 0,
+            probe_len: 1,
+        };
+        let h2 = ProbeHeader {
+            experiment: 1,
+            slot: 5,
+            seq: 1,
+            send_ns: base, // same stamp, sent 50 ms later in real time
+            ..h1
+        };
+        sock.send_to(&h1.encode(100), target).await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        sock.send_to(&h2.encode(100), target).await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        let log = handle.stop().await;
+        let q1 = log.arrivals[&(0, 0)].qdelay_max_secs;
+        let q2 = log.arrivals[&(1, 5)].qdelay_max_secs;
+        assert!(q1 < 0.01, "first packet defines the baseline, got {q1}");
+        assert!((q2 - 0.05).abs() < 0.03, "second packet ~50 ms of queueing, got {q2}");
+    }
+
+    #[tokio::test]
+    async fn skewed_sender_clock_is_corrected() {
+        // A sender whose clock runs fast by 1% (exaggerated for a 3 s
+        // test; real skews are ppm over hours): send_ns grows 1.01× real
+        // time. Without skew removal the *latest* idle packets would show
+        // negative raw deltas relative to the earliest, or equivalently
+        // early packets would read tens of ms of phantom queueing.
+        let handle =
+            start_receiver(ReceiverConfig { bind: local0(), session: 5 }).await.unwrap();
+        let target = handle.local_addr();
+        let sock = UdpSocket::bind(local0()).await.unwrap();
+        let start = std::time::Instant::now();
+        for i in 0..40u64 {
+            let real_ns = start.elapsed().as_nanos() as u64;
+            let skewed_ns = (real_ns as f64 * 1.01) as u64;
+            let h = ProbeHeader {
+                session: 5,
+                experiment: i,
+                slot: i,
+                seq: i,
+                send_ns: skewed_ns,
+                idx: 0,
+                probe_len: 1,
+            };
+            sock.send_to(&h.encode(64), target).await.unwrap();
+            tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        let log = handle.stop().await;
+        assert_eq!(log.packets, 40);
+        // Every packet is idle; after baseline removal all queueing
+        // delays must be small. (1% over 2 s = 20 ms of drift, so the
+        // naive min-subtraction would report up to ~20 ms on one end.)
+        let max_q = log
+            .arrivals
+            .values()
+            .map(|r| r.qdelay_max_secs)
+            .fold(0.0f64, f64::max);
+        assert!(max_q < 0.008, "residual queueing delay {max_q} after skew removal");
+    }
+
+    #[tokio::test]
+    async fn multi_packet_probe_aggregates() {
+        let handle =
+            start_receiver(ReceiverConfig { bind: local0(), session: 3 }).await.unwrap();
+        let target = handle.local_addr();
+        let sock = UdpSocket::bind(local0()).await.unwrap();
+        for idx in 0..3u8 {
+            let h = ProbeHeader {
+                session: 3,
+                experiment: 8,
+                slot: 2,
+                seq: idx as u64,
+                send_ns: 0,
+                idx,
+                probe_len: 3,
+            };
+            sock.send_to(&h.encode(64), target).await.unwrap();
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        let log = handle.stop().await;
+        assert_eq!(log.arrivals[&(8, 2)].received, 3);
+    }
+}

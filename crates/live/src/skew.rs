@@ -1,0 +1,193 @@
+//! Clock offset and skew removal for one-way delay series.
+//!
+//! §7: "To accurately calculate end-to-end delay for inferring congestion
+//! requires time synchronization of end hosts. While we can trivially
+//! eliminate offset, clock skew is still a concern." Raw receiver-minus-
+//! sender timestamps have the form
+//!
+//! ```text
+//! raw(t) = queueing_delay(t) + C + ρ·t
+//! ```
+//!
+//! with unknown constant offset `C` and relative clock skew `ρ` (tens of
+//! ppm on commodity hardware — ~36 ms/hour at 10 ppm, enough to swamp a
+//! 100 ms queueing signal over a long run). Since `queueing_delay ≥ 0`
+//! and the path is idle at least occasionally, the *lower envelope* of
+//! the raw series is the clock line `C + ρ·t`. [`fit_baseline`]
+//! estimates it with the classic two-window-minima construction (as in
+//! Zhang, Liu & Xia's fixed-segment scheme [38 in the paper]): take the
+//! minimum point of the first and last thirds of the run and pass a line
+//! through them; [`Baseline::correct`] then yields non-negative queueing
+//! delays.
+
+/// A fitted clock baseline `offset + slope·t` (seconds, seconds/second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// Estimated constant offset `C` at `t = 0`, in seconds.
+    pub offset: f64,
+    /// Estimated relative skew `ρ` in seconds per second.
+    pub slope: f64,
+}
+
+impl Baseline {
+    /// Queueing delay implied by a raw delay sample at receiver time `t`.
+    pub fn correct(&self, t: f64, raw: f64) -> f64 {
+        (raw - (self.offset + self.slope * t)).max(0.0)
+    }
+}
+
+/// Fit the lower-envelope clock line to `(receiver time, raw delay)`
+/// points. Returns `None` for an empty input.
+///
+/// Robustness notes:
+/// * with fewer than 8 points, or a run too short to resolve a slope
+///   (< 1 s between the window minima), the slope is pinned to zero and
+///   only the offset (global minimum) is removed — the behaviour of the
+///   simple min-subtraction estimator;
+/// * the fit never reports a baseline above any sample by more than
+///   numerical error, so corrected delays are non-negative by
+///   construction.
+pub fn fit_baseline(points: &[(f64, f64)]) -> Option<Baseline> {
+    if points.is_empty() {
+        return None;
+    }
+    let global_min =
+        points.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
+    let (t_min, t_max) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| (lo.min(t), hi.max(t)));
+
+    if points.len() < 8 || t_max - t_min < 1.0 {
+        return Some(Baseline { offset: global_min, slope: 0.0 });
+    }
+
+    // Minimum point of the first third and of the last third.
+    let span = t_max - t_min;
+    let first_end = t_min + span / 3.0;
+    let last_start = t_max - span / 3.0;
+    let min_in = |lo: f64, hi: f64| -> Option<(f64, f64)> {
+        points
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t <= hi)
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    };
+    let (t1, d1) = min_in(t_min, first_end)?;
+    let (t2, d2) = min_in(last_start, t_max)?;
+    if (t2 - t1).abs() < 1.0 {
+        return Some(Baseline { offset: global_min, slope: 0.0 });
+    }
+    let slope = (d2 - d1) / (t2 - t1);
+    let offset = d1 - slope * t1;
+
+    // Guard: if the fitted line sits above some sample (e.g. both window
+    // minima were congested), lower it to touch the envelope.
+    let undershoot = points
+        .iter()
+        .map(|&(t, d)| d - (offset + slope * t))
+        .fold(f64::INFINITY, f64::min);
+    let offset = if undershoot < 0.0 { offset + undershoot } else { offset };
+    Some(Baseline { offset, slope })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(
+        n: usize,
+        span_secs: f64,
+        offset: f64,
+        skew: f64,
+        congestion: impl Fn(f64) -> f64,
+    ) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * span_secs / n as f64;
+                (t, congestion(t) + offset + skew * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn removes_pure_offset() {
+        // Idle path with one 50 ms congestion bump; offset 5 s, no skew.
+        let pts = synthetic(100, 60.0, 5.0, 0.0, |t| {
+            if (20.0..22.0).contains(&t) {
+                0.05
+            } else {
+                0.0
+            }
+        });
+        let b = fit_baseline(&pts).unwrap();
+        assert!(b.slope.abs() < 1e-9);
+        for &(t, raw) in &pts {
+            let q = b.correct(t, raw);
+            if (20.0..22.0).contains(&t) {
+                assert!((q - 0.05).abs() < 1e-9, "bump read {q}");
+            } else {
+                assert!(q < 1e-9, "idle read {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn removes_linear_skew() {
+        // 20 ppm skew over 10 minutes = 12 ms of drift; idle baseline with
+        // occasional 80 ms congestion bumps.
+        let pts = synthetic(2000, 600.0, -3.0, 20e-6, |t| {
+            if (50.0..52.0).contains(&t) || (400.0..403.0).contains(&t) {
+                0.08
+            } else {
+                0.0005
+            }
+        });
+        let b = fit_baseline(&pts).unwrap();
+        assert!((b.slope - 20e-6).abs() < 2e-6, "slope {}", b.slope);
+        // Congested samples read ~80 ms after correction, idle ~0.5 ms.
+        for &(t, raw) in &pts {
+            let q = b.correct(t, raw);
+            if (50.0..52.0).contains(&t) {
+                assert!((q - 0.08).abs() < 0.005, "congested sample read {q}");
+            } else if !(400.0..403.0).contains(&t) {
+                assert!(q < 0.005, "idle sample read {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_runs_fall_back_to_min_subtraction() {
+        let pts = synthetic(5, 0.5, 2.0, 1e-3, |_| 0.0);
+        let b = fit_baseline(&pts).unwrap();
+        assert_eq!(b.slope, 0.0);
+        let min_corrected =
+            pts.iter().map(|&(t, d)| b.correct(t, d)).fold(f64::INFINITY, f64::min);
+        assert!(min_corrected.abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrected_delays_are_never_negative() {
+        let pts = synthetic(500, 120.0, -7.0, -15e-6, |t| (t.sin().abs()) * 0.05);
+        let b = fit_baseline(&pts).unwrap();
+        for &(t, raw) in &pts {
+            assert!(b.correct(t, raw) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn congested_window_minima_are_guarded() {
+        // Force the first-third minimum to be a congested sample: constant
+        // 50 ms congestion early, idle late. The guard must still keep
+        // every corrected sample non-negative.
+        let pts = synthetic(300, 300.0, 1.0, 10e-6, |t| if t < 120.0 { 0.05 } else { 0.0 });
+        let b = fit_baseline(&pts).unwrap();
+        for &(t, raw) in &pts {
+            assert!(b.correct(t, raw) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(fit_baseline(&[]), None);
+    }
+}

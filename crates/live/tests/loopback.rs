@@ -1,0 +1,82 @@
+//! End-to-end live run on loopback: sender → bottleneck emulator →
+//! receiver, analyzed through the shared `badabing-core` pipeline.
+//!
+//! These tests exercise real sockets and real timers, so the assertions
+//! are deliberately coarse (presence of loss, sane magnitudes) rather
+//! than exact estimates — the precise statistical checks live in the
+//! deterministic simulator tests.
+
+use badabing_core::config::BadabingConfig;
+use badabing_live::analyze::analyze_run;
+use badabing_live::emulator::{Emulator, EmulatorConfig};
+use badabing_live::receiver::{start_receiver, ReceiverConfig};
+use badabing_live::sender::{run_sender, SenderConfig};
+use badabing_stats::rng::seeded;
+use std::net::SocketAddr;
+
+fn local0() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn clean_path_reports_no_congestion() {
+    let session = 0xA1;
+    let receiver = start_receiver(ReceiverConfig { bind: local0(), session }).await.unwrap();
+    let tool = BadabingConfig { slot_secs: 0.005, ..BadabingConfig::paper_default(0.5) };
+    let cfg = SenderConfig {
+        tool,
+        n_slots: 600, // 3 s
+        target: receiver.local_addr(),
+        bind: local0(),
+        session,
+    };
+    let manifest = run_sender(cfg, seeded(1, "clean")).await.unwrap();
+    tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+    let log = receiver.stop().await;
+    assert_eq!(log.rejected, 0);
+    let analysis = analyze_run(&tool, &manifest, &log);
+    assert_eq!(analysis.packets_lost, 0, "loopback without emulator loses nothing");
+    assert_eq!(analysis.frequency(), Some(0.0));
+    assert!(analysis.validation.passes(0.25));
+    assert!(analysis.log.len() > 200, "experiments: {}", analysis.log.len());
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn emulated_bottleneck_produces_loss_episodes() {
+    let session = 0xB2;
+    let receiver = start_receiver(ReceiverConfig { bind: local0(), session }).await.unwrap();
+    let emu_cfg = EmulatorConfig {
+        rate_bps: 10_000_000,
+        buffer_bytes: 125_000,          // 100 ms at 10 Mb/s
+        episode_mean_gap_secs: 1.0,     // dense episodes for a short test
+        episode_loss_secs: 0.120,
+        burst_factor: 4.0,
+        bind: local0(),
+        target: receiver.local_addr(),
+    };
+    let emulator = Emulator::start(emu_cfg, seeded(2, "emu")).await.unwrap();
+    let tool = BadabingConfig { slot_secs: 0.005, ..BadabingConfig::paper_default(0.5) };
+    let cfg = SenderConfig {
+        tool,
+        n_slots: 1_600, // 8 s
+        target: emulator.local_addr(),
+        bind: local0(),
+        session,
+    };
+    let manifest = run_sender(cfg, seeded(3, "probe")).await.unwrap();
+    tokio::time::sleep(std::time::Duration::from_millis(500)).await;
+    let stats = emulator.stop().await;
+    let log = receiver.stop().await;
+    assert!(stats.episodes >= 2, "scripted episodes: {}", stats.episodes);
+    assert!(stats.dropped > 0, "emulator dropped nothing");
+
+    let analysis = analyze_run(&tool, &manifest, &log);
+    assert!(analysis.packets_lost > 0);
+    let f = analysis.frequency().expect("nonempty run");
+    assert!(f > 0.0, "estimated frequency should be positive");
+    // Sanity ceiling: episodes cover well under half the run.
+    assert!(f < 0.5, "estimated frequency {f} implausibly high");
+    if let Some(d) = analysis.duration_secs() {
+        assert!(d > 0.0 && d < 1.0, "duration estimate {d} out of range");
+    }
+}

@@ -1,0 +1,250 @@
+//! Episode-level detection diagnostics.
+//!
+//! The paper evaluates aggregate estimates (frequency, mean duration).
+//! An orthogonal and operationally useful question is *per-episode*
+//! behaviour: of the loss episodes that actually happened, how many did
+//! the tool notice at all, how much congestion did it hallucinate, and
+//! how late does it see an episode's onset? [`EpisodeCoverage`] matches
+//! the marked slots of an experiment log against ground-truth episodes
+//! (with a slot tolerance to absorb boundary rounding) and reports
+//! recall, slot precision and onset error — the quantities a user of the
+//! tool for, say, overlay path selection actually cares about.
+
+use badabing_core::outcome::ExperimentLog;
+use badabing_sim::monitor::GroundTruth;
+
+/// Per-episode detection metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpisodeCoverage {
+    /// Ground-truth episodes in the horizon.
+    pub episodes_total: u64,
+    /// Episodes with at least one marked probe slot inside them
+    /// (± tolerance).
+    pub episodes_detected: u64,
+    /// Episodes that contained at least one *probed* slot — the rest
+    /// were invisible at this probe rate no matter what the detector
+    /// does.
+    pub episodes_probed: u64,
+    /// All marked slots across the log.
+    pub marked_slots: u64,
+    /// Marked slots lying inside some episode (± tolerance).
+    pub marked_in_episode: u64,
+    /// Mean onset error in slots over detected episodes: first marked
+    /// slot minus true start (≥ -tolerance; NaN when none detected).
+    pub mean_onset_error_slots: f64,
+}
+
+impl EpisodeCoverage {
+    /// Fraction of episodes detected.
+    pub fn recall(&self) -> f64 {
+        if self.episodes_total == 0 {
+            1.0
+        } else {
+            self.episodes_detected as f64 / self.episodes_total as f64
+        }
+    }
+
+    /// Fraction of episodes detected among those the probe process
+    /// sampled at all — isolates detector quality from probe sparsity.
+    pub fn recall_given_probed(&self) -> f64 {
+        if self.episodes_probed == 0 {
+            1.0
+        } else {
+            self.episodes_detected as f64 / self.episodes_probed as f64
+        }
+    }
+
+    /// Fraction of marked slots that lie inside real episodes.
+    pub fn precision(&self) -> f64 {
+        if self.marked_slots == 0 {
+            1.0
+        } else {
+            self.marked_in_episode as f64 / self.marked_slots as f64
+        }
+    }
+
+    /// Match `log` against `truth` with the given slot tolerance.
+    pub fn compute(log: &ExperimentLog, truth: &GroundTruth, tolerance_slots: u64) -> Self {
+        let slot_secs = truth.config.slot_secs;
+        // True episodes as (start_slot, end_slot) inclusive, widened by
+        // the tolerance.
+        let episodes: Vec<(u64, u64)> = truth
+            .episodes
+            .iter()
+            .map(|e| {
+                let s = (e.start.as_secs_f64() / slot_secs) as u64;
+                let t = (e.end.as_secs_f64() / slot_secs) as u64;
+                (s.saturating_sub(tolerance_slots), t + tolerance_slots)
+            })
+            .collect();
+
+        // Marked and probed slots from the log.
+        let mut marked: Vec<u64> = Vec::new();
+        let mut probed: Vec<u64> = Vec::new();
+        for o in log.outcomes() {
+            for (k, &st) in o.digits().iter().enumerate() {
+                let slot = o.start_slot + k as u64;
+                probed.push(slot);
+                if st {
+                    marked.push(slot);
+                }
+            }
+        }
+        marked.sort_unstable();
+        marked.dedup();
+        probed.sort_unstable();
+        probed.dedup();
+
+        let in_episode = |slot: u64| -> Option<usize> {
+            episodes
+                .binary_search_by(|&(s, t)| {
+                    if t < slot {
+                        std::cmp::Ordering::Less
+                    } else if s > slot {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .ok()
+        };
+
+        let mut detected = vec![false; episodes.len()];
+        let mut first_marked: Vec<Option<u64>> = vec![None; episodes.len()];
+        let mut marked_in_episode = 0u64;
+        for &slot in &marked {
+            if let Some(i) = in_episode(slot) {
+                marked_in_episode += 1;
+                detected[i] = true;
+                if first_marked[i].is_none() {
+                    first_marked[i] = Some(slot);
+                }
+            }
+        }
+        let mut episode_probed = vec![false; episodes.len()];
+        for &slot in &probed {
+            if let Some(i) = in_episode(slot) {
+                episode_probed[i] = true;
+            }
+        }
+
+        let onset_errors: Vec<f64> = first_marked
+            .iter()
+            .zip(&episodes)
+            .filter_map(|(fm, &(s, _))| {
+                fm.map(|f| f as f64 - (s + tolerance_slots) as f64)
+            })
+            .collect();
+        let mean_onset = if onset_errors.is_empty() {
+            f64::NAN
+        } else {
+            onset_errors.iter().sum::<f64>() / onset_errors.len() as f64
+        };
+
+        Self {
+            episodes_total: episodes.len() as u64,
+            episodes_detected: detected.iter().filter(|&&d| d).count() as u64,
+            episodes_probed: episode_probed.iter().filter(|&&d| d).count() as u64,
+            marked_slots: marked.len() as u64,
+            marked_in_episode,
+            mean_onset_error_slots: mean_onset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_core::outcome::Outcome;
+    use badabing_sim::monitor::{GroundTruthConfig, Monitor};
+    use badabing_sim::time::SimTime;
+
+    /// Ground truth with episodes at slots [100..110] and [400..402]
+    /// (5 ms slots: 0.5–0.55 s and 2.0–2.01 s).
+    fn truth() -> GroundTruth {
+        let mut m = Monitor::default();
+        let pkt = |id| badabing_sim::packet::Packet {
+            id,
+            flow: badabing_sim::packet::FlowId(1),
+            size: 1500,
+            created: SimTime::ZERO,
+            kind: badabing_sim::packet::PacketKind::Udp { seq: id },
+        };
+        m.record(SimTime::from_secs_f64(0.5), badabing_sim::monitor::TraceEvent::Drop, &pkt(0), 0.1);
+        m.record(SimTime::from_secs_f64(0.51), badabing_sim::monitor::TraceEvent::Enqueue, &pkt(1), 0.095);
+        m.record(SimTime::from_secs_f64(0.55), badabing_sim::monitor::TraceEvent::Drop, &pkt(2), 0.1);
+        m.record(SimTime::from_secs_f64(1.0), badabing_sim::monitor::TraceEvent::Depart, &pkt(1), 0.0);
+        m.record(SimTime::from_secs_f64(2.0), badabing_sim::monitor::TraceEvent::Drop, &pkt(3), 0.1);
+        let gt = GroundTruth::extract(&m, 3.0, GroundTruthConfig::default());
+        assert_eq!(gt.episodes.len(), 2);
+        gt
+    }
+
+    fn log_with_marks(marks: &[(u64, bool, bool)]) -> ExperimentLog {
+        let mut log = ExperimentLog::new(600, 0.005);
+        for (i, &(slot, a, b)) in marks.iter().enumerate() {
+            log.push(Outcome::basic(i as u64, slot, a, b));
+        }
+        log
+    }
+
+    #[test]
+    fn full_detection() {
+        // Marks inside both episodes.
+        let log = log_with_marks(&[(104, true, true), (400, true, false), (250, false, false)]);
+        let c = EpisodeCoverage::compute(&log, &truth(), 1);
+        assert_eq!(c.episodes_total, 2);
+        assert_eq!(c.episodes_detected, 2);
+        assert_eq!(c.marked_slots, 3);
+        assert_eq!(c.marked_in_episode, 3);
+        assert!((c.recall() - 1.0).abs() < 1e-12);
+        assert!((c.precision() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_episode_reduces_recall() {
+        let log = log_with_marks(&[(104, true, false)]);
+        let c = EpisodeCoverage::compute(&log, &truth(), 1);
+        assert_eq!(c.episodes_detected, 1);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_marks_reduce_precision() {
+        let log = log_with_marks(&[(104, true, false), (250, true, true)]);
+        let c = EpisodeCoverage::compute(&log, &truth(), 1);
+        assert_eq!(c.marked_slots, 3);
+        assert_eq!(c.marked_in_episode, 1);
+        assert!((c.precision() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probed_but_unmarked_episode_counts_against_detector_only() {
+        // Episode 2 (slot 400) is probed but not marked: recall 0.5,
+        // recall_given_probed 0.5; episode 1 is both.
+        let log = log_with_marks(&[(104, true, true), (400, false, false)]);
+        let c = EpisodeCoverage::compute(&log, &truth(), 1);
+        assert_eq!(c.episodes_probed, 2);
+        assert_eq!(c.episodes_detected, 1);
+        assert!((c.recall_given_probed() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unprobed_episode_is_not_the_detectors_fault() {
+        let log = log_with_marks(&[(104, true, true)]);
+        let c = EpisodeCoverage::compute(&log, &truth(), 1);
+        assert_eq!(c.episodes_probed, 1);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.recall_given_probed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_is_vacuously_precise() {
+        let log = ExperimentLog::new(600, 0.005);
+        let c = EpisodeCoverage::compute(&log, &truth(), 1);
+        assert_eq!(c.marked_slots, 0);
+        assert!((c.precision() - 1.0).abs() < 1e-12);
+        assert_eq!(c.episodes_detected, 0);
+        assert!(c.mean_onset_error_slots.is_nan());
+    }
+}

@@ -1,0 +1,31 @@
+//! Probers wired into the simulator.
+//!
+//! Three probe processes, matching the paper's evaluation:
+//!
+//! * [`zing::ZingProber`] — the Poisson-modulated single-packet prober
+//!   (§4): UDP probes at exponential intervals with fixed mean rate,
+//!   loss inferred from missing sequence numbers, episode durations from
+//!   runs of consecutively lost probes;
+//! * [`badabing::BadabingHarness`] — the paper's tool (§5–§6): geometric
+//!   experiments of two (or three) multi-packet probes, marked by the
+//!   α/τ/OWDmax detector from `badabing-core` and reduced to frequency
+//!   and duration estimates;
+//! * [`fixed::FixedIntervalProber`] — the modified sender used for the
+//!   §6.1 calibration experiments (Figures 7 and 8): probes of `N`
+//!   packets at fixed 10 ms intervals.
+//!
+//! All probers are ordinary simulation nodes; their packets share the
+//! bottleneck with the cross traffic and therefore perturb it exactly the
+//! way real probe traffic would (the effect Figure 8 visualizes).
+
+pub mod badabing;
+pub mod coverage;
+pub mod fixed;
+pub mod report;
+pub mod zing;
+
+pub use badabing::BadabingHarness;
+pub use coverage::EpisodeCoverage;
+pub use fixed::{FixedIntervalProber, ProbeEpisodeStats};
+pub use report::ToolReport;
+pub use zing::{ZingConfig, ZingProber, ZingReport};

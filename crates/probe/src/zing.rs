@@ -1,0 +1,329 @@
+//! The Poisson prober (ZING, §4).
+//!
+//! ZING sends UDP probes at Poisson-modulated intervals with a fixed mean
+//! rate; the receiver logs arrivals and the sender's view of loss comes
+//! from missing sequence numbers. Following §4.2 and the Zhang et al.
+//! definition the paper adopts for it, a ZING *loss episode* is "a series
+//! of consecutive packets (possibly only of length one) that were lost":
+//!
+//! * measured **frequency** is the fraction of probes lost (by PASTA, an
+//!   unbiased estimate of the packet loss probability — which is *not*
+//!   the episode frequency, the root of the tool's bias);
+//! * measured **duration** of an episode is the send-time span of its
+//!   lost-probe run, which is zero for an isolated loss — reproducing the
+//!   "0 (0)" cells of Table 1.
+
+use badabing_sim::node::{Context, Node, NodeId};
+use badabing_sim::packet::{FlowId, Packet, PacketKind};
+use badabing_sim::time::SimDuration;
+use badabing_stats::dist::{Exponential, Sample};
+use badabing_stats::summary::Summary;
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::collections::HashSet;
+
+/// ZING configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ZingConfig {
+    /// Mean probes per second (the paper runs 10 Hz and 20 Hz).
+    pub rate_hz: f64,
+    /// Probe packet size in bytes (256 at 10 Hz, 64 at 20 Hz in §4.2).
+    pub packet_bytes: u32,
+}
+
+impl ZingConfig {
+    /// The paper's 10 Hz / 256-byte configuration.
+    pub fn paper_10hz() -> Self {
+        Self { rate_hz: 10.0, packet_bytes: 256 }
+    }
+
+    /// The paper's 20 Hz / 64-byte configuration.
+    pub fn paper_20hz() -> Self {
+        Self { rate_hz: 20.0, packet_bytes: 64 }
+    }
+
+    /// Offered load in bits per second.
+    pub fn offered_load_bps(&self) -> f64 {
+        self.rate_hz * f64::from(self.packet_bytes) * 8.0
+    }
+
+    /// The rate (probes/second) needed to offer `bps` bits per second at
+    /// this packet size — used to match ZING's load to BADABING's for the
+    /// Table 8 comparison.
+    pub fn with_load_bps(packet_bytes: u32, bps: f64) -> Self {
+        Self { rate_hz: bps / (f64::from(packet_bytes) * 8.0), packet_bytes }
+    }
+}
+
+const TOKEN_SEND: u64 = 0;
+
+/// The sending node; records every (seq, send time).
+pub struct ZingProber {
+    cfg: ZingConfig,
+    flow: FlowId,
+    bottleneck: NodeId,
+    ingress_delay: SimDuration,
+    gap: Exponential,
+    rng: StdRng,
+    sent: Vec<f64>,
+}
+
+impl ZingProber {
+    /// Create a prober for `flow` sending into `bottleneck`.
+    pub fn new(
+        cfg: ZingConfig,
+        flow: FlowId,
+        bottleneck: NodeId,
+        ingress_delay: SimDuration,
+        rng: StdRng,
+    ) -> Self {
+        assert!(cfg.rate_hz > 0.0, "probe rate must be positive");
+        let gap = Exponential::with_rate(cfg.rate_hz);
+        Self { cfg, flow, bottleneck, ingress_delay, gap, rng, sent: Vec::new() }
+    }
+
+    /// Send times of all probes, indexed by sequence number.
+    pub fn sent(&self) -> &[f64] {
+        &self.sent
+    }
+}
+
+impl Node for ZingProber {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        let first = self.gap.sample(&mut self.rng);
+        ctx.set_timer(SimDuration::from_secs_f64(first), TOKEN_SEND);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+        let seq = self.sent.len() as u64;
+        self.sent.push(ctx.now().as_secs_f64());
+        let pkt = Packet {
+            id: ctx.next_packet_id(),
+            flow: self.flow,
+            size: self.cfg.packet_bytes,
+            created: ctx.now(),
+            kind: PacketKind::Udp { seq },
+        };
+        ctx.send(self.bottleneck, pkt, self.ingress_delay);
+        let next = self.gap.sample(&mut self.rng);
+        ctx.set_timer(SimDuration::from_secs_f64(next), TOKEN_SEND);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The receiving node: remembers which sequence numbers arrived and the
+/// one-way delays they experienced (ZING measures "packet delay and loss
+/// in one direction", §4.2).
+#[derive(Default)]
+pub struct ZingReceiver {
+    received: HashSet<u64>,
+    delay: Summary,
+}
+
+impl ZingReceiver {
+    /// New empty receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set of received sequence numbers.
+    pub fn received(&self) -> &HashSet<u64> {
+        &self.received
+    }
+
+    /// One-way delay summary over delivered probes.
+    pub fn delay(&self) -> &Summary {
+        &self.delay
+    }
+}
+
+impl Node for ZingReceiver {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if let PacketKind::Udp { seq } = packet.kind {
+            self.received.insert(seq);
+            self.delay.push(packet.owd_secs(ctx.now()));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// ZING's measurement output.
+#[derive(Debug, Clone)]
+pub struct ZingReport {
+    /// Probes sent.
+    pub sent: u64,
+    /// Probes lost.
+    pub lost: u64,
+    /// Fraction of probes lost — ZING's frequency measure.
+    pub frequency: f64,
+    /// Loss episodes (runs of consecutively lost probes): count.
+    pub episodes: u64,
+    /// Episode durations in seconds (send-time span of each run).
+    pub duration: Summary,
+    /// One-way delay of delivered probes, seconds.
+    pub delay: Summary,
+}
+
+impl ZingReport {
+    /// Compute the report from the sender's send log and the receiver's
+    /// arrival set.
+    pub fn compute(sent_times: &[f64], received: &HashSet<u64>) -> Self {
+        Self::compute_with_delay(sent_times, received, Summary::new())
+    }
+
+    /// Compute the report including the receiver's delay summary.
+    pub fn compute_with_delay(
+        sent_times: &[f64],
+        received: &HashSet<u64>,
+        delay: Summary,
+    ) -> Self {
+        let sent = sent_times.len() as u64;
+        let mut lost = 0u64;
+        let mut episodes = 0u64;
+        let mut duration = Summary::new();
+        let mut run_start: Option<usize> = None;
+        for (i, _t) in sent_times.iter().enumerate() {
+            let ok = received.contains(&(i as u64));
+            if !ok {
+                lost += 1;
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+            } else if let Some(s) = run_start.take() {
+                episodes += 1;
+                duration.push(sent_times[i - 1] - sent_times[s]);
+            }
+        }
+        if let Some(s) = run_start {
+            episodes += 1;
+            duration.push(sent_times[sent_times.len() - 1] - sent_times[s]);
+        }
+        let frequency = if sent == 0 { 0.0 } else { lost as f64 / sent as f64 };
+        Self { sent, lost, frequency, episodes, duration, delay }
+    }
+}
+
+/// Attach a ZING sender/receiver pair to a dumbbell. Returns
+/// `(prober_id, receiver_id)`.
+pub fn attach_zing(
+    db: &mut badabing_sim::topology::Dumbbell,
+    cfg: ZingConfig,
+    flow: FlowId,
+    rng: StdRng,
+) -> (NodeId, NodeId) {
+    let receiver = db.add_node(Box::new(ZingReceiver::new()));
+    db.route_flow(flow, receiver);
+    let bottleneck = db.bottleneck();
+    let ingress = db.ingress_delay();
+    let prober = db.add_node(Box::new(ZingProber::new(cfg, flow, bottleneck, ingress, rng)));
+    (prober, receiver)
+}
+
+/// Extract the [`ZingReport`] after a run.
+pub fn zing_report(
+    sim: &badabing_sim::engine::Simulator,
+    prober: NodeId,
+    receiver: NodeId,
+) -> ZingReport {
+    let sent = sim.node::<ZingProber>(prober).sent();
+    let rx = sim.node::<ZingReceiver>(receiver);
+    ZingReport::compute_with_delay(sent, rx.received(), *rx.delay())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_sim::topology::Dumbbell;
+    use badabing_stats::rng::seeded;
+
+    #[test]
+    fn config_loads() {
+        assert!((ZingConfig::paper_10hz().offered_load_bps() - 20_480.0).abs() < 1e-9);
+        assert!((ZingConfig::paper_20hz().offered_load_bps() - 10_240.0).abs() < 1e-9);
+        let matched = ZingConfig::with_load_bps(600, 864_000.0);
+        assert!((matched.rate_hz - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_on_synthetic_loss_patterns() {
+        // Probes at 0.0, 0.1, ..., 0.9; lose 3,4,5 and 8.
+        let sent: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+        let received: HashSet<u64> =
+            (0..10u64).filter(|s| ![3, 4, 5, 8].contains(s)).collect();
+        let r = ZingReport::compute(&sent, &received);
+        assert_eq!(r.sent, 10);
+        assert_eq!(r.lost, 4);
+        assert_eq!(r.episodes, 2);
+        assert!((r.frequency - 0.4).abs() < 1e-12);
+        // Runs: 3..5 spans 0.2 s; 8 alone spans 0.
+        assert!((r.duration.mean() - 0.1).abs() < 1e-12);
+        assert_eq!(r.duration.min(), 0.0);
+        assert!((r.duration.max() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_loss_run_is_closed() {
+        let sent: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let received: HashSet<u64> = [0u64, 1].into_iter().collect();
+        let r = ZingReport::compute(&sent, &received);
+        assert_eq!(r.episodes, 1);
+        assert!((r.duration.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_loss_means_empty_report() {
+        let sent: Vec<f64> = (0..100).map(|i| i as f64 * 0.05).collect();
+        let received: HashSet<u64> = (0..100u64).collect();
+        let r = ZingReport::compute(&sent, &received);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.episodes, 0);
+        assert_eq!(r.frequency, 0.0);
+        assert_eq!(r.duration.count(), 0);
+        assert_eq!(r.duration.mean(), 0.0);
+    }
+
+    #[test]
+    fn probes_traverse_idle_dumbbell_losslessly() {
+        let mut db = Dumbbell::standard();
+        let (prober, receiver) =
+            attach_zing(&mut db, ZingConfig::paper_10hz(), FlowId(900), seeded(1, "zing"));
+        db.run_for(30.0);
+        // Allow in-flight probes to land.
+        db.run_for(31.0);
+        let r = zing_report(&db.sim, prober, receiver);
+        assert!(r.sent > 200, "sent {}", r.sent);
+        // Rate check: ~10 Hz.
+        assert!((r.sent as f64 / 31.0 - 10.0).abs() < 2.0);
+        assert_eq!(r.lost, 0);
+    }
+
+    #[test]
+    fn poisson_spacing_has_exponential_cv() {
+        let mut db = Dumbbell::standard();
+        let (prober, _) =
+            attach_zing(&mut db, ZingConfig { rate_hz: 100.0, packet_bytes: 64 }, FlowId(900), seeded(5, "zing-cv"));
+        db.run_for(120.0);
+        let sent = db.sim.node::<ZingProber>(prober).sent();
+        let gaps: Vec<f64> = sent.windows(2).map(|w| w[1] - w[0]).collect();
+        let s = Summary::from_slice(&gaps);
+        // Exponential: coefficient of variation = 1.
+        let cv = s.std_dev() / s.mean();
+        assert!((cv - 1.0).abs() < 0.1, "cv {cv}");
+    }
+}

@@ -1,0 +1,149 @@
+//! The event queue.
+//!
+//! Two event kinds suffice for the whole system: a packet delivery to a node
+//! and a node-local timer. Ties in firing time are broken by insertion
+//! sequence number, which makes runs deterministic and preserves the
+//! intuitive "FIFO among simultaneous events" semantics that the
+//! store-and-forward queue relies on.
+
+use crate::node::NodeId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event to be dispatched to a node.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Deliver a packet to the node.
+    Deliver(Packet),
+    /// Fire a node-defined timer carrying an opaque token.
+    Timer(u64),
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    target: NodeId,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of scheduled events, earliest first, FIFO among ties.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` for `target` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, target: NodeId, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, target, event });
+    }
+
+    /// Remove and return the earliest event as `(time, target, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, NodeId, Event)> {
+        self.heap.pop().map(|s| (s.at, s.target, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer_at(q: &mut EventQueue, ns: u64, node: usize, token: u64) {
+        q.push(SimTime::from_nanos(ns), NodeId(node), Event::Timer(token));
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        timer_at(&mut q, 30, 0, 3);
+        timer_at(&mut q, 10, 0, 1);
+        timer_at(&mut q, 20, 0, 2);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, _, e)| match e {
+                Event::Timer(t) => t,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for token in 0..100 {
+            timer_at(&mut q, 5, 0, token);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, _, e)| match e {
+                Event::Timer(t) => t,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        timer_at(&mut q, 42, 1, 0);
+        timer_at(&mut q, 7, 2, 0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+    }
+
+    #[test]
+    fn targets_are_preserved() {
+        let mut q = EventQueue::new();
+        timer_at(&mut q, 1, 9, 0);
+        let (_, target, _) = q.pop().unwrap();
+        assert_eq!(target, NodeId(9));
+    }
+}

@@ -1,0 +1,173 @@
+//! A jittering delay link.
+//!
+//! Adds an independent random delay to every packet, which can reorder
+//! them — deliberately violating the FIFO assumption that §6.1's
+//! formulation of probe-measured congestion relies on ("this formulation
+//! ... assumes that queuing at intermediate routers is FIFO"). Used by
+//! robustness tests to quantify how much delay noise and reordering the
+//! detector tolerates before its estimates drift.
+
+use crate::node::{Context, Node, NodeId};
+use crate::packet::Packet;
+use crate::time::SimDuration;
+use badabing_stats::dist::{Sample, Uniform};
+use rand::rngs::StdRng;
+use std::any::Any;
+
+/// Forwards packets to `next` after `base + U(0, jitter_max)`.
+pub struct JitterLink {
+    next: NodeId,
+    base: SimDuration,
+    jitter: Option<Uniform>,
+    rng: StdRng,
+    forwarded: u64,
+}
+
+impl JitterLink {
+    /// Create a link with the given base delay and maximum jitter.
+    pub fn new(next: NodeId, base: SimDuration, jitter_max: SimDuration, rng: StdRng) -> Self {
+        let jitter = if jitter_max == SimDuration::ZERO {
+            None
+        } else {
+            Some(Uniform::new(0.0, jitter_max.as_secs_f64()))
+        };
+        Self { next, base, jitter, rng, forwarded: 0 }
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Node for JitterLink {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        self.forwarded += 1;
+        let extra = match &self.jitter {
+            Some(u) => SimDuration::from_secs_f64(u.sample(&mut self.rng)),
+            None => SimDuration::ZERO,
+        };
+        ctx.send(self.next, packet, self.base + extra);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::node::CountingSink;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::time::SimTime;
+    use badabing_stats::rng::seeded;
+
+    struct Burst {
+        dst: NodeId,
+        n: u64,
+    }
+    impl Node for Burst {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+        fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+            for i in 0..self.n {
+                let pkt = Packet {
+                    id: ctx.next_packet_id(),
+                    flow: FlowId(1),
+                    size: 100,
+                    created: ctx.now(),
+                    kind: PacketKind::Udp { seq: i },
+                };
+                // Spaced 1 ms apart at the source.
+                ctx.send(self.dst, pkt, SimDuration::from_millis(i));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sink that records arrival order by sequence number.
+    #[derive(Default)]
+    struct OrderSink {
+        seqs: Vec<u64>,
+    }
+    impl Node for OrderSink {
+        fn on_packet(&mut self, packet: Packet, _ctx: &mut Context<'_>) {
+            if let PacketKind::Udp { seq } = packet.kind {
+                self.seqs.push(seq);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_a_fixed_delay_line() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let link = sim.add_node(Box::new(JitterLink::new(
+            sink,
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            seeded(1, "jit"),
+        )));
+        sim.add_node(Box::new(Burst { dst: link, n: 5 }));
+        sim.run_to_completion();
+        let s = sim.node::<CountingSink>(sink);
+        assert_eq!(s.received(), 5);
+        // Last packet: 4 ms source spacing + 10 ms link.
+        assert_eq!(s.last_arrival(), Some(SimTime::from_secs_f64(0.014)));
+        assert_eq!(sim.node::<JitterLink>(link).forwarded(), 5);
+    }
+
+    #[test]
+    fn heavy_jitter_reorders() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_node(Box::new(OrderSink::default()));
+        let link = sim.add_node(Box::new(JitterLink::new(
+            sink,
+            SimDuration::ZERO,
+            SimDuration::from_millis(50), // ≫ 1 ms source spacing
+            seeded(7, "jit-reorder"),
+        )));
+        sim.add_node(Box::new(Burst { dst: link, n: 100 }));
+        sim.run_to_completion();
+        let seqs = &sim.node::<OrderSink>(sink).seqs;
+        assert_eq!(seqs.len(), 100);
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_ne!(seqs, &sorted, "50 ms jitter over 1 ms spacing must reorder");
+    }
+
+    #[test]
+    fn light_jitter_stays_in_bounds() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let link = sim.add_node(Box::new(JitterLink::new(
+            sink,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(2),
+            seeded(9, "jit-bound"),
+        )));
+        sim.add_node(Box::new(Burst { dst: link, n: 1 }));
+        sim.run_to_completion();
+        let t = sim.node::<CountingSink>(sink).last_arrival().unwrap().as_secs_f64();
+        assert!((0.005..0.007).contains(&t), "arrival at {t}");
+    }
+}

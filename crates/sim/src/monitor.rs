@@ -1,0 +1,464 @@
+//! Passive monitoring: the DAG-card stand-in.
+//!
+//! The testbed's ground truth came from optical splitters feeding Endace DAG
+//! capture cards on the ingress and egress of the bottleneck hop; comparing
+//! the two traces identified exactly which packets were lost and what the
+//! queue length was at every instant (§4.1). The simulator can do strictly
+//! better: the bottleneck queue reports every enqueue, drop, and departure
+//! to a [`Monitor`] together with the exact buffer occupancy.
+//!
+//! [`GroundTruth`] then derives the quantities the paper reports:
+//!
+//! * the queue-length time series (Figures 4, 5, 6, 8),
+//! * router-centric loss rate `L/(S+L)` (§3),
+//! * loss episodes — using the paper's delineation rule for bursty traffic:
+//!   an episode is bounded by drops, and consecutive drops belong to the
+//!   same episode only while the queue stays above a high-water delay
+//!   threshold between them (§4.2's "within 10 ms of the maximum" rule),
+//! * the slot-level congestion indicator series that defines the *true*
+//!   episode frequency `F` and mean duration `D` targeted by the estimators.
+
+use crate::packet::{FlowId, Packet};
+use crate::time::SimTime;
+use badabing_stats::{EpisodeSet, SlotSeries};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What happened to a packet at the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Packet admitted to the buffer.
+    Enqueue,
+    /// Packet discarded because the buffer was full.
+    Drop,
+    /// Packet fully serialized onto the output link.
+    Depart,
+}
+
+/// One captured packet event.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the event occurred.
+    pub t: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+    /// The packet's globally unique id.
+    pub packet_id: u64,
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// Whether the packet is probe traffic.
+    pub is_probe: bool,
+    /// Buffer occupancy *after* the event, expressed as drain time in
+    /// seconds (bytes × 8 / link rate) — the y-axis of the paper's queue
+    /// length figures.
+    pub qdelay_secs: f64,
+}
+
+/// Captures the bottleneck's packet-level event stream.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    records: Vec<TraceRecord>,
+    drops: u64,
+    departs: u64,
+    enqueues: u64,
+    probe_drops: u64,
+}
+
+/// Shared handle to a [`Monitor`]; held by the bottleneck queue and by the
+/// experiment harness (the simulator is single-threaded, so `Rc<RefCell>`
+/// is the right tool).
+pub type MonitorHandle = Rc<RefCell<Monitor>>;
+
+impl Monitor {
+    /// A new, empty monitor behind a shared handle.
+    pub fn new_handle() -> MonitorHandle {
+        Rc::new(RefCell::new(Monitor::default()))
+    }
+
+    /// Record one event.
+    pub fn record(&mut self, t: SimTime, event: TraceEvent, pkt: &Packet, qdelay_secs: f64) {
+        match event {
+            TraceEvent::Enqueue => self.enqueues += 1,
+            TraceEvent::Drop => {
+                self.drops += 1;
+                if pkt.kind.is_probe() {
+                    self.probe_drops += 1;
+                }
+            }
+            TraceEvent::Depart => self.departs += 1,
+        }
+        self.records.push(TraceRecord {
+            t,
+            event,
+            packet_id: pkt.id,
+            flow: pkt.flow,
+            size: pkt.size,
+            is_probe: pkt.kind.is_probe(),
+            qdelay_secs,
+        });
+    }
+
+    /// All captured records, in event order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Packets dropped at the bottleneck.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Probe packets dropped at the bottleneck.
+    pub fn probe_drops(&self) -> u64 {
+        self.probe_drops
+    }
+
+    /// Packets fully transmitted.
+    pub fn departs(&self) -> u64 {
+        self.departs
+    }
+
+    /// Packets admitted to the buffer.
+    pub fn enqueues(&self) -> u64 {
+        self.enqueues
+    }
+
+    /// Router-centric loss rate `L / (S + L)` (§3), with `S` the number of
+    /// successfully transmitted packets.
+    pub fn router_loss_rate(&self) -> f64 {
+        let total = self.drops + self.departs;
+        if total == 0 {
+            0.0
+        } else {
+            self.drops as f64 / total as f64
+        }
+    }
+
+    /// Discard all captured state (for long runs that only need counters
+    /// going forward).
+    pub fn clear_records(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// Parameters controlling ground-truth episode extraction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GroundTruthConfig {
+    /// Slot width in seconds for the congestion-indicator series (the
+    /// paper's discretization, default 5 ms).
+    pub slot_secs: f64,
+    /// Queue drain-time capacity in seconds (the "100 milliseconds of
+    /// packets" the testbed buffer held).
+    pub queue_capacity_secs: f64,
+    /// Fraction of capacity above which the queue counts as "at the
+    /// high-water mark" when bridging consecutive drops into one episode
+    /// (the paper used within 10 ms of a 100 ms maximum, i.e. 0.9).
+    pub highwater_frac: f64,
+}
+
+impl Default for GroundTruthConfig {
+    fn default() -> Self {
+        Self { slot_secs: 0.005, queue_capacity_secs: 0.1, highwater_frac: 0.9 }
+    }
+}
+
+/// A loss episode in continuous time, bounded by packet drops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossEpisode {
+    /// Time of the first drop of the episode.
+    pub start: SimTime,
+    /// Time of the last drop of the episode.
+    pub end: SimTime,
+    /// Number of packets dropped during the episode.
+    pub drops: u64,
+}
+
+impl LossEpisode {
+    /// Episode duration in seconds (zero for an isolated single drop).
+    pub fn duration_secs(&self) -> f64 {
+        self.end.since(self.start).as_secs_f64()
+    }
+}
+
+/// Ground truth derived from a monitor trace over `[0, horizon)`.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Extraction parameters used.
+    pub config: GroundTruthConfig,
+    /// Continuous-time loss episodes.
+    pub episodes: Vec<LossEpisode>,
+    /// Slot-level congestion indicators (true episode coverage).
+    pub congested: EpisodeSet,
+    /// Per-slot maximum queue drain time in seconds.
+    pub qdelay: SlotSeries,
+    /// Router-centric loss rate over the horizon.
+    pub router_loss_rate: f64,
+}
+
+impl GroundTruth {
+    /// Extract ground truth from `monitor` for a run of length
+    /// `horizon_secs`.
+    pub fn extract(monitor: &Monitor, horizon_secs: f64, config: GroundTruthConfig) -> Self {
+        let n_slots = (horizon_secs / config.slot_secs).round() as usize;
+        let mut qdelay = SlotSeries::new(n_slots, config.slot_secs);
+        for r in monitor.records() {
+            qdelay.record_max(r.t.as_secs_f64(), r.qdelay_secs);
+        }
+
+        let highwater = config.highwater_frac * config.queue_capacity_secs;
+        let mut episodes: Vec<LossEpisode> = Vec::new();
+        let mut current: Option<LossEpisode> = None;
+        // Tracks the minimum queue delay observed since the previous drop;
+        // if the queue sagged below the high-water mark between two drops,
+        // they belong to different episodes (the aggregate demand fell
+        // below capacity in between — the paper's §3 episode-end rule).
+        let mut min_qdelay_since_drop = f64::INFINITY;
+        for r in monitor.records() {
+            if r.t.as_secs_f64() >= horizon_secs {
+                break;
+            }
+            match r.event {
+                TraceEvent::Drop => {
+                    match current.as_mut() {
+                        Some(ep) if min_qdelay_since_drop >= highwater => {
+                            ep.end = r.t;
+                            ep.drops += 1;
+                        }
+                        Some(ep) => {
+                            episodes.push(*ep);
+                            current = Some(LossEpisode { start: r.t, end: r.t, drops: 1 });
+                        }
+                        None => {
+                            current = Some(LossEpisode { start: r.t, end: r.t, drops: 1 });
+                        }
+                    }
+                    min_qdelay_since_drop = f64::INFINITY;
+                }
+                TraceEvent::Enqueue | TraceEvent::Depart => {
+                    min_qdelay_since_drop = min_qdelay_since_drop.min(r.qdelay_secs);
+                }
+            }
+        }
+        if let Some(ep) = current {
+            episodes.push(ep);
+        }
+
+        // Slot indicator: a slot is congested if it overlaps an episode.
+        let mut slots = vec![false; n_slots];
+        for ep in &episodes {
+            let first = (ep.start.as_secs_f64() / config.slot_secs) as usize;
+            let last = (ep.end.as_secs_f64() / config.slot_secs) as usize;
+            for s in slots.iter_mut().take(last.min(n_slots - 1) + 1).skip(first.min(n_slots)) {
+                *s = true;
+            }
+        }
+        let congested = EpisodeSet::from_bools(&slots);
+
+        Self {
+            config,
+            episodes,
+            congested,
+            qdelay,
+            router_loss_rate: monitor.router_loss_rate(),
+        }
+    }
+
+    /// True episode frequency `F`: fraction of congested slots.
+    pub fn frequency(&self) -> f64 {
+        self.congested.frequency()
+    }
+
+    /// True mean episode duration in seconds, from continuous-time episodes
+    /// (one slot width is added to close the half-open drop interval, so an
+    /// isolated drop contributes one slot rather than zero).
+    pub fn mean_duration_secs(&self) -> f64 {
+        if self.episodes.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .episodes
+            .iter()
+            .map(|e| e.duration_secs() + self.config.slot_secs)
+            .sum();
+        total / self.episodes.len() as f64
+    }
+
+    /// Mean loss-free period between consecutive episodes, in seconds
+    /// (zero with fewer than two episodes).
+    pub fn mean_loss_free_secs(&self) -> f64 {
+        if self.episodes.len() < 2 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .episodes
+            .windows(2)
+            .map(|w| w[1].start.since(w[0].end).as_secs_f64())
+            .sum();
+        total / (self.episodes.len() - 1) as f64
+    }
+
+    /// Standard deviation of episode durations in seconds.
+    pub fn std_duration_secs(&self) -> f64 {
+        if self.episodes.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_duration_secs();
+        let var = self
+            .episodes
+            .iter()
+            .map(|e| {
+                let d = e.duration_secs() + self.config.slot_secs - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.episodes.len() as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn pkt(id: u64, probe: bool) -> Packet {
+        Packet {
+            id,
+            flow: FlowId(if probe { 99 } else { 1 }),
+            size: 1500,
+            created: SimTime::ZERO,
+            kind: if probe {
+                PacketKind::Probe { experiment: 0, slot: 0, idx: 0, probe_len: 1, seq: id }
+            } else {
+                PacketKind::Udp { seq: id }
+            },
+        }
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn counters_and_loss_rate() {
+        let mut m = Monitor::default();
+        m.record(t(0.0), TraceEvent::Enqueue, &pkt(0, false), 0.01);
+        m.record(t(0.1), TraceEvent::Depart, &pkt(0, false), 0.0);
+        m.record(t(0.2), TraceEvent::Drop, &pkt(1, false), 0.1);
+        m.record(t(0.3), TraceEvent::Drop, &pkt(2, true), 0.1);
+        assert_eq!(m.enqueues(), 1);
+        assert_eq!(m.departs(), 1);
+        assert_eq!(m.drops(), 2);
+        assert_eq!(m.probe_drops(), 1);
+        assert!((m.router_loss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_monitor_loss_rate_is_zero() {
+        assert_eq!(Monitor::default().router_loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn drops_bridged_while_queue_stays_high() {
+        let mut m = Monitor::default();
+        // Queue rises, a cluster of drops with queue pinned at capacity.
+        m.record(t(0.010), TraceEvent::Enqueue, &pkt(0, false), 0.095);
+        m.record(t(0.020), TraceEvent::Drop, &pkt(1, false), 0.100);
+        m.record(t(0.025), TraceEvent::Enqueue, &pkt(2, false), 0.099);
+        m.record(t(0.040), TraceEvent::Drop, &pkt(3, false), 0.100);
+        // Queue drains well below high water, then a second episode.
+        m.record(t(0.100), TraceEvent::Depart, &pkt(0, false), 0.020);
+        m.record(t(0.300), TraceEvent::Drop, &pkt(4, false), 0.100);
+        let gt = GroundTruth::extract(&m, 1.0, GroundTruthConfig::default());
+        assert_eq!(gt.episodes.len(), 2);
+        assert_eq!(gt.episodes[0].drops, 2);
+        assert!((gt.episodes[0].duration_secs() - 0.020).abs() < 1e-9);
+        assert_eq!(gt.episodes[1].drops, 1);
+        assert_eq!(gt.episodes[1].duration_secs(), 0.0);
+    }
+
+    #[test]
+    fn isolated_drop_counts_one_slot() {
+        let mut m = Monitor::default();
+        m.record(t(0.0521), TraceEvent::Drop, &pkt(0, false), 0.1);
+        let gt = GroundTruth::extract(&m, 1.0, GroundTruthConfig::default());
+        assert_eq!(gt.episodes.len(), 1);
+        assert_eq!(gt.congested.count(), 1);
+        assert_eq!(gt.congested.congested_slots(), 1);
+        // Frequency: 1 congested slot of 200.
+        assert!((gt.frequency() - 1.0 / 200.0).abs() < 1e-12);
+        assert!((gt.mean_duration_secs() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_indicator_covers_episode_span() {
+        let mut m = Monitor::default();
+        m.record(t(0.010), TraceEvent::Drop, &pkt(0, false), 0.1);
+        m.record(t(0.011), TraceEvent::Enqueue, &pkt(1, false), 0.099);
+        m.record(t(0.032), TraceEvent::Drop, &pkt(2, false), 0.1);
+        let gt = GroundTruth::extract(&m, 0.1, GroundTruthConfig::default());
+        // Episode spans 10ms..32ms → slots 2..=6 congested.
+        assert_eq!(gt.congested.count(), 1);
+        assert_eq!(gt.congested.episodes()[0].start, 2);
+        assert_eq!(gt.congested.episodes()[0].end, 7);
+    }
+
+    #[test]
+    fn qdelay_series_tracks_maxima() {
+        let mut m = Monitor::default();
+        m.record(t(0.001), TraceEvent::Enqueue, &pkt(0, false), 0.02);
+        m.record(t(0.002), TraceEvent::Enqueue, &pkt(1, false), 0.05);
+        m.record(t(0.007), TraceEvent::Depart, &pkt(0, false), 0.03);
+        let gt = GroundTruth::extract(&m, 0.02, GroundTruthConfig::default());
+        assert_eq!(gt.qdelay.len(), 4);
+        assert!((gt.qdelay.values()[0] - 0.05).abs() < 1e-12);
+        assert!((gt.qdelay.values()[1] - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_free_period_between_episodes() {
+        let mut m = Monitor::default();
+        m.record(t(0.10), TraceEvent::Drop, &pkt(0, false), 0.1);
+        m.record(t(0.50), TraceEvent::Drop, &pkt(1, false), 0.1);
+        m.record(t(1.10), TraceEvent::Drop, &pkt(2, false), 0.1);
+        // Queue drains to zero between the drops → three episodes with
+        // gaps of 0.4 and 0.6 s: mean 0.5.
+        m.record(t(0.2), TraceEvent::Depart, &pkt(0, false), 0.0);
+        m.record(t(0.6), TraceEvent::Depart, &pkt(1, false), 0.0);
+        let mut records = std::mem::take(&mut m.records);
+        records.sort_by_key(|r| r.t);
+        m.records = records;
+        let gt = GroundTruth::extract(&m, 2.0, GroundTruthConfig::default());
+        assert_eq!(gt.episodes.len(), 3);
+        assert!((gt.mean_loss_free_secs() - 0.5).abs() < 1e-9);
+        // Single episode → zero.
+        let mut m2 = Monitor::default();
+        m2.record(t(0.1), TraceEvent::Drop, &pkt(0, false), 0.1);
+        let gt2 = GroundTruth::extract(&m2, 1.0, GroundTruthConfig::default());
+        assert_eq!(gt2.mean_loss_free_secs(), 0.0);
+    }
+
+    #[test]
+    fn events_beyond_horizon_are_ignored_for_episodes() {
+        let mut m = Monitor::default();
+        m.record(t(0.5), TraceEvent::Drop, &pkt(0, false), 0.1);
+        m.record(t(2.0), TraceEvent::Drop, &pkt(1, false), 0.1);
+        let gt = GroundTruth::extract(&m, 1.0, GroundTruthConfig::default());
+        assert_eq!(gt.episodes.len(), 1);
+    }
+
+    #[test]
+    fn no_drops_means_no_episodes() {
+        let mut m = Monitor::default();
+        m.record(t(0.1), TraceEvent::Enqueue, &pkt(0, false), 0.01);
+        m.record(t(0.2), TraceEvent::Depart, &pkt(0, false), 0.0);
+        let gt = GroundTruth::extract(&m, 1.0, GroundTruthConfig::default());
+        assert!(gt.episodes.is_empty());
+        assert_eq!(gt.frequency(), 0.0);
+        assert_eq!(gt.mean_duration_secs(), 0.0);
+        assert_eq!(gt.std_duration_secs(), 0.0);
+    }
+}

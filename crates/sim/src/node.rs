@@ -1,0 +1,211 @@
+//! The component model: nodes and their dispatch context.
+//!
+//! Every active element — traffic source, sink, router queue, prober — is a
+//! [`Node`]. The engine owns all nodes and dispatches events to them one at
+//! a time; a node reacts by mutating its own state and emitting new events
+//! through the borrowed [`Context`]. Emitted events are buffered in the
+//! context and flushed into the global queue after the handler returns, so a
+//! node never needs (and never gets) a reference to another node.
+
+use crate::event::Event;
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Index of a node within the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Handler context passed to nodes during dispatch.
+///
+/// Provides the current virtual time, packet-id allocation, and event
+/// emission. All emissions are relative to the node receiving the dispatch
+/// (`self_id`) unless an explicit target is given.
+pub struct Context<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    next_packet_id: &'a mut u64,
+    out: &'a mut Vec<(SimTime, NodeId, Event)>,
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        self_id: NodeId,
+        next_packet_id: &'a mut u64,
+        out: &'a mut Vec<(SimTime, NodeId, Event)>,
+    ) -> Self {
+        Self { now, self_id, next_packet_id, out }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node currently being dispatched.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Allocate a globally unique packet id.
+    pub fn next_packet_id(&mut self) -> u64 {
+        let id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        id
+    }
+
+    /// Deliver `packet` to node `to` after `delay`.
+    pub fn send(&mut self, to: NodeId, packet: Packet, delay: SimDuration) {
+        self.out.push((self.now + delay, to, Event::Deliver(packet)));
+    }
+
+    /// Fire `Timer(token)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.out.push((self.now + delay, self.self_id, Event::Timer(token)));
+    }
+
+    /// Fire `Timer(token)` on this node at absolute time `at` (must not be
+    /// in the past).
+    ///
+    /// # Panics
+    /// Panics if `at < now`.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        assert!(at >= self.now, "timer scheduled in the past: {at} < {}", self.now);
+        self.out.push((at, self.self_id, Event::Timer(token)));
+    }
+}
+
+/// An active simulation component.
+pub trait Node: Any {
+    /// Called once when the simulation starts, before any event fires.
+    /// Nodes schedule their initial timers here. Default: no-op.
+    fn start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// A packet has arrived at this node.
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>);
+
+    /// A timer set by this node has fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {}
+
+    /// Downcast support so harnesses can extract results after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A sink that counts and remembers the packets it receives. Useful as a
+/// flow terminator and in tests.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    received: u64,
+    bytes: u64,
+    last_arrival: Option<SimTime>,
+}
+
+impl CountingSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets received so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Bytes received so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Arrival time of the most recent packet.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+}
+
+impl Node for CountingSink {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        self.received += 1;
+        self.bytes += u64::from(packet.size);
+        self.last_arrival = Some(ctx.now());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind};
+
+    #[test]
+    fn context_allocates_monotonic_packet_ids() {
+        let mut next = 5u64;
+        let mut out = Vec::new();
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), &mut next, &mut out);
+        assert_eq!(ctx.next_packet_id(), 5);
+        assert_eq!(ctx.next_packet_id(), 6);
+        assert_eq!(next, 7);
+    }
+
+    #[test]
+    fn context_buffers_emissions() {
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        let mut ctx =
+            Context::new(SimTime::from_nanos(100), NodeId(3), &mut next, &mut out);
+        ctx.set_timer(SimDuration::from_nanos(10), 42);
+        let pkt = Packet {
+            id: 0,
+            flow: FlowId(0),
+            size: 100,
+            created: ctx.now(),
+            kind: PacketKind::Udp { seq: 0 },
+        };
+        ctx.send(NodeId(9), pkt, SimDuration::from_nanos(5));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, SimTime::from_nanos(110));
+        assert_eq!(out[0].1, NodeId(3));
+        assert_eq!(out[1].0, SimTime::from_nanos(105));
+        assert_eq!(out[1].1, NodeId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn absolute_timer_in_past_panics() {
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        let mut ctx =
+            Context::new(SimTime::from_nanos(100), NodeId(0), &mut next, &mut out);
+        ctx.set_timer_at(SimTime::from_nanos(50), 0);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        let mut ctx = Context::new(SimTime::from_nanos(7), NodeId(0), &mut next, &mut out);
+        let pkt = Packet {
+            id: 0,
+            flow: FlowId(1),
+            size: 1500,
+            created: SimTime::ZERO,
+            kind: PacketKind::Udp { seq: 0 },
+        };
+        sink.on_packet(pkt, &mut ctx);
+        sink.on_packet(pkt, &mut ctx);
+        assert_eq!(sink.received(), 2);
+        assert_eq!(sink.bytes(), 3000);
+        assert_eq!(sink.last_arrival(), Some(SimTime::from_nanos(7)));
+    }
+}

@@ -1,0 +1,455 @@
+//! The bottleneck: a store-and-forward drop-tail FIFO.
+//!
+//! Models the congested OC3 output queue at hop C of the testbed (Figure 3):
+//! a byte-bounded buffer drained at the link rate, dropping arrivals that
+//! would overflow it. Loss episodes begin exactly when aggregate demand has
+//! kept the buffer full (§3, Figure 2) — no abstraction sits between the
+//! traffic and the loss process, which is the property the laboratory
+//! testbed was chosen for.
+
+use crate::monitor::{MonitorHandle, TraceEvent};
+use crate::node::{Context, Node, NodeId};
+use crate::packet::Packet;
+use crate::time::SimDuration;
+use std::any::Any;
+use std::collections::VecDeque;
+
+const TOKEN_TX_DONE: u64 = 0;
+
+/// A drop-tail FIFO queue serving packets at a fixed link rate, forwarding
+/// departures to a downstream node after a fixed propagation delay.
+pub struct DropTailQueue {
+    rate_bps: u64,
+    capacity_bytes: u64,
+    next_hop: NodeId,
+    prop_delay: SimDuration,
+    /// Buffer-allocation particle size: every packet occupies a whole
+    /// number of cells of this many bytes. Models router line cards (the
+    /// testbed's Cisco GSR) that carve buffers into fixed particles — the
+    /// paper chose 600-byte probes precisely because they consume as much
+    /// GSR buffer as a maximum-sized frame (§6.1 footnote). `1` gives
+    /// exact byte accounting.
+    cell_bytes: u32,
+    buf: VecDeque<Packet>,
+    /// Wire bytes queued (determines drain time and queueing delay).
+    buf_bytes: u64,
+    /// Cell bytes allocated (determines admission/drop).
+    buf_cells_bytes: u64,
+    busy: bool,
+    monitor: Option<MonitorHandle>,
+}
+
+impl DropTailQueue {
+    /// Create a queue serving at `rate_bps` with `capacity_bytes` of
+    /// buffer, forwarding to `next_hop` after `prop_delay`.
+    ///
+    /// # Panics
+    /// Panics if the rate or capacity is zero.
+    pub fn new(
+        rate_bps: u64,
+        capacity_bytes: u64,
+        next_hop: NodeId,
+        prop_delay: SimDuration,
+    ) -> Self {
+        assert!(rate_bps > 0, "link rate must be positive");
+        assert!(capacity_bytes > 0, "buffer capacity must be positive");
+        Self {
+            rate_bps,
+            capacity_bytes,
+            next_hop,
+            prop_delay,
+            cell_bytes: 1,
+            buf: VecDeque::new(),
+            buf_bytes: 0,
+            buf_cells_bytes: 0,
+            busy: false,
+            monitor: None,
+        }
+    }
+
+    /// Attach a passive monitor (the DAG-card stand-in).
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Use particle-based buffer accounting with the given cell size.
+    ///
+    /// # Panics
+    /// Panics if `cell_bytes` is zero.
+    pub fn with_cell_bytes(mut self, cell_bytes: u32) -> Self {
+        assert!(cell_bytes > 0, "cell size must be positive");
+        self.cell_bytes = cell_bytes;
+        self
+    }
+
+    /// Buffer bytes a packet of `size` wire bytes occupies.
+    fn alloc_bytes(&self, size: u32) -> u64 {
+        u64::from(size.div_ceil(self.cell_bytes)) * u64::from(self.cell_bytes)
+    }
+
+    /// Buffer capacity expressed as drain time in seconds.
+    pub fn capacity_secs(&self) -> f64 {
+        self.capacity_bytes as f64 * 8.0 / self.rate_bps as f64
+    }
+
+    /// Current occupancy expressed as drain time in seconds.
+    pub fn occupancy_secs(&self) -> f64 {
+        self.buf_bytes as f64 * 8.0 / self.rate_bps as f64
+    }
+
+    /// Current occupancy in bytes.
+    pub fn occupancy_bytes(&self) -> u64 {
+        self.buf_bytes
+    }
+
+    /// The configured service rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    fn trace(&self, ctx: &Context<'_>, event: TraceEvent, pkt: &Packet) {
+        if let Some(m) = &self.monitor {
+            m.borrow_mut().record(ctx.now(), event, pkt, self.occupancy_secs());
+        }
+    }
+
+    fn start_tx(&mut self, ctx: &mut Context<'_>) {
+        let front = self.buf.front().expect("start_tx on empty queue");
+        let tx = SimDuration::transmission(front.size, self.rate_bps);
+        self.busy = true;
+        ctx.set_timer(tx, TOKEN_TX_DONE);
+    }
+}
+
+impl Node for DropTailQueue {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if self.buf_cells_bytes + self.alloc_bytes(packet.size) > self.capacity_bytes {
+            self.trace(ctx, TraceEvent::Drop, &packet);
+            return;
+        }
+        self.buf_bytes += u64::from(packet.size);
+        self.buf_cells_bytes += self.alloc_bytes(packet.size);
+        self.buf.push_back(packet);
+        self.trace(ctx, TraceEvent::Enqueue, &packet);
+        if !self.busy {
+            self.start_tx(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        debug_assert_eq!(token, TOKEN_TX_DONE);
+        let pkt = self.buf.pop_front().expect("tx-done with empty queue");
+        self.buf_bytes -= u64::from(pkt.size);
+        self.buf_cells_bytes -= self.alloc_bytes(pkt.size);
+        self.trace(ctx, TraceEvent::Depart, &pkt);
+        ctx.send(self.next_hop, pkt, self.prop_delay);
+        if self.buf.is_empty() {
+            self.busy = false;
+        } else {
+            self.start_tx(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Routes packets to per-flow destinations with zero delay; the hop-D
+/// router of the testbed, where the multiplexed bottleneck output fans back
+/// out to receiving hosts.
+#[derive(Default)]
+pub struct FlowDemux {
+    routes: std::collections::HashMap<crate::packet::FlowId, NodeId>,
+    default_route: Option<NodeId>,
+    unrouted: u64,
+}
+
+impl FlowDemux {
+    /// An empty demux.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route `flow` to `dst`.
+    pub fn register(&mut self, flow: crate::packet::FlowId, dst: NodeId) {
+        self.routes.insert(flow, dst);
+    }
+
+    /// Route any flow without an explicit entry to `dst` (used by the
+    /// web-session generator, whose flows are created dynamically).
+    pub fn set_default(&mut self, dst: NodeId) {
+        self.default_route = Some(dst);
+    }
+
+    /// Packets that arrived with no registered route (dropped silently but
+    /// counted; a nonzero value in a test signals a wiring bug).
+    pub fn unrouted(&self) -> u64 {
+        self.unrouted
+    }
+}
+
+impl Node for FlowDemux {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        match self.routes.get(&packet.flow).copied().or(self.default_route) {
+            Some(dst) => ctx.send(dst, packet, SimDuration::ZERO),
+            None => self.unrouted += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::monitor::Monitor;
+    use crate::node::CountingSink;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::time::SimTime;
+
+    fn udp(id: u64, size: u32, flow: u32) -> Packet {
+        Packet {
+            id,
+            flow: FlowId(flow),
+            size,
+            created: SimTime::ZERO,
+            kind: PacketKind::Udp { seq: id },
+        }
+    }
+
+    /// Blasts `n` equal packets into `dst` at t=0.
+    struct Blaster {
+        dst: NodeId,
+        n: u64,
+        size: u32,
+    }
+
+    impl Node for Blaster {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+            for _ in 0..self.n {
+                let id = ctx.next_packet_id();
+                ctx.send(self.dst, udp(id, self.size, 1), SimDuration::ZERO);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn serializes_at_link_rate() {
+        // 10 packets of 1000 bytes at 8 Mb/s: 1 ms each, last departs at 10 ms
+        // (+0 propagation), so the sink's last arrival is t=10ms.
+        let mut sim = Simulator::new();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let q = sim.add_node(Box::new(DropTailQueue::new(
+            8_000_000,
+            1_000_000,
+            sink,
+            SimDuration::ZERO,
+        )));
+        sim.add_node(Box::new(Blaster { dst: q, n: 10, size: 1000 }));
+        sim.run_to_completion();
+        let sink_node = sim.node::<CountingSink>(sink);
+        assert_eq!(sink_node.received(), 10);
+        assert_eq!(sink_node.last_arrival(), Some(SimTime::from_secs_f64(0.010)));
+    }
+
+    #[test]
+    fn overflow_drops_tail() {
+        // Capacity 5000 bytes; burst of 10×1000B arrives instantaneously:
+        // 5 admitted, 5 dropped.
+        let mut sim = Simulator::new();
+        let monitor = Monitor::new_handle();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let q = sim.add_node(Box::new(
+            DropTailQueue::new(8_000_000, 5_000, sink, SimDuration::ZERO)
+                .with_monitor(monitor.clone()),
+        ));
+        sim.add_node(Box::new(Blaster { dst: q, n: 10, size: 1000 }));
+        sim.run_to_completion();
+        assert_eq!(sim.node::<CountingSink>(sink).received(), 5);
+        assert_eq!(monitor.borrow().drops(), 5);
+        assert_eq!(monitor.borrow().departs(), 5);
+        assert!((monitor.borrow().router_loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_applies_after_serialization() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let q = sim.add_node(Box::new(DropTailQueue::new(
+            8_000_000,
+            1_000_000,
+            sink,
+            SimDuration::from_millis(50),
+        )));
+        sim.add_node(Box::new(Blaster { dst: q, n: 1, size: 1000 }));
+        sim.run_to_completion();
+        // 1 ms serialization + 50 ms propagation.
+        assert_eq!(
+            sim.node::<CountingSink>(sink).last_arrival(),
+            Some(SimTime::from_secs_f64(0.051))
+        );
+    }
+
+    #[test]
+    fn occupancy_tracks_bytes() {
+        let sink = NodeId(0);
+        let mut q = DropTailQueue::new(8_000_000, 10_000, sink, SimDuration::ZERO);
+        assert_eq!(q.occupancy_bytes(), 0);
+        assert!((q.capacity_secs() - 0.01).abs() < 1e-12);
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(1), &mut next, &mut out);
+        q.on_packet(udp(0, 4000, 1), &mut ctx);
+        assert_eq!(q.occupancy_bytes(), 4000);
+        assert!((q.occupancy_secs() - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_accounting_drops_small_packets_like_big_ones() {
+        // Capacity of 2 cells (3000 bytes at cell=1500). Two 600-byte
+        // packets fill it completely under particle accounting: a third
+        // — of any size — drops, even though only 1200 wire bytes are
+        // queued.
+        let mut q = DropTailQueue::new(8_000_000, 3_000, NodeId(0), SimDuration::ZERO)
+            .with_cell_bytes(1500);
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(1), &mut next, &mut out);
+        let monitor = Monitor::new_handle();
+        q.monitor = Some(monitor.clone());
+        q.on_packet(udp(0, 600, 1), &mut ctx);
+        q.on_packet(udp(1, 600, 1), &mut ctx);
+        q.on_packet(udp(2, 64, 1), &mut ctx);
+        assert_eq!(monitor.borrow().enqueues(), 2);
+        assert_eq!(monitor.borrow().drops(), 1);
+        // Wire occupancy (drain time) reflects actual bytes, not cells.
+        assert_eq!(q.occupancy_bytes(), 1200);
+    }
+
+    #[test]
+    fn byte_accounting_is_default() {
+        let mut q = DropTailQueue::new(8_000_000, 3_000, NodeId(0), SimDuration::ZERO);
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(1), &mut next, &mut out);
+        for i in 0..4 {
+            q.on_packet(udp(i, 600, 1), &mut ctx);
+        }
+        // 4 × 600 = 2400 ≤ 3000: all admitted under byte accounting.
+        assert_eq!(q.occupancy_bytes(), 2400);
+    }
+
+    #[test]
+    fn monitor_sees_full_lifecycle() {
+        let mut sim = Simulator::new();
+        let monitor = Monitor::new_handle();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let q = sim.add_node(Box::new(
+            DropTailQueue::new(8_000_000, 1_000_000, sink, SimDuration::ZERO)
+                .with_monitor(monitor.clone()),
+        ));
+        sim.add_node(Box::new(Blaster { dst: q, n: 3, size: 1000 }));
+        sim.run_to_completion();
+        let m = monitor.borrow();
+        assert_eq!(m.enqueues(), 3);
+        assert_eq!(m.departs(), 3);
+        assert_eq!(m.drops(), 0);
+        assert_eq!(m.records().len(), 6);
+    }
+
+    #[test]
+    fn demux_routes_by_flow() {
+        let mut sim = Simulator::new();
+        let sink_a = sim.add_node(Box::new(CountingSink::new()));
+        let sink_b = sim.add_node(Box::new(CountingSink::new()));
+        let demux_id = {
+            let mut d = FlowDemux::new();
+            d.register(FlowId(1), sink_a);
+            d.register(FlowId(2), sink_b);
+            sim.add_node(Box::new(d))
+        };
+        let q = sim.add_node(Box::new(DropTailQueue::new(
+            8_000_000,
+            1_000_000,
+            demux_id,
+            SimDuration::ZERO,
+        )));
+        struct TwoFlows {
+            dst: NodeId,
+        }
+        impl Node for TwoFlows {
+            fn start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::ZERO, 0);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+                for flow in [1u32, 1, 2] {
+                    let id = ctx.next_packet_id();
+                    ctx.send(self.dst, udp(id, 500, flow), SimDuration::ZERO);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.add_node(Box::new(TwoFlows { dst: q }));
+        sim.run_to_completion();
+        assert_eq!(sim.node::<CountingSink>(sink_a).received(), 2);
+        assert_eq!(sim.node::<CountingSink>(sink_b).received(), 1);
+        assert_eq!(sim.node::<FlowDemux>(demux_id).unrouted(), 0);
+    }
+
+    #[test]
+    fn demux_counts_unrouted() {
+        let mut sim = Simulator::new();
+        let demux_id = sim.add_node(Box::new(FlowDemux::new()));
+        struct One {
+            dst: NodeId,
+        }
+        impl Node for One {
+            fn start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::ZERO, 0);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+                let id = ctx.next_packet_id();
+                ctx.send(self.dst, udp(id, 100, 7), SimDuration::ZERO);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.add_node(Box::new(One { dst: demux_id }));
+        sim.run_to_completion();
+        assert_eq!(sim.node::<FlowDemux>(demux_id).unrouted(), 1);
+    }
+}

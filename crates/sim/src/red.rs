@@ -1,0 +1,344 @@
+//! A RED (Random Early Detection) bottleneck queue.
+//!
+//! The paper evaluates on a drop-tail FIFO — the §6.1 detector leans on
+//! the fact that loss coincides with a full buffer, i.e. maximal delay.
+//! Active queue management breaks exactly that coupling: RED drops
+//! *before* the buffer fills, at moderate delays, so loss episodes no
+//! longer pin the queue at `OWDmax`. This queue exists to measure how the
+//! method degrades under AQM (`ablation_red` in the bench crate) — the
+//! kind of "more complex environment" §6.2 defers to future work.
+//!
+//! Classic RED (Floyd & Jacobson): an EWMA of the queue occupancy is
+//! compared against `[min_th, max_th]`; below `min_th` nothing drops,
+//! above `max_th` everything drops, in between the drop probability rises
+//! linearly to `max_p` and is inflated by the count of packets since the
+//! last drop so that drops spread out evenly.
+
+use crate::monitor::{MonitorHandle, TraceEvent};
+use crate::node::{Context, Node, NodeId};
+use crate::packet::Packet;
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::any::Any;
+use std::collections::VecDeque;
+
+const TOKEN_TX_DONE: u64 = 0;
+
+/// RED parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RedConfig {
+    /// EWMA weight for the average queue size (classic 0.002).
+    pub weight: f64,
+    /// Lower threshold as a fraction of capacity (drops start here).
+    pub min_th_frac: f64,
+    /// Upper threshold as a fraction of capacity (all arrivals drop
+    /// above the *average* staying here).
+    pub max_th_frac: f64,
+    /// Maximum early-drop probability at `max_th`.
+    pub max_p: f64,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        Self { weight: 0.002, min_th_frac: 0.25, max_th_frac: 0.75, max_p: 0.1 }
+    }
+}
+
+/// A RED queue serving packets at a fixed rate.
+pub struct RedQueue {
+    rate_bps: u64,
+    capacity_bytes: u64,
+    next_hop: NodeId,
+    prop_delay: SimDuration,
+    red: RedConfig,
+    rng: StdRng,
+    buf: VecDeque<Packet>,
+    buf_bytes: u64,
+    avg_bytes: f64,
+    since_last_drop: u64,
+    busy: bool,
+    monitor: Option<MonitorHandle>,
+    early_drops: u64,
+    forced_drops: u64,
+}
+
+impl RedQueue {
+    /// Create a RED queue.
+    ///
+    /// # Panics
+    /// Panics on zero rate/capacity or inconsistent thresholds.
+    pub fn new(
+        rate_bps: u64,
+        capacity_bytes: u64,
+        next_hop: NodeId,
+        prop_delay: SimDuration,
+        red: RedConfig,
+        rng: StdRng,
+    ) -> Self {
+        assert!(rate_bps > 0 && capacity_bytes > 0, "rate and capacity must be positive");
+        assert!(
+            0.0 < red.min_th_frac && red.min_th_frac < red.max_th_frac && red.max_th_frac <= 1.0,
+            "thresholds must satisfy 0 < min < max <= 1"
+        );
+        assert!((0.0..=1.0).contains(&red.max_p), "max_p must be a probability");
+        Self {
+            rate_bps,
+            capacity_bytes,
+            next_hop,
+            prop_delay,
+            red,
+            rng,
+            buf: VecDeque::new(),
+            buf_bytes: 0,
+            avg_bytes: 0.0,
+            since_last_drop: 0,
+            busy: false,
+            monitor: None,
+            early_drops: 0,
+            forced_drops: 0,
+        }
+    }
+
+    /// Attach a passive monitor.
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Early (probabilistic) drops so far.
+    pub fn early_drops(&self) -> u64 {
+        self.early_drops
+    }
+
+    /// Forced drops (buffer exhausted or average above `max_th`).
+    pub fn forced_drops(&self) -> u64 {
+        self.forced_drops
+    }
+
+    /// Occupancy as drain time in seconds.
+    pub fn occupancy_secs(&self) -> f64 {
+        self.buf_bytes as f64 * 8.0 / self.rate_bps as f64
+    }
+
+    fn trace(&self, ctx: &Context<'_>, event: TraceEvent, pkt: &Packet) {
+        if let Some(m) = &self.monitor {
+            m.borrow_mut().record(ctx.now(), event, pkt, self.occupancy_secs());
+        }
+    }
+
+    /// RED admission decision. Returns true to drop.
+    fn should_drop(&mut self, size: u32) -> (bool, bool) {
+        // Update the average (when idle, classic RED decays it; the
+        // simple instantaneous update is adequate at our event density).
+        self.avg_bytes =
+            (1.0 - self.red.weight) * self.avg_bytes + self.red.weight * self.buf_bytes as f64;
+        let min_th = self.red.min_th_frac * self.capacity_bytes as f64;
+        let max_th = self.red.max_th_frac * self.capacity_bytes as f64;
+
+        if self.buf_bytes + u64::from(size) > self.capacity_bytes {
+            return (true, true); // physical overflow
+        }
+        if self.avg_bytes < min_th {
+            self.since_last_drop += 1;
+            return (false, false);
+        }
+        if self.avg_bytes >= max_th {
+            return (true, true);
+        }
+        let pb = self.red.max_p * (self.avg_bytes - min_th) / (max_th - min_th);
+        let denom = (1.0 - self.since_last_drop as f64 * pb).max(1e-9);
+        let pa = (pb / denom).clamp(0.0, 1.0);
+        if self.rng.random::<f64>() < pa {
+            (true, false)
+        } else {
+            self.since_last_drop += 1;
+            (false, false)
+        }
+    }
+
+    fn start_tx(&mut self, ctx: &mut Context<'_>) {
+        let front = self.buf.front().expect("start_tx on empty queue");
+        let tx = SimDuration::transmission(front.size, self.rate_bps);
+        self.busy = true;
+        ctx.set_timer(tx, TOKEN_TX_DONE);
+    }
+}
+
+impl Node for RedQueue {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        let (drop, forced) = self.should_drop(packet.size);
+        if drop {
+            if forced {
+                self.forced_drops += 1;
+            } else {
+                self.early_drops += 1;
+            }
+            self.since_last_drop = 0;
+            self.trace(ctx, TraceEvent::Drop, &packet);
+            return;
+        }
+        self.buf_bytes += u64::from(packet.size);
+        self.buf.push_back(packet);
+        self.trace(ctx, TraceEvent::Enqueue, &packet);
+        if !self.busy {
+            self.start_tx(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        debug_assert_eq!(token, TOKEN_TX_DONE);
+        let pkt = self.buf.pop_front().expect("tx-done with empty queue");
+        self.buf_bytes -= u64::from(pkt.size);
+        self.trace(ctx, TraceEvent::Depart, &pkt);
+        ctx.send(self.next_hop, pkt, self.prop_delay);
+        if self.buf.is_empty() {
+            self.busy = false;
+        } else {
+            self.start_tx(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::node::CountingSink;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::time::SimTime;
+    use badabing_stats::rng::seeded;
+
+    fn queue(rng_label: &str) -> RedQueue {
+        RedQueue::new(
+            8_000_000,
+            100_000,
+            NodeId(0),
+            SimDuration::ZERO,
+            RedConfig::default(),
+            seeded(1, rng_label),
+        )
+    }
+
+    fn ctx_parts() -> (u64, Vec<(SimTime, NodeId, crate::event::Event)>) {
+        (0, Vec::new())
+    }
+
+    fn udp(id: u64) -> Packet {
+        Packet {
+            id,
+            flow: FlowId(1),
+            size: 1000,
+            created: SimTime::ZERO,
+            kind: PacketKind::Udp { seq: id },
+        }
+    }
+
+    #[test]
+    fn below_min_threshold_never_drops() {
+        let mut q = queue("red-low");
+        let (mut next, mut out) = ctx_parts();
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(1), &mut next, &mut out);
+        // Keep instantaneous occupancy low: feed 10 packets; avg stays
+        // near zero — far below min_th (25 kB).
+        for i in 0..10 {
+            q.on_packet(udp(i), &mut ctx);
+        }
+        assert_eq!(q.early_drops() + q.forced_drops(), 0);
+    }
+
+    #[test]
+    fn sustained_overload_drops_early_not_just_at_capacity() {
+        // Push the queue to a standing occupancy between thresholds: RED
+        // must shed with early drops before the buffer physically fills.
+        let mut sim = Simulator::new();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let q = sim.add_node(Box::new(RedQueue::new(
+            8_000_000, // 1 MB/s service
+            100_000,
+            sink,
+            SimDuration::ZERO,
+            RedConfig::default(),
+            seeded(2, "red-overload"),
+        )));
+        // 1.2 MB/s offered: 1200 B packet per ms.
+        struct Cbr {
+            dst: NodeId,
+            n: u32,
+        }
+        impl Node for Cbr {
+            fn start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+                let pkt = Packet {
+                    id: ctx.next_packet_id(),
+                    flow: FlowId(1),
+                    size: 1200,
+                    created: ctx.now(),
+                    kind: PacketKind::Udp { seq: 0 },
+                };
+                ctx.send(self.dst, pkt, SimDuration::ZERO);
+                self.n -= 1;
+                if self.n > 0 {
+                    ctx.set_timer(SimDuration::from_millis(1), 0);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.add_node(Box::new(Cbr { dst: q, n: 20_000 }));
+        sim.run_to_completion();
+        let rq = sim.node::<RedQueue>(q);
+        assert!(rq.early_drops() > 50, "early drops: {}", rq.early_drops());
+        // RED keeps the queue from pinning: most drops are early, not
+        // physical overflows.
+        assert!(
+            rq.early_drops() + rq.forced_drops() > 0
+                && rq.forced_drops() < rq.early_drops(),
+            "early {} vs forced {}",
+            rq.early_drops(),
+            rq.forced_drops()
+        );
+    }
+
+    #[test]
+    fn forced_drop_on_physical_overflow() {
+        let mut q = queue("red-full");
+        let (mut next, mut out) = ctx_parts();
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(1), &mut next, &mut out);
+        // Instantly oversubscribe the 100 kB buffer with 1 kB packets; the
+        // EWMA lags, so the tail drops are forced overflows.
+        for i in 0..150 {
+            q.on_packet(udp(i), &mut ctx);
+        }
+        assert!(q.forced_drops() > 0);
+        assert!(q.occupancy_secs() <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn rejects_bad_thresholds() {
+        let _ = RedQueue::new(
+            1_000_000,
+            1_000,
+            NodeId(0),
+            SimDuration::ZERO,
+            RedConfig { min_th_frac: 0.8, max_th_frac: 0.5, ..Default::default() },
+            seeded(0, "bad"),
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-hop (tandem-queue) paths.
+//!
+//! The paper's testbed has a single congested hop; §6.2 defers "more
+//! complex multi-hop scenarios" to future work. [`TandemPath`] builds a
+//! chain of drop-tail queues so experiments can measure how the method
+//! behaves when probes cross several queues — e.g. a lightly loaded
+//! access hop in front of the true bottleneck, which adds delay noise to
+//! the one-way-delay signal the §6.1 detector thresholds on.
+
+use crate::engine::Simulator;
+use crate::monitor::{GroundTruth, GroundTruthConfig, Monitor, MonitorHandle};
+use crate::node::{Node, NodeId};
+use crate::packet::FlowId;
+use crate::queue::{DropTailQueue, FlowDemux};
+use crate::time::{SimDuration, SimTime};
+
+/// One hop of the tandem.
+#[derive(Debug, Clone, Copy)]
+pub struct HopConfig {
+    /// Service rate in bits/second.
+    pub rate_bps: u64,
+    /// Buffer as drain time in seconds.
+    pub buffer_secs: f64,
+    /// Propagation delay to the next hop (or to the egress demux for the
+    /// last hop).
+    pub prop_delay: SimDuration,
+    /// Buffer particle size (1 = exact bytes).
+    pub cell_bytes: u32,
+}
+
+impl HopConfig {
+    /// Buffer capacity in bytes.
+    pub fn buffer_bytes(&self) -> u64 {
+        (self.buffer_secs * self.rate_bps as f64 / 8.0) as u64
+    }
+}
+
+/// A chain of drop-tail queues with per-hop monitors.
+pub struct TandemPath {
+    /// The simulator.
+    pub sim: Simulator,
+    hops: Vec<NodeId>,
+    monitors: Vec<MonitorHandle>,
+    hop_configs: Vec<HopConfig>,
+    demux_id: NodeId,
+    ingress_delay: SimDuration,
+    reverse_delay: SimDuration,
+}
+
+impl TandemPath {
+    /// Build a tandem of the given hops. Traffic enters at hop 0 and
+    /// leaves through the egress demux after the last hop.
+    ///
+    /// # Panics
+    /// Panics if `hops` is empty.
+    pub fn new(hops: &[HopConfig], ingress_delay: SimDuration, reverse_delay: SimDuration) -> Self {
+        assert!(!hops.is_empty(), "a path needs at least one hop");
+        let mut sim = Simulator::new();
+        let demux_id = sim.add_node(Box::new(FlowDemux::new()));
+        // Build back to front so each hop knows its successor.
+        let mut next = demux_id;
+        let mut ids_rev = Vec::new();
+        let mut monitors_rev = Vec::new();
+        for hop in hops.iter().rev() {
+            let monitor = Monitor::new_handle();
+            let id = sim.add_node(Box::new(
+                DropTailQueue::new(hop.rate_bps, hop.buffer_bytes(), next, hop.prop_delay)
+                    .with_cell_bytes(hop.cell_bytes)
+                    .with_monitor(monitor.clone()),
+            ));
+            ids_rev.push(id);
+            monitors_rev.push(monitor);
+            next = id;
+        }
+        ids_rev.reverse();
+        monitors_rev.reverse();
+        Self {
+            sim,
+            hops: ids_rev,
+            monitors: monitors_rev,
+            hop_configs: hops.to_vec(),
+            demux_id,
+            ingress_delay,
+            reverse_delay,
+        }
+    }
+
+    /// Number of hops.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The entry node (hop 0's queue) — sources send here.
+    pub fn ingress(&self) -> NodeId {
+        self.hops[0]
+    }
+
+    /// The node id of hop `i`'s queue (for injecting cross traffic at an
+    /// interior hop).
+    pub fn hop(&self, i: usize) -> NodeId {
+        self.hops[i]
+    }
+
+    /// Monitor of hop `i`.
+    pub fn monitor(&self, i: usize) -> MonitorHandle {
+        self.monitors[i].clone()
+    }
+
+    /// Ingress delay for sources.
+    pub fn ingress_delay(&self) -> SimDuration {
+        self.ingress_delay
+    }
+
+    /// Reverse-path delay for ACK traffic.
+    pub fn reverse_delay(&self) -> SimDuration {
+        self.reverse_delay
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.sim.add_node(node)
+    }
+
+    /// Route a flow's egress to `dst`.
+    pub fn route_flow(&mut self, flow: FlowId, dst: NodeId) {
+        self.sim.node_mut::<FlowDemux>(self.demux_id).register(flow, dst);
+    }
+
+    /// Route unknown flows to `dst`.
+    pub fn route_default(&mut self, dst: NodeId) {
+        self.sim.node_mut::<FlowDemux>(self.demux_id).set_default(dst);
+    }
+
+    /// Run for `secs` of virtual time.
+    pub fn run_for(&mut self, secs: f64) {
+        self.sim.run_until(SimTime::from_secs_f64(secs));
+    }
+
+    /// Ground truth at hop `i`.
+    pub fn ground_truth(&self, i: usize, horizon_secs: f64) -> GroundTruth {
+        GroundTruth::extract(
+            &self.monitors[i].borrow(),
+            horizon_secs,
+            GroundTruthConfig {
+                queue_capacity_secs: self.hop_configs[i].buffer_secs,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Combined (any-hop) congestion ground truth: a slot is congested if
+    /// it is congested at any hop — what an end-to-end tool actually
+    /// measures.
+    pub fn ground_truth_end_to_end(&self, horizon_secs: f64) -> GroundTruth {
+        let mut gts: Vec<GroundTruth> =
+            (0..self.hops.len()).map(|i| self.ground_truth(i, horizon_secs)).collect();
+        let mut combined = gts.remove(0);
+        for gt in gts {
+            combined.episodes.extend(gt.episodes);
+        }
+        combined.episodes.sort_by_key(|e| e.start);
+        // Merge overlapping episodes from different hops.
+        let mut merged: Vec<crate::monitor::LossEpisode> = Vec::new();
+        for e in combined.episodes.drain(..) {
+            match merged.last_mut() {
+                Some(last) if e.start <= last.end => {
+                    last.end = last.end.max(e.end);
+                    last.drops += e.drops;
+                }
+                _ => merged.push(e),
+            }
+        }
+        combined.episodes = merged;
+        // Rebuild the slot indicator from the merged episodes.
+        let slot = combined.config.slot_secs;
+        let n_slots = (horizon_secs / slot).round() as usize;
+        let mut slots = vec![false; n_slots];
+        for e in &combined.episodes {
+            let first = (e.start.as_secs_f64() / slot) as usize;
+            let last = ((e.end.as_secs_f64() / slot) as usize).min(n_slots.saturating_sub(1));
+            for s in slots.iter_mut().take(last + 1).skip(first.min(n_slots)) {
+                *s = true;
+            }
+        }
+        combined.congested = badabing_stats::runs::EpisodeSet::from_bools(&slots);
+        combined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Context, CountingSink};
+    use crate::packet::{Packet, PacketKind};
+    use std::any::Any;
+
+    fn hop(rate_mbps: u64, buffer_ms: u64) -> HopConfig {
+        HopConfig {
+            rate_bps: rate_mbps * 1_000_000,
+            buffer_secs: buffer_ms as f64 / 1000.0,
+            prop_delay: SimDuration::from_millis(10),
+            cell_bytes: 1500,
+        }
+    }
+
+    struct Burst {
+        dst: NodeId,
+        n: u64,
+    }
+    impl Node for Burst {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+        fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+            for i in 0..self.n {
+                let pkt = Packet {
+                    id: ctx.next_packet_id(),
+                    flow: FlowId(1),
+                    size: 1500,
+                    created: ctx.now(),
+                    kind: PacketKind::Udp { seq: i },
+                };
+                ctx.send(self.dst, pkt, SimDuration::from_micros(100));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn packets_traverse_all_hops() {
+        let mut path = TandemPath::new(
+            &[hop(100, 100), hop(10, 100)],
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(path.hop_count(), 2);
+        let sink = path.add_node(Box::new(CountingSink::new()));
+        path.route_flow(FlowId(1), sink);
+        let ingress = path.ingress();
+        path.add_node(Box::new(Burst { dst: ingress, n: 10 }));
+        path.run_for(2.0);
+        assert_eq!(path.sim.node::<CountingSink>(sink).received(), 10);
+        assert_eq!(path.monitor(0).borrow().departs(), 10);
+        assert_eq!(path.monitor(1).borrow().departs(), 10);
+    }
+
+    #[test]
+    fn second_hop_bottleneck_takes_the_loss() {
+        // Hop 0: 100 Mb/s, huge buffer. Hop 1: 10 Mb/s with only 10 ms of
+        // buffer (12.5 kB): a 100-packet burst overflows hop 1 only.
+        let mut path = TandemPath::new(
+            &[hop(100, 200), hop(10, 10)],
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(10),
+        );
+        let sink = path.add_node(Box::new(CountingSink::new()));
+        path.route_flow(FlowId(1), sink);
+        let ingress = path.ingress();
+        path.add_node(Box::new(Burst { dst: ingress, n: 100 }));
+        path.run_for(3.0);
+        assert_eq!(path.monitor(0).borrow().drops(), 0, "first hop must not drop");
+        assert!(path.monitor(1).borrow().drops() > 0, "bottleneck hop must drop");
+        let gt = path.ground_truth_end_to_end(3.0);
+        assert!(!gt.episodes.is_empty());
+        assert_eq!(
+            gt.episodes.len(),
+            path.ground_truth(1, 3.0).episodes.len(),
+            "end-to-end truth equals hop-1 truth when hop 0 is clean"
+        );
+    }
+
+    #[test]
+    fn end_to_end_truth_merges_overlapping_hop_episodes() {
+        // Both hops congest simultaneously: tight buffers on both.
+        let mut path = TandemPath::new(
+            &[hop(10, 5), hop(10, 5)],
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(10),
+        );
+        let sink = path.add_node(Box::new(CountingSink::new()));
+        path.route_flow(FlowId(1), sink);
+        let ingress = path.ingress();
+        path.add_node(Box::new(Burst { dst: ingress, n: 200 }));
+        path.run_for(3.0);
+        let gt0 = path.ground_truth(0, 3.0);
+        let e2e = path.ground_truth_end_to_end(3.0);
+        assert!(gt0.router_loss_rate > 0.0);
+        // Merged episodes never overlap.
+        for w in e2e.episodes.windows(2) {
+            assert!(w[0].end < w[1].start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_path_panics() {
+        let _ = TandemPath::new(&[], SimDuration::ZERO, SimDuration::ZERO);
+    }
+}

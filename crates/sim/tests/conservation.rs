@@ -1,0 +1,123 @@
+//! Property tests: packet conservation and trace consistency.
+//!
+//! Whatever the traffic pattern, the bottleneck must conserve packets
+//! (enqueued = departed + still queued), the monitor's counters must
+//! match its trace, and queue occupancy implied by the trace must never
+//! exceed capacity.
+
+use badabing_sim::engine::Simulator;
+use badabing_sim::monitor::{Monitor, TraceEvent};
+use badabing_sim::node::{Context, CountingSink, Node, NodeId};
+use badabing_sim::packet::{FlowId, Packet, PacketKind};
+use badabing_sim::queue::DropTailQueue;
+use badabing_sim::time::SimDuration;
+use proptest::prelude::*;
+use std::any::Any;
+
+/// Sends scripted (delay_us, size) packets into a destination.
+struct Script {
+    dst: NodeId,
+    packets: Vec<(u64, u32)>,
+    cursor: usize,
+}
+
+impl Node for Script {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        if !self.packets.is_empty() {
+            ctx.set_timer(SimDuration::from_micros(self.packets[0].0), 0);
+        }
+    }
+    fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+    fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+        let (_, size) = self.packets[self.cursor];
+        let pkt = Packet {
+            id: ctx.next_packet_id(),
+            flow: FlowId(1),
+            size,
+            created: ctx.now(),
+            kind: PacketKind::Udp { seq: self.cursor as u64 },
+        };
+        ctx.send(self.dst, pkt, SimDuration::ZERO);
+        self.cursor += 1;
+        if let Some(&(gap, _)) = self.packets.get(self.cursor) {
+            ctx.set_timer(SimDuration::from_micros(gap), 0);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn queue_conserves_packets(
+        packets in proptest::collection::vec((0u64..500, 40u32..1600), 1..300),
+        capacity in 2_000u64..50_000,
+        rate_mbps in 1u64..100,
+    ) {
+        let total = packets.len() as u64;
+        let mut sim = Simulator::new();
+        let monitor = Monitor::new_handle();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let q = sim.add_node(Box::new(
+            DropTailQueue::new(rate_mbps * 1_000_000, capacity, sink, SimDuration::ZERO)
+                .with_monitor(monitor.clone()),
+        ));
+        sim.add_node(Box::new(Script { dst: q, packets, cursor: 0 }));
+        sim.run_to_completion();
+
+        let m = monitor.borrow();
+        // Everything offered was either enqueued or dropped...
+        prop_assert_eq!(m.enqueues() + m.drops(), total);
+        // ...and with the run complete, everything enqueued departed.
+        prop_assert_eq!(m.departs(), m.enqueues());
+        prop_assert_eq!(sim.node::<CountingSink>(sink).received(), m.departs());
+        // Trace-event counts match the counters.
+        let (mut enq, mut dep, mut drop) = (0u64, 0u64, 0u64);
+        for r in m.records() {
+            match r.event {
+                TraceEvent::Enqueue => enq += 1,
+                TraceEvent::Depart => dep += 1,
+                TraceEvent::Drop => drop += 1,
+            }
+            // Occupancy implied by the trace stays within capacity.
+            let cap_secs = capacity as f64 * 8.0 / (rate_mbps as f64 * 1e6);
+            prop_assert!(r.qdelay_secs <= cap_secs + 1e-9);
+        }
+        prop_assert_eq!((enq, dep, drop), (m.enqueues(), m.departs(), m.drops()));
+        // Trace times are non-decreasing.
+        prop_assert!(m.records().windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved(
+        packets in proptest::collection::vec((0u64..200, 100u32..1500), 2..100),
+    ) {
+        // With a huge buffer nothing drops; departures must preserve
+        // arrival order (drop-tail FIFO).
+        let mut sim = Simulator::new();
+        let monitor = Monitor::new_handle();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        let q = sim.add_node(Box::new(
+            DropTailQueue::new(10_000_000, 10_000_000, sink, SimDuration::ZERO)
+                .with_monitor(monitor.clone()),
+        ));
+        sim.add_node(Box::new(Script { dst: q, packets, cursor: 0 }));
+        sim.run_to_completion();
+        let m = monitor.borrow();
+        let departures: Vec<u64> = m
+            .records()
+            .iter()
+            .filter(|r| r.event == TraceEvent::Depart)
+            .map(|r| r.packet_id)
+            .collect();
+        let mut sorted = departures.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(departures, sorted, "drop-tail FIFO must not reorder");
+    }
+}

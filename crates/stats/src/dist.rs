@@ -1,0 +1,335 @@
+//! Probability distributions used by the workload generators and probers.
+//!
+//! The paper's experiments only need a handful of distributions:
+//!
+//! * [`Exponential`] — Poisson probe inter-send times (ZING) and exponential
+//!   spacing between CBR loss episodes.
+//! * [`Pareto`] — heavy-tailed file sizes for the Harpoon-like web workload.
+//! * [`Geometric`] — the gap between BADABING basic experiments (a Bernoulli
+//!   trial per slot is equivalent to geometric inter-experiment gaps, which
+//!   is how a sender can schedule experiments without iterating empty slots).
+//! * [`Uniform`] — jitter and random choices between episode durations.
+//!
+//! They are implemented by inverse-CDF transform over `rand`'s uniform
+//! source rather than pulling in `rand_distr`, keeping the dependency
+//! footprint to the pre-approved crate list.
+
+use rand::{Rng, RngExt};
+
+/// A sampling distribution over `f64`.
+pub trait Sample {
+    /// Draw one variate using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The theoretical mean of the distribution, if finite.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with the given rate (events per
+    /// unit time).
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn with_rate(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "rate must be positive, got {lambda}");
+        Self { lambda }
+    }
+
+    /// Create an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        Self { lambda: 1.0 / mean }
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: -ln(U)/lambda. `random::<f64>()` is in [0,1); use
+        // 1-U to map to (0,1] so ln never sees zero.
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.lambda
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+/// Pareto (type I) distribution with scale `xm > 0` and shape `alpha > 0`.
+///
+/// Used for heavy-tailed web object sizes. For `alpha <= 1` the mean is
+/// infinite; the Harpoon-like generator uses `alpha` slightly above 1 (the
+/// classic 1.2 for web transfers) together with a hard cap to keep single
+/// experiments bounded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+    /// Optional truncation: values are resampled into `[xm, cap]` by
+    /// clamping (cheap and adequate for workload generation).
+    cap: Option<f64>,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution with scale `xm` and shape `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm.is_finite() && xm > 0.0, "scale must be positive, got {xm}");
+        assert!(alpha.is_finite() && alpha > 0.0, "shape must be positive, got {alpha}");
+        Self { xm, alpha, cap: None }
+    }
+
+    /// Clamp samples to at most `cap`.
+    ///
+    /// # Panics
+    /// Panics if `cap < xm`.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        assert!(cap >= self.xm, "cap {cap} must be >= scale {}", self.xm);
+        self.cap = Some(cap);
+        self
+    }
+
+    /// The scale (minimum value) parameter.
+    pub fn scale(&self) -> f64 {
+        self.xm
+    }
+
+    /// The shape parameter.
+    pub fn shape(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let v = self.xm / (1.0 - u).powf(1.0 / self.alpha);
+        match self.cap {
+            Some(cap) => v.min(cap),
+            None => v,
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        // Mean of the *untruncated* distribution; None when infinite.
+        if self.alpha > 1.0 {
+            Some(self.alpha * self.xm / (self.alpha - 1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Geometric distribution on `{1, 2, 3, ...}`: the number of Bernoulli(`p`)
+/// trials up to and including the first success.
+///
+/// BADABING starts a basic experiment in each time slot independently with
+/// probability `p`; the gap from one experiment start to the next is
+/// geometric, which lets a sender jump directly between experiment slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Create a geometric distribution with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1], got {p}");
+        Self { p }
+    }
+
+    /// The per-trial success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw the number of trials to first success (>= 1).
+    pub fn sample_trials<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Inverse CDF: ceil(ln(1-U)/ln(1-p)).
+        let u: f64 = rng.random();
+        let k = ((1.0 - u).ln() / (1.0 - self.p).ln()).ceil();
+        if k < 1.0 {
+            1
+        } else if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+}
+
+impl Sample for Geometric {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_trials(rng) as f64
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.p)
+    }
+}
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        Self { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.random_range(self.lo..self.hi)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.lo + self.hi) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::summary::Summary;
+
+    fn sample_mean<D: Sample>(d: &D, n: usize, stream: &str) -> f64 {
+        let mut rng = seeded(1234, stream);
+        let mut s = Summary::new();
+        for _ in 0..n {
+            s.push(d.sample(&mut rng));
+        }
+        s.mean()
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(10.0);
+        let m = sample_mean(&d, 200_000, "exp");
+        assert!((m - 10.0).abs() < 0.15, "mean was {m}");
+    }
+
+    #[test]
+    fn exponential_rate_and_mean_agree() {
+        let a = Exponential::with_rate(4.0);
+        let b = Exponential::with_mean(0.25);
+        assert!((a.rate() - b.rate()).abs() < 1e-12);
+        assert_eq!(a.mean(), Some(0.25));
+    }
+
+    #[test]
+    fn exponential_samples_are_positive() {
+        let d = Exponential::with_rate(1000.0);
+        let mut rng = seeded(5, "exp-pos");
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::with_rate(0.0);
+    }
+
+    #[test]
+    fn pareto_mean_matches_when_finite() {
+        let d = Pareto::new(1.0, 2.5);
+        let expect = 2.5 / 1.5;
+        let m = sample_mean(&d, 400_000, "pareto");
+        assert!((m - expect).abs() < 0.05, "mean was {m}, expected {expect}");
+    }
+
+    #[test]
+    fn pareto_infinite_mean_is_none() {
+        assert_eq!(Pareto::new(1.0, 1.0).mean(), None);
+        assert!(Pareto::new(1.0, 1.0001).mean().is_some());
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let d = Pareto::new(2.0, 1.2).with_cap(100.0);
+        let mut rng = seeded(99, "pareto-cap");
+        for _ in 0..50_000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..=100.0).contains(&v), "sample {v} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn pareto_rejects_cap_below_scale() {
+        let _ = Pareto::new(10.0, 1.5).with_cap(1.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let d = Geometric::new(0.1);
+        let m = sample_mean(&d, 200_000, "geom");
+        assert!((m - 10.0).abs() < 0.12, "mean was {m}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_one_trial() {
+        let d = Geometric::new(1.0);
+        let mut rng = seeded(3, "geom1");
+        for _ in 0..100 {
+            assert_eq!(d.sample_trials(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_samples_at_least_one() {
+        let d = Geometric::new(0.9);
+        let mut rng = seeded(3, "geom-min");
+        for _ in 0..10_000 {
+            assert!(d.sample_trials(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_matches() {
+        let d = Uniform::new(-3.0, 5.0);
+        let m = sample_mean(&d, 100_000, "uni");
+        assert!((m - 1.0).abs() < 0.05, "mean was {m}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = Uniform::new(0.05, 0.15);
+        let mut rng = seeded(11, "uni-range");
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((0.05..0.15).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Fixed-range linear histograms.
+//!
+//! Used for delay distributions in reports (e.g. the one-way-delay
+//! profile of probe traffic, which §6.1's OWDmax thresholding reasons
+//! about). Linear buckets over a known range are the right tool here —
+//! queueing delay is bounded by the buffer's drain time.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with `n` equal-width buckets over `[lo, hi)`, plus
+/// underflow/overflow counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `n` buckets.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `n > 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(n > 0, "need at least one bucket");
+        Self { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// `(low_edge, high_edge, count)` per bucket.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c)
+        })
+    }
+
+    /// Approximate `q`-quantile by interpolating within the bucket where
+    /// the cumulative count crosses `q·total`. Under/overflow samples are
+    /// pinned to the range edges. `None` when empty.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= q <= 1`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if cum >= target && self.underflow > 0 {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return Some(self.lo + (i as f64 + frac) * width);
+            }
+            cum = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Merge another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the ranges or bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        assert!(
+            (self.lo - other.lo).abs() < 1e-12 && (self.hi - other.hi).abs() < 1e-12,
+            "range mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for &x in &[0.0, 0.1, 0.26, 0.5, 0.74, 0.75, 0.99] {
+            h.push(x);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 2, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.0); // hi is exclusive
+        h.push(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets(), &[0, 0]);
+    }
+
+    #[test]
+    fn rows_expose_edges() {
+        let mut h = Histogram::new(0.0, 0.1, 2);
+        h.push(0.06);
+        let rows: Vec<_> = h.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].0 - 0.0).abs() < 1e-12 && (rows[0].1 - 0.05).abs() < 1e-12);
+        assert_eq!(rows[1].2, 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64 + 0.5);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() < 1.5, "median {med}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 90.0).abs() < 1.5, "p90 {p90}");
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.push(0.25);
+        b.push(0.75);
+        b.push(-1.0);
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[1, 1]);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 1.0, 3);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,44 @@
+//! Statistical building blocks for the BADABING reproduction.
+//!
+//! This crate is deliberately free of any networking or simulation types: it
+//! provides the probability distributions used to construct workloads
+//! (exponential inter-arrival times, Pareto file sizes, geometric probe
+//! schedules), streaming summary statistics used to report results, and
+//! run-length / episode utilities shared by the ground-truth extractor and
+//! the estimators.
+//!
+//! Everything is deterministic given a seed; all randomness flows through
+//! [`rand::Rng`] instances created by [`rng::seeded`] so that every
+//! experiment in the repository is exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use badabing_stats::{EpisodeSet, Summary};
+//!
+//! // Episode extraction from a congestion-indicator series:
+//! let slots = [false, true, true, false, false, true, false];
+//! let episodes = EpisodeSet::from_bools(&slots);
+//! assert_eq!(episodes.count(), 2);
+//! assert_eq!(episodes.congested_slots(), 3);
+//! assert_eq!(episodes.mean_duration_slots(), 1.5);
+//!
+//! // Streaming summaries:
+//! let s = Summary::from_slice(&[2.0, 4.0, 6.0]);
+//! assert_eq!(s.mean(), 4.0);
+//! assert!((s.std_dev() - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+//! ```
+
+pub mod dist;
+pub mod histogram;
+pub mod rng;
+pub mod runs;
+pub mod selfsim;
+pub mod summary;
+pub mod timeseries;
+
+pub use dist::{Exponential, Geometric, Pareto, Uniform};
+pub use histogram::Histogram;
+pub use runs::{Episode, EpisodeSet};
+pub use summary::Summary;
+pub use timeseries::SlotSeries;

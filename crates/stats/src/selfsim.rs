@@ -1,0 +1,129 @@
+//! Self-similarity diagnostics: the variance-time plot.
+//!
+//! The paper's framing rests on traffic whose burstiness persists across
+//! time scales (Leland et al.). The classic check is the variance-time
+//! plot: aggregate a rate series over blocks of `m` samples; for a
+//! self-similar process the variance of the block means decays as
+//! `m^(2H-2)` with Hurst parameter `H > 0.5`, while short-range-dependent
+//! traffic decays as `1/m` (`H = 0.5`). [`hurst_variance_time`] fits that
+//! slope — used by tests to verify the ON/OFF aggregate really is bursty
+//! at many scales and by workload studies to characterize a trace.
+
+/// Variance of block means at each aggregation scale `m` (in samples).
+/// Scales that do not fit at least two blocks are skipped.
+pub fn variance_time(series: &[f64], scales: &[usize]) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for &m in scales {
+        if m == 0 || series.len() / m < 2 {
+            continue;
+        }
+        let means: Vec<f64> = series
+            .chunks_exact(m)
+            .map(|c| c.iter().sum::<f64>() / m as f64)
+            .collect();
+        let n = means.len() as f64;
+        let mean = means.iter().sum::<f64>() / n;
+        let var = means.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        out.push((m, var));
+    }
+    out
+}
+
+/// Estimate the Hurst parameter from the variance-time slope:
+/// `log Var(m) = c + (2H - 2) log m`, fit by least squares over
+/// logarithmically spaced scales. Returns `None` when the series is too
+/// short (or degenerate) to fit.
+pub fn hurst_variance_time(series: &[f64]) -> Option<f64> {
+    if series.len() < 64 {
+        return None;
+    }
+    // Log-spaced scales from 1 to len/8.
+    let max_m = series.len() / 8;
+    let mut scales = Vec::new();
+    let mut m = 1usize;
+    while m <= max_m {
+        scales.push(m);
+        m = (m * 2).max(m + 1);
+    }
+    let vt = variance_time(series, &scales);
+    let pts: Vec<(f64, f64)> = vt
+        .into_iter()
+        .filter(|&(_, v)| v > 0.0)
+        .map(|(m, v)| ((m as f64).ln(), v.ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    // Least-squares slope.
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some((slope + 2.0) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Pareto, Sample};
+    use crate::rng::seeded;
+    use rand::RngExt;
+
+    #[test]
+    fn variance_time_halves_for_iid() {
+        // IID: Var(m) = Var(1)/m exactly in expectation.
+        let mut rng = seeded(1, "vt");
+        let series: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>()).collect();
+        let vt = variance_time(&series, &[1, 10, 100]);
+        let v1 = vt[0].1;
+        let v10 = vt[1].1;
+        let v100 = vt[2].1;
+        assert!((v1 / v10 / 10.0 - 1.0).abs() < 0.2, "ratio {}", v1 / v10);
+        assert!((v1 / v100 / 100.0 - 1.0).abs() < 0.4, "ratio {}", v1 / v100);
+    }
+
+    #[test]
+    fn white_noise_has_hurst_half() {
+        let mut rng = seeded(2, "hurst-wn");
+        let series: Vec<f64> = (0..200_000).map(|_| rng.random::<f64>()).collect();
+        let h = hurst_variance_time(&series).unwrap();
+        assert!((h - 0.5).abs() < 0.06, "H = {h}");
+    }
+
+    #[test]
+    fn pareto_onoff_has_hurst_above_half() {
+        // Binary ON/OFF with Pareto(α = 1.4) run lengths: theory says
+        // H = (3 − α)/2 = 0.8.
+        let mut rng = seeded(3, "hurst-oo");
+        let dur = Pareto::new(2.0, 1.4).with_cap(200_000.0);
+        let mut series = Vec::with_capacity(2_000_000);
+        let mut on = false;
+        while series.len() < 2_000_000 {
+            let len = dur.sample(&mut rng).round() as usize;
+            let v = if on { 1.0 } else { 0.0 };
+            series.extend(std::iter::repeat_n(v, len.max(1)));
+            on = !on;
+        }
+        let h = hurst_variance_time(&series).unwrap();
+        assert!(h > 0.65, "H = {h} should reflect long-range dependence");
+        assert!(h < 1.05, "H = {h} out of range");
+    }
+
+    #[test]
+    fn short_series_returns_none() {
+        assert_eq!(hurst_variance_time(&[1.0; 10]), None);
+        assert_eq!(hurst_variance_time(&[]), None);
+    }
+
+    #[test]
+    fn constant_series_returns_none() {
+        let series = vec![5.0; 10_000];
+        assert_eq!(hurst_variance_time(&series), None, "zero variance cannot be fit");
+    }
+}

@@ -1,0 +1,987 @@
+//! Sans-IO Reno/NewReno sender and receiver state machines.
+//!
+//! Sequence numbers count MSS-sized segments. The sender emits
+//! [`SenderOut`] actions; the embedding node (or a test harness) turns them
+//! into packets and timers. Nothing here knows about the simulator.
+
+use badabing_sim::time::SimTime;
+
+/// Static configuration of a connection.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Wire size of a full data segment in bytes (occupies queue space and
+    /// serialization time). Default 1500.
+    pub mss_bytes: u32,
+    /// Wire size of a pure ACK in bytes. Default 40.
+    pub ack_bytes: u32,
+    /// Receiver window in segments. Default 256 (the paper's setting).
+    pub rwnd_segments: u64,
+    /// Initial congestion window in segments. Default 2.
+    pub init_cwnd: f64,
+    /// Initial slow-start threshold in segments. Default = rwnd.
+    pub init_ssthresh: f64,
+    /// Minimum retransmission timeout in seconds. Default 0.2 (Linux 2.4's
+    /// 200 ms floor, matching the testbed end hosts).
+    pub min_rto_secs: f64,
+    /// Maximum retransmission timeout in seconds. Default 60.
+    pub max_rto_secs: f64,
+    /// Total segments to transfer; `None` means an infinite source.
+    pub total_segments: Option<u64>,
+    /// Use SACK-based loss recovery (RFC 2018/3517-style scoreboard)
+    /// instead of Reno/NewReno. The testbed's Linux 2.4 stack negotiated
+    /// SACK; the difference matters under multi-loss windows, where Reno
+    /// serializes retransmissions (one hole per RTT via partial ACKs,
+    /// often collapsing into an RTO) while SACK repairs the whole window
+    /// in about one RTT.
+    pub sack: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            mss_bytes: 1500,
+            ack_bytes: 40,
+            rwnd_segments: 256,
+            init_cwnd: 2.0,
+            init_ssthresh: 256.0,
+            min_rto_secs: 0.2,
+            max_rto_secs: 60.0,
+            total_segments: None,
+            sack: false,
+        }
+    }
+}
+
+/// Actions emitted by the sender state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderOut {
+    /// Transmit the segment with this sequence number.
+    Send {
+        /// Segment index.
+        seq: u64,
+        /// Whether this is a retransmission (Karn: no RTT sample).
+        rtx: bool,
+    },
+    /// (Re)arm the retransmission timer: fire at `at` carrying `gen`; any
+    /// previously armed timer with an older generation must be ignored
+    /// when it fires.
+    ArmRto {
+        /// Generation tag to deliver back to [`SenderConn::on_rto`].
+        gen: u64,
+        /// Absolute fire time.
+        at: SimTime,
+    },
+    /// A finite transfer has been fully acknowledged.
+    Completed,
+}
+
+/// RTT estimator state per RFC 6298 (with Karn's algorithm applied by the
+/// caller: retransmitted segments never produce samples).
+#[derive(Debug, Clone, Copy)]
+struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: f64,
+    min_rto: f64,
+    max_rto: f64,
+}
+
+impl RttEstimator {
+    fn new(min_rto: f64, max_rto: f64) -> Self {
+        // Until the first sample, RFC 6298 says RTO = 1 s (clamped to floor).
+        Self { srtt: None, rttvar: 0.0, rto: 1.0_f64.max(min_rto), min_rto, max_rto }
+    }
+
+    fn sample(&mut self, rtt: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - rtt).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * rtt);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        self.rto = (srtt + (4.0 * self.rttvar).max(0.010)).clamp(self.min_rto, self.max_rto);
+    }
+
+    fn rto(&self) -> f64 {
+        self.rto
+    }
+}
+
+/// The Reno/NewReno sender.
+#[derive(Debug, Clone)]
+pub struct SenderConn {
+    cfg: TcpConfig,
+    /// Oldest unacknowledged segment.
+    snd_una: u64,
+    /// Next segment to send for the first time.
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    /// `Some(recover)` while in fast recovery; exit when `snd_una > recover`.
+    recovery: Option<u64>,
+    rtt: RttEstimator,
+    backoff: u32,
+    rto_gen: u64,
+    rto_armed: bool,
+    /// Send time of the current `snd_una` segment and whether it was ever
+    /// retransmitted (for Karn's rule). Tracked per in-flight window head.
+    una_sent_at: Option<(SimTime, bool)>,
+    completed: bool,
+    segments_sent: u64,
+    retransmits: u64,
+    timeouts: u64,
+    /// SACK scoreboard: segments in `(snd_una, snd_nxt)` known delivered.
+    sacked: std::collections::BTreeSet<u64>,
+    /// Holes already retransmitted during the current SACK recovery.
+    rtx_marked: std::collections::BTreeSet<u64>,
+}
+
+impl SenderConn {
+    /// New sender; call [`Self::open`] to emit the initial window.
+    pub fn new(cfg: TcpConfig) -> Self {
+        let rtt = RttEstimator::new(cfg.min_rto_secs, cfg.max_rto_secs);
+        Self {
+            cfg,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd: cfg.init_cwnd,
+            ssthresh: cfg.init_ssthresh,
+            dupacks: 0,
+            recovery: None,
+            rtt,
+            backoff: 0,
+            rto_gen: 0,
+            rto_armed: false,
+            una_sent_at: None,
+            completed: false,
+            segments_sent: 0,
+            retransmits: 0,
+            timeouts: 0,
+            sacked: std::collections::BTreeSet::new(),
+            rtx_marked: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// Current congestion window in segments.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in segments.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Whether a finite transfer has completed.
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Total segment transmissions (including retransmissions).
+    pub fn segments_sent(&self) -> u64 {
+        self.segments_sent
+    }
+
+    /// Total retransmissions.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Total RTO events.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Segments in flight.
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Begin transmission: emit the initial window.
+    pub fn open(&mut self, now: SimTime, out: &mut Vec<SenderOut>) {
+        self.fill_window(now, out);
+    }
+
+    fn effective_window(&self) -> u64 {
+        (self.cwnd.floor() as u64).max(1).min(self.cfg.rwnd_segments)
+    }
+
+    fn send_limit(&self) -> u64 {
+        let wnd_end = self.snd_una + self.effective_window();
+        match self.cfg.total_segments {
+            Some(total) => wnd_end.min(total),
+            None => wnd_end,
+        }
+    }
+
+    /// Emit new segments while the window allows.
+    fn fill_window(&mut self, now: SimTime, out: &mut Vec<SenderOut>) {
+        let mut sent_any = false;
+        while self.snd_nxt < self.send_limit() {
+            out.push(SenderOut::Send { seq: self.snd_nxt, rtx: false });
+            if self.snd_nxt == self.snd_una {
+                self.una_sent_at = Some((now, false));
+            }
+            self.snd_nxt += 1;
+            self.segments_sent += 1;
+            sent_any = true;
+        }
+        if sent_any && !self.rto_armed && self.flight() > 0 {
+            self.arm_rto(now, out);
+        }
+    }
+
+    fn arm_rto(&mut self, now: SimTime, out: &mut Vec<SenderOut>) {
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        let rto = self.rtt.rto() * f64::from(1u32 << self.backoff.min(16));
+        let rto = rto.min(self.cfg.max_rto_secs);
+        out.push(SenderOut::ArmRto { gen: self.rto_gen, at: now + sim_dur(rto) });
+    }
+
+    /// Handle a cumulative acknowledgment: `ack` is the next segment the
+    /// receiver expects.
+    pub fn on_ack(&mut self, ack: u64, now: SimTime, out: &mut Vec<SenderOut>) {
+        self.on_ack_sack(ack, &[], now, out);
+    }
+
+    /// Handle an acknowledgment carrying SACK blocks (`[start, end)`
+    /// segment ranges above `ack`). With an empty block list this is the
+    /// plain cumulative path; blocks are ignored unless the connection
+    /// was configured with `sack: true`.
+    pub fn on_ack_sack(
+        &mut self,
+        ack: u64,
+        blocks: &[(u64, u64)],
+        now: SimTime,
+        out: &mut Vec<SenderOut>,
+    ) {
+        if self.completed {
+            return;
+        }
+        if ack > self.snd_nxt {
+            // Ack for data never sent — ignore (corrupted peer in tests).
+            return;
+        }
+        if self.cfg.sack {
+            self.sack_update(blocks);
+        }
+        if ack > self.snd_una {
+            self.handle_new_ack(ack, now, out);
+        } else if self.flight() > 0 {
+            self.handle_dupack(now, out);
+        }
+        if let Some(total) = self.cfg.total_segments {
+            if self.snd_una >= total && !self.completed {
+                self.completed = true;
+                self.rto_armed = false;
+                self.rto_gen += 1; // invalidate any armed timer
+                out.push(SenderOut::Completed);
+                return;
+            }
+        }
+        self.fill_window(now, out);
+    }
+
+    fn handle_new_ack(&mut self, ack: u64, now: SimTime, out: &mut Vec<SenderOut>) {
+        let newly_acked = ack - self.snd_una;
+        // RTT sample from the head of the window (Karn: skip if it was
+        // retransmitted).
+        if let Some((sent_at, rtx)) = self.una_sent_at.take() {
+            if !rtx {
+                self.rtt.sample(now.since(sent_at).as_secs_f64());
+            }
+        }
+        self.backoff = 0;
+        self.snd_una = ack;
+        self.dupacks = 0;
+
+        // Advance the scoreboard floor.
+        if self.cfg.sack {
+            self.sacked = self.sacked.split_off(&ack);
+            self.rtx_marked = self.rtx_marked.split_off(&ack);
+        }
+
+        match self.recovery {
+            Some(recover) if ack < recover && self.cfg.sack => {
+                // SACK partial ACK: the scoreboard drives retransmission;
+                // keep filling holes under the halved window.
+                self.una_sent_at = Some((now, true));
+                self.sack_fill(now, out);
+            }
+            Some(recover) if ack < recover => {
+                // NewReno partial ACK: the next hole is lost too.
+                // Retransmit it, deflate the window by the amount acked.
+                out.push(SenderOut::Send { seq: ack, rtx: true });
+                self.retransmits += 1;
+                self.una_sent_at = Some((now, true));
+                self.cwnd = (self.cwnd - newly_acked as f64 + 1.0).max(1.0);
+            }
+            Some(_) => {
+                // Full ACK: leave recovery.
+                self.recovery = None;
+                self.rtx_marked.clear();
+                self.cwnd = self.ssthresh;
+                self.una_sent_at = if self.flight() > 0 { Some((now, false)) } else { None };
+            }
+            None => {
+                // Normal window growth, once per ACK.
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly_acked as f64; // slow start
+                } else {
+                    self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+                }
+                self.una_sent_at = if self.flight() > 0 { Some((now, false)) } else { None };
+            }
+        }
+
+        // Restart the RTO for remaining in-flight data.
+        if self.flight() > 0 {
+            self.arm_rto(now, out);
+        } else {
+            self.rto_armed = false;
+            self.rto_gen += 1;
+        }
+    }
+
+    fn handle_dupack(&mut self, now: SimTime, out: &mut Vec<SenderOut>) {
+        if self.cfg.sack {
+            self.handle_dupack_sack(now, out);
+            return;
+        }
+        if self.recovery.is_some() {
+            // Window inflation: each further dupack signals a departure.
+            self.cwnd += 1.0;
+            return;
+        }
+        self.dupacks += 1;
+        if self.dupacks == 3 {
+            // Fast retransmit + fast recovery.
+            self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
+            self.recovery = Some(self.snd_nxt);
+            self.cwnd = self.ssthresh + 3.0;
+            out.push(SenderOut::Send { seq: self.snd_una, rtx: true });
+            self.retransmits += 1;
+            self.una_sent_at = Some((now, true));
+            self.arm_rto(now, out);
+        }
+    }
+
+    // ---- SACK machinery (active only with `cfg.sack`) ----
+
+    /// Merge reported blocks into the scoreboard.
+    fn sack_update(&mut self, blocks: &[(u64, u64)]) {
+        for &(start, end) in blocks {
+            let lo = start.max(self.snd_una);
+            let hi = end.min(self.snd_nxt);
+            for seq in lo..hi {
+                self.sacked.insert(seq);
+            }
+        }
+    }
+
+    fn handle_dupack_sack(&mut self, now: SimTime, out: &mut Vec<SenderOut>) {
+        if self.recovery.is_some() {
+            self.sack_fill(now, out);
+            return;
+        }
+        self.dupacks += 1;
+        // Enter recovery on the classic three duplicate ACKs, or as soon
+        // as the scoreboard shows three segments delivered above a hole
+        // (RFC 3517's loss-detection heuristic).
+        if self.dupacks >= 3 || self.sacked.len() >= 3 {
+            self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
+            self.cwnd = self.ssthresh;
+            self.recovery = Some(self.snd_nxt);
+            self.rtx_marked.clear();
+            self.sack_fill(now, out);
+            self.arm_rto(now, out);
+        }
+    }
+
+    /// RFC 3517's IsLost: a hole is presumed lost once three segments
+    /// above it have been SACKed (or it is the window head after three
+    /// duplicate ACKs).
+    fn sack_is_lost(&self, seq: u64) -> bool {
+        if seq == self.snd_una && self.dupacks >= 3 {
+            return true;
+        }
+        self.sacked.range(seq + 1..).count() >= 3
+    }
+
+    /// Estimated segments actually in the pipe during SACK recovery:
+    /// everything outstanding, minus what the scoreboard says arrived,
+    /// minus the holes presumed lost that we have not yet retransmitted.
+    fn sack_pipe(&self) -> u64 {
+        let recover = self.recovery.unwrap_or(self.snd_una);
+        let lost_not_rtx = (self.snd_una..recover)
+            .filter(|&s| {
+                !self.sacked.contains(&s) && !self.rtx_marked.contains(&s) && self.sack_is_lost(s)
+            })
+            .count() as u64;
+        self.flight().saturating_sub(self.sacked.len() as u64 + lost_not_rtx)
+    }
+
+    /// Retransmit presumed-lost holes (lowest first), then send new data,
+    /// while the pipe estimate stays under the window.
+    fn sack_fill(&mut self, now: SimTime, out: &mut Vec<SenderOut>) {
+        let recover = match self.recovery {
+            Some(r) => r,
+            None => return,
+        };
+        let wnd = self.effective_window();
+        while self.sack_pipe() < wnd {
+            let hole = (self.snd_una..recover).find(|&s| {
+                !self.sacked.contains(&s) && !self.rtx_marked.contains(&s) && self.sack_is_lost(s)
+            });
+            match hole {
+                Some(seq) => {
+                    out.push(SenderOut::Send { seq, rtx: true });
+                    self.rtx_marked.insert(seq);
+                    self.segments_sent += 1;
+                    self.retransmits += 1;
+                    if seq == self.snd_una {
+                        self.una_sent_at = Some((now, true));
+                    }
+                }
+                None => {
+                    if self.snd_nxt < self.send_limit() {
+                        out.push(SenderOut::Send { seq: self.snd_nxt, rtx: false });
+                        self.snd_nxt += 1;
+                        self.segments_sent += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle a retransmission-timer firing with generation `gen`. Stale
+    /// generations are ignored.
+    pub fn on_rto(&mut self, gen: u64, now: SimTime, out: &mut Vec<SenderOut>) {
+        if gen != self.rto_gen || !self.rto_armed || self.completed {
+            return;
+        }
+        if self.flight() == 0 {
+            self.rto_armed = false;
+            return;
+        }
+        self.timeouts += 1;
+        // Classic timeout response: collapse to one segment, halve
+        // ssthresh, retransmit the head, go-back-N for the rest (they will
+        // be resent as the window reopens because snd_nxt rewinds).
+        self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.recovery = None;
+        self.dupacks = 0;
+        self.sacked.clear();
+        self.rtx_marked.clear();
+        self.snd_nxt = self.snd_una;
+        self.backoff += 1;
+        out.push(SenderOut::Send { seq: self.snd_una, rtx: true });
+        self.segments_sent += 1;
+        self.retransmits += 1;
+        self.snd_nxt += 1;
+        self.una_sent_at = Some((now, true));
+        self.arm_rto(now, out);
+    }
+}
+
+fn sim_dur(secs: f64) -> badabing_sim::time::SimDuration {
+    badabing_sim::time::SimDuration::from_secs_f64(secs)
+}
+
+/// The receiver: cumulative ACK with out-of-order buffering. Emits one ACK
+/// per received data segment (immediate ACKing, as the testbed's Linux 2.4
+/// receivers effectively did under load via quick-ACK mode).
+#[derive(Debug, Clone, Default)]
+pub struct ReceiverConn {
+    rcv_nxt: u64,
+    ooo: std::collections::BTreeSet<u64>,
+    received: u64,
+    duplicates: u64,
+    /// Most recently buffered out-of-order segment (its block is
+    /// reported first, per RFC 2018).
+    last_ooo: Option<u64>,
+}
+
+impl ReceiverConn {
+    /// New receiver expecting segment 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next expected segment.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Distinct in-order segments delivered so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Duplicate segments seen.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Process an arriving data segment, returning the cumulative ACK to
+    /// send back (the next expected segment index).
+    pub fn on_data(&mut self, seq: u64) -> u64 {
+        if seq < self.rcv_nxt || self.ooo.contains(&seq) {
+            self.duplicates += 1;
+            return self.rcv_nxt;
+        }
+        if seq == self.rcv_nxt {
+            self.rcv_nxt += 1;
+            self.received += 1;
+            // Drain any contiguous out-of-order run (already counted in
+            // `received` when first buffered).
+            while self.ooo.remove(&self.rcv_nxt) {
+                self.rcv_nxt += 1;
+            }
+        } else {
+            self.ooo.insert(seq);
+            self.last_ooo = Some(seq);
+            self.received += 1;
+        }
+        if self.ooo.is_empty() {
+            self.last_ooo = None;
+        }
+        self.rcv_nxt
+    }
+
+    /// The receiver's SACK blocks: up to three `[start, end)` ranges of
+    /// buffered out-of-order segments, the block containing the most
+    /// recently arrived segment first (RFC 2018's ordering rule). Returns
+    /// the fixed-size array plus the valid count, matching the packet
+    /// encoding.
+    pub fn sack_blocks(&self) -> ([(u64, u64); 3], u8) {
+        let mut blocks = [(0u64, 0u64); 3];
+        if self.ooo.is_empty() {
+            return (blocks, 0);
+        }
+        // Contiguous ranges of the out-of-order set, ascending.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &seq in &self.ooo {
+            match ranges.last_mut() {
+                Some(last) if seq == last.1 => last.1 = seq + 1,
+                _ => ranges.push((seq, seq + 1)),
+            }
+        }
+        // Put the range holding the newest arrival first.
+        if let Some(last) = self.last_ooo {
+            if let Some(pos) = ranges.iter().position(|&(s, e)| (s..e).contains(&last)) {
+                let first = ranges.remove(pos);
+                ranges.insert(0, first);
+            }
+        }
+        let n = ranges.len().min(3);
+        blocks[..n].copy_from_slice(&ranges[..n]);
+        (blocks, n as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    /// Drive a sender and receiver over a lossless, fixed-RTT "network",
+    /// returning the time each segment was first sent.
+    fn run_lossless(total: u64, rtt: f64) -> (SenderConn, f64) {
+        let cfg = TcpConfig { total_segments: Some(total), ..Default::default() };
+        let mut snd = SenderConn::new(cfg);
+        let mut rcv = ReceiverConn::new();
+        let mut out = Vec::new();
+        let mut now = 0.0;
+        snd.open(t(now), &mut out);
+        let mut in_flight: Vec<u64> = Vec::new();
+        let mut completed = false;
+        for _ in 0..100_000 {
+            // Collect sends.
+            for ev in out.drain(..) {
+                match ev {
+                    SenderOut::Send { seq, .. } => in_flight.push(seq),
+                    SenderOut::Completed => completed = true,
+                    SenderOut::ArmRto { .. } => {}
+                }
+            }
+            if completed {
+                break;
+            }
+            assert!(!in_flight.is_empty(), "deadlock: nothing in flight at t={now}");
+            // One RTT later, everything sent this round is acked.
+            now += rtt;
+            let batch: Vec<u64> = std::mem::take(&mut in_flight);
+            for seq in batch {
+                let ack = rcv.on_data(seq);
+                snd.on_ack(ack, t(now), &mut out);
+            }
+        }
+        assert!(completed, "transfer did not complete");
+        (snd, now)
+    }
+
+    #[test]
+    fn lossless_transfer_completes_without_retransmits() {
+        let (snd, _) = run_lossless(1000, 0.1);
+        assert_eq!(snd.retransmits(), 0);
+        assert_eq!(snd.timeouts(), 0);
+        assert_eq!(snd.segments_sent(), 1000);
+        assert!(snd.is_completed());
+        assert_eq!(snd.flight(), 0);
+    }
+
+    #[test]
+    fn slow_start_doubles_window_per_rtt() {
+        // With init_cwnd=2, lossless rounds deliver 2,4,8,... segments.
+        let cfg = TcpConfig { total_segments: None, ..Default::default() };
+        let mut snd = SenderConn::new(cfg);
+        let mut rcv = ReceiverConn::new();
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        let sent_round0: Vec<u64> = drain_sends(&mut out);
+        assert_eq!(sent_round0, vec![0, 1]);
+        for (round, expect) in [(1usize, 4usize), (2, 8), (3, 16)] {
+            let now = t(0.1 * round as f64);
+            let prev: Vec<u64> = sent_round0.clone(); // placeholder for clarity
+            let _ = prev;
+            // Ack everything currently outstanding, one ack per segment.
+            let mut sends = Vec::new();
+            let flight_start = snd.snd_una;
+            let flight_end = snd.snd_nxt;
+            for seq in flight_start..flight_end {
+                let ack = rcv.on_data(seq);
+                snd.on_ack(ack, now, &mut out);
+                sends.extend(drain_sends(&mut out));
+            }
+            assert_eq!(sends.len(), expect, "round {round}");
+        }
+    }
+
+    fn drain_sends(out: &mut Vec<SenderOut>) -> Vec<u64> {
+        let mut v = Vec::new();
+        out.retain(|ev| match ev {
+            SenderOut::Send { seq, .. } => {
+                v.push(*seq);
+                false
+            }
+            _ => true,
+        });
+        v
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit_and_halving() {
+        let mut snd = SenderConn::new(TcpConfig {
+            init_cwnd: 10.0,
+            init_ssthresh: 8.0, // start in congestion avoidance
+            ..Default::default()
+        });
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        let sent = drain_sends(&mut out);
+        assert_eq!(sent.len(), 10);
+        // Segment 0 lost; acks for 1..=3 are dupacks of 0.
+        for _ in 0..2 {
+            snd.on_ack(0, t(0.1), &mut out);
+            assert!(drain_sends(&mut out).is_empty());
+        }
+        snd.on_ack(0, t(0.1), &mut out);
+        let rtx = drain_sends(&mut out);
+        assert_eq!(rtx, vec![0], "third dupack retransmits the head");
+        assert_eq!(snd.retransmits(), 1);
+        assert!((snd.ssthresh() - 5.0).abs() < 1e-9, "ssthresh = flight/2 = 5");
+        // Full ACK exits recovery at cwnd = ssthresh.
+        snd.on_ack(10, t(0.2), &mut out);
+        assert!((snd.cwnd() - 5.0).abs() < 1e-9, "cwnd deflates to ssthresh");
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut snd = SenderConn::new(TcpConfig {
+            init_cwnd: 10.0,
+            init_ssthresh: 8.0,
+            ..Default::default()
+        });
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        drain_sends(&mut out);
+        // Segments 0 and 4 lost. Dupacks arrive for 0.
+        for _ in 0..3 {
+            snd.on_ack(0, t(0.1), &mut out);
+        }
+        assert_eq!(drain_sends(&mut out), vec![0]);
+        // Retransmitted 0 arrives; receiver now has 0..=3 but not 4:
+        // partial ack of 4 (recovery point is 10).
+        snd.on_ack(4, t(0.2), &mut out);
+        let sends = drain_sends(&mut out);
+        assert!(sends.contains(&4), "partial ack retransmits the next hole, got {sends:?}");
+        // Full ack finally exits recovery at cwnd = ssthresh, and the
+        // infinite source immediately refills the (deflated) window.
+        snd.on_ack(10, t(0.3), &mut out);
+        assert!((snd.cwnd() - snd.ssthresh()).abs() < 1e-9);
+        let refill = drain_sends(&mut out);
+        assert_eq!(refill.len(), snd.cwnd().floor() as usize);
+        assert_eq!(snd.flight(), refill.len() as u64);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_backs_off() {
+        let mut snd = SenderConn::new(TcpConfig { init_cwnd: 8.0, ..Default::default() });
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        drain_sends(&mut out);
+        let gen = last_rto_gen(&mut out).expect("rto armed on first send");
+        snd.on_rto(gen, t(1.0), &mut out);
+        assert_eq!(snd.timeouts(), 1);
+        assert!((snd.cwnd() - 1.0).abs() < 1e-9);
+        let sends = drain_sends(&mut out);
+        assert_eq!(sends, vec![0], "timeout retransmits the head only");
+        // The next timeout doubles the backoff: verify the armed interval grew.
+        let gen2 = last_rto_gen(&mut out).expect("rto re-armed");
+        assert!(gen2 > gen);
+    }
+
+    fn last_rto_gen(out: &mut Vec<SenderOut>) -> Option<u64> {
+        let mut gen = None;
+        out.retain(|ev| match ev {
+            SenderOut::ArmRto { gen: g, .. } => {
+                gen = Some(*g);
+                false
+            }
+            _ => true,
+        });
+        gen
+    }
+
+    #[test]
+    fn stale_rto_generation_is_ignored() {
+        let mut snd = SenderConn::new(TcpConfig::default());
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        drain_sends(&mut out);
+        let gen = last_rto_gen(&mut out).unwrap();
+        // An ack restarts the timer → new generation.
+        snd.on_ack(1, t(0.05), &mut out);
+        drain_sends(&mut out);
+        let gen2 = last_rto_gen(&mut out);
+        // Old timer fires late: must be a no-op.
+        snd.on_rto(gen, t(1.0), &mut out);
+        assert_eq!(snd.timeouts(), 0);
+        assert!(gen2.is_none() || gen2.unwrap() > gen);
+    }
+
+    #[test]
+    fn rwnd_caps_the_window() {
+        let mut snd = SenderConn::new(TcpConfig {
+            rwnd_segments: 4,
+            init_cwnd: 100.0,
+            ..Default::default()
+        });
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        assert_eq!(drain_sends(&mut out).len(), 4);
+    }
+
+    #[test]
+    fn finite_transfer_stops_at_total() {
+        let mut snd = SenderConn::new(TcpConfig {
+            total_segments: Some(3),
+            init_cwnd: 100.0,
+            ..Default::default()
+        });
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        assert_eq!(drain_sends(&mut out).len(), 3);
+        snd.on_ack(3, t(0.1), &mut out);
+        assert!(snd.is_completed());
+        assert!(out.iter().any(|e| matches!(e, SenderOut::Completed)));
+    }
+
+    #[test]
+    fn receiver_reorders_and_acks_cumulatively() {
+        let mut rcv = ReceiverConn::new();
+        assert_eq!(rcv.on_data(0), 1);
+        assert_eq!(rcv.on_data(2), 1, "gap: still expecting 1");
+        assert_eq!(rcv.on_data(3), 1);
+        assert_eq!(rcv.on_data(1), 4, "hole filled: cumulative jump");
+        assert_eq!(rcv.received(), 4);
+        assert_eq!(rcv.duplicates(), 0);
+    }
+
+    #[test]
+    fn receiver_counts_duplicates() {
+        let mut rcv = ReceiverConn::new();
+        rcv.on_data(0);
+        assert_eq!(rcv.on_data(0), 1);
+        assert_eq!(rcv.duplicates(), 1);
+        rcv.on_data(5);
+        assert_eq!(rcv.on_data(5), 1);
+        assert_eq!(rcv.duplicates(), 2);
+    }
+
+    #[test]
+    fn receiver_reports_sack_blocks_newest_first() {
+        let mut rcv = ReceiverConn::new();
+        rcv.on_data(0); // in order
+        rcv.on_data(3);
+        rcv.on_data(4);
+        rcv.on_data(8);
+        let (blocks, n) = rcv.sack_blocks();
+        assert_eq!(n, 2);
+        // 8 arrived last → its block first, then [3,5).
+        assert_eq!(blocks[0], (8, 9));
+        assert_eq!(blocks[1], (3, 5));
+        // Filling the hole drains the set; no blocks remain after full
+        // reassembly.
+        rcv.on_data(1);
+        rcv.on_data(2);
+        let (_, n2) = rcv.sack_blocks();
+        assert_eq!(n2, 1, "block [8,9) still outstanding");
+        for s in 5..8 {
+            rcv.on_data(s);
+        }
+        assert_eq!(rcv.sack_blocks().1, 0);
+    }
+
+    #[test]
+    fn receiver_caps_blocks_at_three() {
+        let mut rcv = ReceiverConn::new();
+        for s in [2u64, 4, 6, 8, 10] {
+            rcv.on_data(s);
+        }
+        let (_, n) = rcv.sack_blocks();
+        assert_eq!(n, 3);
+    }
+
+    /// Lossy one-RTT loop: segments in `lost` are dropped on their first
+    /// transmission only. Returns the sender after the transfer completes
+    /// (or panics after too many rounds).
+    fn run_lossy_sack(total: u64, lost: &[u64], sack: bool) -> SenderConn {
+        let cfg = TcpConfig {
+            total_segments: Some(total),
+            init_cwnd: 20.0,
+            init_ssthresh: 18.0,
+            sack,
+            ..Default::default()
+        };
+        let mut snd = SenderConn::new(cfg);
+        let mut rcv = ReceiverConn::new();
+        let mut out = Vec::new();
+        let mut now = 0.0;
+        snd.open(t(now), &mut out);
+        let mut dropped: std::collections::HashSet<u64> = Default::default();
+        for _round in 0..200 {
+            now += 0.1;
+            // Deliver this round's sends (dropping scripted first-time
+            // losses), one ACK per delivered segment.
+            let sends = drain_sends(&mut out);
+            if sends.is_empty() {
+                // Nothing in flight delivered an ACK: fire the RTO.
+                let gen = last_rto_gen(&mut out).unwrap_or(snd.rto_gen);
+                now += 1.0;
+                snd.on_rto(gen, t(now), &mut out);
+                continue;
+            }
+            for seq in sends {
+                if lost.contains(&seq) && !dropped.contains(&seq) {
+                    dropped.insert(seq);
+                    continue;
+                }
+                let ack = rcv.on_data(seq);
+                let (blocks, n) = rcv.sack_blocks();
+                snd.on_ack_sack(ack, &blocks[..usize::from(n)], t(now), &mut out);
+                if snd.is_completed() {
+                    return snd;
+                }
+            }
+        }
+        panic!("transfer did not complete; una={}, nxt={}", snd.snd_una, snd.snd_nxt);
+    }
+
+    #[test]
+    fn sack_repairs_multi_loss_window_without_timeout() {
+        // Three scattered losses in the initial 18-segment window: Reno
+        // (NewReno) needs a partial-ACK round per hole; SACK repairs them
+        // all from the scoreboard with no RTO.
+        let snd = run_lossy_sack(60, &[2, 7, 11], true);
+        assert_eq!(snd.timeouts(), 0, "SACK should avoid the RTO");
+        assert_eq!(snd.retransmits(), 3, "exactly the three lost segments");
+    }
+
+    #[test]
+    fn reno_and_sack_both_recover_but_sack_never_times_out() {
+        let sack = run_lossy_sack(60, &[2, 7, 11], true);
+        let reno = run_lossy_sack(60, &[2, 7, 11], false);
+        // Both complete the transfer with exactly the lost segments
+        // retransmitted (NewReno serializes them via partial ACKs; SACK
+        // batches them), but only SACK is guaranteed RTO-free here.
+        assert_eq!(sack.timeouts(), 0);
+        assert!(reno.retransmits() >= 3);
+        assert_eq!(sack.retransmits(), 3);
+        assert!(sack.is_completed() && reno.is_completed());
+    }
+
+    #[test]
+    fn sack_single_loss_behaves_like_fast_retransmit() {
+        let snd = run_lossy_sack(40, &[5], true);
+        assert_eq!(snd.timeouts(), 0);
+        assert_eq!(snd.retransmits(), 1);
+    }
+
+    #[test]
+    fn sack_scoreboard_prunes_below_una() {
+        let cfg = TcpConfig { sack: true, init_cwnd: 10.0, ..Default::default() };
+        let mut snd = SenderConn::new(cfg);
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        drain_sends(&mut out);
+        // Blocks for 3..6 while ack is still 0.
+        snd.on_ack_sack(0, &[(3, 6)], t(0.1), &mut out);
+        assert_eq!(snd.sacked.len(), 3);
+        // Cumulative ack to 6 covers them all.
+        snd.on_ack_sack(6, &[], t(0.2), &mut out);
+        assert!(snd.sacked.is_empty());
+    }
+
+    #[test]
+    fn rtt_estimator_converges_and_clamps() {
+        let mut e = RttEstimator::new(0.2, 60.0);
+        assert!((e.rto() - 1.0).abs() < 1e-9, "pre-sample RTO is 1s");
+        for _ in 0..50 {
+            e.sample(0.1);
+        }
+        // Stable 100 ms RTT: RTO collapses to the 200 ms floor.
+        assert!((e.rto() - 0.2).abs() < 1e-9, "rto was {}", e.rto());
+        e.sample(10.0);
+        assert!(e.rto() > 1.0, "a huge sample raises the RTO");
+    }
+
+    #[test]
+    fn ack_beyond_snd_nxt_is_ignored() {
+        let mut snd = SenderConn::new(TcpConfig::default());
+        let mut out = Vec::new();
+        snd.open(t(0.0), &mut out);
+        drain_sends(&mut out);
+        snd.on_ack(1_000_000, t(0.1), &mut out);
+        assert_eq!(snd.flight(), 2, "bogus ack changed nothing");
+    }
+}

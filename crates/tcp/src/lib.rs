@@ -1,0 +1,30 @@
+//! Reno-style TCP for the BADABING reproduction.
+//!
+//! The paper's cross traffic is dominated by TCP: 40 *infinite* sources
+//! create the sawtooth queue dynamics of Figure 4 / Table 1, and the
+//! Harpoon-like web workload (Figure 6 / Tables 3 and 6) is thousands of
+//! *finite* TCP transfers with heavy-tailed sizes. What matters for the
+//! study is TCP's reactive congestion behaviour — windows grow until the
+//! drop-tail buffer overflows, losses synchronize multiplicative decreases,
+//! the queue drains, and the cycle repeats — so this crate implements a
+//! faithful Reno/NewReno sender (slow start, congestion avoidance, fast
+//! retransmit, fast recovery with partial-ACK retransmission, RTO with
+//! exponential backoff and Karn's rule) rather than a full socket API.
+//!
+//! The protocol logic is *sans-IO*: [`conn::SenderConn`] and
+//! [`conn::ReceiverConn`] are pure state machines that emit actions, and
+//! [`node::TcpFlowNode`] / [`node::TcpSinkNode`] adapt them to the
+//! simulator. This keeps the state machines unit-testable in isolation and
+//! lets the web-traffic generator multiplex many connections inside a
+//! single node.
+//!
+//! Sequence numbers are in MSS-sized segments, not bytes: every data packet
+//! in the experiments is a full-sized 1500-byte frame (the paper's infinite
+//! sources use "256 full size (1500 bytes) packets" receive windows), so
+//! byte granularity would add bookkeeping without changing any behaviour.
+
+pub mod conn;
+pub mod node;
+
+pub use conn::{ReceiverConn, SenderConn, SenderOut, TcpConfig};
+pub use node::{TcpFlowNode, TcpSinkNode};

@@ -1,0 +1,278 @@
+//! Simulator adapters for the TCP state machines.
+//!
+//! [`TcpFlowNode`] runs one sender as a simulation node (used for the 40
+//! infinite sources of Figure 4 / Table 1); [`TcpSinkNode`] is the matching
+//! receiver. ACKs travel on the reverse path, which in the testbed is
+//! uncongested, so the sink sends them straight back to the sender node
+//! after the reverse propagation delay.
+
+use crate::conn::{ReceiverConn, SenderConn, SenderOut, TcpConfig};
+use badabing_sim::node::{Context, Node, NodeId};
+use badabing_sim::packet::{FlowId, Packet, PacketKind};
+use badabing_sim::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// A single TCP sender attached to the dumbbell.
+pub struct TcpFlowNode {
+    conn: SenderConn,
+    flow: FlowId,
+    bottleneck: NodeId,
+    ingress_delay: SimDuration,
+    /// Optional stagger: the connection opens at this time instead of t=0,
+    /// so the 40 infinite sources don't start in lockstep.
+    start_at: SimTime,
+    completed_at: Option<SimTime>,
+    out: Vec<SenderOut>,
+}
+
+const TOKEN_OPEN: u64 = u64::MAX;
+
+impl TcpFlowNode {
+    /// Create a sender for `flow` that transmits into `bottleneck` after
+    /// `ingress_delay`, opening at `start_at`.
+    pub fn new(
+        cfg: TcpConfig,
+        flow: FlowId,
+        bottleneck: NodeId,
+        ingress_delay: SimDuration,
+        start_at: SimTime,
+    ) -> Self {
+        Self {
+            conn: SenderConn::new(cfg),
+            flow,
+            bottleneck,
+            ingress_delay,
+            start_at,
+            completed_at: None,
+            out: Vec::new(),
+        }
+    }
+
+    /// Access the underlying state machine (for assertions and reporting).
+    pub fn conn(&self) -> &SenderConn {
+        &self.conn
+    }
+
+    /// When a finite transfer completed, if it has.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+
+    fn pump(&mut self, ctx: &mut Context<'_>) {
+        let mss = self.conn.config().mss_bytes;
+        // `out` is drained into simulator actions. Note: RTO timer tokens
+        // carry the generation number directly; stale generations are
+        // filtered by the state machine.
+        for ev in self.out.drain(..) {
+            match ev {
+                SenderOut::Send { seq, .. } => {
+                    let pkt = Packet {
+                        id: ctx.next_packet_id(),
+                        flow: self.flow,
+                        size: mss,
+                        created: ctx.now(),
+                        kind: PacketKind::TcpData { seq, len: mss },
+                    };
+                    ctx.send(self.bottleneck, pkt, self.ingress_delay);
+                }
+                SenderOut::ArmRto { gen, at } => {
+                    debug_assert_ne!(gen, TOKEN_OPEN, "rto generation collided with open token");
+                    let at = at.max(ctx.now());
+                    ctx.set_timer_at(at, gen);
+                }
+                SenderOut::Completed => {
+                    self.completed_at = Some(ctx.now());
+                }
+            }
+        }
+    }
+}
+
+impl Node for TcpFlowNode {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer_at(self.start_at.max(ctx.now()), TOKEN_OPEN);
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        match packet.kind {
+            PacketKind::TcpAck { ack } => {
+                self.conn.on_ack(ack, ctx.now(), &mut self.out);
+                self.pump(ctx);
+            }
+            PacketKind::TcpSack { ack, blocks, n_blocks } => {
+                self.conn.on_ack_sack(
+                    ack,
+                    &blocks[..usize::from(n_blocks)],
+                    ctx.now(),
+                    &mut self.out,
+                );
+                self.pump(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if token == TOKEN_OPEN {
+            self.conn.open(ctx.now(), &mut self.out);
+        } else {
+            self.conn.on_rto(token, ctx.now(), &mut self.out);
+        }
+        self.pump(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The matching receiver: ACKs go straight back to the sender node over the
+/// (uncongested) reverse path.
+pub struct TcpSinkNode {
+    conn: ReceiverConn,
+    flow: FlowId,
+    sender: NodeId,
+    reverse_delay: SimDuration,
+    ack_bytes: u32,
+    sack: bool,
+}
+
+impl TcpSinkNode {
+    /// Create a sink for `flow` whose ACKs return to `sender` after
+    /// `reverse_delay`. With `sack`, ACKs carry RFC 2018 blocks.
+    pub fn new(
+        flow: FlowId,
+        sender: NodeId,
+        reverse_delay: SimDuration,
+        ack_bytes: u32,
+        sack: bool,
+    ) -> Self {
+        Self { conn: ReceiverConn::new(), flow, sender, reverse_delay, ack_bytes, sack }
+    }
+
+    /// Access the underlying receiver state.
+    pub fn conn(&self) -> &ReceiverConn {
+        &self.conn
+    }
+}
+
+impl Node for TcpSinkNode {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if let PacketKind::TcpData { seq, .. } = packet.kind {
+            let ack = self.conn.on_data(seq);
+            let kind = if self.sack {
+                let (blocks, n_blocks) = self.conn.sack_blocks();
+                PacketKind::TcpSack { ack, blocks, n_blocks }
+            } else {
+                PacketKind::TcpAck { ack }
+            };
+            let pkt = Packet {
+                id: ctx.next_packet_id(),
+                flow: self.flow,
+                size: self.ack_bytes,
+                created: ctx.now(),
+                kind,
+            };
+            ctx.send(self.sender, pkt, self.reverse_delay);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Attach a full TCP connection (sender + receiver) for `flow` to a
+/// dumbbell, returning `(sender_id, sink_id)`.
+pub fn attach_flow(
+    db: &mut badabing_sim::topology::Dumbbell,
+    flow: FlowId,
+    cfg: TcpConfig,
+    start_at: SimTime,
+) -> (NodeId, NodeId) {
+    let bottleneck = db.bottleneck();
+    let ingress = db.ingress_delay();
+    let reverse = db.config().reverse_delay;
+    let sender = db.add_node(Box::new(TcpFlowNode::new(cfg, flow, bottleneck, ingress, start_at)));
+    let sink =
+        db.add_node(Box::new(TcpSinkNode::new(flow, sender, reverse, cfg.ack_bytes, cfg.sack)));
+    db.route_flow(flow, sink);
+    (sender, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_sim::topology::Dumbbell;
+
+    #[test]
+    fn single_flow_is_rwnd_limited_and_lossless() {
+        // One flow with rwnd = 256 segments over a ~100 ms RTT can carry at
+        // most ~30 Mb/s — far below OC3 — so it must not lose anything.
+        let mut db = Dumbbell::standard();
+        let cfg = TcpConfig::default();
+        let (sender, sink) = attach_flow(&mut db, FlowId(1), cfg, SimTime::ZERO);
+        db.run_for(30.0);
+        let drops = db.monitor().borrow().drops();
+        assert_eq!(drops, 0, "rwnd-limited flow should not overflow a 1.9MB buffer");
+        let received = db.sim.node::<TcpSinkNode>(sink).conn().received();
+        // Theoretical ceiling: 256 segments per RTT (~0.1001 s) for ~30 s.
+        let ceiling = (30.0 / 0.1001 * 256.0) as u64;
+        assert!(received > ceiling / 2, "moved {received} segments, expected near {ceiling}");
+        assert!(received <= ceiling + 256);
+        assert_eq!(db.sim.node::<TcpFlowNode>(sender).conn().retransmits(), 0);
+    }
+
+    #[test]
+    fn finite_transfer_completes_through_dumbbell() {
+        let mut db = Dumbbell::standard();
+        let cfg = TcpConfig { total_segments: Some(500), ..Default::default() };
+        let (sender, sink) = attach_flow(&mut db, FlowId(1), cfg, SimTime::ZERO);
+        db.run_for(60.0);
+        let s = db.sim.node::<TcpFlowNode>(sender);
+        assert!(s.conn().is_completed(), "transfer should finish in 60s");
+        assert!(s.completed_at().is_some());
+        assert_eq!(db.sim.node::<TcpSinkNode>(sink).conn().received(), 500);
+    }
+
+    #[test]
+    fn many_flows_saturate_and_lose() {
+        // 40 infinite sources overwhelm OC3 (aggregate rwnd ceiling is
+        // ~8x the pipe+buffer), so the queue must overflow repeatedly.
+        let mut db = Dumbbell::standard();
+        for f in 0..40u32 {
+            // Stagger starts over the first 2 seconds.
+            let start = SimTime::from_secs_f64(f as f64 * 0.05);
+            attach_flow(&mut db, FlowId(f), TcpConfig::default(), start);
+        }
+        db.run_for(30.0);
+        let m = db.monitor();
+        assert!(m.borrow().drops() > 0, "expected loss under 40 infinite sources");
+        let gt = db.ground_truth(30.0);
+        assert!(!gt.episodes.is_empty());
+        assert!(gt.frequency() > 0.0);
+        // Utilization sanity: the bottleneck should be busy most of the time.
+        let departed_bytes: u64 = m.borrow().departs() * 1500;
+        let utilization = departed_bytes as f64 * 8.0 / (155_520_000.0 * 30.0);
+        assert!(utilization > 0.5, "utilization only {utilization:.2}");
+    }
+
+    #[test]
+    fn staggered_start_delays_opening() {
+        let mut db = Dumbbell::standard();
+        let cfg = TcpConfig { total_segments: Some(10), ..Default::default() };
+        let (sender, _) = attach_flow(&mut db, FlowId(1), cfg, SimTime::from_secs_f64(5.0));
+        db.run_for(4.9);
+        assert_eq!(db.sim.node::<TcpFlowNode>(sender).conn().segments_sent(), 0);
+        db.run_for(20.0);
+        assert!(db.sim.node::<TcpFlowNode>(sender).conn().is_completed());
+    }
+}

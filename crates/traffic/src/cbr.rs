@@ -1,0 +1,306 @@
+//! Constant-bit-rate loss-episode driver (the Iperf stand-in).
+//!
+//! The paper's second traffic scenario uses Iperf to create "a series of
+//! (approximately) constant duration (about 68 milliseconds) loss episodes
+//! that were spaced randomly at exponential intervals with mean of 10
+//! seconds" (§4.2), later extended to episodes of 50/100/150 ms (§6.2).
+//!
+//! Mechanism: starting from an empty buffer of drain-time `Q` seconds, a
+//! burst at `f × B_out` fills the queue in `Q / (f - 1)` seconds; drops
+//! then occur for as long as the overdrive continues. To produce a loss
+//! episode of length `L`, the source bursts for `Q / (f - 1) + L` seconds
+//! and then goes silent until the next exponentially spaced episode.
+
+use badabing_sim::node::{Context, Node, NodeId};
+use badabing_sim::packet::{FlowId, Packet, PacketKind};
+use badabing_sim::time::{SimDuration, SimTime};
+use badabing_stats::dist::{Exponential, Sample};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::any::Any;
+
+/// Episode-length policy.
+#[derive(Debug, Clone)]
+pub enum EpisodeLengths {
+    /// Every episode has the same loss duration (seconds).
+    Fixed(f64),
+    /// Each episode's loss duration is drawn uniformly from this set
+    /// (the paper's 50/100/150 ms scenario).
+    Choice(Vec<f64>),
+}
+
+impl EpisodeLengths {
+    fn draw(&self, rng: &mut StdRng) -> f64 {
+        match self {
+            EpisodeLengths::Fixed(l) => *l,
+            EpisodeLengths::Choice(ls) => {
+                assert!(!ls.is_empty(), "empty episode length set");
+                ls[rng.random_range(0..ls.len())]
+            }
+        }
+    }
+}
+
+/// Configuration for [`CbrEpisodeSource`].
+#[derive(Debug, Clone)]
+pub struct CbrEpisodeConfig {
+    /// Mean gap between episodes in seconds (exponentially distributed,
+    /// measured from the end of one burst to the start of the next).
+    /// Paper: 10 s.
+    pub mean_gap_secs: f64,
+    /// Target loss duration per episode.
+    pub lengths: EpisodeLengths,
+    /// Burst rate as a multiple of the bottleneck rate (must be > 1).
+    pub burst_factor: f64,
+    /// UDP packet size in bytes.
+    pub packet_bytes: u32,
+    /// Bottleneck service rate (bits/s) — needed to calibrate the burst.
+    pub bottleneck_rate_bps: u64,
+    /// Bottleneck buffer drain time in seconds.
+    pub buffer_secs: f64,
+}
+
+impl CbrEpisodeConfig {
+    /// The paper's baseline scenario on the standard dumbbell: 68 ms
+    /// episodes every 10 s on average.
+    pub fn paper_default() -> Self {
+        Self {
+            mean_gap_secs: 10.0,
+            lengths: EpisodeLengths::Fixed(0.068),
+            // 2× overdrive → 50% of in-episode arrivals drop, matching the
+            // single-packet-probe survival the paper measured (Figure 7).
+            burst_factor: 2.0,
+            packet_bytes: 1500,
+            bottleneck_rate_bps: 155_520_000,
+            buffer_secs: 0.1,
+        }
+    }
+
+    /// Time from burst start until the buffer first overflows.
+    pub fn fill_secs(&self) -> f64 {
+        self.buffer_secs / (self.burst_factor - 1.0)
+    }
+
+    /// Total burst on-time needed for a loss episode of `loss_secs`.
+    pub fn on_time_secs(&self, loss_secs: f64) -> f64 {
+        self.fill_secs() + loss_secs
+    }
+
+    /// Inter-packet spacing during a burst.
+    pub fn burst_spacing(&self) -> SimDuration {
+        let pps = self.burst_factor * self.bottleneck_rate_bps as f64
+            / (f64::from(self.packet_bytes) * 8.0);
+        SimDuration::from_secs_f64(1.0 / pps)
+    }
+}
+
+const TOKEN_NEXT_BURST: u64 = 0;
+const TOKEN_BURST_PKT: u64 = 1;
+
+/// A UDP source that manufactures loss episodes of known duration at
+/// exponentially spaced times.
+pub struct CbrEpisodeSource {
+    cfg: CbrEpisodeConfig,
+    flow: FlowId,
+    bottleneck: NodeId,
+    ingress_delay: SimDuration,
+    gap: Exponential,
+    rng: StdRng,
+    burst_end: SimTime,
+    seq: u64,
+    episodes_started: u64,
+    /// Scheduled episode loss-durations, for test introspection.
+    scheduled: Vec<f64>,
+}
+
+impl CbrEpisodeSource {
+    /// Create a source for `flow` feeding `bottleneck`.
+    ///
+    /// # Panics
+    /// Panics if `burst_factor <= 1` (the burst must exceed the bottleneck
+    /// rate to create loss).
+    pub fn new(
+        cfg: CbrEpisodeConfig,
+        flow: FlowId,
+        bottleneck: NodeId,
+        ingress_delay: SimDuration,
+        rng: StdRng,
+    ) -> Self {
+        assert!(cfg.burst_factor > 1.0, "burst factor must exceed 1");
+        assert!(cfg.mean_gap_secs > 0.0, "mean gap must be positive");
+        let gap = Exponential::with_mean(cfg.mean_gap_secs);
+        Self {
+            cfg,
+            flow,
+            bottleneck,
+            ingress_delay,
+            gap,
+            rng,
+            burst_end: SimTime::ZERO,
+            seq: 0,
+            episodes_started: 0,
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// Number of episodes started so far.
+    pub fn episodes_started(&self) -> u64 {
+        self.episodes_started
+    }
+
+    /// The loss durations scheduled so far.
+    pub fn scheduled_lengths(&self) -> &[f64] {
+        &self.scheduled
+    }
+
+    fn send_packet(&mut self, ctx: &mut Context<'_>) {
+        let pkt = Packet {
+            id: ctx.next_packet_id(),
+            flow: self.flow,
+            size: self.cfg.packet_bytes,
+            created: ctx.now(),
+            kind: PacketKind::Udp { seq: self.seq },
+        };
+        self.seq += 1;
+        ctx.send(self.bottleneck, pkt, self.ingress_delay);
+    }
+}
+
+impl Node for CbrEpisodeSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        let first = self.gap.sample(&mut self.rng);
+        ctx.set_timer(SimDuration::from_secs_f64(first), TOKEN_NEXT_BURST);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        match token {
+            TOKEN_NEXT_BURST => {
+                let loss = self.cfg.lengths.draw(&mut self.rng);
+                self.scheduled.push(loss);
+                self.episodes_started += 1;
+                self.burst_end =
+                    ctx.now() + SimDuration::from_secs_f64(self.cfg.on_time_secs(loss));
+                self.send_packet(ctx);
+                ctx.set_timer(self.cfg.burst_spacing(), TOKEN_BURST_PKT);
+            }
+            TOKEN_BURST_PKT => {
+                if ctx.now() < self.burst_end {
+                    self.send_packet(ctx);
+                    ctx.set_timer(self.cfg.burst_spacing(), TOKEN_BURST_PKT);
+                } else {
+                    let gap = self.gap.sample(&mut self.rng);
+                    ctx.set_timer(SimDuration::from_secs_f64(gap), TOKEN_NEXT_BURST);
+                }
+            }
+            other => unreachable!("unknown timer token {other}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Attach a CBR episode source to a dumbbell; returns the source node id.
+/// Departing packets for `flow` are routed to a counting sink.
+pub fn attach_cbr(
+    db: &mut badabing_sim::topology::Dumbbell,
+    flow: FlowId,
+    cfg: CbrEpisodeConfig,
+    rng: StdRng,
+) -> NodeId {
+    let sink = db.add_node(Box::new(badabing_sim::node::CountingSink::new()));
+    db.route_flow(flow, sink);
+    let bottleneck = db.bottleneck();
+    let ingress = db.ingress_delay();
+    db.add_node(Box::new(CbrEpisodeSource::new(cfg, flow, bottleneck, ingress, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_sim::topology::Dumbbell;
+    use badabing_stats::rng::seeded;
+
+    #[test]
+    fn calibration_math() {
+        let cfg = CbrEpisodeConfig::paper_default();
+        // 2× overdrive fills the 100 ms buffer in 100 ms.
+        assert!((cfg.fill_secs() - 0.10).abs() < 1e-12);
+        assert!((cfg.on_time_secs(0.068) - 0.168).abs() < 1e-12);
+        // 2x OC3 with 1500B packets = 25 920 pps → ~38.6 µs spacing.
+        let sp = cfg.burst_spacing().as_secs_f64();
+        assert!((sp - 1.0 / 25_920.0).abs() < 1e-9, "spacing {sp}");
+    }
+
+    #[test]
+    fn episodes_have_calibrated_duration() {
+        let mut db = Dumbbell::standard();
+        let cfg = CbrEpisodeConfig { mean_gap_secs: 5.0, ..CbrEpisodeConfig::paper_default() };
+        let src = attach_cbr(&mut db, FlowId(1), cfg, seeded(42, "cbr"));
+        db.run_for(60.0);
+        let gt = db.ground_truth(60.0);
+        let started = db.sim.node::<CbrEpisodeSource>(src).episodes_started();
+        assert!(started >= 5, "only {started} episodes in 60s with mean gap 5s");
+        // Every burst that finished must have produced one loss episode.
+        assert!(
+            (gt.episodes.len() as i64 - started as i64).abs() <= 1,
+            "bursts {} vs episodes {}",
+            started,
+            gt.episodes.len()
+        );
+        // Mean measured loss duration ≈ 68 ms (within a slot or two).
+        let d = gt.mean_duration_secs();
+        assert!((d - 0.068).abs() < 0.015, "mean episode duration {d}");
+    }
+
+    #[test]
+    fn choice_lengths_are_all_used() {
+        let mut db = Dumbbell::standard();
+        let cfg = CbrEpisodeConfig {
+            mean_gap_secs: 2.0,
+            lengths: EpisodeLengths::Choice(vec![0.05, 0.10, 0.15]),
+            ..CbrEpisodeConfig::paper_default()
+        };
+        let src = attach_cbr(&mut db, FlowId(1), cfg, seeded(7, "cbr-choice"));
+        db.run_for(120.0);
+        let lengths = db.sim.node::<CbrEpisodeSource>(src).scheduled_lengths().to_vec();
+        assert!(lengths.len() > 20);
+        for want in [0.05, 0.10, 0.15] {
+            assert!(
+                lengths.iter().any(|&l| (l - want).abs() < 1e-12),
+                "length {want} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_between_bursts() {
+        // With a huge mean gap the source should emit nothing for a while.
+        let mut db = Dumbbell::standard();
+        let cfg =
+            CbrEpisodeConfig { mean_gap_secs: 1_000_000.0, ..CbrEpisodeConfig::paper_default() };
+        attach_cbr(&mut db, FlowId(1), cfg, seeded(1, "cbr-quiet"));
+        db.run_for(5.0);
+        assert_eq!(db.monitor().borrow().enqueues(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst factor")]
+    fn rejects_subcapacity_burst() {
+        let cfg = CbrEpisodeConfig { burst_factor: 0.9, ..CbrEpisodeConfig::paper_default() };
+        let _ = CbrEpisodeSource::new(
+            cfg,
+            FlowId(1),
+            NodeId(0),
+            SimDuration::ZERO,
+            seeded(0, "x"),
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Cross-traffic generators for the BADABING experiments.
+//!
+//! The paper evaluates against three traffic scenarios (§4, §6):
+//!
+//! 1. **Infinite TCP sources** — built directly from [`badabing_tcp`]
+//!    (`attach_flow` with an unbounded transfer); no extra machinery here.
+//! 2. **Constant-bit-rate loss episodes** — Iperf was used to create
+//!    approximately constant-duration loss episodes spaced at exponential
+//!    intervals. [`cbr::CbrEpisodeSource`] reproduces the mechanism: a UDP
+//!    blaster that overdrives the bottleneck for a calibrated on-time so
+//!    that drops occur for the desired episode length.
+//! 3. **Harpoon web-like traffic** — Poisson session arrivals with
+//!    heavy-tailed (Pareto) transfer sizes over TCP, plus periodic load
+//!    surges that induce loss roughly every 20 seconds.
+//!    [`web::WebSessionGenerator`] multiplexes the finite TCP transfers of
+//!    that workload inside a single simulation node.
+
+pub mod cbr;
+pub mod onoff;
+pub mod web;
+
+pub use cbr::{CbrEpisodeConfig, CbrEpisodeSource, EpisodeLengths};
+pub use onoff::{OnOffConfig, OnOffSource};
+pub use web::{WebConfig, WebSessionGenerator, WebSinkNode};

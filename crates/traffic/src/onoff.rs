@@ -1,0 +1,260 @@
+//! ON/OFF renewal sources.
+//!
+//! The paper's introduction grounds the inevitability of loss in "the
+//! intrinsic dynamics and scaling properties of traffic" (Leland et al.'s
+//! self-similarity result, \[19\]). The classic generative model for that
+//! scaling is an aggregate of ON/OFF sources with heavy-tailed ON
+//! periods: each source blasts at a fixed rate during Pareto-distributed
+//! ON times and is silent for exponentially distributed OFF times. A few
+//! dozen such sources superposed produce burstiness at many time scales —
+//! a harsher, less scripted loss process than the CBR scenario, used by
+//! the `ablation_onoff` robustness experiment.
+
+use badabing_sim::node::{Context, Node, NodeId};
+use badabing_sim::packet::{FlowId, Packet, PacketKind};
+use badabing_sim::time::{SimDuration, SimTime};
+use badabing_stats::dist::{Exponential, Pareto, Sample};
+use rand::rngs::StdRng;
+use std::any::Any;
+
+/// Configuration of one ON/OFF source.
+#[derive(Debug, Clone)]
+pub struct OnOffConfig {
+    /// Sending rate during ON periods, bits/second.
+    pub on_rate_bps: u64,
+    /// Packet size in bytes.
+    pub packet_bytes: u32,
+    /// ON durations: Pareto (heavy-tailed) in seconds.
+    pub on_secs: Pareto,
+    /// OFF durations: exponential mean in seconds.
+    pub off_mean_secs: f64,
+}
+
+impl OnOffConfig {
+    /// A source whose ON/OFF duty cycle carries `mean_rate_bps` on
+    /// average: ON at `peak_factor ×` that rate for Pareto(α=1.5) bursts
+    /// with the given mean, OFF sized to match.
+    ///
+    /// # Panics
+    /// Panics unless `peak_factor > 1`.
+    pub fn with_mean_rate(mean_rate_bps: u64, peak_factor: f64, mean_on_secs: f64) -> Self {
+        assert!(peak_factor > 1.0, "peak factor must exceed 1");
+        let alpha = 1.5;
+        let xm = mean_on_secs * (alpha - 1.0) / alpha;
+        // duty = mean_on / (mean_on + mean_off) = 1/peak_factor.
+        let off_mean_secs = mean_on_secs * (peak_factor - 1.0);
+        Self {
+            on_rate_bps: (mean_rate_bps as f64 * peak_factor) as u64,
+            packet_bytes: 1500,
+            on_secs: Pareto::new(xm, alpha).with_cap(mean_on_secs * 50.0),
+            off_mean_secs,
+        }
+    }
+
+    /// Long-run average rate in bits/second.
+    pub fn mean_rate_bps(&self) -> f64 {
+        let on = self.on_secs.mean().expect("capped Pareto has a finite mean");
+        self.on_rate_bps as f64 * on / (on + self.off_mean_secs)
+    }
+
+    fn packet_spacing(&self) -> SimDuration {
+        let pps = self.on_rate_bps as f64 / (f64::from(self.packet_bytes) * 8.0);
+        SimDuration::from_secs_f64(1.0 / pps)
+    }
+}
+
+const TOKEN_TOGGLE: u64 = 0;
+const TOKEN_PKT: u64 = 1;
+
+/// One ON/OFF source as a simulation node.
+pub struct OnOffSource {
+    cfg: OnOffConfig,
+    flow: FlowId,
+    dst: NodeId,
+    ingress_delay: SimDuration,
+    off: Exponential,
+    rng: StdRng,
+    on_until: SimTime,
+    seq: u64,
+    bursts: u64,
+}
+
+impl OnOffSource {
+    /// Create a source for `flow` feeding `dst`.
+    pub fn new(
+        cfg: OnOffConfig,
+        flow: FlowId,
+        dst: NodeId,
+        ingress_delay: SimDuration,
+        rng: StdRng,
+    ) -> Self {
+        let off = Exponential::with_mean(cfg.off_mean_secs);
+        Self {
+            cfg,
+            flow,
+            dst,
+            ingress_delay,
+            off,
+            rng,
+            on_until: SimTime::ZERO,
+            seq: 0,
+            bursts: 0,
+        }
+    }
+
+    /// ON periods started so far.
+    pub fn bursts(&self) -> u64 {
+        self.bursts
+    }
+
+    /// Packets sent so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.seq
+    }
+
+    fn send_packet(&mut self, ctx: &mut Context<'_>) {
+        let pkt = Packet {
+            id: ctx.next_packet_id(),
+            flow: self.flow,
+            size: self.cfg.packet_bytes,
+            created: ctx.now(),
+            kind: PacketKind::Udp { seq: self.seq },
+        };
+        self.seq += 1;
+        ctx.send(self.dst, pkt, self.ingress_delay);
+    }
+}
+
+impl Node for OnOffSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        // Start in OFF, de-phasing the aggregate.
+        let first = self.off.sample(&mut self.rng);
+        ctx.set_timer(SimDuration::from_secs_f64(first), TOKEN_TOGGLE);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        match token {
+            TOKEN_TOGGLE => {
+                self.bursts += 1;
+                let on = self.cfg.on_secs.sample(&mut self.rng);
+                self.on_until = ctx.now() + SimDuration::from_secs_f64(on);
+                self.send_packet(ctx);
+                ctx.set_timer(self.cfg.packet_spacing(), TOKEN_PKT);
+            }
+            TOKEN_PKT => {
+                if ctx.now() < self.on_until {
+                    self.send_packet(ctx);
+                    ctx.set_timer(self.cfg.packet_spacing(), TOKEN_PKT);
+                } else {
+                    let off = self.off.sample(&mut self.rng);
+                    ctx.set_timer(SimDuration::from_secs_f64(off), TOKEN_TOGGLE);
+                }
+            }
+            other => unreachable!("unknown timer token {other}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Attach `n` ON/OFF sources sized so the aggregate carries
+/// `target_util × bottleneck_rate` on average. Returns the source node
+/// ids; all flows route to one counting sink.
+pub fn attach_onoff_aggregate(
+    db: &mut badabing_sim::topology::Dumbbell,
+    n: u32,
+    target_util: f64,
+    peak_factor: f64,
+    mean_on_secs: f64,
+    flow_base: u32,
+    seed: u64,
+) -> Vec<NodeId> {
+    assert!(n > 0 && target_util > 0.0, "need sources and positive utilization");
+    let per_source = (target_util * db.config().bottleneck_rate_bps as f64 / f64::from(n)) as u64;
+    let cfg = OnOffConfig::with_mean_rate(per_source, peak_factor, mean_on_secs);
+    let sink = db.add_node(Box::new(badabing_sim::node::CountingSink::new()));
+    let bottleneck = db.bottleneck();
+    let ingress = db.ingress_delay();
+    (0..n)
+        .map(|i| {
+            let flow = FlowId(flow_base + i);
+            db.route_flow(flow, sink);
+            db.add_node(Box::new(OnOffSource::new(
+                cfg.clone(),
+                flow,
+                bottleneck,
+                ingress,
+                badabing_stats::rng::seeded(seed, &format!("onoff-{i}")),
+            )))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_sim::topology::Dumbbell;
+    use badabing_stats::rng::seeded;
+
+    #[test]
+    fn mean_rate_accounting() {
+        let cfg = OnOffConfig::with_mean_rate(10_000_000, 4.0, 0.5);
+        // Peak 40 Mb/s with a 25% duty cycle → 10 Mb/s mean.
+        assert_eq!(cfg.on_rate_bps, 40_000_000);
+        let mean = cfg.mean_rate_bps();
+        assert!(
+            (mean - 10_000_000.0).abs() / 10_000_000.0 < 0.01,
+            "mean rate {mean}"
+        );
+    }
+
+    #[test]
+    fn single_source_alternates_and_respects_rate() {
+        let mut db = Dumbbell::standard();
+        let cfg = OnOffConfig::with_mean_rate(20_000_000, 5.0, 0.2);
+        let sink = db.add_node(Box::new(badabing_sim::node::CountingSink::new()));
+        db.route_flow(FlowId(1), sink);
+        let bottleneck = db.bottleneck();
+        let ingress = db.ingress_delay();
+        let src = db.add_node(Box::new(OnOffSource::new(
+            cfg,
+            FlowId(1),
+            bottleneck,
+            ingress,
+            seeded(3, "onoff"),
+        )));
+        db.run_for(120.0);
+        let node = db.sim.node::<OnOffSource>(src);
+        assert!(node.bursts() > 20, "bursts: {}", node.bursts());
+        let sent_bits = node.packets_sent() as f64 * 1500.0 * 8.0;
+        let mean = sent_bits / 120.0;
+        assert!(
+            (mean - 20e6).abs() / 20e6 < 0.35,
+            "long-run rate {mean} vs target 20 Mb/s"
+        );
+    }
+
+    #[test]
+    fn aggregate_hits_utilization_target_and_bursts() {
+        let mut db = Dumbbell::standard();
+        attach_onoff_aggregate(&mut db, 24, 0.7, 6.0, 0.4, 100, 9);
+        db.run_for(90.0);
+        let bytes = db.monitor().borrow().departs() * 1500;
+        let util = bytes as f64 * 8.0 / (155_520_000.0 * 90.0);
+        assert!((0.4..1.0).contains(&util), "utilization {util}");
+        // Heavy-tailed ON superposition should occasionally congest.
+        let gt = db.ground_truth(90.0);
+        assert!(
+            gt.qdelay.values().iter().any(|&v| v > 0.02),
+            "aggregate never built 20 ms of queue"
+        );
+    }
+}

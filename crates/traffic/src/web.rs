@@ -1,0 +1,434 @@
+//! Harpoon-like web-session traffic.
+//!
+//! Harpoon [31 in the paper] generates "web-like" load: sessions arrive
+//! randomly, each transferring heavy-tailed file sizes over TCP, with the
+//! offered load tuned to an average volume. For the loss experiments the
+//! paper configured it "to briefly increase its load in order to induce
+//! packet loss, on average, every 20 seconds" (§4.2).
+//!
+//! [`WebSessionGenerator`] reproduces that construction:
+//!
+//! * baseline: Poisson arrivals of finite TCP transfers with Pareto sizes,
+//!   tuned so the bottleneck runs at a target utilization below capacity;
+//! * surges: at exponential intervals (mean 20 s), a batch of large
+//!   transfers starts simultaneously; their combined slow-start ramp
+//!   overflows the buffer and creates a loss episode whose length depends
+//!   on the congestion-control reaction — which is exactly why this
+//!   scenario is the hardest for a loss-measurement tool.
+//!
+//! All sender state machines live inside one simulation node (flows are
+//! created and retired dynamically, which the static node graph can't
+//! express otherwise); the matching receivers live in [`WebSinkNode`].
+
+use badabing_sim::node::{Context, Node, NodeId};
+use badabing_sim::packet::{FlowId, Packet, PacketKind};
+use badabing_sim::time::SimDuration;
+use badabing_stats::dist::{Exponential, Pareto, Sample};
+use badabing_tcp::conn::{ReceiverConn, SenderConn, SenderOut, TcpConfig};
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Configuration for the web-like workload.
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    /// Target baseline utilization of the bottleneck (0..1).
+    pub base_util: f64,
+    /// Pareto scale (minimum transfer size) in segments.
+    pub pareto_scale_segments: f64,
+    /// Pareto shape; 1.2 is the classic web-transfer tail.
+    pub pareto_shape: f64,
+    /// Hard cap on a single transfer, in segments.
+    pub cap_segments: f64,
+    /// Mean gap between load surges in seconds.
+    pub surge_mean_gap_secs: f64,
+    /// Number of transfers started simultaneously per surge.
+    pub surge_transfers: usize,
+    /// Size of each surge transfer in segments.
+    pub surge_segments: u64,
+    /// Upper bound on concurrently active transfers (memory/event guard).
+    pub max_concurrent: usize,
+    /// TCP parameters for every transfer (`total_segments` is set per
+    /// transfer).
+    pub tcp: TcpConfig,
+    /// Bottleneck rate, used to convert `base_util` into an arrival rate.
+    pub bottleneck_rate_bps: u64,
+}
+
+impl WebConfig {
+    /// Defaults tuned for the standard OC3 dumbbell: ~50% baseline load,
+    /// surges every 20 s.
+    pub fn paper_default() -> Self {
+        Self {
+            base_util: 0.50,
+            pareto_scale_segments: 20.0,
+            pareto_shape: 1.2,
+            cap_segments: 5_000.0,
+            surge_mean_gap_secs: 20.0,
+            surge_transfers: 25,
+            surge_segments: 800,
+            max_concurrent: 4_000,
+            tcp: TcpConfig::default(),
+            bottleneck_rate_bps: 155_520_000,
+        }
+    }
+
+    /// Mean transfer size in segments (untruncated Pareto mean).
+    pub fn mean_segments(&self) -> f64 {
+        assert!(self.pareto_shape > 1.0, "shape must exceed 1 for a finite mean");
+        self.pareto_shape * self.pareto_scale_segments / (self.pareto_shape - 1.0)
+    }
+
+    /// Baseline transfer arrival rate (transfers per second) implied by
+    /// the utilization target.
+    pub fn arrival_rate(&self) -> f64 {
+        let mean_bits = self.mean_segments() * f64::from(self.tcp.mss_bytes) * 8.0;
+        self.base_util * self.bottleneck_rate_bps as f64 / mean_bits
+    }
+}
+
+const TOKEN_ARRIVAL: u64 = u64::MAX;
+const TOKEN_SURGE: u64 = u64::MAX - 1;
+
+fn rto_token(flow_raw: u32, gen: u64) -> u64 {
+    debug_assert!(gen < (1 << 32), "rto generation overflowed token encoding");
+    (u64::from(flow_raw) << 32) | (gen & 0xFFFF_FFFF)
+}
+
+/// Counters exposed by the generator for reporting and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WebStats {
+    /// Baseline transfers started.
+    pub transfers_started: u64,
+    /// Surge transfers started.
+    pub surge_transfers_started: u64,
+    /// Transfers fully acknowledged.
+    pub transfers_completed: u64,
+    /// Transfers skipped because `max_concurrent` was reached.
+    pub transfers_skipped: u64,
+    /// Number of surges fired.
+    pub surges: u64,
+}
+
+/// The client side: owns every active TCP sender.
+pub struct WebSessionGenerator {
+    cfg: WebConfig,
+    flow_base: u32,
+    next_flow: u32,
+    bottleneck: NodeId,
+    ingress_delay: SimDuration,
+    conns: HashMap<u32, SenderConn>,
+    arrivals: Exponential,
+    surge_gap: Exponential,
+    sizes: Pareto,
+    rng: StdRng,
+    stats: WebStats,
+    out: Vec<SenderOut>,
+}
+
+impl WebSessionGenerator {
+    /// Create the generator. `flow_base` is the first flow id used; all
+    /// ids in `[flow_base, flow_base + 2^24)` must be routed (use
+    /// [`badabing_sim::topology::Dumbbell::route_default`]).
+    pub fn new(
+        cfg: WebConfig,
+        flow_base: u32,
+        bottleneck: NodeId,
+        ingress_delay: SimDuration,
+        rng: StdRng,
+    ) -> Self {
+        let arrivals = Exponential::with_rate(cfg.arrival_rate());
+        let surge_gap = Exponential::with_mean(cfg.surge_mean_gap_secs);
+        let sizes =
+            Pareto::new(cfg.pareto_scale_segments, cfg.pareto_shape).with_cap(cfg.cap_segments);
+        Self {
+            cfg,
+            flow_base,
+            next_flow: flow_base,
+            bottleneck,
+            ingress_delay,
+            conns: HashMap::new(),
+            arrivals,
+            surge_gap,
+            sizes,
+            rng,
+            stats: WebStats::default(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Workload counters.
+    pub fn stats(&self) -> WebStats {
+        self.stats
+    }
+
+    /// Currently active transfers.
+    pub fn active(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn start_transfer(&mut self, segments: u64, surge: bool, ctx: &mut Context<'_>) {
+        if self.conns.len() >= self.cfg.max_concurrent {
+            self.stats.transfers_skipped += 1;
+            return;
+        }
+        let flow_raw = self.next_flow;
+        self.next_flow = self.next_flow.wrapping_add(1);
+        if self.next_flow < self.flow_base {
+            self.next_flow = self.flow_base; // wrapped around u32 space
+        }
+        let tcp = TcpConfig { total_segments: Some(segments.max(1)), ..self.cfg.tcp };
+        let mut conn = SenderConn::new(tcp);
+        conn.open(ctx.now(), &mut self.out);
+        self.conns.insert(flow_raw, conn);
+        if surge {
+            self.stats.surge_transfers_started += 1;
+        } else {
+            self.stats.transfers_started += 1;
+        }
+        self.pump(flow_raw, ctx);
+    }
+
+    fn pump(&mut self, flow_raw: u32, ctx: &mut Context<'_>) {
+        let Some(conn) = self.conns.get(&flow_raw) else {
+            self.out.clear();
+            return;
+        };
+        let mss = conn.config().mss_bytes;
+        let mut completed = false;
+        for ev in self.out.drain(..) {
+            match ev {
+                SenderOut::Send { seq, .. } => {
+                    let pkt = Packet {
+                        id: ctx.next_packet_id(),
+                        flow: FlowId(flow_raw),
+                        size: mss,
+                        created: ctx.now(),
+                        kind: PacketKind::TcpData { seq, len: mss },
+                    };
+                    ctx.send(self.bottleneck, pkt, self.ingress_delay);
+                }
+                SenderOut::ArmRto { gen, at } => {
+                    ctx.set_timer_at(at.max(ctx.now()), rto_token(flow_raw, gen));
+                }
+                SenderOut::Completed => completed = true,
+            }
+        }
+        if completed {
+            self.conns.remove(&flow_raw);
+            self.stats.transfers_completed += 1;
+        }
+    }
+}
+
+impl Node for WebSessionGenerator {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        let first = self.arrivals.sample(&mut self.rng);
+        ctx.set_timer(SimDuration::from_secs_f64(first), TOKEN_ARRIVAL);
+        let surge = self.surge_gap.sample(&mut self.rng);
+        ctx.set_timer(SimDuration::from_secs_f64(surge), TOKEN_SURGE);
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        let PacketKind::TcpAck { ack } = packet.kind else { return };
+        let flow_raw = packet.flow.0;
+        if let Some(conn) = self.conns.get_mut(&flow_raw) {
+            conn.on_ack(ack, ctx.now(), &mut self.out);
+            self.pump(flow_raw, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        match token {
+            TOKEN_ARRIVAL => {
+                let segments = self.sizes.sample(&mut self.rng).round() as u64;
+                self.start_transfer(segments, false, ctx);
+                let next = self.arrivals.sample(&mut self.rng);
+                ctx.set_timer(SimDuration::from_secs_f64(next), TOKEN_ARRIVAL);
+            }
+            TOKEN_SURGE => {
+                self.stats.surges += 1;
+                for _ in 0..self.cfg.surge_transfers {
+                    let segs = self.cfg.surge_segments;
+                    self.start_transfer(segs, true, ctx);
+                }
+                let next = self.surge_gap.sample(&mut self.rng);
+                ctx.set_timer(SimDuration::from_secs_f64(next), TOKEN_SURGE);
+            }
+            rto => {
+                let flow_raw = (rto >> 32) as u32;
+                let gen = rto & 0xFFFF_FFFF;
+                if let Some(conn) = self.conns.get_mut(&flow_raw) {
+                    conn.on_rto(gen, ctx.now(), &mut self.out);
+                    self.pump(flow_raw, ctx);
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The server side: one receiver per active flow, ACKing straight back to
+/// the generator over the reverse path.
+pub struct WebSinkNode {
+    generator: NodeId,
+    reverse_delay: SimDuration,
+    ack_bytes: u32,
+    receivers: HashMap<u32, ReceiverConn>,
+    segments_received: u64,
+}
+
+impl WebSinkNode {
+    /// Create a sink whose ACKs return to `generator` after
+    /// `reverse_delay`.
+    pub fn new(generator: NodeId, reverse_delay: SimDuration, ack_bytes: u32) -> Self {
+        Self {
+            generator,
+            reverse_delay,
+            ack_bytes,
+            receivers: HashMap::new(),
+            segments_received: 0,
+        }
+    }
+
+    /// Total data segments received across all flows.
+    pub fn segments_received(&self) -> u64 {
+        self.segments_received
+    }
+}
+
+impl Node for WebSinkNode {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        let PacketKind::TcpData { seq, .. } = packet.kind else { return };
+        self.segments_received += 1;
+        let rcv = self.receivers.entry(packet.flow.0).or_default();
+        let ack = rcv.on_data(seq);
+        let pkt = Packet {
+            id: ctx.next_packet_id(),
+            flow: packet.flow,
+            size: self.ack_bytes,
+            created: ctx.now(),
+            kind: PacketKind::TcpAck { ack },
+        };
+        ctx.send(self.generator, pkt, self.reverse_delay);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Attach the web workload to a dumbbell: creates the generator and sink,
+/// wires the default route, and returns `(generator_id, sink_id)`.
+pub fn attach_web(
+    db: &mut badabing_sim::topology::Dumbbell,
+    cfg: WebConfig,
+    flow_base: u32,
+    rng: StdRng,
+) -> (NodeId, NodeId) {
+    let bottleneck = db.bottleneck();
+    let ingress = db.ingress_delay();
+    let reverse = db.config().reverse_delay;
+    let ack_bytes = cfg.tcp.ack_bytes;
+    let generator =
+        db.add_node(Box::new(WebSessionGenerator::new(cfg, flow_base, bottleneck, ingress, rng)));
+    let sink = db.add_node(Box::new(WebSinkNode::new(generator, reverse, ack_bytes)));
+    db.route_default(sink);
+    (generator, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use badabing_sim::topology::Dumbbell;
+    use badabing_stats::rng::seeded;
+
+    #[test]
+    fn arrival_rate_matches_utilization_target() {
+        let cfg = WebConfig::paper_default();
+        // mean = 1.2*20/0.2 = 120 segments = 1.44 Mb.
+        assert!((cfg.mean_segments() - 120.0).abs() < 1e-9);
+        let lambda = cfg.arrival_rate();
+        let offered = lambda * cfg.mean_segments() * 1500.0 * 8.0;
+        assert!((offered / 155_520_000.0 - 0.5).abs() < 1e-9, "offered {offered}");
+    }
+
+    #[test]
+    fn baseline_traffic_flows_and_completes() {
+        let mut db = Dumbbell::standard();
+        let cfg = WebConfig {
+            surge_mean_gap_secs: 1e9, // effectively no surges
+            ..WebConfig::paper_default()
+        };
+        let (gen_id, sink_id) = attach_web(&mut db, cfg, 1 << 16, seeded(11, "web"));
+        db.run_for(30.0);
+        let stats = db.sim.node::<WebSessionGenerator>(gen_id).stats();
+        assert!(stats.transfers_started > 500, "started {}", stats.transfers_started);
+        assert!(
+            stats.transfers_completed > stats.transfers_started / 2,
+            "completed {} of {}",
+            stats.transfers_completed,
+            stats.transfers_started
+        );
+        assert!(db.sim.node::<WebSinkNode>(sink_id).segments_received() > 10_000);
+        assert_eq!(db.unrouted(), 0);
+        // Utilization should be near the 50% target (wide tolerance: the
+        // Pareto tail makes 30 s a short sample).
+        let bytes = db.monitor().borrow().departs() * 1500;
+        let util = bytes as f64 * 8.0 / (155_520_000.0 * 30.0);
+        assert!((0.2..0.9).contains(&util), "utilization {util}");
+    }
+
+    #[test]
+    fn surges_induce_loss_episodes() {
+        let mut db = Dumbbell::standard();
+        let cfg = WebConfig { surge_mean_gap_secs: 10.0, ..WebConfig::paper_default() };
+        let (gen_id, _) = attach_web(&mut db, cfg, 1 << 16, seeded(23, "web-surge"));
+        db.run_for(60.0);
+        let stats = db.sim.node::<WebSessionGenerator>(gen_id).stats();
+        assert!(stats.surges >= 3, "only {} surges", stats.surges);
+        let gt = db.ground_truth(60.0);
+        assert!(
+            !gt.episodes.is_empty(),
+            "surges produced no loss (drops={})",
+            db.monitor().borrow().drops()
+        );
+        assert!(gt.frequency() > 0.0);
+    }
+
+    #[test]
+    fn max_concurrent_is_enforced() {
+        let mut db = Dumbbell::standard();
+        let cfg = WebConfig {
+            max_concurrent: 10,
+            surge_transfers: 100,
+            surge_mean_gap_secs: 1.0,
+            ..WebConfig::paper_default()
+        };
+        let (gen_id, _) = attach_web(&mut db, cfg, 1 << 16, seeded(5, "web-cap"));
+        db.run_for(10.0);
+        let g = db.sim.node::<WebSessionGenerator>(gen_id);
+        assert!(g.active() <= 10);
+        assert!(g.stats().transfers_skipped > 0);
+    }
+
+    #[test]
+    fn token_encoding_roundtrips() {
+        let t = rto_token(0xABCD_1234, 77);
+        assert_eq!((t >> 32) as u32, 0xABCD_1234);
+        assert_eq!(t & 0xFFFF_FFFF, 77);
+        assert_ne!(t, TOKEN_ARRIVAL);
+        assert_ne!(t, TOKEN_SURGE);
+    }
+}

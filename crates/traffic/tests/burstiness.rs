@@ -1,0 +1,48 @@
+//! Workload-character validation: the ON/OFF aggregate is long-range
+//! dependent, the CBR blaster is not.
+
+use badabing_sim::monitor::TraceEvent;
+use badabing_sim::packet::FlowId;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_stats::selfsim::hurst_variance_time;
+use badabing_stats::timeseries::SlotSeries;
+use badabing_traffic::cbr::{attach_cbr, CbrEpisodeConfig};
+use badabing_traffic::onoff::attach_onoff_aggregate;
+
+/// Arrival byte-rate series at the bottleneck, 10 ms bins.
+fn arrival_series(db: &Dumbbell, secs: f64) -> Vec<f64> {
+    let mut series = SlotSeries::new((secs / 0.01) as usize, 0.01);
+    for r in db.monitor().borrow().records() {
+        if r.event == TraceEvent::Enqueue {
+            series.record_add(r.t.as_secs_f64(), f64::from(r.size));
+        }
+    }
+    series.values().to_vec()
+}
+
+#[test]
+fn onoff_aggregate_is_long_range_dependent() {
+    let mut db = Dumbbell::standard();
+    attach_onoff_aggregate(&mut db, 24, 0.6, 6.0, 0.4, 100, 4);
+    let secs = 240.0;
+    db.run_for(secs);
+    let series = arrival_series(&db, secs);
+    let h = hurst_variance_time(&series).expect("series long enough");
+    assert!(h > 0.6, "ON/OFF aggregate H = {h}, expected long-range dependence");
+}
+
+#[test]
+fn cbr_episodes_are_not_long_range_dependent() {
+    // Exponentially spaced constant bursts: renewal process, H ≈ 0.5
+    // (the variance-time fit sees short bursts over an idle baseline;
+    // allow slack but it must sit clearly below the ON/OFF aggregate).
+    let mut db = Dumbbell::standard();
+    let cfg = CbrEpisodeConfig { mean_gap_secs: 2.0, ..CbrEpisodeConfig::paper_default() };
+    attach_cbr(&mut db, FlowId(1), cfg, seeded(4, "cbr"));
+    let secs = 240.0;
+    db.run_for(secs);
+    let series = arrival_series(&db, secs);
+    let h = hurst_variance_time(&series).expect("series long enough");
+    assert!(h < 0.72, "CBR episodes H = {h}, should not look long-range dependent");
+}

@@ -1,0 +1,231 @@
+//! On-the-wire format for live BADABING probe packets.
+//!
+//! The original tool sends fixed-size UDP probes carrying timestamps and
+//! sequence numbers (§4.2, §6). The live reimplementation uses a small
+//! fixed header followed by zero padding up to the configured probe packet
+//! size (600 bytes by default — padding is what gives the probe its
+//! buffer-stressing footprint, so the wire size must be exact).
+//!
+//! Header layout (network byte order, 44 bytes):
+//!
+//! ```text
+//! 0       8       16      24      32      40    42    43    44
+//! | magic | session| exper | slot  | seq   | t_ns | idx | len |
+//! |  u32  |  u32   |  u64  |  u64  |  u64  | u64  | u8  | u8  | (+2 pad)
+//! ```
+//!
+//! `t_ns` is the sender's monotonic send timestamp in nanoseconds; the
+//! receiver computes one-way delay against its own clock (offset removal
+//! is the receiver's concern, §7's clock-synchronization discussion).
+//!
+//! # Example
+//!
+//! ```
+//! use badabing_wire::ProbeHeader;
+//!
+//! let header = ProbeHeader {
+//!     session: 7,
+//!     experiment: 42,
+//!     slot: 1234,
+//!     seq: 99,
+//!     send_ns: 1_000_000,
+//!     idx: 0,
+//!     probe_len: 3,
+//! };
+//! let datagram = header.encode(600); // padded to the probe size
+//! assert_eq!(datagram.len(), 600);
+//! assert_eq!(ProbeHeader::decode(&datagram).unwrap(), header);
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Identifies probe packets and version: `"BDBG"` with a version nibble.
+pub const MAGIC: u32 = 0x4244_4731; // "BDG1"
+
+/// Size of the fixed header in bytes.
+pub const HEADER_BYTES: usize = 44;
+
+/// A probe packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeHeader {
+    /// Random id binding a run's packets together; lets a receiver reject
+    /// strays from older runs.
+    pub session: u32,
+    /// Experiment id.
+    pub experiment: u64,
+    /// Targeted slot.
+    pub slot: u64,
+    /// Global packet sequence number.
+    pub seq: u64,
+    /// Sender monotonic send time, nanoseconds.
+    pub send_ns: u64,
+    /// Packet index within the probe.
+    pub idx: u8,
+    /// Packets in the probe.
+    pub probe_len: u8,
+}
+
+/// Errors from decoding a probe packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Datagram shorter than the header.
+    TooShort {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Magic number mismatch (not a probe packet, or wrong version).
+    BadMagic {
+        /// The value found where the magic should be.
+        got: u32,
+    },
+    /// Header fields are internally inconsistent.
+    BadFields,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooShort { got } => {
+                write!(f, "datagram too short: {got} < {HEADER_BYTES} bytes")
+            }
+            DecodeError::BadMagic { got } => write!(f, "bad magic {got:#010x}"),
+            DecodeError::BadFields => write!(f, "inconsistent header fields"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl ProbeHeader {
+    /// Encode into a datagram of exactly `packet_bytes` (header + zero
+    /// padding).
+    ///
+    /// # Panics
+    /// Panics if `packet_bytes < HEADER_BYTES`.
+    pub fn encode(&self, packet_bytes: usize) -> Bytes {
+        assert!(
+            packet_bytes >= HEADER_BYTES,
+            "packet size {packet_bytes} below header size {HEADER_BYTES}"
+        );
+        let mut buf = BytesMut::with_capacity(packet_bytes);
+        buf.put_u32(MAGIC);
+        buf.put_u32(self.session);
+        buf.put_u64(self.experiment);
+        buf.put_u64(self.slot);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.send_ns);
+        buf.put_u8(self.idx);
+        buf.put_u8(self.probe_len);
+        buf.put_u16(0); // reserved / alignment
+        debug_assert_eq!(buf.len(), HEADER_BYTES);
+        buf.resize(packet_bytes, 0);
+        buf.freeze()
+    }
+
+    /// Decode from a received datagram.
+    pub fn decode(mut data: &[u8]) -> Result<Self, DecodeError> {
+        if data.len() < HEADER_BYTES {
+            return Err(DecodeError::TooShort { got: data.len() });
+        }
+        let magic = data.get_u32();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic { got: magic });
+        }
+        let session = data.get_u32();
+        let experiment = data.get_u64();
+        let slot = data.get_u64();
+        let seq = data.get_u64();
+        let send_ns = data.get_u64();
+        let idx = data.get_u8();
+        let probe_len = data.get_u8();
+        let _reserved = data.get_u16();
+        if probe_len == 0 || idx >= probe_len {
+            return Err(DecodeError::BadFields);
+        }
+        Ok(Self { session, experiment, slot, seq, send_ns, idx, probe_len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> ProbeHeader {
+        ProbeHeader {
+            session: 0xDEAD_BEEF,
+            experiment: 12_345,
+            slot: 678_901,
+            seq: 42,
+            send_ns: 1_234_567_890_123,
+            idx: 1,
+            probe_len: 3,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = header();
+        let wire = h.encode(600);
+        assert_eq!(wire.len(), 600);
+        let back = ProbeHeader::decode(&wire).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn minimum_size_roundtrip() {
+        let h = header();
+        let wire = h.encode(HEADER_BYTES);
+        assert_eq!(wire.len(), HEADER_BYTES);
+        assert_eq!(ProbeHeader::decode(&wire).unwrap(), h);
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let wire = header().encode(128);
+        assert!(wire[HEADER_BYTES..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below header size")]
+    fn rejects_tiny_packets() {
+        let _ = header().encode(10);
+    }
+
+    #[test]
+    fn short_datagram_fails() {
+        let wire = header().encode(600);
+        assert_eq!(
+            ProbeHeader::decode(&wire[..20]),
+            Err(DecodeError::TooShort { got: 20 })
+        );
+        assert_eq!(ProbeHeader::decode(&[]), Err(DecodeError::TooShort { got: 0 }));
+    }
+
+    #[test]
+    fn bad_magic_fails() {
+        let mut wire = header().encode(600).to_vec();
+        wire[0] ^= 0xFF;
+        assert!(matches!(ProbeHeader::decode(&wire), Err(DecodeError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn bad_fields_fail() {
+        let mut h = header();
+        h.idx = 3; // == probe_len
+        let wire = h.encode(600);
+        assert_eq!(ProbeHeader::decode(&wire), Err(DecodeError::BadFields));
+        let mut h2 = header();
+        h2.probe_len = 0;
+        h2.idx = 0;
+        let wire2 = h2.encode(600);
+        assert_eq!(ProbeHeader::decode(&wire2), Err(DecodeError::BadFields));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeError::TooShort { got: 5 };
+        assert!(e.to_string().contains('5'));
+        let e = DecodeError::BadMagic { got: 0xABCD };
+        assert!(e.to_string().contains("0x0000abcd"));
+    }
+}

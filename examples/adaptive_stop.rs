@@ -1,0 +1,91 @@
+//! Open-ended measurement with a stopping criterion (§5.1, §7).
+//!
+//! Instead of fixing the run length N up front, measure in rounds and let
+//! the controller decide: it stops when the §7 accuracy model — fed by
+//! the *measured* loss-event rate — says the duration estimate's
+//! predicted spread is within target, and it aborts if the §5.4
+//! validation symmetries break.
+//!
+//! Run with: `cargo run --release --example adaptive_stop`
+
+use badabing_core::adaptive::{AdaptiveConfig, AdaptiveController, Verdict};
+use badabing_core::config::BadabingConfig;
+use badabing_core::streaming::StreamingEstimator;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_sim::packet::FlowId;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_traffic::cbr::{attach_cbr, CbrEpisodeConfig};
+
+const ROUND_SECS: f64 = 60.0;
+const MAX_ROUNDS: usize = 30;
+
+fn main() {
+    let seed = 5;
+    let cfg = BadabingConfig::paper_default(0.3);
+    let controller = AdaptiveController::new(AdaptiveConfig {
+        target_duration_stddev_slots: 4.0,
+        min_boundary_events: 20,
+        ..Default::default()
+    });
+
+    // Provision the harness for the longest run we might need; the
+    // controller decides where we actually stop.
+    let mut db = Dumbbell::standard();
+    attach_cbr(&mut db, FlowId(1), CbrEpisodeConfig::paper_default(), seeded(seed, "cbr"));
+    let max_slots = (MAX_ROUNDS as f64 * ROUND_SECS / cfg.slot_secs) as u64;
+    let harness = BadabingHarness::attach(&mut db, cfg, max_slots, FlowId(999), seeded(seed, "bb"));
+
+    println!(
+        "measuring in {ROUND_SECS:.0}s rounds at p = {} (target sd ≤ {} slots)\n",
+        cfg.p,
+        controller.config().target_duration_stddev_slots
+    );
+
+    for round in 1..=MAX_ROUNDS {
+        db.run_for(round as f64 * ROUND_SECS);
+        // Re-reduce the (growing) log each round; the streaming estimator
+        // is cheap and gives the controller its run-time quantities.
+        let analysis = harness.analyze(&db.sim);
+        let mut stream = StreamingEstimator::new(cfg.p, cfg.slot_secs);
+        for o in analysis.log.outcomes() {
+            stream.push(o);
+        }
+        let sd = stream.predicted_duration_stddev();
+        println!(
+            "round {round:>2}: {:>6} experiments, boundaries {:>3}, L̂ {:>9}, predicted sd {:>7}",
+            stream.len(),
+            stream.validation().n01 + stream.validation().n10,
+            fmt3(stream.loss_event_rate()),
+            fmt3(sd),
+        );
+        match controller.assess(&stream) {
+            Verdict::Continue => continue,
+            Verdict::Converged => {
+                println!("\nconverged after {:.0}s:", round as f64 * ROUND_SECS);
+                println!("  frequency: {}", fmt3(stream.estimates().frequency()));
+                println!(
+                    "  duration:  {} s",
+                    fmt3(stream.estimates().duration_secs_basic())
+                );
+                let truth = db.ground_truth(round as f64 * ROUND_SECS);
+                println!(
+                    "  (truth:    {:.4} / {:.3} s)",
+                    truth.frequency(),
+                    truth.mean_duration_secs()
+                );
+                return;
+            }
+            Verdict::Invalidated { reason } => {
+                println!("\nrun invalidated: {reason}");
+                return;
+            }
+            Verdict::Exhausted => break,
+        }
+    }
+    println!("\nstopped at the round budget without converging");
+}
+
+fn fmt3(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".into(), |x| format!("{x:.4}"))
+}

@@ -1,0 +1,63 @@
+//! Parameter tuning: the accuracy / impact / timeliness trade-off.
+//!
+//! §7 of the paper gives the knobs: probe rate `p` trades network impact
+//! for accuracy, run length `N` trades timeliness, and
+//! `StdDev(D̂) ≈ 1/√(pNL)` predicts what a configuration buys you. This
+//! example sweeps `p` on a fixed scenario, reports offered load, the §5.4
+//! validation verdict, and the measured estimates, and shows the model's
+//! predicted run length for a target precision.
+//!
+//! Run with: `cargo run --release --example tune_parameters`
+
+use badabing_core::config::{recommended_alpha, recommended_tau, BadabingConfig};
+use badabing_core::validate::required_slots;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_sim::packet::FlowId;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_traffic::cbr::{attach_cbr, CbrEpisodeConfig};
+
+const SECS: f64 = 240.0;
+const SEED: u64 = 11;
+
+fn main() {
+    println!("sweeping p on {SECS:.0}s of CBR loss episodes (68 ms every ~10 s)\n");
+    println!(
+        "{:>4} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11}",
+        "p", "load kb/s", "alpha", "tau ms", "est freq", "est dur s", "validation"
+    );
+
+    let mut episode_rate_per_slot = None;
+    for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let cfg = BadabingConfig::paper_default(p);
+        let mut db = Dumbbell::standard();
+        attach_cbr(&mut db, FlowId(1), CbrEpisodeConfig::paper_default(), seeded(SEED, "cbr"));
+        let n_slots = (SECS / cfg.slot_secs) as u64;
+        let h = BadabingHarness::attach(&mut db, cfg, n_slots, FlowId(999), seeded(SEED, "bb"));
+        db.run_for(SECS + 1.0);
+        let truth = db.ground_truth(SECS);
+        episode_rate_per_slot = Some(truth.episodes.len() as f64 / n_slots as f64);
+        let a = h.analyze(&db.sim);
+        println!(
+            "{:>4.1} {:>9.0} {:>9.2} {:>9.1} {:>10.4} {:>10.3} {:>11}",
+            p,
+            cfg.offered_load_bps() / 1000.0,
+            recommended_alpha(p),
+            recommended_tau(p, cfg.slot_secs) * 1000.0,
+            a.frequency().unwrap_or(0.0),
+            a.duration_secs().unwrap_or(0.0),
+            if a.validation.passes(0.25) { "pass" } else { "flagged" },
+        );
+    }
+
+    // The §7 sizing rule, inverted: how long must a run be for a duration
+    // standard deviation of 2 slots at each p?
+    if let Some(l) = episode_rate_per_slot {
+        println!("\nloss-event rate L ≈ {l:.6} per slot on this path");
+        println!("run length needed for StdDev(D-hat) ≈ 2 slots, by p:");
+        for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let n = required_slots(p, l, 2.0);
+            println!("  p={p:<4} N ≈ {:>9.0} slots ≈ {:>6.0} s", n, n * 0.005);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Regenerates every table and figure at the paper's durations.
+# Output: results/*.csv and results/full_run.log
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+LOG=results/full_run.log
+mkdir -p results
+: > "$LOG"
+for exp in fig4_queue_tcp fig5_queue_cbr fig6_queue_web \
+           tab1_zing_tcp tab2_zing_cbr tab3_zing_web \
+           fig7_probe_size fig8_probe_impact fig9_thresholds \
+           tab4_badabing_cbr tab5_badabing_multi tab6_badabing_web \
+           tab7_duration_n tab8_tool_compare variance_model \
+           ablation_probe_params ablation_buffer_model ablation_red ablation_multihop \
+           episode_coverage delay_profile ablation_onoff ablation_sack; do
+  echo "=== running $exp ===" | tee -a "$LOG"
+  start=$(date +%s); $BIN/$exp "$@" >> "$LOG" 2>&1; echo "[$exp took $(( $(date +%s) - start ))s]" >> "$LOG"
+done
+echo "all experiments complete" | tee -a "$LOG"

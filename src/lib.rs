@@ -1,0 +1,21 @@
+//! Workspace root: convenience re-exports for the examples and the
+//! cross-crate integration tests.
+//!
+//! The substance lives in the member crates:
+//!
+//! * [`badabing_core`] — the probe process and estimators (the paper's
+//!   contribution);
+//! * [`badabing_sim`] — the discrete-event dumbbell testbed;
+//! * [`badabing_tcp`] / [`badabing_traffic`] — cross-traffic substrates;
+//! * [`badabing_probe`] — BADABING and ZING wired into the simulator;
+//! * [`badabing_wire`] / [`badabing_live`] — the live UDP tool;
+//! * [`badabing_stats`] — distributions and summaries.
+
+pub use badabing_core as core;
+pub use badabing_live as live;
+pub use badabing_probe as probe;
+pub use badabing_sim as sim;
+pub use badabing_stats as stats;
+pub use badabing_tcp as tcp;
+pub use badabing_traffic as traffic;
+pub use badabing_wire as wire;

@@ -1,0 +1,121 @@
+//! Cross-crate end-to-end accuracy checks: the paper's headline claims,
+//! asserted against the simulator's ground truth.
+
+use badabing_core::config::BadabingConfig;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_probe::zing::{attach_zing, zing_report, ZingConfig};
+use badabing_sim::packet::FlowId;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_traffic::cbr::{attach_cbr, CbrEpisodeConfig};
+
+const PROBE_FLOW: FlowId = FlowId(0xFFFF_0000);
+const ZING_FLOW: FlowId = FlowId(0xFFFF_0001);
+
+fn cbr_dumbbell(seed: u64) -> Dumbbell {
+    let mut db = Dumbbell::standard();
+    let cfg = CbrEpisodeConfig { mean_gap_secs: 6.0, ..CbrEpisodeConfig::paper_default() };
+    attach_cbr(&mut db, FlowId(1), cfg, seeded(seed, "cbr"));
+    db
+}
+
+#[test]
+fn badabing_tracks_frequency_within_factor_two() {
+    let mut db = cbr_dumbbell(41);
+    let cfg = BadabingConfig::paper_default(0.5);
+    let h = BadabingHarness::attach(&mut db, cfg, 48_000, PROBE_FLOW, seeded(42, "bb"));
+    db.run_for(h.horizon_secs() + 1.0);
+    let truth = db.ground_truth(h.horizon_secs());
+    let analysis = h.analyze(&db.sim);
+    let f_true = truth.frequency();
+    let f_est = analysis.frequency().expect("run is nonempty");
+    assert!(f_true > 0.005, "ground truth quiet: {f_true}");
+    assert!(
+        (f_est / f_true) > 0.5 && (f_est / f_true) < 2.0,
+        "frequency estimate {f_est} vs truth {f_true}"
+    );
+}
+
+#[test]
+fn badabing_duration_beats_zing_on_the_same_path() {
+    // Run both tools over identical traffic; BADABING's duration estimate
+    // must be closer to truth than ZING's (Table 8's claim).
+    let mut db = cbr_dumbbell(43);
+    let cfg = BadabingConfig::paper_default(0.5);
+    let h = BadabingHarness::attach(&mut db, cfg, 48_000, PROBE_FLOW, seeded(44, "bb"));
+    let (zp, zr) = attach_zing(
+        &mut db,
+        ZingConfig::with_load_bps(600, cfg.offered_load_bps()),
+        ZING_FLOW,
+        seeded(44, "zing"),
+    );
+    db.run_for(h.horizon_secs() + 1.0);
+    let truth = db.ground_truth(h.horizon_secs());
+    let d_true = truth.mean_duration_secs();
+    assert!(d_true > 0.04, "expected ~68 ms episodes, got {d_true}");
+
+    let bb = h.analyze(&db.sim).duration_secs().expect("badabing measured duration");
+    let z = zing_report(&db.sim, zp, zr);
+    let z_dur = if z.duration.count() > 0 { z.duration.mean() } else { 0.0 };
+
+    let bb_err = (bb - d_true).abs();
+    let z_err = (z_dur - d_true).abs();
+    assert!(
+        bb_err < z_err,
+        "badabing {bb:.3}s (err {bb_err:.3}) should beat zing {z_dur:.3}s (err {z_err:.3}) against truth {d_true:.3}s"
+    );
+    assert!(bb_err / d_true < 1.0, "badabing duration off by more than 100%: {bb} vs {d_true}");
+}
+
+#[test]
+fn zing_misses_most_episode_time_under_gentle_tcp_loss() {
+    // Table 1's phenomenon: during TCP loss episodes only a small excess
+    // fraction of packets drop, so Poisson single-packet probes report a
+    // loss frequency far below the episode frequency.
+    let mut db = Dumbbell::standard();
+    for f in 0..40u32 {
+        let cfg = badabing_tcp::conn::TcpConfig {
+            init_ssthresh: 64.0,
+            ..Default::default()
+        };
+        badabing_tcp::node::attach_flow(
+            &mut db,
+            FlowId(f + 1),
+            cfg,
+            badabing_sim::time::SimTime::from_secs_f64(f as f64 * 0.001),
+        );
+    }
+    let (zp, zr) = attach_zing(&mut db, ZingConfig::paper_10hz(), ZING_FLOW, seeded(45, "zing"));
+    db.run_for(121.0);
+    let truth = db.ground_truth(120.0);
+    let z = zing_report(&db.sim, zp, zr);
+    assert!(truth.frequency() > 0.01, "TCP sawtooth missing: freq {}", truth.frequency());
+    assert!(
+        z.frequency < truth.frequency(),
+        "zing {} should under-report truth {}",
+        z.frequency,
+        truth.frequency()
+    );
+    // And its duration estimate collapses relative to the ~0.2 s truth.
+    let z_dur = if z.duration.count() > 0 { z.duration.mean() } else { 0.0 };
+    assert!(
+        z_dur < truth.mean_duration_secs() / 2.0,
+        "zing duration {z_dur} vs truth {}",
+        truth.mean_duration_secs()
+    );
+}
+
+#[test]
+fn validation_flags_are_clean_on_healthy_runs() {
+    let mut db = cbr_dumbbell(47);
+    let cfg = BadabingConfig::paper_default(0.7).with_improved();
+    let h = BadabingHarness::attach(&mut db, cfg, 24_000, PROBE_FLOW, seeded(48, "bb"));
+    db.run_for(h.horizon_secs() + 1.0);
+    let a = h.analyze(&db.sim);
+    assert!(a.validation.passes(0.5), "healthy run flagged: {:?}", a.validation);
+    assert!(a.estimates.extended_experiments > 0);
+    // r̂ should be measurable and within a plausible band.
+    if let Some(r) = a.estimates.r_hat() {
+        assert!(r > 0.05 && r < 20.0, "r-hat {r} implausible");
+    }
+}

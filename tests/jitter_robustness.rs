@@ -1,0 +1,64 @@
+//! Robustness: the detector's FIFO assumption under access-path jitter.
+//!
+//! §6.1's marking rule assumes FIFO queueing so that delay correlates
+//! with buffer occupancy. A jittering access segment in front of the
+//! bottleneck perturbs probe delays (and can reorder packets inside a
+//! probe). These tests measure how much jitter the pipeline tolerates.
+
+use badabing_core::config::BadabingConfig;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_sim::jitter::JitterLink;
+use badabing_sim::packet::FlowId;
+use badabing_sim::time::SimDuration;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_traffic::cbr::{attach_cbr, CbrEpisodeConfig};
+
+fn run_with_jitter(jitter_ms: u64) -> (f64, Option<f64>, f64, Option<f64>) {
+    let mut db = Dumbbell::standard();
+    let cbr = CbrEpisodeConfig { mean_gap_secs: 6.0, ..CbrEpisodeConfig::paper_default() };
+    attach_cbr(&mut db, FlowId(1), cbr, seeded(61, "cbr"));
+    // Probes pass through a jitter link before the bottleneck.
+    let bottleneck = db.bottleneck();
+    let link = db.add_node(Box::new(JitterLink::new(
+        bottleneck,
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(jitter_ms),
+        seeded(62, "jitter"),
+    )));
+    let cfg = BadabingConfig::paper_default(0.5);
+    let h = BadabingHarness::attach_via(&mut db, cfg, 36_000, FlowId(900), link, seeded(63, "bb"));
+    db.run_for(h.horizon_secs() + 1.0);
+    let truth = db.ground_truth(h.horizon_secs());
+    let a = h.analyze(&db.sim);
+    (truth.frequency(), a.frequency(), truth.mean_duration_secs(), a.duration_secs())
+}
+
+#[test]
+fn small_jitter_leaves_estimates_usable() {
+    // 2 ms of jitter against a 100 ms maximum queue: well under any α
+    // threshold.
+    let (f_true, f_est, d_true, d_est) = run_with_jitter(2);
+    let f_est = f_est.expect("nonempty run");
+    assert!(f_true > 0.005);
+    assert!(
+        (f_est / f_true) > 0.4 && (f_est / f_true) < 2.5,
+        "frequency {f_est} vs truth {f_true}"
+    );
+    if let Some(d) = d_est {
+        assert!((d / d_true) > 0.3 && (d / d_true) < 4.0, "duration {d} vs truth {d_true}");
+    }
+}
+
+#[test]
+fn jitter_degrades_gracefully_not_catastrophically() {
+    // Even 20 ms of jitter (20% of the queue's range) must not produce
+    // wild estimates — the α threshold sits near the top of the range.
+    let (f_true, f_est, _d_true, _d_est) = run_with_jitter(20);
+    let f_est = f_est.expect("nonempty run");
+    assert!(
+        f_est < f_true * 5.0,
+        "20 ms jitter should not quintuple the frequency estimate: {f_est} vs {f_true}"
+    );
+    assert!(f_est > 0.0, "episodes must still be detected");
+}

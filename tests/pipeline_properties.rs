@@ -1,0 +1,109 @@
+//! Property-based tests across crate boundaries.
+
+use badabing_core::config::BadabingConfig;
+use badabing_core::detector::{CongestionDetector, ProbeObservation};
+use badabing_core::estimator::Estimates;
+use badabing_probe::badabing::BadabingHarness;
+use badabing_sim::packet::FlowId;
+use badabing_sim::topology::Dumbbell;
+use badabing_stats::rng::seeded;
+use badabing_stats::runs::EpisodeSet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// An idle path yields zero loss and zero estimated frequency for any
+    /// probe rate and any probe size.
+    #[test]
+    fn idle_path_is_always_clean(
+        p in 0.05f64..1.0,
+        probe_packets in 1u8..=10,
+        seed in 0u64..100,
+    ) {
+        let mut db = Dumbbell::standard();
+        let cfg = BadabingConfig {
+            probe_packets,
+            ..BadabingConfig::paper_default(p)
+        };
+        let h = BadabingHarness::attach(&mut db, cfg, 600, FlowId(900), seeded(seed, "bb"));
+        db.run_for(h.horizon_secs() + 1.0);
+        let a = h.analyze(&db.sim);
+        prop_assert_eq!(a.detector.probes_with_loss, 0);
+        if !a.log.is_empty() {
+            prop_assert_eq!(a.frequency(), Some(0.0));
+        }
+        prop_assert_eq!(db.monitor().borrow().drops(), 0);
+    }
+
+    /// EpisodeSet invariants hold for arbitrary boolean series.
+    #[test]
+    fn episode_set_invariants(slots in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let es = EpisodeSet::from_bools(&slots);
+        // Total congested slots equals the number of true entries.
+        let trues = slots.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(es.congested_slots(), trues);
+        // Frequency is in [0, 1].
+        prop_assert!((0.0..=1.0).contains(&es.frequency()));
+        // Round trip through bools is lossless.
+        prop_assert_eq!(es.to_bools(), slots);
+        // Merging gaps never increases the episode count and never
+        // decreases coverage.
+        let merged = es.merge_gaps(2);
+        prop_assert!(merged.count() <= es.count());
+        prop_assert!(merged.congested_slots() >= es.congested_slots());
+    }
+
+    /// The detector marks every probe with loss, never marks a probe when
+    /// no loss exists anywhere, and produces one mark per observation.
+    #[test]
+    fn detector_marking_invariants(
+        losses in proptest::collection::vec(0u8..=3, 1..200),
+        alpha in 0.0f64..0.5,
+        tau in 0.0f64..0.2,
+    ) {
+        let obs: Vec<ProbeObservation> = losses
+            .iter()
+            .enumerate()
+            .map(|(i, &lost)| ProbeObservation {
+                experiment: i as u64,
+                slot: i as u64 * 2,
+                send_time_secs: i as f64 * 0.01,
+                packets_sent: 3,
+                packets_lost: lost,
+                owd_last_secs: if lost < 3 { Some(0.15) } else { None },
+                owd_max_secs: if lost < 3 { Some(0.15) } else { None },
+            })
+            .collect();
+        let det = CongestionDetector::with_params(alpha, tau, 5);
+        let (marks, report) = det.mark(&obs);
+        prop_assert_eq!(marks.len(), obs.len());
+        for (o, &m) in obs.iter().zip(&marks) {
+            if o.packets_lost > 0 {
+                prop_assert!(m, "lossy probe must be marked");
+            }
+        }
+        if obs.iter().all(|o| o.packets_lost == 0) {
+            prop_assert!(marks.iter().all(|&m| !m), "no loss anywhere → no marks");
+            prop_assert_eq!(report.marked_by_delay, 0);
+        }
+    }
+
+    /// Estimator outputs stay in range for arbitrary logs.
+    #[test]
+    fn estimates_stay_in_range(
+        patterns in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..500)
+    ) {
+        let mut log = badabing_core::outcome::ExperimentLog::new(10_000, 0.005);
+        for (i, &(a, b)) in patterns.iter().enumerate() {
+            log.push(badabing_core::outcome::Outcome::basic(i as u64, i as u64 * 3, a, b));
+        }
+        let e = Estimates::from_log(&log);
+        let f = e.frequency().expect("nonempty");
+        prop_assert!((0.0..=1.0).contains(&f));
+        if let Some(d) = e.duration_slots_basic() {
+            // R >= S always, so the estimator is at least 1 slot.
+            prop_assert!(d >= 1.0, "duration {d} below one slot");
+        }
+    }
+}
