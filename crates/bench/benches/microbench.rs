@@ -131,7 +131,9 @@ fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     g.throughput(Throughput::Elements(1));
     g.bench_function("encode_600b", |b| b.iter(|| black_box(&h).encode(600)));
-    g.bench_function("decode_600b", |b| b.iter(|| ProbeHeader::decode(black_box(&encoded))));
+    g.bench_function("decode_600b", |b| {
+        b.iter(|| ProbeHeader::decode(black_box(&encoded)))
+    });
     g.finish();
 }
 

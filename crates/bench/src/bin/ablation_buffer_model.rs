@@ -6,8 +6,9 @@
 //! probes drop like big ones; with byte-exact accounting they slip into
 //! residual headroom and survive congestion that drops full frames — the
 //! behaviour the paper's testbed exhibited. This run quantifies the
-//! difference on the infinite-TCP scenario.
+//! difference on the infinite-TCP scenario, one runner job per cell size.
 
+use badabing_bench::runner;
 use badabing_bench::scenarios::{self, Scenario, ZING_FLOW};
 use badabing_bench::table::TableWriter;
 use badabing_bench::RunOpts;
@@ -15,9 +16,45 @@ use badabing_probe::zing::{attach_zing, zing_report, ZingConfig};
 use badabing_sim::topology::{Dumbbell, DumbbellConfig};
 use badabing_stats::rng::seeded;
 
+struct CellPoint {
+    f_true: f64,
+    zing_frequency: f64,
+    zing_lost: u64,
+    zing_sent: u64,
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(600.0, 120.0);
+    let cell_sizes = [1u32, 512, 1500];
+
+    let res = runner::run_jobs(opts.effective_threads(), &cell_sizes, |&cell_bytes| {
+        let cfg = DumbbellConfig {
+            buffer_cell_bytes: cell_bytes,
+            ..Default::default()
+        };
+        let mut db = Dumbbell::new(cfg);
+        scenarios::attach(&mut db, Scenario::InfiniteTcp, opts.seed);
+        let (p, r) = attach_zing(
+            &mut db,
+            ZingConfig::paper_10hz(),
+            ZING_FLOW,
+            seeded(opts.seed, "zing"),
+        );
+        db.run_for(secs + 1.0);
+        let truth = db.ground_truth(secs);
+        let report = zing_report(&db.sim, p, r);
+        let point = CellPoint {
+            f_true: truth.frequency(),
+            zing_frequency: report.frequency,
+            zing_lost: report.lost,
+            zing_sent: report.sent,
+        };
+        (point, db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
     let mut w = TableWriter::new(&opts.out_path("ablation_buffer_model"));
     w.heading(&format!(
         "Ablation: buffer particle size vs ZING accuracy ({secs:.0}s, infinite TCP)"
@@ -28,31 +65,22 @@ fn main() {
     ));
     w.csv("cell_bytes,true_frequency,zing_frequency,zing_lost,zing_sent");
 
-    for cell_bytes in [1u32, 512, 1500] {
-        let cfg = DumbbellConfig { buffer_cell_bytes: cell_bytes, ..Default::default() };
-        let mut db = Dumbbell::new(cfg);
-        scenarios::attach(&mut db, Scenario::InfiniteTcp, opts.seed);
-        let (p, r) = attach_zing(&mut db, ZingConfig::paper_10hz(), ZING_FLOW, seeded(opts.seed, "zing"));
-        db.run_for(secs + 1.0);
-        let truth = db.ground_truth(secs);
-        let report = zing_report(&db.sim, p, r);
-        let ratio = if truth.frequency() > 0.0 { report.frequency / truth.frequency() } else { 0.0 };
+    for (cell_bytes, point) in cell_sizes.iter().zip(&points) {
+        let ratio = if point.f_true > 0.0 {
+            point.zing_frequency / point.f_true
+        } else {
+            0.0
+        };
         w.row(&format!(
             "{:>12} {:>11.4} {:>11.4} {:>12} {:>12.2}",
-            cell_bytes,
-            truth.frequency(),
-            report.frequency,
-            report.lost,
-            ratio
+            cell_bytes, point.f_true, point.zing_frequency, point.zing_lost, ratio
         ));
         w.csv(&format!(
             "{cell_bytes},{},{},{},{}",
-            truth.frequency(),
-            report.frequency,
-            report.lost,
-            report.sent
+            point.f_true, point.zing_frequency, point.zing_lost, point.zing_sent
         ));
     }
     w.row("(byte-exact cells let small probes survive congestion; particles make them drop like frames)");
+    println!("{stat_line}");
     w.finish();
 }

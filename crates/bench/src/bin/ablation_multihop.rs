@@ -6,10 +6,12 @@
 //! configuration are unknown." Here probes cross an access hop in front
 //! of the OC3 bottleneck. The access hop carries its own (lighter) cross
 //! traffic, adding delay variation that is *not* associated with the
-//! bottleneck's loss episodes.
+//! bottleneck's loss episodes. The two path configurations run as
+//! parallel runner jobs.
 
+use badabing_bench::runner;
 use badabing_bench::table::TableWriter;
-use badabing_bench::RunOpts;
+use badabing_bench::{table, RunOpts};
 use badabing_core::config::BadabingConfig;
 use badabing_probe::badabing::BadabingHarness;
 use badabing_sim::packet::FlowId;
@@ -39,9 +41,17 @@ fn access_hop() -> HopConfig {
     }
 }
 
-fn run(hops: &[HopConfig], inject_hop: usize, opts: &RunOpts, secs: f64) -> (f64, f64, Option<f64>, Option<f64>) {
-    let mut path =
-        TandemPath::new(hops, SimDuration::from_micros(100), SimDuration::from_millis(50));
+fn run(
+    hops: &[HopConfig],
+    inject_hop: usize,
+    opts: &RunOpts,
+    secs: f64,
+) -> ((f64, f64, Option<f64>, Option<f64>), u64) {
+    let mut path = TandemPath::new(
+        hops,
+        SimDuration::from_micros(100),
+        SimDuration::from_millis(50),
+    );
     // CBR loss episodes at the *last* hop (the bottleneck).
     let sink = path.add_node(Box::new(badabing_sim::node::CountingSink::new()));
     path.route_flow(FlowId(1), sink);
@@ -86,44 +96,68 @@ fn run(hops: &[HopConfig], inject_hop: usize, opts: &RunOpts, secs: f64) -> (f64
     }
     let cfg = BadabingConfig::paper_default(0.5);
     let n_slots = (secs / cfg.slot_secs).round() as u64;
-    let h = BadabingHarness::attach_tandem(&mut path, cfg, n_slots, PROBE_FLOW, seeded(opts.seed, "probe"));
+    let h = BadabingHarness::attach_tandem(
+        &mut path,
+        cfg,
+        n_slots,
+        PROBE_FLOW,
+        seeded(opts.seed, "probe"),
+    );
     path.run_for(h.horizon_secs() + 1.0);
     let truth = path.ground_truth_end_to_end(h.horizon_secs());
     let a = h.analyze(&path.sim);
-    (truth.frequency(), truth.mean_duration_secs(), a.frequency(), a.duration_secs())
+    (
+        (
+            truth.frequency(),
+            truth.mean_duration_secs(),
+            a.frequency(),
+            a.duration_secs(),
+        ),
+        path.sim.dispatched(),
+    )
 }
 
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(600.0, 120.0);
+
+    let single = vec![oc3_hop()];
+    let double = vec![access_hop(), oc3_hop()];
+    let jobs: Vec<(&str, Vec<HopConfig>, usize)> = vec![("1", single, 0), ("2", double, 1)];
+    let res = runner::run_jobs(opts.effective_threads(), &jobs, |(_, hops, inject)| {
+        run(hops, *inject, &opts, secs)
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
     let mut w = TableWriter::new(&opts.out_path("ablation_multihop"));
-    w.heading(&format!("Ablation: path length ({secs:.0}s, CBR episodes at the bottleneck)"));
+    w.heading(&format!(
+        "Ablation: path length ({secs:.0}s, CBR episodes at the bottleneck)"
+    ));
     w.row(&format!(
         "{:>8} {:>11} {:>11} {:>11} {:>11}",
         "hops", "true freq", "est freq", "true dur", "est dur"
     ));
     w.csv("hops,true_frequency,est_frequency,true_duration_secs,est_duration_secs");
 
-    let single = [oc3_hop()];
-    let double = [access_hop(), oc3_hop()];
-    for (label, hops, inject) in [("1", &single[..], 0usize), ("2", &double[..], 1)] {
-        let (tf, td, ef, ed) = run(hops, inject, &opts, secs);
+    for ((label, _, _), (tf, td, ef, ed)) in jobs.iter().zip(&points) {
         w.row(&format!(
             "{:>8} {:>11.4} {} {:>11.3} {}",
             label,
             tf,
-            badabing_bench::table::cell(ef, 11, 4),
+            table::cell(*ef, 11, 4),
             td,
-            badabing_bench::table::cell(ed, 11, 3)
+            table::cell(*ed, 11, 3)
         ));
         w.csv(&format!(
             "{label},{tf},{},{td},{}",
-            ef.map_or(String::new(), |v| v.to_string()),
-            ed.map_or(String::new(), |v| v.to_string())
+            table::csv_cell(*ef),
+            table::csv_cell(*ed)
         ));
     }
     w.row("(the access hop's fill bursts add brief episodes of their own and extra delay");
     w.row(" noise; end-to-end estimates track the combined truth but with larger relative");
     w.row(" error than on the single-hop path — the multi-hop calibration problem of §7)");
+    println!("{stat_line}");
     w.finish();
 }

@@ -5,20 +5,59 @@
 //! Leland-style construction behind the paper's citation \[19\]) produces
 //! burstiness at many time scales without any scripting — loss episodes
 //! of highly variable length at irregular spacing. This run measures
-//! BADABING against that process across probe rates.
+//! BADABING against that process across probe rates, one runner job per
+//! probe rate.
 
+use badabing_bench::runner;
 use badabing_bench::scenarios::PROBE_FLOW;
 use badabing_bench::table::TableWriter;
-use badabing_bench::RunOpts;
+use badabing_bench::{table, RunOpts};
 use badabing_core::config::BadabingConfig;
 use badabing_probe::badabing::BadabingHarness;
 use badabing_sim::topology::Dumbbell;
 use badabing_stats::rng::seeded;
 use badabing_traffic::onoff::attach_onoff_aggregate;
 
+struct OnOffPoint {
+    f_true: f64,
+    d_true: f64,
+    f_est: Option<f64>,
+    d_est: Option<f64>,
+    valid: bool,
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(900.0, 120.0);
+    let p_points = [0.3, 0.5, 0.9];
+
+    let res = runner::run_jobs(opts.effective_threads(), &p_points, |&p| {
+        let mut db = Dumbbell::standard();
+        attach_onoff_aggregate(&mut db, 32, 0.85, 8.0, 0.5, 100, opts.seed);
+        let cfg = BadabingConfig::paper_default(p);
+        let n_slots = (secs / cfg.slot_secs).round() as u64;
+        let h = BadabingHarness::attach(
+            &mut db,
+            cfg,
+            n_slots,
+            PROBE_FLOW,
+            seeded(opts.seed, "probe"),
+        );
+        db.run_for(h.horizon_secs() + 1.0);
+        let truth = db.ground_truth(h.horizon_secs());
+        let a = h.analyze(&db.sim);
+        let point = OnOffPoint {
+            f_true: truth.frequency(),
+            d_true: truth.mean_duration_secs(),
+            f_est: a.frequency(),
+            d_est: a.duration_secs(),
+            valid: a.validation.passes(0.5),
+        };
+        (point, db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
     let mut w = TableWriter::new(&opts.out_path("ablation_onoff"));
     w.heading(&format!(
         "Ablation: ON/OFF (heavy-tailed) cross traffic ({secs:.0}s, 32 sources at 85% load)"
@@ -29,32 +68,25 @@ fn main() {
     ));
     w.csv("p,true_frequency,est_frequency,true_duration_secs,est_duration_secs,validation_passes");
 
-    for p in [0.3, 0.5, 0.9] {
-        let mut db = Dumbbell::standard();
-        attach_onoff_aggregate(&mut db, 32, 0.85, 8.0, 0.5, 100, opts.seed);
-        let cfg = BadabingConfig::paper_default(p);
-        let n_slots = (secs / cfg.slot_secs).round() as u64;
-        let h = BadabingHarness::attach(&mut db, cfg, n_slots, PROBE_FLOW, seeded(opts.seed, "probe"));
-        db.run_for(h.horizon_secs() + 1.0);
-        let truth = db.ground_truth(h.horizon_secs());
-        let a = h.analyze(&db.sim);
-        let valid = a.validation.passes(0.5);
+    for (p, point) in p_points.iter().zip(&points) {
         w.row(&format!(
             "{:>4.1} {:>11.4} {} {:>11.3} {} {:>11}",
             p,
-            truth.frequency(),
-            badabing_bench::table::cell(a.frequency(), 11, 4),
-            truth.mean_duration_secs(),
-            badabing_bench::table::cell(a.duration_secs(), 11, 3),
-            if valid { "ok" } else { "FLAGGED" },
+            point.f_true,
+            table::cell(point.f_est, 11, 4),
+            point.d_true,
+            table::cell(point.d_est, 11, 3),
+            if point.valid { "ok" } else { "FLAGGED" },
         ));
         w.csv(&format!(
-            "{p},{},{},{},{},{valid}",
-            truth.frequency(),
-            a.frequency().map_or(String::new(), |v| v.to_string()),
-            truth.mean_duration_secs(),
-            a.duration_secs().map_or(String::new(), |v| v.to_string()),
+            "{p},{},{},{},{},{}",
+            point.f_true,
+            table::csv_cell(point.f_est),
+            point.d_true,
+            table::csv_cell(point.d_est),
+            point.valid,
         ));
     }
+    println!("{stat_line}");
     w.finish();
 }

@@ -5,18 +5,27 @@
 //! RED decouples them: early drops occur at moderate average occupancy.
 //! This run measures how BADABING's estimates degrade when the bottleneck
 //! runs AQM, using the web-like workload (CBR's scripted bursts would
-//! blow straight past RED's averaging).
+//! blow straight past RED's averaging). The two queue disciplines run as
+//! parallel runner jobs.
 
+use badabing_bench::runner;
 use badabing_bench::scenarios::{self, Scenario, PROBE_FLOW};
 use badabing_bench::table::TableWriter;
-use badabing_bench::RunOpts;
+use badabing_bench::{table, RunOpts};
 use badabing_core::config::BadabingConfig;
 use badabing_probe::badabing::BadabingHarness;
 use badabing_sim::red::RedConfig;
 use badabing_sim::topology::{Dumbbell, DumbbellConfig};
 use badabing_stats::rng::seeded;
 
-fn run(db: &mut Dumbbell, opts: &RunOpts, secs: f64) -> (f64, f64, Option<f64>, Option<f64>) {
+struct QueuePoint {
+    f_true: f64,
+    d_true: f64,
+    f_est: Option<f64>,
+    d_est: Option<f64>,
+}
+
+fn run(db: &mut Dumbbell, opts: &RunOpts, secs: f64) -> (QueuePoint, u64) {
     scenarios::attach(db, Scenario::Web, opts.seed);
     let cfg = BadabingConfig::paper_default(0.5);
     let n_slots = (secs / cfg.slot_secs).round() as u64;
@@ -24,56 +33,64 @@ fn run(db: &mut Dumbbell, opts: &RunOpts, secs: f64) -> (f64, f64, Option<f64>, 
     db.run_for(h.horizon_secs() + 1.0);
     let truth = db.ground_truth(h.horizon_secs());
     let a = h.analyze(&db.sim);
-    (truth.frequency(), truth.mean_duration_secs(), a.frequency(), a.duration_secs())
+    let point = QueuePoint {
+        f_true: truth.frequency(),
+        d_true: truth.mean_duration_secs(),
+        f_est: a.frequency(),
+        d_est: a.duration_secs(),
+    };
+    (point, db.sim.dispatched())
 }
 
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(600.0, 120.0);
+    let queues = ["drop-tail", "red"];
+
+    let res = runner::run_jobs(opts.effective_threads(), &queues, |&queue| {
+        let mut db = if queue == "red" {
+            Dumbbell::new_red(
+                DumbbellConfig::default(),
+                RedConfig::default(),
+                seeded(opts.seed, "red"),
+            )
+        } else {
+            Dumbbell::standard()
+        };
+        run(&mut db, &opts, secs)
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
     let mut w = TableWriter::new(&opts.out_path("ablation_red"));
-    w.heading(&format!("Ablation: drop-tail vs RED bottleneck ({secs:.0}s web traffic, p=0.5)"));
+    w.heading(&format!(
+        "Ablation: drop-tail vs RED bottleneck ({secs:.0}s web traffic, p=0.5)"
+    ));
     w.row(&format!(
         "{:>10} {:>11} {:>11} {:>11} {:>11}",
         "queue", "true freq", "est freq", "true dur", "est dur"
     ));
     w.csv("queue,true_frequency,est_frequency,true_duration_secs,est_duration_secs");
 
-    let mut droptail = Dumbbell::standard();
-    let (tf, td, ef, ed) = run(&mut droptail, &opts, secs);
-    w.row(&format!(
-        "{:>10} {:>11.4} {} {:>11.3} {}",
-        "drop-tail",
-        tf,
-        badabing_bench::table::cell(ef, 11, 4),
-        td,
-        badabing_bench::table::cell(ed, 11, 3)
-    ));
-    w.csv(&format!(
-        "drop-tail,{tf},{},{td},{}",
-        ef.map_or(String::new(), |v| v.to_string()),
-        ed.map_or(String::new(), |v| v.to_string())
-    ));
-
-    let mut red = Dumbbell::new_red(
-        DumbbellConfig::default(),
-        RedConfig::default(),
-        seeded(opts.seed, "red"),
-    );
-    let (tf, td, ef, ed) = run(&mut red, &opts, secs);
-    w.row(&format!(
-        "{:>10} {:>11.4} {} {:>11.3} {}",
-        "RED",
-        tf,
-        badabing_bench::table::cell(ef, 11, 4),
-        td,
-        badabing_bench::table::cell(ed, 11, 3)
-    ));
-    w.csv(&format!(
-        "red,{tf},{},{td},{}",
-        ef.map_or(String::new(), |v| v.to_string()),
-        ed.map_or(String::new(), |v| v.to_string())
-    ));
-
+    for (label, point) in ["drop-tail", "RED"].iter().zip(&points) {
+        w.row(&format!(
+            "{:>10} {:>11.4} {} {:>11.3} {}",
+            label,
+            point.f_true,
+            table::cell(point.f_est, 11, 4),
+            point.d_true,
+            table::cell(point.d_est, 11, 3)
+        ));
+        w.csv(&format!(
+            "{},{},{},{},{}",
+            label.to_lowercase(),
+            point.f_true,
+            table::csv_cell(point.f_est),
+            point.d_true,
+            table::csv_cell(point.d_est)
+        ));
+    }
     w.row("(under RED, loss no longer implies near-max delay, weakening the tau/alpha marking)");
+    println!("{stat_line}");
     w.finish();
 }

@@ -4,8 +4,11 @@
 //! `OWDmax`; this report shows the actual distribution per scenario —
 //! bimodal under CBR (idle vs pinned queue), heavy-tailed under web
 //! traffic, and sawtooth-filled under synchronized TCP.
+//!
+//! The three scenarios run as parallel runner jobs.
 
 use badabing_bench::figures::sparkline;
+use badabing_bench::runner;
 use badabing_bench::runs::{run_badabing, slots_for};
 use badabing_bench::scenarios::Scenario;
 use badabing_bench::table::TableWriter;
@@ -16,11 +19,9 @@ use badabing_stats::histogram::Histogram;
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(300.0, 90.0);
-    let mut w = TableWriter::new(&opts.out_path("delay_profile"));
-    w.heading(&format!("Probe one-way-delay profiles ({secs:.0}s per scenario, p=0.5)"));
-    w.csv("scenario,owd_lo_secs,owd_hi_secs,count");
+    let scenarios = [Scenario::InfiniteTcp, Scenario::CbrUniform, Scenario::Web];
 
-    for scenario in [Scenario::InfiniteTcp, Scenario::CbrUniform, Scenario::Web] {
+    let res = runner::run_jobs(opts.effective_threads(), &scenarios, |&scenario| {
         let cfg = BadabingConfig::paper_default(0.5);
         let n_slots = slots_for(secs, cfg.slot_secs);
         let run = run_badabing(scenario, cfg, n_slots, opts.seed);
@@ -32,9 +33,25 @@ fn main() {
                 h.push(owd);
             }
         }
+        (h, run.db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let histograms = res.into_values();
+
+    let mut w = TableWriter::new(&opts.out_path("delay_profile"));
+    w.heading(&format!(
+        "Probe one-way-delay profiles ({secs:.0}s per scenario, p=0.5)"
+    ));
+    w.csv("scenario,owd_lo_secs,owd_hi_secs,count");
+
+    for (scenario, h) in scenarios.iter().zip(&histograms) {
         let counts: Vec<f64> = h.buckets().iter().map(|&c| c as f64).collect();
         let peak = counts.iter().cloned().fold(0.0, f64::max).max(1.0);
-        w.row(&format!("--- {} ({} probes) ---", scenario.label(), h.count()));
+        w.row(&format!(
+            "--- {} ({} probes) ---",
+            scenario.label(),
+            h.count()
+        ));
         w.row(&sparkline(&counts, peak, 48));
         w.row(&format!(
             "owd 45..165 ms; median {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, overflow {}",
@@ -47,5 +64,6 @@ fn main() {
             w.csv(&format!("{},{lo:.4},{hi:.4},{c}", scenario.label()));
         }
     }
+    println!("{stat_line}");
     w.finish();
 }

@@ -49,7 +49,8 @@ fn main() {
     scenarios::attach(&mut db, scenario, seed);
     db.run_for(seconds);
 
-    let path = out.unwrap_or_else(|| PathBuf::from(format!("results/trace_{}.csv", scenario.label())));
+    let path =
+        out.unwrap_or_else(|| PathBuf::from(format!("results/trace_{}.csv", scenario.label())));
     let mut w = TableWriter::new(&path);
     w.csv("t_secs,event,packet_id,flow,size_bytes,is_probe,qdelay_secs");
     let monitor = db.monitor();

@@ -4,8 +4,12 @@
 //! climbs to the 100 ms buffer limit, a loss episode synchronizes the
 //! sources' multiplicative decreases, the queue drains, and the cycle
 //! repeats every few seconds.
+//!
+//! A single simulation, run as one runner job for uniform timing and
+//! event-rate instrumentation across the experiment suite.
 
 use badabing_bench::figures::{dump_queue_series, episode_summary};
+use badabing_bench::runner;
 use badabing_bench::scenarios::{build, Scenario};
 use badabing_bench::table::TableWriter;
 use badabing_bench::RunOpts;
@@ -13,15 +17,22 @@ use badabing_bench::RunOpts;
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(60.0, 25.0);
-    let mut db = build(Scenario::InfiniteTcp, opts.seed);
-    db.run_for(secs);
-    let gt = db.ground_truth(secs);
+
+    let res = runner::run_jobs(opts.effective_threads(), &[()], |&()| {
+        let mut db = build(Scenario::InfiniteTcp, opts.seed);
+        db.run_for(secs);
+        let gt = db.ground_truth(secs);
+        (gt, db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let gt = &res.into_values()[0];
 
     let mut w = TableWriter::new(&opts.out_path("fig4_queue_tcp"));
     w.heading("Figure 4: queue length, 40 infinite TCP sources");
     let t0 = (secs / 3.0).floor();
     let t1 = (t0 + 10.0).min(secs);
-    dump_queue_series(&gt, t0, t1, &mut w);
-    episode_summary(&gt, &w);
+    dump_queue_series(gt, t0, t1, &mut w);
+    episode_summary(gt, &w);
+    println!("{stat_line}");
     w.finish();
 }

@@ -3,8 +3,12 @@
 //!
 //! Between episodes the queue is empty; each burst fills the buffer in
 //! ~50 ms, pins it at capacity for the 68 ms loss period, then drains.
+//!
+//! A single simulation, run as one runner job for uniform timing and
+//! event-rate instrumentation across the experiment suite.
 
 use badabing_bench::figures::{dump_queue_series, episode_summary};
+use badabing_bench::runner;
 use badabing_bench::scenarios::{build, Scenario};
 use badabing_bench::table::TableWriter;
 use badabing_bench::RunOpts;
@@ -12,15 +16,22 @@ use badabing_bench::RunOpts;
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(60.0, 30.0);
-    let mut db = build(Scenario::CbrUniform, opts.seed);
-    db.run_for(secs);
-    let gt = db.ground_truth(secs);
+
+    let res = runner::run_jobs(opts.effective_threads(), &[()], |&()| {
+        let mut db = build(Scenario::CbrUniform, opts.seed);
+        db.run_for(secs);
+        let gt = db.ground_truth(secs);
+        (gt, db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let gt = &res.into_values()[0];
 
     let mut w = TableWriter::new(&opts.out_path("fig5_queue_cbr"));
     w.heading("Figure 5: queue length, CBR with constant 68 ms loss episodes");
     let t0 = (secs / 2.0).floor();
     let t1 = (t0 + 10.0).min(secs);
-    dump_queue_series(&gt, t0, t1, &mut w);
-    episode_summary(&gt, &w);
+    dump_queue_series(gt, t0, t1, &mut w);
+    episode_summary(gt, &w);
+    println!("{stat_line}");
     w.finish();
 }

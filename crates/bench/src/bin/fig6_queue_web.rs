@@ -3,8 +3,12 @@
 //! Bursty, irregular occupancy; loss episodes appear when session surges
 //! overrun the buffer, with durations governed by the congestion-control
 //! reaction rather than a script.
+//!
+//! A single simulation, run as one runner job for uniform timing and
+//! event-rate instrumentation across the experiment suite.
 
 use badabing_bench::figures::{dump_queue_series, episode_summary};
+use badabing_bench::runner;
 use badabing_bench::scenarios::{build, Scenario};
 use badabing_bench::table::TableWriter;
 use badabing_bench::RunOpts;
@@ -12,9 +16,15 @@ use badabing_bench::RunOpts;
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(120.0, 45.0);
-    let mut db = build(Scenario::Web, opts.seed);
-    db.run_for(secs);
-    let gt = db.ground_truth(secs);
+
+    let res = runner::run_jobs(opts.effective_threads(), &[()], |&()| {
+        let mut db = build(Scenario::Web, opts.seed);
+        db.run_for(secs);
+        let gt = db.ground_truth(secs);
+        (gt, db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let gt = &res.into_values()[0];
 
     let mut w = TableWriter::new(&opts.out_path("fig6_queue_web"));
     w.heading("Figure 6: queue length, Harpoon-like web traffic");
@@ -27,7 +37,8 @@ fn main() {
         }
         None => (0.0, 10.0_f64.min(secs)),
     };
-    dump_queue_series(&gt, t0, t1, &mut w);
-    episode_summary(&gt, &w);
+    dump_queue_series(gt, t0, t1, &mut w);
+    episode_summary(gt, &w);
+    println!("{stat_line}");
     w.finish();
 }

@@ -5,15 +5,19 @@
 //! half the episodes they traverse while 3+-packet probes rarely miss;
 //! with TCP traffic the improvement with N is smaller (and very long
 //! probes start to perturb the queue — Figure 8's subject).
+//!
+//! All twenty (traffic, probe size) simulations are independent runner
+//! jobs; rows assemble in probe-size order afterwards.
 
+use badabing_bench::runner;
 use badabing_bench::scenarios::{self, Scenario, PROBE_FLOW};
 use badabing_bench::table::TableWriter;
-use badabing_bench::RunOpts;
+use badabing_bench::{table, RunOpts};
 use badabing_probe::badabing::BadabingReceiver;
 use badabing_probe::fixed::{attach_fixed, FixedIntervalProber, ProbeEpisodeStats};
 use badabing_sim::topology::Dumbbell;
 
-fn run_one(scenario: Scenario, n_packets: u8, secs: f64, seed: u64) -> ProbeEpisodeStats {
+fn run_one(scenario: Scenario, n_packets: u8, secs: f64, seed: u64) -> (ProbeEpisodeStats, u64) {
     let mut db = Dumbbell::standard();
     scenarios::attach(&mut db, scenario, seed);
     let (prober, receiver) = attach_fixed(&mut db, n_packets, PROBE_FLOW);
@@ -21,12 +25,25 @@ fn run_one(scenario: Scenario, n_packets: u8, secs: f64, seed: u64) -> ProbeEpis
     let gt = db.ground_truth(secs);
     let sent = db.sim.node::<FixedIntervalProber>(prober).sent();
     let arrivals = db.sim.node::<BadabingReceiver>(receiver).arrivals();
-    ProbeEpisodeStats::compute(sent, arrivals, &gt.episodes)
+    (
+        ProbeEpisodeStats::compute(sent, arrivals, &gt.episodes),
+        db.sim.dispatched(),
+    )
 }
 
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(300.0, 60.0);
+
+    let jobs: Vec<(Scenario, u8)> = (1..=10u8)
+        .flat_map(|n| [(Scenario::InfiniteTcp, n), (Scenario::CbrUniform, n)])
+        .collect();
+    let res = runner::run_jobs(opts.effective_threads(), &jobs, |&(scenario, n)| {
+        run_one(scenario, n, secs, opts.seed)
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
     let mut w = TableWriter::new(&opts.out_path("fig7_probe_size"));
     w.heading(&format!(
         "Figure 7: P(probe sees no loss | inside a loss episode), {secs:.0}s per point"
@@ -36,20 +53,22 @@ fn main() {
         "packets", "infinite TCP traffic", "CBR traffic"
     ));
     w.csv("n_packets,p_no_loss_tcp,p_no_loss_cbr,probes_in_episodes_tcp,probes_in_episodes_cbr");
-    for n in 1..=10u8 {
-        let tcp = run_one(Scenario::InfiniteTcp, n, secs, opts.seed);
-        let cbr = run_one(Scenario::CbrUniform, n, secs, opts.seed);
+    for (i, n) in (1..=10u8).enumerate() {
+        let tcp = &points[2 * i];
+        let cbr = &points[2 * i + 1];
         let fmt = |s: &ProbeEpisodeStats| {
-            s.p_no_loss().map_or_else(|| "-".into(), |p| format!("{p:.3}"))
+            s.p_no_loss()
+                .map_or_else(|| "-".into(), |p| format!("{p:.3}"))
         };
-        w.row(&format!("{:>8} {:>22} {:>22}", n, fmt(&tcp), fmt(&cbr)));
+        w.row(&format!("{:>8} {:>22} {:>22}", n, fmt(tcp), fmt(cbr)));
         w.csv(&format!(
             "{n},{},{},{},{}",
-            tcp.p_no_loss().map_or(String::new(), |p| p.to_string()),
-            cbr.p_no_loss().map_or(String::new(), |p| p.to_string()),
+            table::csv_cell(tcp.p_no_loss()),
+            table::csv_cell(cbr.p_no_loss()),
             tcp.probes_in_episodes,
             cbr.probes_in_episodes,
         ));
     }
+    println!("{stat_line}");
     w.finish();
 }

@@ -6,34 +6,60 @@
 //! dynamics essentially unchanged, while 10-packet trains visibly perturb
 //! the queue (extra loss, deeper excursions) — the reason BADABING
 //! settles on 3.
+//!
+//! The three probe sizes run as parallel runner jobs.
 
 use badabing_bench::figures::{dump_queue_series, episode_summary};
+use badabing_bench::runner;
 use badabing_bench::scenarios::{self, Scenario, PROBE_FLOW};
 use badabing_bench::table::TableWriter;
 use badabing_bench::RunOpts;
 use badabing_probe::fixed::attach_fixed;
+use badabing_sim::monitor::GroundTruth;
 use badabing_sim::topology::Dumbbell;
+
+struct ImpactPoint {
+    truth: GroundTruth,
+    probe_drops: u64,
+    cross_drops: u64,
+}
 
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(60.0, 25.0);
-    let mut w = TableWriter::new(&opts.out_path("fig8_probe_impact"));
-    w.heading(&format!(
-        "Figure 8: probe-train impact on queue dynamics ({secs:.0}s, infinite TCP)"
-    ));
-    w.csv("probe_packets,episodes,frequency,mean_duration_secs,router_loss_rate,probe_drops,cross_drops");
+    let sizes = [0u8, 3, 10];
 
-    for n_packets in [0u8, 3, 10] {
+    let res = runner::run_jobs(opts.effective_threads(), &sizes, |&n_packets| {
         let mut db = Dumbbell::standard();
         scenarios::attach(&mut db, Scenario::InfiniteTcp, opts.seed);
         if n_packets > 0 {
             attach_fixed(&mut db, n_packets, PROBE_FLOW);
         }
         db.run_for(secs + 1.0);
-        let gt = db.ground_truth(secs);
+        let truth = db.ground_truth(secs);
         let m = db.monitor();
         let probe_drops = m.borrow().probe_drops();
         let cross_drops = m.borrow().drops() - probe_drops;
+        (
+            ImpactPoint {
+                truth,
+                probe_drops,
+                cross_drops,
+            },
+            db.sim.dispatched(),
+        )
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
+    let mut w = TableWriter::new(&opts.out_path("fig8_probe_impact"));
+    w.heading(&format!(
+        "Figure 8: probe-train impact on queue dynamics ({secs:.0}s, infinite TCP)"
+    ));
+    w.csv("probe_packets,episodes,frequency,mean_duration_secs,router_loss_rate,probe_drops,cross_drops");
+
+    for (n_packets, point) in sizes.iter().zip(&points) {
+        let gt = &point.truth;
         let label = match n_packets {
             0 => "no probe traffic".to_string(),
             n => format!("probe train of {n} packets"),
@@ -44,16 +70,22 @@ fn main() {
             .first()
             .map_or(secs / 3.0, |e| (e.start.as_secs_f64() - 1.0).max(0.0));
         let t1 = (t0 + 3.0).min(secs);
-        dump_queue_series(&gt, t0, t1, &mut w);
-        episode_summary(&gt, &w);
-        w.row(&format!("probe drops: {probe_drops}  cross-traffic drops: {cross_drops}"));
+        dump_queue_series(gt, t0, t1, &mut w);
+        episode_summary(gt, &w);
+        w.row(&format!(
+            "probe drops: {}  cross-traffic drops: {}",
+            point.probe_drops, point.cross_drops
+        ));
         w.csv(&format!(
-            "{n_packets},{},{},{},{},{probe_drops},{cross_drops}",
+            "{n_packets},{},{},{},{},{},{}",
             gt.episodes.len(),
             gt.frequency(),
             gt.mean_duration_secs(),
             gt.router_loss_rate,
+            point.probe_drops,
+            point.cross_drops,
         ));
     }
+    println!("{stat_line}");
     w.finish();
 }

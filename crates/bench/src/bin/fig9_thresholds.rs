@@ -8,10 +8,11 @@
 //! estimated frequency; higher probe rates can use tighter thresholds —
 //! the trade-off behind the §6.2 parameter rules.
 //!
-//! One simulation per probe rate is reused for every threshold
-//! combination: the thresholds only affect post-run marking, not the
-//! probe process itself.
+//! One simulation per probe rate (a runner job) is reused for every
+//! threshold combination: the thresholds only affect post-run marking,
+//! not the probe process itself.
 
+use badabing_bench::runner;
 use badabing_bench::runs::{run_badabing, slots_for, P_SWEEP};
 use badabing_bench::scenarios::Scenario;
 use badabing_bench::table::TableWriter;
@@ -20,28 +21,24 @@ use badabing_core::config::BadabingConfig;
 use badabing_core::detector::CongestionDetector;
 use badabing_core::estimator::Estimates;
 
+const ALPHAS: [f64; 3] = [0.05, 0.10, 0.20];
+const TAUS_MS: [f64; 3] = [20.0, 40.0, 80.0];
+
+struct ThresholdPoint {
+    f_true: f64,
+    series_a: [f64; 3],
+    series_b: [f64; 3],
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(900.0, 120.0);
-    let mut w = TableWriter::new(&opts.out_path("fig9_thresholds"));
-    w.heading(&format!(
-        "Figure 9: loss-frequency sensitivity to alpha and tau ({secs:.0}s CBR per p)"
-    ));
-    w.csv("p,alpha,tau_ms,est_frequency,true_frequency");
 
-    let alphas = [0.05, 0.10, 0.20];
-    let taus_ms = [20.0, 40.0, 80.0];
-
-    w.row(&format!(
-        "{:>4} {:>10} | {:>26} | {:>26}",
-        "p", "true freq", "(a) tau=80ms, alpha=.05/.1/.2", "(b) alpha=.1, tau=20/40/80ms"
-    ));
-    for p in P_SWEEP {
+    let res = runner::run_jobs(opts.effective_threads(), &P_SWEEP, |&p| {
         let cfg = BadabingConfig::paper_default(p);
         let n_slots = slots_for(secs, cfg.slot_secs);
         let run = run_badabing(Scenario::CbrUniform, cfg, n_slots, opts.seed);
         let obs = run.harness.observations(&run.db.sim);
-        let f_true = run.truth.frequency();
 
         let freq_for = |alpha: f64, tau_secs: f64| -> f64 {
             let det = CongestionDetector::with_params(alpha, tau_secs, cfg.owd_window);
@@ -49,26 +46,51 @@ fn main() {
             Estimates::from_log(&log).frequency().unwrap_or(0.0)
         };
 
-        let series_a: Vec<f64> = alphas.iter().map(|&a| freq_for(a, 0.080)).collect();
-        let series_b: Vec<f64> = taus_ms.iter().map(|&t| freq_for(0.10, t / 1000.0)).collect();
+        let point = ThresholdPoint {
+            f_true: run.truth.frequency(),
+            series_a: ALPHAS.map(|a| freq_for(a, 0.080)),
+            series_b: TAUS_MS.map(|t| freq_for(0.10, t / 1000.0)),
+        };
+        (point, run.db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
 
-        for (i, &a) in alphas.iter().enumerate() {
-            w.csv(&format!("{p},{a},80,{},{f_true}", series_a[i]));
+    let mut w = TableWriter::new(&opts.out_path("fig9_thresholds"));
+    w.heading(&format!(
+        "Figure 9: loss-frequency sensitivity to alpha and tau ({secs:.0}s CBR per p)"
+    ));
+    w.csv("p,alpha,tau_ms,est_frequency,true_frequency");
+
+    w.row(&format!(
+        "{:>4} {:>10} | {:>26} | {:>26}",
+        "p", "true freq", "(a) tau=80ms, alpha=.05/.1/.2", "(b) alpha=.1, tau=20/40/80ms"
+    ));
+    for (p, point) in P_SWEEP.iter().zip(&points) {
+        for (i, &a) in ALPHAS.iter().enumerate() {
+            w.csv(&format!(
+                "{p},{a},80,{},{}",
+                point.series_a[i], point.f_true
+            ));
         }
-        for (i, &t) in taus_ms.iter().enumerate() {
-            w.csv(&format!("{p},0.1,{t},{},{f_true}", series_b[i]));
+        for (i, &t) in TAUS_MS.iter().enumerate() {
+            w.csv(&format!(
+                "{p},0.1,{t},{},{}",
+                point.series_b[i], point.f_true
+            ));
         }
         w.row(&format!(
             "{:>4.1} {:>10.4} | {:>8.4} {:>8.4} {:>8.4} | {:>8.4} {:>8.4} {:>8.4}",
             p,
-            f_true,
-            series_a[0],
-            series_a[1],
-            series_a[2],
-            series_b[0],
-            series_b[1],
-            series_b[2],
+            point.f_true,
+            point.series_a[0],
+            point.series_a[1],
+            point.series_a[2],
+            point.series_b[0],
+            point.series_b[1],
+            point.series_b[2],
         ));
     }
+    println!("{stat_line}");
     w.finish();
 }

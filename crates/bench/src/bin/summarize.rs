@@ -15,25 +15,34 @@ fn main() {
 
     let mut out = String::new();
     let _ = writeln!(out, "# Experiment digest\n");
-    let _ = writeln!(out, "Generated from `results/full_run.log` by `summarize`.\n");
+    let _ = writeln!(
+        out,
+        "Generated from `results/full_run.log` by `summarize`.\n"
+    );
 
     let mut in_block = false;
     for line in log.lines() {
         if line.starts_with("=== running ") {
             continue;
         }
-        if let Some(title) = line.strip_prefix("=== ").and_then(|l| l.strip_suffix(" ===")) {
+        if let Some(title) = line
+            .strip_prefix("=== ")
+            .and_then(|l| l.strip_suffix(" ==="))
+        {
             let _ = writeln!(out, "\n## {title}\n");
             let _ = writeln!(out, "```text");
             in_block = true;
             continue;
         }
-        if line.starts_with("[csv written") || line.starts_with('[') && line.contains("took") {
+        if line.starts_with("[csv written")
+            || line.starts_with("[runner:")
+            || line.starts_with('[') && line.contains("took")
+        {
             if in_block {
                 let _ = writeln!(out, "```");
                 in_block = false;
             }
-            if line.contains("took") {
+            if line.starts_with("[runner:") || line.contains("took") {
                 let _ = writeln!(out, "_{}_", line.trim_matches(['[', ']']));
             }
             continue;

@@ -6,22 +6,59 @@
 //! and most improvement from the larger τ — at p = 0.1 probes are so
 //! sparse that τ dominates the marking.
 //!
-//! One simulation per N is reused for both τ values.
+//! One simulation per N (a runner job) is reused for both τ values.
 
+use badabing_bench::runner;
 use badabing_bench::runs::{run_badabing, slots_for};
 use badabing_bench::scenarios::Scenario;
 use badabing_bench::table::TableWriter;
-use badabing_bench::RunOpts;
+use badabing_bench::{table, RunOpts};
 use badabing_core::config::BadabingConfig;
 use badabing_core::detector::CongestionDetector;
 use badabing_core::estimator::Estimates;
 
+const TAUS_MS: [f64; 2] = [40.0, 80.0];
+
+struct NPoint {
+    n_slots: u64,
+    f_true: f64,
+    d_true: f64,
+    /// (est frequency, est duration) per τ, in `TAUS_MS` order.
+    per_tau: [(f64, Option<f64>); 2],
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     // Paper durations: 900 s and 3600 s. Quick: 180 s and 720 s.
-    let (short_secs, long_secs) = if opts.quick { (180.0, 720.0) } else { (900.0, 3600.0) };
+    let (short_secs, long_secs) = if opts.quick {
+        (180.0, 720.0)
+    } else {
+        (900.0, 3600.0)
+    };
     let p = 0.1;
     let cfg = BadabingConfig::paper_default(p);
+
+    let durations = [short_secs, long_secs];
+    let res = runner::run_jobs(opts.effective_threads(), &durations, |&secs| {
+        let n_slots = slots_for(secs, cfg.slot_secs);
+        let run = run_badabing(Scenario::CbrUniform, cfg, n_slots, opts.seed);
+        let obs = run.harness.observations(&run.db.sim);
+        let per_tau = TAUS_MS.map(|tau_ms| {
+            let det = CongestionDetector::with_params(cfg.alpha, tau_ms / 1000.0, cfg.owd_window);
+            let (log, _) = det.assemble(&obs, n_slots, cfg.slot_secs);
+            let est = Estimates::from_log(&log);
+            (est.frequency().unwrap_or(0.0), est.duration_secs_basic())
+        });
+        let point = NPoint {
+            n_slots,
+            f_true: run.truth.frequency(),
+            d_true: run.truth.mean_duration_secs(),
+            per_tau,
+        };
+        (point, run.db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
 
     let mut w = TableWriter::new(&opts.out_path("tab7_duration_n"));
     w.heading("Table 7: p=0.1, N and tau trade-off (CBR, 68 ms episodes)");
@@ -31,32 +68,26 @@ fn main() {
     ));
     w.csv("n_slots,tau_ms,true_frequency,est_frequency,true_duration_secs,est_duration_secs");
 
-    for secs in [short_secs, long_secs] {
-        let n_slots = slots_for(secs, cfg.slot_secs);
-        let run = run_badabing(Scenario::CbrUniform, cfg, n_slots, opts.seed);
-        let obs = run.harness.observations(&run.db.sim);
-        let f_true = run.truth.frequency();
-        let d_true = run.truth.mean_duration_secs();
-        for tau_ms in [40.0, 80.0] {
-            let det = CongestionDetector::with_params(cfg.alpha, tau_ms / 1000.0, cfg.owd_window);
-            let (log, _) = det.assemble(&obs, n_slots, cfg.slot_secs);
-            let est = Estimates::from_log(&log);
-            let f_est = est.frequency().unwrap_or(0.0);
-            let d_est = est.duration_secs_basic();
+    for point in &points {
+        for (tau_ms, (f_est, d_est)) in TAUS_MS.iter().zip(&point.per_tau) {
             w.row(&format!(
                 "{:>9} {:>8.0} {:>11.4} {:>11.4} {:>11.3} {}",
-                n_slots,
+                point.n_slots,
                 tau_ms,
-                f_true,
+                point.f_true,
                 f_est,
-                d_true,
-                badabing_bench::table::cell(d_est, 11, 3),
+                point.d_true,
+                table::cell(*d_est, 11, 3),
             ));
             w.csv(&format!(
-                "{n_slots},{tau_ms},{f_true},{f_est},{d_true},{}",
-                d_est.map_or(String::new(), |v| v.to_string())
+                "{},{tau_ms},{},{f_est},{},{}",
+                point.n_slots,
+                point.f_true,
+                point.d_true,
+                table::csv_cell(*d_est)
             ));
         }
     }
+    println!("{stat_line}");
     w.finish();
 }

@@ -7,7 +7,11 @@
 //! BADABING load of this implementation (the §5 process sends two probes
 //! per experiment, about twice the load accounting the paper quotes —
 //! see EXPERIMENTS.md), which if anything favours ZING.
+//!
+//! The two scenarios run as parallel runner jobs; within a job the ZING
+//! run must wait for the BADABING run, whose measured load sets its rate.
 
+use badabing_bench::runner;
 use badabing_bench::runs::{run_badabing, run_zing, slots_for};
 use badabing_bench::scenarios::Scenario;
 use badabing_bench::table::TableWriter;
@@ -16,39 +20,61 @@ use badabing_core::config::BadabingConfig;
 use badabing_probe::report::ToolReport;
 use badabing_probe::zing::ZingConfig;
 
+struct ScenarioPoint {
+    load_bps: f64,
+    rate_hz: f64,
+    rows: [ToolReport; 4],
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     let secs = opts.duration(900.0, 120.0);
-    let mut w = TableWriter::new(&opts.out_path("tab8_tool_compare"));
-    w.heading(&format!("Table 8: BADABING (p=0.3) vs rate-matched ZING ({secs:.0}s)"));
-    w.csv("scenario,source,frequency,duration_mean_secs,duration_std_secs");
+    let scenarios = [Scenario::CbrUniform, Scenario::Web];
 
-    for scenario in [Scenario::CbrUniform, Scenario::Web] {
+    let res = runner::run_jobs(opts.effective_threads(), &scenarios, |&scenario| {
         let cfg = BadabingConfig::paper_default(0.3);
         let n_slots = slots_for(secs, cfg.slot_secs);
         let bb = run_badabing(scenario, cfg, n_slots, opts.seed);
+        let bb_events = bb.db.sim.dispatched();
 
         // Match ZING to the load BADABING actually offered.
         let zcfg = ZingConfig::with_load_bps(600, bb.load_bps);
-        let (z_truth, z_reports) = run_zing(scenario, &[zcfg], secs, opts.seed);
+        let z = run_zing(scenario, &[zcfg], secs, opts.seed);
 
+        let point = ScenarioPoint {
+            load_bps: bb.load_bps,
+            rate_hz: zcfg.rate_hz,
+            rows: [
+                ToolReport::from_truth("true values (badabing run)", &bb.truth),
+                ToolReport::from_badabing("badabing (p=0.3)", &bb.analysis),
+                ToolReport::from_truth("true values (zing run)", &z.truth),
+                ToolReport::from_zing("zing (rate-matched)", &z.reports[0]),
+            ],
+        };
+        (point, bb_events + z.events)
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
+    let mut w = TableWriter::new(&opts.out_path("tab8_tool_compare"));
+    w.heading(&format!(
+        "Table 8: BADABING (p=0.3) vs rate-matched ZING ({secs:.0}s)"
+    ));
+    w.csv("scenario,source,frequency,duration_mean_secs,duration_std_secs");
+
+    for (scenario, point) in scenarios.iter().zip(&points) {
         w.row(&format!(
             "--- {} (badabing load {:.0} kb/s, zing {:.1} probes/s) ---",
             scenario.label(),
-            bb.load_bps / 1000.0,
-            zcfg.rate_hz
+            point.load_bps / 1000.0,
+            point.rate_hz
         ));
         w.row(&ToolReport::header());
-        let rows = [
-            ToolReport::from_truth("true values (badabing run)", &bb.truth),
-            ToolReport::from_badabing("badabing (p=0.3)", &bb.analysis),
-            ToolReport::from_truth("true values (zing run)", &z_truth),
-            ToolReport::from_zing("zing (rate-matched)", &z_reports[0]),
-        ];
-        for r in rows {
+        for r in &point.rows {
             w.row(&r.fmt_row());
             w.csv(&format!("{},{}", scenario.label(), r.csv_row()));
         }
     }
+    println!("{stat_line}");
     w.finish();
 }

@@ -7,7 +7,11 @@
 //! compare with the model's prediction. The paper also notes the
 //! accuracy should "depend on the product pNL, but not on the individual
 //! values" — the sweep exercises different (p, N) at similar products.
+//!
+//! Every (p, replication) pair is an independent runner job; `--reps`
+//! overrides the replication count (default 10, 5 with `--quick`).
 
+use badabing_bench::runner;
 use badabing_bench::scenarios::{self, Scenario, PROBE_FLOW};
 use badabing_bench::table::TableWriter;
 use badabing_bench::RunOpts;
@@ -18,10 +22,47 @@ use badabing_sim::topology::Dumbbell;
 use badabing_stats::rng::seeded;
 use badabing_stats::summary::Summary;
 
+const P_POINTS: [f64; 3] = [0.1, 0.3, 0.9];
+
 fn main() {
     let opts = RunOpts::from_args();
-    let reps = if opts.quick { 5 } else { 10 };
+    let reps: u64 = if opts.reps > 1 {
+        u64::from(opts.reps)
+    } else if opts.quick {
+        5
+    } else {
+        10
+    };
     let secs = opts.duration(300.0, 120.0);
+
+    let jobs: Vec<(f64, u64)> = P_POINTS
+        .iter()
+        .flat_map(|&p| (0..reps).map(move |rep| (p, rep)))
+        .collect();
+    let res = runner::run_jobs(opts.effective_threads(), &jobs, |&(p, rep)| {
+        let cfg = BadabingConfig::paper_default(p);
+        let n_slots = (secs / cfg.slot_secs).round() as u64;
+        let mut db = Dumbbell::standard();
+        // Same traffic every replication; only the probe seed varies.
+        scenarios::attach(&mut db, Scenario::CbrUniform, opts.seed);
+        let h = BadabingHarness::attach(
+            &mut db,
+            cfg,
+            n_slots,
+            PROBE_FLOW,
+            seeded(opts.seed.wrapping_add(1000 + rep), "probe"),
+        );
+        db.run_for(h.horizon_secs() + 1.0);
+        let analysis = h.analyze(&db.sim);
+        let gt = db.ground_truth(h.horizon_secs());
+        // L: loss events (episodes) per slot.
+        let loss_rate = gt.episodes.len() as f64 / n_slots as f64;
+        let duration = analysis.estimates.duration_slots_basic();
+        ((n_slots, duration, loss_rate), db.sim.dispatched())
+    });
+    let stat_line = res.stat_line();
+    let points = res.into_values();
+
     let mut w = TableWriter::new(&opts.out_path("variance_model"));
     w.heading(&format!(
         "StdDev(D-hat) vs 1/sqrt(pNL) model ({secs:.0}s CBR, {reps} replications per point)"
@@ -32,35 +73,25 @@ fn main() {
     ));
     w.csv("p,n_slots,measured_sd_slots,model_sd_slots,mean_duration_slots,loss_event_rate");
 
-    for p in [0.1, 0.3, 0.9] {
-        let cfg = BadabingConfig::paper_default(p);
-        let n_slots = (secs / cfg.slot_secs).round() as u64;
+    for (i, &p) in P_POINTS.iter().enumerate() {
+        let chunk = &points[i * reps as usize..(i + 1) * reps as usize];
+        let n_slots = chunk[0].0;
         let mut durations = Summary::new();
         let mut loss_rate_acc = Summary::new();
-        for rep in 0..reps {
-            let mut db = Dumbbell::standard();
-            // Same traffic every replication; only the probe seed varies.
-            scenarios::attach(&mut db, Scenario::CbrUniform, opts.seed);
-            let h = BadabingHarness::attach(
-                &mut db,
-                cfg,
-                n_slots,
-                PROBE_FLOW,
-                seeded(opts.seed.wrapping_add(1000 + rep), "probe"),
-            );
-            db.run_for(h.horizon_secs() + 1.0);
-            let analysis = h.analyze(&db.sim);
-            if let Some(d) = analysis.estimates.duration_slots_basic() {
+        for &(_, duration, loss_rate) in chunk {
+            if let Some(d) = duration {
                 durations.push(d);
             }
-            let gt = db.ground_truth(h.horizon_secs());
-            // L: loss events (episodes) per slot.
-            loss_rate_acc.push(gt.episodes.len() as f64 / n_slots as f64);
+            loss_rate_acc.push(loss_rate);
         }
         let measured_sd = durations.std_dev();
         let l = loss_rate_acc.mean().max(1e-9);
         let model_sd = duration_stddev_model(p, n_slots as f64, l);
-        let ratio = if model_sd > 0.0 { measured_sd / model_sd } else { f64::NAN };
+        let ratio = if model_sd > 0.0 {
+            measured_sd / model_sd
+        } else {
+            f64::NAN
+        };
         w.row(&format!(
             "{:>4.1} {:>9} {:>12.3} {:>12.3} {:>12.2} {:>8.2}",
             p,
@@ -70,8 +101,12 @@ fn main() {
             durations.mean(),
             ratio
         ));
-        w.csv(&format!("{p},{n_slots},{measured_sd},{model_sd},{},{l}", durations.mean()));
+        w.csv(&format!(
+            "{p},{n_slots},{measured_sd},{model_sd},{},{l}",
+            durations.mean()
+        ));
     }
     w.row("(ratio near 1 means the 1/sqrt(pNL) model predicts the replication spread)");
+    println!("{stat_line}");
     w.finish();
 }

@@ -5,7 +5,9 @@
 //! experiment index). They share:
 //!
 //! * [`opts::RunOpts`] — common CLI flags (`--quick`, `--seconds`,
-//!   `--seed`, `--out`);
+//!   `--seed`, `--out`, `--threads`, `--reps`);
+//! * [`runner`] — the parallel replicate runner every binary fans its
+//!   simulation jobs through;
 //! * [`scenarios`] — the three cross-traffic scenarios of §4/§6 wired
 //!   onto the standard dumbbell;
 //! * [`table`] — fixed-width table printing plus CSV capture under
@@ -14,10 +16,12 @@
 //! Conventions: every binary prints the paper's corresponding rows (true
 //! values first), runs at the paper's durations by default, and accepts
 //! `--quick` for a shorter smoke run. All runs are deterministic given
-//! `--seed`.
+//! `--seed` — including at any `--threads` value (see [`runner`]'s
+//! determinism contract).
 
 pub mod figures;
 pub mod opts;
+pub mod runner;
 pub mod runs;
 pub mod scenarios;
 pub mod table;

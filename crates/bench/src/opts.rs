@@ -15,11 +15,25 @@ pub struct RunOpts {
     pub seed: u64,
     /// Where to write the CSV (default `results/<name>.csv`).
     pub out: Option<PathBuf>,
+    /// Worker threads for the parallel runner; `None` uses every
+    /// available core. Output is identical at any thread count.
+    pub threads: Option<usize>,
+    /// Replications per experiment point (tables report mean ± stddev
+    /// when > 1). Replication 0 reuses the master seed, so `--reps 1`
+    /// reproduces the unreplicated output exactly.
+    pub reps: u32,
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        Self { seconds: None, quick: false, seed: 20050821, out: None }
+        Self {
+            seconds: None,
+            quick: false,
+            seed: 20050821,
+            out: None,
+            threads: None,
+            reps: 1,
+        }
     }
 }
 
@@ -32,17 +46,45 @@ impl RunOpts {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
                 "--seconds" => {
-                    let v = args.next().unwrap_or_else(|| usage("--seconds needs a value"));
-                    opts.seconds =
-                        Some(v.parse().unwrap_or_else(|_| usage("--seconds needs a number")));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--seconds needs a value"));
+                    opts.seconds = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage("--seconds needs a number")),
+                    );
                 }
                 "--seed" => {
                     let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                    opts.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed needs an integer"));
                 }
                 "--out" => {
                     let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
                     opts.out = Some(PathBuf::from(v));
+                }
+                "--threads" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--threads needs a value"));
+                    let n: usize = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads needs an integer"));
+                    if n == 0 {
+                        usage("--threads must be at least 1");
+                    }
+                    opts.threads = Some(n);
+                }
+                "--reps" => {
+                    let v = args.next().unwrap_or_else(|| usage("--reps needs a value"));
+                    let n: u32 = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--reps needs an integer"));
+                    if n == 0 {
+                        usage("--reps must be at least 1");
+                    }
+                    opts.reps = n;
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -63,7 +105,17 @@ impl RunOpts {
 
     /// CSV output path for an experiment named `name`.
     pub fn out_path(&self, name: &str) -> PathBuf {
-        self.out.clone().unwrap_or_else(|| PathBuf::from(format!("results/{name}.csv")))
+        self.out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("results/{name}.csv")))
+    }
+
+    /// Worker threads for the parallel runner: `--threads` if given, else
+    /// every available core.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
     }
 }
 
@@ -71,7 +123,9 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--quick] [--seconds S] [--seed N] [--out PATH]");
+    eprintln!(
+        "usage: <experiment> [--quick] [--seconds S] [--seed N] [--out PATH] [--threads N] [--reps N]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -90,10 +144,24 @@ mod tests {
     }
 
     #[test]
+    fn effective_threads_honors_override() {
+        let o = RunOpts {
+            threads: Some(3),
+            ..RunOpts::default()
+        };
+        assert_eq!(o.effective_threads(), 3);
+        assert!(RunOpts::default().effective_threads() >= 1);
+        assert_eq!(RunOpts::default().reps, 1);
+    }
+
+    #[test]
     fn out_path_defaults_to_results_dir() {
         let o = RunOpts::default();
         assert_eq!(o.out_path("tab4"), PathBuf::from("results/tab4.csv"));
-        let o2 = RunOpts { out: Some(PathBuf::from("/tmp/x.csv")), ..RunOpts::default() };
+        let o2 = RunOpts {
+            out: Some(PathBuf::from("/tmp/x.csv")),
+            ..RunOpts::default()
+        };
         assert_eq!(o2.out_path("tab4"), PathBuf::from("/tmp/x.csv"));
     }
 }

@@ -1,0 +1,319 @@
+//! Shared parallel replicate runner.
+//!
+//! Every table/figure binary decomposes into independent simulation jobs
+//! — one per probe rate, scenario, parameter combination, or replication
+//! seed. [`run_jobs`] fans those jobs out over a scoped worker pool and
+//! hands the results back **in submission order**, so a binary's output
+//! is bit-identical at any `--threads` value: parallelism changes only
+//! which core runs a job, never what the job computes or where its row
+//! lands.
+//!
+//! Determinism contract:
+//!
+//! * each job is a pure function of its input (seeds included) — workers
+//!   share nothing and the pool injects nothing;
+//! * results are collected into a slot vector indexed by submission
+//!   position, so aggregation order is independent of completion order;
+//! * replication seeds come from [`rep_seed`], a fixed SplitMix64 mix of
+//!   `(base seed, replication index)` with replication 0 mapping to the
+//!   base seed itself — `--reps 1` reproduces the unreplicated run
+//!   exactly.
+//!
+//! Instrumentation: each job records wall time and the number of
+//! simulator events it dispatched; [`RunnerResult::stat_line`] renders
+//! the pool-level digest (`[runner: ...]`) that `summarize` lifts into
+//! the experiment digest. Stat lines go to stdout only, never into the
+//! CSV mirrors — timings are not part of the deterministic output.
+
+use badabing_stats::summary::Summary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Instrumentation for one completed job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobStats {
+    /// Wall-clock time the job took on its worker thread.
+    pub wall_secs: f64,
+    /// Simulator events the job dispatched (0 for analysis-only jobs).
+    pub events: u64,
+}
+
+/// One completed job: the worker's output plus its instrumentation.
+#[derive(Debug)]
+pub struct JobOutput<T> {
+    /// What the worker returned.
+    pub value: T,
+    /// Wall time and event count for this job.
+    pub stats: JobStats,
+}
+
+/// All jobs of one [`run_jobs`] call, in submission order.
+#[derive(Debug)]
+pub struct RunnerResult<T> {
+    /// Per-job outputs, indexed exactly like the submitted jobs.
+    pub outputs: Vec<JobOutput<T>>,
+    /// Wall-clock time for the whole pool.
+    pub wall_secs: f64,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl<T> RunnerResult<T> {
+    /// Strip the instrumentation, keeping the values in submission order.
+    pub fn into_values(self) -> Vec<T> {
+        self.outputs.into_iter().map(|o| o.value).collect()
+    }
+
+    /// Sum of per-job wall times (the pool's total busy time).
+    pub fn busy_secs(&self) -> f64 {
+        self.outputs.iter().map(|o| o.stats.wall_secs).sum()
+    }
+
+    /// Total simulator events dispatched across all jobs.
+    pub fn events(&self) -> u64 {
+        self.outputs.iter().map(|o| o.stats.events).sum()
+    }
+
+    /// The `[runner: ...]` digest line for stdout (`summarize` collects
+    /// these). Timings vary run to run; this line never enters a CSV.
+    pub fn stat_line(&self) -> String {
+        let busy = self.busy_secs();
+        let events = self.events();
+        let rate = if busy > 0.0 {
+            events as f64 / busy
+        } else {
+            0.0
+        };
+        format!(
+            "[runner: {} jobs on {} threads, {:.2}s wall, {:.2}s busy, {} events, {:.0} events/s]",
+            self.outputs.len(),
+            self.threads,
+            self.wall_secs,
+            busy,
+            events,
+            rate,
+        )
+    }
+}
+
+/// Run `jobs` through `worker` on a pool of `threads` scoped threads and
+/// return the outputs in submission order.
+///
+/// The worker maps one job to `(value, events_dispatched)`; it runs on an
+/// arbitrary pool thread, so everything it needs must come from the job
+/// itself. Workers pull jobs from a shared cursor (no pre-partitioning),
+/// so a slow job never strands work behind it.
+pub fn run_jobs<J, T, F>(threads: usize, jobs: &[J], worker: F) -> RunnerResult<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> (T, u64) + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobOutput<T>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let t0 = Instant::now();
+                let (value, events) = worker(&jobs[i]);
+                let stats = JobStats {
+                    wall_secs: t0.elapsed().as_secs_f64(),
+                    events,
+                };
+                *slots[i].lock().expect("result slot poisoned") = Some(JobOutput { value, stats });
+            });
+        }
+    });
+
+    let outputs = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("job completed")
+        })
+        .collect();
+    RunnerResult {
+        outputs,
+        wall_secs: started.elapsed().as_secs_f64(),
+        threads,
+    }
+}
+
+/// The master seed for replication `rep` of a run seeded with `base`.
+///
+/// Replication 0 is the base seed itself, so a single-replication run is
+/// byte-identical to the historical unreplicated output; later
+/// replications are SplitMix64-separated, far apart in seed space no
+/// matter how close the base seeds of two experiments sit.
+pub fn rep_seed(base: u64, rep: u32) -> u64 {
+    if rep == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(rep)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run `f` once per replication seed (see [`rep_seed`]) on the pool.
+pub fn replicate<T, F>(threads: usize, base_seed: u64, reps: u32, f: F) -> RunnerResult<T>
+where
+    T: Send,
+    F: Fn(u64) -> (T, u64) + Sync,
+{
+    let seeds: Vec<u64> = (0..reps.max(1)).map(|r| rep_seed(base_seed, r)).collect();
+    run_jobs(threads, &seeds, |s| f(*s))
+}
+
+/// Mean ± standard deviation over the replications that produced a value.
+#[derive(Debug, Clone, Copy)]
+pub struct MeanSd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation (0 for a single sample).
+    pub sd: f64,
+    /// Replications that contributed (the rest reported no value).
+    pub n: u64,
+}
+
+impl MeanSd {
+    /// Fixed-width table cell: the bare mean for a single replication
+    /// (matching the unreplicated format), `mean±sd` otherwise.
+    pub fn cell(&self, width: usize, precision: usize) -> String {
+        if self.n <= 1 {
+            format!("{:>width$.precision$}", self.mean)
+        } else {
+            format!(
+                "{:>width$}",
+                format!("{:.precision$}±{:.precision$}", self.mean, self.sd)
+            )
+        }
+    }
+
+    /// CSV value for the mean.
+    pub fn csv_mean(&self) -> String {
+        self.mean.to_string()
+    }
+
+    /// CSV value for the standard deviation.
+    pub fn csv_sd(&self) -> String {
+        self.sd.to_string()
+    }
+}
+
+/// Aggregate one per-replication quantity. `None` entries (a replication
+/// had nothing to report) are skipped; the result is `None` only when
+/// every replication came up empty.
+pub fn aggregate<I: IntoIterator<Item = Option<f64>>>(samples: I) -> Option<MeanSd> {
+    let mut s = Summary::new();
+    for x in samples.into_iter().flatten() {
+        s.push(x);
+    }
+    if s.count() == 0 {
+        None
+    } else {
+        Some(MeanSd {
+            mean: s.mean(),
+            sd: s.std_dev(),
+            n: s.count(),
+        })
+    }
+}
+
+/// [`aggregate`] over plain (always-present) samples.
+pub fn aggregate_all<I: IntoIterator<Item = f64>>(samples: I) -> MeanSd {
+    aggregate(samples.into_iter().map(Some)).unwrap_or(MeanSd {
+        mean: 0.0,
+        sd: 0.0,
+        n: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let jobs: Vec<u64> = (0..33).collect();
+        for threads in [1, 3, 8] {
+            let res = run_jobs(threads, &jobs, |&j| (j * j, j));
+            let values = res.into_values();
+            let expect: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+            assert_eq!(values, expect, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_values() {
+        // The determinism contract: same jobs, any pool width, same
+        // output vector.
+        let jobs: Vec<u64> = (0..64).collect();
+        let worker = |&j: &u64| (rep_seed(j, 3), 1u64);
+        let one = run_jobs(1, &jobs, worker).into_values();
+        let many = run_jobs(7, &jobs, worker).into_values();
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn pool_caps_threads_at_job_count() {
+        let res = run_jobs(16, &[1u64, 2], |&j| (j, 0u64));
+        assert_eq!(res.threads, 2);
+        let empty = run_jobs(4, &[] as &[u64], |&j| (j, 0u64));
+        assert_eq!(empty.outputs.len(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_events() {
+        let res = run_jobs(2, &[10u64, 20, 30], |&j| ((), j));
+        assert_eq!(res.events(), 60);
+        assert!(res.busy_secs() >= 0.0);
+        let line = res.stat_line();
+        assert!(line.starts_with("[runner: 3 jobs"), "{line}");
+        assert!(line.contains("60 events"), "{line}");
+    }
+
+    #[test]
+    fn rep_zero_is_the_base_seed() {
+        assert_eq!(rep_seed(20050821, 0), 20050821);
+        assert_ne!(rep_seed(20050821, 1), 20050821);
+        // Distinct reps get distinct seeds, and nearby bases stay apart.
+        assert_ne!(rep_seed(7, 1), rep_seed(7, 2));
+        assert_ne!(rep_seed(7, 1), rep_seed(8, 1));
+    }
+
+    #[test]
+    fn replicate_passes_derived_seeds() {
+        let res = replicate(4, 99, 3, |seed| (seed, 0u64));
+        let seeds = res.into_values();
+        assert_eq!(
+            seeds,
+            vec![rep_seed(99, 0), rep_seed(99, 1), rep_seed(99, 2)]
+        );
+        // reps 0 is clamped to one replication.
+        assert_eq!(replicate(1, 99, 0, |seed| (seed, 0u64)).outputs.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_hand_computed() {
+        let m = aggregate([Some(2.0), None, Some(4.0)]).unwrap();
+        assert_eq!(m.n, 2);
+        assert!((m.mean - 3.0).abs() < 1e-12);
+        assert!((m.sd - 1.0).abs() < 1e-12);
+        assert!(aggregate([None, None]).is_none());
+        let all = aggregate_all([5.0]);
+        assert_eq!(all.n, 1);
+        assert_eq!(all.cell(8, 2), "    5.00");
+        let two = aggregate_all([1.0, 3.0]);
+        assert_eq!(two.cell(12, 1), "     2.0±1.0");
+    }
+}

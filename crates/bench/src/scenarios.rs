@@ -69,7 +69,10 @@ pub fn attach(db: &mut Dumbbell, scenario: Scenario, seed: u64) {
             // cycle with hundreds of drops per episode, where the testbed
             // showed ~one loss per flow per episode.
             for f in 0..40u32 {
-                let cfg = TcpConfig { init_ssthresh: 64.0, ..TcpConfig::default() };
+                let cfg = TcpConfig {
+                    init_ssthresh: 64.0,
+                    ..TcpConfig::default()
+                };
                 let start = SimTime::from_secs_f64(f as f64 * 0.001);
                 attach_flow(db, FlowId(f + 1), cfg, start);
             }
@@ -98,7 +101,12 @@ mod tests {
 
     #[test]
     fn each_scenario_generates_loss() {
-        for scenario in [Scenario::InfiniteTcp, Scenario::CbrUniform, Scenario::CbrMulti, Scenario::Web] {
+        for scenario in [
+            Scenario::InfiniteTcp,
+            Scenario::CbrUniform,
+            Scenario::CbrMulti,
+            Scenario::Web,
+        ] {
             let mut db = build(scenario, 99);
             db.run_for(40.0);
             let drops = db.monitor().borrow().drops();

@@ -20,17 +20,26 @@ impl TableWriter {
             let _ = fs::create_dir_all(dir);
         }
         match fs::File::create(path) {
-            Ok(f) => Self { csv: Some(f), csv_path: Some(path.to_path_buf()) },
+            Ok(f) => Self {
+                csv: Some(f),
+                csv_path: Some(path.to_path_buf()),
+            },
             Err(e) => {
                 eprintln!("warning: cannot write {}: {e}", path.display());
-                Self { csv: None, csv_path: None }
+                Self {
+                    csv: None,
+                    csv_path: None,
+                }
             }
         }
     }
 
     /// A stdout-only writer.
     pub fn stdout_only() -> Self {
-        Self { csv: None, csv_path: None }
+        Self {
+            csv: None,
+            csv_path: None,
+        }
     }
 
     /// Print a heading (stdout only).
@@ -73,6 +82,18 @@ pub fn cell(v: Option<f64>, width: usize, precision: usize) -> String {
     }
 }
 
+/// Format an `Option<f64>` for a CSV field. A missing value becomes the
+/// `nan` sentinel — never an empty field, so rows keep a fixed arity and
+/// every numeric parser (including pandas/numpy) reads the hole as NaN.
+/// The text tables keep `-` (see [`cell`]); `nan` is the CSV-side
+/// spelling of the same hole.
+pub fn csv_cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "nan".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +115,21 @@ mod tests {
     fn cell_formats() {
         assert_eq!(cell(Some(0.0069), 10, 4), "    0.0069");
         assert_eq!(cell(None, 6, 2), "     -");
+    }
+
+    #[test]
+    fn csv_cell_uses_nan_sentinel() {
+        assert_eq!(csv_cell(Some(0.25)), "0.25");
+        assert_eq!(csv_cell(None), "nan");
+        // Full-row shape: missing values never shrink the field count.
+        let row = format!("{},{},{}", 0.1, csv_cell(None), csv_cell(Some(3.0)));
+        assert_eq!(row, "0.1,nan,3");
+        assert_eq!(row.split(',').count(), 3);
+    }
+
+    #[test]
+    fn csv_cell_round_trips_through_parse() {
+        assert!(csv_cell(None).parse::<f64>().unwrap().is_nan());
+        assert_eq!(csv_cell(Some(1.5)).parse::<f64>().unwrap(), 1.5);
     }
 }

@@ -101,25 +101,38 @@ impl CongestionDetector {
     /// # Panics
     /// Panics if `alpha` is outside `[0, 1)` or `tau_secs` is negative.
     pub fn with_params(alpha: f64, tau_secs: f64, owd_window: usize) -> Self {
-        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0,1), got {alpha}");
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "alpha must be in [0,1), got {alpha}"
+        );
         assert!(tau_secs >= 0.0, "tau must be non-negative");
         assert!(owd_window > 0, "owd window must hold at least one estimate");
-        Self { alpha, tau_secs, owd_window }
+        Self {
+            alpha,
+            tau_secs,
+            owd_window,
+        }
     }
 
     /// Mark each observation (which must be sorted by `send_time_secs`) as
     /// congested or not. Returns one flag per observation, in order.
     pub fn mark(&self, obs: &[ProbeObservation]) -> (Vec<bool>, DetectorReport) {
         debug_assert!(
-            obs.windows(2).all(|w| w[0].send_time_secs <= w[1].send_time_secs),
+            obs.windows(2)
+                .all(|w| w[0].send_time_secs <= w[1].send_time_secs),
             "observations must be time-sorted"
         );
-        let mut report =
-            DetectorReport { probes: obs.len() as u64, ..Default::default() };
+        let mut report = DetectorReport {
+            probes: obs.len() as u64,
+            ..Default::default()
+        };
 
         // Loss indication times, in order.
-        let loss_times: Vec<f64> =
-            obs.iter().filter(|o| o.has_loss()).map(|o| o.send_time_secs).collect();
+        let loss_times: Vec<f64> = obs
+            .iter()
+            .filter(|o| o.has_loss())
+            .map(|o| o.send_time_secs)
+            .collect();
         report.probes_with_loss = loss_times.len() as u64;
 
         // OWDmax estimates in time order: (time, delay-of-last-delivered).
@@ -205,9 +218,7 @@ impl CongestionDetector {
             probes.sort_by_key(|(slot, _)| *slot);
             let contiguous = probes.windows(2).all(|w| w[1].0 == w[0].0 + 1);
             match (probes.len(), contiguous) {
-                (2, true) => {
-                    log.push(Outcome::basic(id, probes[0].0, probes[0].1, probes[1].1))
-                }
+                (2, true) => log.push(Outcome::basic(id, probes[0].0, probes[0].1, probes[1].1)),
                 (3, true) => log.push(Outcome::extended(
                     id,
                     probes[0].0,
@@ -226,13 +237,7 @@ impl CongestionDetector {
 mod tests {
     use super::*;
 
-    fn obs(
-        experiment: u64,
-        slot: u64,
-        t: f64,
-        lost: u8,
-        owd: Option<f64>,
-    ) -> ProbeObservation {
+    fn obs(experiment: u64, slot: u64, t: f64, lost: u8, owd: Option<f64>) -> ProbeObservation {
         ProbeObservation {
             experiment,
             slot,
@@ -261,7 +266,11 @@ mod tests {
     fn quiet_probe_is_unmarked() {
         let d = detector();
         let (marks, _) = d.mark(&[obs(0, 0, 0.0, 0, Some(0.11))]);
-        assert_eq!(marks, vec![false], "no loss anywhere: delay alone never marks");
+        assert_eq!(
+            marks,
+            vec![false],
+            "no loss anywhere: delay alone never marks"
+        );
     }
 
     #[test]

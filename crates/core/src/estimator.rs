@@ -54,7 +54,10 @@ pub struct Estimates {
 impl Estimates {
     /// Compute all counts from a log.
     pub fn from_log(log: &ExperimentLog) -> Self {
-        let mut e = Estimates { slot_secs: log.slot_secs(), ..Default::default() };
+        let mut e = Estimates {
+            slot_secs: log.slot_secs(),
+            ..Default::default()
+        };
         for o in log.outcomes() {
             e.experiments += 1;
             if o.z() {
@@ -114,14 +117,16 @@ impl Estimates {
     }
 
     /// Improved duration estimate in slots:
-    /// `D̂ = (2V/U)(R/S − 1) + 1 = (2/r̂)(R/S − 1) + 1`. `None` when
-    /// `S = 0` or `U = 0`.
+    /// `D̂ = (2/r̂)(R/S − 1) + 1`. `None` when `S = 0` (no two-probe
+    /// boundary was ever observed — the estimate's own denominator);
+    /// degenerate `U`/`V` counts follow the shared
+    /// [`Self::r_hat_or_unity`] policy instead of killing the estimate.
     pub fn duration_slots_improved(&self) -> Option<f64> {
-        if self.s == 0 || self.u == 0 {
+        if self.s == 0 {
             return None;
         }
         let ratio = self.r as f64 / self.s as f64 - 1.0;
-        Some(2.0 * self.v as f64 / self.u as f64 * ratio + 1.0)
+        Some((2.0 / self.r_hat_or_unity() * ratio + 1.0).max(1.0))
     }
 
     /// Estimated fidelity ratio `r̂ = U/V`; `None` when `V = 0`.
@@ -131,6 +136,16 @@ impl Estimates {
         } else {
             Some(self.u as f64 / self.v as f64)
         }
+    }
+
+    /// `r̂` with the shared degenerate-count policy: when either boundary
+    /// count is zero (`U = 0` or `V = 0`), the run carries no usable
+    /// fidelity signal, so fall back to `r = 1` (the §5.2.2 assumption)
+    /// rather than return a 0 or undefined ratio. Every duration
+    /// estimator that needs `r̂` goes through this, so they all degrade
+    /// identically — to their uncorrected forms.
+    pub fn r_hat_or_unity(&self) -> f64 {
+        self.r_hat().filter(|r| *r > 0.0).unwrap_or(1.0)
     }
 
     /// Basic duration estimate in seconds.
@@ -157,16 +172,18 @@ impl Estimates {
     /// Assumes `#111` is reported with fidelity `p₂` like the other
     /// multi-congested states (a mild strengthening of §5.3's model,
     /// which is why the paper kept this as a "straightforward
-    /// modification" rather than the default). Pass `r = 1` semantics via
-    /// [`Self::r_hat`] falling back to 1 when unavailable.
+    /// modification" rather than the default). `None` when `S₃ = V = 0`
+    /// (its own denominator); the fidelity ratio degrades per
+    /// [`Self::r_hat_or_unity`], and noisy sub-slot results clamp to the
+    /// physical floor of one slot — the same policy as
+    /// [`Self::duration_slots_improved`].
     pub fn duration_slots_triple(&self) -> Option<f64> {
         if self.v == 0 {
             return None;
         }
-        let r = self.r_hat().filter(|r| *r > 0.0).unwrap_or(1.0);
         let r3 = (self.u + self.v + self.n111) as f64;
         let s3 = self.v as f64;
-        Some(((r3 / s3 - 2.0) * 2.0 / r + 2.0).max(1.0))
+        Some(((r3 / s3 - 2.0) * 2.0 / self.r_hat_or_unity() + 2.0).max(1.0))
     }
 
     /// §5.5 pooled duration estimate: the basic/improved two-probe
@@ -175,7 +192,9 @@ impl Estimates {
     /// every probe for duration "thereby decreasing the total number of
     /// probes that are required ... for the same level of confidence".
     pub fn duration_slots_pooled(&self) -> Option<f64> {
-        let two = self.duration_slots_improved().or_else(|| self.duration_slots_basic());
+        let two = self
+            .duration_slots_improved()
+            .or_else(|| self.duration_slots_basic());
         let three = self.duration_slots_triple();
         match (two, three) {
             (Some(d2), Some(d3)) => {
@@ -319,7 +338,11 @@ mod tests {
         // If mid-episode congestion is under-reported (p2 < p1), 11 states
         // leak into 01/10/00 and U shrinks relative to V. Check direction:
         // r̂ < 1 inflates the improved estimate relative to basic.
-        let ext = vec![(false, true, true), (false, false, true), (true, false, false)];
+        let ext = vec![
+            (false, true, true),
+            (false, false, true),
+            (true, false, false),
+        ];
         let basic = vec![(false, true), (true, false), (true, true)];
         let log = log_from_patterns(&basic, &ext);
         let e = Estimates::from_log(&log);
@@ -427,6 +450,74 @@ mod tests {
         // Nothing at all.
         let empty = log_from_patterns(&[(false, false)], &[]);
         assert_eq!(Estimates::from_log(&empty).duration_slots_pooled(), None);
+    }
+
+    #[test]
+    fn u_zero_degrades_to_unit_fidelity() {
+        // U = 0 with V > 0: no 011/110 ever observed, so r̂ carries no
+        // signal. Policy: both r̂-consuming estimators fall back to r = 1
+        // rather than dying (improved) or dividing by zero (triple).
+        // Basic part: 01, 10, 11, 11 → R = 4, S = 2 → D̂ = 2(2−1)+1 = 3.
+        let basic = vec![(false, true), (true, false), (true, true), (true, true)];
+        let ext = vec![(false, false, true), (true, false, false)];
+        let e = Estimates::from_log(&log_from_patterns(&basic, &ext));
+        assert_eq!(e.u, 0);
+        assert_eq!(e.v, 2);
+        assert_eq!(e.r_hat(), Some(0.0));
+        assert!((e.r_hat_or_unity() - 1.0).abs() < 1e-12);
+        let imp = e.duration_slots_improved().unwrap();
+        let bas = e.duration_slots_basic().unwrap();
+        assert!(
+            (imp - bas).abs() < 1e-12,
+            "improved {imp} degrades to basic {bas}"
+        );
+        // Triple: R₃/S₃ = 2/2 = 1 < 2 → raw D̂₃ = 2(1−2)+2 = 0, clamped
+        // to the one-slot physical floor.
+        assert!((e.duration_slots_triple().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v_zero_degrades_to_unit_fidelity() {
+        // V = 0 with U > 0: r̂ is undefined. The old improved formula
+        // (2V/U)(R/S−1)+1 silently collapsed to the constant 1.0 here;
+        // the unified policy degrades to the basic estimate instead.
+        let basic = vec![(false, true), (true, false), (true, true), (true, true)];
+        let ext = vec![(false, true, true), (true, true, false)];
+        let e = Estimates::from_log(&log_from_patterns(&basic, &ext));
+        assert_eq!(e.u, 2);
+        assert_eq!(e.v, 0);
+        assert_eq!(e.r_hat(), None);
+        assert!((e.r_hat_or_unity() - 1.0).abs() < 1e-12);
+        let imp = e.duration_slots_improved().unwrap();
+        let bas = e.duration_slots_basic().unwrap();
+        assert!(
+            (imp - bas).abs() < 1e-12,
+            "improved {imp} degrades to basic {bas}"
+        );
+        assert!(
+            imp > 1.0 + 1e-12,
+            "must not collapse to the old constant 1.0"
+        );
+        // Triple's own denominator S₃ = V is gone: no estimate.
+        assert_eq!(e.duration_slots_triple(), None);
+    }
+
+    #[test]
+    fn triple_clamps_r3_s3_below_two_at_one_slot() {
+        // Heavy V, light U/111: R₃/S₃ = (1+4+0)/4 = 1.25 < 2 and
+        // r̂ = 0.25, so the raw estimate 2(1.25−2)/0.25 + 2 = −4 slots is
+        // unphysical; the policy clamps at one slot.
+        let ext = vec![
+            (false, false, true),
+            (true, false, false),
+            (false, false, true),
+            (true, false, false),
+            (false, true, true),
+        ];
+        let e = Estimates::from_log(&log_from_patterns(&[], &ext));
+        assert_eq!(e.u, 1);
+        assert_eq!(e.v, 4);
+        assert!((e.duration_slots_triple().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -59,9 +59,9 @@ pub mod validate;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, Verdict};
 pub use config::BadabingConfig;
-pub use streaming::StreamingEstimator;
 pub use detector::{CongestionDetector, ProbeObservation};
 pub use estimator::Estimates;
 pub use outcome::{ExperimentLog, Outcome};
 pub use schedule::{Experiment, ExperimentScheduler};
+pub use streaming::StreamingEstimator;
 pub use validate::Validation;

@@ -24,12 +24,22 @@ pub struct Outcome {
 impl Outcome {
     /// Build a basic (two-probe) outcome.
     pub fn basic(id: u64, start_slot: u64, a: bool, b: bool) -> Self {
-        Self { id, start_slot, probes: 2, states: [a, b, false] }
+        Self {
+            id,
+            start_slot,
+            probes: 2,
+            states: [a, b, false],
+        }
     }
 
     /// Build an extended (three-probe) outcome.
     pub fn extended(id: u64, start_slot: u64, a: bool, b: bool, c: bool) -> Self {
-        Self { id, start_slot, probes: 3, states: [a, b, c] }
+        Self {
+            id,
+            start_slot,
+            probes: 3,
+            states: [a, b, c],
+        }
     }
 
     /// The meaningful states.
@@ -46,7 +56,9 @@ impl Outcome {
     /// The record as a small binary number (e.g. `0b01` = congestion only
     /// in the second slot), for compact pattern matching.
     pub fn pattern(&self) -> u8 {
-        self.digits().iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b))
+        self.digits()
+            .iter()
+            .fold(0u8, |acc, &b| (acc << 1) | u8::from(b))
     }
 }
 
@@ -63,7 +75,11 @@ pub struct ExperimentLog {
 impl ExperimentLog {
     /// An empty log for a run of `n_slots` slots of `slot_secs` each.
     pub fn new(n_slots: u64, slot_secs: f64) -> Self {
-        Self { outcomes: Vec::new(), n_slots, slot_secs }
+        Self {
+            outcomes: Vec::new(),
+            n_slots,
+            slot_secs,
+        }
     }
 
     /// Append one outcome.

@@ -54,7 +54,14 @@ impl ExperimentScheduler {
     /// # Panics
     /// Panics unless `0 < p <= 1`.
     pub fn new(p: f64, improved: bool, rng: StdRng) -> Self {
-        Self { gap: Geometric::new(p), improved, rng, cursor: 0, next_id: 0, first: true }
+        Self {
+            gap: Geometric::new(p),
+            improved,
+            rng,
+            cursor: 0,
+            next_id: 0,
+            first: true,
+        }
     }
 
     /// The next experiment in slot order. Consecutive experiments may
@@ -67,8 +74,16 @@ impl ExperimentScheduler {
         let jump = self.gap.sample_trials(&mut self.rng);
         self.cursor += if self.first { jump - 1 } else { jump };
         self.first = false;
-        let probes = if self.improved && self.rng.random_bool(0.5) { 3 } else { 2 };
-        let exp = Experiment { id: self.next_id, start_slot: self.cursor, probes };
+        let probes = if self.improved && self.rng.random_bool(0.5) {
+            3
+        } else {
+            2
+        };
+        let exp = Experiment {
+            id: self.next_id,
+            start_slot: self.cursor,
+            probes,
+        };
         self.next_id += 1;
         exp
     }
@@ -125,7 +140,10 @@ mod tests {
         let run = s.take_run(10_000);
         for w in run.windows(2) {
             assert_eq!(w[1].id, w[0].id + 1);
-            assert!(w[1].start_slot > w[0].start_slot, "starts strictly increase");
+            assert!(
+                w[1].start_slot > w[0].start_slot,
+                "starts strictly increase"
+            );
         }
     }
 
@@ -146,16 +164,18 @@ mod tests {
 
     #[test]
     fn slots_iterator_covers_probe_span() {
-        let e = Experiment { id: 0, start_slot: 10, probes: 3 };
+        let e = Experiment {
+            id: 0,
+            start_slot: 10,
+            probes: 3,
+        };
         assert_eq!(e.slots().collect::<Vec<_>>(), vec![10, 11, 12]);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a: Vec<_> =
-            ExperimentScheduler::new(0.2, true, seeded(7, "det")).take_run(5_000);
-        let b: Vec<_> =
-            ExperimentScheduler::new(0.2, true, seeded(7, "det")).take_run(5_000);
+        let a: Vec<_> = ExperimentScheduler::new(0.2, true, seeded(7, "det")).take_run(5_000);
+        let b: Vec<_> = ExperimentScheduler::new(0.2, true, seeded(7, "det")).take_run(5_000);
         assert_eq!(a, b);
     }
 
@@ -163,7 +183,10 @@ mod tests {
     fn geometric_gaps_have_right_mean() {
         let mut s = ExperimentScheduler::new(0.25, false, seeded(11, "gap"));
         let run = s.take_run(100_000);
-        let gaps: Vec<f64> = run.windows(2).map(|w| (w[1].start_slot - w[0].start_slot) as f64).collect();
+        let gaps: Vec<f64> = run
+            .windows(2)
+            .map(|w| (w[1].start_slot - w[0].start_slot) as f64)
+            .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         assert!((mean - 4.0).abs() < 0.15, "mean gap {mean}, expected 4");
     }

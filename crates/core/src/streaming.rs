@@ -31,13 +31,22 @@ impl StreamingEstimator {
     pub fn new(p: f64, slot_secs: f64) -> Self {
         assert!(p > 0.0 && p <= 1.0, "p must be in (0,1], got {p}");
         assert!(slot_secs > 0.0, "slot width must be positive");
-        let estimates = Estimates { slot_secs, ..Default::default() };
-        Self { estimates, validation: Validation::default(), max_slot_seen: 0, p }
+        let estimates = Estimates {
+            slot_secs,
+            ..Default::default()
+        };
+        Self {
+            estimates,
+            validation: Validation::default(),
+            max_slot_seen: 0,
+            p,
+        }
     }
 
     /// Fold in one outcome.
     pub fn push(&mut self, o: &Outcome) {
-        let end_slot = o.start_slot + u64::from(o.probes);
+        // k probes starting at slot s occupy slots s ..= s+k-1.
+        let end_slot = o.start_slot + u64::from(o.probes) - 1;
         self.max_slot_seen = self.max_slot_seen.max(end_slot);
 
         self.estimates.experiments += 1;
@@ -184,7 +193,10 @@ mod tests {
         assert_eq!(stream.u, batch.u);
         assert_eq!(stream.v, batch.v);
         assert_eq!(stream.n111, batch.n111);
-        assert_eq!(stream.duration_slots_pooled(), batch.duration_slots_pooled());
+        assert_eq!(
+            stream.duration_slots_pooled(),
+            batch.duration_slots_pooled()
+        );
         assert_eq!(stream.frequency(), batch.frequency());
         assert_eq!(stream.duration_slots_basic(), batch.duration_slots_basic());
 
@@ -200,10 +212,12 @@ mod tests {
     fn effective_slots_track_probe_span() {
         let mut s = StreamingEstimator::new(0.5, 0.005);
         assert!(s.is_empty());
+        // A basic experiment at slot 100 probes slots 100 and 101; an
+        // extended one at 500 probes 500, 501, 502.
         s.push(&Outcome::basic(0, 100, false, false));
-        assert_eq!(s.effective_slots(), 102);
+        assert_eq!(s.effective_slots(), 101);
         s.push(&Outcome::extended(1, 500, false, false, false));
-        assert_eq!(s.effective_slots(), 503);
+        assert_eq!(s.effective_slots(), 502);
         assert_eq!(s.len(), 2);
     }
 
@@ -211,13 +225,67 @@ mod tests {
     fn loss_event_rate_from_boundaries() {
         let mut s = StreamingEstimator::new(0.5, 0.005);
         assert_eq!(s.loss_event_rate(), None);
-        // Two 01 boundaries over 1000 effective slots at p = 0.5:
-        // L̂ = 2 / (0.5 × 1002) ≈ 0.004.
+        // Two 01 boundaries; the last experiment starts at slot 1000 and
+        // probes 1000 and 1001, so N = 1001 and L̂ = 2 / (0.5 × 1001).
         s.push(&Outcome::basic(0, 400, false, true));
         s.push(&Outcome::basic(1, 1000, false, true));
         let l = s.loss_event_rate().unwrap();
-        assert!((l - 2.0 / (0.5 * 1002.0)).abs() < 1e-12, "L̂ = {l}");
+        assert!((l - 2.0 / (0.5 * 1001.0)).abs() < 1e-12, "L̂ = {l}");
         assert!(s.predicted_duration_stddev().is_some());
+    }
+
+    #[test]
+    fn hand_computed_fixture_agrees_with_batch() {
+        // Fixture chosen to hit the probe-span off-by-one and the U = 0
+        // degenerate corner at once. Outcomes (start slot, pattern):
+        //   basic    100  01   → n01 = 1, S += 1, R += 1
+        //   basic    300  10   → n10 = 1, S += 1, R += 1
+        //   basic    500  11   → R += 1
+        //   basic    700  11   → R += 1
+        //   extended 898  001  → V += 1   (probes slots 898, 899, 900)
+        // Hand-computed: R = 4, S = 2 → D̂_basic = 2(4/2 − 1) + 1 = 3;
+        // U = 0, V = 1 → improved degrades to basic; N = 900 (not 901);
+        // L̂ = n01 / (p·N) = 1 / (0.5 × 900).
+        let outcomes = vec![
+            Outcome::basic(0, 100, false, true),
+            Outcome::basic(1, 300, true, false),
+            Outcome::basic(2, 500, true, true),
+            Outcome::basic(3, 700, true, true),
+            Outcome::extended(4, 898, false, false, true),
+        ];
+        let mut s = StreamingEstimator::new(0.5, 0.005);
+        let mut log = ExperimentLog::new(1_000, 0.005);
+        for o in &outcomes {
+            s.push(o);
+        }
+        for o in outcomes {
+            log.push(o);
+        }
+        let batch = Estimates::from_log(&log);
+
+        assert_eq!(
+            s.effective_slots(),
+            900,
+            "3 probes from slot 898 end at 900"
+        );
+        let l = s.loss_event_rate().unwrap();
+        assert!((l - 1.0 / (0.5 * 900.0)).abs() < 1e-12, "L̂ = {l}");
+
+        for e in [s.estimates(), &batch] {
+            assert_eq!(e.r, 4);
+            assert_eq!(e.s, 2);
+            assert_eq!(e.u, 0);
+            assert_eq!(e.v, 1);
+            assert!((e.duration_slots_basic().unwrap() - 3.0).abs() < 1e-12);
+            assert!(
+                (e.duration_slots_improved().unwrap() - 3.0).abs() < 1e-12,
+                "U = 0 degrades improved to basic"
+            );
+        }
+        assert_eq!(
+            s.estimates().duration_slots_pooled(),
+            batch.duration_slots_pooled()
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub fn wilson_interval(k: u64, n: u64, z: f64) -> Interval {
     let denom = 1.0 + z2 / nf;
     let center = (p + z2 / (2.0 * nf)) / denom;
     let spread = (z / denom) * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
-    Interval { estimate: p, lo: (center - spread).max(0.0), hi: (center + spread).min(1.0) }
+    Interval {
+        estimate: p,
+        lo: (center - spread).max(0.0),
+        hi: (center + spread).min(1.0),
+    }
 }
 
 /// Frequency interval for a run, at the given `z` (e.g. 1.96 for 95%).
@@ -87,7 +91,11 @@ pub fn duration_stddev_slots(est: &Estimates) -> Option<f64> {
 pub fn duration_interval_slots(est: &Estimates, z: f64) -> Option<Interval> {
     let d = est.duration_slots_basic()?;
     let sd = duration_stddev_slots(est)?;
-    Some(Interval { estimate: d, lo: (d - z * sd).max(1.0), hi: d + z * sd })
+    Some(Interval {
+        estimate: d,
+        lo: (d - z * sd).max(1.0),
+        hi: d + z * sd,
+    })
 }
 
 #[cfg(test)]
@@ -145,11 +153,11 @@ mod tests {
         let sd_small = duration_stddev_slots(&small).unwrap();
         let sd_large = duration_stddev_slots(&large).unwrap();
         // Same ratio (D̂ identical), 100× the counts → 10× tighter.
-        assert!((sd_small / sd_large - 10.0).abs() < 0.1, "{sd_small} vs {sd_large}");
-        assert_eq!(
-            small.duration_slots_basic(),
-            large.duration_slots_basic()
+        assert!(
+            (sd_small / sd_large - 10.0).abs() < 0.1,
+            "{sd_small} vs {sd_large}"
         );
+        assert_eq!(small.duration_slots_basic(), large.duration_slots_basic());
     }
 
     #[test]

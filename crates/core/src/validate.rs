@@ -146,7 +146,10 @@ fn ratio_discrepancy(a: u64, b: u64) -> f64 {
 /// # Panics
 /// Panics on non-positive arguments.
 pub fn duration_stddev_model(p: f64, n_slots: f64, loss_event_rate: f64) -> f64 {
-    assert!(p > 0.0 && n_slots > 0.0 && loss_event_rate > 0.0, "arguments must be positive");
+    assert!(
+        p > 0.0 && n_slots > 0.0 && loss_event_rate > 0.0,
+        "arguments must be positive"
+    );
     1.0 / (p * n_slots * loss_event_rate).sqrt()
 }
 
@@ -191,7 +194,16 @@ mod tests {
     fn tallies_are_exact() {
         let log = log_with(
             &[(3, 0b01), (5, 0b10), (2, 0b11), (7, 0b00)],
-            &[(1, 0b001), (2, 0b100), (3, 0b011), (4, 0b110), (5, 0b010), (6, 0b101), (7, 0b111), (8, 0b000)],
+            &[
+                (1, 0b001),
+                (2, 0b100),
+                (3, 0b011),
+                (4, 0b110),
+                (5, 0b010),
+                (6, 0b101),
+                (7, 0b111),
+                (8, 0b000),
+            ],
         );
         let v = Validation::from_log(&log);
         assert_eq!((v.n01, v.n10, v.n11, v.n00), (3, 5, 2, 7));
@@ -202,7 +214,17 @@ mod tests {
 
     #[test]
     fn balanced_run_passes() {
-        let log = log_with(&[(50, 0b01), (52, 0b10), (100, 0b11), (1000, 0b00)], &[(48, 0b001), (50, 0b100), (30, 0b011), (31, 0b110), (1, 0b010), (500, 0b000)]);
+        let log = log_with(
+            &[(50, 0b01), (52, 0b10), (100, 0b11), (1000, 0b00)],
+            &[
+                (48, 0b001),
+                (50, 0b100),
+                (30, 0b011),
+                (31, 0b110),
+                (1, 0b010),
+                (500, 0b000),
+            ],
+        );
         let v = Validation::from_log(&log);
         assert!(v.boundary_discrepancy() < 0.05);
         assert!(v.passes(0.25));

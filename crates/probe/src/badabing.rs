@@ -138,7 +138,11 @@ impl Node for BadabingProber {
         for e in sched.take_run(self.n_slots) {
             for slot in e.slots() {
                 let at = SimTime::from_secs_f64(self.cfg.slot_start_secs(slot));
-                plan.push(PlannedProbe { slot, experiment: e.id, at });
+                plan.push(PlannedProbe {
+                    slot,
+                    experiment: e.id,
+                    at,
+                });
             }
         }
         plan.sort_by_key(|p| p.slot);
@@ -199,7 +203,10 @@ impl BadabingReceiver {
 
 impl Node for BadabingReceiver {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        if let PacketKind::Probe { experiment, slot, .. } = packet.kind {
+        if let PacketKind::Probe {
+            experiment, slot, ..
+        } = packet.kind
+        {
             let owd = packet.owd_secs(ctx.now());
             let rec = self.arrivals.entry((experiment, slot)).or_default();
             rec.received += 1;
@@ -293,7 +300,12 @@ impl BadabingHarness {
         let prober = db.add_node(Box::new(BadabingProber::new(
             cfg, n_slots, flow, entry, ingress, rng,
         )));
-        Self { prober, receiver, cfg, n_slots }
+        Self {
+            prober,
+            receiver,
+            cfg,
+            n_slots,
+        }
     }
 
     /// Attach to a multi-hop [`badabing_sim::tandem::TandemPath`]: probes
@@ -310,9 +322,19 @@ impl BadabingHarness {
         let ingress = path.ingress();
         let ingress_delay = path.ingress_delay();
         let prober = path.add_node(Box::new(BadabingProber::new(
-            cfg, n_slots, flow, ingress, ingress_delay, rng,
+            cfg,
+            n_slots,
+            flow,
+            ingress,
+            ingress_delay,
+            rng,
         )));
-        Self { prober, receiver, cfg, n_slots }
+        Self {
+            prober,
+            receiver,
+            cfg,
+            n_slots,
+        }
     }
 
     /// The measurement horizon in seconds (`N × Δ`); run the simulation at
@@ -357,7 +379,12 @@ impl BadabingHarness {
         let (log, report) = detector.assemble(&obs, self.n_slots, self.cfg.slot_secs);
         let estimates = Estimates::from_log(&log);
         let validation = Validation::from_log(&log);
-        BadabingAnalysis { log, estimates, validation, detector: report }
+        BadabingAnalysis {
+            log,
+            estimates,
+            validation,
+            detector: report,
+        }
     }
 }
 
@@ -430,7 +457,10 @@ mod tests {
         // The headline behaviour: with CBR loss episodes of 68 ms, a p=0.5
         // run of 2 minutes should land close to the ground truth.
         let mut db = Dumbbell::standard();
-        let cbr = CbrEpisodeConfig { mean_gap_secs: 5.0, ..CbrEpisodeConfig::paper_default() };
+        let cbr = CbrEpisodeConfig {
+            mean_gap_secs: 5.0,
+            ..CbrEpisodeConfig::paper_default()
+        };
         attach_cbr(&mut db, FlowId(1), cbr, seeded(10, "cbr"));
         let cfg = BadabingConfig::paper_default(0.5);
         let n_slots = 24_000; // 120 s
@@ -457,7 +487,10 @@ mod tests {
     #[test]
     fn loss_rate_tracks_router_loss_rate_order_of_magnitude() {
         let mut db = Dumbbell::standard();
-        let cbr = CbrEpisodeConfig { mean_gap_secs: 4.0, ..CbrEpisodeConfig::paper_default() };
+        let cbr = CbrEpisodeConfig {
+            mean_gap_secs: 4.0,
+            ..CbrEpisodeConfig::paper_default()
+        };
         attach_cbr(&mut db, FlowId(1), cbr, seeded(31, "cbr"));
         let cfg = BadabingConfig::paper_default(0.7);
         let h = BadabingHarness::attach(&mut db, cfg, 24_000, FlowId(900), seeded(32, "bb"));
@@ -498,7 +531,9 @@ mod tests {
         let obs = h.observations(&db.sim);
         let sent = db.sim.node::<BadabingProber>(h.prober).sent().len();
         assert_eq!(obs.len(), sent);
-        assert!(obs.windows(2).all(|w| w[0].send_time_secs <= w[1].send_time_secs));
+        assert!(obs
+            .windows(2)
+            .all(|w| w[0].send_time_secs <= w[1].send_time_secs));
         // Idle path: every packet arrives, base OWD ≈ ingress + tx + 50 ms.
         for o in &obs {
             assert_eq!(o.packets_lost, 0);

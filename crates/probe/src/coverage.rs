@@ -131,9 +131,7 @@ impl EpisodeCoverage {
         let onset_errors: Vec<f64> = first_marked
             .iter()
             .zip(&episodes)
-            .filter_map(|(fm, &(s, _))| {
-                fm.map(|f| f as f64 - (s + tolerance_slots) as f64)
-            })
+            .filter_map(|(fm, &(s, _))| fm.map(|f| f as f64 - (s + tolerance_slots) as f64))
             .collect();
         let mean_onset = if onset_errors.is_empty() {
             f64::NAN
@@ -170,11 +168,36 @@ mod tests {
             created: SimTime::ZERO,
             kind: badabing_sim::packet::PacketKind::Udp { seq: id },
         };
-        m.record(SimTime::from_secs_f64(0.5), badabing_sim::monitor::TraceEvent::Drop, &pkt(0), 0.1);
-        m.record(SimTime::from_secs_f64(0.51), badabing_sim::monitor::TraceEvent::Enqueue, &pkt(1), 0.095);
-        m.record(SimTime::from_secs_f64(0.55), badabing_sim::monitor::TraceEvent::Drop, &pkt(2), 0.1);
-        m.record(SimTime::from_secs_f64(1.0), badabing_sim::monitor::TraceEvent::Depart, &pkt(1), 0.0);
-        m.record(SimTime::from_secs_f64(2.0), badabing_sim::monitor::TraceEvent::Drop, &pkt(3), 0.1);
+        m.record(
+            SimTime::from_secs_f64(0.5),
+            badabing_sim::monitor::TraceEvent::Drop,
+            &pkt(0),
+            0.1,
+        );
+        m.record(
+            SimTime::from_secs_f64(0.51),
+            badabing_sim::monitor::TraceEvent::Enqueue,
+            &pkt(1),
+            0.095,
+        );
+        m.record(
+            SimTime::from_secs_f64(0.55),
+            badabing_sim::monitor::TraceEvent::Drop,
+            &pkt(2),
+            0.1,
+        );
+        m.record(
+            SimTime::from_secs_f64(1.0),
+            badabing_sim::monitor::TraceEvent::Depart,
+            &pkt(1),
+            0.0,
+        );
+        m.record(
+            SimTime::from_secs_f64(2.0),
+            badabing_sim::monitor::TraceEvent::Drop,
+            &pkt(3),
+            0.1,
+        );
         let gt = GroundTruth::extract(&m, 3.0, GroundTruthConfig::default());
         assert_eq!(gt.episodes.len(), 2);
         gt

@@ -164,14 +164,17 @@ impl ProbeEpisodeStats {
             while cursor < episodes.len() && episodes[cursor].end.as_secs_f64() < t {
                 cursor += 1;
             }
-            let Some(ep) = episodes.get(cursor) else { break };
+            let Some(ep) = episodes.get(cursor) else {
+                break;
+            };
             if t < ep.start.as_secs_f64() {
                 continue;
             }
             stats.probes_in_episodes += 1;
             probed[cursor] = true;
-            let received =
-                arrivals.get(&(s.experiment, s.slot)).map_or(0, |r| r.received);
+            let received = arrivals
+                .get(&(s.experiment, s.slot))
+                .map_or(0, |r| r.received);
             if received >= s.packets {
                 stats.probes_without_loss += 1;
             }
@@ -222,7 +225,11 @@ mod tests {
         let (prober, receiver) = attach_fixed(&mut db, 3, FlowId(900));
         db.run_for(1.0);
         let sent = db.sim.node::<FixedIntervalProber>(prober).sent();
-        assert_eq!(sent.len(), 100, "one probe per 10 ms starting at t=10ms, inclusive of t=1.0s");
+        assert_eq!(
+            sent.len(),
+            100,
+            "one probe per 10 ms starting at t=10ms, inclusive of t=1.0s"
+        );
         for (i, s) in sent.iter().enumerate() {
             assert!((s.send_time_secs - 0.01 * (i + 1) as f64).abs() < 1e-9);
         }
@@ -238,8 +245,10 @@ mod tests {
         // often survive a loss episode; 5-packet probes rarely do.
         let run = |n_packets: u8| -> f64 {
             let mut db = Dumbbell::standard();
-            let cbr =
-                CbrEpisodeConfig { mean_gap_secs: 3.0, ..CbrEpisodeConfig::paper_default() };
+            let cbr = CbrEpisodeConfig {
+                mean_gap_secs: 3.0,
+                ..CbrEpisodeConfig::paper_default()
+            };
             attach_cbr(&mut db, FlowId(1), cbr, seeded(77, "cbr"));
             let (prober, receiver) = attach_fixed(&mut db, n_packets, FlowId(900));
             db.run_for(121.0);
@@ -247,13 +256,22 @@ mod tests {
             let sent = db.sim.node::<FixedIntervalProber>(prober).sent();
             let arr = db.sim.node::<BadabingReceiver>(receiver).arrivals();
             let stats = ProbeEpisodeStats::compute(sent, arr, &gt.episodes);
-            assert!(stats.probes_in_episodes > 50, "n={n_packets}: too few probes in episodes");
+            assert!(
+                stats.probes_in_episodes > 50,
+                "n={n_packets}: too few probes in episodes"
+            );
             stats.p_no_loss().expect("probes fell in episodes")
         };
         let p1 = run(1);
         let p5 = run(5);
-        assert!(p1 > p5, "1-packet probes ({p1}) should miss more than 5-packet ({p5})");
-        assert!(p5 < 0.5, "5-packet probes should usually see loss, got {p5}");
+        assert!(
+            p1 > p5,
+            "1-packet probes ({p1}) should miss more than 5-packet ({p5})"
+        );
+        assert!(
+            p5 < 0.5,
+            "5-packet probes should usually see loss, got {p5}"
+        );
     }
 
     #[test]
@@ -271,20 +289,48 @@ mod tests {
             },
         ];
         let sent = vec![
-            SentProbe { experiment: 0, slot: 0, send_time_secs: 0.5, packets: 3 },
-            SentProbe { experiment: 1, slot: 1, send_time_secs: 1.05, packets: 3 },
-            SentProbe { experiment: 2, slot: 2, send_time_secs: 1.08, packets: 3 },
-            SentProbe { experiment: 3, slot: 3, send_time_secs: 3.0, packets: 3 },
+            SentProbe {
+                experiment: 0,
+                slot: 0,
+                send_time_secs: 0.5,
+                packets: 3,
+            },
+            SentProbe {
+                experiment: 1,
+                slot: 1,
+                send_time_secs: 1.05,
+                packets: 3,
+            },
+            SentProbe {
+                experiment: 2,
+                slot: 2,
+                send_time_secs: 1.08,
+                packets: 3,
+            },
+            SentProbe {
+                experiment: 3,
+                slot: 3,
+                send_time_secs: 3.0,
+                packets: 3,
+            },
         ];
         let mut arrivals = HashMap::new();
         // Probe 1 loses a packet; probe 2 survives.
         arrivals.insert(
             (1u64, 1u64),
-            crate::badabing::ProbeArrival { received: 2, owd_last_secs: 0.15, owd_max_secs: 0.15 },
+            crate::badabing::ProbeArrival {
+                received: 2,
+                owd_last_secs: 0.15,
+                owd_max_secs: 0.15,
+            },
         );
         arrivals.insert(
             (2u64, 2u64),
-            crate::badabing::ProbeArrival { received: 3, owd_last_secs: 0.15, owd_max_secs: 0.15 },
+            crate::badabing::ProbeArrival {
+                received: 3,
+                owd_last_secs: 0.15,
+                owd_max_secs: 0.15,
+            },
         );
         let stats = ProbeEpisodeStats::compute(&sent, &arrivals, &episodes);
         assert_eq!(stats.probes_in_episodes, 2);

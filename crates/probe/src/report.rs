@@ -41,7 +41,11 @@ impl ToolReport {
             label: label.into(),
             frequency: Some(r.frequency),
             duration_mean_secs: Some(if measured_any { r.duration.mean() } else { 0.0 }),
-            duration_std_secs: Some(if measured_any { r.duration.std_dev() } else { 0.0 }),
+            duration_std_secs: Some(if measured_any {
+                r.duration.std_dev()
+            } else {
+                0.0
+            }),
         }
     }
 
@@ -81,9 +85,10 @@ impl ToolReport {
     }
 
     /// CSV rendering (label, frequency, duration mean, duration std).
+    /// Missing values use the `nan` sentinel so rows keep a fixed arity.
     pub fn csv_row(&self) -> String {
         fn cell(v: Option<f64>) -> String {
-            v.map_or(String::new(), |x| format!("{x}"))
+            v.map_or_else(|| "nan".to_string(), |x| format!("{x}"))
         }
         format!(
             "{},{},{},{}",
@@ -128,7 +133,7 @@ mod tests {
         assert!(s.contains("badabing p=0.1"));
         assert!(s.contains('-'));
         let csv = row.csv_row();
-        assert_eq!(csv, "badabing p=0.1,0.0016,,");
+        assert_eq!(csv, "badabing p=0.1,0.0016,nan,nan");
         assert!(ToolReport::header().contains("frequency"));
     }
 }

@@ -34,12 +34,18 @@ pub struct ZingConfig {
 impl ZingConfig {
     /// The paper's 10 Hz / 256-byte configuration.
     pub fn paper_10hz() -> Self {
-        Self { rate_hz: 10.0, packet_bytes: 256 }
+        Self {
+            rate_hz: 10.0,
+            packet_bytes: 256,
+        }
     }
 
     /// The paper's 20 Hz / 64-byte configuration.
     pub fn paper_20hz() -> Self {
-        Self { rate_hz: 20.0, packet_bytes: 64 }
+        Self {
+            rate_hz: 20.0,
+            packet_bytes: 64,
+        }
     }
 
     /// Offered load in bits per second.
@@ -51,7 +57,10 @@ impl ZingConfig {
     /// this packet size — used to match ZING's load to BADABING's for the
     /// Table 8 comparison.
     pub fn with_load_bps(packet_bytes: u32, bps: f64) -> Self {
-        Self { rate_hz: bps / (f64::from(packet_bytes) * 8.0), packet_bytes }
+        Self {
+            rate_hz: bps / (f64::from(packet_bytes) * 8.0),
+            packet_bytes,
+        }
     }
 }
 
@@ -79,7 +88,15 @@ impl ZingProber {
     ) -> Self {
         assert!(cfg.rate_hz > 0.0, "probe rate must be positive");
         let gap = Exponential::with_rate(cfg.rate_hz);
-        Self { cfg, flow, bottleneck, ingress_delay, gap, rng, sent: Vec::new() }
+        Self {
+            cfg,
+            flow,
+            bottleneck,
+            ingress_delay,
+            gap,
+            rng,
+            sent: Vec::new(),
+        }
     }
 
     /// Send times of all probes, indexed by sequence number.
@@ -188,11 +205,7 @@ impl ZingReport {
     }
 
     /// Compute the report including the receiver's delay summary.
-    pub fn compute_with_delay(
-        sent_times: &[f64],
-        received: &HashSet<u64>,
-        delay: Summary,
-    ) -> Self {
+    pub fn compute_with_delay(sent_times: &[f64], received: &HashSet<u64>, delay: Summary) -> Self {
         let sent = sent_times.len() as u64;
         let mut lost = 0u64;
         let mut episodes = 0u64;
@@ -214,8 +227,19 @@ impl ZingReport {
             episodes += 1;
             duration.push(sent_times[sent_times.len() - 1] - sent_times[s]);
         }
-        let frequency = if sent == 0 { 0.0 } else { lost as f64 / sent as f64 };
-        Self { sent, lost, frequency, episodes, duration, delay }
+        let frequency = if sent == 0 {
+            0.0
+        } else {
+            lost as f64 / sent as f64
+        };
+        Self {
+            sent,
+            lost,
+            frequency,
+            episodes,
+            duration,
+            delay,
+        }
     }
 }
 
@@ -231,7 +255,9 @@ pub fn attach_zing(
     db.route_flow(flow, receiver);
     let bottleneck = db.bottleneck();
     let ingress = db.ingress_delay();
-    let prober = db.add_node(Box::new(ZingProber::new(cfg, flow, bottleneck, ingress, rng)));
+    let prober = db.add_node(Box::new(ZingProber::new(
+        cfg, flow, bottleneck, ingress, rng,
+    )));
     (prober, receiver)
 }
 
@@ -264,8 +290,7 @@ mod tests {
     fn report_on_synthetic_loss_patterns() {
         // Probes at 0.0, 0.1, ..., 0.9; lose 3,4,5 and 8.
         let sent: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
-        let received: HashSet<u64> =
-            (0..10u64).filter(|s| ![3, 4, 5, 8].contains(s)).collect();
+        let received: HashSet<u64> = (0..10u64).filter(|s| ![3, 4, 5, 8].contains(s)).collect();
         let r = ZingReport::compute(&sent, &received);
         assert_eq!(r.sent, 10);
         assert_eq!(r.lost, 4);
@@ -301,8 +326,12 @@ mod tests {
     #[test]
     fn probes_traverse_idle_dumbbell_losslessly() {
         let mut db = Dumbbell::standard();
-        let (prober, receiver) =
-            attach_zing(&mut db, ZingConfig::paper_10hz(), FlowId(900), seeded(1, "zing"));
+        let (prober, receiver) = attach_zing(
+            &mut db,
+            ZingConfig::paper_10hz(),
+            FlowId(900),
+            seeded(1, "zing"),
+        );
         db.run_for(30.0);
         // Allow in-flight probes to land.
         db.run_for(31.0);
@@ -316,8 +345,15 @@ mod tests {
     #[test]
     fn poisson_spacing_has_exponential_cv() {
         let mut db = Dumbbell::standard();
-        let (prober, _) =
-            attach_zing(&mut db, ZingConfig { rate_hz: 100.0, packet_bytes: 64 }, FlowId(900), seeded(5, "zing-cv"));
+        let (prober, _) = attach_zing(
+            &mut db,
+            ZingConfig {
+                rate_hz: 100.0,
+                packet_bytes: 64,
+            },
+            FlowId(900),
+            seeded(5, "zing-cv"),
+        );
         db.run_for(120.0);
         let sent = db.sim.node::<ZingProber>(prober).sent();
         let gaps: Vec<f64> = sent.windows(2).map(|w| w[1] - w[0]).collect();

@@ -42,7 +42,10 @@ impl Simulator {
     /// Panics if called after the simulation has started (node ids are
     /// wired into other nodes' routing, so late registration is a bug).
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
-        assert!(!self.started, "cannot add nodes after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add nodes after the simulation started"
+        );
         let id = NodeId(self.nodes.len());
         self.nodes.push(node);
         id
@@ -93,8 +96,7 @@ impl Simulator {
         self.started = true;
         for i in 0..self.nodes.len() {
             let id = NodeId(i);
-            let mut ctx =
-                Context::new(self.now, id, &mut self.next_packet_id, &mut self.out_buf);
+            let mut ctx = Context::new(self.now, id, &mut self.next_packet_id, &mut self.out_buf);
             self.nodes[i].start(&mut ctx);
             Self::flush(&mut self.queue, &mut self.out_buf);
         }
@@ -118,8 +120,12 @@ impl Simulator {
             debug_assert!(at >= self.now, "event queue went backwards");
             self.now = at;
             self.dispatched += 1;
-            let mut ctx =
-                Context::new(self.now, target, &mut self.next_packet_id, &mut self.out_buf);
+            let mut ctx = Context::new(
+                self.now,
+                target,
+                &mut self.next_packet_id,
+                &mut self.out_buf,
+            );
             match event {
                 Event::Deliver(pkt) => self.nodes[target.0].on_packet(pkt, &mut ctx),
                 Event::Timer(token) => self.nodes[target.0].on_timer(token, &mut ctx),
@@ -170,7 +176,9 @@ mod tests {
                 flow: self.flow,
                 size: 100,
                 created: ctx.now(),
-                kind: PacketKind::Udp { seq: u64::from(self.remaining) },
+                kind: PacketKind::Udp {
+                    seq: u64::from(self.remaining),
+                },
             };
             ctx.send(self.dst, pkt, SimDuration::from_millis(1));
             self.remaining -= 1;

@@ -43,7 +43,10 @@ impl PartialOrd for Scheduled {
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -64,7 +67,12 @@ impl EventQueue {
     pub fn push(&mut self, at: SimTime, target: NodeId, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, target, event });
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            target,
+            event,
+        });
     }
 
     /// Remove and return the earliest event as `(time, target, event)`.

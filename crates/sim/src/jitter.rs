@@ -31,7 +31,13 @@ impl JitterLink {
         } else {
             Some(Uniform::new(0.0, jitter_max.as_secs_f64()))
         };
-        Self { next, base, jitter, rng, forwarded: 0 }
+        Self {
+            next,
+            base,
+            jitter,
+            rng,
+            forwarded: 0,
+        }
     }
 
     /// Packets forwarded so far.
@@ -167,7 +173,11 @@ mod tests {
         )));
         sim.add_node(Box::new(Burst { dst: link, n: 1 }));
         sim.run_to_completion();
-        let t = sim.node::<CountingSink>(sink).last_arrival().unwrap().as_secs_f64();
+        let t = sim
+            .node::<CountingSink>(sink)
+            .last_arrival()
+            .unwrap()
+            .as_secs_f64();
         assert!((0.005..0.007).contains(&t), "arrival at {t}");
     }
 }

@@ -161,7 +161,11 @@ pub struct GroundTruthConfig {
 
 impl Default for GroundTruthConfig {
     fn default() -> Self {
-        Self { slot_secs: 0.005, queue_capacity_secs: 0.1, highwater_frac: 0.9 }
+        Self {
+            slot_secs: 0.005,
+            queue_capacity_secs: 0.1,
+            highwater_frac: 0.9,
+        }
     }
 }
 
@@ -229,10 +233,18 @@ impl GroundTruth {
                         }
                         Some(ep) => {
                             episodes.push(*ep);
-                            current = Some(LossEpisode { start: r.t, end: r.t, drops: 1 });
+                            current = Some(LossEpisode {
+                                start: r.t,
+                                end: r.t,
+                                drops: 1,
+                            });
                         }
                         None => {
-                            current = Some(LossEpisode { start: r.t, end: r.t, drops: 1 });
+                            current = Some(LossEpisode {
+                                start: r.t,
+                                end: r.t,
+                                drops: 1,
+                            });
                         }
                     }
                     min_qdelay_since_drop = f64::INFINITY;
@@ -251,7 +263,11 @@ impl GroundTruth {
         for ep in &episodes {
             let first = (ep.start.as_secs_f64() / config.slot_secs) as usize;
             let last = (ep.end.as_secs_f64() / config.slot_secs) as usize;
-            for s in slots.iter_mut().take(last.min(n_slots - 1) + 1).skip(first.min(n_slots)) {
+            for s in slots
+                .iter_mut()
+                .take(last.min(n_slots - 1) + 1)
+                .skip(first.min(n_slots))
+            {
                 *s = true;
             }
         }
@@ -331,7 +347,13 @@ mod tests {
             size: 1500,
             created: SimTime::ZERO,
             kind: if probe {
-                PacketKind::Probe { experiment: 0, slot: 0, idx: 0, probe_len: 1, seq: id }
+                PacketKind::Probe {
+                    experiment: 0,
+                    slot: 0,
+                    idx: 0,
+                    probe_len: 1,
+                    seq: id,
+                }
             } else {
                 PacketKind::Udp { seq: id }
             },

@@ -35,7 +35,12 @@ impl<'a> Context<'a> {
         next_packet_id: &'a mut u64,
         out: &'a mut Vec<(SimTime, NodeId, Event)>,
     ) -> Self {
-        Self { now, self_id, next_packet_id, out }
+        Self {
+            now,
+            self_id,
+            next_packet_id,
+            out,
+        }
     }
 
     /// Current simulation time.
@@ -57,12 +62,14 @@ impl<'a> Context<'a> {
 
     /// Deliver `packet` to node `to` after `delay`.
     pub fn send(&mut self, to: NodeId, packet: Packet, delay: SimDuration) {
-        self.out.push((self.now + delay, to, Event::Deliver(packet)));
+        self.out
+            .push((self.now + delay, to, Event::Deliver(packet)));
     }
 
     /// Fire `Timer(token)` on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.out.push((self.now + delay, self.self_id, Event::Timer(token)));
+        self.out
+            .push((self.now + delay, self.self_id, Event::Timer(token)));
     }
 
     /// Fire `Timer(token)` on this node at absolute time `at` (must not be
@@ -71,7 +78,11 @@ impl<'a> Context<'a> {
     /// # Panics
     /// Panics if `at < now`.
     pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
-        assert!(at >= self.now, "timer scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "timer scheduled in the past: {at} < {}",
+            self.now
+        );
         self.out.push((at, self.self_id, Event::Timer(token)));
     }
 }
@@ -161,8 +172,7 @@ mod tests {
     fn context_buffers_emissions() {
         let mut next = 0u64;
         let mut out = Vec::new();
-        let mut ctx =
-            Context::new(SimTime::from_nanos(100), NodeId(3), &mut next, &mut out);
+        let mut ctx = Context::new(SimTime::from_nanos(100), NodeId(3), &mut next, &mut out);
         ctx.set_timer(SimDuration::from_nanos(10), 42);
         let pkt = Packet {
             id: 0,
@@ -184,8 +194,7 @@ mod tests {
     fn absolute_timer_in_past_panics() {
         let mut next = 0u64;
         let mut out = Vec::new();
-        let mut ctx =
-            Context::new(SimTime::from_nanos(100), NodeId(0), &mut next, &mut out);
+        let mut ctx = Context::new(SimTime::from_nanos(100), NodeId(0), &mut next, &mut out);
         ctx.set_timer_at(SimTime::from_nanos(50), 0);
     }
 

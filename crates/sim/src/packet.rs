@@ -101,7 +101,13 @@ mod tests {
 
     #[test]
     fn probe_detection() {
-        let probe = PacketKind::Probe { experiment: 1, slot: 2, idx: 0, probe_len: 3, seq: 9 };
+        let probe = PacketKind::Probe {
+            experiment: 1,
+            slot: 2,
+            idx: 0,
+            probe_len: 3,
+            seq: 9,
+        };
         assert!(probe.is_probe());
         assert!(!PacketKind::Udp { seq: 0 }.is_probe());
         assert!(!PacketKind::TcpData { seq: 0, len: 1448 }.is_probe());

@@ -110,7 +110,8 @@ impl DropTailQueue {
 
     fn trace(&self, ctx: &Context<'_>, event: TraceEvent, pkt: &Packet) {
         if let Some(m) = &self.monitor {
-            m.borrow_mut().record(ctx.now(), event, pkt, self.occupancy_secs());
+            m.borrow_mut()
+                .record(ctx.now(), event, pkt, self.occupancy_secs());
         }
     }
 
@@ -196,7 +197,12 @@ impl FlowDemux {
 
 impl Node for FlowDemux {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        match self.routes.get(&packet.flow).copied().or(self.default_route) {
+        match self
+            .routes
+            .get(&packet.flow)
+            .copied()
+            .or(self.default_route)
+        {
             Some(dst) => ctx.send(dst, packet, SimDuration::ZERO),
             None => self.unrouted += 1,
         }
@@ -268,11 +274,18 @@ mod tests {
             sink,
             SimDuration::ZERO,
         )));
-        sim.add_node(Box::new(Blaster { dst: q, n: 10, size: 1000 }));
+        sim.add_node(Box::new(Blaster {
+            dst: q,
+            n: 10,
+            size: 1000,
+        }));
         sim.run_to_completion();
         let sink_node = sim.node::<CountingSink>(sink);
         assert_eq!(sink_node.received(), 10);
-        assert_eq!(sink_node.last_arrival(), Some(SimTime::from_secs_f64(0.010)));
+        assert_eq!(
+            sink_node.last_arrival(),
+            Some(SimTime::from_secs_f64(0.010))
+        );
     }
 
     #[test]
@@ -286,7 +299,11 @@ mod tests {
             DropTailQueue::new(8_000_000, 5_000, sink, SimDuration::ZERO)
                 .with_monitor(monitor.clone()),
         ));
-        sim.add_node(Box::new(Blaster { dst: q, n: 10, size: 1000 }));
+        sim.add_node(Box::new(Blaster {
+            dst: q,
+            n: 10,
+            size: 1000,
+        }));
         sim.run_to_completion();
         assert_eq!(sim.node::<CountingSink>(sink).received(), 5);
         assert_eq!(monitor.borrow().drops(), 5);
@@ -304,7 +321,11 @@ mod tests {
             sink,
             SimDuration::from_millis(50),
         )));
-        sim.add_node(Box::new(Blaster { dst: q, n: 1, size: 1000 }));
+        sim.add_node(Box::new(Blaster {
+            dst: q,
+            n: 1,
+            size: 1000,
+        }));
         sim.run_to_completion();
         // 1 ms serialization + 50 ms propagation.
         assert_eq!(
@@ -371,7 +392,11 @@ mod tests {
             DropTailQueue::new(8_000_000, 1_000_000, sink, SimDuration::ZERO)
                 .with_monitor(monitor.clone()),
         ));
-        sim.add_node(Box::new(Blaster { dst: q, n: 3, size: 1000 }));
+        sim.add_node(Box::new(Blaster {
+            dst: q,
+            n: 3,
+            size: 1000,
+        }));
         sim.run_to_completion();
         let m = monitor.borrow();
         assert_eq!(m.enqueues(), 3);

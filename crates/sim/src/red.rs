@@ -41,7 +41,12 @@ pub struct RedConfig {
 
 impl Default for RedConfig {
     fn default() -> Self {
-        Self { weight: 0.002, min_th_frac: 0.25, max_th_frac: 0.75, max_p: 0.1 }
+        Self {
+            weight: 0.002,
+            min_th_frac: 0.25,
+            max_th_frac: 0.75,
+            max_p: 0.1,
+        }
     }
 }
 
@@ -76,12 +81,18 @@ impl RedQueue {
         red: RedConfig,
         rng: StdRng,
     ) -> Self {
-        assert!(rate_bps > 0 && capacity_bytes > 0, "rate and capacity must be positive");
+        assert!(
+            rate_bps > 0 && capacity_bytes > 0,
+            "rate and capacity must be positive"
+        );
         assert!(
             0.0 < red.min_th_frac && red.min_th_frac < red.max_th_frac && red.max_th_frac <= 1.0,
             "thresholds must satisfy 0 < min < max <= 1"
         );
-        assert!((0.0..=1.0).contains(&red.max_p), "max_p must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&red.max_p),
+            "max_p must be a probability"
+        );
         Self {
             rate_bps,
             capacity_bytes,
@@ -123,7 +134,8 @@ impl RedQueue {
 
     fn trace(&self, ctx: &Context<'_>, event: TraceEvent, pkt: &Packet) {
         if let Some(m) = &self.monitor {
-            m.borrow_mut().record(ctx.now(), event, pkt, self.occupancy_secs());
+            m.borrow_mut()
+                .record(ctx.now(), event, pkt, self.occupancy_secs());
         }
     }
 
@@ -307,8 +319,7 @@ mod tests {
         // RED keeps the queue from pinning: most drops are early, not
         // physical overflows.
         assert!(
-            rq.early_drops() + rq.forced_drops() > 0
-                && rq.forced_drops() < rq.early_drops(),
+            rq.early_drops() + rq.forced_drops() > 0 && rq.forced_drops() < rq.early_drops(),
             "early {} vs forced {}",
             rq.early_drops(),
             rq.forced_drops()
@@ -337,7 +348,11 @@ mod tests {
             1_000,
             NodeId(0),
             SimDuration::ZERO,
-            RedConfig { min_th_frac: 0.8, max_th_frac: 0.5, ..Default::default() },
+            RedConfig {
+                min_th_frac: 0.8,
+                max_th_frac: 0.5,
+                ..Default::default()
+            },
             seeded(0, "bad"),
         );
     }

@@ -123,12 +123,16 @@ impl TandemPath {
 
     /// Route a flow's egress to `dst`.
     pub fn route_flow(&mut self, flow: FlowId, dst: NodeId) {
-        self.sim.node_mut::<FlowDemux>(self.demux_id).register(flow, dst);
+        self.sim
+            .node_mut::<FlowDemux>(self.demux_id)
+            .register(flow, dst);
     }
 
     /// Route unknown flows to `dst`.
     pub fn route_default(&mut self, dst: NodeId) {
-        self.sim.node_mut::<FlowDemux>(self.demux_id).set_default(dst);
+        self.sim
+            .node_mut::<FlowDemux>(self.demux_id)
+            .set_default(dst);
     }
 
     /// Run for `secs` of virtual time.
@@ -152,8 +156,9 @@ impl TandemPath {
     /// it is congested at any hop — what an end-to-end tool actually
     /// measures.
     pub fn ground_truth_end_to_end(&self, horizon_secs: f64) -> GroundTruth {
-        let mut gts: Vec<GroundTruth> =
-            (0..self.hops.len()).map(|i| self.ground_truth(i, horizon_secs)).collect();
+        let mut gts: Vec<GroundTruth> = (0..self.hops.len())
+            .map(|i| self.ground_truth(i, horizon_secs))
+            .collect();
         let mut combined = gts.remove(0);
         for gt in gts {
             combined.episodes.extend(gt.episodes);
@@ -243,7 +248,10 @@ mod tests {
         let sink = path.add_node(Box::new(CountingSink::new()));
         path.route_flow(FlowId(1), sink);
         let ingress = path.ingress();
-        path.add_node(Box::new(Burst { dst: ingress, n: 10 }));
+        path.add_node(Box::new(Burst {
+            dst: ingress,
+            n: 10,
+        }));
         path.run_for(2.0);
         assert_eq!(path.sim.node::<CountingSink>(sink).received(), 10);
         assert_eq!(path.monitor(0).borrow().departs(), 10);
@@ -262,10 +270,20 @@ mod tests {
         let sink = path.add_node(Box::new(CountingSink::new()));
         path.route_flow(FlowId(1), sink);
         let ingress = path.ingress();
-        path.add_node(Box::new(Burst { dst: ingress, n: 100 }));
+        path.add_node(Box::new(Burst {
+            dst: ingress,
+            n: 100,
+        }));
         path.run_for(3.0);
-        assert_eq!(path.monitor(0).borrow().drops(), 0, "first hop must not drop");
-        assert!(path.monitor(1).borrow().drops() > 0, "bottleneck hop must drop");
+        assert_eq!(
+            path.monitor(0).borrow().drops(),
+            0,
+            "first hop must not drop"
+        );
+        assert!(
+            path.monitor(1).borrow().drops() > 0,
+            "bottleneck hop must drop"
+        );
         let gt = path.ground_truth_end_to_end(3.0);
         assert!(!gt.episodes.is_empty());
         assert_eq!(
@@ -286,7 +304,10 @@ mod tests {
         let sink = path.add_node(Box::new(CountingSink::new()));
         path.route_flow(FlowId(1), sink);
         let ingress = path.ingress();
-        path.add_node(Box::new(Burst { dst: ingress, n: 200 }));
+        path.add_node(Box::new(Burst {
+            dst: ingress,
+            n: 200,
+        }));
         path.run_for(3.0);
         let gt0 = path.ground_truth(0, 3.0);
         let e2e = path.ground_truth_end_to_end(3.0);

@@ -14,11 +14,15 @@ use std::ops::{Add, AddAssign, Sub};
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
 /// An instant on the simulation clock, in nanoseconds since start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -212,7 +216,11 @@ mod tests {
         // 1500 bytes at 155.52 Mb/s ≈ 77.16 µs.
         let d = SimDuration::transmission(1500, 155_520_000);
         let expect = 1500.0 * 8.0 / 155_520_000.0;
-        assert!((d.as_secs_f64() - expect).abs() < 2e-9, "got {}", d.as_secs_f64());
+        assert!(
+            (d.as_secs_f64() - expect).abs() < 2e-9,
+            "got {}",
+            d.as_secs_f64()
+        );
     }
 
     #[test]

@@ -96,7 +96,13 @@ impl Dumbbell {
             .with_cell_bytes(config.buffer_cell_bytes)
             .with_monitor(monitor.clone()),
         ));
-        Self { sim, config, queue_id, demux_id, monitor }
+        Self {
+            sim,
+            config,
+            queue_id,
+            demux_id,
+            monitor,
+        }
     }
 
     /// Build the dumbbell with a RED (AQM) bottleneck instead of
@@ -117,7 +123,13 @@ impl Dumbbell {
             )
             .with_monitor(monitor.clone()),
         ));
-        Self { sim, config, queue_id, demux_id, monitor }
+        Self {
+            sim,
+            config,
+            queue_id,
+            demux_id,
+            monitor,
+        }
     }
 
     /// Build with the paper's default testbed parameters.
@@ -153,13 +165,17 @@ impl Dumbbell {
 
     /// Route `flow`'s bottleneck departures to `dst`.
     pub fn route_flow(&mut self, flow: FlowId, dst: NodeId) {
-        self.sim.node_mut::<FlowDemux>(self.demux_id).register(flow, dst);
+        self.sim
+            .node_mut::<FlowDemux>(self.demux_id)
+            .register(flow, dst);
     }
 
     /// Route any flow without an explicit entry to `dst` (for dynamically
     /// created flows, e.g. web sessions).
     pub fn route_default(&mut self, dst: NodeId) {
-        self.sim.node_mut::<FlowDemux>(self.demux_id).set_default(dst);
+        self.sim
+            .node_mut::<FlowDemux>(self.demux_id)
+            .set_default(dst);
     }
 
     /// Packets of unregistered flows seen at the egress demux.
@@ -177,7 +193,10 @@ impl Dumbbell {
     pub fn ground_truth(&self, horizon_secs: f64) -> GroundTruth {
         self.ground_truth_with(
             horizon_secs,
-            GroundTruthConfig { queue_capacity_secs: self.config.buffer_secs, ..Default::default() },
+            GroundTruthConfig {
+                queue_capacity_secs: self.config.buffer_secs,
+                ..Default::default()
+            },
         )
     }
 
@@ -244,7 +263,12 @@ mod tests {
         db.route_flow(FlowId(1), sink);
         let bottleneck = db.bottleneck();
         let ingress = db.ingress_delay();
-        db.add_node(Box::new(Burst { dst: bottleneck, delay: ingress, n: 10, flow: FlowId(1) }));
+        db.add_node(Box::new(Burst {
+            dst: bottleneck,
+            delay: ingress,
+            n: 10,
+            flow: FlowId(1),
+        }));
         db.run_for(1.0);
         assert_eq!(db.sim.node::<CountingSink>(sink).received(), 10);
         assert_eq!(db.unrouted(), 0);
@@ -263,7 +287,12 @@ mod tests {
         db.route_flow(FlowId(1), sink);
         let bottleneck = db.bottleneck();
         let ingress = db.ingress_delay();
-        db.add_node(Box::new(Burst { dst: bottleneck, delay: ingress, n: 100, flow: FlowId(1) }));
+        db.add_node(Box::new(Burst {
+            dst: bottleneck,
+            delay: ingress,
+            n: 100,
+            flow: FlowId(1),
+        }));
         db.run_for(1.0);
         let gt = db.ground_truth(1.0);
         assert!(gt.router_loss_rate > 0.0);

@@ -35,7 +35,9 @@ impl Node for Script {
             flow: FlowId(1),
             size,
             created: ctx.now(),
-            kind: PacketKind::Udp { seq: self.cursor as u64 },
+            kind: PacketKind::Udp {
+                seq: self.cursor as u64,
+            },
         };
         ctx.send(self.dst, pkt, SimDuration::ZERO);
         self.cursor += 1;

@@ -38,13 +38,19 @@ impl Exponential {
     /// # Panics
     /// Panics if `lambda` is not strictly positive and finite.
     pub fn with_rate(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "rate must be positive, got {lambda}");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "rate must be positive, got {lambda}"
+        );
         Self { lambda }
     }
 
     /// Create an exponential distribution with the given mean.
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         Self { lambda: 1.0 / mean }
     }
 
@@ -88,9 +94,19 @@ impl Pareto {
     /// # Panics
     /// Panics unless both parameters are positive and finite.
     pub fn new(xm: f64, alpha: f64) -> Self {
-        assert!(xm.is_finite() && xm > 0.0, "scale must be positive, got {xm}");
-        assert!(alpha.is_finite() && alpha > 0.0, "shape must be positive, got {alpha}");
-        Self { xm, alpha, cap: None }
+        assert!(
+            xm.is_finite() && xm > 0.0,
+            "scale must be positive, got {xm}"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "shape must be positive, got {alpha}"
+        );
+        Self {
+            xm,
+            alpha,
+            cap: None,
+        }
     }
 
     /// Clamp samples to at most `cap`.
@@ -151,7 +167,10 @@ impl Geometric {
     /// # Panics
     /// Panics unless `0 < p <= 1`.
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "probability must be in (0, 1], got {p}"
+        );
         Self { p }
     }
 
@@ -201,7 +220,10 @@ impl Uniform {
     /// # Panics
     /// Panics unless `lo < hi` and both are finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         Self { lo, hi }
     }
 }

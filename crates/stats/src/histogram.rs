@@ -25,9 +25,19 @@ impl Histogram {
     /// # Panics
     /// Panics unless `lo < hi` and `n > 0`.
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         assert!(n > 0, "need at least one bucket");
-        Self { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0, count: 0 }
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Record one sample.
@@ -68,7 +78,11 @@ impl Histogram {
     pub fn rows(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         self.buckets.iter().enumerate().map(move |(i, &c)| {
-            (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c)
+            (
+                self.lo + i as f64 * width,
+                self.lo + (i + 1) as f64 * width,
+                c,
+            )
         })
     }
 
@@ -79,7 +93,10 @@ impl Histogram {
     /// # Panics
     /// Panics unless `0 <= q <= 1`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.count == 0 {
             return None;
         }
@@ -105,7 +122,11 @@ impl Histogram {
     /// # Panics
     /// Panics if the ranges or bucket counts differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count mismatch"
+        );
         assert!(
             (self.lo - other.lo).abs() < 1e-12 && (self.hi - other.hi).abs() < 1e-12,
             "range mismatch"

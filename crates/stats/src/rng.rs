@@ -56,7 +56,9 @@ mod tests {
     fn different_streams_diverge() {
         let mut a = seeded(7, "traffic");
         let mut b = seeded(7, "probes");
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -64,7 +66,9 @@ mod tests {
     fn different_master_seeds_diverge() {
         let mut a = seeded(7, "traffic");
         let mut b = seeded(8, "traffic");
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -47,16 +47,25 @@ impl EpisodeSet {
             match (c, start) {
                 (true, None) => start = Some(i as u64),
                 (false, Some(s)) => {
-                    episodes.push(Episode { start: s, end: i as u64 });
+                    episodes.push(Episode {
+                        start: s,
+                        end: i as u64,
+                    });
                     start = None;
                 }
                 _ => {}
             }
         }
         if let Some(s) = start {
-            episodes.push(Episode { start: s, end: slots.len() as u64 });
+            episodes.push(Episode {
+                start: s,
+                end: slots.len() as u64,
+            });
         }
-        Self { episodes, total_slots: slots.len() as u64 }
+        Self {
+            episodes,
+            total_slots: slots.len() as u64,
+        }
     }
 
     /// Build directly from episode bounds (must be sorted & non-overlapping).
@@ -71,7 +80,10 @@ impl EpisodeSet {
             assert!(e.end <= total_slots, "episode beyond series end");
             prev_end = e.end;
         }
-        Self { episodes, total_slots }
+        Self {
+            episodes,
+            total_slots,
+        }
     }
 
     /// The extracted episodes, in order.
@@ -151,13 +163,21 @@ impl EpisodeSet {
                 _ => merged.push(e),
             }
         }
-        Self { episodes: merged, total_slots: self.total_slots }
+        Self {
+            episodes: merged,
+            total_slots: self.total_slots,
+        }
     }
 
     /// Drop episodes shorter than `min_len` slots.
     pub fn filter_min_len(&self, min_len: u64) -> Self {
         Self {
-            episodes: self.episodes.iter().copied().filter(|e| e.len() >= min_len).collect(),
+            episodes: self
+                .episodes
+                .iter()
+                .copied()
+                .filter(|e| e.len() >= min_len)
+                .collect(),
             total_slots: self.total_slots,
         }
     }
@@ -230,7 +250,10 @@ mod tests {
     fn merge_gaps_bridges_small_lulls() {
         let slots = [true, false, true, false, false, false, true];
         let es = EpisodeSet::from_bools(&slots).merge_gaps(1);
-        assert_eq!(es.episodes(), &[Episode { start: 0, end: 3 }, Episode { start: 6, end: 7 }]);
+        assert_eq!(
+            es.episodes(),
+            &[Episode { start: 0, end: 3 }, Episode { start: 6, end: 7 }]
+        );
         let all = EpisodeSet::from_bools(&slots).merge_gaps(3);
         assert_eq!(all.episodes(), &[Episode { start: 0, end: 7 }]);
     }
@@ -261,7 +284,9 @@ mod tests {
 
     #[test]
     fn roundtrip_via_bools() {
-        let slots = [false, true, true, false, false, true, true, true, false, true];
+        let slots = [
+            false, true, true, false, false, true, true, true, false, true,
+        ];
         let es = EpisodeSet::from_bools(&slots);
         assert_eq!(es.to_bools(), slots);
     }

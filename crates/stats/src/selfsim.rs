@@ -124,6 +124,10 @@ mod tests {
     #[test]
     fn constant_series_returns_none() {
         let series = vec![5.0; 10_000];
-        assert_eq!(hurst_variance_time(&series), None, "zero variance cannot be fit");
+        assert_eq!(
+            hurst_variance_time(&series),
+            None,
+            "zero variance cannot be fit"
+        );
     }
 }

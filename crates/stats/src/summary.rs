@@ -20,7 +20,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Build a summary from a slice in one pass.
@@ -132,7 +138,10 @@ impl Summary {
 /// # Panics
 /// Panics if `q` is outside `[0, 1]` or any value is NaN.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     if xs.is_empty() {
         return None;
     }

@@ -26,7 +26,10 @@ impl SlotSeries {
     /// Panics unless `width_secs > 0`.
     pub fn new(n_slots: usize, width_secs: f64) -> Self {
         assert!(width_secs > 0.0, "slot width must be positive");
-        Self { width_secs, values: vec![0.0; n_slots] }
+        Self {
+            width_secs,
+            values: vec![0.0; n_slots],
+        }
     }
 
     /// Slot width in seconds.
@@ -102,7 +105,10 @@ impl SlotSeries {
             .chunks(factor)
             .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
             .collect();
-        SlotSeries { width_secs: self.width_secs * factor as f64, values }
+        SlotSeries {
+            width_secs: self.width_secs * factor as f64,
+            values,
+        }
     }
 }
 

@@ -89,7 +89,13 @@ struct RttEstimator {
 impl RttEstimator {
     fn new(min_rto: f64, max_rto: f64) -> Self {
         // Until the first sample, RFC 6298 says RTO = 1 s (clamped to floor).
-        Self { srtt: None, rttvar: 0.0, rto: 1.0_f64.max(min_rto), min_rto, max_rto }
+        Self {
+            srtt: None,
+            rttvar: 0.0,
+            rto: 1.0_f64.max(min_rto),
+            min_rto,
+            max_rto,
+        }
     }
 
     fn sample(&mut self, rtt: f64) {
@@ -214,7 +220,9 @@ impl SenderConn {
     }
 
     fn effective_window(&self) -> u64 {
-        (self.cwnd.floor() as u64).max(1).min(self.cfg.rwnd_segments)
+        (self.cwnd.floor() as u64)
+            .max(1)
+            .min(self.cfg.rwnd_segments)
     }
 
     fn send_limit(&self) -> u64 {
@@ -229,7 +237,10 @@ impl SenderConn {
     fn fill_window(&mut self, now: SimTime, out: &mut Vec<SenderOut>) {
         let mut sent_any = false;
         while self.snd_nxt < self.send_limit() {
-            out.push(SenderOut::Send { seq: self.snd_nxt, rtx: false });
+            out.push(SenderOut::Send {
+                seq: self.snd_nxt,
+                rtx: false,
+            });
             if self.snd_nxt == self.snd_una {
                 self.una_sent_at = Some((now, false));
             }
@@ -247,7 +258,10 @@ impl SenderConn {
         self.rto_armed = true;
         let rto = self.rtt.rto() * f64::from(1u32 << self.backoff.min(16));
         let rto = rto.min(self.cfg.max_rto_secs);
-        out.push(SenderOut::ArmRto { gen: self.rto_gen, at: now + sim_dur(rto) });
+        out.push(SenderOut::ArmRto {
+            gen: self.rto_gen,
+            at: now + sim_dur(rto),
+        });
     }
 
     /// Handle a cumulative acknowledgment: `ack` is the next segment the
@@ -323,7 +337,10 @@ impl SenderConn {
             Some(recover) if ack < recover => {
                 // NewReno partial ACK: the next hole is lost too.
                 // Retransmit it, deflate the window by the amount acked.
-                out.push(SenderOut::Send { seq: ack, rtx: true });
+                out.push(SenderOut::Send {
+                    seq: ack,
+                    rtx: true,
+                });
                 self.retransmits += 1;
                 self.una_sent_at = Some((now, true));
                 self.cwnd = (self.cwnd - newly_acked as f64 + 1.0).max(1.0);
@@ -333,7 +350,11 @@ impl SenderConn {
                 self.recovery = None;
                 self.rtx_marked.clear();
                 self.cwnd = self.ssthresh;
-                self.una_sent_at = if self.flight() > 0 { Some((now, false)) } else { None };
+                self.una_sent_at = if self.flight() > 0 {
+                    Some((now, false))
+                } else {
+                    None
+                };
             }
             None => {
                 // Normal window growth, once per ACK.
@@ -342,7 +363,11 @@ impl SenderConn {
                 } else {
                     self.cwnd += 1.0 / self.cwnd; // congestion avoidance
                 }
-                self.una_sent_at = if self.flight() > 0 { Some((now, false)) } else { None };
+                self.una_sent_at = if self.flight() > 0 {
+                    Some((now, false))
+                } else {
+                    None
+                };
             }
         }
 
@@ -371,7 +396,10 @@ impl SenderConn {
             self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);
             self.recovery = Some(self.snd_nxt);
             self.cwnd = self.ssthresh + 3.0;
-            out.push(SenderOut::Send { seq: self.snd_una, rtx: true });
+            out.push(SenderOut::Send {
+                seq: self.snd_una,
+                rtx: true,
+            });
             self.retransmits += 1;
             self.una_sent_at = Some((now, true));
             self.arm_rto(now, out);
@@ -430,7 +458,8 @@ impl SenderConn {
                 !self.sacked.contains(&s) && !self.rtx_marked.contains(&s) && self.sack_is_lost(s)
             })
             .count() as u64;
-        self.flight().saturating_sub(self.sacked.len() as u64 + lost_not_rtx)
+        self.flight()
+            .saturating_sub(self.sacked.len() as u64 + lost_not_rtx)
     }
 
     /// Retransmit presumed-lost holes (lowest first), then send new data,
@@ -457,7 +486,10 @@ impl SenderConn {
                 }
                 None => {
                     if self.snd_nxt < self.send_limit() {
-                        out.push(SenderOut::Send { seq: self.snd_nxt, rtx: false });
+                        out.push(SenderOut::Send {
+                            seq: self.snd_nxt,
+                            rtx: false,
+                        });
                         self.snd_nxt += 1;
                         self.segments_sent += 1;
                     } else {
@@ -490,7 +522,10 @@ impl SenderConn {
         self.rtx_marked.clear();
         self.snd_nxt = self.snd_una;
         self.backoff += 1;
-        out.push(SenderOut::Send { seq: self.snd_una, rtx: true });
+        out.push(SenderOut::Send {
+            seq: self.snd_una,
+            rtx: true,
+        });
         self.segments_sent += 1;
         self.retransmits += 1;
         self.snd_nxt += 1;
@@ -606,7 +641,10 @@ mod tests {
     /// Drive a sender and receiver over a lossless, fixed-RTT "network",
     /// returning the time each segment was first sent.
     fn run_lossless(total: u64, rtt: f64) -> (SenderConn, f64) {
-        let cfg = TcpConfig { total_segments: Some(total), ..Default::default() };
+        let cfg = TcpConfig {
+            total_segments: Some(total),
+            ..Default::default()
+        };
         let mut snd = SenderConn::new(cfg);
         let mut rcv = ReceiverConn::new();
         let mut out = Vec::new();
@@ -626,7 +664,10 @@ mod tests {
             if completed {
                 break;
             }
-            assert!(!in_flight.is_empty(), "deadlock: nothing in flight at t={now}");
+            assert!(
+                !in_flight.is_empty(),
+                "deadlock: nothing in flight at t={now}"
+            );
             // One RTT later, everything sent this round is acked.
             now += rtt;
             let batch: Vec<u64> = std::mem::take(&mut in_flight);
@@ -652,7 +693,10 @@ mod tests {
     #[test]
     fn slow_start_doubles_window_per_rtt() {
         // With init_cwnd=2, lossless rounds deliver 2,4,8,... segments.
-        let cfg = TcpConfig { total_segments: None, ..Default::default() };
+        let cfg = TcpConfig {
+            total_segments: None,
+            ..Default::default()
+        };
         let mut snd = SenderConn::new(cfg);
         let mut rcv = ReceiverConn::new();
         let mut out = Vec::new();
@@ -708,7 +752,10 @@ mod tests {
         let rtx = drain_sends(&mut out);
         assert_eq!(rtx, vec![0], "third dupack retransmits the head");
         assert_eq!(snd.retransmits(), 1);
-        assert!((snd.ssthresh() - 5.0).abs() < 1e-9, "ssthresh = flight/2 = 5");
+        assert!(
+            (snd.ssthresh() - 5.0).abs() < 1e-9,
+            "ssthresh = flight/2 = 5"
+        );
         // Full ACK exits recovery at cwnd = ssthresh.
         snd.on_ack(10, t(0.2), &mut out);
         assert!((snd.cwnd() - 5.0).abs() < 1e-9, "cwnd deflates to ssthresh");
@@ -733,7 +780,10 @@ mod tests {
         // partial ack of 4 (recovery point is 10).
         snd.on_ack(4, t(0.2), &mut out);
         let sends = drain_sends(&mut out);
-        assert!(sends.contains(&4), "partial ack retransmits the next hole, got {sends:?}");
+        assert!(
+            sends.contains(&4),
+            "partial ack retransmits the next hole, got {sends:?}"
+        );
         // Full ack finally exits recovery at cwnd = ssthresh, and the
         // infinite source immediately refills the (deflated) window.
         snd.on_ack(10, t(0.3), &mut out);
@@ -745,7 +795,10 @@ mod tests {
 
     #[test]
     fn rto_collapses_window_and_backs_off() {
-        let mut snd = SenderConn::new(TcpConfig { init_cwnd: 8.0, ..Default::default() });
+        let mut snd = SenderConn::new(TcpConfig {
+            init_cwnd: 8.0,
+            ..Default::default()
+        });
         let mut out = Vec::new();
         snd.open(t(0.0), &mut out);
         drain_sends(&mut out);
@@ -914,7 +967,10 @@ mod tests {
                 }
             }
         }
-        panic!("transfer did not complete; una={}, nxt={}", snd.snd_una, snd.snd_nxt);
+        panic!(
+            "transfer did not complete; una={}, nxt={}",
+            snd.snd_una, snd.snd_nxt
+        );
     }
 
     #[test]
@@ -949,7 +1005,11 @@ mod tests {
 
     #[test]
     fn sack_scoreboard_prunes_below_una() {
-        let cfg = TcpConfig { sack: true, init_cwnd: 10.0, ..Default::default() };
+        let cfg = TcpConfig {
+            sack: true,
+            init_cwnd: 10.0,
+            ..Default::default()
+        };
         let mut snd = SenderConn::new(cfg);
         let mut out = Vec::new();
         snd.open(t(0.0), &mut out);

@@ -99,7 +99,11 @@ impl Node for TcpFlowNode {
                 self.conn.on_ack(ack, ctx.now(), &mut self.out);
                 self.pump(ctx);
             }
-            PacketKind::TcpSack { ack, blocks, n_blocks } => {
+            PacketKind::TcpSack {
+                ack,
+                blocks,
+                n_blocks,
+            } => {
                 self.conn.on_ack_sack(
                     ack,
                     &blocks[..usize::from(n_blocks)],
@@ -151,7 +155,14 @@ impl TcpSinkNode {
         ack_bytes: u32,
         sack: bool,
     ) -> Self {
-        Self { conn: ReceiverConn::new(), flow, sender, reverse_delay, ack_bytes, sack }
+        Self {
+            conn: ReceiverConn::new(),
+            flow,
+            sender,
+            reverse_delay,
+            ack_bytes,
+            sack,
+        }
     }
 
     /// Access the underlying receiver state.
@@ -166,7 +177,11 @@ impl Node for TcpSinkNode {
             let ack = self.conn.on_data(seq);
             let kind = if self.sack {
                 let (blocks, n_blocks) = self.conn.sack_blocks();
-                PacketKind::TcpSack { ack, blocks, n_blocks }
+                PacketKind::TcpSack {
+                    ack,
+                    blocks,
+                    n_blocks,
+                }
             } else {
                 PacketKind::TcpAck { ack }
             };
@@ -201,9 +216,16 @@ pub fn attach_flow(
     let bottleneck = db.bottleneck();
     let ingress = db.ingress_delay();
     let reverse = db.config().reverse_delay;
-    let sender = db.add_node(Box::new(TcpFlowNode::new(cfg, flow, bottleneck, ingress, start_at)));
-    let sink =
-        db.add_node(Box::new(TcpSinkNode::new(flow, sender, reverse, cfg.ack_bytes, cfg.sack)));
+    let sender = db.add_node(Box::new(TcpFlowNode::new(
+        cfg, flow, bottleneck, ingress, start_at,
+    )));
+    let sink = db.add_node(Box::new(TcpSinkNode::new(
+        flow,
+        sender,
+        reverse,
+        cfg.ack_bytes,
+        cfg.sack,
+    )));
     db.route_flow(flow, sink);
     (sender, sink)
 }
@@ -222,11 +244,17 @@ mod tests {
         let (sender, sink) = attach_flow(&mut db, FlowId(1), cfg, SimTime::ZERO);
         db.run_for(30.0);
         let drops = db.monitor().borrow().drops();
-        assert_eq!(drops, 0, "rwnd-limited flow should not overflow a 1.9MB buffer");
+        assert_eq!(
+            drops, 0,
+            "rwnd-limited flow should not overflow a 1.9MB buffer"
+        );
         let received = db.sim.node::<TcpSinkNode>(sink).conn().received();
         // Theoretical ceiling: 256 segments per RTT (~0.1001 s) for ~30 s.
         let ceiling = (30.0 / 0.1001 * 256.0) as u64;
-        assert!(received > ceiling / 2, "moved {received} segments, expected near {ceiling}");
+        assert!(
+            received > ceiling / 2,
+            "moved {received} segments, expected near {ceiling}"
+        );
         assert!(received <= ceiling + 256);
         assert_eq!(db.sim.node::<TcpFlowNode>(sender).conn().retransmits(), 0);
     }
@@ -234,7 +262,10 @@ mod tests {
     #[test]
     fn finite_transfer_completes_through_dumbbell() {
         let mut db = Dumbbell::standard();
-        let cfg = TcpConfig { total_segments: Some(500), ..Default::default() };
+        let cfg = TcpConfig {
+            total_segments: Some(500),
+            ..Default::default()
+        };
         let (sender, sink) = attach_flow(&mut db, FlowId(1), cfg, SimTime::ZERO);
         db.run_for(60.0);
         let s = db.sim.node::<TcpFlowNode>(sender);
@@ -255,7 +286,10 @@ mod tests {
         }
         db.run_for(30.0);
         let m = db.monitor();
-        assert!(m.borrow().drops() > 0, "expected loss under 40 infinite sources");
+        assert!(
+            m.borrow().drops() > 0,
+            "expected loss under 40 infinite sources"
+        );
         let gt = db.ground_truth(30.0);
         assert!(!gt.episodes.is_empty());
         assert!(gt.frequency() > 0.0);
@@ -268,7 +302,10 @@ mod tests {
     #[test]
     fn staggered_start_delays_opening() {
         let mut db = Dumbbell::standard();
-        let cfg = TcpConfig { total_segments: Some(10), ..Default::default() };
+        let cfg = TcpConfig {
+            total_segments: Some(10),
+            ..Default::default()
+        };
         let (sender, _) = attach_flow(&mut db, FlowId(1), cfg, SimTime::from_secs_f64(5.0));
         db.run_for(4.9);
         assert_eq!(db.sim.node::<TcpFlowNode>(sender).conn().segments_sent(), 0);

@@ -219,7 +219,9 @@ pub fn attach_cbr(
     db.route_flow(flow, sink);
     let bottleneck = db.bottleneck();
     let ingress = db.ingress_delay();
-    db.add_node(Box::new(CbrEpisodeSource::new(cfg, flow, bottleneck, ingress, rng)))
+    db.add_node(Box::new(CbrEpisodeSource::new(
+        cfg, flow, bottleneck, ingress, rng,
+    )))
 }
 
 #[cfg(test)]
@@ -242,12 +244,18 @@ mod tests {
     #[test]
     fn episodes_have_calibrated_duration() {
         let mut db = Dumbbell::standard();
-        let cfg = CbrEpisodeConfig { mean_gap_secs: 5.0, ..CbrEpisodeConfig::paper_default() };
+        let cfg = CbrEpisodeConfig {
+            mean_gap_secs: 5.0,
+            ..CbrEpisodeConfig::paper_default()
+        };
         let src = attach_cbr(&mut db, FlowId(1), cfg, seeded(42, "cbr"));
         db.run_for(60.0);
         let gt = db.ground_truth(60.0);
         let started = db.sim.node::<CbrEpisodeSource>(src).episodes_started();
-        assert!(started >= 5, "only {started} episodes in 60s with mean gap 5s");
+        assert!(
+            started >= 5,
+            "only {started} episodes in 60s with mean gap 5s"
+        );
         // Every burst that finished must have produced one loss episode.
         assert!(
             (gt.episodes.len() as i64 - started as i64).abs() <= 1,
@@ -270,7 +278,11 @@ mod tests {
         };
         let src = attach_cbr(&mut db, FlowId(1), cfg, seeded(7, "cbr-choice"));
         db.run_for(120.0);
-        let lengths = db.sim.node::<CbrEpisodeSource>(src).scheduled_lengths().to_vec();
+        let lengths = db
+            .sim
+            .node::<CbrEpisodeSource>(src)
+            .scheduled_lengths()
+            .to_vec();
         assert!(lengths.len() > 20);
         for want in [0.05, 0.10, 0.15] {
             assert!(
@@ -284,8 +296,10 @@ mod tests {
     fn quiet_between_bursts() {
         // With a huge mean gap the source should emit nothing for a while.
         let mut db = Dumbbell::standard();
-        let cfg =
-            CbrEpisodeConfig { mean_gap_secs: 1_000_000.0, ..CbrEpisodeConfig::paper_default() };
+        let cfg = CbrEpisodeConfig {
+            mean_gap_secs: 1_000_000.0,
+            ..CbrEpisodeConfig::paper_default()
+        };
         attach_cbr(&mut db, FlowId(1), cfg, seeded(1, "cbr-quiet"));
         db.run_for(5.0);
         assert_eq!(db.monitor().borrow().enqueues(), 0);
@@ -294,13 +308,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "burst factor")]
     fn rejects_subcapacity_burst() {
-        let cfg = CbrEpisodeConfig { burst_factor: 0.9, ..CbrEpisodeConfig::paper_default() };
-        let _ = CbrEpisodeSource::new(
-            cfg,
-            FlowId(1),
-            NodeId(0),
-            SimDuration::ZERO,
-            seeded(0, "x"),
-        );
+        let cfg = CbrEpisodeConfig {
+            burst_factor: 0.9,
+            ..CbrEpisodeConfig::paper_default()
+        };
+        let _ = CbrEpisodeSource::new(cfg, FlowId(1), NodeId(0), SimDuration::ZERO, seeded(0, "x"));
     }
 }

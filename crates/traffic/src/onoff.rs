@@ -53,7 +53,10 @@ impl OnOffConfig {
 
     /// Long-run average rate in bits/second.
     pub fn mean_rate_bps(&self) -> f64 {
-        let on = self.on_secs.mean().expect("capped Pareto has a finite mean");
+        let on = self
+            .on_secs
+            .mean()
+            .expect("capped Pareto has a finite mean");
         self.on_rate_bps as f64 * on / (on + self.off_mean_secs)
     }
 
@@ -177,7 +180,10 @@ pub fn attach_onoff_aggregate(
     flow_base: u32,
     seed: u64,
 ) -> Vec<NodeId> {
-    assert!(n > 0 && target_util > 0.0, "need sources and positive utilization");
+    assert!(
+        n > 0 && target_util > 0.0,
+        "need sources and positive utilization"
+    );
     let per_source = (target_util * db.config().bottleneck_rate_bps as f64 / f64::from(n)) as u64;
     let cfg = OnOffConfig::with_mean_rate(per_source, peak_factor, mean_on_secs);
     let sink = db.add_node(Box::new(badabing_sim::node::CountingSink::new()));

@@ -75,7 +75,10 @@ impl WebConfig {
 
     /// Mean transfer size in segments (untruncated Pareto mean).
     pub fn mean_segments(&self) -> f64 {
-        assert!(self.pareto_shape > 1.0, "shape must exceed 1 for a finite mean");
+        assert!(
+            self.pareto_shape > 1.0,
+            "shape must exceed 1 for a finite mean"
+        );
         self.pareto_shape * self.pareto_scale_segments / (self.pareto_shape - 1.0)
     }
 
@@ -177,7 +180,10 @@ impl WebSessionGenerator {
         if self.next_flow < self.flow_base {
             self.next_flow = self.flow_base; // wrapped around u32 space
         }
-        let tcp = TcpConfig { total_segments: Some(segments.max(1)), ..self.cfg.tcp };
+        let tcp = TcpConfig {
+            total_segments: Some(segments.max(1)),
+            ..self.cfg.tcp
+        };
         let mut conn = SenderConn::new(tcp);
         conn.open(ctx.now(), &mut self.out);
         self.conns.insert(flow_raw, conn);
@@ -230,7 +236,9 @@ impl Node for WebSessionGenerator {
     }
 
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        let PacketKind::TcpAck { ack } = packet.kind else { return };
+        let PacketKind::TcpAck { ack } = packet.kind else {
+            return;
+        };
         let flow_raw = packet.flow.0;
         if let Some(conn) = self.conns.get_mut(&flow_raw) {
             conn.on_ack(ack, ctx.now(), &mut self.out);
@@ -306,7 +314,9 @@ impl WebSinkNode {
 
 impl Node for WebSinkNode {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        let PacketKind::TcpData { seq, .. } = packet.kind else { return };
+        let PacketKind::TcpData { seq, .. } = packet.kind else {
+            return;
+        };
         self.segments_received += 1;
         let rcv = self.receivers.entry(packet.flow.0).or_default();
         let ack = rcv.on_data(seq);
@@ -341,8 +351,9 @@ pub fn attach_web(
     let ingress = db.ingress_delay();
     let reverse = db.config().reverse_delay;
     let ack_bytes = cfg.tcp.ack_bytes;
-    let generator =
-        db.add_node(Box::new(WebSessionGenerator::new(cfg, flow_base, bottleneck, ingress, rng)));
+    let generator = db.add_node(Box::new(WebSessionGenerator::new(
+        cfg, flow_base, bottleneck, ingress, rng,
+    )));
     let sink = db.add_node(Box::new(WebSinkNode::new(generator, reverse, ack_bytes)));
     db.route_default(sink);
     (generator, sink)
@@ -361,7 +372,10 @@ mod tests {
         assert!((cfg.mean_segments() - 120.0).abs() < 1e-9);
         let lambda = cfg.arrival_rate();
         let offered = lambda * cfg.mean_segments() * 1500.0 * 8.0;
-        assert!((offered / 155_520_000.0 - 0.5).abs() < 1e-9, "offered {offered}");
+        assert!(
+            (offered / 155_520_000.0 - 0.5).abs() < 1e-9,
+            "offered {offered}"
+        );
     }
 
     #[test]
@@ -374,7 +388,11 @@ mod tests {
         let (gen_id, sink_id) = attach_web(&mut db, cfg, 1 << 16, seeded(11, "web"));
         db.run_for(30.0);
         let stats = db.sim.node::<WebSessionGenerator>(gen_id).stats();
-        assert!(stats.transfers_started > 500, "started {}", stats.transfers_started);
+        assert!(
+            stats.transfers_started > 500,
+            "started {}",
+            stats.transfers_started
+        );
         assert!(
             stats.transfers_completed > stats.transfers_started / 2,
             "completed {} of {}",
@@ -393,7 +411,10 @@ mod tests {
     #[test]
     fn surges_induce_loss_episodes() {
         let mut db = Dumbbell::standard();
-        let cfg = WebConfig { surge_mean_gap_secs: 10.0, ..WebConfig::paper_default() };
+        let cfg = WebConfig {
+            surge_mean_gap_secs: 10.0,
+            ..WebConfig::paper_default()
+        };
         let (gen_id, _) = attach_web(&mut db, cfg, 1 << 16, seeded(23, "web-surge"));
         db.run_for(60.0);
         let stats = db.sim.node::<WebSessionGenerator>(gen_id).stats();

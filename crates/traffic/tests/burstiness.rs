@@ -29,7 +29,10 @@ fn onoff_aggregate_is_long_range_dependent() {
     db.run_for(secs);
     let series = arrival_series(&db, secs);
     let h = hurst_variance_time(&series).expect("series long enough");
-    assert!(h > 0.6, "ON/OFF aggregate H = {h}, expected long-range dependence");
+    assert!(
+        h > 0.6,
+        "ON/OFF aggregate H = {h}, expected long-range dependence"
+    );
 }
 
 #[test]
@@ -38,11 +41,17 @@ fn cbr_episodes_are_not_long_range_dependent() {
     // (the variance-time fit sees short bursts over an idle baseline;
     // allow slack but it must sit clearly below the ON/OFF aggregate).
     let mut db = Dumbbell::standard();
-    let cfg = CbrEpisodeConfig { mean_gap_secs: 2.0, ..CbrEpisodeConfig::paper_default() };
+    let cfg = CbrEpisodeConfig {
+        mean_gap_secs: 2.0,
+        ..CbrEpisodeConfig::paper_default()
+    };
     attach_cbr(&mut db, FlowId(1), cfg, seeded(4, "cbr"));
     let secs = 240.0;
     db.run_for(secs);
     let series = arrival_series(&db, secs);
     let h = hurst_variance_time(&series).expect("series long enough");
-    assert!(h < 0.72, "CBR episodes H = {h}, should not look long-range dependent");
+    assert!(
+        h < 0.72,
+        "CBR episodes H = {h}, should not look long-range dependent"
+    );
 }

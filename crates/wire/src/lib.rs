@@ -142,7 +142,15 @@ impl ProbeHeader {
         if probe_len == 0 || idx >= probe_len {
             return Err(DecodeError::BadFields);
         }
-        Ok(Self { session, experiment, slot, seq, send_ns, idx, probe_len })
+        Ok(Self {
+            session,
+            experiment,
+            slot,
+            seq,
+            send_ns,
+            idx,
+            probe_len,
+        })
     }
 }
 
@@ -198,14 +206,20 @@ mod tests {
             ProbeHeader::decode(&wire[..20]),
             Err(DecodeError::TooShort { got: 20 })
         );
-        assert_eq!(ProbeHeader::decode(&[]), Err(DecodeError::TooShort { got: 0 }));
+        assert_eq!(
+            ProbeHeader::decode(&[]),
+            Err(DecodeError::TooShort { got: 0 })
+        );
     }
 
     #[test]
     fn bad_magic_fails() {
         let mut wire = header().encode(600).to_vec();
         wire[0] ^= 0xFF;
-        assert!(matches!(ProbeHeader::decode(&wire), Err(DecodeError::BadMagic { .. })));
+        assert!(matches!(
+            ProbeHeader::decode(&wire),
+            Err(DecodeError::BadMagic { .. })
+        ));
     }
 
     #[test]

@@ -32,7 +32,12 @@ fn main() {
     // Provision the harness for the longest run we might need; the
     // controller decides where we actually stop.
     let mut db = Dumbbell::standard();
-    attach_cbr(&mut db, FlowId(1), CbrEpisodeConfig::paper_default(), seeded(seed, "cbr"));
+    attach_cbr(
+        &mut db,
+        FlowId(1),
+        CbrEpisodeConfig::paper_default(),
+        seeded(seed, "cbr"),
+    );
     let max_slots = (MAX_ROUNDS as f64 * ROUND_SECS / cfg.slot_secs) as u64;
     let harness = BadabingHarness::attach(&mut db, cfg, max_slots, FlowId(999), seeded(seed, "bb"));
 

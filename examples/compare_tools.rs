@@ -21,15 +21,31 @@ const SEED: u64 = 7;
 
 fn badabing_run() -> (ToolReport, ToolReport, f64) {
     let mut db = Dumbbell::standard();
-    attach_web(&mut db, WebConfig::paper_default(), 1 << 16, seeded(SEED, "web"));
+    attach_web(
+        &mut db,
+        WebConfig::paper_default(),
+        1 << 16,
+        seeded(SEED, "web"),
+    );
     let cfg = BadabingConfig::paper_default(0.3);
     let n_slots = (SECS / cfg.slot_secs) as u64;
-    let h = BadabingHarness::attach(&mut db, cfg, n_slots, FlowId(0xFFFF_0000), seeded(SEED, "bb"));
+    let h = BadabingHarness::attach(
+        &mut db,
+        cfg,
+        n_slots,
+        FlowId(0xFFFF_0000),
+        seeded(SEED, "bb"),
+    );
     db.run_for(SECS + 1.0);
     let truth = db.ground_truth(SECS);
     let analysis = h.analyze(&db.sim);
-    let packets: u64 =
-        db.sim.node::<BadabingProber>(h.prober).sent().iter().map(|s| u64::from(s.packets)).sum();
+    let packets: u64 = db
+        .sim
+        .node::<BadabingProber>(h.prober)
+        .sent()
+        .iter()
+        .map(|s| u64::from(s.packets))
+        .sum();
     let load = packets as f64 * 600.0 * 8.0 / SECS;
     (
         ToolReport::from_truth("true values", &truth),
@@ -40,11 +56,19 @@ fn badabing_run() -> (ToolReport, ToolReport, f64) {
 
 fn zing_run(load_bps: f64) -> ToolReport {
     let mut db = Dumbbell::standard();
-    attach_web(&mut db, WebConfig::paper_default(), 1 << 16, seeded(SEED, "web"));
+    attach_web(
+        &mut db,
+        WebConfig::paper_default(),
+        1 << 16,
+        seeded(SEED, "web"),
+    );
     let zcfg = ZingConfig::with_load_bps(600, load_bps);
     let (p, r) = attach_zing(&mut db, zcfg, FlowId(0xFFFF_0001), seeded(SEED, "zing"));
     db.run_for(SECS + 1.0);
-    ToolReport::from_zing(format!("zing ({:.0} Hz)", zcfg.rate_hz), &zing_report(&db.sim, p, r))
+    ToolReport::from_zing(
+        format!("zing ({:.0} Hz)", zcfg.rate_hz),
+        &zing_report(&db.sim, p, r),
+    )
 }
 
 fn main() {

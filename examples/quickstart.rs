@@ -24,14 +24,20 @@ fn main() {
 
     // 2. Cross traffic: constant-duration loss episodes (the Iperf
     //    scenario of §4.2).
-    attach_cbr(&mut db, FlowId(1), CbrEpisodeConfig::paper_default(), seeded(seed, "traffic"));
+    attach_cbr(
+        &mut db,
+        FlowId(1),
+        CbrEpisodeConfig::paper_default(),
+        seeded(seed, "traffic"),
+    );
 
     // 3. The tool: 3×600-byte probes, experiments started with
     //    probability p = 0.3 per 5 ms slot, thresholds from the paper's
     //    recommendations.
     let cfg = BadabingConfig::paper_default(0.3);
     let n_slots = 24_000; // 120 s of 5 ms slots
-    let harness = BadabingHarness::attach(&mut db, cfg, n_slots, FlowId(999), seeded(seed, "probe"));
+    let harness =
+        BadabingHarness::attach(&mut db, cfg, n_slots, FlowId(999), seeded(seed, "probe"));
 
     // 4. Run, then compare tool vs truth.
     println!("running {:.0}s of virtual time...", harness.horizon_secs());
@@ -41,8 +47,14 @@ fn main() {
     let analysis = harness.analyze(&db.sim);
 
     println!("\n{}", ToolReport::header());
-    println!("{}", ToolReport::from_truth("true values", &truth).fmt_row());
-    println!("{}", ToolReport::from_badabing("badabing (p=0.3)", &analysis).fmt_row());
+    println!(
+        "{}",
+        ToolReport::from_truth("true values", &truth).fmt_row()
+    );
+    println!(
+        "{}",
+        ToolReport::from_badabing("badabing (p=0.3)", &analysis).fmt_row()
+    );
 
     println!(
         "\nexperiments: {}   probes with loss: {}   marked by delay rule: {}",
@@ -52,7 +64,11 @@ fn main() {
     );
     println!(
         "validation: {} (boundary discrepancy {:.2}, violations {})",
-        if analysis.validation.passes(0.25) { "PASS" } else { "FLAGGED" },
+        if analysis.validation.passes(0.25) {
+            "PASS"
+        } else {
+            "FLAGGED"
+        },
         analysis.validation.boundary_discrepancy(),
         analysis.validation.violations()
     );

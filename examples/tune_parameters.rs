@@ -31,7 +31,12 @@ fn main() {
     for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let cfg = BadabingConfig::paper_default(p);
         let mut db = Dumbbell::standard();
-        attach_cbr(&mut db, FlowId(1), CbrEpisodeConfig::paper_default(), seeded(SEED, "cbr"));
+        attach_cbr(
+            &mut db,
+            FlowId(1),
+            CbrEpisodeConfig::paper_default(),
+            seeded(SEED, "cbr"),
+        );
         let n_slots = (SECS / cfg.slot_secs) as u64;
         let h = BadabingHarness::attach(&mut db, cfg, n_slots, FlowId(999), seeded(SEED, "bb"));
         db.run_for(SECS + 1.0);
@@ -46,7 +51,11 @@ fn main() {
             recommended_tau(p, cfg.slot_secs) * 1000.0,
             a.frequency().unwrap_or(0.0),
             a.duration_secs().unwrap_or(0.0),
-            if a.validation.passes(0.25) { "pass" } else { "flagged" },
+            if a.validation.passes(0.25) {
+                "pass"
+            } else {
+                "flagged"
+            },
         );
     }
 

@@ -25,15 +25,27 @@ fn main() {
     improved_cfg.owd_window = 5;
 
     for (label, cfg) in [
-        ("basic (2-probe experiments)", BadabingConfig::paper_default(0.5)),
+        (
+            "basic (2-probe experiments)",
+            BadabingConfig::paper_default(0.5),
+        ),
         ("improved (2- and 3-probe)", improved_cfg),
     ] {
         let mut db = Dumbbell::standard();
-        let (gen_id, _) =
-            attach_web(&mut db, WebConfig::paper_default(), 1 << 16, seeded(SEED, "web"));
+        let (gen_id, _) = attach_web(
+            &mut db,
+            WebConfig::paper_default(),
+            1 << 16,
+            seeded(SEED, "web"),
+        );
         let n_slots = (SECS / cfg.slot_secs) as u64;
-        let h =
-            BadabingHarness::attach(&mut db, cfg, n_slots, FlowId(0xFFFF_0000), seeded(SEED, "bb"));
+        let h = BadabingHarness::attach(
+            &mut db,
+            cfg,
+            n_slots,
+            FlowId(0xFFFF_0000),
+            seeded(SEED, "bb"),
+        );
         db.run_for(SECS + 1.0);
 
         let truth = db.ground_truth(SECS);
@@ -61,13 +73,21 @@ fn main() {
         println!(
             "tool:  freq {:.4}, duration basic {:?}s, improved {:?}s, r-hat {:?}",
             a.frequency().unwrap_or(0.0),
-            a.estimates.duration_secs_basic().map(|d| (d * 1000.0).round() / 1000.0),
-            a.estimates.duration_secs_improved().map(|d| (d * 1000.0).round() / 1000.0),
+            a.estimates
+                .duration_secs_basic()
+                .map(|d| (d * 1000.0).round() / 1000.0),
+            a.estimates
+                .duration_secs_improved()
+                .map(|d| (d * 1000.0).round() / 1000.0),
             a.estimates.r_hat().map(|r| (r * 100.0).round() / 100.0),
         );
         println!(
             "validation: {} (01/10 discrepancy {:.2}, forbidden patterns {})",
-            if a.validation.passes(0.25) { "pass" } else { "flagged" },
+            if a.validation.passes(0.25) {
+                "pass"
+            } else {
+                "flagged"
+            },
             a.validation.boundary_discrepancy(),
             a.validation.violations()
         );

@@ -8,11 +8,11 @@
 //! * [`badabing_sim`] — the discrete-event dumbbell testbed;
 //! * [`badabing_tcp`] / [`badabing_traffic`] — cross-traffic substrates;
 //! * [`badabing_probe`] — BADABING and ZING wired into the simulator;
-//! * [`badabing_wire`] / [`badabing_live`] — the live UDP tool;
+//! * [`badabing_wire`] — the live UDP tool's wire format (the tokio-based
+//!   `badabing-live` crate itself is excluded from offline builds);
 //! * [`badabing_stats`] — distributions and summaries.
 
 pub use badabing_core as core;
-pub use badabing_live as live;
 pub use badabing_probe as probe;
 pub use badabing_sim as sim;
 pub use badabing_stats as stats;

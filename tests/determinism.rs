@@ -11,7 +11,12 @@ use badabing_traffic::web::{attach_web, WebConfig};
 
 fn run(seed: u64) -> (u64, u64, Option<f64>, Option<f64>) {
     let mut db = Dumbbell::standard();
-    attach_web(&mut db, WebConfig::paper_default(), 1 << 16, seeded(seed, "web"));
+    attach_web(
+        &mut db,
+        WebConfig::paper_default(),
+        1 << 16,
+        seeded(seed, "web"),
+    );
     let cfg = BadabingConfig::paper_default(0.5);
     let h = BadabingHarness::attach(&mut db, cfg, 6_000, FlowId(0xFFFF_0000), seeded(seed, "bb"));
     db.run_for(h.horizon_secs() + 1.0);

@@ -14,7 +14,10 @@ const ZING_FLOW: FlowId = FlowId(0xFFFF_0001);
 
 fn cbr_dumbbell(seed: u64) -> Dumbbell {
     let mut db = Dumbbell::standard();
-    let cfg = CbrEpisodeConfig { mean_gap_secs: 6.0, ..CbrEpisodeConfig::paper_default() };
+    let cfg = CbrEpisodeConfig {
+        mean_gap_secs: 6.0,
+        ..CbrEpisodeConfig::paper_default()
+    };
     attach_cbr(&mut db, FlowId(1), cfg, seeded(seed, "cbr"));
     db
 }
@@ -54,9 +57,16 @@ fn badabing_duration_beats_zing_on_the_same_path() {
     let d_true = truth.mean_duration_secs();
     assert!(d_true > 0.04, "expected ~68 ms episodes, got {d_true}");
 
-    let bb = h.analyze(&db.sim).duration_secs().expect("badabing measured duration");
+    let bb = h
+        .analyze(&db.sim)
+        .duration_secs()
+        .expect("badabing measured duration");
     let z = zing_report(&db.sim, zp, zr);
-    let z_dur = if z.duration.count() > 0 { z.duration.mean() } else { 0.0 };
+    let z_dur = if z.duration.count() > 0 {
+        z.duration.mean()
+    } else {
+        0.0
+    };
 
     let bb_err = (bb - d_true).abs();
     let z_err = (z_dur - d_true).abs();
@@ -64,7 +74,10 @@ fn badabing_duration_beats_zing_on_the_same_path() {
         bb_err < z_err,
         "badabing {bb:.3}s (err {bb_err:.3}) should beat zing {z_dur:.3}s (err {z_err:.3}) against truth {d_true:.3}s"
     );
-    assert!(bb_err / d_true < 1.0, "badabing duration off by more than 100%: {bb} vs {d_true}");
+    assert!(
+        bb_err / d_true < 1.0,
+        "badabing duration off by more than 100%: {bb} vs {d_true}"
+    );
 }
 
 #[test]
@@ -85,11 +98,20 @@ fn zing_misses_most_episode_time_under_gentle_tcp_loss() {
             badabing_sim::time::SimTime::from_secs_f64(f as f64 * 0.001),
         );
     }
-    let (zp, zr) = attach_zing(&mut db, ZingConfig::paper_10hz(), ZING_FLOW, seeded(45, "zing"));
+    let (zp, zr) = attach_zing(
+        &mut db,
+        ZingConfig::paper_10hz(),
+        ZING_FLOW,
+        seeded(45, "zing"),
+    );
     db.run_for(121.0);
     let truth = db.ground_truth(120.0);
     let z = zing_report(&db.sim, zp, zr);
-    assert!(truth.frequency() > 0.01, "TCP sawtooth missing: freq {}", truth.frequency());
+    assert!(
+        truth.frequency() > 0.01,
+        "TCP sawtooth missing: freq {}",
+        truth.frequency()
+    );
     assert!(
         z.frequency < truth.frequency(),
         "zing {} should under-report truth {}",
@@ -97,7 +119,11 @@ fn zing_misses_most_episode_time_under_gentle_tcp_loss() {
         truth.frequency()
     );
     // And its duration estimate collapses relative to the ~0.2 s truth.
-    let z_dur = if z.duration.count() > 0 { z.duration.mean() } else { 0.0 };
+    let z_dur = if z.duration.count() > 0 {
+        z.duration.mean()
+    } else {
+        0.0
+    };
     assert!(
         z_dur < truth.mean_duration_secs() / 2.0,
         "zing duration {z_dur} vs truth {}",
@@ -112,7 +138,11 @@ fn validation_flags_are_clean_on_healthy_runs() {
     let h = BadabingHarness::attach(&mut db, cfg, 24_000, PROBE_FLOW, seeded(48, "bb"));
     db.run_for(h.horizon_secs() + 1.0);
     let a = h.analyze(&db.sim);
-    assert!(a.validation.passes(0.5), "healthy run flagged: {:?}", a.validation);
+    assert!(
+        a.validation.passes(0.5),
+        "healthy run flagged: {:?}",
+        a.validation
+    );
     assert!(a.estimates.extended_experiments > 0);
     // r̂ should be measurable and within a plausible band.
     if let Some(r) = a.estimates.r_hat() {

@@ -16,7 +16,10 @@ use badabing_traffic::cbr::{attach_cbr, CbrEpisodeConfig};
 
 fn run_with_jitter(jitter_ms: u64) -> (f64, Option<f64>, f64, Option<f64>) {
     let mut db = Dumbbell::standard();
-    let cbr = CbrEpisodeConfig { mean_gap_secs: 6.0, ..CbrEpisodeConfig::paper_default() };
+    let cbr = CbrEpisodeConfig {
+        mean_gap_secs: 6.0,
+        ..CbrEpisodeConfig::paper_default()
+    };
     attach_cbr(&mut db, FlowId(1), cbr, seeded(61, "cbr"));
     // Probes pass through a jitter link before the bottleneck.
     let bottleneck = db.bottleneck();
@@ -31,7 +34,12 @@ fn run_with_jitter(jitter_ms: u64) -> (f64, Option<f64>, f64, Option<f64>) {
     db.run_for(h.horizon_secs() + 1.0);
     let truth = db.ground_truth(h.horizon_secs());
     let a = h.analyze(&db.sim);
-    (truth.frequency(), a.frequency(), truth.mean_duration_secs(), a.duration_secs())
+    (
+        truth.frequency(),
+        a.frequency(),
+        truth.mean_duration_secs(),
+        a.duration_secs(),
+    )
 }
 
 #[test]
@@ -46,7 +54,10 @@ fn small_jitter_leaves_estimates_usable() {
         "frequency {f_est} vs truth {f_true}"
     );
     if let Some(d) = d_est {
-        assert!((d / d_true) > 0.3 && (d / d_true) < 4.0, "duration {d} vs truth {d_true}");
+        assert!(
+            (d / d_true) > 0.3 && (d / d_true) < 4.0,
+            "duration {d} vs truth {d_true}"
+        );
     }
 }
 

@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps `cargo bench` working without registry access: each benchmark
+//! is timed with a fixed-iteration loop around `std::time::Instant` and
+//! reported as mean wall time per iteration (plus throughput when
+//! declared). No warm-up analysis, outlier rejection, or HTML reports —
+//! this is a smoke-bench harness, not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Iterations per measured benchmark (after one untimed warm-up call).
+const DEFAULT_ITERS: u64 = 20;
+
+/// How a group's element count scales per-iteration timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hints (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup.
+    SmallInput,
+    /// Large per-iteration setup.
+    LargeInput,
+    /// Setup dominated by the routine.
+    PerIteration,
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            throughput: None,
+            sample_size: DEFAULT_ITERS,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Set the iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = (n as u64).max(1);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.0} elem/s)", n as f64 / per_iter.max(1e-12))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.0} B/s)", n as f64 / per_iter.max(1e-12))
+            }
+            None => String::new(),
+        };
+        println!("  {name}: {:.3} ms/iter{rate}", per_iter * 1e3);
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine(); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; only
+    /// the routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Collect benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > DEFAULT_ITERS, "routine ran {calls} times");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut setups = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 5);
+    }
+}

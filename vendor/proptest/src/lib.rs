@@ -1,0 +1,255 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate vendors
+//! the small slice of proptest the workspace's property tests use:
+//! the [`proptest!`] macro over `arg in strategy` bindings, range and
+//! tuple strategies, `any::<T>()`, `collection::vec`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for size:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs
+//!   printed; re-running reproduces it exactly (the generator seed is a
+//!   hash of the test's module path and name).
+//! * Rejected cases (`prop_assume!`) are retried up to 20× the case
+//!   budget rather than tracked against a global rejection quota.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Any, Just, Strategy};
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// FNV-1a over a string; used to derive a stable per-test seed.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic generator for one named test.
+pub fn new_test_rng(name: &str) -> TestRng {
+    StdRng::seed_from_u64(fnv1a(name))
+}
+
+/// Test-runner types (`proptest::test_runner` in the real crate).
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; resample and try again.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Subset of proptest's config: just the case budget.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s of `elem` with length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `arg in strategy` binding is sampled per
+/// case and the body runs once per accepted case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::new_test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= cfg.cases.saturating_mul(20),
+                        "proptest: too many rejected cases ({} accepted of {} wanted)",
+                        accepted,
+                        cfg.cases,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed: {msg}\n  inputs: {inputs}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports the case inputs instead of aborting the run.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{} != {}: {:?} vs {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}: {:?} vs {:?}",
+                format!($($fmt)+),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{} == {}: both {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (resampled, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in crate::collection::vec(any::<bool>(), 2..50)) {
+            prop_assert!(v.len() >= 2 && v.len() < 50);
+        }
+
+        #[test]
+        fn tuples_sample_elementwise(t in (0u64..5, 10u32..20)) {
+            prop_assert!(t.0 < 5);
+            prop_assert!((10..20).contains(&t.1));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn fnv_differs_between_names() {
+        assert_ne!(super::fnv1a("a"), super::fnv1a("b"));
+    }
+}

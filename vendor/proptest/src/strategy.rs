@@ -1,0 +1,107 @@
+//! Value-generation strategies.
+
+use crate::TestRng;
+use rand::RngExt;
+
+/// Something that can produce values of [`Self::Value`] from a seeded
+/// generator. (The real crate's `Strategy` also carries a shrinker; this
+/// shim only samples.)
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+/// Marker returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Uniform over the whole domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+macro_rules! any_via_random {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+any_via_random!(bool, u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+/// Always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Built by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) elem: S,
+    pub(crate) len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` keep
+//! compiling while the build has no registry access. No serialization
+//! actually happens anywhere in the enabled workspace members.
+
+pub use serde_derive::{Deserialize, Serialize};

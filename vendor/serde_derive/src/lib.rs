@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The offline build cannot fetch serde, and nothing in the workspace's
+//! enabled members serializes at runtime (the tokio-based live tool,
+//! which did, is gated out until dependencies can be vendored for real).
+//! These derives accept the same syntax — including `#[serde(...)]`
+//! attributes — and expand to nothing, so the annotations stay in place
+//! for the day real serde is restored.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
