@@ -38,8 +38,10 @@ fn main() {
     let secs = opts.duration(600.0, 120.0);
     let stacks = [false, true];
 
+    let metrics = std::sync::Arc::new(badabing_metrics::Registry::new("ablation_sack"));
     let res = runner::run_jobs(opts.effective_threads(), &stacks, |&sack| {
         let mut db = Dumbbell::standard();
+        db.sim.attach_metrics(metrics.clone());
         let mut senders = Vec::new();
         for f in 0..40u32 {
             let cfg = TcpConfig {
@@ -84,6 +86,7 @@ fn main() {
         (point, db.sim.dispatched())
     });
     let stat_line = res.stat_line();
+    let metrics_line = res.write_metrics(&metrics, "ablation_sack");
     let points = res.into_values();
 
     let mut w = TableWriter::new(&opts.out_path("ablation_sack"));
@@ -136,5 +139,6 @@ fn main() {
     w.row(" while NewReno's deflation spreads mild episodes densely. BADABING tracks the");
     w.row(" truth in both regimes, which is the point: the tool is agnostic to the stack)");
     println!("{stat_line}");
+    println!("{metrics_line}");
     w.finish();
 }

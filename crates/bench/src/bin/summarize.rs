@@ -1,7 +1,10 @@
 //! Collate `results/full_run.log` into a one-page digest
 //! (`results/SUMMARY.md`): the headline rows of every experiment, in
-//! order, ready to paste into a report.
+//! order, ready to paste into a report, followed by a run-metrics
+//! section folded from the `results/metrics/*.json` snapshots the
+//! experiment binaries (and any live-tool run pointed there) emit.
 
+use badabing_metrics::json::{parse, Value};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -36,6 +39,7 @@ fn main() {
         }
         if line.starts_with("[csv written")
             || line.starts_with("[runner:")
+            || line.starts_with("[metrics:")
             || line.starts_with('[') && line.contains("took")
         {
             if in_block {
@@ -55,10 +59,87 @@ fn main() {
         let _ = writeln!(out, "```");
     }
 
+    append_metrics_section(&mut out, Path::new("results/metrics"));
+
     let dest = Path::new("results/SUMMARY.md");
     if let Err(e) = fs::write(dest, &out) {
         eprintln!("cannot write {}: {e}", dest.display());
         std::process::exit(1);
     }
     println!("wrote {} ({} lines)", dest.display(), out.lines().count());
+}
+
+/// Fold every metrics snapshot under `dir` into a `## Run metrics`
+/// section: one subsection per snapshot, counters as a single line,
+/// histograms as count/mean/max digests. Unparseable files are noted
+/// rather than fatal — a truncated snapshot should not sink the digest.
+fn append_metrics_section(out: &mut String, dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return; // no metrics emitted (e.g. an old log) — section omitted
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    if files.is_empty() {
+        return;
+    }
+    files.sort();
+
+    let _ = writeln!(out, "\n## Run metrics\n");
+    let _ = writeln!(
+        out,
+        "Folded from `{}/*.json` (event counters and timing histograms;\nvalues vary run to run and never enter the CSVs).\n",
+        dir.display()
+    );
+    for path in files {
+        let stem = path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        let snapshot = fs::read_to_string(&path).ok().and_then(|t| parse(&t).ok());
+        let Some(v) = snapshot else {
+            let _ = writeln!(
+                out,
+                "### {stem}\n\n_unreadable snapshot: {}_\n",
+                path.display()
+            );
+            continue;
+        };
+        let _ = writeln!(out, "### {stem}\n");
+        if let Some(Value::Obj(counters)) = v.get("counters") {
+            let rendered: Vec<String> = counters
+                .iter()
+                .map(|(k, c)| format!("{k} = {}", c.as_u64().unwrap_or(0)))
+                .collect();
+            if !rendered.is_empty() {
+                let _ = writeln!(out, "- counters: {}", rendered.join(", "));
+            }
+        }
+        if let Some(Value::Obj(hists)) = v.get("histograms") {
+            for (k, h) in hists {
+                let count = h.get("count").and_then(Value::as_u64).unwrap_or(0);
+                let mean = h.get("mean_secs").and_then(Value::as_f64);
+                let max = h.get("max_secs").and_then(Value::as_f64);
+                let _ = writeln!(
+                    out,
+                    "- {k}: {count} samples, mean {}, max {}",
+                    fmt_secs(mean),
+                    fmt_secs(max)
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+}
+
+/// Human-scale seconds: `-` when absent, engineering-friendly otherwise.
+fn fmt_secs(v: Option<f64>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(s) if s >= 1.0 => format!("{s:.2} s"),
+        Some(s) if s >= 1e-3 => format!("{:.2} ms", s * 1e3),
+        Some(s) => format!("{:.1} µs", s * 1e6),
+    }
 }

@@ -110,6 +110,13 @@ impl RunOpts {
             .unwrap_or_else(|| PathBuf::from(format!("results/{name}.csv")))
     }
 
+    /// Metrics snapshot path for an experiment named `name`. Always under
+    /// `results/metrics/` — that is the directory `summarize` folds into
+    /// `results/SUMMARY.md`, regardless of any `--out` CSV override.
+    pub fn metrics_path(name: &str) -> PathBuf {
+        PathBuf::from(format!("results/metrics/{name}.json"))
+    }
+
     /// Worker threads for the parallel runner: `--threads` if given, else
     /// every available core.
     pub fn effective_threads(&self) -> usize {

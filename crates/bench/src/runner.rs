@@ -30,6 +30,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Upper bucket edges for per-job wall time: experiment jobs span sub-ms
+/// analysis passes to multi-minute paper-duration simulations.
+const JOB_WALL_BOUNDS_SECS: [f64; 10] = [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0];
+
 /// Instrumentation for one completed job.
 #[derive(Debug, Clone, Copy)]
 pub struct JobStats {
@@ -73,6 +77,36 @@ impl<T> RunnerResult<T> {
     /// Total simulator events dispatched across all jobs.
     pub fn events(&self) -> u64 {
         self.outputs.iter().map(|o| o.stats.events).sum()
+    }
+
+    /// Fold the pool instrumentation into `reg`: job and thread counts,
+    /// total simulator events, and per-job wall-time samples. Combined
+    /// with the engine counters that accumulate in the same registry
+    /// during the run (see `Simulator::attach_metrics`), the snapshot is
+    /// the run's complete observability record.
+    pub fn record_metrics(&self, reg: &badabing_metrics::Registry) {
+        reg.counter("runner_jobs").add(self.outputs.len() as u64);
+        reg.counter("runner_threads").add(self.threads as u64);
+        reg.counter("sim_events").add(self.events());
+        let wall = reg.histogram_with("job_wall_secs", &JOB_WALL_BOUNDS_SECS);
+        for o in &self.outputs {
+            wall.record_secs(o.stats.wall_secs);
+        }
+        reg.histogram_with("pool_wall_secs", &JOB_WALL_BOUNDS_SECS)
+            .record_secs(self.wall_secs);
+    }
+
+    /// Fold the pool instrumentation into `reg` and write the snapshot to
+    /// `results/metrics/<name>.json` (the directory `summarize` scans).
+    /// Returns the `[metrics: ...]` stdout line; IO failures degrade to a
+    /// warning line rather than aborting the experiment.
+    pub fn write_metrics(&self, reg: &badabing_metrics::Registry, name: &str) -> String {
+        self.record_metrics(reg);
+        let path = crate::RunOpts::metrics_path(name);
+        match reg.save(&path) {
+            Ok(()) => format!("[metrics: {}]", path.display()),
+            Err(e) => format!("[metrics: cannot write {}: {e}]", path.display()),
+        }
     }
 
     /// The `[runner: ...]` digest line for stdout (`summarize` collects
@@ -280,6 +314,20 @@ mod tests {
         let line = res.stat_line();
         assert!(line.starts_with("[runner: 3 jobs"), "{line}");
         assert!(line.contains("60 events"), "{line}");
+    }
+
+    #[test]
+    fn record_metrics_folds_pool_stats() {
+        let res = run_jobs(2, &[10u64, 20, 30], |&j| ((), j));
+        let reg = badabing_metrics::Registry::new("pool");
+        res.record_metrics(&reg);
+        assert_eq!(reg.counter("runner_jobs").get(), 3);
+        assert_eq!(reg.counter("runner_threads").get(), 2);
+        assert_eq!(reg.counter("sim_events").get(), 60);
+        let wall = reg.histogram_with("job_wall_secs", &JOB_WALL_BOUNDS_SECS);
+        assert_eq!(wall.count(), 3, "one wall-time sample per job");
+        let pool = reg.histogram_with("pool_wall_secs", &JOB_WALL_BOUNDS_SECS);
+        assert_eq!(pool.count(), 1);
     }
 
     #[test]

@@ -9,11 +9,13 @@
 use crate::runner::{self, MeanSd};
 use crate::scenarios::{self, Scenario, PROBE_FLOW, ZING_FLOW};
 use badabing_core::config::BadabingConfig;
+use badabing_metrics::Registry;
 use badabing_probe::badabing::{BadabingAnalysis, BadabingHarness, BadabingProber};
 use badabing_probe::zing::{attach_zing, zing_report, ZingConfig, ZingReport};
 use badabing_sim::monitor::GroundTruth;
 use badabing_sim::topology::Dumbbell;
 use badabing_stats::rng::seeded;
+use std::sync::Arc;
 
 /// Result of one BADABING run against a traffic scenario.
 pub struct BadabingRun {
@@ -37,7 +39,23 @@ pub fn run_badabing(
     n_slots: u64,
     seed: u64,
 ) -> BadabingRun {
+    run_badabing_instrumented(scenario, cfg, n_slots, seed, None)
+}
+
+/// [`run_badabing`] with an optional metrics registry attached to the
+/// simulation engine. Counters accumulate, so parallel replications may
+/// share one registry; instrumentation never changes the simulated run.
+pub fn run_badabing_instrumented(
+    scenario: Scenario,
+    cfg: BadabingConfig,
+    n_slots: u64,
+    seed: u64,
+    metrics: Option<&Arc<Registry>>,
+) -> BadabingRun {
     let mut db = Dumbbell::standard();
+    if let Some(reg) = metrics {
+        db.sim.attach_metrics(reg.clone());
+    }
     scenarios::attach(&mut db, scenario, seed);
     let harness = BadabingHarness::attach(&mut db, cfg, n_slots, PROBE_FLOW, seeded(seed, "probe"));
     let horizon = harness.horizon_secs();
@@ -69,7 +87,22 @@ pub struct ZingRun {
 /// Run ZING (optionally two instances at different rates share one run —
 /// their combined load is well under 0.05% of the bottleneck).
 pub fn run_zing(scenario: Scenario, configs: &[ZingConfig], secs: f64, seed: u64) -> ZingRun {
+    run_zing_instrumented(scenario, configs, secs, seed, None)
+}
+
+/// [`run_zing`] with an optional metrics registry attached to the
+/// simulation engine (see [`run_badabing_instrumented`]).
+pub fn run_zing_instrumented(
+    scenario: Scenario,
+    configs: &[ZingConfig],
+    secs: f64,
+    seed: u64,
+    metrics: Option<&Arc<Registry>>,
+) -> ZingRun {
     let mut db = Dumbbell::standard();
+    if let Some(reg) = metrics {
+        db.sim.attach_metrics(reg.clone());
+    }
     scenarios::attach(&mut db, scenario, seed);
     let mut ids = Vec::new();
     for (i, &zcfg) in configs.iter().enumerate() {
@@ -117,12 +150,14 @@ pub fn print_zing_table(
         sent: [f64; 2],
         lost: [f64; 2],
     }
+    let metrics = Arc::new(Registry::new(name));
     let res = runner::replicate(opts.effective_threads(), opts.seed, opts.reps, |seed| {
-        let run = run_zing(
+        let run = run_zing_instrumented(
             scenario,
             &[ZingConfig::paper_10hz(), ZingConfig::paper_20hz()],
             secs,
             seed,
+            Some(&metrics),
         );
         let reports = [
             ToolReport::from_truth("true values", &run.truth),
@@ -138,6 +173,7 @@ pub fn print_zing_table(
         (point, run.events)
     });
     let stat_line = res.stat_line();
+    let metrics_line = res.write_metrics(&metrics, name);
     let points = res.into_values();
 
     let labels = ["true values", "zing (10Hz, 256B)", "zing (20Hz, 64B)"];
@@ -212,6 +248,7 @@ pub fn print_zing_table(
         sent0.mean, sent1.mean, lost0.mean, lost1.mean
     ));
     println!("{stat_line}");
+    println!("{metrics_line}");
     w.finish();
 }
 
@@ -242,10 +279,11 @@ pub fn print_badabing_table(scenario: Scenario, opts: &crate::RunOpts, name: &st
         .iter()
         .flat_map(|&p| (0..reps).map(move |r| (p, runner::rep_seed(opts.seed, r))))
         .collect();
+    let metrics = Arc::new(Registry::new(name));
     let res = runner::run_jobs(opts.effective_threads(), &jobs, |&(p, seed)| {
         let cfg = BadabingConfig::paper_default(p);
         let n_slots = slots_for(secs, cfg.slot_secs);
-        let run = run_badabing(scenario, cfg, n_slots, seed);
+        let run = run_badabing_instrumented(scenario, cfg, n_slots, seed, Some(&metrics));
         // §8's data-driven variability estimate for the duration.
         let d_ci =
             badabing_core::uncertainty::duration_interval_slots(&run.analysis.estimates, 1.96)
@@ -263,6 +301,7 @@ pub fn print_badabing_table(scenario: Scenario, opts: &crate::RunOpts, name: &st
         (point, events)
     });
     let stat_line = res.stat_line();
+    let metrics_line = res.write_metrics(&metrics, name);
     let points = res.into_values();
 
     let width = if reps > 1 { 17 } else { 11 };
@@ -357,6 +396,7 @@ pub fn print_badabing_table(scenario: Scenario, opts: &crate::RunOpts, name: &st
         }
     }
     println!("{stat_line}");
+    println!("{metrics_line}");
     w.finish();
 }
 

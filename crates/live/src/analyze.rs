@@ -74,7 +74,13 @@ pub fn analyze_run(
     let (log, report) = detector.assemble(&obs, manifest.n_slots, manifest.slot_secs);
     let estimates = Estimates::from_log(&log);
     let validation = Validation::from_log(&log);
-    LiveAnalysis { log, estimates, validation, detector: report, packets_lost }
+    LiveAnalysis {
+        log,
+        estimates,
+        validation,
+        detector: report,
+        packets_lost,
+    }
 }
 
 #[cfg(test)]
@@ -97,19 +103,49 @@ mod tests {
     #[test]
     fn clean_run_estimates_zero_frequency() {
         let probes = vec![
-            SentProbeInfo { experiment: 0, slot: 10, send_time_secs: 0.05, packets: 3 },
-            SentProbeInfo { experiment: 0, slot: 11, send_time_secs: 0.055, packets: 3 },
-            SentProbeInfo { experiment: 1, slot: 50, send_time_secs: 0.25, packets: 3 },
-            SentProbeInfo { experiment: 1, slot: 51, send_time_secs: 0.255, packets: 3 },
+            SentProbeInfo {
+                experiment: 0,
+                slot: 10,
+                send_time_secs: 0.05,
+                packets: 3,
+            },
+            SentProbeInfo {
+                experiment: 0,
+                slot: 11,
+                send_time_secs: 0.055,
+                packets: 3,
+            },
+            SentProbeInfo {
+                experiment: 1,
+                slot: 50,
+                send_time_secs: 0.25,
+                packets: 3,
+            },
+            SentProbeInfo {
+                experiment: 1,
+                slot: 51,
+                send_time_secs: 0.255,
+                packets: 3,
+            },
         ];
         let mut arrivals = HashMap::new();
         for p in &probes {
             arrivals.insert(
                 (p.experiment, p.slot),
-                ArrivalRecord { received: 3, qdelay_last_secs: 0.001, qdelay_max_secs: 0.002 },
+                ArrivalRecord {
+                    received: 3,
+                    qdelay_last_secs: 0.001,
+                    qdelay_max_secs: 0.002,
+                    ..Default::default()
+                },
             );
         }
-        let receiver = ReceiverLog { arrivals, packets: 12, rejected: 0, min_raw_delay_ns: Some(0) };
+        let receiver = ReceiverLog {
+            arrivals,
+            packets: 12,
+            min_raw_delay_ns: Some(0),
+            ..Default::default()
+        };
         let cfg = BadabingConfig::paper_default(0.3);
         let a = analyze_run(&cfg, &manifest(probes), &receiver);
         assert_eq!(a.frequency(), Some(0.0));
@@ -121,19 +157,43 @@ mod tests {
     #[test]
     fn fully_lost_probe_is_counted_via_manifest() {
         let probes = vec![
-            SentProbeInfo { experiment: 0, slot: 10, send_time_secs: 0.05, packets: 3 },
-            SentProbeInfo { experiment: 0, slot: 11, send_time_secs: 0.055, packets: 3 },
+            SentProbeInfo {
+                experiment: 0,
+                slot: 10,
+                send_time_secs: 0.05,
+                packets: 3,
+            },
+            SentProbeInfo {
+                experiment: 0,
+                slot: 11,
+                send_time_secs: 0.055,
+                packets: 3,
+            },
         ];
         // Receiver saw nothing for slot 10, everything for slot 11.
         let mut arrivals = HashMap::new();
         arrivals.insert(
             (0u64, 11u64),
-            ArrivalRecord { received: 3, qdelay_last_secs: 0.09, qdelay_max_secs: 0.09 },
+            ArrivalRecord {
+                received: 3,
+                qdelay_last_secs: 0.09,
+                qdelay_max_secs: 0.09,
+                ..Default::default()
+            },
         );
-        let receiver = ReceiverLog { arrivals, packets: 3, rejected: 0, min_raw_delay_ns: Some(0) };
+        let receiver = ReceiverLog {
+            arrivals,
+            packets: 3,
+            min_raw_delay_ns: Some(0),
+            ..Default::default()
+        };
         let cfg = BadabingConfig::paper_default(0.3);
         let a = analyze_run(&cfg, &manifest(probes), &receiver);
         assert_eq!(a.packets_lost, 3);
-        assert_eq!(a.frequency(), Some(1.0), "the one experiment starts congested");
+        assert_eq!(
+            a.frequency(),
+            Some(1.0),
+            "the one experiment starts congested"
+        );
     }
 }

@@ -2,25 +2,30 @@
 //!
 //! Place it between a sender and a receiver to subject probe traffic to a
 //! drop-tail queue of configurable rate/buffer with scripted loss
-//! episodes:
+//! episodes. Only the probe path goes through the emulator — the sender's
+//! control plane talks to the receiver directly (`badabing_send
+//! --control`):
 //!
 //! ```text
 //! badabing_emulate --bind 127.0.0.1:9100 --target 127.0.0.1:9000 \
 //!     --secs 120 [--rate-mbps 20] [--buffer-ms 100] \
-//!     [--episode-gap 10] [--episode-loss 0.068] [--burst 2.0] [--seed 1]
+//!     [--episode-gap 10] [--episode-loss 0.068] [--burst 2.0] [--seed 1] \
+//!     [--metrics metrics.json]
 //! ```
 
 use badabing_live::cli::Flags;
 use badabing_live::emulator::{Emulator, EmulatorConfig};
+use badabing_metrics::Registry;
 use badabing_stats::rng::seeded;
 use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
 
 const USAGE: &str = "badabing_emulate --bind ADDR --target ADDR --secs S \
                      [--rate-mbps M] [--buffer-ms B] [--episode-gap G] \
-                     [--episode-loss L] [--burst F] [--seed N]";
+                     [--episode-loss L] [--burst F] [--seed N] [--metrics PATH]";
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
+fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &[]);
     let bind: SocketAddr = flags.req("bind");
     let target: SocketAddr = flags.req("target");
@@ -31,7 +36,9 @@ async fn main() -> std::io::Result<()> {
     let episode_loss: f64 = flags.opt("episode-loss", 0.068);
     let burst: f64 = flags.opt("burst", 2.0);
     let seed: u64 = flags.opt("seed", 1);
+    let metrics_path = flags.opt_str("metrics", "");
 
+    let metrics = Arc::new(Registry::new("badabing_emulate"));
     let rate_bps = (rate_mbps * 1e6) as u64;
     let cfg = EmulatorConfig {
         bind,
@@ -41,19 +48,21 @@ async fn main() -> std::io::Result<()> {
         episode_mean_gap_secs: episode_gap,
         episode_loss_secs: episode_loss,
         burst_factor: burst,
+        metrics: Some(metrics.clone()),
     };
     eprintln!(
         "emulating a {rate_mbps} Mb/s bottleneck ({buffer_ms} ms buffer) from {bind} to {target}"
     );
-    let emulator = Emulator::start(cfg, seeded(seed, "emulator")).await?;
-    tokio::select! {
-        _ = tokio::time::sleep(std::time::Duration::from_secs_f64(secs)) => {}
-        _ = tokio::signal::ctrl_c() => eprintln!("interrupted"),
-    }
-    let stats = emulator.stop().await;
+    let emulator = Emulator::start(cfg, seeded(seed, "emulator"))?;
+    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    let stats = emulator.stop();
     eprintln!(
         "forwarded {} datagrams, dropped {}, ran {} scripted episodes",
         stats.forwarded, stats.dropped, stats.episodes
     );
+    if !metrics_path.is_empty() {
+        metrics.save(Path::new(&metrics_path))?;
+        eprintln!("metrics written to {metrics_path}");
+    }
     Ok(())
 }

@@ -1,40 +1,63 @@
 //! The live BADABING receiver.
 //!
-//! Collects probe packets for a fixed duration (or until ctrl-C), then
-//! writes the arrival log to JSON for `badabing_report`.
+//! Collects probe packets and serves the control plane until the sender
+//! completes its session, the idle watchdog fires, or `--secs` elapses —
+//! whichever comes first — then writes the arrival log to JSON for
+//! `badabing_report`. (With a control-plane sender the log file is
+//! usually redundant: the sender fetches the same records itself.)
 //!
 //! ```text
 //! badabing_recv --bind 127.0.0.1:9000 --secs 70 \
-//!     [--session 1] [--log receiver.json]
+//!     [--session 1] [--log receiver.json] [--metrics metrics.json] \
+//!     [--idle-timeout 30]
 //! ```
 
 use badabing_live::cli::Flags;
 use badabing_live::persist::ReceiverFile;
 use badabing_live::receiver::{start_receiver, ReceiverConfig};
+use badabing_metrics::Registry;
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-const USAGE: &str =
-    "badabing_recv --bind ADDR --secs S [--session N] [--log PATH]";
+const USAGE: &str = "badabing_recv --bind ADDR --secs S [--session N] [--log PATH] \
+                     [--metrics PATH] [--idle-timeout S]";
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
+fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &[]);
     let bind: SocketAddr = flags.req("bind");
     let secs: f64 = flags.req("secs");
     let session: u32 = flags.opt("session", 1);
+    let idle_timeout: f64 = flags.opt("idle-timeout", 30.0);
     let log_path = PathBuf::from(flags.opt_str("log", "receiver.json"));
+    let metrics_path = flags.opt_str("metrics", "");
 
-    let handle = start_receiver(ReceiverConfig { bind, session }).await?;
-    eprintln!("listening on {} for {secs}s (session {session}, ctrl-C to stop early)", handle.local_addr());
+    let metrics = Arc::new(Registry::new("badabing_recv"));
+    let handle = start_receiver(ReceiverConfig {
+        idle_timeout: (idle_timeout > 0.0).then(|| Duration::from_secs_f64(idle_timeout)),
+        metrics: Some(metrics.clone()),
+        ..ReceiverConfig::new(bind, session)
+    })?;
+    eprintln!(
+        "listening on {} for up to {secs}s (session {session}, idle timeout {idle_timeout}s)",
+        handle.local_addr()
+    );
 
-    tokio::select! {
-        _ = tokio::time::sleep(std::time::Duration::from_secs_f64(secs)) => {}
-        _ = tokio::signal::ctrl_c() => eprintln!("interrupted, writing log"),
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    while Instant::now() < deadline && !handle.is_finished() {
+        std::thread::sleep(Duration::from_millis(100));
     }
-    let log = handle.stop().await;
-    eprintln!("collected {} packets ({} rejected)", log.packets, log.rejected);
+    let log = handle.stop();
+    eprintln!(
+        "collected {} packets ({} rejected, {} duplicates)",
+        log.packets, log.rejected, log.duplicates
+    );
     ReceiverFile::new(&log).save(&log_path)?;
     eprintln!("receiver log written to {}", log_path.display());
+    if !metrics_path.is_empty() {
+        metrics.save(Path::new(&metrics_path))?;
+        eprintln!("metrics written to {metrics_path}");
+    }
     Ok(())
 }

@@ -24,7 +24,12 @@ fn main() -> std::io::Result<()> {
     let tool = manifest_file.tool;
 
     let a = analyze_run(&tool, &manifest, &log);
-    println!("run: {} slots of {} ms at p = {}", manifest.n_slots, tool.slot_secs * 1000.0, tool.p);
+    println!(
+        "run: {} slots of {} ms at p = {}",
+        manifest.n_slots,
+        tool.slot_secs * 1000.0,
+        tool.p
+    );
     println!(
         "probes: {} sent, {} packets lost, {} experiments assembled ({} incomplete)",
         manifest.sent.len(),
@@ -32,15 +37,27 @@ fn main() -> std::io::Result<()> {
         a.log.len(),
         a.detector.incomplete_experiments
     );
+    println!(
+        "receiver: {} packets accepted, {} rejected, {} duplicates discarded",
+        log.packets, log.rejected, log.duplicates
+    );
     println!("\nloss-episode frequency:     {}", fmt_opt(a.frequency()));
     println!("mean episode duration (s):  {}", fmt_opt(a.duration_secs()));
     println!(
         "derived end-to-end loss rate: {}",
-        fmt_opt(a.frequency().zip(a.detector.loss_intensity()).map(|(f, i)| f * i))
+        fmt_opt(
+            a.frequency()
+                .zip(a.detector.loss_intensity())
+                .map(|(f, i)| f * i)
+        )
     );
     println!(
         "\nvalidation: {}",
-        if a.validation.passes(0.25) { "PASS" } else { "FLAGGED — treat estimates as unreliable" }
+        if a.validation.passes(0.25) {
+            "PASS"
+        } else {
+            "FLAGGED — treat estimates as unreliable"
+        }
     );
     println!(
         "  01/10 balance: {} vs {} (discrepancy {:.2})",
@@ -48,7 +65,10 @@ fn main() -> std::io::Result<()> {
         a.validation.n10,
         a.validation.boundary_discrepancy()
     );
-    println!("  forbidden 010/101 patterns: {}", a.validation.violations());
+    println!(
+        "  forbidden 010/101 patterns: {}",
+        a.validation.violations()
+    );
     Ok(())
 }
 

@@ -4,26 +4,45 @@
 //! in front of one), then writes the run manifest — every probe sent plus
 //! the tool configuration — to a JSON file for `badabing_report`.
 //!
+//! By default the sender also drives the control plane against the
+//! receiver: handshake before the run, heartbeats during it, and report
+//! retrieval afterwards (written with `--log`, replacing the manual copy
+//! of the receiver's log file). `--control` names the receiver's own
+//! address when probes are routed through an emulator; `--no-control`
+//! reverts to the old open-loop behaviour.
+//!
 //! ```text
 //! badabing_send --target 127.0.0.1:9000 --secs 60 \
 //!     [--p 0.3] [--improved] [--session 1] [--seed 1] \
-//!     [--manifest manifest.json]
+//!     [--control ADDR | --no-control] [--manifest manifest.json] \
+//!     [--log receiver.json] [--metrics metrics.json] \
+//!     [--retry-base-ms 25] [--retry-cap-ms 400] [--attempts 12] \
+//!     [--hb-ms 200] [--hb-misses 3]
 //! ```
+//!
+//! Exits 0 on a complete run, 1 if the receiver went silent mid-run (a
+//! partial manifest is still written), 2 on usage errors.
 
 use badabing_core::config::BadabingConfig;
 use badabing_live::cli::Flags;
-use badabing_live::persist::ManifestFile;
+use badabing_live::control::ControlConfig;
+use badabing_live::persist::{ManifestFile, ReceiverFile};
 use badabing_live::sender::{run_sender, SenderConfig};
+use badabing_metrics::Registry;
 use badabing_stats::rng::seeded;
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "badabing_send --target ADDR --secs S [--p P] [--improved] \
-                     [--session N] [--seed N] [--bind ADDR] [--manifest PATH]";
+                     [--session N] [--seed N] [--bind ADDR] [--manifest PATH] \
+                     [--control ADDR] [--no-control] [--log PATH] [--metrics PATH] \
+                     [--retry-base-ms MS] [--retry-cap-ms MS] [--attempts N] \
+                     [--hb-ms MS] [--hb-misses N]";
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
-    let flags = Flags::parse(USAGE, &["improved"]);
+fn main() -> std::io::Result<()> {
+    let flags = Flags::parse(USAGE, &["improved", "no-control"]);
     let target: SocketAddr = flags.req("target");
     let secs: f64 = flags.req("secs");
     let p: f64 = flags.opt("p", 0.3);
@@ -31,17 +50,35 @@ async fn main() -> std::io::Result<()> {
     let seed: u64 = flags.opt("seed", 1);
     let bind: SocketAddr = flags.opt("bind", "0.0.0.0:0".parse().expect("static addr"));
     let manifest_path = PathBuf::from(flags.opt_str("manifest", "manifest.json"));
+    let log_path = PathBuf::from(flags.opt_str("log", "receiver.json"));
+    let metrics_path = flags.opt_str("metrics", "");
 
     let mut tool = BadabingConfig::paper_default(p);
     if flags.has("improved") {
         tool = tool.with_improved();
     }
+
+    let control = if flags.has("no-control") {
+        None
+    } else {
+        let mut c = ControlConfig::new(flags.opt("control", target));
+        c.retry_base = Duration::from_millis(flags.opt("retry-base-ms", 25));
+        c.retry_cap = Duration::from_millis(flags.opt("retry-cap-ms", 400));
+        c.max_attempts = flags.opt("attempts", 12);
+        c.heartbeat_interval = Duration::from_millis(flags.opt("hb-ms", 200));
+        c.heartbeat_misses = flags.opt("hb-misses", 3);
+        Some(c)
+    };
+    let metrics = Arc::new(Registry::new("badabing_send"));
+
     let cfg = SenderConfig {
         tool,
         n_slots: (secs / tool.slot_secs).round() as u64,
         target,
         bind,
         session,
+        control,
+        metrics: Some(metrics.clone()),
     };
     eprintln!(
         "sending to {target}: p={p}, {} slots of {} ms, offered load ≈ {:.0} kb/s",
@@ -49,9 +86,32 @@ async fn main() -> std::io::Result<()> {
         tool.slot_secs * 1000.0,
         tool.offered_load_bps() / 1000.0
     );
-    let manifest = run_sender(cfg, seeded(seed, "live-sender")).await?;
-    eprintln!("sent {} packets in {} probes", manifest.packets_sent, manifest.sent.len());
-    ManifestFile::new(tool, &manifest).save(&manifest_path)?;
+    let outcome = run_sender(cfg, seeded(seed, "live-sender"))?;
+    let manifest = &outcome.manifest;
+    eprintln!(
+        "sent {} packets in {} probes",
+        manifest.packets_sent,
+        manifest.sent.len()
+    );
+    ManifestFile::new(tool, manifest).save(&manifest_path)?;
     eprintln!("manifest written to {}", manifest_path.display());
+    if let Some(log) = &outcome.receiver_log {
+        eprintln!(
+            "receiver reported {} packets ({} rejected, {} duplicates)",
+            log.packets, log.rejected, log.duplicates
+        );
+        ReceiverFile::new(log).save(&log_path)?;
+        eprintln!("receiver log written to {}", log_path.display());
+    }
+    for note in &outcome.diagnostics {
+        eprintln!("warning: {note}");
+    }
+    if !metrics_path.is_empty() {
+        metrics.save(Path::new(&metrics_path))?;
+        eprintln!("metrics written to {metrics_path}");
+    }
+    if !outcome.completed {
+        std::process::exit(1);
+    }
     Ok(())
 }

@@ -67,6 +67,9 @@ impl Flags {
 
     /// An optional string value.
     pub fn opt_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }

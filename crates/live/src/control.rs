@@ -1,0 +1,375 @@
+//! Sender-side control-plane driver: handshake, liveness, report
+//! retrieval.
+//!
+//! The sender owns every timeout (see `badabing_wire::control` for the
+//! message-level protocol). All requests follow the same discipline:
+//! send, wait up to the current backoff delay for a matching reply,
+//! retry with the delay doubling up to a cap, give up after a bounded
+//! number of attempts. The caller decides what "give up" means — a
+//! failed handshake aborts the run before any probe is sent, while a
+//! failed report retrieval degrades to a partial result (the manifest
+//! alone still supports loss accounting for every probe that was sent).
+
+use badabing_metrics::Registry;
+use badabing_wire::control::{ControlMessage, ReportRecord, ReportSummary, SessionParams};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Timeouts and retry policy for the sender's control plane.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// Where the receiver listens for control datagrams. This must be
+    /// the receiver's own address — not an emulator in front of it —
+    /// because replies flow back over the request's return path.
+    pub addr: SocketAddr,
+    /// First retry delay; doubles per attempt.
+    pub retry_base: Duration,
+    /// Retry delay ceiling.
+    pub retry_cap: Duration,
+    /// Attempts per request before giving up (1 = no retries).
+    pub max_attempts: u32,
+    /// Gap between liveness heartbeats during the run.
+    pub heartbeat_interval: Duration,
+    /// Consecutive unanswered heartbeats that abort the run.
+    pub heartbeat_misses: u32,
+    /// Wait after the last probe before FIN, letting in-flight probes
+    /// drain through any emulated bottleneck ahead of finalization.
+    pub drain: Duration,
+}
+
+impl ControlConfig {
+    /// Defaults tuned for LAN/loopback runs: handshake survives heavy
+    /// control loss (12 attempts, 25 ms → 400 ms backoff ≈ 4 s worst
+    /// case per request), death detected in under a second.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            retry_base: Duration::from_millis(25),
+            retry_cap: Duration::from_millis(400),
+            max_attempts: 12,
+            heartbeat_interval: Duration::from_millis(200),
+            heartbeat_misses: 3,
+            drain: Duration::from_millis(300),
+        }
+    }
+
+    /// Worst-case wall time one request can occupy.
+    pub fn request_deadline(&self) -> Duration {
+        Backoff::new(self).take(self.max_attempts as usize).sum()
+    }
+}
+
+/// Capped exponential backoff delays: `base, 2·base, 4·base, … ≤ cap`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// Start a fresh backoff schedule from `cfg`.
+    pub fn new(cfg: &ControlConfig) -> Self {
+        Self {
+            next: cfg.retry_base.max(Duration::from_millis(1)),
+            cap: cfg.retry_cap,
+        }
+    }
+}
+
+impl Iterator for Backoff {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        let current = self.next.min(self.cap);
+        self.next = (current * 2).min(self.cap);
+        Some(current)
+    }
+}
+
+/// Why a control exchange failed.
+#[derive(Debug)]
+pub enum ControlError {
+    /// The peer never produced a matching reply within the retry budget.
+    Unreachable {
+        /// What was being asked for.
+        what: &'static str,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// Socket-level failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Unreachable { what, attempts } => {
+                write!(
+                    f,
+                    "receiver silent: no {what} reply after {attempts} attempts"
+                )
+            }
+            ControlError::Io(e) => write!(f, "control socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<io::Error> for ControlError {
+    fn from(e: io::Error) -> Self {
+        ControlError::Io(e)
+    }
+}
+
+/// A connected control-plane client socket.
+pub struct ControlClient {
+    socket: UdpSocket,
+    cfg: ControlConfig,
+    metrics: Option<std::sync::Arc<Registry>>,
+}
+
+impl ControlClient {
+    /// Bind an ephemeral socket and connect it to the receiver's control
+    /// address.
+    pub fn connect(
+        cfg: ControlConfig,
+        metrics: Option<std::sync::Arc<Registry>>,
+    ) -> io::Result<Self> {
+        let bind: SocketAddr = if cfg.addr.is_ipv4() {
+            "0.0.0.0:0".parse().expect("static addr")
+        } else {
+            "[::]:0".parse().expect("static addr")
+        };
+        let socket = UdpSocket::bind(bind)?;
+        socket.connect(cfg.addr)?;
+        Ok(Self {
+            socket,
+            cfg,
+            metrics,
+        })
+    }
+
+    /// The retry policy in force.
+    pub fn config(&self) -> &ControlConfig {
+        &self.cfg
+    }
+
+    /// Send `request`, wait for the first reply `matches` accepts,
+    /// retrying on the backoff schedule. Non-matching datagrams (stale
+    /// chunks, undecodable noise) are skipped without consuming the
+    /// attempt's remaining wait.
+    pub fn request<T>(
+        &self,
+        what: &'static str,
+        request: &ControlMessage,
+        mut matches: impl FnMut(ControlMessage) -> Option<T>,
+    ) -> Result<T, ControlError> {
+        let wire = request.encode();
+        let mut buf = [0u8; 2048];
+        let mut backoff = Backoff::new(&self.cfg);
+        for attempt in 0..self.cfg.max_attempts {
+            if attempt > 0 {
+                if let Some(m) = &self.metrics {
+                    m.counter("control_retries").inc();
+                }
+            }
+            self.socket.send(&wire)?;
+            let wait = backoff.next().expect("backoff is infinite");
+            let deadline = std::time::Instant::now() + wait;
+            loop {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                self.socket.set_read_timeout(Some(remaining))?;
+                match self.socket.recv(&mut buf) {
+                    Ok(len) => {
+                        if let Ok(msg) = ControlMessage::decode(&buf[..len]) {
+                            if msg.session() == request.session() {
+                                if let Some(out) = matches(msg) {
+                                    return Ok(out);
+                                }
+                            }
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        break
+                    }
+                    // A previous send to a dead port surfaces as
+                    // ConnectionRefused on the next recv; treat it as
+                    // this attempt timing out and keep retrying.
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => break,
+                    Err(e) => return Err(ControlError::Io(e)),
+                }
+            }
+        }
+        Err(ControlError::Unreachable {
+            what,
+            attempts: self.cfg.max_attempts,
+        })
+    }
+
+    /// Run the SYN/SYN-ACK handshake.
+    pub fn handshake(&self, session: u32, params: SessionParams) -> Result<(), ControlError> {
+        self.request(
+            "handshake",
+            &ControlMessage::Syn { session, params },
+            |msg| matches!(msg, ControlMessage::SynAck { .. }).then_some(()),
+        )
+    }
+
+    /// Send one heartbeat and wait up to `timeout` for its ack.
+    pub fn heartbeat(&self, session: u32, seq: u64, timeout: Duration) -> io::Result<bool> {
+        self.socket
+            .send(&ControlMessage::Heartbeat { session, seq }.encode())?;
+        let mut buf = [0u8; 256];
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Ok(false);
+            }
+            self.socket.set_read_timeout(Some(remaining))?;
+            match self.socket.recv(&mut buf) {
+                Ok(len) => {
+                    if let Ok(ControlMessage::HeartbeatAck {
+                        session: s,
+                        seq: got,
+                    }) = ControlMessage::decode(&buf[..len])
+                    {
+                        if s == session && got == seq {
+                            return Ok(true);
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::ConnectionRefused =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// FIN, then pull every report chunk, then the closing ack.
+    /// Returns the receiver's summary and the full record list.
+    pub fn fetch_report(
+        &self,
+        session: u32,
+        probes_sent: u64,
+        packets_sent: u64,
+    ) -> Result<(ReportSummary, Vec<ReportRecord>), ControlError> {
+        let fin = ControlMessage::Fin {
+            session,
+            probes_sent,
+            packets_sent,
+        };
+        let (total_chunks, summary) = self.request("FIN", &fin, |msg| match msg {
+            ControlMessage::FinAck {
+                total_chunks,
+                summary,
+                ..
+            } => Some((total_chunks, summary)),
+            _ => None,
+        })?;
+
+        let mut records = Vec::new();
+        for want in 0..total_chunks {
+            let req = ControlMessage::ReportRequest {
+                session,
+                chunk: want,
+            };
+            let chunk_records = self.request("report chunk", &req, |msg| match msg {
+                ControlMessage::ReportChunk { chunk, records, .. } if chunk == want => {
+                    Some(records)
+                }
+                _ => None,
+            })?;
+            records.extend(chunk_records);
+            if let Some(m) = &self.metrics {
+                m.counter("report_chunks_fetched").inc();
+            }
+        }
+
+        // Closing ack: fire a few copies and move on — if all are lost
+        // the receiver still exits via its idle watchdog.
+        let bye = ControlMessage::ReportAck {
+            session,
+            chunk: total_chunks,
+        }
+        .encode();
+        for _ in 0..3 {
+            let _ = self.socket.send(&bye);
+        }
+        Ok((summary, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ControlConfig {
+        ControlConfig::new("127.0.0.1:9".parse().unwrap())
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap() {
+        let mut c = cfg();
+        c.retry_base = Duration::from_millis(10);
+        c.retry_cap = Duration::from_millis(65);
+        let delays: Vec<u64> = Backoff::new(&c)
+            .take(5)
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![10, 20, 40, 65, 65]);
+    }
+
+    #[test]
+    fn request_deadline_sums_attempts() {
+        let mut c = cfg();
+        c.retry_base = Duration::from_millis(10);
+        c.retry_cap = Duration::from_millis(40);
+        c.max_attempts = 4;
+        // 10 + 20 + 40 + 40
+        assert_eq!(c.request_deadline(), Duration::from_millis(110));
+    }
+
+    #[test]
+    fn unreachable_peer_fails_after_budget() {
+        // Port 9 (discard) on loopback: nothing answers. Tight budget so
+        // the test stays fast.
+        let mut c = cfg();
+        c.retry_base = Duration::from_millis(5);
+        c.retry_cap = Duration::from_millis(10);
+        c.max_attempts = 3;
+        let client = ControlClient::connect(c, None).unwrap();
+        let started = std::time::Instant::now();
+        let err = client
+            .handshake(
+                1,
+                SessionParams {
+                    n_slots: 10,
+                    slot_ns: 5_000_000,
+                    probe_packets: 3,
+                    packet_bytes: 600,
+                    p: 0.3,
+                    improved: false,
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ControlError::Unreachable { attempts: 3, .. }),
+            "{err}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+}

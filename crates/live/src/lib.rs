@@ -1,15 +1,25 @@
-//! The live BADABING tool: real UDP sockets, real timers.
+//! The live BADABING tool: real UDP sockets, real timers, real processes.
 //!
 //! This crate is the deployment surface the original ~800-line C++ tool
 //! occupied: a one-way active measurement tool that sends fixed-size
 //! probes from a sender to a collaborating receiver, which collects them
-//! and reports loss characteristics after the run (§6).
+//! and reports loss characteristics after the run (§6). Everything runs
+//! on `std::net::UdpSocket` and plain threads — no async runtime — so
+//! the binaries work as genuinely separate processes.
 //!
-//! * [`sender`] — drives the geometric experiment schedule off a tokio
-//!   slot clock and stamps every packet with a monotonic send time;
-//! * [`receiver`] — collects arrivals, removes clock offset by tracking
-//!   the minimum observed delay (yielding *queueing* delay, which is what
-//!   the α/OWDmax threshold actually needs), and builds per-probe records;
+//! * [`sender`] — drives the geometric experiment schedule off an
+//!   absolute slot clock and stamps every packet with a monotonic send
+//!   time; owns every control-plane timeout and degrades to a partial
+//!   manifest with diagnostics if the receiver dies mid-run;
+//! * [`receiver`] — collects arrivals, deduplicates by `(seq, idx)` so
+//!   duplicated datagrams never mask loss, removes clock offset/skew via
+//!   a lower-envelope fit (yielding *queueing* delay, which is what the
+//!   α/OWDmax threshold actually needs), builds per-probe records, and
+//!   answers the control plane on the same socket;
+//! * [`control`] — the sender-side driver for the UDP control plane
+//!   (SYN/SYN-ACK handshake, heartbeats, FIN + chunked report retrieval
+//!   with capped exponential backoff; wire format in
+//!   `badabing_wire::control`);
 //! * [`emulator`] — a user-space bottleneck: a UDP forwarder with a
 //!   virtual drop-tail queue drained at a configured rate, plus scripted
 //!   overload episodes — the loopback stand-in for the testbed's OC3 hop;
@@ -23,6 +33,7 @@
 
 pub mod analyze;
 pub mod cli;
+pub mod control;
 pub mod emulator;
 pub mod persist;
 pub mod receiver;
@@ -30,6 +41,7 @@ pub mod sender;
 pub mod skew;
 
 pub use analyze::{analyze_run, LiveAnalysis};
+pub use control::{ControlClient, ControlConfig, ControlError};
 pub use emulator::{Emulator, EmulatorConfig};
-pub use receiver::{ReceiverConfig, ReceiverHandle, ReceiverLog};
-pub use sender::{SenderConfig, SenderManifest, SentProbeInfo};
+pub use receiver::{start_receiver, ReceiverConfig, ReceiverHandle, ReceiverLog};
+pub use sender::{run_sender, SenderConfig, SenderManifest, SenderOutcome, SentProbeInfo};

@@ -6,17 +6,21 @@
 //! The receiver alone cannot account for probes whose every packet was
 //! lost — nothing arrives to decode — which is why the manifest is part
 //! of the protocol rather than an optimization.
+//!
+//! Encoding is the dependency-free JSON codec from `badabing-metrics`
+//! (this workspace builds offline; there is no serde_json to lean on).
 
 use crate::receiver::{ArrivalRecord, ReceiverLog};
 use crate::sender::{SenderManifest, SentProbeInfo};
 use badabing_core::config::BadabingConfig;
-use serde::{Deserialize, Serialize};
+use badabing_metrics::json::Value;
 use std::collections::HashMap;
+use std::io;
 use std::path::Path;
 
 /// Serialized form of a sender run: manifest plus the tool configuration
 /// needed to analyze it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ManifestFile {
     /// Tool parameters the run used (α, τ, slot width, ...).
     pub tool: BadabingConfig,
@@ -33,7 +37,7 @@ pub struct ManifestFile {
 }
 
 /// One sent probe (flattened for stable JSON).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ProbeEntry {
     /// Experiment id.
     pub experiment: u64,
@@ -46,12 +50,14 @@ pub struct ProbeEntry {
 }
 
 /// Serialized form of a receiver run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReceiverFile {
     /// Packets accepted.
     pub packets: u64,
     /// Datagrams rejected.
     pub rejected: u64,
+    /// Duplicated probe datagrams detected.
+    pub duplicates: u64,
     /// Clock-offset estimate used (minimum raw delay, ns).
     pub min_raw_delay_ns: Option<i64>,
     /// Per-probe arrival records.
@@ -59,7 +65,7 @@ pub struct ReceiverFile {
 }
 
 /// One probe's arrival record (flattened map entry).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ArrivalEntry {
     /// Experiment id.
     pub experiment: u64,
@@ -67,10 +73,43 @@ pub struct ArrivalEntry {
     pub slot: u64,
     /// Packets received.
     pub received: u8,
+    /// Duplicated datagrams seen for this probe.
+    pub duplicates: u8,
     /// Queueing delay of the last arrival, seconds.
     pub qdelay_last_secs: f64,
     /// Maximum queueing delay, seconds.
     pub qdelay_max_secs: f64,
+}
+
+fn tool_to_value(tool: &BadabingConfig) -> Value {
+    Value::obj(vec![
+        ("slot_secs", Value::Num(tool.slot_secs)),
+        ("p", Value::Num(tool.p)),
+        ("probe_packets", Value::Num(f64::from(tool.probe_packets))),
+        ("packet_bytes", Value::Num(f64::from(tool.packet_bytes))),
+        (
+            "intra_probe_gap_secs",
+            Value::Num(tool.intra_probe_gap_secs),
+        ),
+        ("alpha", Value::Num(tool.alpha)),
+        ("tau_secs", Value::Num(tool.tau_secs)),
+        ("improved", Value::Bool(tool.improved)),
+        ("owd_window", Value::Num(tool.owd_window as f64)),
+    ])
+}
+
+fn tool_from_value(v: &Value) -> io::Result<BadabingConfig> {
+    Ok(BadabingConfig {
+        slot_secs: req_f64(v, "slot_secs")?,
+        p: req_f64(v, "p")?,
+        probe_packets: req_u64(v, "probe_packets")? as u8,
+        packet_bytes: req_u64(v, "packet_bytes")? as u32,
+        intra_probe_gap_secs: req_f64(v, "intra_probe_gap_secs")?,
+        alpha: req_f64(v, "alpha")?,
+        tau_secs: req_f64(v, "tau_secs")?,
+        improved: req_bool(v, "improved")?,
+        owd_window: req_u64(v, "owd_window")? as usize,
+    })
 }
 
 impl ManifestFile {
@@ -115,14 +154,59 @@ impl ManifestFile {
         }
     }
 
+    fn to_value(&self) -> Value {
+        let probes = self
+            .probes
+            .iter()
+            .map(|p| {
+                Value::obj(vec![
+                    ("experiment", num_u64(p.experiment)),
+                    ("slot", num_u64(p.slot)),
+                    ("send_time_secs", Value::Num(p.send_time_secs)),
+                    ("packets", Value::Num(f64::from(p.packets))),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("tool", tool_to_value(&self.tool)),
+            ("session", num_u64(u64::from(self.session))),
+            ("n_slots", num_u64(self.n_slots)),
+            ("slot_secs", Value::Num(self.slot_secs)),
+            ("packets_sent", num_u64(self.packets_sent)),
+            ("probes", Value::Arr(probes)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> io::Result<Self> {
+        let probes = req_arr(v, "probes")?
+            .iter()
+            .map(|p| {
+                Ok(ProbeEntry {
+                    experiment: req_u64(p, "experiment")?,
+                    slot: req_u64(p, "slot")?,
+                    send_time_secs: req_f64(p, "send_time_secs")?,
+                    packets: req_u64(p, "packets")? as u8,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self {
+            tool: tool_from_value(field(v, "tool")?)?,
+            session: req_u64(v, "session")? as u32,
+            n_slots: req_u64(v, "n_slots")?,
+            slot_secs: req_f64(v, "slot_secs")?,
+            packets_sent: req_u64(v, "packets_sent")?,
+            probes,
+        })
+    }
+
     /// Write as JSON.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        write_json(path, self)
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        write_json(path, &self.to_value())
     }
 
     /// Read from JSON.
-    pub fn load(path: &Path) -> std::io::Result<Self> {
-        read_json(path)
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::from_value(&read_json(path)?)
     }
 }
 
@@ -136,6 +220,7 @@ impl ReceiverFile {
                 experiment,
                 slot,
                 received: r.received,
+                duplicates: r.duplicates,
                 qdelay_last_secs: r.qdelay_last_secs,
                 qdelay_max_secs: r.qdelay_max_secs,
             })
@@ -144,6 +229,7 @@ impl ReceiverFile {
         Self {
             packets: log.packets,
             rejected: log.rejected,
+            duplicates: log.duplicates,
             min_raw_delay_ns: log.min_raw_delay_ns,
             arrivals,
         }
@@ -157,6 +243,7 @@ impl ReceiverFile {
                 (a.experiment, a.slot),
                 ArrivalRecord {
                     received: a.received,
+                    duplicates: a.duplicates,
                     qdelay_last_secs: a.qdelay_last_secs,
                     qdelay_max_secs: a.qdelay_max_secs,
                 },
@@ -166,34 +253,123 @@ impl ReceiverFile {
             arrivals,
             packets: self.packets,
             rejected: self.rejected,
+            duplicates: self.duplicates,
             min_raw_delay_ns: self.min_raw_delay_ns,
+            handshake: None,
         }
     }
 
+    fn to_value(&self) -> Value {
+        let arrivals = self
+            .arrivals
+            .iter()
+            .map(|a| {
+                Value::obj(vec![
+                    ("experiment", num_u64(a.experiment)),
+                    ("slot", num_u64(a.slot)),
+                    ("received", Value::Num(f64::from(a.received))),
+                    ("duplicates", Value::Num(f64::from(a.duplicates))),
+                    ("qdelay_last_secs", Value::Num(a.qdelay_last_secs)),
+                    ("qdelay_max_secs", Value::Num(a.qdelay_max_secs)),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("packets", num_u64(self.packets)),
+            ("rejected", num_u64(self.rejected)),
+            ("duplicates", num_u64(self.duplicates)),
+            (
+                "min_raw_delay_ns",
+                self.min_raw_delay_ns
+                    .map_or(Value::Null, |ns| Value::Num(ns as f64)),
+            ),
+            ("arrivals", Value::Arr(arrivals)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> io::Result<Self> {
+        let arrivals = req_arr(v, "arrivals")?
+            .iter()
+            .map(|a| {
+                Ok(ArrivalEntry {
+                    experiment: req_u64(a, "experiment")?,
+                    slot: req_u64(a, "slot")?,
+                    received: req_u64(a, "received")? as u8,
+                    // Absent in pre-dedup logs; default to zero.
+                    duplicates: a.get("duplicates").and_then(Value::as_u64).unwrap_or(0) as u8,
+                    qdelay_last_secs: req_f64(a, "qdelay_last_secs")?,
+                    qdelay_max_secs: req_f64(a, "qdelay_max_secs")?,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let min_raw_delay_ns = match field(v, "min_raw_delay_ns")? {
+            Value::Null => None,
+            other => Some(other.as_i64().ok_or_else(|| bad("min_raw_delay_ns"))?),
+        };
+        Ok(Self {
+            packets: req_u64(v, "packets")?,
+            rejected: req_u64(v, "rejected")?,
+            duplicates: v.get("duplicates").and_then(Value::as_u64).unwrap_or(0),
+            min_raw_delay_ns,
+            arrivals,
+        })
+    }
+
     /// Write as JSON.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        write_json(path, self)
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        write_json(path, &self.to_value())
     }
 
     /// Read from JSON.
-    pub fn load(path: &Path) -> std::io::Result<Self> {
-        read_json(path)
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::from_value(&read_json(path)?)
     }
 }
 
-fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+fn num_u64(v: u64) -> Value {
+    Value::Num(v as f64)
+}
+
+fn bad(key: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("missing or invalid field `{key}`"),
+    )
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> io::Result<&'a Value> {
+    v.get(key).ok_or_else(|| bad(key))
+}
+
+fn req_f64(v: &Value, key: &str) -> io::Result<f64> {
+    field(v, key)?.as_f64().ok_or_else(|| bad(key))
+}
+
+fn req_u64(v: &Value, key: &str) -> io::Result<u64> {
+    field(v, key)?.as_u64().ok_or_else(|| bad(key))
+}
+
+fn req_bool(v: &Value, key: &str) -> io::Result<bool> {
+    field(v, key)?.as_bool().ok_or_else(|| bad(key))
+}
+
+fn req_arr<'a>(v: &'a Value, key: &str) -> io::Result<&'a [Value]> {
+    field(v, key)?.as_arr().ok_or_else(|| bad(key))
+}
+
+fn write_json(path: &Path, value: &Value) -> io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    let data = serde_json::to_vec_pretty(value).map_err(std::io::Error::other)?;
-    std::fs::write(path, data)
+    std::fs::write(path, value.to_pretty())
 }
 
-fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> std::io::Result<T> {
-    let data = std::fs::read(path)?;
-    serde_json::from_slice(&data).map_err(std::io::Error::other)
+fn read_json(path: &Path) -> io::Result<Value> {
+    let data = std::fs::read_to_string(path)?;
+    badabing_metrics::json::parse(&data)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 #[cfg(test)]
@@ -208,8 +384,18 @@ mod tests {
             n_slots: 1_000,
             slot_secs: 0.005,
             sent: vec![
-                SentProbeInfo { experiment: 0, slot: 4, send_time_secs: 0.02, packets: 3 },
-                SentProbeInfo { experiment: 0, slot: 5, send_time_secs: 0.025, packets: 3 },
+                SentProbeInfo {
+                    experiment: 0,
+                    slot: 4,
+                    send_time_secs: 0.02,
+                    packets: 3,
+                },
+                SentProbeInfo {
+                    experiment: 0,
+                    slot: 5,
+                    send_time_secs: 0.025,
+                    packets: 3,
+                },
             ],
         };
         (tool, manifest)
@@ -226,6 +412,9 @@ mod tests {
         assert_eq!(loaded.session, 9);
         assert_eq!(loaded.to_manifest().sent, manifest.sent);
         assert_eq!(loaded.tool.p, 0.3);
+        assert!(!loaded.tool.improved);
+        assert_eq!(loaded.tool.owd_window, tool.owd_window);
+        assert_eq!(loaded.tool.alpha, tool.alpha);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -236,25 +425,69 @@ mod tests {
         let mut log = ReceiverLog {
             packets: 5,
             rejected: 1,
+            duplicates: 2,
             min_raw_delay_ns: Some(-12345),
             ..Default::default()
         };
         log.arrivals.insert(
             (0, 4),
-            ArrivalRecord { received: 3, qdelay_last_secs: 0.01, qdelay_max_secs: 0.02 },
+            ArrivalRecord {
+                received: 3,
+                duplicates: 2,
+                qdelay_last_secs: 0.01,
+                qdelay_max_secs: 0.02,
+            },
         );
         let file = ReceiverFile::new(&log);
         file.save(&path).unwrap();
         let back = ReceiverFile::load(&path).unwrap().to_log();
         assert_eq!(back.packets, 5);
         assert_eq!(back.rejected, 1);
+        assert_eq!(back.duplicates, 2);
         assert_eq!(back.min_raw_delay_ns, Some(-12345));
         assert_eq!(back.arrivals[&(0, 4)].received, 3);
+        assert_eq!(back.arrivals[&(0, 4)].duplicates, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loads_logs_written_before_dedup_fields_existed() {
+        let dir = std::env::temp_dir().join("badabing-persist-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        std::fs::write(
+            &path,
+            r#"{
+              "packets": 3,
+              "rejected": 0,
+              "min_raw_delay_ns": null,
+              "arrivals": [
+                {"experiment": 1, "slot": 2, "received": 3,
+                 "qdelay_last_secs": 0.0, "qdelay_max_secs": 0.0}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let log = ReceiverFile::load(&path).unwrap().to_log();
+        assert_eq!(log.duplicates, 0);
+        assert_eq!(log.arrivals[&(1, 2)].duplicates, 0);
+        assert_eq!(log.min_raw_delay_ns, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn load_missing_file_errors() {
         assert!(ManifestFile::load(Path::new("/nonexistent/m.json")).is_err());
+    }
+
+    #[test]
+    fn load_garbage_errors_with_invalid_data() {
+        let dir = std::env::temp_dir().join("badabing-persist-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = ReceiverFile::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,20 +1,37 @@
 //! The live probe receiver.
 //!
-//! Collects probe packets, computes per-packet delay against its own
-//! monotonic clock, and removes the unknown clock offset by subtracting
-//! the minimum delay observed so far — what remains is queueing delay
-//! above the path minimum, which is exactly the quantity the §6.1
-//! `(1-α)·OWDmax` threshold discriminates on. (§7 discusses clock skew;
-//! over 15-minute runs on one host pair the min-subtraction approach is
-//! the standard trick, and the integration tests exercise it.)
+//! Collects probe packets on a plain `std::net::UdpSocket` (one thread,
+//! no async runtime), computes per-packet delay against its own
+//! monotonic clock, and removes the unknown clock offset and skew by
+//! fitting the lower envelope of the raw delay series (§7; see
+//! [`crate::skew`]). What remains is queueing delay above the path
+//! minimum — exactly the quantity the §6.1 `(1-α)·OWDmax` threshold
+//! discriminates on.
+//!
+//! Sample-record integrity: real networks duplicate and reorder
+//! datagrams, and a duplicated arrival must not make a lost probe look
+//! complete (the estimator's input is the per-probe loss record, so
+//! inflation there corrupts everything downstream). Arrivals are
+//! deduplicated by `(seq, idx)`; duplicates are counted separately and
+//! never touch the loss accounting. Reordering is harmless by
+//! construction — records are keyed by `(experiment, slot)`, not arrival
+//! order.
+//!
+//! The receiver also serves the control plane on the same socket
+//! (handshake, heartbeats, FIN + chunked report retrieval — see
+//! `badabing_wire::control`), and an idle-timeout watchdog reclaims the
+//! session if the sender vanishes mid-run.
 
-use badabing_wire::{DecodeError, ProbeHeader};
-use std::collections::HashMap;
-use std::net::SocketAddr;
+use badabing_metrics::Registry;
+use badabing_wire::control::{
+    chunk_records, ControlMessage, ReportRecord, ReportSummary, SessionParams,
+};
+use badabing_wire::ProbeHeader;
+use std::collections::{HashMap, HashSet};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tokio::net::UdpSocket;
-use tokio::sync::oneshot;
-use tokio::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Receiver configuration.
 #[derive(Debug, Clone)]
@@ -23,13 +40,37 @@ pub struct ReceiverConfig {
     pub bind: SocketAddr,
     /// Only accept packets stamped with this session id.
     pub session: u32,
+    /// Watchdog: exit after this long without any datagram, once a
+    /// session has started. `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+    /// Answer control-plane messages (handshake, heartbeat, report
+    /// retrieval). Disable for raw packet-capture use.
+    pub serve_control: bool,
+    /// Run counters and delay histograms, if observability is wanted.
+    pub metrics: Option<Arc<Registry>>,
+}
+
+impl ReceiverConfig {
+    /// A receiver on `bind` for `session`: control plane on, no
+    /// watchdog, no metrics.
+    pub fn new(bind: SocketAddr, session: u32) -> Self {
+        Self {
+            bind,
+            session,
+            idle_timeout: None,
+            serve_control: true,
+            metrics: None,
+        }
+    }
 }
 
 /// Per-probe arrival record.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ArrivalRecord {
-    /// Packets of this probe that arrived.
+    /// Distinct packets of this probe that arrived.
     pub received: u8,
+    /// Duplicated datagrams observed for this probe (saturating).
+    pub duplicates: u8,
     /// Queueing delay (seconds above path minimum) of the most recent
     /// arrival.
     pub qdelay_last_secs: f64,
@@ -42,20 +83,79 @@ pub struct ArrivalRecord {
 pub struct ReceiverLog {
     /// Arrival records keyed by (experiment, slot).
     pub arrivals: HashMap<(u64, u64), ArrivalRecord>,
-    /// Raw packets accepted.
+    /// Distinct probe packets accepted.
     pub packets: u64,
     /// Datagrams rejected (wrong session, undecodable).
     pub rejected: u64,
+    /// Duplicated probe datagrams detected (not counted in `packets`
+    /// or any arrival record's `received`).
+    pub duplicates: u64,
     /// The minimum raw delay used as the clock-offset estimate, in
     /// nanoseconds (signed: clocks are unrelated across processes).
     pub min_raw_delay_ns: Option<i64>,
+    /// Tool parameters announced by the sender's handshake, if any.
+    pub handshake: Option<SessionParams>,
 }
 
-/// Handle to a running receiver: resolve it to stop listening and take
-/// the log.
+impl ReceiverLog {
+    /// The control-plane summary of this log.
+    pub fn summary(&self) -> ReportSummary {
+        ReportSummary {
+            packets: self.packets,
+            rejected: self.rejected,
+            duplicates: self.duplicates,
+            min_raw_delay_ns: self.min_raw_delay_ns,
+        }
+    }
+
+    /// Flatten the arrival map into control-plane report records,
+    /// sorted by (experiment, slot) for deterministic chunking.
+    pub fn to_records(&self) -> Vec<ReportRecord> {
+        let mut records: Vec<ReportRecord> = self
+            .arrivals
+            .iter()
+            .map(|(&(experiment, slot), r)| ReportRecord {
+                experiment,
+                slot,
+                received: r.received,
+                duplicates: r.duplicates,
+                qdelay_last_secs: r.qdelay_last_secs,
+                qdelay_max_secs: r.qdelay_max_secs,
+            })
+            .collect();
+        records.sort_by_key(|r| (r.experiment, r.slot));
+        records
+    }
+
+    /// Rebuild a log from a fetched report (the sender-side inverse of
+    /// [`ReceiverLog::to_records`]).
+    pub fn from_report(summary: ReportSummary, records: &[ReportRecord]) -> Self {
+        let mut log = ReceiverLog {
+            packets: summary.packets,
+            rejected: summary.rejected,
+            duplicates: summary.duplicates,
+            min_raw_delay_ns: summary.min_raw_delay_ns,
+            ..Default::default()
+        };
+        for r in records {
+            log.arrivals.insert(
+                (r.experiment, r.slot),
+                ArrivalRecord {
+                    received: r.received,
+                    duplicates: r.duplicates,
+                    qdelay_last_secs: r.qdelay_last_secs,
+                    qdelay_max_secs: r.qdelay_max_secs,
+                },
+            );
+        }
+        log
+    }
+}
+
+/// Handle to a running receiver thread.
 pub struct ReceiverHandle {
-    stop: oneshot::Sender<()>,
-    joined: tokio::task::JoinHandle<ReceiverLog>,
+    stop: Arc<AtomicBool>,
+    joined: std::thread::JoinHandle<ReceiverLog>,
     local_addr: SocketAddr,
 }
 
@@ -65,68 +165,282 @@ impl ReceiverHandle {
         self.local_addr
     }
 
+    /// Whether the receiver exited on its own (session complete or
+    /// watchdog fired).
+    pub fn is_finished(&self) -> bool {
+        self.joined.is_finished()
+    }
+
     /// Stop the receiver and collect its log.
-    pub async fn stop(self) -> ReceiverLog {
-        let _ = self.stop.send(());
-        self.joined.await.expect("receiver task panicked")
+    pub fn stop(self) -> ReceiverLog {
+        self.stop.store(true, Ordering::Relaxed);
+        self.joined.join().expect("receiver thread panicked")
+    }
+
+    /// Wait for the receiver to exit on its own (session completion or
+    /// idle watchdog) and collect its log. Blocks indefinitely if the
+    /// config has no watchdog and no sender ever completes a session.
+    pub fn join(self) -> ReceiverLog {
+        self.joined.join().expect("receiver thread panicked")
     }
 }
 
-/// Start a receiver task; it records until stopped.
-pub async fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
-    let socket = Arc::new(UdpSocket::bind(cfg.bind).await?);
+/// How often the receive loop wakes to check the stop flag and watchdog.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Per-probe accumulation state.
+#[derive(Default)]
+struct ProbeArrivals {
+    seen_idx: HashSet<u8>,
+    probe_len: u8,
+    duplicates: u8,
+}
+
+/// Start a receiver thread; it records until stopped, until its idle
+/// watchdog fires, or until a sender completes the control-plane
+/// session (FIN + full report retrieval).
+pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
+    let socket = UdpSocket::bind(cfg.bind)?;
     let local_addr = socket.local_addr()?;
-    let (stop_tx, mut stop_rx) = oneshot::channel();
+    socket.set_read_timeout(Some(POLL_INTERVAL))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
     let anchor = Instant::now();
 
-    let joined = tokio::spawn(async move {
-        let mut log = ReceiverLog::default();
-        // (exp, slot, receive time secs, raw delay ns)
-        let mut raw_delays: Vec<(u64, u64, f64, i64)> = Vec::new();
-        let mut counts: HashMap<(u64, u64), u8> = HashMap::new();
-        let mut buf = vec![0u8; 65_536];
-        loop {
-            tokio::select! {
-                _ = &mut stop_rx => break,
-                res = socket.recv(&mut buf) => {
-                    let Ok(len) = res else { break };
-                    let now = anchor.elapsed();
-                    let now_ns = now.as_nanos() as i64;
-                    match ProbeHeader::decode(&buf[..len]) {
-                        Ok(h) if h.session == cfg.session => {
-                            log.packets += 1;
-                            let raw = now_ns - h.send_ns as i64;
-                            log.min_raw_delay_ns =
-                                Some(log.min_raw_delay_ns.map_or(raw, |m| m.min(raw)));
-                            raw_delays.push((h.experiment, h.slot, now.as_secs_f64(), raw));
-                            *counts.entry((h.experiment, h.slot)).or_default() += 1;
-                        }
-                        Ok(_) | Err(DecodeError::TooShort { .. })
-                        | Err(DecodeError::BadMagic { .. })
-                        | Err(DecodeError::BadFields) => log.rejected += 1,
+    let joined = std::thread::Builder::new()
+        .name("badabing-recv".into())
+        .spawn(move || receive_loop(&socket, &cfg, anchor, &stop_flag))
+        .expect("spawn receiver thread");
+
+    Ok(ReceiverHandle {
+        stop,
+        joined,
+        local_addr,
+    })
+}
+
+fn receive_loop(
+    socket: &UdpSocket,
+    cfg: &ReceiverConfig,
+    anchor: Instant,
+    stop: &AtomicBool,
+) -> ReceiverLog {
+    // (exp, slot, receive time secs, raw delay ns) — first copies only.
+    let mut raw_delays: Vec<(u64, u64, f64, i64)> = Vec::new();
+    let mut probes: HashMap<(u64, u64), ProbeArrivals> = HashMap::new();
+    let mut seen: HashSet<(u64, u8)> = HashSet::new();
+    let mut packets = 0u64;
+    let mut rejected = 0u64;
+    let mut duplicates = 0u64;
+    let mut min_raw: Option<i64> = None;
+    let mut handshake: Option<SessionParams> = None;
+
+    // Control-plane session state.
+    let mut session_active = false;
+    let mut last_activity = Instant::now();
+    let mut finalized: Option<(Vec<ControlMessage>, ReportSummary)> = None;
+    let mut complete = false;
+
+    let m_packets = cfg.metrics.as_ref().map(|m| m.counter("packets_accepted"));
+    let m_rejected = cfg
+        .metrics
+        .as_ref()
+        .map(|m| m.counter("datagrams_rejected"));
+    let m_dup = cfg.metrics.as_ref().map(|m| m.counter("duplicates"));
+    let m_ctrl = cfg.metrics.as_ref().map(|m| m.counter("control_messages"));
+
+    let mut buf = vec![0u8; 65_536];
+    while !stop.load(Ordering::Relaxed) && !complete {
+        if let (Some(timeout), true) = (cfg.idle_timeout, session_active) {
+            if last_activity.elapsed() >= timeout {
+                break; // watchdog: sender went silent
+            }
+        }
+        let (len, src) = match socket.recv_from(&mut buf) {
+            Ok(ok) => ok,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let now = anchor.elapsed();
+        let data = &buf[..len];
+
+        if let Ok(h) = ProbeHeader::decode(data) {
+            if h.session != cfg.session {
+                rejected += 1;
+                if let Some(c) = &m_rejected {
+                    c.inc();
+                }
+                continue;
+            }
+            session_active = true;
+            last_activity = Instant::now();
+            if !seen.insert((h.seq, h.idx)) {
+                // Duplicated datagram: a copy of (seq, idx) was already
+                // counted. Track it, but never let it inflate arrival
+                // counts — a lost probe must not look complete.
+                duplicates += 1;
+                let entry = probes.entry((h.experiment, h.slot)).or_default();
+                entry.duplicates = entry.duplicates.saturating_add(1);
+                if let Some(c) = &m_dup {
+                    c.inc();
+                }
+                continue;
+            }
+            packets += 1;
+            if let Some(c) = &m_packets {
+                c.inc();
+            }
+            let raw = now.as_nanos() as i64 - h.send_ns as i64;
+            min_raw = Some(min_raw.map_or(raw, |m| m.min(raw)));
+            raw_delays.push((h.experiment, h.slot, now.as_secs_f64(), raw));
+            let entry = probes.entry((h.experiment, h.slot)).or_default();
+            entry.seen_idx.insert(h.idx);
+            entry.probe_len = entry.probe_len.max(h.probe_len);
+            continue;
+        }
+
+        let Ok(msg) = ControlMessage::decode(data) else {
+            rejected += 1;
+            if let Some(c) = &m_rejected {
+                c.inc();
+            }
+            continue;
+        };
+        if !cfg.serve_control || msg.session() != cfg.session {
+            rejected += 1;
+            if let Some(c) = &m_rejected {
+                c.inc();
+            }
+            continue;
+        }
+        session_active = true;
+        last_activity = Instant::now();
+        if let Some(c) = &m_ctrl {
+            c.inc();
+        }
+        match msg {
+            ControlMessage::Syn { session, params } => {
+                handshake = Some(params);
+                let _ = socket.send_to(&ControlMessage::SynAck { session }.encode(), src);
+            }
+            ControlMessage::Heartbeat { session, seq } => {
+                let _ =
+                    socket.send_to(&ControlMessage::HeartbeatAck { session, seq }.encode(), src);
+            }
+            ControlMessage::Fin { session, .. } => {
+                // Finalize once; FIN retransmits re-serve the same
+                // snapshot so retrieval is idempotent.
+                if finalized.is_none() {
+                    let log = build_log(
+                        &raw_delays,
+                        &probes,
+                        packets,
+                        rejected,
+                        duplicates,
+                        min_raw,
+                        handshake,
+                        None,
+                    );
+                    let summary = log.summary();
+                    finalized = Some((chunk_records(session, &log.to_records()), summary));
+                }
+                let (chunks, summary) = finalized.as_ref().expect("just finalized");
+                let ack = ControlMessage::FinAck {
+                    session,
+                    total_chunks: chunks.len() as u32,
+                    summary: *summary,
+                };
+                let _ = socket.send_to(&ack.encode(), src);
+            }
+            ControlMessage::ReportRequest { chunk, .. } => {
+                if let Some((chunks, _)) = &finalized {
+                    if let Some(msg) = chunks.get(chunk as usize) {
+                        let _ = socket.send_to(&msg.encode(), src);
                     }
                 }
             }
+            ControlMessage::ReportAck { chunk, .. } => {
+                if let Some((chunks, _)) = &finalized {
+                    if chunk as usize >= chunks.len() {
+                        complete = true; // sender has everything
+                    }
+                }
+            }
+            // Receiver-emitted messages arriving here are stray
+            // reflections; ignore them.
+            ControlMessage::SynAck { .. }
+            | ControlMessage::HeartbeatAck { .. }
+            | ControlMessage::FinAck { .. }
+            | ControlMessage::ReportChunk { .. } => {}
         }
-        // Clock correction happens once, after the run: fit the lower
-        // envelope (offset + skew line, §7) and subtract it. A running
-        // minimum would bias early records upward; min-subtraction alone
-        // would let clock skew masquerade as queueing delay on long runs.
-        let points: Vec<(f64, f64)> =
-            raw_delays.iter().map(|&(_, _, t, raw)| (t, raw as f64 / 1e9)).collect();
-        let baseline = crate::skew::fit_baseline(&points)
-            .unwrap_or(crate::skew::Baseline { offset: 0.0, slope: 0.0 });
-        for (exp, slot, t, raw) in raw_delays {
-            let q = baseline.correct(t, raw as f64 / 1e9);
-            let rec = log.arrivals.entry((exp, slot)).or_default();
-            rec.received = counts.get(&(exp, slot)).copied().unwrap_or(0);
-            rec.qdelay_last_secs = q;
-            rec.qdelay_max_secs = rec.qdelay_max_secs.max(q);
-        }
-        log
+    }
+
+    build_log(
+        &raw_delays,
+        &probes,
+        packets,
+        rejected,
+        duplicates,
+        min_raw,
+        handshake,
+        cfg.metrics.as_deref(),
+    )
+}
+
+/// Assemble the final log: fit the clock baseline over the whole run and
+/// convert raw delays into queueing delays (§7). A running minimum would
+/// bias early records upward; min-subtraction alone would let clock skew
+/// masquerade as queueing delay on long runs.
+#[allow(clippy::too_many_arguments)]
+fn build_log(
+    raw_delays: &[(u64, u64, f64, i64)],
+    probes: &HashMap<(u64, u64), ProbeArrivals>,
+    packets: u64,
+    rejected: u64,
+    duplicates: u64,
+    min_raw_delay_ns: Option<i64>,
+    handshake: Option<SessionParams>,
+    metrics: Option<&Registry>,
+) -> ReceiverLog {
+    let points: Vec<(f64, f64)> = raw_delays
+        .iter()
+        .map(|&(_, _, t, raw)| (t, raw as f64 / 1e9))
+        .collect();
+    let baseline = crate::skew::fit_baseline(&points).unwrap_or(crate::skew::Baseline {
+        offset: 0.0,
+        slope: 0.0,
     });
 
-    Ok(ReceiverHandle { stop: stop_tx, joined, local_addr })
+    let mut log = ReceiverLog {
+        packets,
+        rejected,
+        duplicates,
+        min_raw_delay_ns,
+        handshake,
+        ..Default::default()
+    };
+    let qdelay_hist = metrics.map(|m| m.histogram("qdelay_secs"));
+    for &(exp, slot, t, raw) in raw_delays {
+        let q = baseline.correct(t, raw as f64 / 1e9);
+        if let Some(h) = &qdelay_hist {
+            h.record_secs(q);
+        }
+        let state = &probes[&(exp, slot)];
+        let rec = log.arrivals.entry((exp, slot)).or_default();
+        // Clamp: even a malformed sender reusing (seq, idx) pairs across
+        // more datagrams than the probe announces cannot push `received`
+        // past the probe length.
+        rec.received = (state.seen_idx.len() as u8).min(state.probe_len);
+        rec.duplicates = state.duplicates;
+        rec.qdelay_last_secs = q;
+        rec.qdelay_max_secs = rec.qdelay_max_secs.max(q);
+    }
+    log
 }
 
 #[cfg(test)]
@@ -137,12 +451,19 @@ mod tests {
         "127.0.0.1:0".parse().unwrap()
     }
 
-    #[tokio::test]
-    async fn accepts_session_packets_and_rejects_others() {
-        let handle =
-            start_receiver(ReceiverConfig { bind: local0(), session: 42 }).await.unwrap();
+    fn send_header(sock: &UdpSocket, target: SocketAddr, h: &ProbeHeader, bytes: usize) {
+        sock.send_to(&h.encode(bytes), target).unwrap();
+    }
+
+    fn settle() {
+        std::thread::sleep(Duration::from_millis(120));
+    }
+
+    #[test]
+    fn accepts_session_packets_and_rejects_others() {
+        let handle = start_receiver(ReceiverConfig::new(local0(), 42)).unwrap();
         let target = handle.local_addr();
-        let sock = UdpSocket::bind(local0()).await.unwrap();
+        let sock = UdpSocket::bind(local0()).unwrap();
         let good = ProbeHeader {
             session: 42,
             experiment: 1,
@@ -153,23 +474,23 @@ mod tests {
             probe_len: 2,
         };
         let bad_session = ProbeHeader { session: 9, ..good };
-        sock.send_to(&good.encode(100), target).await.unwrap();
-        sock.send_to(&bad_session.encode(100), target).await.unwrap();
-        sock.send_to(b"garbage", target).await.unwrap();
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
-        let log = handle.stop().await;
+        send_header(&sock, target, &good, 100);
+        send_header(&sock, target, &bad_session, 100);
+        sock.send_to(b"garbage", target).unwrap();
+        settle();
+        let log = handle.stop();
         assert_eq!(log.packets, 1);
         assert_eq!(log.rejected, 2);
+        assert_eq!(log.duplicates, 0);
         assert_eq!(log.arrivals.len(), 1);
         assert_eq!(log.arrivals[&(1, 10)].received, 1);
     }
 
-    #[tokio::test]
-    async fn offset_removal_yields_relative_queueing_delay() {
-        let handle =
-            start_receiver(ReceiverConfig { bind: local0(), session: 1 }).await.unwrap();
+    #[test]
+    fn offset_removal_yields_relative_queueing_delay() {
+        let handle = start_receiver(ReceiverConfig::new(local0(), 1)).unwrap();
         let target = handle.local_addr();
-        let sock = UdpSocket::bind(local0()).await.unwrap();
+        let sock = UdpSocket::bind(local0()).unwrap();
         // Two packets with send timestamps from an unrelated clock: the
         // second "left" 50 ms earlier than its arrival spacing implies,
         // i.e. it queued ~50 ms longer.
@@ -187,32 +508,33 @@ mod tests {
             experiment: 1,
             slot: 5,
             seq: 1,
-            send_ns: base, // same stamp, sent 50 ms later in real time
+            send_ns: base,
             ..h1
         };
-        sock.send_to(&h1.encode(100), target).await.unwrap();
-        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
-        sock.send_to(&h2.encode(100), target).await.unwrap();
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
-        let log = handle.stop().await;
+        send_header(&sock, target, &h1, 100);
+        std::thread::sleep(Duration::from_millis(50));
+        send_header(&sock, target, &h2, 100);
+        settle();
+        let log = handle.stop();
         let q1 = log.arrivals[&(0, 0)].qdelay_max_secs;
         let q2 = log.arrivals[&(1, 5)].qdelay_max_secs;
         assert!(q1 < 0.01, "first packet defines the baseline, got {q1}");
-        assert!((q2 - 0.05).abs() < 0.03, "second packet ~50 ms of queueing, got {q2}");
+        assert!(
+            (q2 - 0.05).abs() < 0.03,
+            "second packet ~50 ms of queueing, got {q2}"
+        );
     }
 
-    #[tokio::test]
-    async fn skewed_sender_clock_is_corrected() {
-        // A sender whose clock runs fast by 1% (exaggerated for a 3 s
+    #[test]
+    fn skewed_sender_clock_is_corrected() {
+        // A sender whose clock runs fast by 1% (exaggerated for a 2 s
         // test; real skews are ppm over hours): send_ns grows 1.01× real
-        // time. Without skew removal the *latest* idle packets would show
-        // negative raw deltas relative to the earliest, or equivalently
-        // early packets would read tens of ms of phantom queueing.
-        let handle =
-            start_receiver(ReceiverConfig { bind: local0(), session: 5 }).await.unwrap();
+        // time. Without skew removal the early packets would read tens
+        // of ms of phantom queueing.
+        let handle = start_receiver(ReceiverConfig::new(local0(), 5)).unwrap();
         let target = handle.local_addr();
-        let sock = UdpSocket::bind(local0()).await.unwrap();
-        let start = std::time::Instant::now();
+        let sock = UdpSocket::bind(local0()).unwrap();
+        let start = Instant::now();
         for i in 0..40u64 {
             let real_ns = start.elapsed().as_nanos() as u64;
             let skewed_ns = (real_ns as f64 * 1.01) as u64;
@@ -225,11 +547,11 @@ mod tests {
                 idx: 0,
                 probe_len: 1,
             };
-            sock.send_to(&h.encode(64), target).await.unwrap();
-            tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+            send_header(&sock, target, &h, 64);
+            std::thread::sleep(Duration::from_millis(50));
         }
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
-        let log = handle.stop().await;
+        settle();
+        let log = handle.stop();
         assert_eq!(log.packets, 40);
         // Every packet is idle; after baseline removal all queueing
         // delays must be small. (1% over 2 s = 20 ms of drift, so the
@@ -239,15 +561,17 @@ mod tests {
             .values()
             .map(|r| r.qdelay_max_secs)
             .fold(0.0f64, f64::max);
-        assert!(max_q < 0.008, "residual queueing delay {max_q} after skew removal");
+        assert!(
+            max_q < 0.008,
+            "residual queueing delay {max_q} after skew removal"
+        );
     }
 
-    #[tokio::test]
-    async fn multi_packet_probe_aggregates() {
-        let handle =
-            start_receiver(ReceiverConfig { bind: local0(), session: 3 }).await.unwrap();
+    #[test]
+    fn multi_packet_probe_aggregates() {
+        let handle = start_receiver(ReceiverConfig::new(local0(), 3)).unwrap();
         let target = handle.local_addr();
-        let sock = UdpSocket::bind(local0()).await.unwrap();
+        let sock = UdpSocket::bind(local0()).unwrap();
         for idx in 0..3u8 {
             let h = ProbeHeader {
                 session: 3,
@@ -258,10 +582,119 @@ mod tests {
                 idx,
                 probe_len: 3,
             };
-            sock.send_to(&h.encode(64), target).await.unwrap();
+            send_header(&sock, target, &h, 64);
         }
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
-        let log = handle.stop().await;
+        settle();
+        let log = handle.stop();
         assert_eq!(log.arrivals[&(8, 2)].received, 3);
+    }
+
+    #[test]
+    fn duplicates_are_counted_but_never_inflate_arrivals() {
+        let metrics = Arc::new(Registry::new("recv-dup-test"));
+        let handle = start_receiver(ReceiverConfig {
+            metrics: Some(metrics.clone()),
+            ..ReceiverConfig::new(local0(), 6)
+        })
+        .unwrap();
+        let target = handle.local_addr();
+        let sock = UdpSocket::bind(local0()).unwrap();
+        // A 3-packet probe that loses packet idx 2 but has idx 0
+        // duplicated three times: without dedup the count would read 4
+        // (debug-overflow territory on a u8 under longer floods) and the
+        // lost packet would be masked.
+        for (seq, idx) in [(0u64, 0u8), (0, 0), (0, 0), (0, 0), (1, 1)] {
+            let h = ProbeHeader {
+                session: 6,
+                experiment: 4,
+                slot: 9,
+                seq,
+                send_ns: 0,
+                idx,
+                probe_len: 3,
+            };
+            send_header(&sock, target, &h, 64);
+        }
+        settle();
+        let log = handle.stop();
+        let rec = log.arrivals[&(4, 9)];
+        assert_eq!(rec.received, 2, "one packet genuinely lost");
+        assert_eq!(rec.duplicates, 3);
+        assert_eq!(log.packets, 2);
+        assert_eq!(log.duplicates, 3);
+        assert_eq!(metrics.counter("duplicates").get(), 3);
+    }
+
+    #[test]
+    fn watchdog_exits_after_idle_timeout() {
+        let handle = start_receiver(ReceiverConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ReceiverConfig::new(local0(), 2)
+        })
+        .unwrap();
+        let target = handle.local_addr();
+        let sock = UdpSocket::bind(local0()).unwrap();
+        // Watchdog arms only once a session starts.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(
+            !handle.is_finished(),
+            "watchdog must not fire before any activity"
+        );
+        let h = ProbeHeader {
+            session: 2,
+            experiment: 0,
+            slot: 0,
+            seq: 0,
+            send_ns: 0,
+            idx: 0,
+            probe_len: 1,
+        };
+        send_header(&sock, target, &h, 64);
+        let started = Instant::now();
+        let log = handle.join();
+        assert!(
+            started.elapsed() >= Duration::from_millis(140),
+            "exited before the idle timeout"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "watchdog too slow"
+        );
+        assert_eq!(log.packets, 1);
+    }
+
+    #[test]
+    fn report_roundtrips_through_records() {
+        let mut log = ReceiverLog {
+            packets: 5,
+            duplicates: 1,
+            ..Default::default()
+        };
+        log.arrivals.insert(
+            (3, 7),
+            ArrivalRecord {
+                received: 2,
+                duplicates: 1,
+                qdelay_last_secs: 0.01,
+                qdelay_max_secs: 0.02,
+            },
+        );
+        log.arrivals.insert(
+            (4, 1),
+            ArrivalRecord {
+                received: 3,
+                duplicates: 0,
+                qdelay_last_secs: 0.0,
+                qdelay_max_secs: 0.0,
+            },
+        );
+        let records = log.to_records();
+        assert_eq!(records.len(), 2);
+        assert!(records[0].experiment < records[1].experiment);
+        let back = ReceiverLog::from_report(log.summary(), &records);
+        assert_eq!(back.packets, 5);
+        assert_eq!(back.duplicates, 1);
+        assert_eq!(back.arrivals[&(3, 7)].received, 2);
+        assert_eq!(back.arrivals[&(3, 7)].duplicates, 1);
     }
 }

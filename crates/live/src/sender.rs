@@ -1,18 +1,31 @@
 //! The live probe sender.
 //!
 //! Walks the experiment schedule from `badabing-core` on a real clock:
-//! slot `k` fires at `anchor + k·Δ` (absolute scheduling via
-//! `sleep_until`, so timing error does not accumulate across the run —
-//! with 5 ms slots a drifting relative timer would smear slot boundaries
-//! within seconds). Each probe is `N` packets sent back to back.
+//! slot `k` fires at `anchor + k·Δ` (absolute scheduling, so timing
+//! error does not accumulate across the run — with 5 ms slots a drifting
+//! relative timer would smear slot boundaries within seconds). Each
+//! probe is `N` packets sent back to back.
+//!
+//! When a [`ControlConfig`] is supplied the sender also drives the
+//! control plane: SYN/SYN-ACK handshake before the first probe, a
+//! heartbeat thread during the run, and FIN + chunked report retrieval
+//! afterwards. Every timeout lives on this side; if the receiver goes
+//! silent mid-run the heartbeat watchdog aborts the schedule and the
+//! sender returns a *partial* manifest with a diagnostic instead of
+//! hanging (see [`SenderOutcome`]).
 
+use crate::control::{ControlClient, ControlConfig};
+use crate::receiver::ReceiverLog;
 use badabing_core::config::BadabingConfig;
 use badabing_core::schedule::ExperimentScheduler;
+use badabing_metrics::Registry;
+use badabing_wire::control::SessionParams;
 use badabing_wire::ProbeHeader;
 use rand::rngs::StdRng;
-use std::net::SocketAddr;
-use tokio::net::UdpSocket;
-use tokio::time::Instant;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Sender configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +40,42 @@ pub struct SenderConfig {
     pub bind: SocketAddr,
     /// Session id stamped into every packet.
     pub session: u32,
+    /// Control-plane policy. `None` runs open-loop (probes only), as the
+    /// pre-control tool did.
+    pub control: Option<ControlConfig>,
+    /// Run counters and latency histograms, if observability is wanted.
+    pub metrics: Option<Arc<Registry>>,
+}
+
+impl SenderConfig {
+    /// An open-loop sender (no control plane, no metrics).
+    pub fn new(tool: BadabingConfig, n_slots: u64, target: SocketAddr, session: u32) -> Self {
+        Self {
+            tool,
+            n_slots,
+            target,
+            bind: if target.is_ipv4() {
+                "0.0.0.0:0".parse().expect("static addr")
+            } else {
+                "[::]:0".parse().expect("static addr")
+            },
+            session,
+            control: None,
+            metrics: None,
+        }
+    }
+
+    /// The handshake announcement derived from this config.
+    pub fn session_params(&self) -> SessionParams {
+        SessionParams {
+            n_slots: self.n_slots,
+            slot_ns: Duration::from_secs_f64(self.tool.slot_secs).as_nanos() as u64,
+            probe_packets: self.tool.probe_packets,
+            packet_bytes: self.tool.packet_bytes,
+            p: self.tool.p,
+            improved: self.tool.improved,
+        }
+    }
 }
 
 /// One probe as sent, for the post-run join with receiver records.
@@ -57,12 +106,59 @@ pub struct SenderManifest {
     pub slot_secs: f64,
 }
 
-/// Run the sender to completion: sends the whole schedule, then returns
-/// the manifest. Cancellation-safe in the sense that dropping the future
-/// simply stops sending (no partial state escapes).
-pub async fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderManifest> {
-    let socket = UdpSocket::bind(cfg.bind).await?;
-    socket.connect(cfg.target).await?;
+/// The full result of a sender run, partial or complete.
+#[derive(Debug, Clone)]
+pub struct SenderOutcome {
+    /// Probes actually sent (partial if the run aborted).
+    pub manifest: SenderManifest,
+    /// The receiver's records, fetched over the control plane. `None`
+    /// for open-loop runs or when report retrieval failed.
+    pub receiver_log: Option<ReceiverLog>,
+    /// Whether the whole schedule ran. `false` means the heartbeat
+    /// watchdog aborted mid-run; the manifest covers only what was sent.
+    pub completed: bool,
+    /// Human-readable notes about anything that went wrong.
+    pub diagnostics: Vec<String>,
+}
+
+/// Offset of slot `k` from the run anchor: `k·Δ` computed in 128-bit
+/// nanoseconds. The obvious `slot_dur * (slot as u32)` truncates the
+/// slot index to 32 bits — with 5 ms slots that wraps after ~248 days,
+/// but with microsecond slots (stress runs) after barely an hour, and a
+/// wrapped deadline makes the sender fire the rest of the schedule
+/// immediately. Saturates at `Duration::MAX`-representable nanoseconds
+/// rather than wrapping.
+pub fn slot_offset(slot_dur: Duration, slot: u64) -> Duration {
+    let ns = slot_dur.as_nanos().saturating_mul(u128::from(slot));
+    Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+}
+
+/// Granularity of abort-flag checks while waiting for a slot deadline.
+const SLEEP_CHUNK: Duration = Duration::from_millis(50);
+
+/// Sleep until `due`, waking periodically to honour `abort`. Returns
+/// `false` if aborted before the deadline.
+fn sleep_until_unless_aborted(due: Instant, abort: &AtomicBool) -> bool {
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= due {
+            return true;
+        }
+        std::thread::sleep((due - now).min(SLEEP_CHUNK));
+    }
+}
+
+/// Run the sender to completion (or heartbeat-abort): handshake if
+/// configured, send the schedule, drain, fetch the receiver's report.
+/// Fails with `Err` only on local socket errors or an unreachable
+/// receiver at handshake time — anything that goes wrong *after* probes
+/// start flowing degrades to a partial [`SenderOutcome`] instead.
+pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutcome> {
+    let socket = UdpSocket::bind(cfg.bind)?;
+    socket.connect(cfg.target)?;
 
     // Plan the entire run up front (identical logic to the simulator
     // prober): probes sorted by slot.
@@ -75,18 +171,91 @@ pub async fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<Sende
     }
     plan.sort_unstable();
 
+    let mut diagnostics = Vec::new();
+    let abort = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Handshake before the first probe: a dead receiver fails the run
+    // here, not after minutes of probing into the void.
+    let client = match &cfg.control {
+        Some(control_cfg) => {
+            let client = Arc::new(ControlClient::connect(
+                control_cfg.clone(),
+                cfg.metrics.clone(),
+            )?);
+            client
+                .handshake(cfg.session, cfg.session_params())
+                .map_err(|e| std::io::Error::other(format!("handshake failed: {e}")))?;
+            Some(client)
+        }
+        None => None,
+    };
+
+    // Liveness: heartbeats ride alongside the probe schedule; enough
+    // consecutive misses raise the abort flag the probe loop watches.
+    let heartbeat = client.as_ref().map(|client| {
+        let client = client.clone();
+        let abort = abort.clone();
+        let done = done.clone();
+        let session = cfg.session;
+        let metrics = cfg.metrics.clone();
+        std::thread::spawn(move || {
+            let interval = client.config().heartbeat_interval;
+            let allowed = client.config().heartbeat_misses;
+            let mut seq = 0u64;
+            let mut misses = 0u32;
+            while !done.load(Ordering::Relaxed) && !abort.load(Ordering::Relaxed) {
+                let tick = Instant::now();
+                match client.heartbeat(session, seq, interval) {
+                    Ok(true) => misses = 0,
+                    Ok(false) => {
+                        misses += 1;
+                        if let Some(m) = &metrics {
+                            m.counter("heartbeats_missed").inc();
+                        }
+                        if misses >= allowed {
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                seq += 1;
+                // Pace to the interval (an early ack returns quickly).
+                let _ = sleep_until_unless_aborted(tick + interval, &done);
+            }
+            misses
+        })
+    });
+
     let anchor = Instant::now();
-    let slot_dur = std::time::Duration::from_secs_f64(cfg.tool.slot_secs);
+    let slot_dur = Duration::from_secs_f64(cfg.tool.slot_secs);
     let mut sent = Vec::with_capacity(plan.len());
     let mut packets_sent = 0u64;
     let mut seq = 0u64;
     let n = cfg.tool.probe_packets;
     let bytes = cfg.tool.packet_bytes as usize;
+    let m_probes = cfg.metrics.as_ref().map(|m| m.counter("probes_sent"));
+    let m_packets = cfg.metrics.as_ref().map(|m| m.counter("packets_sent"));
+    let m_lateness = cfg
+        .metrics
+        .as_ref()
+        .map(|m| m.histogram("send_lateness_secs"));
+    let mut aborted = false;
 
-    for (slot, experiment) in plan {
-        let due = anchor + slot_dur * (slot as u32);
-        tokio::time::sleep_until(due).await;
+    for &(slot, experiment) in &plan {
+        let due = anchor + slot_offset(slot_dur, slot);
+        if !sleep_until_unless_aborted(due, &abort) {
+            aborted = true;
+            break;
+        }
         let send_time_secs = anchor.elapsed().as_secs_f64();
+        if let Some(h) = &m_lateness {
+            h.record_secs((Instant::now() - due).as_secs_f64());
+        }
         for idx in 0..n {
             let header = ProbeHeader {
                 session: cfg.session,
@@ -99,17 +268,80 @@ pub async fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<Sende
             };
             seq += 1;
             packets_sent += 1;
-            socket.send(&header.encode(bytes)).await?;
+            if let Some(c) = &m_packets {
+                c.inc();
+            }
+            // A dead on-path destination surfaces as ConnectionRefused
+            // on loopback; the heartbeat watchdog is the authority on
+            // peer death, so skip the packet rather than crash.
+            if let Err(e) = socket.send(&header.encode(bytes)) {
+                if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                    continue;
+                }
+                done.store(true, Ordering::Relaxed);
+                if let Some(hb) = heartbeat {
+                    let _ = hb.join();
+                }
+                return Err(e);
+            }
         }
-        sent.push(SentProbeInfo { experiment, slot, send_time_secs, packets: n });
+        if let Some(c) = &m_probes {
+            c.inc();
+        }
+        sent.push(SentProbeInfo {
+            experiment,
+            slot,
+            send_time_secs,
+            packets: n,
+        });
     }
 
-    Ok(SenderManifest {
+    done.store(true, Ordering::Relaxed);
+    if let Some(hb) = heartbeat {
+        let _ = hb.join();
+    }
+    if aborted {
+        diagnostics.push(format!(
+            "receiver went silent mid-run: aborted after {} of {} probes \
+             (heartbeat watchdog); manifest is partial",
+            sent.len(),
+            plan.len()
+        ));
+        if let Some(m) = &cfg.metrics {
+            m.counter("runs_aborted").inc();
+        }
+    }
+
+    let manifest = SenderManifest {
         session: cfg.session,
         sent,
         packets_sent,
         n_slots: cfg.n_slots,
         slot_secs: cfg.tool.slot_secs,
+    };
+
+    // Report retrieval: only worth attempting if the peer was alive at
+    // the end of the schedule. After an abort the retry budget would
+    // just delay the (already partial) exit.
+    let mut receiver_log = None;
+    if let (Some(client), false) = (&client, aborted) {
+        std::thread::sleep(client.config().drain);
+        match client.fetch_report(cfg.session, manifest.sent.len() as u64, packets_sent) {
+            Ok((summary, records)) => {
+                receiver_log = Some(ReceiverLog::from_report(summary, &records));
+            }
+            Err(e) => diagnostics.push(format!(
+                "probes all sent but report retrieval failed: {e}; \
+                 manifest-only result"
+            )),
+        }
+    }
+
+    Ok(SenderOutcome {
+        manifest,
+        receiver_log,
+        completed: !aborted,
+        diagnostics,
     })
 }
 
@@ -122,30 +354,61 @@ mod tests {
         format!("127.0.0.1:{port}").parse().unwrap()
     }
 
-    #[tokio::test]
-    async fn sender_emits_planned_probes() {
-        // A tiny run straight into a receiver socket we read ourselves.
-        let sink = UdpSocket::bind(local(0)).await.unwrap();
+    #[test]
+    fn slot_offset_matches_small_multiplication() {
+        let d = Duration::from_millis(5);
+        assert_eq!(slot_offset(d, 0), Duration::ZERO);
+        assert_eq!(slot_offset(d, 1), d);
+        assert_eq!(slot_offset(d, 1000), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn slot_offset_survives_indices_beyond_u32() {
+        // Regression: the old deadline math was `slot_dur * (slot as
+        // u32)`, which silently truncates the index. At slot 2^32 + 1 it
+        // wrapped to 1·Δ and the sender fired the tail of the schedule
+        // with no pacing at all.
+        let d = Duration::from_micros(1);
+        let wrapped = u64::from(u32::MAX) + 2; // `as u32` would give 1
+        let truncated = d * 1u32;
+        let correct = slot_offset(d, wrapped);
+        assert_ne!(correct, truncated, "offset must not wrap at 2^32 slots");
+        assert_eq!(correct, Duration::from_micros(wrapped));
+        // Monotone in the slot index even across the old wrap point.
+        assert!(slot_offset(d, wrapped) > slot_offset(d, u64::from(u32::MAX)));
+    }
+
+    #[test]
+    fn slot_offset_saturates_instead_of_overflowing() {
+        let huge = slot_offset(Duration::from_secs(u64::MAX / 2), u64::MAX);
+        assert_eq!(huge, Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn sender_emits_planned_probes_open_loop() {
+        // A tiny run straight into a socket we read ourselves.
+        let sink = UdpSocket::bind(local(0)).unwrap();
         let target = sink.local_addr().unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
         let cfg = SenderConfig {
             tool: BadabingConfig {
                 slot_secs: 0.002, // fast slots to keep the test short
                 ..BadabingConfig::paper_default(0.5)
             },
-            n_slots: 50,
-            target,
-            bind: local(0),
-            session: 7,
+            ..SenderConfig::new(BadabingConfig::paper_default(0.5), 50, target, 7)
         };
-        let sender = tokio::spawn(run_sender(cfg, seeded(1, "live-send")));
+        let sender = std::thread::spawn(move || run_sender(cfg, seeded(1, "live-send")));
         let mut received = Vec::new();
         let mut buf = [0u8; 2048];
-        while let Ok(Ok(len)) =
-            tokio::time::timeout(std::time::Duration::from_millis(300), sink.recv(&mut buf)).await
-        {
+        while let Ok(len) = sink.recv(&mut buf) {
             received.push(ProbeHeader::decode(&buf[..len]).unwrap());
         }
-        let manifest = sender.await.unwrap().unwrap();
+        let outcome = sender.join().unwrap().unwrap();
+        assert!(outcome.completed);
+        assert!(outcome.diagnostics.is_empty());
+        assert!(outcome.receiver_log.is_none(), "open loop fetches nothing");
+        let manifest = outcome.manifest;
         assert!(!manifest.sent.is_empty());
         assert_eq!(manifest.packets_sent as usize, received.len());
         assert!(received.iter().all(|h| h.session == 7));
@@ -157,8 +420,8 @@ mod tests {
                 .count();
             assert_eq!(count, usize::from(probe.packets));
         }
-        // Send times land near slot boundaries (within 2 slots of nominal —
-        // CI schedulers jitter, we only need monotone slot alignment).
+        // Send times land at or after their slot boundary (absolute
+        // scheduling never fires early; CI jitter only delays).
         for probe in &manifest.sent {
             let nominal = probe.slot as f64 * 0.002;
             assert!(
@@ -168,5 +431,25 @@ mod tests {
                 probe.send_time_secs
             );
         }
+    }
+
+    #[test]
+    fn handshake_failure_is_an_error_not_a_hang() {
+        let sink = UdpSocket::bind(local(0)).unwrap(); // swallows probes
+        let target = sink.local_addr().unwrap();
+        // Control address points at a silent socket too.
+        let silent = UdpSocket::bind(local(0)).unwrap();
+        let mut control = ControlConfig::new(silent.local_addr().unwrap());
+        control.retry_base = Duration::from_millis(5);
+        control.retry_cap = Duration::from_millis(10);
+        control.max_attempts = 3;
+        let cfg = SenderConfig {
+            control: Some(control),
+            ..SenderConfig::new(BadabingConfig::paper_default(0.3), 10, target, 9)
+        };
+        let started = Instant::now();
+        let err = run_sender(cfg, seeded(2, "live-send")).unwrap_err();
+        assert!(err.to_string().contains("handshake"), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(2), "must fail fast");
     }
 }

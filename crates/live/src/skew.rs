@@ -51,14 +51,18 @@ pub fn fit_baseline(points: &[(f64, f64)]) -> Option<Baseline> {
     if points.is_empty() {
         return None;
     }
-    let global_min =
-        points.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
+    let global_min = points.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
     let (t_min, t_max) = points
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| (lo.min(t), hi.max(t)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| {
+            (lo.min(t), hi.max(t))
+        });
 
     if points.len() < 8 || t_max - t_min < 1.0 {
-        return Some(Baseline { offset: global_min, slope: 0.0 });
+        return Some(Baseline {
+            offset: global_min,
+            slope: 0.0,
+        });
     }
 
     // Minimum point of the first third and of the last third.
@@ -75,7 +79,10 @@ pub fn fit_baseline(points: &[(f64, f64)]) -> Option<Baseline> {
     let (t1, d1) = min_in(t_min, first_end)?;
     let (t2, d2) = min_in(last_start, t_max)?;
     if (t2 - t1).abs() < 1.0 {
-        return Some(Baseline { offset: global_min, slope: 0.0 });
+        return Some(Baseline {
+            offset: global_min,
+            slope: 0.0,
+        });
     }
     let slope = (d2 - d1) / (t2 - t1);
     let offset = d1 - slope * t1;
@@ -86,7 +93,11 @@ pub fn fit_baseline(points: &[(f64, f64)]) -> Option<Baseline> {
         .iter()
         .map(|&(t, d)| d - (offset + slope * t))
         .fold(f64::INFINITY, f64::min);
-    let offset = if undershoot < 0.0 { offset + undershoot } else { offset };
+    let offset = if undershoot < 0.0 {
+        offset + undershoot
+    } else {
+        offset
+    };
     Some(Baseline { offset, slope })
 }
 
@@ -160,8 +171,10 @@ mod tests {
         let pts = synthetic(5, 0.5, 2.0, 1e-3, |_| 0.0);
         let b = fit_baseline(&pts).unwrap();
         assert_eq!(b.slope, 0.0);
-        let min_corrected =
-            pts.iter().map(|&(t, d)| b.correct(t, d)).fold(f64::INFINITY, f64::min);
+        let min_corrected = pts
+            .iter()
+            .map(|&(t, d)| b.correct(t, d))
+            .fold(f64::INFINITY, f64::min);
         assert!(min_corrected.abs() < 1e-12);
     }
 
@@ -179,11 +192,87 @@ mod tests {
         // Force the first-third minimum to be a congested sample: constant
         // 50 ms congestion early, idle late. The guard must still keep
         // every corrected sample non-negative.
-        let pts = synthetic(300, 300.0, 1.0, 10e-6, |t| if t < 120.0 { 0.05 } else { 0.0 });
+        let pts = synthetic(
+            300,
+            300.0,
+            1.0,
+            10e-6,
+            |t| if t < 120.0 { 0.05 } else { 0.0 },
+        );
         let b = fit_baseline(&pts).unwrap();
         for &(t, raw) in &pts {
             assert!(b.correct(t, raw) >= -1e-12);
         }
+    }
+
+    #[test]
+    fn recovers_negative_skew() {
+        // Receiver clock running *fast* relative to the sender: raw
+        // delays shrink over the run. A fit that assumed non-negative
+        // slope would report phantom congestion at the start.
+        let pts = synthetic(2000, 600.0, 4.0, -25e-6, |t| {
+            if (200.0..205.0).contains(&t) {
+                0.06
+            } else {
+                0.0002
+            }
+        });
+        let b = fit_baseline(&pts).unwrap();
+        assert!((b.slope + 25e-6).abs() < 2e-6, "slope {}", b.slope);
+        for &(t, raw) in &pts {
+            let q = b.correct(t, raw);
+            if (200.0..205.0).contains(&t) {
+                assert!((q - 0.06).abs() < 0.005, "congested sample read {q}");
+            } else {
+                assert!(q < 0.005, "idle sample read {q} at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_window_minima_congested_still_touches_envelope() {
+        // Congestion covers the entire first AND last thirds; only the
+        // middle of the run is idle. Both anchor points of the two-window
+        // fit are then congested samples, placing the candidate line
+        // *above* the idle middle — the guard must lower it back onto the
+        // envelope so no corrected delay goes negative and the idle
+        // middle reads ~0.
+        let pts = synthetic(600, 300.0, 2.0, 5e-6, |t| {
+            if !(110.0..190.0).contains(&t) {
+                0.04
+            } else {
+                0.0
+            }
+        });
+        let b = fit_baseline(&pts).unwrap();
+        let mut idle_max = 0.0f64;
+        for &(t, raw) in &pts {
+            let q = b.correct(t, raw);
+            assert!(q >= 0.0, "negative corrected delay {q}");
+            if (110.0..190.0).contains(&t) {
+                idle_max = idle_max.max(q);
+            }
+        }
+        // The idle middle must not inherit the congested windows' 40 ms.
+        assert!(idle_max < 0.01, "idle middle reads {idle_max}");
+    }
+
+    #[test]
+    fn sub_second_runs_pin_slope_to_zero() {
+        // Plenty of points but a span too short to resolve ppm-scale
+        // skew: slope estimation from a < 1 s lever arm would amplify
+        // noise, so the fit must fall back to offset-only.
+        let pts = synthetic(200, 0.9, 1.5, 100e-6, |t| if t > 0.5 { 0.02 } else { 0.0 });
+        let b = fit_baseline(&pts).unwrap();
+        assert_eq!(b.slope, 0.0, "sub-second run must not fit a slope");
+        let min_corrected = pts
+            .iter()
+            .map(|&(t, d)| b.correct(t, d))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_corrected.abs() < 1e-12,
+            "offset removal must touch zero"
+        );
     }
 
     #[test]

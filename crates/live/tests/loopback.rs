@@ -1,5 +1,7 @@
-//! End-to-end live run on loopback: sender → bottleneck emulator →
-//! receiver, analyzed through the shared `badabing-core` pipeline.
+//! End-to-end live runs on loopback: sender → (emulator | impairment
+//! proxy) → receiver, analyzed through the shared `badabing-core`
+//! pipeline, plus the two-process control-plane scenarios (handshake
+//! under synthetic control loss, receiver death mid-run).
 //!
 //! These tests exercise real sockets and real timers, so the assertions
 //! are deliberately coarse (presence of loss, sane magnitudes) rather
@@ -8,69 +10,151 @@
 
 use badabing_core::config::BadabingConfig;
 use badabing_live::analyze::analyze_run;
+use badabing_live::control::ControlConfig;
 use badabing_live::emulator::{Emulator, EmulatorConfig};
 use badabing_live::receiver::{start_receiver, ReceiverConfig};
 use badabing_live::sender::{run_sender, SenderConfig};
 use badabing_stats::rng::seeded;
-use std::net::SocketAddr;
+use rand::RngExt;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
 
 fn local0() -> SocketAddr {
     "127.0.0.1:0".parse().unwrap()
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn clean_path_reports_no_congestion() {
-    let session = 0xA1;
-    let receiver = start_receiver(ReceiverConfig { bind: local0(), session }).await.unwrap();
-    let tool = BadabingConfig { slot_secs: 0.005, ..BadabingConfig::paper_default(0.5) };
-    let cfg = SenderConfig {
-        tool,
-        n_slots: 600, // 3 s
-        target: receiver.local_addr(),
-        bind: local0(),
-        session,
-    };
-    let manifest = run_sender(cfg, seeded(1, "clean")).await.unwrap();
-    tokio::time::sleep(std::time::Duration::from_millis(300)).await;
-    let log = receiver.stop().await;
-    assert_eq!(log.rejected, 0);
-    let analysis = analyze_run(&tool, &manifest, &log);
-    assert_eq!(analysis.packets_lost, 0, "loopback without emulator loses nothing");
-    assert_eq!(analysis.frequency(), Some(0.0));
-    assert!(analysis.validation.passes(0.25));
-    assert!(analysis.log.len() > 200, "experiments: {}", analysis.log.len());
+fn fast_tool() -> BadabingConfig {
+    BadabingConfig {
+        slot_secs: 0.005,
+        ..BadabingConfig::paper_default(0.5)
+    }
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn emulated_bottleneck_produces_loss_episodes() {
+/// A bidirectional UDP proxy that drops each datagram (either direction)
+/// with probability `loss`. The first peer to send through it is treated
+/// as the client; datagrams from anyone else flow back to that client.
+/// The thread leaks (it polls on a read timeout) — fine for a test
+/// process.
+fn lossy_proxy(target: SocketAddr, loss: f64, seed: u64) -> SocketAddr {
+    let sock = UdpSocket::bind(local0()).unwrap();
+    let addr = sock.local_addr().unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    std::thread::spawn(move || {
+        let mut rng = seeded(seed, "lossy-proxy");
+        let mut client: Option<SocketAddr> = None;
+        let mut buf = [0u8; 4096];
+        loop {
+            let Ok((len, src)) = sock.recv_from(&mut buf) else {
+                continue;
+            };
+            if rng.random_bool(loss) {
+                continue;
+            }
+            if src == target {
+                if let Some(c) = client {
+                    let _ = sock.send_to(&buf[..len], c);
+                }
+            } else {
+                client = Some(src);
+                let _ = sock.send_to(&buf[..len], target);
+            }
+        }
+    });
+    addr
+}
+
+/// A one-way proxy that duplicates and reorders probe datagrams on a
+/// deterministic pattern: every 7th datagram is held back one step
+/// (reordering with its successor) and every 5th is sent twice.
+fn dup_reorder_proxy(target: SocketAddr) -> SocketAddr {
+    let sock = UdpSocket::bind(local0()).unwrap();
+    let addr = sock.local_addr().unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    std::thread::spawn(move || {
+        let mut held: Option<Vec<u8>> = None;
+        let mut i = 0u64;
+        let mut buf = [0u8; 4096];
+        loop {
+            let Ok((len, _)) = sock.recv_from(&mut buf) else {
+                continue;
+            };
+            let data = buf[..len].to_vec();
+            i += 1;
+            if i % 7 == 3 && held.is_none() {
+                held = Some(data);
+                continue;
+            }
+            let _ = sock.send_to(&data, target);
+            if i % 5 == 0 {
+                let _ = sock.send_to(&data, target); // duplicate
+            }
+            if let Some(h) = held.take() {
+                let _ = sock.send_to(&h, target); // released late: reorder
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn clean_path_reports_no_congestion() {
+    let session = 0xA1;
+    let receiver = start_receiver(ReceiverConfig::new(local0(), session)).unwrap();
+    let tool = fast_tool();
+    let cfg = SenderConfig {
+        tool,
+        ..SenderConfig::new(tool, 600 /* 3 s */, receiver.local_addr(), session)
+    };
+    let outcome = run_sender(cfg, seeded(1, "clean")).unwrap();
+    assert!(outcome.completed);
+    std::thread::sleep(Duration::from_millis(300));
+    let log = receiver.stop();
+    assert_eq!(log.rejected, 0);
+    assert_eq!(log.duplicates, 0);
+    let analysis = analyze_run(&tool, &outcome.manifest, &log);
+    assert_eq!(
+        analysis.packets_lost, 0,
+        "loopback without emulator loses nothing"
+    );
+    assert_eq!(analysis.frequency(), Some(0.0));
+    assert!(analysis.validation.passes(0.25));
+    assert!(
+        analysis.log.len() > 200,
+        "experiments: {}",
+        analysis.log.len()
+    );
+}
+
+#[test]
+fn emulated_bottleneck_produces_loss_episodes() {
     let session = 0xB2;
-    let receiver = start_receiver(ReceiverConfig { bind: local0(), session }).await.unwrap();
+    let receiver = start_receiver(ReceiverConfig::new(local0(), session)).unwrap();
     let emu_cfg = EmulatorConfig {
         rate_bps: 10_000_000,
-        buffer_bytes: 125_000,          // 100 ms at 10 Mb/s
-        episode_mean_gap_secs: 1.0,     // dense episodes for a short test
+        buffer_bytes: 125_000,      // 100 ms at 10 Mb/s
+        episode_mean_gap_secs: 1.0, // dense episodes for a short test
         episode_loss_secs: 0.120,
         burst_factor: 4.0,
         bind: local0(),
         target: receiver.local_addr(),
+        metrics: None,
     };
-    let emulator = Emulator::start(emu_cfg, seeded(2, "emu")).await.unwrap();
-    let tool = BadabingConfig { slot_secs: 0.005, ..BadabingConfig::paper_default(0.5) };
+    let emulator = Emulator::start(emu_cfg, seeded(2, "emu")).unwrap();
+    let tool = fast_tool();
     let cfg = SenderConfig {
         tool,
-        n_slots: 1_600, // 8 s
-        target: emulator.local_addr(),
-        bind: local0(),
-        session,
+        ..SenderConfig::new(tool, 1_600 /* 8 s */, emulator.local_addr(), session)
     };
-    let manifest = run_sender(cfg, seeded(3, "probe")).await.unwrap();
-    tokio::time::sleep(std::time::Duration::from_millis(500)).await;
-    let stats = emulator.stop().await;
-    let log = receiver.stop().await;
+    let outcome = run_sender(cfg, seeded(3, "probe")).unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    let stats = emulator.stop();
+    let log = receiver.stop();
     assert!(stats.episodes >= 2, "scripted episodes: {}", stats.episodes);
     assert!(stats.dropped > 0, "emulator dropped nothing");
 
-    let analysis = analyze_run(&tool, &manifest, &log);
+    let analysis = analyze_run(&tool, &outcome.manifest, &log);
     assert!(analysis.packets_lost > 0);
     let f = analysis.frequency().expect("nonempty run");
     assert!(f > 0.0, "estimated frequency should be positive");
@@ -79,4 +163,183 @@ async fn emulated_bottleneck_produces_loss_episodes() {
     if let Some(d) = analysis.duration_secs() {
         assert!(d > 0.0 && d < 1.0, "duration estimate {d} out of range");
     }
+}
+
+#[test]
+fn control_plane_runs_the_full_session() {
+    // The two-process workflow end to end: handshake, heartbeats, FIN,
+    // chunked report retrieval. The receiver exits on its own once the
+    // sender acknowledges the full report — no out-of-band coordination.
+    let session = 0xC3;
+    let receiver = start_receiver(ReceiverConfig {
+        idle_timeout: Some(Duration::from_secs(10)),
+        ..ReceiverConfig::new(local0(), session)
+    })
+    .unwrap();
+    let tool = fast_tool();
+    let mut control = ControlConfig::new(receiver.local_addr());
+    control.drain = Duration::from_millis(100);
+    let cfg = SenderConfig {
+        tool,
+        control: Some(control),
+        ..SenderConfig::new(tool, 400 /* 2 s */, receiver.local_addr(), session)
+    };
+    let outcome = run_sender(cfg, seeded(4, "ctl")).unwrap();
+    assert!(outcome.completed);
+    assert_eq!(outcome.diagnostics, Vec::<String>::new());
+    let fetched = outcome.receiver_log.expect("control plane fetches the log");
+    assert!(fetched.handshake.is_none(), "summary carries no params");
+
+    // Session-complete exit: join() must return promptly, well before
+    // the 10 s idle watchdog.
+    let started = Instant::now();
+    let local = receiver.join();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "receiver should exit via ReportAck, not the watchdog"
+    );
+    assert_eq!(local.handshake.map(|p| p.n_slots), Some(400));
+
+    // The fetched report and the receiver's own log agree.
+    assert_eq!(fetched.packets, local.packets);
+    assert_eq!(fetched.duplicates, local.duplicates);
+    assert_eq!(fetched.arrivals.len(), local.arrivals.len());
+    for (key, rec) in &local.arrivals {
+        let f = fetched
+            .arrivals
+            .get(key)
+            .expect("record present in fetched report");
+        assert_eq!(f.received, rec.received);
+    }
+
+    // And analysis off the *fetched* log sees the clean path.
+    let analysis = analyze_run(&tool, &outcome.manifest, &fetched);
+    assert_eq!(analysis.packets_lost, 0);
+    assert_eq!(analysis.frequency(), Some(0.0));
+}
+
+#[test]
+fn handshake_survives_heavy_control_loss() {
+    // 30% loss in each direction on the control channel (probes run
+    // clean). Per-request failure odds with 12 attempts are ~1e-4, so
+    // backoff retries must carry the handshake, FIN, and every report
+    // chunk through. Heartbeats cross the same lossy path — give them a
+    // deep miss budget so liveness noise cannot abort the run.
+    let session = 0xD4;
+    let receiver = start_receiver(ReceiverConfig {
+        idle_timeout: Some(Duration::from_secs(10)),
+        ..ReceiverConfig::new(local0(), session)
+    })
+    .unwrap();
+    let proxy = lossy_proxy(receiver.local_addr(), 0.30, 77);
+    let tool = fast_tool();
+    let mut control = ControlConfig::new(proxy);
+    control.heartbeat_misses = 10;
+    control.drain = Duration::from_millis(100);
+    let cfg = SenderConfig {
+        tool,
+        control: Some(control),
+        ..SenderConfig::new(tool, 400 /* 2 s */, receiver.local_addr(), session)
+    };
+    let outcome = run_sender(cfg, seeded(5, "lossy-ctl")).unwrap();
+    assert!(outcome.completed, "diagnostics: {:?}", outcome.diagnostics);
+    let fetched = outcome
+        .receiver_log
+        .expect("report retrieval survives 30% loss");
+    assert!(fetched.packets > 0);
+    let analysis = analyze_run(&tool, &outcome.manifest, &fetched);
+    assert_eq!(analysis.packets_lost, 0, "probe path was clean");
+    let _ = receiver.stop();
+}
+
+#[test]
+fn receiver_death_mid_run_degrades_to_partial_manifest() {
+    let session = 0xE5;
+    let receiver = start_receiver(ReceiverConfig::new(local0(), session)).unwrap();
+    let target = receiver.local_addr();
+    let tool = fast_tool();
+    let mut control = ControlConfig::new(target);
+    control.heartbeat_interval = Duration::from_millis(100);
+    control.heartbeat_misses = 3;
+    let cfg = SenderConfig {
+        tool,
+        control: Some(control),
+        ..SenderConfig::new(tool, 4_000 /* nominally 20 s */, target, session)
+    };
+    let sender = std::thread::spawn(move || run_sender(cfg, seeded(6, "death")));
+
+    // Let the run establish itself, then kill the receiver.
+    std::thread::sleep(Duration::from_millis(700));
+    let _ = receiver.stop();
+    let killed_at = Instant::now();
+
+    let outcome = sender.join().unwrap().unwrap();
+    let detected_in = killed_at.elapsed();
+    // Watchdog budget: 3 misses × 100 ms heartbeats plus scheduling
+    // slack — nowhere near the 19 s of schedule that remained.
+    assert!(
+        detected_in < Duration::from_secs(5),
+        "sender took {detected_in:?} to abort after receiver death"
+    );
+    assert!(!outcome.completed, "run must be marked incomplete");
+    assert!(
+        outcome.receiver_log.is_none(),
+        "no report from a dead receiver"
+    );
+    assert!(
+        !outcome.diagnostics.is_empty(),
+        "a partial run must carry a diagnostic"
+    );
+    assert!(
+        outcome.diagnostics[0].contains("partial"),
+        "{:?}",
+        outcome.diagnostics
+    );
+    let manifest = &outcome.manifest;
+    assert!(
+        !manifest.sent.is_empty(),
+        "probes before the kill are retained"
+    );
+    // The schedule had ~20 s to go; a completed run would have sent far
+    // more probes than fit in the first ~1.5 s.
+    let max_slot = manifest.sent.iter().map(|s| s.slot).max().unwrap();
+    assert!(
+        max_slot < 1_500,
+        "sender kept probing after abort (slot {max_slot})"
+    );
+}
+
+#[test]
+fn duplicated_and_reordered_datagrams_leave_loss_accounting_unchanged() {
+    // The impairment proxy duplicates every 5th datagram and reorders
+    // every 7th with its successor, but drops nothing. Dedup by
+    // (seq, idx) must keep the loss accounting identical to a clean
+    // path: zero loss, zero estimated frequency.
+    let session = 0xF6;
+    let receiver = start_receiver(ReceiverConfig::new(local0(), session)).unwrap();
+    let proxy = dup_reorder_proxy(receiver.local_addr());
+    let tool = fast_tool();
+    let cfg = SenderConfig {
+        tool,
+        ..SenderConfig::new(tool, 600 /* 3 s */, proxy, session)
+    };
+    let outcome = run_sender(cfg, seeded(7, "dupes")).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let log = receiver.stop();
+
+    assert!(log.duplicates > 0, "proxy injected duplicates");
+    assert_eq!(
+        log.packets, outcome.manifest.packets_sent,
+        "every distinct packet arrived"
+    );
+    // No arrival record exceeds its probe length despite the duplicates.
+    for rec in log.arrivals.values() {
+        assert!(rec.received <= tool.probe_packets);
+    }
+    let analysis = analyze_run(&tool, &outcome.manifest, &log);
+    assert_eq!(
+        analysis.packets_lost, 0,
+        "duplicates/reordering must not be mistaken for (or mask) loss"
+    );
+    assert_eq!(analysis.frequency(), Some(0.0));
 }

@@ -1,0 +1,408 @@
+//! Lightweight run observability for the BADABING workspace.
+//!
+//! Every long-running component — live sender, receiver, bottleneck
+//! emulator, and the simulation engine's event loop — threads a
+//! [`Registry`] of monotonic [`Counter`]s and fixed-bucket [`Histogram`]s
+//! through its hot path and dumps a JSON snapshot at run end. The
+//! snapshot is what `summarize` folds into `results/SUMMARY.md`, and what
+//! a future multi-receiver scale-out will ship over the control plane.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No dependencies.** The offline build cannot fetch crates, so the
+//!    JSON snapshot format is implemented by the sibling [`json`] module.
+//! 2. **Hot-path cheap.** Counters are single relaxed atomic adds;
+//!    histogram recording is two atomic adds plus a branch-free bucket
+//!    search over a handful of fixed bounds. No locks are taken after
+//!    registration.
+//! 3. **Shareable.** Handles are `Arc`s; a component can hand the same
+//!    counter to several threads.
+//!
+//! # Snapshot schema
+//!
+//! ```json
+//! {
+//!   "name": "badabing_send",
+//!   "counters": { "packets_sent": 1234 },
+//!   "histograms": {
+//!     "send_lateness_secs": {
+//!       "count": 100,
+//!       "sum_secs": 0.042,
+//!       "min_secs": 1e-5,
+//!       "max_secs": 0.003,
+//!       "mean_secs": 0.00042,
+//!       "buckets": [ { "le_secs": 0.001, "count": 93 },
+//!                    { "le_secs": null,  "count": 7 } ]
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! The last bucket's `le_secs` is `null`: it is the overflow bucket.
+
+pub mod json;
+
+use json::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of durations, recorded in nanoseconds.
+///
+/// Bounds are upper bucket edges in seconds; one implicit overflow bucket
+/// catches everything above the last bound. Recording touches only
+/// atomics, so a histogram can sit in a multi-threaded hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper edges, in nanoseconds, ascending.
+    bounds_ns: Vec<u64>,
+    /// One slot per bound plus the overflow slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// Default edges for network latencies: 10 µs to 30 s, roughly
+/// half-decade spacing.
+pub const LATENCY_BOUNDS_SECS: [f64; 12] = [
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0, 10.0, 30.0,
+];
+
+impl Histogram {
+    /// A histogram with the given upper bucket edges (seconds, ascending).
+    ///
+    /// # Panics
+    /// Panics if `bounds_secs` is empty or not strictly ascending.
+    pub fn new(bounds_secs: &[f64]) -> Self {
+        assert!(
+            !bounds_secs.is_empty(),
+            "histogram needs at least one bound"
+        );
+        assert!(
+            bounds_secs.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let bounds_ns = bounds_secs
+            .iter()
+            .map(|&s| (s * 1e9) as u64)
+            .collect::<Vec<_>>();
+        let buckets = (0..=bounds_ns.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds_ns,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram with the default latency edges.
+    pub fn latency() -> Self {
+        Self::new(&LATENCY_BOUNDS_SECS)
+    }
+
+    /// Record a duration in seconds (negative values clamp to zero).
+    pub fn record_secs(&self, secs: f64) {
+        let ns = if secs <= 0.0 {
+            0
+        } else {
+            (secs * 1e9).min(u64::MAX as f64) as u64
+        };
+        self.record_ns(ns);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = self.bounds_ns.partition_point(|&b| b < ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples in seconds (`None` when empty).
+    pub fn mean_secs(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9 / n as f64)
+    }
+
+    /// Maximum recorded sample in seconds (`None` when empty).
+    pub fn max_secs(&self) -> Option<f64> {
+        (self.count() > 0).then(|| self.max_ns.load(Ordering::Relaxed) as f64 / 1e9)
+    }
+
+    fn to_value(&self) -> Value {
+        let count = self.count();
+        let sum_secs = self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for (i, slot) in self.buckets.iter().enumerate() {
+            let le = self
+                .bounds_ns
+                .get(i)
+                .map_or(Value::Null, |&ns| Value::Num(ns as f64 / 1e9));
+            buckets.push(Value::obj(vec![
+                ("le_secs", le),
+                ("count", Value::Num(slot.load(Ordering::Relaxed) as f64)),
+            ]));
+        }
+        Value::obj(vec![
+            ("count", Value::Num(count as f64)),
+            ("sum_secs", Value::Num(sum_secs)),
+            (
+                "min_secs",
+                if count > 0 {
+                    Value::Num(self.min_ns.load(Ordering::Relaxed) as f64 / 1e9)
+                } else {
+                    Value::Null
+                },
+            ),
+            ("max_secs", self.max_secs().map_or(Value::Null, Value::Num)),
+            (
+                "mean_secs",
+                self.mean_secs().map_or(Value::Null, Value::Num),
+            ),
+            ("buckets", Value::Arr(buckets)),
+        ])
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Registration takes a short lock; the returned `Arc` handles are then
+/// lock-free to update. Asking twice for the same name returns the same
+/// instrument.
+pub struct Registry {
+    name: String,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("name", &self.name)
+            .field(
+                "counters",
+                &self.counters.lock().expect("registry poisoned").len(),
+            )
+            .field(
+                "histograms",
+                &self.histograms.lock().expect("registry poisoned").len(),
+            )
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry labelled `name` (the snapshot's `name` field).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The registry's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create a histogram with the default latency bounds.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &LATENCY_BOUNDS_SECS)
+    }
+
+    /// Get or create a histogram with explicit bounds (ignored if the
+    /// histogram already exists).
+    pub fn histogram_with(&self, name: &str, bounds_secs: &[f64]) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds_secs)))
+            .clone()
+    }
+
+    /// Snapshot the registry as a JSON value.
+    pub fn snapshot(&self) -> Value {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, c)| (k.clone(), Value::Num(c.get() as f64)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_value()))
+            .collect();
+        Value::obj(vec![
+            ("name", Value::Str(self.name.clone())),
+            ("counters", Value::Obj(counters)),
+            ("histograms", Value::Obj(histograms)),
+        ])
+    }
+
+    /// Snapshot as pretty-printed JSON text.
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot().to_pretty()
+    }
+
+    /// Write the snapshot to `path`, creating parent directories.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.snapshot_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = Registry::new("test");
+        let a = reg.counter("packets");
+        let b = reg.counter("packets");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("packets").get(), 5);
+        assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        h.record_secs(0.0005); // bucket 0
+        h.record_secs(0.001); //  bucket 0 (edge is inclusive)
+        h.record_secs(0.005); //  bucket 1
+        h.record_secs(0.5); //    overflow
+        h.record_secs(-3.0); //   clamps to 0, bucket 0
+        assert_eq!(h.count(), 5);
+        let v = h.to_value();
+        let buckets = v.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(buckets[1].get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(buckets[2].get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(buckets[3].get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(buckets[3].get("le_secs").unwrap(), &Value::Null);
+        assert!((h.max_secs().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_stats_track_min_max_mean() {
+        let h = Histogram::latency();
+        assert_eq!(h.mean_secs(), None);
+        assert_eq!(h.max_secs(), None);
+        h.record_secs(0.002);
+        h.record_secs(0.004);
+        assert!((h.mean_secs().unwrap() - 0.003).abs() < 1e-9);
+        assert!((h.max_secs().unwrap() - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[0.1, 0.01]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = Registry::new("roundtrip");
+        reg.counter("sent").add(10);
+        reg.histogram("delay").record_secs(0.02);
+        let text = reg.snapshot_json();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("roundtrip"));
+        assert_eq!(
+            v.get("counters").unwrap().get("sent").unwrap().as_u64(),
+            Some(10)
+        );
+        let hist = v.get("histograms").unwrap().get("delay").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn save_writes_file_with_parents() {
+        let dir = std::env::temp_dir().join("badabing-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub").join("m.json");
+        let reg = Registry::new("io");
+        reg.counter("x").inc();
+        reg.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(json::parse(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let reg = Arc::new(Registry::new("mt"));
+        let c = reg.counter("hits");
+        let h = reg.histogram("lat");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                        h.record_ns(500);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -3,6 +3,22 @@
 use crate::event::{Event, EventQueue};
 use crate::node::{Context, Node, NodeId};
 use crate::time::SimTime;
+use badabing_metrics::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Upper bucket edges for the virtual-time step histogram: events in this
+/// simulator are queueing/transmission-scale, so the interesting range is
+/// sub-microsecond (coincident events) up to around a second (idle gaps).
+const STEP_BOUNDS_SECS: [f64; 8] = [1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Pre-resolved instrument handles so the dispatch loop never touches the
+/// registry lock (see `badabing_metrics`' hot-path contract).
+struct Instruments {
+    registry: Arc<Registry>,
+    deliver_events: Arc<Counter>,
+    timer_events: Arc<Counter>,
+    step: Arc<Histogram>,
+}
 
 /// Owns all nodes and the event queue; advances virtual time by dispatching
 /// events in order.
@@ -14,6 +30,7 @@ pub struct Simulator {
     next_packet_id: u64,
     dispatched: u64,
     out_buf: Vec<(SimTime, NodeId, Event)>,
+    instruments: Option<Instruments>,
 }
 
 impl Default for Simulator {
@@ -33,7 +50,27 @@ impl Simulator {
             next_packet_id: 0,
             dispatched: 0,
             out_buf: Vec::new(),
+            instruments: None,
         }
+    }
+
+    /// Attach a metrics registry: every subsequent dispatch counts into
+    /// `events_deliver` / `events_timer` and records its virtual-time
+    /// advance in the `virtual_step_secs` histogram. Counters accumulate,
+    /// so several simulators may share one registry (parallel replicate
+    /// runs fold into pool totals).
+    pub fn attach_metrics(&mut self, registry: Arc<Registry>) {
+        self.instruments = Some(Instruments {
+            deliver_events: registry.counter("events_deliver"),
+            timer_events: registry.counter("events_timer"),
+            step: registry.histogram_with("virtual_step_secs", &STEP_BOUNDS_SECS),
+            registry,
+        });
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Registry>> {
+        self.instruments.as_ref().map(|i| &i.registry)
     }
 
     /// Register a node, returning its id.
@@ -118,6 +155,13 @@ impl Simulator {
             }
             let (at, target, event) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(at >= self.now, "event queue went backwards");
+            if let Some(ins) = &self.instruments {
+                ins.step.record_secs(at.since(self.now).as_secs_f64());
+                match event {
+                    Event::Deliver(_) => ins.deliver_events.inc(),
+                    Event::Timer(_) => ins.timer_events.inc(),
+                }
+            }
             self.now = at;
             self.dispatched += 1;
             let mut ctx = Context::new(
@@ -253,6 +297,31 @@ mod tests {
         let mut sim = Simulator::new();
         let sink = sim.add_node(Box::new(CountingSink::new()));
         let _ = sim.node::<PeriodicSource>(sink);
+    }
+
+    #[test]
+    fn attached_metrics_count_every_dispatch() {
+        let mut sim = Simulator::new();
+        let sink = sim.add_node(Box::new(CountingSink::new()));
+        sim.add_node(Box::new(PeriodicSource {
+            dst: sink,
+            gap: SimDuration::from_millis(10),
+            remaining: 5,
+            flow: FlowId(1),
+        }));
+        let reg = Arc::new(Registry::new("sim"));
+        sim.attach_metrics(reg.clone());
+        assert!(sim.metrics().is_some());
+        sim.run_to_completion();
+        let deliver = reg.counter("events_deliver").get();
+        let timer = reg.counter("events_timer").get();
+        assert_eq!(deliver, 5, "one delivery per packet");
+        assert_eq!(timer, 5, "one timer firing per emission");
+        assert_eq!(deliver + timer, sim.dispatched());
+        let steps = reg.histogram_with("virtual_step_secs", &STEP_BOUNDS_SECS);
+        assert_eq!(steps.count(), sim.dispatched());
+        // The largest step is the 10 ms inter-emission gap.
+        assert!((steps.max_secs().unwrap() - 0.01).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,651 @@
+//! Control-plane messages for the two-process live tool.
+//!
+//! The original BADABING tool ran sender and receiver as separate
+//! programs on separate hosts (§6); our reimplementation's control plane
+//! carries everything the two processes must agree on over the same UDP
+//! path the probes use, with sender-driven retries (the sender is the
+//! only side with a human attached, so it owns all timeouts):
+//!
+//! 1. **Handshake** — [`ControlMessage::Syn`] carries the session id and
+//!    the full tool configuration ([`SessionParams`]); the receiver
+//!    answers [`ControlMessage::SynAck`]. The sender retries with capped
+//!    exponential backoff until acknowledged or out of attempts.
+//! 2. **Liveness** — periodic [`ControlMessage::Heartbeat`] /
+//!    [`ControlMessage::HeartbeatAck`] pairs during the run. Consecutive
+//!    unanswered heartbeats abort the sender with a partial manifest; an
+//!    idle watchdog on the receiver reclaims the session if the sender
+//!    vanishes.
+//! 3. **Teardown + report retrieval** — [`ControlMessage::Fin`] asks the
+//!    receiver to finalize its log; [`ControlMessage::FinAck`] returns
+//!    the log summary and chunk count; the sender then pulls
+//!    [`ControlMessage::ReportChunk`]s one
+//!    [`ControlMessage::ReportRequest`] at a time (request/response is
+//!    the per-chunk ACK; re-requests are idempotent) and closes with a
+//!    final [`ControlMessage::ReportAck`].
+//!
+//! Control datagrams start with [`CONTROL_MAGIC`] (`"BDC1"`), distinct
+//! from the probe magic, so both kinds can share one socket.
+
+use crate::DecodeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Identifies control datagrams: `"BDC1"` (BaDabing Control, version 1).
+pub const CONTROL_MAGIC: u32 = 0x4244_4331;
+
+/// Probe arrival records carried per [`ControlMessage::ReportChunk`].
+///
+/// Sized so a full chunk stays well under any sane MTU:
+/// `8 + 32·34 = 1096` bytes of payload.
+pub const RECORDS_PER_CHUNK: usize = 32;
+
+/// Encoded size of one [`ReportRecord`].
+const RECORD_BYTES: usize = 34;
+
+/// The tool configuration a SYN carries, so a bare receiver can size its
+/// run without out-of-band agreement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionParams {
+    /// Total slots the sender will run.
+    pub n_slots: u64,
+    /// Slot width in nanoseconds.
+    pub slot_ns: u64,
+    /// Packets per probe.
+    pub probe_packets: u8,
+    /// Probe packet size in bytes.
+    pub packet_bytes: u32,
+    /// Experiment start probability `p`.
+    pub p: f64,
+    /// Whether the improved (§5.3) schedule is in use.
+    pub improved: bool,
+}
+
+/// One probe's arrival record as shipped over the control plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportRecord {
+    /// Owning experiment.
+    pub experiment: u64,
+    /// Targeted slot.
+    pub slot: u64,
+    /// Distinct packets of this probe that arrived.
+    pub received: u8,
+    /// Duplicated datagrams observed for this probe (saturating).
+    pub duplicates: u8,
+    /// Queueing delay of the last arrival, seconds.
+    pub qdelay_last_secs: f64,
+    /// Maximum queueing delay over the probe's arrivals, seconds.
+    pub qdelay_max_secs: f64,
+}
+
+impl ReportRecord {
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.experiment);
+        buf.put_u64(self.slot);
+        buf.put_u8(self.received);
+        buf.put_u8(self.duplicates);
+        buf.put_f64(self.qdelay_last_secs);
+        buf.put_f64(self.qdelay_max_secs);
+    }
+
+    fn get(data: &mut &[u8]) -> Self {
+        Self {
+            experiment: data.get_u64(),
+            slot: data.get_u64(),
+            received: data.get_u8(),
+            duplicates: data.get_u8(),
+            qdelay_last_secs: data.get_f64(),
+            qdelay_max_secs: data.get_f64(),
+        }
+    }
+}
+
+/// Summary of a finalized receiver log, returned in a FIN-ACK so the
+/// sender can reconstruct the log's metadata without a side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReportSummary {
+    /// Probe datagrams accepted (duplicates included).
+    pub packets: u64,
+    /// Datagrams rejected.
+    pub rejected: u64,
+    /// Duplicated probe datagrams detected.
+    pub duplicates: u64,
+    /// Minimum raw delay observed (clock-offset estimate), nanoseconds.
+    pub min_raw_delay_ns: Option<i64>,
+}
+
+/// A control-plane message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMessage {
+    /// Session open request, sender → receiver.
+    Syn {
+        /// Session id the probes will carry.
+        session: u32,
+        /// The run's tool configuration.
+        params: SessionParams,
+    },
+    /// Session accepted, receiver → sender.
+    SynAck {
+        /// Echoed session id.
+        session: u32,
+    },
+    /// Liveness probe, sender → receiver.
+    Heartbeat {
+        /// Session id.
+        session: u32,
+        /// Sender-chosen sequence number, echoed in the ack.
+        seq: u64,
+    },
+    /// Liveness reply, receiver → sender.
+    HeartbeatAck {
+        /// Session id.
+        session: u32,
+        /// Echoed heartbeat sequence number.
+        seq: u64,
+    },
+    /// Run finished; finalize the log, sender → receiver.
+    Fin {
+        /// Session id.
+        session: u32,
+        /// Probes the sender actually sent.
+        probes_sent: u64,
+        /// Packets the sender actually sent.
+        packets_sent: u64,
+    },
+    /// Log finalized, receiver → sender.
+    FinAck {
+        /// Session id.
+        session: u32,
+        /// Report chunks available for retrieval.
+        total_chunks: u32,
+        /// Log metadata.
+        summary: ReportSummary,
+    },
+    /// Ask for one report chunk, sender → receiver.
+    ReportRequest {
+        /// Session id.
+        session: u32,
+        /// Chunk index in `0..total_chunks`.
+        chunk: u32,
+    },
+    /// One report chunk, receiver → sender. Re-sent verbatim on
+    /// re-request, so retrieval is idempotent under loss.
+    ReportChunk {
+        /// Session id.
+        session: u32,
+        /// This chunk's index.
+        chunk: u32,
+        /// Total chunks in the report.
+        total_chunks: u32,
+        /// The records (at most [`RECORDS_PER_CHUNK`]).
+        records: Vec<ReportRecord>,
+    },
+    /// Retrieval complete (chunk == total_chunks) or a single chunk
+    /// acknowledged, sender → receiver. Lets the receiver exit as soon
+    /// as the sender has everything instead of waiting out its idle
+    /// watchdog.
+    ReportAck {
+        /// Session id.
+        session: u32,
+        /// Highest chunk index received plus one; `total_chunks` means
+        /// the whole report arrived.
+        chunk: u32,
+    },
+}
+
+const TYPE_SYN: u8 = 1;
+const TYPE_SYN_ACK: u8 = 2;
+const TYPE_HEARTBEAT: u8 = 3;
+const TYPE_HEARTBEAT_ACK: u8 = 4;
+const TYPE_FIN: u8 = 5;
+const TYPE_FIN_ACK: u8 = 6;
+const TYPE_REPORT_REQUEST: u8 = 7;
+const TYPE_REPORT_CHUNK: u8 = 8;
+const TYPE_REPORT_ACK: u8 = 9;
+
+impl ControlMessage {
+    /// The session id carried by any control message.
+    pub fn session(&self) -> u32 {
+        match *self {
+            ControlMessage::Syn { session, .. }
+            | ControlMessage::SynAck { session }
+            | ControlMessage::Heartbeat { session, .. }
+            | ControlMessage::HeartbeatAck { session, .. }
+            | ControlMessage::Fin { session, .. }
+            | ControlMessage::FinAck { session, .. }
+            | ControlMessage::ReportRequest { session, .. }
+            | ControlMessage::ReportChunk { session, .. }
+            | ControlMessage::ReportAck { session, .. } => session,
+        }
+    }
+
+    /// Encode into a datagram.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(CONTROL_MAGIC);
+        match self {
+            ControlMessage::Syn { session, params } => {
+                buf.put_u8(TYPE_SYN);
+                buf.put_u32(*session);
+                buf.put_u64(params.n_slots);
+                buf.put_u64(params.slot_ns);
+                buf.put_u8(params.probe_packets);
+                buf.put_u32(params.packet_bytes);
+                buf.put_f64(params.p);
+                buf.put_u8(u8::from(params.improved));
+            }
+            ControlMessage::SynAck { session } => {
+                buf.put_u8(TYPE_SYN_ACK);
+                buf.put_u32(*session);
+            }
+            ControlMessage::Heartbeat { session, seq } => {
+                buf.put_u8(TYPE_HEARTBEAT);
+                buf.put_u32(*session);
+                buf.put_u64(*seq);
+            }
+            ControlMessage::HeartbeatAck { session, seq } => {
+                buf.put_u8(TYPE_HEARTBEAT_ACK);
+                buf.put_u32(*session);
+                buf.put_u64(*seq);
+            }
+            ControlMessage::Fin {
+                session,
+                probes_sent,
+                packets_sent,
+            } => {
+                buf.put_u8(TYPE_FIN);
+                buf.put_u32(*session);
+                buf.put_u64(*probes_sent);
+                buf.put_u64(*packets_sent);
+            }
+            ControlMessage::FinAck {
+                session,
+                total_chunks,
+                summary,
+            } => {
+                buf.put_u8(TYPE_FIN_ACK);
+                buf.put_u32(*session);
+                buf.put_u32(*total_chunks);
+                buf.put_u64(summary.packets);
+                buf.put_u64(summary.rejected);
+                buf.put_u64(summary.duplicates);
+                buf.put_u8(u8::from(summary.min_raw_delay_ns.is_some()));
+                buf.put_i64(summary.min_raw_delay_ns.unwrap_or(0));
+            }
+            ControlMessage::ReportRequest { session, chunk } => {
+                buf.put_u8(TYPE_REPORT_REQUEST);
+                buf.put_u32(*session);
+                buf.put_u32(*chunk);
+            }
+            ControlMessage::ReportChunk {
+                session,
+                chunk,
+                total_chunks,
+                records,
+            } => {
+                assert!(
+                    records.len() <= RECORDS_PER_CHUNK,
+                    "chunk carries {} records, limit is {RECORDS_PER_CHUNK}",
+                    records.len()
+                );
+                buf.put_u8(TYPE_REPORT_CHUNK);
+                buf.put_u32(*session);
+                buf.put_u32(*chunk);
+                buf.put_u32(*total_chunks);
+                buf.put_u16(records.len() as u16);
+                for r in records {
+                    r.put(&mut buf);
+                }
+            }
+            ControlMessage::ReportAck { session, chunk } => {
+                buf.put_u8(TYPE_REPORT_ACK);
+                buf.put_u32(*session);
+                buf.put_u32(*chunk);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from a received datagram.
+    pub fn decode(mut data: &[u8]) -> Result<Self, DecodeError> {
+        let total = data.len();
+        let need = |n: usize, have: usize| {
+            if have < n {
+                Err(DecodeError::TooShort { got: total })
+            } else {
+                Ok(())
+            }
+        };
+        need(9, data.len())?;
+        let magic = data.get_u32();
+        if magic != CONTROL_MAGIC {
+            return Err(DecodeError::BadMagic { got: magic });
+        }
+        let kind = data.get_u8();
+        let session = data.get_u32();
+        match kind {
+            TYPE_SYN => {
+                need(30, data.len())?;
+                let n_slots = data.get_u64();
+                let slot_ns = data.get_u64();
+                let probe_packets = data.get_u8();
+                let packet_bytes = data.get_u32();
+                let p = data.get_f64();
+                let improved = data.get_u8() != 0;
+                if probe_packets == 0 || slot_ns == 0 || !(p > 0.0 && p <= 1.0) {
+                    return Err(DecodeError::BadFields);
+                }
+                Ok(ControlMessage::Syn {
+                    session,
+                    params: SessionParams {
+                        n_slots,
+                        slot_ns,
+                        probe_packets,
+                        packet_bytes,
+                        p,
+                        improved,
+                    },
+                })
+            }
+            TYPE_SYN_ACK => Ok(ControlMessage::SynAck { session }),
+            TYPE_HEARTBEAT => {
+                need(8, data.len())?;
+                Ok(ControlMessage::Heartbeat {
+                    session,
+                    seq: data.get_u64(),
+                })
+            }
+            TYPE_HEARTBEAT_ACK => {
+                need(8, data.len())?;
+                Ok(ControlMessage::HeartbeatAck {
+                    session,
+                    seq: data.get_u64(),
+                })
+            }
+            TYPE_FIN => {
+                need(16, data.len())?;
+                Ok(ControlMessage::Fin {
+                    session,
+                    probes_sent: data.get_u64(),
+                    packets_sent: data.get_u64(),
+                })
+            }
+            TYPE_FIN_ACK => {
+                need(37, data.len())?;
+                let total_chunks = data.get_u32();
+                let packets = data.get_u64();
+                let rejected = data.get_u64();
+                let duplicates = data.get_u64();
+                let has_min = data.get_u8() != 0;
+                let min_raw = data.get_i64();
+                Ok(ControlMessage::FinAck {
+                    session,
+                    total_chunks,
+                    summary: ReportSummary {
+                        packets,
+                        rejected,
+                        duplicates,
+                        min_raw_delay_ns: has_min.then_some(min_raw),
+                    },
+                })
+            }
+            TYPE_REPORT_REQUEST => {
+                need(4, data.len())?;
+                Ok(ControlMessage::ReportRequest {
+                    session,
+                    chunk: data.get_u32(),
+                })
+            }
+            TYPE_REPORT_CHUNK => {
+                need(10, data.len())?;
+                let chunk = data.get_u32();
+                let total_chunks = data.get_u32();
+                let count = data.get_u16() as usize;
+                if count > RECORDS_PER_CHUNK {
+                    return Err(DecodeError::BadFields);
+                }
+                need(count * RECORD_BYTES, data.len())?;
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    records.push(ReportRecord::get(&mut data));
+                }
+                Ok(ControlMessage::ReportChunk {
+                    session,
+                    chunk,
+                    total_chunks,
+                    records,
+                })
+            }
+            TYPE_REPORT_ACK => {
+                need(4, data.len())?;
+                Ok(ControlMessage::ReportAck {
+                    session,
+                    chunk: data.get_u32(),
+                })
+            }
+            got => Err(DecodeError::UnknownType { got }),
+        }
+    }
+}
+
+/// Split a full report into encode-ready chunks.
+pub fn chunk_records(session: u32, records: &[ReportRecord]) -> Vec<ControlMessage> {
+    let total_chunks = records.len().div_ceil(RECORDS_PER_CHUNK) as u32;
+    records
+        .chunks(RECORDS_PER_CHUNK)
+        .enumerate()
+        .map(|(i, window)| ControlMessage::ReportChunk {
+            session,
+            chunk: i as u32,
+            total_chunks,
+            records: window.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SessionParams {
+        SessionParams {
+            n_slots: 180_000,
+            slot_ns: 5_000_000,
+            probe_packets: 3,
+            packet_bytes: 600,
+            p: 0.3,
+            improved: true,
+        }
+    }
+
+    fn record(i: u64) -> ReportRecord {
+        ReportRecord {
+            experiment: i,
+            slot: i * 7,
+            received: 3,
+            duplicates: (i % 3) as u8,
+            qdelay_last_secs: 0.001 * i as f64,
+            qdelay_max_secs: 0.002 * i as f64,
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let messages = vec![
+            ControlMessage::Syn {
+                session: 7,
+                params: params(),
+            },
+            ControlMessage::SynAck { session: 7 },
+            ControlMessage::Heartbeat {
+                session: 7,
+                seq: 42,
+            },
+            ControlMessage::HeartbeatAck {
+                session: 7,
+                seq: 42,
+            },
+            ControlMessage::Fin {
+                session: 7,
+                probes_sent: 100,
+                packets_sent: 300,
+            },
+            ControlMessage::FinAck {
+                session: 7,
+                total_chunks: 4,
+                summary: ReportSummary {
+                    packets: 298,
+                    rejected: 3,
+                    duplicates: 2,
+                    min_raw_delay_ns: Some(-1_234_567),
+                },
+            },
+            ControlMessage::FinAck {
+                session: 7,
+                total_chunks: 0,
+                summary: ReportSummary::default(),
+            },
+            ControlMessage::ReportRequest {
+                session: 7,
+                chunk: 2,
+            },
+            ControlMessage::ReportChunk {
+                session: 7,
+                chunk: 2,
+                total_chunks: 4,
+                records: (0..RECORDS_PER_CHUNK as u64).map(record).collect(),
+            },
+            ControlMessage::ReportChunk {
+                session: 7,
+                chunk: 3,
+                total_chunks: 4,
+                records: vec![],
+            },
+            ControlMessage::ReportAck {
+                session: 7,
+                chunk: 4,
+            },
+        ];
+        for msg in messages {
+            let wire = msg.encode();
+            let back = ControlMessage::decode(&wire).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(back.session(), 7);
+        }
+    }
+
+    #[test]
+    fn probe_and_control_magics_differ() {
+        assert_ne!(CONTROL_MAGIC, crate::MAGIC);
+        // A control message must not decode as a probe and vice versa.
+        let ctrl = ControlMessage::SynAck { session: 1 }.encode();
+        assert!(matches!(
+            crate::ProbeHeader::decode(&ctrl),
+            Err(DecodeError::TooShort { .. } | DecodeError::BadMagic { .. })
+        ));
+        let probe = crate::ProbeHeader {
+            session: 1,
+            experiment: 0,
+            slot: 0,
+            seq: 0,
+            send_ns: 0,
+            idx: 0,
+            probe_len: 1,
+        }
+        .encode(600);
+        assert!(matches!(
+            ControlMessage::decode(&probe),
+            Err(DecodeError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors() {
+        let full = ControlMessage::ReportChunk {
+            session: 9,
+            chunk: 0,
+            total_chunks: 1,
+            records: (0..5).map(record).collect(),
+        }
+        .encode();
+        for len in 0..full.len() {
+            assert!(
+                ControlMessage::decode(&full[..len]).is_err(),
+                "truncated to {len} bytes decoded successfully"
+            );
+        }
+        assert_eq!(ControlMessage::decode(&full).is_ok(), true);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let mut wire = ControlMessage::SynAck { session: 3 }.encode().to_vec();
+        wire[4] = 0xEE;
+        assert_eq!(
+            ControlMessage::decode(&wire),
+            Err(DecodeError::UnknownType { got: 0xEE })
+        );
+    }
+
+    #[test]
+    fn syn_with_invalid_params_is_rejected() {
+        let mut bad = params();
+        bad.probe_packets = 0;
+        let wire = ControlMessage::Syn {
+            session: 1,
+            params: bad,
+        }
+        .encode();
+        assert_eq!(ControlMessage::decode(&wire), Err(DecodeError::BadFields));
+        let mut bad_p = params();
+        bad_p.p = 1.5;
+        let wire = ControlMessage::Syn {
+            session: 1,
+            params: bad_p,
+        }
+        .encode();
+        assert_eq!(ControlMessage::decode(&wire), Err(DecodeError::BadFields));
+    }
+
+    #[test]
+    fn oversized_chunk_count_is_rejected() {
+        let mut wire = ControlMessage::ReportChunk {
+            session: 1,
+            chunk: 0,
+            total_chunks: 1,
+            records: vec![],
+        }
+        .encode()
+        .to_vec();
+        // Patch the record count field (offset 4+1+4+4+4 = 17) to an
+        // impossible value.
+        wire[17] = 0xFF;
+        wire[18] = 0xFF;
+        assert_eq!(ControlMessage::decode(&wire), Err(DecodeError::BadFields));
+    }
+
+    #[test]
+    fn chunking_covers_every_record_in_order() {
+        let records: Vec<ReportRecord> = (0..(RECORDS_PER_CHUNK as u64 * 2 + 5))
+            .map(record)
+            .collect();
+        let chunks = chunk_records(11, &records);
+        assert_eq!(chunks.len(), 3);
+        let mut seen = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            let ControlMessage::ReportChunk {
+                session,
+                chunk,
+                total_chunks,
+                records,
+            } = c
+            else {
+                panic!("not a chunk");
+            };
+            assert_eq!(*session, 11);
+            assert_eq!(*chunk, i as u32);
+            assert_eq!(*total_chunks, 3);
+            seen.extend_from_slice(records);
+        }
+        assert_eq!(seen, records);
+        assert!(chunk_records(11, &[]).is_empty());
+    }
+}

@@ -39,7 +39,12 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// Identifies probe packets and version: `"BDBG"` with a version nibble.
+pub mod control;
+
+/// Identifies probe packets and version: the ASCII bytes `"BDG1"`
+/// (BaDabinG, format version 1). Bump the trailing digit on any header
+/// layout change; [`control::CONTROL_MAGIC`] (`"BDC1"`) marks
+/// control-plane datagrams on the same socket.
 pub const MAGIC: u32 = 0x4244_4731; // "BDG1"
 
 /// Size of the fixed header in bytes.
@@ -80,6 +85,11 @@ pub enum DecodeError {
     },
     /// Header fields are internally inconsistent.
     BadFields,
+    /// Control message carries an unknown type tag.
+    UnknownType {
+        /// The tag found.
+        got: u8,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -90,6 +100,9 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::BadMagic { got } => write!(f, "bad magic {got:#010x}"),
             DecodeError::BadFields => write!(f, "inconsistent header fields"),
+            DecodeError::UnknownType { got } => {
+                write!(f, "unknown control message type {got:#04x}")
+            }
         }
     }
 }

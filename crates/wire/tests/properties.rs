@@ -1,0 +1,150 @@
+//! Property-style decode tests: the wire format must round-trip every
+//! representable header and reject every truncated or corrupted datagram
+//! without panicking. These pin the header layout so the doc comment in
+//! `lib.rs` cannot drift from the implementation unnoticed.
+
+use badabing_wire::control::{ControlMessage, ReportRecord, SessionParams};
+use badabing_wire::{DecodeError, ProbeHeader, HEADER_BYTES, MAGIC};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any in-range header round-trips through any legal packet size.
+    #[test]
+    fn probe_header_roundtrips(
+        session in any::<u32>(),
+        experiment in any::<u64>(),
+        slot in any::<u64>(),
+        seq in any::<u64>(),
+        send_ns in any::<u64>(),
+        idx in 0u8..8,
+        extra_len in 0u8..8,
+        pad in 0usize..600,
+    ) {
+        let header = ProbeHeader {
+            session,
+            experiment,
+            slot,
+            seq,
+            send_ns,
+            idx,
+            probe_len: idx + extra_len + 1, // always > idx
+        };
+        let wire = header.encode(HEADER_BYTES + pad);
+        prop_assert_eq!(wire.len(), HEADER_BYTES + pad);
+        prop_assert_eq!(ProbeHeader::decode(&wire), Ok(header));
+    }
+
+    /// Every strict prefix of a valid datagram fails with `TooShort`
+    /// (never a panic, never a bogus success).
+    #[test]
+    fn truncated_probe_datagrams_fail_cleanly(cut in 0usize..HEADER_BYTES) {
+        let header = ProbeHeader {
+            session: 1,
+            experiment: 2,
+            slot: 3,
+            seq: 4,
+            send_ns: 5,
+            idx: 0,
+            probe_len: 3,
+        };
+        let wire = header.encode(600);
+        prop_assert_eq!(
+            ProbeHeader::decode(&wire[..cut]),
+            Err(DecodeError::TooShort { got: cut })
+        );
+    }
+
+    /// Arbitrary bytes either decode to a self-consistent header or
+    /// error; they never panic. A success implies the magic matched and
+    /// the field invariants hold.
+    #[test]
+    fn garbage_probe_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        match ProbeHeader::decode(&bytes) {
+            Ok(h) => {
+                prop_assert!(h.probe_len > 0 && h.idx < h.probe_len);
+                prop_assert_eq!(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]), MAGIC);
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Corrupting any single byte of the fixed header either still
+    /// decodes (the corruption hit a don't-care bit pattern of the same
+    /// field domain) or errors cleanly — and corrupting the magic always
+    /// errors.
+    #[test]
+    fn single_byte_corruption_is_contained(pos in 0usize..HEADER_BYTES, flip in 1u8..=255) {
+        let header = ProbeHeader {
+            session: 77,
+            experiment: 8,
+            slot: 9,
+            seq: 10,
+            send_ns: 11,
+            idx: 1,
+            probe_len: 3,
+        };
+        let mut wire = header.encode(64).to_vec();
+        wire[pos] ^= flip;
+        let result = ProbeHeader::decode(&wire);
+        if pos < 4 {
+            prop_assert!(matches!(result, Err(DecodeError::BadMagic { .. })));
+        } else if let Ok(h) = result {
+            prop_assert!(h.probe_len > 0 && h.idx < h.probe_len);
+        }
+    }
+
+    /// Control messages round-trip for arbitrary field values.
+    #[test]
+    fn control_messages_roundtrip(
+        session in any::<u32>(),
+        seq in any::<u64>(),
+        n_slots in 1u64..u64::MAX,
+        slot_ns in 1u64..u64::MAX,
+        probe_packets in 1u8..=255,
+        packet_bytes in any::<u32>(),
+        p_milli in 1u32..=1000,
+        chunk in any::<u32>(),
+        n_records in 0usize..=8,
+    ) {
+        let params = SessionParams {
+            n_slots,
+            slot_ns,
+            probe_packets,
+            packet_bytes,
+            p: f64::from(p_milli) / 1000.0,
+            improved: seq % 2 == 0,
+        };
+        let records: Vec<ReportRecord> = (0..n_records as u64)
+            .map(|i| ReportRecord {
+                experiment: i ^ seq,
+                slot: i.wrapping_mul(31),
+                received: (i % 4) as u8,
+                duplicates: (i % 2) as u8,
+                qdelay_last_secs: i as f64 * 1e-4,
+                qdelay_max_secs: i as f64 * 2e-4,
+            })
+            .collect();
+        let messages = [
+            ControlMessage::Syn { session, params },
+            ControlMessage::Heartbeat { session, seq },
+            ControlMessage::ReportChunk {
+                session,
+                chunk,
+                total_chunks: chunk.saturating_add(1),
+                records,
+            },
+        ];
+        for msg in messages {
+            let wire = msg.encode();
+            prop_assert_eq!(ControlMessage::decode(&wire), Ok(msg));
+        }
+    }
+
+    /// Garbage control input never panics; successes are well-formed.
+    #[test]
+    fn garbage_control_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ControlMessage::decode(&bytes);
+    }
+}

@@ -1,39 +1,137 @@
-//! The live tool end to end on loopback: real UDP sockets, real timers.
+//! The live tool end to end on loopback: real UDP sockets, real timers,
+//! real control plane.
 //!
 //! Topology (all on 127.0.0.1):
 //!
 //! ```text
-//! sender --UDP--> bottleneck emulator --UDP--> receiver
+//! sender --probes--> bottleneck emulator --probes--> receiver
+//!    \________________control plane (direct)____________/
 //! ```
 //!
-//! The live tool lives in `crates/live` and needs tokio, which the
-//! offline build environment cannot fetch — the crate is excluded from
-//! the workspace until its dependencies are vendored (see README
-//! "Offline builds"). This example therefore only points at the real
-//! flow; run it from a network-enabled checkout with `crates/live`
-//! restored to the workspace members:
+//! The probe path crosses a user-space 10 Mb/s drop-tail queue with
+//! scripted overload episodes (the loopback stand-in for the congested
+//! OC3 hop), while the control plane — handshake, heartbeats, FIN and
+//! chunked report retrieval — talks to the receiver directly. The sender
+//! fetches the receiver's arrival records itself, so the whole
+//! measurement, including the §6.1 analysis, runs from one process
+//! driving three independent components:
 //!
 //! ```text
 //! cargo run --release --example live_loopback
 //! ```
-//!
-//! The original driver (kept in git history) did:
-//!
-//! 1. `start_receiver(ReceiverConfig { bind, session })` — owns the
-//!    final UDP port;
-//! 2. `Emulator::start(EmulatorConfig::loopback_default(..))` — a
-//!    user-space 20 Mb/s drop-tail queue with scripted overload
-//!    episodes, the loopback stand-in for the congested OC3 hop;
-//! 3. `run_sender(SenderConfig { tool, n_slots, target, .. })` — the
-//!    BADABING probe process over real sockets;
-//! 4. `analyze_run(&tool, &manifest, &log)` — the same `badabing-core`
-//!    pipeline the simulator uses, fed from the joined sender manifest
-//!    and receiver log.
 
-fn main() {
-    eprintln!("live_loopback requires the tokio-based `badabing-live` crate, which is");
-    eprintln!("excluded from offline builds. Restore crates/live to the workspace");
-    eprintln!("members (and vendor its dependencies) to run this example; the");
-    eprintln!("simulator-driven pipeline is exercised by `examples/quickstart.rs`.");
-    std::process::exit(2);
+use badabing_core::config::BadabingConfig;
+use badabing_live::analyze::analyze_run;
+use badabing_live::control::ControlConfig;
+use badabing_live::emulator::{Emulator, EmulatorConfig};
+use badabing_live::receiver::{start_receiver, ReceiverConfig};
+use badabing_live::sender::{run_sender, SenderConfig};
+use badabing_metrics::Registry;
+use badabing_stats::rng::seeded;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let session = 0x5EED;
+    let local0 = "127.0.0.1:0".parse().expect("static addr");
+
+    // 1. The receiver owns the final UDP port and serves the control
+    //    plane on it. The idle watchdog is its safety net if the sender
+    //    vanishes.
+    let recv_metrics = Arc::new(Registry::new("receiver"));
+    let receiver = start_receiver(ReceiverConfig {
+        idle_timeout: Some(Duration::from_secs(10)),
+        metrics: Some(recv_metrics.clone()),
+        ..ReceiverConfig::new(local0, session)
+    })?;
+    eprintln!("receiver listening on {}", receiver.local_addr());
+
+    // 2. The emulated bottleneck sits on the probe path only.
+    let emulator = Emulator::start(
+        EmulatorConfig {
+            rate_bps: 10_000_000,
+            buffer_bytes: 125_000,      // 100 ms at 10 Mb/s
+            episode_mean_gap_secs: 2.0, // dense episodes for a short demo
+            episode_loss_secs: 0.120,
+            burst_factor: 4.0,
+            bind: local0,
+            target: receiver.local_addr(),
+            metrics: None,
+        },
+        seeded(2, "emu"),
+    )?;
+    eprintln!("emulator forwarding via {}", emulator.local_addr());
+
+    // 3. The sender probes through the emulator but handshakes with the
+    //    receiver directly; it aborts with a partial manifest if the
+    //    receiver dies mid-run.
+    let tool = BadabingConfig {
+        slot_secs: 0.005,
+        ..BadabingConfig::paper_default(0.5)
+    };
+    let send_metrics = Arc::new(Registry::new("sender"));
+    let cfg = SenderConfig {
+        tool,
+        control: Some(ControlConfig::new(receiver.local_addr())),
+        metrics: Some(send_metrics.clone()),
+        ..SenderConfig::new(tool, 2_000 /* 10 s */, emulator.local_addr(), session)
+    };
+    eprintln!(
+        "sending {} slots of {} ms (offered load ≈ {:.0} kb/s)...",
+        cfg.n_slots,
+        tool.slot_secs * 1e3,
+        tool.offered_load_bps() / 1e3
+    );
+    let outcome = run_sender(cfg, seeded(3, "probe"))?;
+    for note in &outcome.diagnostics {
+        eprintln!("warning: {note}");
+    }
+
+    let stats = emulator.stop();
+    eprintln!(
+        "emulator: forwarded {}, dropped {}, {} scripted episodes",
+        stats.forwarded, stats.dropped, stats.episodes
+    );
+
+    // 4. Analysis runs off the report the sender fetched over the
+    //    control plane — no shared memory with the receiver process.
+    let log = outcome
+        .receiver_log
+        .expect("control plane fetches the receiver log");
+    eprintln!(
+        "receiver reported {} packets ({} rejected, {} duplicates)",
+        log.packets, log.rejected, log.duplicates
+    );
+    let analysis = analyze_run(&tool, &outcome.manifest, &log);
+    println!("probes sent:            {}", outcome.manifest.sent.len());
+    println!("probe packets lost:     {}", analysis.packets_lost);
+    println!(
+        "loss-episode frequency: {}",
+        analysis
+            .frequency()
+            .map_or("-".into(), |f| format!("{f:.5}"))
+    );
+    println!(
+        "mean episode duration:  {}",
+        analysis
+            .duration_secs()
+            .map_or("-".into(), |d| format!("{d:.3} s"))
+    );
+    println!(
+        "validation:             {}",
+        if analysis.validation.passes(0.25) {
+            "PASS"
+        } else {
+            "FLAGGED"
+        }
+    );
+    println!(
+        "\nsender metrics snapshot:\n{}",
+        send_metrics.snapshot_json()
+    );
+
+    // The receiver exits by itself once the sender acknowledges the full
+    // report.
+    let _ = receiver.join();
+    Ok(())
 }

@@ -42,6 +42,18 @@ pub trait Buf {
         self.copy_to_slice(&mut b);
         u64::from_be_bytes(b)
     }
+
+    /// Read a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+
+    /// Read a big-endian IEEE-754 `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
 }
 
 impl Buf for &[u8] {
@@ -84,6 +96,16 @@ pub trait BufMut {
     /// Append a big-endian `u64`.
     fn put_u64(&mut self, v: u64) {
         self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
     }
 }
 
@@ -207,6 +229,18 @@ mod tests {
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16(), 513);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn signed_and_float_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_i64(-123_456_789);
+        b.put_f64(-0.062_5);
+        b.put_f64(f64::NAN);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_i64(), -123_456_789);
+        assert_eq!(r.get_f64(), -0.062_5);
+        assert!(r.get_f64().is_nan());
     }
 
     #[test]
