@@ -11,7 +11,10 @@ use badabing_core::estimator::Estimates;
 use badabing_core::outcome::{ExperimentLog, Outcome};
 use badabing_core::schedule::ExperimentScheduler;
 use badabing_core::validate::Validation;
+use badabing_sim::event::{EventQueue, QueueKind};
+use badabing_sim::monitor::{Monitor, TraceEvent};
 use badabing_sim::topology::Dumbbell;
+use badabing_sim::{set_default_queue_kind, Event, FlowId, NodeId, Packet, PacketKind, SimTime};
 use badabing_stats::rng::seeded;
 use badabing_stats::runs::EpisodeSet;
 use badabing_wire::ProbeHeader;
@@ -102,18 +105,123 @@ fn bench_scheduler(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
-    // 10 virtual seconds of the CBR scenario end to end: event loop,
-    // queue, monitor.
+    // 10 virtual seconds of the CBR scenario end to end — event loop,
+    // queue, monitor — on each event engine.
     let mut g = c.benchmark_group("engine");
     g.sample_size(10);
-    g.bench_function("cbr_scenario_10s", |b| {
-        b.iter(|| {
-            let mut db = Dumbbell::standard();
-            scenarios::attach(&mut db, Scenario::CbrUniform, 5);
-            db.run_for(10.0);
-            black_box(db.monitor().borrow().drops())
-        })
-    });
+    for (label, kind) in [
+        ("cbr_scenario_10s_heap", QueueKind::Heap),
+        ("cbr_scenario_10s_calendar", QueueKind::Calendar),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                set_default_queue_kind(Some(kind));
+                let mut db = Dumbbell::standard();
+                scenarios::attach(&mut db, Scenario::CbrUniform, 5);
+                db.run_for(10.0);
+                set_default_queue_kind(None);
+                black_box(db.monitor().borrow().drops())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    // The mixed push/pop workload the dispatch loop actually generates:
+    // hold ~WORKING_SET pending events (the TCP scenarios run at three
+    // to four thousand), each pop scheduling a successor drawn from the
+    // simulator's delay mix — mostly sub-100 µs serialization and
+    // propagation gaps, a broad band of RTT-scale acks and timers, and
+    // rare second-scale timers. `engine_race` runs the same workload as
+    // an interleaved paired race for noise-resistant A/B numbers.
+    const WORKING_SET: usize = 4_096;
+    const OPS: usize = 100_000;
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(OPS as u64));
+    for (label, kind) in [
+        ("mixed_100k_heap", QueueKind::Heap),
+        ("mixed_100k_calendar", QueueKind::Calendar),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut q = EventQueue::with_kind(kind);
+                    let mut rng = seeded(7, "bench-eventq");
+                    for i in 0..WORKING_SET {
+                        let at = SimTime::from_nanos(rng.random::<u64>() % 2_000_000);
+                        q.push(at, NodeId(i % 16), Event::Timer(i as u64));
+                    }
+                    (q, rng)
+                },
+                |(mut q, mut rng)| {
+                    for i in 0..OPS {
+                        let (now, _, _) = q.pop().expect("queue never drains");
+                        let r = rng.random::<u64>();
+                        let delay = if i % 64 == 0 {
+                            2_000_000_000 + r % 1_000_000_000
+                        } else if i % 8 < 5 {
+                            r % 100_000
+                        } else {
+                            1_000_000 + r % 59_000_000
+                        };
+                        q.push(
+                            SimTime::from_nanos(now.as_nanos() + delay),
+                            NodeId(i % 16),
+                            Event::Timer(i as u64),
+                        );
+                    }
+                    black_box(q.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    // Pure monitor record cost: streaming fold vs full-trace retention.
+    const EVENTS: usize = 100_000;
+    let mut g = c.benchmark_group("monitor");
+    g.throughput(Throughput::Elements(EVENTS as u64));
+    let pkt = Packet {
+        id: 1,
+        flow: FlowId(1),
+        size: 1500,
+        created: SimTime::ZERO,
+        kind: PacketKind::Udp { seq: 0 },
+    };
+    for (label, trace) in [
+        ("record_100k_streaming", false),
+        ("record_100k_trace", true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    if trace {
+                        Monitor::with_trace()
+                    } else {
+                        Monitor::default()
+                    }
+                },
+                |mut m| {
+                    for i in 0..EVENTS {
+                        let t = SimTime::from_nanos(i as u64 * 40_000);
+                        let qd = 0.02 + (i % 100) as f64 * 0.0005;
+                        let ev = match i % 50 {
+                            49 => TraceEvent::Drop,
+                            n if n % 2 == 0 => TraceEvent::Enqueue,
+                            _ => TraceEvent::Depart,
+                        };
+                        m.record(t, ev, &pkt, qd);
+                    }
+                    black_box(m.peak_bytes())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -144,6 +252,8 @@ criterion_group!(
     bench_episode_extraction,
     bench_scheduler,
     bench_engine,
+    bench_event_queue,
+    bench_monitor,
     bench_wire
 );
 criterion_main!(benches);

@@ -2,24 +2,30 @@
 //!
 //! Runs a scenario briefly and writes every enqueue/drop/departure with
 //! timestamps and queue occupancy — the raw material the monitor reduces
-//! to ground truth, exposed for inspection and external tooling.
+//! to ground truth, exposed for inspection and external tooling. This is
+//! the one consumer that genuinely needs full per-event retention, so it
+//! opts the monitor into trace mode explicitly (streaming is the default
+//! everywhere else).
 //!
 //! ```text
-//! dump_trace [--scenario cbr|tcp|web] [--seconds 10] [--seed N] [--out PATH]
+//! dump_trace [--scenario cbr|tcp|web] [--seconds 10] [--seed N]
+//!            [--limit N] [--out PATH]
 //! ```
 
 use badabing_bench::scenarios::{self, Scenario};
-use badabing_bench::table::TableWriter;
 use badabing_sim::monitor::TraceEvent;
 use badabing_sim::topology::Dumbbell;
+use std::fs;
+use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
 
 fn main() {
-    // Minimal arg handling (this binary takes a --scenario flag the
-    // shared RunOpts does not know about).
+    // Minimal arg handling (this binary takes flags the shared RunOpts
+    // does not know about).
     let mut scenario = Scenario::CbrUniform;
     let mut seconds = 10.0f64;
     let mut seed = 20050821u64;
+    let mut limit: Option<usize> = None;
     let mut out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +43,7 @@ fn main() {
             }
             "--seconds" => seconds = args.next().and_then(|v| v.parse().ok()).unwrap_or(10.0),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--limit" => limit = args.next().and_then(|v| v.parse().ok()),
             "--out" => out = args.next().map(PathBuf::from),
             other => {
                 eprintln!("unknown flag {other}");
@@ -46,22 +53,41 @@ fn main() {
     }
 
     let mut db = Dumbbell::standard();
+    db.enable_trace();
     scenarios::attach(&mut db, scenario, seed);
     db.run_for(seconds);
 
     let path =
         out.unwrap_or_else(|| PathBuf::from(format!("results/trace_{}.csv", scenario.label())));
-    let mut w = TableWriter::new(&path);
-    w.csv("t_secs,event,packet_id,flow,size_bytes,is_probe,qdelay_secs");
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let file = match fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    // Hundreds of thousands of rows: buffer, don't syscall per line.
+    let mut w = BufWriter::new(file);
     let monitor = db.monitor();
     let m = monitor.borrow();
-    for r in m.records() {
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut written = 0usize;
+    writeln!(
+        w,
+        "t_secs,event,packet_id,flow,size_bytes,is_probe,qdelay_secs"
+    )
+    .unwrap();
+    for r in m.records().iter().take(cap) {
         let event = match r.event {
             TraceEvent::Enqueue => "enqueue",
             TraceEvent::Drop => "drop",
             TraceEvent::Depart => "depart",
         };
-        w.csv(&format!(
+        writeln!(
+            w,
             "{:.9},{event},{},{},{},{},{:.6}",
             r.t.as_secs_f64(),
             r.packet_id,
@@ -69,15 +95,25 @@ fn main() {
             r.size,
             r.is_probe,
             r.qdelay_secs
-        ));
+        )
+        .unwrap();
+        written += 1;
     }
-    w.row(&format!(
-        "dumped {} records ({} enqueues, {} drops, {} departs) over {seconds}s of {}",
-        m.records().len(),
+    w.flush().unwrap();
+    let total = m.records().len();
+    let truncated = if written < total {
+        format!(" (limited from {total})")
+    } else {
+        String::new()
+    };
+    println!(
+        "dumped {written} records{truncated} ({} enqueues, {} drops, {} departs) \
+         over {seconds}s of {}; trace buffer {} KiB",
         m.enqueues(),
         m.drops(),
         m.departs(),
-        scenario.label()
-    ));
-    w.finish();
+        scenario.label(),
+        m.records_bytes() / 1024
+    );
+    println!("\n[csv written to {}]", path.display());
 }

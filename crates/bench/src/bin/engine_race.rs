@@ -1,0 +1,63 @@
+use badabing_sim::event::{Event, EventQueue, QueueKind};
+use badabing_sim::{NodeId, SimTime};
+use badabing_stats::rng::seeded;
+use rand::RngExt;
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKING_SET: usize = 4_096;
+const OPS: usize = 100_000;
+
+fn run(kind: QueueKind) -> f64 {
+    let mut q = EventQueue::with_kind(kind);
+    let mut rng = seeded(7, "bench-eventq");
+    for i in 0..WORKING_SET {
+        let at = SimTime::from_nanos(rng.random::<u64>() % 2_000_000);
+        q.push(at, NodeId(i % 16), Event::Timer(i as u64));
+    }
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        let (now, _, _) = q.pop().expect("queue never drains");
+        // The simulator's delay mix: mostly serialization/propagation
+        // gaps (sub-100 us), a broad band of RTT-scale acks and timers
+        // (1-60 ms), and rare second-scale timers.
+        let r = rng.random::<u64>();
+        let delay = if i % 64 == 0 {
+            2_000_000_000 + r % 1_000_000_000
+        } else if i % 8 < 5 {
+            r % 100_000
+        } else {
+            1_000_000 + r % 59_000_000
+        };
+        q.push(
+            SimTime::from_nanos(now.as_nanos() + delay),
+            NodeId(i % 16),
+            Event::Timer(i as u64),
+        );
+    }
+    black_box(q.len());
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let (mut h_min, mut c_min) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        h_min = h_min.min(run(QueueKind::Heap));
+        c_min = c_min.min(run(QueueKind::Calendar));
+    }
+    println!(
+        "heap     min {:.3} ms  ({:.2}M elem/s)",
+        h_min,
+        OPS as f64 / h_min / 1e3
+    );
+    println!(
+        "calendar min {:.3} ms  ({:.2}M elem/s)",
+        c_min,
+        OPS as f64 / c_min / 1e3
+    );
+    println!("ratio (cal/heap): {:.3}", c_min / h_min);
+}

@@ -46,7 +46,17 @@ impl Scenario {
 
 /// Build the standard dumbbell and attach the scenario's sources.
 pub fn build(scenario: Scenario, seed: u64) -> Dumbbell {
+    build_with(scenario, seed, false)
+}
+
+/// [`build`], optionally opting the bottleneck monitor into full-trace
+/// retention (`trace = true`; streaming otherwise — see the monitor-modes
+/// notes in DESIGN.md).
+pub fn build_with(scenario: Scenario, seed: u64, trace: bool) -> Dumbbell {
     let mut db = Dumbbell::standard();
+    if trace {
+        db.enable_trace();
+    }
     attach(&mut db, scenario, seed);
     db
 }

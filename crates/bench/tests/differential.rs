@@ -1,0 +1,135 @@
+//! Differential determinism tests.
+//!
+//! Two independent equivalences guard the perf refactors:
+//!
+//! * **Monitor modes** — a seeded run observed by a streaming monitor and
+//!   the same run observed by a full-trace monitor must produce the exact
+//!   same `GroundTruth` (episodes, congested slots, qdelay series, loss
+//!   rate). Exact `f64` equality, not tolerance: both paths perform the
+//!   same comparison/min sequence, so any drift is a bug.
+//! * **Event engines** — the heap and calendar engines must dispatch the
+//!   same events in the same order. Checked end to end: identical
+//!   `dispatched()` counts and ground truth per scenario, and
+//!   byte-identical CSV from a full seeded table binary.
+
+use badabing_bench::scenarios::{self, Scenario};
+use badabing_bench::RunOpts;
+use badabing_sim::{set_default_queue_kind, GroundTruth, GroundTruthConfig, QueueKind};
+use std::sync::Mutex;
+
+/// Serializes the tests that flip the process-wide engine default, so a
+/// concurrently running test never observes a half-switched state.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `scenario` for `secs` on the current default engine and return
+/// (ground truth via the requested monitor mode, events dispatched).
+fn run(scenario: Scenario, seed: u64, secs: f64, trace: bool) -> (GroundTruth, u64) {
+    let mut db = scenarios::build_with(scenario, seed, trace);
+    db.run_for(secs + 1.0);
+    (db.ground_truth(secs), db.sim.dispatched())
+}
+
+fn assert_truth_eq(a: &GroundTruth, b: &GroundTruth, what: &str) {
+    assert_eq!(a.episodes, b.episodes, "{what}: episodes differ");
+    assert_eq!(
+        a.congested.episodes(),
+        b.congested.episodes(),
+        "{what}: congested slots differ"
+    );
+    assert_eq!(
+        a.qdelay.values(),
+        b.qdelay.values(),
+        "{what}: qdelay series differ"
+    );
+    assert_eq!(
+        a.router_loss_rate, b.router_loss_rate,
+        "{what}: loss rate differs"
+    );
+}
+
+#[test]
+fn streaming_and_trace_monitors_agree_on_seeded_scenarios() {
+    for scenario in [Scenario::CbrUniform, Scenario::InfiniteTcp, Scenario::Web] {
+        let (streamed, ev_s) = run(scenario, 20050821, 20.0, false);
+        let (traced, ev_t) = run(scenario, 20050821, 20.0, true);
+        assert_eq!(ev_s, ev_t, "{}: event counts differ", scenario.label());
+        assert_truth_eq(&traced, &streamed, scenario.label());
+        assert!(
+            !streamed.episodes.is_empty(),
+            "{}: want a run with loss for a meaningful comparison",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn trace_monitor_agrees_at_every_horizon() {
+    // The streaming fold reconstructs ground truth for ANY horizon ≤ now,
+    // not just the one it would have been configured for.
+    let mut db = scenarios::build_with(Scenario::CbrUniform, 7, true);
+    db.run_for(21.0);
+    let handle = db.monitor();
+    let m = handle.borrow();
+    let cfg = GroundTruthConfig {
+        queue_capacity_secs: db.config().buffer_secs,
+        ..Default::default()
+    };
+    for horizon in [0.5, 5.0, 12.25, 20.0] {
+        let traced = GroundTruth::from_trace(&m, horizon, cfg);
+        let streamed = m.ground_truth(horizon, cfg);
+        assert_truth_eq(&traced, &streamed, &format!("horizon {horizon}"));
+    }
+}
+
+#[test]
+fn heap_and_calendar_engines_dispatch_identically() {
+    let _guard = ENGINE_LOCK.lock().unwrap();
+    for scenario in [Scenario::CbrUniform, Scenario::Web] {
+        set_default_queue_kind(Some(QueueKind::Heap));
+        let (heap_truth, heap_events) = run(scenario, 99, 15.0, false);
+        set_default_queue_kind(Some(QueueKind::Calendar));
+        let (cal_truth, cal_events) = run(scenario, 99, 15.0, false);
+        set_default_queue_kind(None);
+        assert_eq!(
+            heap_events,
+            cal_events,
+            "{}: dispatched() differs between engines",
+            scenario.label()
+        );
+        assert_truth_eq(&heap_truth, &cal_truth, scenario.label());
+    }
+}
+
+#[test]
+fn engines_produce_byte_identical_table_csv() {
+    // Full seeded table binary through both engines: the CSV mirrors must
+    // match byte for byte. Runs print_zing_table in-process with distinct
+    // temp out paths.
+    let _guard = ENGINE_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("badabing-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut csv = Vec::new();
+    for (kind, label) in [(QueueKind::Heap, "heap"), (QueueKind::Calendar, "calendar")] {
+        set_default_queue_kind(Some(kind));
+        let out = dir.join(format!("tab2-{label}.csv"));
+        let opts = RunOpts {
+            quick: true,
+            out: Some(out.clone()),
+            threads: Some(2),
+            ..RunOpts::default()
+        };
+        badabing_bench::runs::print_zing_table(
+            Scenario::CbrUniform,
+            &opts,
+            180.0,
+            30.0,
+            "diff_tab2",
+            "differential tab2",
+        );
+        csv.push(std::fs::read(&out).unwrap());
+    }
+    set_default_queue_kind(None);
+    assert!(!csv[0].is_empty(), "table CSV must not be empty");
+    assert_eq!(csv[0], csv[1], "table CSV bytes differ between engines");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,6 +1,6 @@
 //! The simulation engine: node registry plus event loop.
 
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, QueueKind};
 use crate::node::{Context, Node, NodeId};
 use crate::time::SimTime;
 use badabing_metrics::{Counter, Histogram, Registry};
@@ -40,11 +40,17 @@ impl Default for Simulator {
 }
 
 impl Simulator {
-    /// An empty simulator at t = 0.
+    /// An empty simulator at t = 0, on the process-default event engine
+    /// (see [`crate::event::default_queue_kind`]).
     pub fn new() -> Self {
+        Self::with_queue_kind(crate::event::default_queue_kind())
+    }
+
+    /// An empty simulator at t = 0 on a specific event engine.
+    pub fn with_queue_kind(kind: QueueKind) -> Self {
         Self {
             nodes: Vec::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(kind),
             now: SimTime::ZERO,
             started: false,
             next_packet_id: 0,
@@ -52,6 +58,11 @@ impl Simulator {
             out_buf: Vec::new(),
             instruments: None,
         }
+    }
+
+    /// Which event engine this simulator runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Attach a metrics registry: every subsequent dispatch counts into
@@ -96,6 +107,11 @@ impl Simulator {
     /// Total events dispatched so far.
     pub fn dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Number of events currently pending in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Number of registered nodes.
@@ -149,11 +165,7 @@ impl Simulator {
     /// `t_end`; the clock finishes at exactly `t_end`.
     pub fn run_until(&mut self, t_end: SimTime) {
         self.ensure_started();
-        while let Some(at) = self.queue.peek_time() {
-            if at > t_end {
-                break;
-            }
-            let (at, target, event) = self.queue.pop().expect("peeked event vanished");
+        while let Some((at, target, event)) = self.queue.pop_at_or_before(t_end) {
             debug_assert!(at >= self.now, "event queue went backwards");
             if let Some(ins) = &self.instruments {
                 ins.step.record_secs(at.since(self.now).as_secs_f64());

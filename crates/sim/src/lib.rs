@@ -37,8 +37,10 @@ pub mod time;
 pub mod topology;
 
 pub use engine::Simulator;
-pub use event::Event;
-pub use monitor::{GroundTruth, Monitor, TraceEvent, TraceRecord};
+pub use event::{default_queue_kind, set_default_queue_kind, Event, QueueKind};
+pub use monitor::{
+    GroundTruth, GroundTruthConfig, Monitor, MonitorHandle, TraceEvent, TraceRecord,
+};
 pub use node::{Context, Node, NodeId};
 pub use packet::{FlowId, Packet, PacketKind};
 pub use queue::DropTailQueue;

@@ -386,7 +386,7 @@ mod tests {
     #[test]
     fn monitor_sees_full_lifecycle() {
         let mut sim = Simulator::new();
-        let monitor = Monitor::new_handle();
+        let monitor = Monitor::new_traced_handle();
         let sink = sim.add_node(Box::new(CountingSink::new()));
         let q = sim.add_node(Box::new(
             DropTailQueue::new(8_000_000, 1_000_000, sink, SimDuration::ZERO)

@@ -106,6 +106,17 @@ impl TandemPath {
         self.monitors[i].clone()
     }
 
+    /// Opt every hop's monitor into full per-event trace retention. Call
+    /// before the first run.
+    ///
+    /// # Panics
+    /// Panics if events have already been recorded.
+    pub fn enable_trace(&mut self) {
+        for m in &self.monitors {
+            m.borrow_mut().enable_trace();
+        }
+    }
+
     /// Ingress delay for sources.
     pub fn ingress_delay(&self) -> SimDuration {
         self.ingress_delay

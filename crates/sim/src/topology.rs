@@ -158,6 +158,16 @@ impl Dumbbell {
         self.monitor.clone()
     }
 
+    /// Opt the bottleneck monitor into full per-event trace retention
+    /// (memory then grows with the event count — see the monitor-modes
+    /// notes in DESIGN.md). Call before the first `run_for`.
+    ///
+    /// # Panics
+    /// Panics if events have already been recorded.
+    pub fn enable_trace(&mut self) {
+        self.monitor.borrow_mut().enable_trace();
+    }
+
     /// Add an arbitrary node (source, sink, prober) to the simulation.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         self.sim.add_node(node)

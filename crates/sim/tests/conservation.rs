@@ -64,7 +64,7 @@ proptest! {
     ) {
         let total = packets.len() as u64;
         let mut sim = Simulator::new();
-        let monitor = Monitor::new_handle();
+        let monitor = Monitor::new_traced_handle();
         let sink = sim.add_node(Box::new(CountingSink::new()));
         let q = sim.add_node(Box::new(
             DropTailQueue::new(rate_mbps * 1_000_000, capacity, sink, SimDuration::ZERO)
@@ -103,7 +103,7 @@ proptest! {
         // With a huge buffer nothing drops; departures must preserve
         // arrival order (drop-tail FIFO).
         let mut sim = Simulator::new();
-        let monitor = Monitor::new_handle();
+        let monitor = Monitor::new_traced_handle();
         let sink = sim.add_node(Box::new(CountingSink::new()));
         let q = sim.add_node(Box::new(
             DropTailQueue::new(10_000_000, 10_000_000, sink, SimDuration::ZERO)

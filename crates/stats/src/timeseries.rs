@@ -32,6 +32,16 @@ impl SlotSeries {
         }
     }
 
+    /// Wrap an already-computed per-slot vector (e.g. a streaming fold
+    /// that maintained slot maxima online) as a series.
+    ///
+    /// # Panics
+    /// Panics unless `width_secs > 0`.
+    pub fn from_values(width_secs: f64, values: Vec<f64>) -> Self {
+        assert!(width_secs > 0.0, "slot width must be positive");
+        Self { width_secs, values }
+    }
+
     /// Slot width in seconds.
     pub fn width_secs(&self) -> f64 {
         self.width_secs

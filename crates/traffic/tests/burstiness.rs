@@ -24,6 +24,7 @@ fn arrival_series(db: &Dumbbell, secs: f64) -> Vec<f64> {
 #[test]
 fn onoff_aggregate_is_long_range_dependent() {
     let mut db = Dumbbell::standard();
+    db.enable_trace();
     attach_onoff_aggregate(&mut db, 24, 0.6, 6.0, 0.4, 100, 4);
     let secs = 240.0;
     db.run_for(secs);
@@ -41,6 +42,7 @@ fn cbr_episodes_are_not_long_range_dependent() {
     // (the variance-time fit sees short bursts over an idle baseline;
     // allow slack but it must sit clearly below the ON/OFF aggregate).
     let mut db = Dumbbell::standard();
+    db.enable_trace();
     let cfg = CbrEpisodeConfig {
         mean_gap_secs: 2.0,
         ..CbrEpisodeConfig::paper_default()
