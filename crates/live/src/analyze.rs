@@ -94,6 +94,7 @@ mod tests {
         SenderManifest {
             session: 1,
             packets_sent: probes.iter().map(|p| u64::from(p.packets)).sum(),
+            packets_refused: 0,
             sent: probes,
             n_slots: 1_000,
             slot_secs: 0.005,

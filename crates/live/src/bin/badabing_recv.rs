@@ -1,60 +1,133 @@
 //! The live BADABING receiver.
 //!
-//! Collects probe packets and serves the control plane until the sender
-//! completes its session, the idle watchdog fires, or `--secs` elapses —
-//! whichever comes first — then writes the arrival log to JSON for
+//! Single-session mode (`--session N`, the default) collects probe
+//! packets and serves the control plane until the sender completes its
+//! session, the idle watchdog fires, or `--secs` elapses — whichever
+//! comes first — then writes the arrival log to JSON for
 //! `badabing_report`. (With a control-plane sender the log file is
 //! usually redundant: the sender fetches the same records itself.)
 //!
+//! Multi-session mode (`--session any`) runs one process as a session
+//! server: senders register dynamically via the control-plane handshake,
+//! up to `--max-sessions` concurrently (later SYNs are refused with an
+//! explicit NACK). Sessions are reaped individually on completion or
+//! idle timeout; the server runs until `--secs` elapses and then writes
+//! one log file per finished session (`receiver.<id>.json` for
+//! `--log receiver.json`).
+//!
 //! ```text
 //! badabing_recv --bind 127.0.0.1:9000 --secs 70 \
-//!     [--session 1] [--log receiver.json] [--metrics metrics.json] \
-//!     [--idle-timeout 30]
+//!     [--session N|any] [--max-sessions N] [--log receiver.json] \
+//!     [--metrics metrics.json] [--idle-timeout 30]
 //! ```
 
 use badabing_live::cli::Flags;
 use badabing_live::persist::ReceiverFile;
-use badabing_live::receiver::{start_receiver, ReceiverConfig};
+use badabing_live::receiver::{
+    start_receiver, start_server, ReceiverConfig, ServerConfig, SessionEnd,
+};
 use badabing_metrics::Registry;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "badabing_recv --bind ADDR --secs S [--session N] [--log PATH] \
-                     [--metrics PATH] [--idle-timeout S]";
+const USAGE: &str = "badabing_recv --bind ADDR --secs S [--session N|any] [--max-sessions N] \
+                     [--log PATH] [--metrics PATH] [--idle-timeout S]";
+
+/// `receiver.json` → `receiver.<id>.json` for per-session logs.
+fn session_log_path(base: &Path, session: u32) -> PathBuf {
+    match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => base.with_extension(format!("{session}.{ext}")),
+        None => base.with_extension(session.to_string()),
+    }
+}
 
 fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &[]);
     let bind: SocketAddr = flags.req("bind");
     let secs: f64 = flags.req("secs");
-    let session: u32 = flags.opt("session", 1);
+    let session = flags.opt_str("session", "1");
+    let max_sessions: usize = flags.opt("max-sessions", 64);
     let idle_timeout: f64 = flags.opt("idle-timeout", 30.0);
     let log_path = PathBuf::from(flags.opt_str("log", "receiver.json"));
     let metrics_path = flags.opt_str("metrics", "");
 
     let metrics = Arc::new(Registry::new("badabing_recv"));
-    let handle = start_receiver(ReceiverConfig {
-        idle_timeout: (idle_timeout > 0.0).then(|| Duration::from_secs_f64(idle_timeout)),
-        metrics: Some(metrics.clone()),
-        ..ReceiverConfig::new(bind, session)
-    })?;
-    eprintln!(
-        "listening on {} for up to {secs}s (session {session}, idle timeout {idle_timeout}s)",
-        handle.local_addr()
-    );
-
+    let idle_timeout = (idle_timeout > 0.0).then(|| Duration::from_secs_f64(idle_timeout));
     let deadline = Instant::now() + Duration::from_secs_f64(secs);
-    while Instant::now() < deadline && !handle.is_finished() {
-        std::thread::sleep(Duration::from_millis(100));
+
+    if session == "any" {
+        let server = start_server(ServerConfig {
+            idle_timeout,
+            max_sessions,
+            metrics: Some(metrics.clone()),
+            ..ServerConfig::any(bind, max_sessions)
+        })?;
+        eprintln!(
+            "serving up to {max_sessions} concurrent sessions on {} for {secs}s",
+            server.local_addr()
+        );
+        while Instant::now() < deadline && !server.is_finished() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let report = server.stop();
+        eprintln!(
+            "{} sessions finished ({} datagrams rejected, {} SYNs refused)",
+            report.sessions.len(),
+            report.rejected,
+            report.syns_rejected
+        );
+        for outcome in &report.sessions {
+            let end = match outcome.end {
+                SessionEnd::Completed => "completed",
+                SessionEnd::IdleTimeout => "idle-reaped",
+                SessionEnd::Stopped => "open at shutdown",
+            };
+            eprintln!(
+                "session {}: {} packets, {} duplicates, {} probes recorded ({end})",
+                outcome.session,
+                outcome.log.packets,
+                outcome.log.duplicates,
+                outcome.log.arrivals.len()
+            );
+            let path = session_log_path(&log_path, outcome.session);
+            ReceiverFile::new(&outcome.log).save(&path)?;
+            eprintln!(
+                "session {} log written to {}",
+                outcome.session,
+                path.display()
+            );
+        }
+    } else {
+        let session: u32 = match session.parse() {
+            Ok(id) => id,
+            Err(_) => {
+                eprintln!("error: --session takes a numeric id or `any`\nusage: {USAGE}");
+                std::process::exit(2);
+            }
+        };
+        let handle = start_receiver(ReceiverConfig {
+            idle_timeout,
+            metrics: Some(metrics.clone()),
+            ..ReceiverConfig::new(bind, session)
+        })?;
+        eprintln!(
+            "listening on {} for up to {secs}s (session {session})",
+            handle.local_addr()
+        );
+        while Instant::now() < deadline && !handle.is_finished() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let log = handle.stop();
+        eprintln!(
+            "collected {} packets ({} rejected, {} duplicates)",
+            log.packets, log.rejected, log.duplicates
+        );
+        ReceiverFile::new(&log).save(&log_path)?;
+        eprintln!("receiver log written to {}", log_path.display());
     }
-    let log = handle.stop();
-    eprintln!(
-        "collected {} packets ({} rejected, {} duplicates)",
-        log.packets, log.rejected, log.duplicates
-    );
-    ReceiverFile::new(&log).save(&log_path)?;
-    eprintln!("receiver log written to {}", log_path.display());
+
     if !metrics_path.is_empty() {
         metrics.save(Path::new(&metrics_path))?;
         eprintln!("metrics written to {metrics_path}");

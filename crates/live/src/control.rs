@@ -11,7 +11,9 @@
 //! alone still supports loss accounting for every probe that was sent).
 
 use badabing_metrics::Registry;
-use badabing_wire::control::{ControlMessage, ReportRecord, ReportSummary, SessionParams};
+use badabing_wire::control::{
+    ControlMessage, RejectReason, ReportRecord, ReportSummary, SessionParams,
+};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
@@ -97,6 +99,15 @@ pub enum ControlError {
         /// Attempts made.
         attempts: u32,
     },
+    /// The receiver answered the SYN with an explicit refusal (e.g. its
+    /// session registry is at capacity). Unlike [`Unreachable`], this is
+    /// a deliberate fast failure: retrying immediately will not help.
+    ///
+    /// [`Unreachable`]: ControlError::Unreachable
+    Rejected {
+        /// The receiver's stated reason.
+        reason: RejectReason,
+    },
     /// Socket-level failure.
     Io(io::Error),
 }
@@ -109,6 +120,9 @@ impl std::fmt::Display for ControlError {
                     f,
                     "receiver silent: no {what} reply after {attempts} attempts"
                 )
+            }
+            ControlError::Rejected { reason } => {
+                write!(f, "receiver refused the session: {reason}")
             }
             ControlError::Io(e) => write!(f, "control socket error: {e}"),
         }
@@ -214,13 +228,20 @@ impl ControlClient {
         })
     }
 
-    /// Run the SYN/SYN-ACK handshake.
+    /// Run the SYN/SYN-ACK handshake. A SYN-NACK from the receiver
+    /// (session refused, e.g. at capacity) fails fast with
+    /// [`ControlError::Rejected`] instead of burning the retry budget.
     pub fn handshake(&self, session: u32, params: SessionParams) -> Result<(), ControlError> {
         self.request(
             "handshake",
             &ControlMessage::Syn { session, params },
-            |msg| matches!(msg, ControlMessage::SynAck { .. }).then_some(()),
-        )
+            |msg| match msg {
+                ControlMessage::SynAck { .. } => Some(Ok(())),
+                ControlMessage::SynNack { reason, .. } => Some(Err(reason)),
+                _ => None,
+            },
+        )?
+        .map_err(|reason| ControlError::Rejected { reason })
     }
 
     /// Send one heartbeat and wait up to `timeout` for its ack.

@@ -21,9 +21,10 @@
 
 use badabing_metrics::Registry;
 use badabing_stats::dist::{Exponential, Sample};
+use badabing_wire::ProbeHeader;
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -76,7 +77,7 @@ impl EmulatorConfig {
 }
 
 /// Counters published by the emulator.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EmulatorStats {
     /// Datagrams forwarded.
     pub forwarded: u64,
@@ -84,6 +85,20 @@ pub struct EmulatorStats {
     pub dropped: u64,
     /// Scripted episodes run.
     pub episodes: u64,
+    /// Per-session probe accounting, keyed by the probe header's session
+    /// id (datagrams that do not decode as probes are counted only in
+    /// the totals above). With many senders sharing one bottleneck this
+    /// is what ties each sender's manifest to its share of the loss.
+    pub per_session: BTreeMap<u32, SessionFlow>,
+}
+
+/// One session's share of the emulator's traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionFlow {
+    /// Probe datagrams of this session forwarded.
+    pub forwarded: u64,
+    /// Probe datagrams of this session dropped at the virtual queue.
+    pub dropped: u64,
 }
 
 /// Virtual queue state: occupancy in bytes, drained continuously.
@@ -231,16 +246,27 @@ impl Emulator {
                                 Err(_) => break,
                             };
                             let now = Instant::now();
+                            let session = ProbeHeader::decode(&buf[..len]).ok().map(|h| h.session);
                             let admitted = queue.lock().expect("queue lock").offer(now, len as f64);
                             match admitted {
                                 None => {
-                                    stats.lock().expect("stats lock").dropped += 1;
+                                    let mut s = stats.lock().expect("stats lock");
+                                    s.dropped += 1;
+                                    if let Some(id) = session {
+                                        s.per_session.entry(id).or_default().dropped += 1;
+                                    }
+                                    drop(s);
                                     if let Some(c) = &m_dropped {
                                         c.inc();
                                     }
                                 }
                                 Some(delay) => {
-                                    stats.lock().expect("stats lock").forwarded += 1;
+                                    let mut s = stats.lock().expect("stats lock");
+                                    s.forwarded += 1;
+                                    if let Some(id) = session {
+                                        s.per_session.entry(id).or_default().forwarded += 1;
+                                    }
+                                    drop(s);
                                     if let Some(c) = &m_forwarded {
                                         c.inc();
                                     }
@@ -375,7 +401,7 @@ impl Emulator {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> EmulatorStats {
-        *self.stats.lock().expect("stats lock")
+        self.stats.lock().expect("stats lock").clone()
     }
 
     /// Stop forwarding and scripting.
@@ -385,7 +411,7 @@ impl Emulator {
         for t in self.threads {
             let _ = t.join();
         }
-        *self.stats.lock().expect("stats lock")
+        self.stats.lock().expect("stats lock").clone()
     }
 }
 
@@ -465,6 +491,41 @@ mod tests {
         assert_eq!(stats.forwarded, 20);
         assert_eq!(stats.dropped, 0);
         assert_eq!(metrics.counter("forwarded").get(), 20);
+    }
+
+    #[test]
+    fn per_session_flows_are_attributed() {
+        let sink = UdpSocket::bind(local0()).unwrap();
+        let target = sink.local_addr().unwrap();
+        let cfg = EmulatorConfig {
+            episode_mean_gap_secs: f64::INFINITY,
+            ..EmulatorConfig::loopback_default(local0(), target)
+        };
+        let emu = Emulator::start(cfg, seeded(4, "emu")).unwrap();
+        let sender = UdpSocket::bind(local0()).unwrap();
+        for (session, count) in [(101u32, 5u64), (202, 3)] {
+            for i in 0..count {
+                let h = ProbeHeader {
+                    session,
+                    experiment: 0,
+                    slot: i,
+                    seq: i,
+                    send_ns: 0,
+                    idx: 0,
+                    probe_len: 1,
+                };
+                sender.send_to(&h.encode(100), emu.local_addr()).unwrap();
+            }
+        }
+        // Non-probe datagrams are forwarded but attributed to no session.
+        sender.send_to(b"not-a-probe", emu.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        let stats = emu.stop();
+        assert_eq!(stats.forwarded, 9);
+        assert_eq!(stats.per_session.len(), 2);
+        assert_eq!(stats.per_session[&101].forwarded, 5);
+        assert_eq!(stats.per_session[&202].forwarded, 3);
+        assert_eq!(stats.per_session[&101].dropped, 0);
     }
 
     #[test]

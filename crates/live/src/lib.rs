@@ -11,11 +11,16 @@
 //!   absolute slot clock and stamps every packet with a monotonic send
 //!   time; owns every control-plane timeout and degrades to a partial
 //!   manifest with diagnostics if the receiver dies mid-run;
-//! * [`receiver`] — collects arrivals, deduplicates by `(seq, idx)` so
-//!   duplicated datagrams never mask loss, removes clock offset/skew via
-//!   a lower-envelope fit (yielding *queueing* delay, which is what the
-//!   α/OWDmax threshold actually needs), builds per-probe records, and
-//!   answers the control plane on the same socket;
+//! * [`receiver`] — a session server: one process serves many
+//!   concurrent sender sessions from a registry keyed by session id
+//!   (opened on SYN, bounded by `max_sessions`, reaped on completion or
+//!   idle timeout). Per session it deduplicates arrivals by
+//!   `(seq, idx)` so duplicated datagrams never mask loss, removes
+//!   clock offset/skew via a lower-envelope fit (yielding *queueing*
+//!   delay, which is what the α/OWDmax threshold actually needs),
+//!   builds per-probe records at finalization, and answers the control
+//!   plane on the same socket; the single-session receiver remains as a
+//!   thin wrapper;
 //! * [`control`] — the sender-side driver for the UDP control plane
 //!   (SYN/SYN-ACK handshake, heartbeats, FIN + chunked report retrieval
 //!   with capped exponential backoff; wire format in
@@ -42,6 +47,9 @@ pub mod skew;
 
 pub use analyze::{analyze_run, LiveAnalysis};
 pub use control::{ControlClient, ControlConfig, ControlError};
-pub use emulator::{Emulator, EmulatorConfig};
-pub use receiver::{start_receiver, ReceiverConfig, ReceiverHandle, ReceiverLog};
+pub use emulator::{Emulator, EmulatorConfig, EmulatorStats, SessionFlow};
+pub use receiver::{
+    start_receiver, start_server, ReceiverConfig, ReceiverHandle, ReceiverLog, ServerConfig,
+    ServerHandle, ServerReport, SessionEnd, SessionOutcome, SessionPolicy,
+};
 pub use sender::{run_sender, SenderConfig, SenderManifest, SenderOutcome, SentProbeInfo};

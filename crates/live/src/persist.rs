@@ -30,8 +30,10 @@ pub struct ManifestFile {
     pub n_slots: u64,
     /// Slot width in seconds.
     pub slot_secs: f64,
-    /// Packets transmitted.
+    /// Packets transmitted (successful sends only).
     pub packets_sent: u64,
+    /// Packets skipped on refused sends (absent in older files).
+    pub packets_refused: u64,
     /// Every probe sent.
     pub probes: Vec<ProbeEntry>,
 }
@@ -121,6 +123,7 @@ impl ManifestFile {
             n_slots: manifest.n_slots,
             slot_secs: manifest.slot_secs,
             packets_sent: manifest.packets_sent,
+            packets_refused: manifest.packets_refused,
             probes: manifest
                 .sent
                 .iter()
@@ -139,6 +142,7 @@ impl ManifestFile {
         SenderManifest {
             session: self.session,
             packets_sent: self.packets_sent,
+            packets_refused: self.packets_refused,
             n_slots: self.n_slots,
             slot_secs: self.slot_secs,
             sent: self
@@ -173,6 +177,7 @@ impl ManifestFile {
             ("n_slots", num_u64(self.n_slots)),
             ("slot_secs", Value::Num(self.slot_secs)),
             ("packets_sent", num_u64(self.packets_sent)),
+            ("packets_refused", num_u64(self.packets_refused)),
             ("probes", Value::Arr(probes)),
         ])
     }
@@ -195,6 +200,12 @@ impl ManifestFile {
             n_slots: req_u64(v, "n_slots")?,
             slot_secs: req_f64(v, "slot_secs")?,
             packets_sent: req_u64(v, "packets_sent")?,
+            // Absent in manifests written before refused sends were
+            // tracked; default to zero.
+            packets_refused: v
+                .get("packets_refused")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
             probes,
         })
     }
@@ -381,6 +392,7 @@ mod tests {
         let manifest = SenderManifest {
             session: 9,
             packets_sent: 6,
+            packets_refused: 1,
             n_slots: 1_000,
             slot_secs: 0.005,
             sent: vec![
@@ -410,6 +422,7 @@ mod tests {
         file.save(&path).unwrap();
         let loaded = ManifestFile::load(&path).unwrap();
         assert_eq!(loaded.session, 9);
+        assert_eq!(loaded.packets_refused, 1);
         assert_eq!(loaded.to_manifest().sent, manifest.sent);
         assert_eq!(loaded.tool.p, 0.3);
         assert!(!loaded.tool.improved);
@@ -472,6 +485,30 @@ mod tests {
         assert_eq!(log.duplicates, 0);
         assert_eq!(log.arrivals[&(1, 2)].duplicates, 0);
         assert_eq!(log.min_raw_delay_ns, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loads_manifests_written_before_refused_sends_were_tracked() {
+        let dir = std::env::temp_dir().join("badabing-persist-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old-manifest.json");
+        std::fs::write(
+            &path,
+            r#"{
+              "tool": {"slot_secs": 0.005, "p": 0.3, "probe_packets": 3,
+                       "packet_bytes": 600, "intra_probe_gap_secs": 0.0,
+                       "alpha": 0.005, "tau_secs": 0.05, "improved": false,
+                       "owd_window": 5},
+              "session": 4, "n_slots": 100, "slot_secs": 0.005,
+              "packets_sent": 9,
+              "probes": []
+            }"#,
+        )
+        .unwrap();
+        let loaded = ManifestFile::load(&path).unwrap();
+        assert_eq!(loaded.packets_sent, 9);
+        assert_eq!(loaded.packets_refused, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

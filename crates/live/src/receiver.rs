@@ -1,4 +1,4 @@
-//! The live probe receiver.
+//! The live probe receiver: a multi-session server.
 //!
 //! Collects probe packets on a plain `std::net::UdpSocket` (one thread,
 //! no async runtime), computes per-packet delay against its own
@@ -8,23 +8,37 @@
 //! minimum — exactly the quantity the §6.1 `(1-α)·OWDmax` threshold
 //! discriminates on.
 //!
+//! One process serves **many concurrent sender sessions**: a session
+//! registry keyed by session id holds per-session accumulation state
+//! (arrival map, raw-delay series for the skew fit, control-plane
+//! finalization snapshot, idle deadline, metrics). Under
+//! [`SessionPolicy::Any`] sessions are opened dynamically by the
+//! control-plane SYN handshake, bounded by `max_sessions` — a SYN past
+//! the cap is refused with an explicit NACK, and sessions are reaped on
+//! completion or per-session idle timeout *without* terminating the
+//! serve loop. [`SessionPolicy::Single`] preserves the original
+//! one-sender tool shape (probes may open the session without a
+//! handshake, and the loop exits when that session ends);
+//! [`start_receiver`] is a thin wrapper over it.
+//!
 //! Sample-record integrity: real networks duplicate and reorder
 //! datagrams, and a duplicated arrival must not make a lost probe look
 //! complete (the estimator's input is the per-probe loss record, so
 //! inflation there corrupts everything downstream). Arrivals are
-//! deduplicated by `(seq, idx)`; duplicates are counted separately and
-//! never touch the loss accounting. Reordering is harmless by
-//! construction — records are keyed by `(experiment, slot)`, not arrival
-//! order.
+//! deduplicated per session by `(seq, idx)`; duplicates are counted
+//! separately and never touch the loss accounting. Reordering is
+//! harmless by construction — records are keyed by `(experiment, slot)`,
+//! not arrival order.
 //!
 //! The receiver also serves the control plane on the same socket
 //! (handshake, heartbeats, FIN + chunked report retrieval — see
-//! `badabing_wire::control`), and an idle-timeout watchdog reclaims the
-//! session if the sender vanishes mid-run.
+//! `badabing_wire::control`). The skew-baseline fit and record assembly
+//! run per session at that session's finalization, so concurrent
+//! sessions never contaminate each other's clock model or records.
 
-use badabing_metrics::Registry;
+use badabing_metrics::{Counter, Registry};
 use badabing_wire::control::{
-    chunk_records, ControlMessage, ReportRecord, ReportSummary, SessionParams,
+    chunk_records, ControlMessage, RejectReason, ReportRecord, ReportSummary, SessionParams,
 };
 use badabing_wire::ProbeHeader;
 use std::collections::{HashMap, HashSet};
@@ -33,7 +47,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Receiver configuration.
+/// Single-session receiver configuration (the original tool shape).
 #[derive(Debug, Clone)]
 pub struct ReceiverConfig {
     /// Address to listen on.
@@ -64,6 +78,62 @@ impl ReceiverConfig {
     }
 }
 
+/// Which sessions the server admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPolicy {
+    /// Accept exactly this pre-configured session id. Probes may open
+    /// the session without a handshake, and the serve loop exits when
+    /// the session completes or its idle watchdog fires — the original
+    /// one-sender/one-receiver tool shape.
+    Single(u32),
+    /// Accept any session that opens with a SYN handshake, up to
+    /// `max_sessions` concurrently. Completion or idle timeout reaps
+    /// the individual session; the serve loop keeps running until
+    /// stopped. Probe or control datagrams for unregistered sessions
+    /// are not accepted (probes count as rejected; stale control
+    /// retransmits are ignored).
+    Any,
+}
+
+/// Multi-session server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to listen on.
+    pub bind: SocketAddr,
+    /// Session admission policy.
+    pub policy: SessionPolicy,
+    /// Registry capacity: SYNs arriving while this many sessions are
+    /// active are refused with [`RejectReason::Capacity`]. Completion
+    /// and idle reaping free capacity.
+    pub max_sessions: usize,
+    /// Per-session idle watchdog: a session without any datagram for
+    /// this long is finalized and reaped. `None` keeps idle sessions
+    /// forever.
+    pub idle_timeout: Option<Duration>,
+    /// Answer control-plane messages (handshake, heartbeat, report
+    /// retrieval). Disable for raw packet-capture use.
+    pub serve_control: bool,
+    /// Run counters and delay histograms, if observability is wanted.
+    /// Per-session instruments are published under a `session_<id>_`
+    /// prefix alongside the server-wide ones.
+    pub metrics: Option<Arc<Registry>>,
+}
+
+impl ServerConfig {
+    /// A server on `bind` admitting any session up to `max_sessions`:
+    /// control plane on, no idle watchdog, no metrics.
+    pub fn any(bind: SocketAddr, max_sessions: usize) -> Self {
+        Self {
+            bind,
+            policy: SessionPolicy::Any,
+            max_sessions,
+            idle_timeout: None,
+            serve_control: true,
+            metrics: None,
+        }
+    }
+}
+
 /// Per-probe arrival record.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ArrivalRecord {
@@ -72,20 +142,23 @@ pub struct ArrivalRecord {
     /// Duplicated datagrams observed for this probe (saturating).
     pub duplicates: u8,
     /// Queueing delay (seconds above path minimum) of the most recent
-    /// arrival.
+    /// arrival. May be marginally negative: the lower-envelope clock
+    /// fit touches the samples only to within numerical error.
     pub qdelay_last_secs: f64,
     /// Maximum queueing delay over the probe's arrivals.
     pub qdelay_max_secs: f64,
 }
 
-/// Everything the receiver collected.
+/// Everything the receiver collected for one session.
 #[derive(Debug, Clone, Default)]
 pub struct ReceiverLog {
     /// Arrival records keyed by (experiment, slot).
     pub arrivals: HashMap<(u64, u64), ArrivalRecord>,
     /// Distinct probe packets accepted.
     pub packets: u64,
-    /// Datagrams rejected (wrong session, undecodable).
+    /// Datagrams rejected (unknown session, undecodable). This is a
+    /// server-wide count, not a per-session one: rejected datagrams by
+    /// definition could not be attributed to a session.
     pub rejected: u64,
     /// Duplicated probe datagrams detected (not counted in `packets`
     /// or any arrival record's `received`).
@@ -152,36 +225,131 @@ impl ReceiverLog {
     }
 }
 
-/// Handle to a running receiver thread.
-pub struct ReceiverHandle {
+/// How a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The sender acknowledged the full report (clean completion).
+    Completed,
+    /// The per-session idle watchdog reclaimed it.
+    IdleTimeout,
+    /// The server was stopped while the session was still open.
+    Stopped,
+}
+
+/// One finished session: its id, how it ended, and its finalized log.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Session id.
+    pub session: u32,
+    /// How the session ended.
+    pub end: SessionEnd,
+    /// The session's finalized log. For a completed session this is the
+    /// FIN snapshot — exactly what the sender fetched.
+    pub log: ReceiverLog,
+}
+
+/// Everything a server run produced.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Finished sessions in the order they ended (sessions still open
+    /// at stop are appended last, sorted by id, as
+    /// [`SessionEnd::Stopped`]).
+    pub sessions: Vec<SessionOutcome>,
+    /// Datagrams rejected across the whole run (unknown-session probes,
+    /// undecodable noise, wrong-session traffic in single mode).
+    pub rejected: u64,
+    /// SYNs refused because the registry was at `max_sessions`.
+    pub syns_rejected: u64,
+}
+
+impl ServerReport {
+    /// The finalized log of `session`, if it finished during this run.
+    pub fn log_for(&self, session: u32) -> Option<&ReceiverLog> {
+        self.sessions
+            .iter()
+            .find(|o| o.session == session)
+            .map(|o| &o.log)
+    }
+}
+
+/// Handle to a running multi-session server thread.
+pub struct ServerHandle {
     stop: Arc<AtomicBool>,
-    joined: std::thread::JoinHandle<ReceiverLog>,
+    joined: std::thread::JoinHandle<ServerReport>,
     local_addr: SocketAddr,
 }
 
-impl ReceiverHandle {
+impl ServerHandle {
     /// The actual bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// Whether the receiver exited on its own (session complete or
-    /// watchdog fired).
+    /// Whether the serve loop exited on its own (single-session
+    /// completion or watchdog; an any-policy server only exits when
+    /// stopped).
     pub fn is_finished(&self) -> bool {
         self.joined.is_finished()
     }
 
-    /// Stop the receiver and collect its log.
-    pub fn stop(self) -> ReceiverLog {
+    /// Stop the server and collect its report.
+    pub fn stop(self) -> ServerReport {
         self.stop.store(true, Ordering::Relaxed);
         self.joined.join().expect("receiver thread panicked")
+    }
+
+    /// Wait for the serve loop to exit on its own and collect the
+    /// report. Blocks indefinitely for an any-policy server that is
+    /// never stopped.
+    pub fn join(self) -> ServerReport {
+        self.joined.join().expect("receiver thread panicked")
+    }
+}
+
+/// Handle to a running single-session receiver (thin wrapper over the
+/// session server).
+pub struct ReceiverHandle {
+    session: u32,
+    inner: ServerHandle,
+}
+
+impl ReceiverHandle {
+    /// The actual bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// Whether the receiver exited on its own (session complete or
+    /// watchdog fired).
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    /// Stop the receiver and collect its log.
+    pub fn stop(self) -> ReceiverLog {
+        let session = self.session;
+        Self::extract(session, self.inner.stop())
     }
 
     /// Wait for the receiver to exit on its own (session completion or
     /// idle watchdog) and collect its log. Blocks indefinitely if the
     /// config has no watchdog and no sender ever completes a session.
     pub fn join(self) -> ReceiverLog {
-        self.joined.join().expect("receiver thread panicked")
+        let session = self.session;
+        Self::extract(session, self.inner.join())
+    }
+
+    fn extract(session: u32, report: ServerReport) -> ReceiverLog {
+        let mut log = report
+            .sessions
+            .into_iter()
+            .find(|o| o.session == session)
+            .map(|o| o.log)
+            .unwrap_or_default();
+        // Single-session semantics: the one log owns the global reject
+        // count (it predates the multi-session registry).
+        log.rejected = report.rejected;
+        log
     }
 }
 
@@ -196,10 +364,110 @@ struct ProbeArrivals {
     duplicates: u8,
 }
 
-/// Start a receiver thread; it records until stopped, until its idle
-/// watchdog fires, or until a sender completes the control-plane
+/// A finalized session snapshot: frozen at the first FIN (or at reap
+/// time) and re-served verbatim on every retransmit.
+struct Finalized {
+    chunks: Vec<ControlMessage>,
+    summary: ReportSummary,
+    log: ReceiverLog,
+}
+
+/// Per-session accumulation state in the registry.
+struct SessionState {
+    /// (exp, slot, receive time secs, raw delay ns) — first copies only.
+    raw_delays: Vec<(u64, u64, f64, i64)>,
+    probes: HashMap<(u64, u64), ProbeArrivals>,
+    seen: HashSet<(u64, u8)>,
+    packets: u64,
+    duplicates: u64,
+    min_raw: Option<i64>,
+    handshake: Option<SessionParams>,
+    last_activity: Instant,
+    finalized: Option<Finalized>,
+    m_packets: Option<Arc<Counter>>,
+    m_duplicates: Option<Arc<Counter>>,
+}
+
+impl SessionState {
+    fn new(session: u32, metrics: Option<&Registry>) -> Self {
+        let scope = metrics.map(|m| m.scope(format!("session_{session}")));
+        Self {
+            raw_delays: Vec::new(),
+            probes: HashMap::new(),
+            seen: HashSet::new(),
+            packets: 0,
+            duplicates: 0,
+            min_raw: None,
+            handshake: None,
+            last_activity: Instant::now(),
+            finalized: None,
+            m_packets: scope.as_ref().map(|s| s.counter("packets_accepted")),
+            m_duplicates: scope.as_ref().map(|s| s.counter("duplicates")),
+        }
+    }
+
+    fn touch(&mut self) {
+        self.last_activity = Instant::now();
+    }
+
+    /// Freeze the session log on first call; later calls re-serve the
+    /// same snapshot (FIN idempotency).
+    fn finalize(&mut self, session: u32, rejected: u64, metrics: Option<&Registry>) -> &Finalized {
+        if self.finalized.is_none() {
+            let log = build_log(
+                &self.raw_delays,
+                &self.probes,
+                self.packets,
+                rejected,
+                self.duplicates,
+                self.min_raw,
+                self.handshake,
+                metrics,
+            );
+            let summary = log.summary();
+            let chunks = chunk_records(session, &log.to_records());
+            self.finalized = Some(Finalized {
+                chunks,
+                summary,
+                log,
+            });
+        }
+        self.finalized.as_ref().expect("just finalized")
+    }
+
+    fn into_outcome(
+        mut self,
+        session: u32,
+        end: SessionEnd,
+        rejected: u64,
+        metrics: Option<&Registry>,
+    ) -> SessionOutcome {
+        self.finalize(session, rejected, metrics);
+        let log = self.finalized.expect("just finalized").log;
+        SessionOutcome { session, end, log }
+    }
+}
+
+/// Start a single-session receiver; it records until stopped, until its
+/// idle watchdog fires, or until the sender completes the control-plane
 /// session (FIN + full report retrieval).
 pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
+    let session = cfg.session;
+    let inner = start_server(ServerConfig {
+        bind: cfg.bind,
+        policy: SessionPolicy::Single(session),
+        max_sessions: 1,
+        idle_timeout: cfg.idle_timeout,
+        serve_control: cfg.serve_control,
+        metrics: cfg.metrics,
+    })?;
+    Ok(ReceiverHandle { session, inner })
+}
+
+/// Start a multi-session server thread; it serves sessions under the
+/// configured policy until stopped (or, under
+/// [`SessionPolicy::Single`], until that session ends).
+pub fn start_server(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let socket = UdpSocket::bind(cfg.bind)?;
     let local_addr = socket.local_addr()?;
     socket.set_read_timeout(Some(POLL_INTERVAL))?;
@@ -209,53 +477,73 @@ pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
 
     let joined = std::thread::Builder::new()
         .name("badabing-recv".into())
-        .spawn(move || receive_loop(&socket, &cfg, anchor, &stop_flag))
+        .spawn(move || serve_loop(&socket, &cfg, anchor, &stop_flag))
         .expect("spawn receiver thread");
 
-    Ok(ReceiverHandle {
+    Ok(ServerHandle {
         stop,
         joined,
         local_addr,
     })
 }
 
-fn receive_loop(
+fn serve_loop(
     socket: &UdpSocket,
-    cfg: &ReceiverConfig,
+    cfg: &ServerConfig,
     anchor: Instant,
     stop: &AtomicBool,
-) -> ReceiverLog {
-    // (exp, slot, receive time secs, raw delay ns) — first copies only.
-    let mut raw_delays: Vec<(u64, u64, f64, i64)> = Vec::new();
-    let mut probes: HashMap<(u64, u64), ProbeArrivals> = HashMap::new();
-    let mut seen: HashSet<(u64, u8)> = HashSet::new();
-    let mut packets = 0u64;
+) -> ServerReport {
+    let single_id = match cfg.policy {
+        SessionPolicy::Single(id) => Some(id),
+        SessionPolicy::Any => None,
+    };
+    let metrics = cfg.metrics.as_deref();
+
+    let mut sessions: HashMap<u32, SessionState> = HashMap::new();
+    let mut outcomes: Vec<SessionOutcome> = Vec::new();
     let mut rejected = 0u64;
-    let mut duplicates = 0u64;
-    let mut min_raw: Option<i64> = None;
-    let mut handshake: Option<SessionParams> = None;
+    let mut syns_rejected = 0u64;
 
-    // Control-plane session state.
-    let mut session_active = false;
-    let mut last_activity = Instant::now();
-    let mut finalized: Option<(Vec<ControlMessage>, ReportSummary)> = None;
-    let mut complete = false;
+    let m_packets = metrics.map(|m| m.counter("packets_accepted"));
+    let m_rejected = metrics.map(|m| m.counter("datagrams_rejected"));
+    let m_dup = metrics.map(|m| m.counter("duplicates"));
+    let m_ctrl = metrics.map(|m| m.counter("control_messages"));
+    let m_opened = metrics.map(|m| m.counter("sessions_opened"));
+    let m_completed = metrics.map(|m| m.counter("sessions_completed"));
+    let m_idle_reaped = metrics.map(|m| m.counter("sessions_idle_reaped"));
+    let m_syn_rejected = metrics.map(|m| m.counter("syns_rejected"));
+    let m_stale = metrics.map(|m| m.counter("control_stale"));
+    let inc = |c: &Option<Arc<Counter>>| {
+        if let Some(c) = c {
+            c.inc();
+        }
+    };
 
-    let m_packets = cfg.metrics.as_ref().map(|m| m.counter("packets_accepted"));
-    let m_rejected = cfg
-        .metrics
-        .as_ref()
-        .map(|m| m.counter("datagrams_rejected"));
-    let m_dup = cfg.metrics.as_ref().map(|m| m.counter("duplicates"));
-    let m_ctrl = cfg.metrics.as_ref().map(|m| m.counter("control_messages"));
-
+    let mut done = false;
     let mut buf = vec![0u8; 65_536];
-    while !stop.load(Ordering::Relaxed) && !complete {
-        if let (Some(timeout), true) = (cfg.idle_timeout, session_active) {
-            if last_activity.elapsed() >= timeout {
-                break; // watchdog: sender went silent
+    while !stop.load(Ordering::Relaxed) && !done {
+        // Per-session idle watchdog: reap silent sessions without
+        // killing the loop (single mode: the one session ending ends
+        // the loop, preserving the original watchdog semantics).
+        if let Some(timeout) = cfg.idle_timeout {
+            let expired: Vec<u32> = sessions
+                .iter()
+                .filter(|(_, s)| s.last_activity.elapsed() >= timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                let state = sessions.remove(&id).expect("expired session present");
+                outcomes.push(state.into_outcome(id, SessionEnd::IdleTimeout, rejected, metrics));
+                inc(&m_idle_reaped);
+                if single_id == Some(id) {
+                    done = true;
+                }
+            }
+            if done {
+                break;
             }
         }
+
         let (len, src) = match socket.recv_from(&mut buf) {
             Ok(ok) => ok,
             Err(e)
@@ -270,35 +558,43 @@ fn receive_loop(
         let data = &buf[..len];
 
         if let Ok(h) = ProbeHeader::decode(data) {
-            if h.session != cfg.session {
+            // Probes open the session only in single mode (the legacy
+            // open-loop tool has no handshake); under `Any` the SYN is
+            // the sole door in.
+            let state = match single_id {
+                Some(id) if h.session == id => Some(sessions.entry(id).or_insert_with(|| {
+                    inc(&m_opened);
+                    SessionState::new(id, metrics)
+                })),
+                Some(_) => None,
+                None => sessions.get_mut(&h.session),
+            };
+            let Some(state) = state else {
                 rejected += 1;
-                if let Some(c) = &m_rejected {
-                    c.inc();
-                }
+                inc(&m_rejected);
                 continue;
-            }
-            session_active = true;
-            last_activity = Instant::now();
-            if !seen.insert((h.seq, h.idx)) {
+            };
+            state.touch();
+            if !state.seen.insert((h.seq, h.idx)) {
                 // Duplicated datagram: a copy of (seq, idx) was already
                 // counted. Track it, but never let it inflate arrival
                 // counts — a lost probe must not look complete.
-                duplicates += 1;
-                let entry = probes.entry((h.experiment, h.slot)).or_default();
+                state.duplicates += 1;
+                let entry = state.probes.entry((h.experiment, h.slot)).or_default();
                 entry.duplicates = entry.duplicates.saturating_add(1);
-                if let Some(c) = &m_dup {
-                    c.inc();
-                }
+                inc(&m_dup);
+                inc(&state.m_duplicates);
                 continue;
             }
-            packets += 1;
-            if let Some(c) = &m_packets {
-                c.inc();
-            }
+            state.packets += 1;
+            inc(&m_packets);
+            inc(&state.m_packets);
             let raw = now.as_nanos() as i64 - h.send_ns as i64;
-            min_raw = Some(min_raw.map_or(raw, |m| m.min(raw)));
-            raw_delays.push((h.experiment, h.slot, now.as_secs_f64(), raw));
-            let entry = probes.entry((h.experiment, h.slot)).or_default();
+            state.min_raw = Some(state.min_raw.map_or(raw, |m| m.min(raw)));
+            state
+                .raw_delays
+                .push((h.experiment, h.slot, now.as_secs_f64(), raw));
+            let entry = state.probes.entry((h.experiment, h.slot)).or_default();
             entry.seen_idx.insert(h.idx);
             entry.probe_len = entry.probe_len.max(h.probe_len);
             continue;
@@ -306,96 +602,154 @@ fn receive_loop(
 
         let Ok(msg) = ControlMessage::decode(data) else {
             rejected += 1;
-            if let Some(c) = &m_rejected {
-                c.inc();
-            }
+            inc(&m_rejected);
             continue;
         };
-        if !cfg.serve_control || msg.session() != cfg.session {
+        if !cfg.serve_control || matches!((single_id, msg.session()), (Some(id), s) if s != id) {
             rejected += 1;
-            if let Some(c) = &m_rejected {
-                c.inc();
-            }
+            inc(&m_rejected);
             continue;
         }
-        session_active = true;
-        last_activity = Instant::now();
-        if let Some(c) = &m_ctrl {
-            c.inc();
-        }
+        inc(&m_ctrl);
+        let id = msg.session();
         match msg {
             ControlMessage::Syn { session, params } => {
-                handshake = Some(params);
+                // Admission: an existing session's SYN retransmit is
+                // refreshed and re-acked (idempotent); a new session is
+                // admitted only below the registry cap.
+                if !sessions.contains_key(&session) {
+                    if single_id.is_none() && sessions.len() >= cfg.max_sessions {
+                        syns_rejected += 1;
+                        inc(&m_syn_rejected);
+                        let nack = ControlMessage::SynNack {
+                            session,
+                            reason: RejectReason::Capacity,
+                        };
+                        let _ = socket.send_to(&nack.encode(), src);
+                        continue;
+                    }
+                    inc(&m_opened);
+                }
+                let state = sessions
+                    .entry(session)
+                    .or_insert_with(|| SessionState::new(session, metrics));
+                state.touch();
+                state.handshake = Some(params);
                 let _ = socket.send_to(&ControlMessage::SynAck { session }.encode(), src);
             }
             ControlMessage::Heartbeat { session, seq } => {
+                // In single mode a heartbeat may arrive before any probe
+                // and still opens the session (arming the watchdog, as
+                // the pre-registry receiver did). Under `Any` a
+                // heartbeat for an unknown session is a stale
+                // retransmit from a reaped session: ignoring it (no
+                // ack) lets the sender's own watchdog conclude death.
+                let state = match single_id {
+                    Some(id) => Some(sessions.entry(id).or_insert_with(|| {
+                        inc(&m_opened);
+                        SessionState::new(id, metrics)
+                    })),
+                    None => sessions.get_mut(&session),
+                };
+                let Some(state) = state else {
+                    inc(&m_stale);
+                    continue;
+                };
+                state.touch();
                 let _ =
                     socket.send_to(&ControlMessage::HeartbeatAck { session, seq }.encode(), src);
             }
             ControlMessage::Fin { session, .. } => {
+                let state = match single_id {
+                    Some(id) => Some(sessions.entry(id).or_insert_with(|| {
+                        inc(&m_opened);
+                        SessionState::new(id, metrics)
+                    })),
+                    None => sessions.get_mut(&session),
+                };
+                let Some(state) = state else {
+                    inc(&m_stale);
+                    continue;
+                };
+                state.touch();
                 // Finalize once; FIN retransmits re-serve the same
                 // snapshot so retrieval is idempotent.
-                if finalized.is_none() {
-                    let log = build_log(
-                        &raw_delays,
-                        &probes,
-                        packets,
-                        rejected,
-                        duplicates,
-                        min_raw,
-                        handshake,
-                        None,
-                    );
-                    let summary = log.summary();
-                    finalized = Some((chunk_records(session, &log.to_records()), summary));
-                }
-                let (chunks, summary) = finalized.as_ref().expect("just finalized");
+                let finalized = state.finalize(session, rejected, metrics);
                 let ack = ControlMessage::FinAck {
                     session,
-                    total_chunks: chunks.len() as u32,
-                    summary: *summary,
+                    total_chunks: finalized.chunks.len() as u32,
+                    summary: finalized.summary,
                 };
                 let _ = socket.send_to(&ack.encode(), src);
             }
             ControlMessage::ReportRequest { chunk, .. } => {
-                if let Some((chunks, _)) = &finalized {
-                    if let Some(msg) = chunks.get(chunk as usize) {
+                let Some(state) = sessions.get_mut(&id) else {
+                    inc(&m_stale);
+                    continue;
+                };
+                state.touch();
+                if let Some(finalized) = &state.finalized {
+                    if let Some(msg) = finalized.chunks.get(chunk as usize) {
                         let _ = socket.send_to(&msg.encode(), src);
                     }
                 }
             }
             ControlMessage::ReportAck { chunk, .. } => {
-                if let Some((chunks, _)) = &finalized {
-                    if chunk as usize >= chunks.len() {
-                        complete = true; // sender has everything
+                let complete = match sessions.get_mut(&id) {
+                    Some(state) => {
+                        state.touch();
+                        state
+                            .finalized
+                            .as_ref()
+                            .is_some_and(|f| chunk as usize >= f.chunks.len())
+                    }
+                    None => {
+                        // Duplicate closing ack to an already-reaped
+                        // session.
+                        inc(&m_stale);
+                        false
+                    }
+                };
+                if complete {
+                    // The sender holds the full report: reap the
+                    // session. Other sessions keep flowing.
+                    let state = sessions.remove(&id).expect("completed session present");
+                    outcomes.push(state.into_outcome(id, SessionEnd::Completed, rejected, metrics));
+                    inc(&m_completed);
+                    if single_id == Some(id) {
+                        done = true;
                     }
                 }
             }
             // Receiver-emitted messages arriving here are stray
             // reflections; ignore them.
             ControlMessage::SynAck { .. }
+            | ControlMessage::SynNack { .. }
             | ControlMessage::HeartbeatAck { .. }
             | ControlMessage::FinAck { .. }
             | ControlMessage::ReportChunk { .. } => {}
         }
     }
 
-    build_log(
-        &raw_delays,
-        &probes,
-        packets,
+    // Anything still open when the loop ends is finalized as stopped,
+    // in id order for determinism.
+    let mut open: Vec<(u32, SessionState)> = sessions.drain().collect();
+    open.sort_by_key(|&(id, _)| id);
+    for (id, state) in open {
+        outcomes.push(state.into_outcome(id, SessionEnd::Stopped, rejected, metrics));
+    }
+
+    ServerReport {
+        sessions: outcomes,
         rejected,
-        duplicates,
-        min_raw,
-        handshake,
-        cfg.metrics.as_deref(),
-    )
+        syns_rejected,
+    }
 }
 
-/// Assemble the final log: fit the clock baseline over the whole run and
-/// convert raw delays into queueing delays (§7). A running minimum would
-/// bias early records upward; min-subtraction alone would let clock skew
-/// masquerade as queueing delay on long runs.
+/// Assemble a session's final log: fit the clock baseline over the whole
+/// session and convert raw delays into queueing delays (§7). A running
+/// minimum would bias early records upward; min-subtraction alone would
+/// let clock skew masquerade as queueing delay on long runs.
 #[allow(clippy::too_many_arguments)]
 fn build_log(
     raw_delays: &[(u64, u64, f64, i64)],
@@ -425,13 +779,38 @@ fn build_log(
         ..Default::default()
     };
     let qdelay_hist = metrics.map(|m| m.histogram("qdelay_secs"));
+    apply_baseline(
+        &baseline,
+        raw_delays,
+        probes,
+        &mut log,
+        qdelay_hist.as_deref(),
+    );
+    log
+}
+
+/// Convert raw delays into per-probe arrival records under `baseline`.
+fn apply_baseline(
+    baseline: &crate::skew::Baseline,
+    raw_delays: &[(u64, u64, f64, i64)],
+    probes: &HashMap<(u64, u64), ProbeArrivals>,
+    log: &mut ReceiverLog,
+    qdelay_hist: Option<&badabing_metrics::Histogram>,
+) {
     for &(exp, slot, t, raw) in raw_delays {
         let q = baseline.correct(t, raw as f64 / 1e9);
-        if let Some(h) = &qdelay_hist {
+        if let Some(h) = qdelay_hist {
             h.record_secs(q);
         }
         let state = &probes[&(exp, slot)];
-        let rec = log.arrivals.entry((exp, slot)).or_default();
+        // Seed the max from the probe's first arrival: folding via
+        // f64::max from a 0.0 default would report
+        // `qdelay_max_secs = 0.0 > qdelay_last_secs` for a probe whose
+        // baseline-corrected residuals are all slightly negative.
+        let rec = log.arrivals.entry((exp, slot)).or_insert(ArrivalRecord {
+            qdelay_max_secs: f64::NEG_INFINITY,
+            ..Default::default()
+        });
         // Clamp: even a malformed sender reusing (seq, idx) pairs across
         // more datagrams than the probe announces cannot push `received`
         // past the probe length.
@@ -440,7 +819,6 @@ fn build_log(
         rec.qdelay_last_secs = q;
         rec.qdelay_max_secs = rec.qdelay_max_secs.max(q);
     }
-    log
 }
 
 #[cfg(test)]
@@ -623,6 +1001,9 @@ mod tests {
         assert_eq!(log.packets, 2);
         assert_eq!(log.duplicates, 3);
         assert_eq!(metrics.counter("duplicates").get(), 3);
+        // Per-session instruments ride alongside the server-wide ones.
+        assert_eq!(metrics.counter("session_6_duplicates").get(), 3);
+        assert_eq!(metrics.counter("session_6_packets_accepted").get(), 2);
     }
 
     #[test]
@@ -696,5 +1077,52 @@ mod tests {
         assert_eq!(back.duplicates, 1);
         assert_eq!(back.arrivals[&(3, 7)].received, 2);
         assert_eq!(back.arrivals[&(3, 7)].duplicates, 1);
+    }
+
+    #[test]
+    fn qdelay_max_is_seeded_from_the_first_arrival() {
+        // Regression: the fold used to start from the ArrivalRecord
+        // default of 0.0, so a probe whose baseline-corrected residuals
+        // were all slightly negative (the lower-envelope fit touches the
+        // samples only to within numerical error) reported
+        // qdelay_max_secs = 0.0 > qdelay_last_secs — an inconsistent
+        // record.
+        let baseline = crate::skew::Baseline {
+            offset: 0.005, // sits 5 ms above this probe's raw delays
+            slope: 0.0,
+        };
+        // Two arrivals of one probe: raw delays 4.8 ms and 4.9 ms, so
+        // corrected residuals are -0.2 ms then -0.1 ms.
+        let raw_delays = vec![(0u64, 0u64, 0.0, 4_800_000i64), (0, 0, 0.1, 4_900_000)];
+        let mut probes = HashMap::new();
+        probes.insert(
+            (0u64, 0u64),
+            ProbeArrivals {
+                seen_idx: [0u8, 1].into_iter().collect(),
+                probe_len: 2,
+                duplicates: 0,
+            },
+        );
+        let mut log = ReceiverLog::default();
+        apply_baseline(&baseline, &raw_delays, &probes, &mut log, None);
+        let rec = log.arrivals[&(0, 0)];
+        assert!(
+            (rec.qdelay_last_secs - (-1e-4)).abs() < 1e-12,
+            "last residual, got {}",
+            rec.qdelay_last_secs
+        );
+        assert!(
+            (rec.qdelay_max_secs - (-1e-4)).abs() < 1e-12,
+            "max must be the larger *observed* residual, got {}",
+            rec.qdelay_max_secs
+        );
+        assert!(
+            rec.qdelay_max_secs >= rec.qdelay_last_secs,
+            "record must be internally consistent"
+        );
+        assert!(
+            rec.qdelay_max_secs < 0.0,
+            "an all-negative probe must not report a phantom 0.0 max"
+        );
     }
 }

@@ -87,7 +87,8 @@ pub struct SentProbeInfo {
     pub slot: u64,
     /// Actual send time in seconds since the sender's anchor.
     pub send_time_secs: f64,
-    /// Packets in the probe.
+    /// Packets of this probe that actually left the host (may be less
+    /// than the configured probe size if sends were refused).
     pub packets: u8,
 }
 
@@ -98,8 +99,13 @@ pub struct SenderManifest {
     pub session: u32,
     /// Every probe sent, in send order.
     pub sent: Vec<SentProbeInfo>,
-    /// Packets transmitted in total.
+    /// Packets transmitted in total. Counts only successful sends: this
+    /// is the denominator of the post-run loss accounting, so a packet
+    /// the OS refused to emit must not appear in it.
     pub packets_sent: u64,
+    /// Packets skipped because the socket refused the send (dead
+    /// on-path destination surfacing as `ConnectionRefused`).
+    pub packets_refused: u64,
     /// Slots in the run.
     pub n_slots: u64,
     /// Slot width in seconds.
@@ -193,7 +199,7 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
 
     // Liveness: heartbeats ride alongside the probe schedule; enough
     // consecutive misses raise the abort flag the probe loop watches.
-    let heartbeat = client.as_ref().map(|client| {
+    let mut heartbeat = client.as_ref().map(|client| {
         let client = client.clone();
         let abort = abort.clone();
         let done = done.clone();
@@ -235,11 +241,13 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     let slot_dur = Duration::from_secs_f64(cfg.tool.slot_secs);
     let mut sent = Vec::with_capacity(plan.len());
     let mut packets_sent = 0u64;
+    let mut packets_refused = 0u64;
     let mut seq = 0u64;
     let n = cfg.tool.probe_packets;
     let bytes = cfg.tool.packet_bytes as usize;
     let m_probes = cfg.metrics.as_ref().map(|m| m.counter("probes_sent"));
     let m_packets = cfg.metrics.as_ref().map(|m| m.counter("packets_sent"));
+    let m_refused = cfg.metrics.as_ref().map(|m| m.counter("packets_refused"));
     let m_lateness = cfg
         .metrics
         .as_ref()
@@ -256,6 +264,7 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
         if let Some(h) = &m_lateness {
             h.record_secs((Instant::now() - due).as_secs_f64());
         }
+        let mut sent_ok = 0u8;
         for idx in 0..n {
             let header = ProbeHeader {
                 session: cfg.session,
@@ -267,22 +276,34 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
                 probe_len: n,
             };
             seq += 1;
-            packets_sent += 1;
-            if let Some(c) = &m_packets {
-                c.inc();
-            }
-            // A dead on-path destination surfaces as ConnectionRefused
-            // on loopback; the heartbeat watchdog is the authority on
-            // peer death, so skip the packet rather than crash.
-            if let Err(e) = socket.send(&header.encode(bytes)) {
-                if e.kind() == std::io::ErrorKind::ConnectionRefused {
-                    continue;
+            // Count only after the send succeeds: packets the OS refuses
+            // to emit never reach the wire, and pre-counting them would
+            // overstate the loss-accounting denominator in the manifest.
+            match socket.send(&header.encode(bytes)) {
+                Ok(_) => {
+                    sent_ok += 1;
+                    packets_sent += 1;
+                    if let Some(c) = &m_packets {
+                        c.inc();
+                    }
                 }
-                done.store(true, Ordering::Relaxed);
-                if let Some(hb) = heartbeat {
-                    let _ = hb.join();
+                // A dead on-path destination surfaces as
+                // ConnectionRefused on loopback; the heartbeat watchdog
+                // is the authority on peer death, so skip the packet
+                // rather than crash.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    packets_refused += 1;
+                    if let Some(c) = &m_refused {
+                        c.inc();
+                    }
                 }
-                return Err(e);
+                Err(e) => {
+                    done.store(true, Ordering::Relaxed);
+                    if let Some(hb) = heartbeat.take() {
+                        let _ = hb.join();
+                    }
+                    return Err(e);
+                }
             }
         }
         if let Some(c) = &m_probes {
@@ -292,15 +313,15 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
             experiment,
             slot,
             send_time_secs,
-            packets: n,
+            packets: sent_ok,
         });
     }
 
-    done.store(true, Ordering::Relaxed);
-    if let Some(hb) = heartbeat {
-        let _ = hb.join();
-    }
     if aborted {
+        done.store(true, Ordering::Relaxed);
+        if let Some(hb) = heartbeat.take() {
+            let _ = hb.join();
+        }
         diagnostics.push(format!(
             "receiver went silent mid-run: aborted after {} of {} probes \
              (heartbeat watchdog); manifest is partial",
@@ -316,6 +337,7 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
         session: cfg.session,
         sent,
         packets_sent,
+        packets_refused,
         n_slots: cfg.n_slots,
         slot_secs: cfg.tool.slot_secs,
     };
@@ -325,16 +347,41 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     // just delay the (already partial) exit.
     let mut receiver_log = None;
     if let (Some(client), false) = (&client, aborted) {
+        // Keep the heartbeat thread alive through the drain wait: with a
+        // receiver idle timeout shorter than the drain, stopping
+        // liveness here would let the receiver's watchdog reclaim the
+        // session before the FIN arrives, and an otherwise-complete
+        // report would be lost.
         std::thread::sleep(client.config().drain);
-        match client.fetch_report(cfg.session, manifest.sent.len() as u64, packets_sent) {
-            Ok((summary, records)) => {
-                receiver_log = Some(ReceiverLog::from_report(summary, &records));
-            }
-            Err(e) => diagnostics.push(format!(
-                "probes all sent but report retrieval failed: {e}; \
-                 manifest-only result"
-            )),
+        done.store(true, Ordering::Relaxed);
+        if let Some(hb) = heartbeat.take() {
+            // The heartbeat thread shares the control socket; joining it
+            // before fetch_report serializes their use of it.
+            let _ = hb.join();
         }
+        if abort.load(Ordering::Relaxed) {
+            diagnostics.push(
+                "receiver went silent during the drain wait; skipping report \
+                 retrieval (manifest-only result)"
+                    .to_string(),
+            );
+        } else {
+            match client.fetch_report(cfg.session, manifest.sent.len() as u64, packets_sent) {
+                Ok((summary, records)) => {
+                    receiver_log = Some(ReceiverLog::from_report(summary, &records));
+                }
+                Err(e) => diagnostics.push(format!(
+                    "probes all sent but report retrieval failed: {e}; \
+                     manifest-only result"
+                )),
+            }
+        }
+    }
+    // Open-loop runs have no heartbeat thread, but stop it defensively
+    // for any path that skipped the joins above.
+    done.store(true, Ordering::Relaxed);
+    if let Some(hb) = heartbeat.take() {
+        let _ = hb.join();
     }
 
     Ok(SenderOutcome {
@@ -431,6 +478,58 @@ mod tests {
                 probe.send_time_secs
             );
         }
+    }
+
+    #[test]
+    fn refused_packets_are_not_counted_as_sent() {
+        // Regression: packets_sent (and the metric) used to be
+        // incremented *before* socket.send, so packets skipped on
+        // ConnectionRefused were still counted as transmitted and the
+        // manifest overstated the loss-accounting denominator.
+        //
+        // Reserve a loopback port, then close it: a connected UDP socket
+        // sending there gets ICMP port-unreachable back, surfacing as
+        // ConnectionRefused on subsequent sends (roughly alternating on
+        // Linux), so a multi-packet run is guaranteed refusals.
+        let target = {
+            let reserved = UdpSocket::bind(local(0)).unwrap();
+            reserved.local_addr().unwrap()
+        };
+        let metrics = Arc::new(Registry::new("send-refused-test"));
+        let cfg = SenderConfig {
+            tool: BadabingConfig {
+                slot_secs: 0.002,
+                ..BadabingConfig::paper_default(0.5)
+            },
+            metrics: Some(metrics.clone()),
+            ..SenderConfig::new(BadabingConfig::paper_default(0.5), 60, target, 11)
+        };
+        let outcome = run_sender(cfg, seeded(3, "live-send")).unwrap();
+        assert!(outcome.completed, "open loop must still finish");
+        let m = outcome.manifest;
+        let probe_len = u64::from(BadabingConfig::paper_default(0.5).probe_packets);
+        let attempts = m.sent.len() as u64 * probe_len;
+        assert!(attempts > 0);
+        assert!(
+            m.packets_refused > 0,
+            "dead target must produce refusals (got {attempts} clean sends)"
+        );
+        assert!(
+            m.packets_sent < attempts,
+            "refused packets counted as sent: {} of {attempts}",
+            m.packets_sent
+        );
+        assert_eq!(
+            m.packets_sent + m.packets_refused,
+            attempts,
+            "every attempt is either sent or refused"
+        );
+        // Per-probe counts reflect what actually left the host, and the
+        // metric agrees with the manifest.
+        let per_probe: u64 = m.sent.iter().map(|p| u64::from(p.packets)).sum();
+        assert_eq!(per_probe, m.packets_sent);
+        assert_eq!(metrics.counter("packets_sent").get(), m.packets_sent);
+        assert_eq!(metrics.counter("packets_refused").get(), m.packets_refused);
     }
 
     #[test]

@@ -310,6 +310,91 @@ fn receiver_death_mid_run_degrades_to_partial_manifest() {
 }
 
 #[test]
+fn report_survives_idle_timeout_shorter_than_drain() {
+    // Regression: the sender used to stop its heartbeat thread *before*
+    // the drain sleep, so with a receiver idle timeout shorter than the
+    // drain the receiver's watchdog reclaimed the session before FIN
+    // arrived and an otherwise-complete report was lost. Liveness must
+    // keep flowing until report retrieval starts.
+    let session = 0xA7;
+    let receiver = start_receiver(ReceiverConfig {
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..ReceiverConfig::new(local0(), session)
+    })
+    .unwrap();
+    let tool = fast_tool();
+    let mut control = ControlConfig::new(receiver.local_addr());
+    control.drain = Duration::from_millis(900); // 3× the idle timeout
+    control.heartbeat_interval = Duration::from_millis(100);
+    let cfg = SenderConfig {
+        tool,
+        control: Some(control),
+        ..SenderConfig::new(tool, 200 /* 1 s */, receiver.local_addr(), session)
+    };
+    let outcome = run_sender(cfg, seeded(8, "drain")).unwrap();
+    assert!(outcome.completed);
+    assert_eq!(outcome.diagnostics, Vec::<String>::new());
+    let fetched = outcome
+        .receiver_log
+        .expect("heartbeats must keep the session alive through the drain wait");
+    assert_eq!(fetched.packets, outcome.manifest.packets_sent);
+
+    // The receiver exits via the closing ReportAck, not its watchdog.
+    let started = Instant::now();
+    let local = receiver.join();
+    assert!(started.elapsed() < Duration::from_secs(5));
+    assert_eq!(local.packets, fetched.packets);
+}
+
+#[test]
+fn zero_record_session_completes_cleanly() {
+    // Every probe vanishes (sent into a socket nobody reads); only the
+    // control plane reaches the receiver. FIN → FinAck(total_chunks = 0)
+    // → closing ReportAck must complete the session with an empty record
+    // set — the `chunk >= total_chunks` completion edge at zero chunks —
+    // rather than wedging the receiver until its watchdog.
+    let session = 0xB8;
+    let receiver = start_receiver(ReceiverConfig {
+        idle_timeout: Some(Duration::from_secs(10)),
+        ..ReceiverConfig::new(local0(), session)
+    })
+    .unwrap();
+    let blackhole = UdpSocket::bind(local0()).unwrap(); // bound, never read
+    let tool = fast_tool();
+    let mut control = ControlConfig::new(receiver.local_addr());
+    control.drain = Duration::from_millis(100);
+    let cfg = SenderConfig {
+        tool,
+        control: Some(control),
+        ..SenderConfig::new(
+            tool,
+            200, /* 1 s */
+            blackhole.local_addr().unwrap(),
+            session,
+        )
+    };
+    let outcome = run_sender(cfg, seeded(9, "blackhole")).unwrap();
+    assert!(outcome.completed, "diagnostics: {:?}", outcome.diagnostics);
+    let fetched = outcome
+        .receiver_log
+        .expect("an empty report must still be retrievable");
+    assert_eq!(fetched.packets, 0);
+    assert!(fetched.arrivals.is_empty(), "no probe ever arrived");
+
+    let started = Instant::now();
+    let local = receiver.join();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "receiver must exit via the closing ReportAck, not the watchdog"
+    );
+    assert!(local.arrivals.is_empty());
+
+    // Loss accounting off the manifest alone: everything sent was lost.
+    let analysis = analyze_run(&tool, &outcome.manifest, &fetched);
+    assert_eq!(analysis.packets_lost, outcome.manifest.packets_sent);
+}
+
+#[test]
 fn duplicated_and_reordered_datagrams_leave_loss_accounting_unchanged() {
     // The impairment proxy duplicates every 5th datagram and reorders
     // every 7th with its successor, but drops nothing. Dedup by

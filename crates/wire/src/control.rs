@@ -8,8 +8,14 @@
 //!
 //! 1. **Handshake** — [`ControlMessage::Syn`] carries the session id and
 //!    the full tool configuration ([`SessionParams`]); the receiver
-//!    answers [`ControlMessage::SynAck`]. The sender retries with capped
-//!    exponential backoff until acknowledged or out of attempts.
+//!    answers [`ControlMessage::SynAck`], or [`ControlMessage::SynNack`]
+//!    when it refuses the session (e.g. a multi-session receiver at its
+//!    `max_sessions` capacity — see [`RejectReason`]). The sender retries
+//!    with capped exponential backoff until acknowledged, refused, or out
+//!    of attempts; a NACK fails the handshake immediately instead of
+//!    burning the retry budget. SYN retransmits to an already-open
+//!    session are idempotent: they refresh the stored parameters and are
+//!    re-acknowledged, never refused.
 //! 2. **Liveness** — periodic [`ControlMessage::Heartbeat`] /
 //!    [`ControlMessage::HeartbeatAck`] pairs during the run. Consecutive
 //!    unanswered heartbeats abort the sender with a partial manifest; an
@@ -22,6 +28,29 @@
 //!    [`ControlMessage::ReportRequest`] at a time (request/response is
 //!    the per-chunk ACK; re-requests are idempotent) and closes with a
 //!    final [`ControlMessage::ReportAck`].
+//!
+//! # Completion and idempotency semantics
+//!
+//! The teardown sequence is designed so every sender-side retry is safe:
+//!
+//! * **FIN snapshot.** The first FIN a session sees freezes that
+//!   session's log into an immutable snapshot (records, summary, chunk
+//!   layout). Every later FIN retransmit re-serves the *same* snapshot —
+//!   the same `total_chunks`, the same summary, byte-identical chunks —
+//!   even if stray probe datagrams arrive after finalization. A sender
+//!   can therefore lose any number of FIN-ACKs and retry without ever
+//!   observing two different reports for one session.
+//! * **Chunk acks.** There is no receiver-side per-chunk state: a
+//!   [`ControlMessage::ReportRequest`] for chunk `i` is answered with the
+//!   snapshot's chunk `i` however many times it is asked. The
+//!   request/response pair *is* the per-chunk ACK.
+//! * **Completion.** [`ControlMessage::ReportAck`] with
+//!   `chunk >= total_chunks` tells the receiver the sender holds the
+//!   complete report; the session is then reaped (on a multi-session
+//!   receiver the process keeps serving other sessions). This holds for
+//!   empty reports too: `total_chunks == 0` completes on
+//!   `ReportAck { chunk: 0 }` with no chunk exchange at all. Duplicate
+//!   closing acks to an already-reaped session are ignored.
 //!
 //! Control datagrams start with [`CONTROL_MAGIC`] (`"BDC1"`), distinct
 //! from the probe magic, so both kinds can share one socket.
@@ -98,6 +127,42 @@ impl ReportRecord {
     }
 }
 
+/// Why a receiver refused a [`ControlMessage::Syn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The receiver's session registry is at its `max_sessions` cap.
+    Capacity,
+    /// A reason this build does not know (forward compatibility).
+    Other(u8),
+}
+
+impl RejectReason {
+    /// Wire code for this reason.
+    pub fn code(self) -> u8 {
+        match self {
+            RejectReason::Capacity => 1,
+            RejectReason::Other(code) => code,
+        }
+    }
+
+    /// Reason for a wire code.
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            1 => RejectReason::Capacity,
+            other => RejectReason::Other(other),
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Capacity => write!(f, "at session capacity"),
+            RejectReason::Other(code) => write!(f, "unknown reason {code}"),
+        }
+    }
+}
+
 /// Summary of a finalized receiver log, returned in a FIN-ACK so the
 /// sender can reconstruct the log's metadata without a side channel.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -126,6 +191,14 @@ pub enum ControlMessage {
     SynAck {
         /// Echoed session id.
         session: u32,
+    },
+    /// Session refused, receiver → sender. Tells the sender to give up
+    /// immediately instead of retrying into a full registry.
+    SynNack {
+        /// Echoed session id.
+        session: u32,
+        /// Why the session was refused.
+        reason: RejectReason,
     },
     /// Liveness probe, sender → receiver.
     Heartbeat {
@@ -200,6 +273,7 @@ const TYPE_FIN_ACK: u8 = 6;
 const TYPE_REPORT_REQUEST: u8 = 7;
 const TYPE_REPORT_CHUNK: u8 = 8;
 const TYPE_REPORT_ACK: u8 = 9;
+const TYPE_SYN_NACK: u8 = 10;
 
 impl ControlMessage {
     /// The session id carried by any control message.
@@ -207,6 +281,7 @@ impl ControlMessage {
         match *self {
             ControlMessage::Syn { session, .. }
             | ControlMessage::SynAck { session }
+            | ControlMessage::SynNack { session, .. }
             | ControlMessage::Heartbeat { session, .. }
             | ControlMessage::HeartbeatAck { session, .. }
             | ControlMessage::Fin { session, .. }
@@ -235,6 +310,11 @@ impl ControlMessage {
             ControlMessage::SynAck { session } => {
                 buf.put_u8(TYPE_SYN_ACK);
                 buf.put_u32(*session);
+            }
+            ControlMessage::SynNack { session, reason } => {
+                buf.put_u8(TYPE_SYN_NACK);
+                buf.put_u32(*session);
+                buf.put_u8(reason.code());
             }
             ControlMessage::Heartbeat { session, seq } => {
                 buf.put_u8(TYPE_HEARTBEAT);
@@ -346,6 +426,13 @@ impl ControlMessage {
                 })
             }
             TYPE_SYN_ACK => Ok(ControlMessage::SynAck { session }),
+            TYPE_SYN_NACK => {
+                need(1, data.len())?;
+                Ok(ControlMessage::SynNack {
+                    session,
+                    reason: RejectReason::from_code(data.get_u8()),
+                })
+            }
             TYPE_HEARTBEAT => {
                 need(8, data.len())?;
                 Ok(ControlMessage::Heartbeat {
@@ -475,6 +562,14 @@ mod tests {
                 params: params(),
             },
             ControlMessage::SynAck { session: 7 },
+            ControlMessage::SynNack {
+                session: 7,
+                reason: RejectReason::Capacity,
+            },
+            ControlMessage::SynNack {
+                session: 7,
+                reason: RejectReason::Other(77),
+            },
             ControlMessage::Heartbeat {
                 session: 7,
                 seq: 42,
