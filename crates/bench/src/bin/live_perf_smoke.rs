@@ -1,0 +1,426 @@
+//! The live-datapath perf gate: batched vs fallback I/O on loopback,
+//! with a JSON trajectory point (`BENCH_live.json`).
+//!
+//! Three measurements, mirroring the tentpole claims of the batched
+//! datapath:
+//!
+//! 1. **TX zero allocation.** The steady-state sender path — encode a
+//!    probe train into a reused buffer, hand it to the kernel with
+//!    `send_segments` — is run under a counting global allocator and
+//!    must perform **zero** heap allocations per probe. This is a hard
+//!    assertion, not just a recorded number.
+//! 2. **RX throughput.** Burst-then-drain rounds queue probes into the
+//!    receive socket, then drain them through the same
+//!    `BatchReceiver` + decode + batch-timestamp loop the live receiver
+//!    uses, once per [`IoMode`]. The gate (Linux only — elsewhere both
+//!    modes are the same portable path and everything is reported, not
+//!    gated) demands the batched path issue ≥ 8× fewer syscalls per
+//!    datagram, beat the fallback's packets/sec outright, and allocate
+//!    nothing in the drain.
+//!
+//!    Why the throughput gate is "strictly faster" rather than a fixed
+//!    multiple: the achievable speedup is `(w + s) / (w + s/B)` where
+//!    `w` is the kernel's per-datagram UDP work (~0.3 µs: skb dequeue,
+//!    copy_to_user — paid per datagram *inside* `recvmmsg` too), `s`
+//!    the syscall entry/exit cost, and `B` the batch size. On kernels
+//!    with entry/exit mitigations (KPTI etc., `s` ≈ 1 µs+) that is
+//!    comfortably ≥ 2×; on an unmitigated CPU (`s` ≈ 0.1 µs, this
+//!    container reports meltdown "Not affected") the same 32× syscall
+//!    reduction can only buy ~1.3×. Gating a hardware constant would
+//!    make the bench flaky across fleets, so the gate pins the
+//!    structural invariants and the JSON records the measured ratio.
+//! 3. **Latency.** Sender and receiver share one monotonic anchor (same
+//!    process), so `batch_timestamp - send_stamp` is a true
+//!    send-to-timestamp latency; the JSON records its p99 per mode,
+//!    which bounds the staleness batch-granular timestamping can add.
+//!
+//! Syscalls-avoided comes from the ring's own accounting
+//! (`datagrams - syscalls`). CI runs this under a hard timeout and
+//! uploads the JSON next to `BENCH_sim.json`.
+//!
+//! ```text
+//! live_perf_smoke [--quick] [--packets N] [--out PATH]
+//! ```
+
+use badabing_live::batch_io::{set_buffer_sizes, BatchReceiver, BatchSender, IoMode};
+use badabing_metrics::Histogram;
+use badabing_wire::{ProbeHeader, HEADER_BYTES};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::net::UdpSocket;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A pass-through allocator that counts every allocation, so the bench
+/// can assert the hot paths allocate nothing. Bench-only: the shipped
+/// binaries use the system allocator untouched.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counters are relaxed
+// atomics with no allocation of their own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const PACKET_BYTES: usize = 600; // the paper-default probe size
+const TRAIN: usize = 3; // packets per probe (the improved schedule's N)
+const RECV_BATCH: usize = 32;
+
+/// Gate floors (see the module docs for why throughput is gated as
+/// "strictly faster" while the syscall reduction carries the multiple).
+const MIN_SYSCALL_REDUCTION: f64 = 8.0;
+const MIN_SPEEDUP: f64 = 1.1;
+
+const _: () = assert!(PACKET_BYTES >= HEADER_BYTES, "probe must fit its header");
+
+fn header(seq: u64, send_ns: u64, idx: u8) -> ProbeHeader {
+    ProbeHeader {
+        session: 1,
+        experiment: seq / TRAIN as u64,
+        slot: seq,
+        seq,
+        send_ns,
+        idx,
+        probe_len: TRAIN as u8,
+    }
+}
+
+/// Phase 1: the steady-state TX loop under the counting allocator.
+/// Returns (probes sent, allocations observed during them).
+fn tx_alloc_phase(trains: u64) -> (u64, u64) {
+    let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+    tx.connect(sink.local_addr().unwrap()).unwrap();
+    set_buffer_sizes(&tx, 1 << 20, 1 << 22);
+
+    let anchor = Instant::now();
+    let mut train = vec![0u8; TRAIN * PACKET_BYTES];
+    let mut sender = BatchSender::new(TRAIN, IoMode::Auto);
+    let mut seq = 0u64;
+    let send_train = |sender: &mut BatchSender, train: &mut [u8], seq: &mut u64| {
+        for idx in 0..TRAIN {
+            let h = header(*seq, anchor.elapsed().as_nanos() as u64, idx as u8);
+            *seq += 1;
+            h.encode_into(&mut train[idx * PACKET_BYTES..][..PACKET_BYTES]);
+        }
+        let mut off = 0;
+        while off < TRAIN {
+            off += sender
+                .send_segments(&tx, &train[off * PACKET_BYTES..], PACKET_BYTES, TRAIN - off)
+                .unwrap();
+        }
+    };
+
+    // Warm-up outside the measured window (lazy socket/allocator state).
+    for _ in 0..16 {
+        send_train(&mut sender, &mut train, &mut seq);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..trains {
+        send_train(&mut sender, &mut train, &mut seq);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    (trains, allocs)
+}
+
+struct RxResult {
+    mode: &'static str,
+    batched: bool,
+    sent: u64,
+    received: u64,
+    busy_secs: f64,
+    pps: f64,
+    syscalls: u64,
+    datagrams: u64,
+    p99_latency_secs: f64,
+    drain_allocs: u64,
+}
+
+/// Datagrams queued per round: small enough to fit any kernel rcvbuf
+/// (the default `rmem_max` cap is ~200 KiB of true skb footprint), so a
+/// burst never drops and the drain sees a deep queue — the regime where
+/// batching matters.
+const BURST: u64 = 192;
+
+/// Phase 2+3: burst-then-drain rounds. Each round queues [`BURST`]
+/// probes into the receive socket, then drains them through the same
+/// `BatchReceiver` + decode + batch-timestamp loop the live receiver
+/// uses. Only the drain is timed, so the two modes compare pure
+/// receive-path cost on identical queue depths. Sender and receiver
+/// share one monotonic anchor (same process), making
+/// `batch_timestamp - send_stamp` a true send-to-timestamp latency.
+fn rx_phase(mode: IoMode, label: &'static str, count: u64) -> RxResult {
+    let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+    set_buffer_sizes(&rx, 1 << 22, 1 << 20);
+    rx.set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+    tx.connect(rx.local_addr().unwrap()).unwrap();
+    set_buffer_sizes(&tx, 1 << 20, 1 << 22);
+
+    let anchor = Instant::now();
+    let latency = Histogram::latency();
+    let mut ring = BatchReceiver::new(RECV_BATCH, mode);
+    let mut train = vec![0u8; TRAIN * PACKET_BYTES];
+    let mut sender = BatchSender::new(TRAIN, mode);
+
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut busy = Duration::ZERO;
+    let alloc_before = ALLOCS.load(Ordering::Relaxed);
+    while sent < count {
+        // Queue one burst (untimed: TX cost is phase 1's concern).
+        let round_target = BURST.min(count - sent);
+        let mut queued = 0u64;
+        while queued < round_target {
+            for idx in 0..TRAIN {
+                let h = header(sent, anchor.elapsed().as_nanos() as u64, idx as u8);
+                sent += 1;
+                h.encode_into(&mut train[idx * PACKET_BYTES..][..PACKET_BYTES]);
+            }
+            let mut off = 0;
+            while off < TRAIN {
+                off += sender
+                    .send_segments(&tx, &train[off * PACKET_BYTES..], PACKET_BYTES, TRAIN - off)
+                    .unwrap();
+            }
+            queued += TRAIN as u64;
+        }
+        // Drain it, timing only the receive path.
+        let mut round_received = 0u64;
+        while round_received < queued {
+            let t0 = Instant::now();
+            match ring.recv(&rx) {
+                Ok(n) => {
+                    // One timestamp per batch — the live receiver's
+                    // stamping discipline, and the latency we report.
+                    let now_ns = anchor.elapsed().as_nanos() as u64;
+                    for i in 0..n {
+                        let (data, _) = ring.datagram(i);
+                        if let Ok(h) = ProbeHeader::decode(data) {
+                            round_received += 1;
+                            latency.record_ns(now_ns.saturating_sub(h.send_ns));
+                        }
+                    }
+                    busy += t0.elapsed();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // A dropped datagram (rcvbuf overflow) ends the
+                    // round; the pps denominator only counts busy time.
+                    break;
+                }
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+        received += round_received;
+    }
+    let drain_allocs = ALLOCS.load(Ordering::Relaxed) - alloc_before;
+
+    let busy_secs = busy.as_secs_f64();
+    RxResult {
+        mode: label,
+        batched: ring.is_batched(),
+        sent,
+        received,
+        busy_secs,
+        pps: if busy_secs > 0.0 {
+            received as f64 / busy_secs
+        } else {
+            0.0
+        },
+        syscalls: ring.syscalls(),
+        datagrams: ring.datagrams(),
+        p99_latency_secs: latency.quantile_secs(0.99).unwrap_or(0.0),
+        drain_allocs,
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut packets: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--packets" => packets = args.next().and_then(|v| v.parse().ok()),
+            "--out" => out = args.next().map(PathBuf::from),
+            other => {
+                eprintln!(
+                    "unknown flag {other} (live_perf_smoke [--quick] [--packets N] [--out PATH])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let count = packets.unwrap_or(if quick { 60_000 } else { 240_000 });
+
+    println!("=== live_perf_smoke: {count} packets of {PACKET_BYTES} B, trains of {TRAIN} ===");
+
+    // Phase 1: the zero-allocation TX contract.
+    let (tx_trains, tx_allocs) = tx_alloc_phase(if quick { 2_000 } else { 10_000 });
+    println!(
+        "tx: {tx_trains} trains ({} packets), {tx_allocs} heap allocations in steady state",
+        tx_trains * TRAIN as u64
+    );
+    assert_eq!(
+        tx_allocs, 0,
+        "steady-state sender TX must not allocate (got {tx_allocs} allocations \
+         over {tx_trains} trains)"
+    );
+
+    // Phases 2+3: receive throughput and latency, fallback first.
+    let fallback = rx_phase(IoMode::Fallback, "fallback", count);
+    let batched = rx_phase(IoMode::Batched, "batched", count);
+    for r in [&fallback, &batched] {
+        println!(
+            "rx {:>8}: {:>9.0} pkts/s ({} of {} in {:.3}s busy), {} syscalls for {} datagrams \
+             (avoided {}), p99 latency {:.1} µs, {} allocs in drain",
+            r.mode,
+            r.pps,
+            r.received,
+            r.sent,
+            r.busy_secs,
+            r.syscalls,
+            r.datagrams,
+            r.datagrams.saturating_sub(r.syscalls),
+            r.p99_latency_secs * 1e6,
+            r.drain_allocs,
+        );
+    }
+
+    let speedup = if fallback.pps > 0.0 {
+        batched.pps / fallback.pps
+    } else {
+        0.0
+    };
+    // Syscalls per datagram: 1.0 on the fallback path by construction,
+    // ~1/RECV_BATCH batched. The reduction ratio is the structural claim
+    // of the batched datapath and is hardware-independent.
+    let syscall_reduction = if batched.syscalls > 0 && batched.datagrams > 0 {
+        (fallback.syscalls as f64 / fallback.datagrams.max(1) as f64)
+            / (batched.syscalls as f64 / batched.datagrams as f64)
+    } else {
+        0.0
+    };
+    println!("batched/fallback speedup: {speedup:.2}x, syscall reduction: {syscall_reduction:.1}x");
+    if batched.batched {
+        assert!(
+            syscall_reduction >= MIN_SYSCALL_REDUCTION,
+            "perf gate: batched path must issue >= {MIN_SYSCALL_REDUCTION}x fewer syscalls \
+             per datagram, got {syscall_reduction:.1}x"
+        );
+        assert!(
+            speedup >= MIN_SPEEDUP,
+            "perf gate: batched path must beat fallback packets/sec by >= {MIN_SPEEDUP}x, \
+             got {speedup:.2}x"
+        );
+        assert_eq!(
+            (fallback.drain_allocs, batched.drain_allocs),
+            (0, 0),
+            "perf gate: the drain loop must not allocate"
+        );
+    } else {
+        println!("(no batched syscalls on this platform: results reported, not gated)");
+    }
+
+    let rx_json = |r: &RxResult| {
+        format!(
+            concat!(
+                "    {{\"mode\": \"{}\", \"batched\": {}, \"packets_sent\": {}, ",
+                "\"packets_received\": {}, \"busy_secs\": {:.6}, \"packets_per_sec\": {:.0}, ",
+                "\"syscalls\": {}, \"datagrams\": {}, \"syscalls_avoided\": {}, ",
+                "\"p99_latency_secs\": {:.9}, \"drain_allocs\": {}}}"
+            ),
+            r.mode,
+            r.batched,
+            r.sent,
+            r.received,
+            r.busy_secs,
+            r.pps,
+            r.syscalls,
+            r.datagrams,
+            r.datagrams.saturating_sub(r.syscalls),
+            r.p99_latency_secs,
+            r.drain_allocs,
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"name\": \"live_perf_smoke\",\n",
+            "  \"quick\": {},\n",
+            "  \"packet_bytes\": {},\n",
+            "  \"train_packets\": {},\n",
+            "  \"recv_batch\": {},\n",
+            "  \"tx\": {{\"trains\": {}, \"packets\": {}, \"steady_state_allocs\": {}, ",
+            "\"allocs_per_probe\": {}}},\n",
+            "  \"rx\": [\n{},\n{}\n  ],\n",
+            "  \"gate\": {{\"speedup\": {:.3}, \"min_speedup\": {}, ",
+            "\"syscall_reduction\": {:.1}, \"min_syscall_reduction\": {}, ",
+            "\"gated\": {}}}\n",
+            "}}\n"
+        ),
+        quick,
+        PACKET_BYTES,
+        TRAIN,
+        RECV_BATCH,
+        tx_trains,
+        tx_trains * TRAIN as u64,
+        tx_allocs,
+        tx_allocs / tx_trains.max(1),
+        rx_json(&fallback),
+        rx_json(&batched),
+        speedup,
+        MIN_SPEEDUP,
+        syscall_reduction,
+        MIN_SYSCALL_REDUCTION,
+        batched.batched,
+    );
+    let path = out.unwrap_or_else(|| PathBuf::from("BENCH_live.json"));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            f.write_all(json.as_bytes()).unwrap();
+            println!("[bench json written to {}]", path.display());
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! Batched UDP I/O for the live datapath.
+//!
+//! The live tool's throughput ceiling is syscall overhead: one
+//! `recv_from` per probe on the receiver, one `send` per packet on the
+//! sender. On Linux this module batches both directions — `recvmmsg`
+//! drains up to [`BatchReceiver`]'s capacity in one syscall into a
+//! preallocated buffer ring, `sendmmsg` pushes a whole probe train in
+//! one — with **zero per-datagram heap allocation**: every buffer,
+//! iovec, and sockaddr lives in the struct and is reused across calls.
+//!
+//! The workspace is fully offline (no `libc` crate), so the two syscalls
+//! are declared directly against the C library in a small `sys` module,
+//! gated on `#[cfg(target_os = "linux")]`. Every other platform — and
+//! any caller that asks for [`IoMode::Fallback`] — gets a portable
+//! one-datagram path over plain `std::net::UdpSocket` calls with the
+//! *same* API, so the receiver and sender code is identical on both
+//! paths and differential tests can force either one.
+//!
+//! Behaviour contract: the batched and fallback paths deliver the same
+//! datagrams with the same payloads; only the number of syscalls (and
+//! the granularity of batch timestamps the *caller* takes) differs.
+//! `crates/live/tests/batch_differential.rs` holds the receiver to
+//! byte-identical reports across the two paths.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Datagrams drained per `recvmmsg` call (and the buffer-ring size).
+pub const DEFAULT_RECV_BATCH: usize = 32;
+
+/// Bytes reserved per ring slot. Probe packets are a few hundred bytes
+/// and the largest control message ([`badabing_wire::control::MAX_CONTROL_BYTES`])
+/// is ~1.1 KiB, so one page-and-change per slot is comfortable.
+pub const DATAGRAM_BYTES: usize = 4096;
+
+/// Which I/O implementation a [`BatchReceiver`] / [`BatchSender`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Batched syscalls where the platform has them (Linux), the
+    /// portable path elsewhere.
+    #[default]
+    Auto,
+    /// Batched syscalls. On platforms without them this quietly behaves
+    /// like [`IoMode::Fallback`] so cross-platform tests still run.
+    Batched,
+    /// The portable one-datagram-per-syscall path, everywhere.
+    Fallback,
+}
+
+impl IoMode {
+    /// Whether this mode resolves to the batched implementation here.
+    pub fn use_batched(self) -> bool {
+        match self {
+            IoMode::Auto | IoMode::Batched => cfg!(target_os = "linux"),
+            IoMode::Fallback => false,
+        }
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(IoMode::Auto),
+            "batched" => Ok(IoMode::Batched),
+            "fallback" => Ok(IoMode::Fallback),
+            other => Err(format!(
+                "unknown io mode {other:?} (expected auto|batched|fallback)"
+            )),
+        }
+    }
+}
+
+/// Placeholder source address for the (never-observed) case of a
+/// recvmmsg entry with an unparseable sockaddr.
+fn unspecified() -> SocketAddr {
+    SocketAddr::from(([0, 0, 0, 0], 0))
+}
+
+/// A preallocated receive ring: one `recv` call fills up to `cap`
+/// datagram slots (one syscall on the batched path, exactly one datagram
+/// on the fallback path) with no allocation.
+pub struct BatchReceiver {
+    cap: usize,
+    slot: usize,
+    bufs: Vec<u8>,
+    lens: Vec<usize>,
+    srcs: Vec<SocketAddr>,
+    count: usize,
+    batched: bool,
+    syscalls: u64,
+    datagrams: u64,
+    #[cfg(target_os = "linux")]
+    raw: RawRing,
+}
+
+#[cfg(target_os = "linux")]
+struct RawRing {
+    hdrs: Vec<sys::mmsghdr>,
+    iovs: Vec<sys::iovec>,
+    addrs: Vec<sys::sockaddr_storage>,
+}
+
+impl BatchReceiver {
+    /// A ring of `cap` slots of [`DATAGRAM_BYTES`] each.
+    pub fn new(cap: usize, mode: IoMode) -> Self {
+        assert!(cap >= 1, "batch capacity must be at least 1");
+        let mut out = Self {
+            cap,
+            slot: DATAGRAM_BYTES,
+            bufs: vec![0u8; cap * DATAGRAM_BYTES],
+            lens: vec![0; cap],
+            srcs: vec![unspecified(); cap],
+            count: 0,
+            batched: mode.use_batched(),
+            syscalls: 0,
+            datagrams: 0,
+            #[cfg(target_os = "linux")]
+            raw: RawRing {
+                // SAFETY: all-zero bytes are a valid value for these
+                // plain-data C structs; every field is rewritten before
+                // the kernel sees it.
+                hdrs: vec![unsafe { std::mem::zeroed() }; cap],
+                iovs: vec![unsafe { std::mem::zeroed() }; cap],
+                addrs: vec![unsafe { std::mem::zeroed() }; cap],
+            },
+        };
+        #[cfg(target_os = "linux")]
+        out.init_ring();
+        out
+    }
+
+    /// Point every mmsghdr at its iovec/addr slot once, at construction.
+    /// `recv` then only has to refresh the fields the kernel overwrites
+    /// (`msg_namelen`, `msg_flags`, `msg_len`) instead of rebuilding the
+    /// whole ring per syscall — this is measurable at millions of
+    /// packets per second.
+    #[cfg(target_os = "linux")]
+    fn init_ring(&mut self) {
+        let slot = self.slot;
+        for i in 0..self.cap {
+            self.raw.iovs[i] = sys::iovec {
+                iov_base: self.bufs[i * slot..].as_mut_ptr(),
+                iov_len: slot,
+            };
+        }
+        let iovs = self.raw.iovs.as_mut_ptr();
+        let addrs = self.raw.addrs.as_mut_ptr();
+        for (i, hdr) in self.raw.hdrs.iter_mut().enumerate() {
+            // SAFETY: both pointers index into the raw ring's own
+            // vectors. The vectors are never resized after construction,
+            // so their heap allocations — which is what these pointers
+            // address — stay put even if the `BatchReceiver` itself
+            // moves. Pointing at them once here is sound for the
+            // struct's whole lifetime.
+            *hdr = sys::mmsghdr {
+                msg_hdr: sys::msghdr {
+                    msg_name: unsafe { (*addrs.add(i)).bytes.as_mut_ptr() },
+                    msg_namelen: sys::SOCKADDR_STORAGE_BYTES as u32,
+                    msg_iov: unsafe { iovs.add(i) },
+                    msg_iovlen: 1,
+                    msg_control: std::ptr::null_mut(),
+                    msg_controllen: 0,
+                    msg_flags: 0,
+                },
+                msg_len: 0,
+            };
+        }
+    }
+
+    /// Whether this ring resolved to the batched implementation.
+    pub fn is_batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Receive into the ring: blocks per the socket's read timeout for
+    /// the first datagram, then (batched path) drains whatever else is
+    /// already queued, up to capacity, without blocking again
+    /// (`MSG_WAITFORONE`). Returns the number of datagrams now readable
+    /// via [`BatchReceiver::datagram`]. Timeouts surface as
+    /// `WouldBlock`/`TimedOut` exactly like `recv_from`.
+    pub fn recv(&mut self, socket: &UdpSocket) -> io::Result<usize> {
+        self.count = 0;
+        if !self.batched {
+            let (len, src) = socket.recv_from(&mut self.bufs[..self.slot])?;
+            self.lens[0] = len;
+            self.srcs[0] = src;
+            self.count = 1;
+            self.syscalls += 1;
+            self.datagrams += 1;
+            return Ok(1);
+        }
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::fd::AsRawFd;
+            // The ring was wired up once in `init_ring`; per call only
+            // the fields the kernel overwrites need resetting. The
+            // kernel rewrites each sockaddr before reporting it, so the
+            // address slots themselves don't need clearing either.
+            for hdr in &mut self.raw.hdrs {
+                hdr.msg_hdr.msg_namelen = sys::SOCKADDR_STORAGE_BYTES as u32;
+                hdr.msg_hdr.msg_flags = 0;
+                hdr.msg_len = 0;
+            }
+            // SAFETY: hdrs/iovs/addrs are `cap` valid, live entries; the
+            // fd is owned by `socket` which outlives the call.
+            let n = unsafe {
+                sys::recvmmsg(
+                    socket.as_raw_fd(),
+                    self.raw.hdrs.as_mut_ptr(),
+                    self.cap as u32,
+                    sys::MSG_WAITFORONE,
+                    std::ptr::null_mut(),
+                )
+            };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let n = n as usize;
+            for i in 0..n {
+                self.lens[i] = self.raw.hdrs[i].msg_len as usize;
+                self.srcs[i] = sys::parse_sockaddr(&self.raw.addrs[i]).unwrap_or_else(unspecified);
+            }
+            self.count = n;
+            self.syscalls += 1;
+            self.datagrams += n as u64;
+            Ok(n)
+        }
+        #[cfg(not(target_os = "linux"))]
+        unreachable!("batched mode never resolves on this platform")
+    }
+
+    /// Datagram `i` of the last [`BatchReceiver::recv`] (panics past its
+    /// return value).
+    pub fn datagram(&self, i: usize) -> (&[u8], SocketAddr) {
+        assert!(i < self.count, "datagram index {i} >= batch {}", self.count);
+        let len = self.lens[i].min(self.slot);
+        (&self.bufs[i * self.slot..i * self.slot + len], self.srcs[i])
+    }
+
+    /// Receive syscalls issued so far.
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Datagrams received so far.
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams
+    }
+}
+
+/// A batched sender for a **connected** `UdpSocket`: one `send` call
+/// hands a prefix of the given packets to the kernel (all of them in one
+/// `sendmmsg` on the batched path, exactly one on the fallback path)
+/// with no allocation.
+pub struct BatchSender {
+    cap: usize,
+    batched: bool,
+    syscalls: u64,
+    datagrams: u64,
+    #[cfg(target_os = "linux")]
+    hdrs: Vec<sys::mmsghdr>,
+    #[cfg(target_os = "linux")]
+    iovs: Vec<sys::iovec>,
+}
+
+impl BatchSender {
+    /// A sender batching up to `cap` datagrams per syscall.
+    pub fn new(cap: usize, mode: IoMode) -> Self {
+        assert!(cap >= 1, "batch capacity must be at least 1");
+        Self {
+            cap,
+            batched: mode.use_batched(),
+            syscalls: 0,
+            datagrams: 0,
+            #[cfg(target_os = "linux")]
+            hdrs: vec![unsafe { std::mem::zeroed() }; cap],
+            #[cfg(target_os = "linux")]
+            iovs: vec![unsafe { std::mem::zeroed() }; cap],
+        }
+    }
+
+    /// Whether this sender resolved to the batched implementation.
+    pub fn is_batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Send a prefix of `pkts` on the connected socket. Returns how many
+    /// datagrams the kernel accepted (always ≥ 1 on `Ok` for non-empty
+    /// input; possibly fewer than `pkts.len()`, callers loop). An error
+    /// always refers to `pkts[0]`: the batched syscall reports an error
+    /// only when it occurs on the *first* datagram, later failures
+    /// surface as a short count — which matches the fallback path's
+    /// one-at-a-time semantics, so per-packet error accounting
+    /// (`ConnectionRefused` skip-and-continue) is identical on both.
+    pub fn send(&mut self, socket: &UdpSocket, pkts: &[&[u8]]) -> io::Result<usize> {
+        if pkts.is_empty() {
+            return Ok(0);
+        }
+        if !self.batched {
+            socket.send(pkts[0])?;
+            self.syscalls += 1;
+            self.datagrams += 1;
+            return Ok(1);
+        }
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::fd::AsRawFd;
+            let n = pkts.len().min(self.cap);
+            for (iov, pkt) in self.iovs.iter_mut().zip(pkts).take(n) {
+                // The kernel never writes through a send iovec; the cast
+                // from shared to mut is only to satisfy the C signature.
+                *iov = sys::iovec {
+                    iov_base: pkt.as_ptr() as *mut u8,
+                    iov_len: pkt.len(),
+                };
+            }
+            let iovs = self.iovs.as_mut_ptr();
+            for (i, hdr) in self.hdrs.iter_mut().take(n).enumerate() {
+                *hdr = sys::mmsghdr {
+                    msg_hdr: sys::msghdr {
+                        msg_name: std::ptr::null_mut(), // connected socket
+                        msg_namelen: 0,
+                        // SAFETY: indexes this sender's own iovec vector.
+                        msg_iov: unsafe { iovs.add(i) },
+                        msg_iovlen: 1,
+                        msg_control: std::ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                };
+            }
+            // SAFETY: `n` valid header entries; fd owned by `socket`.
+            let sent =
+                unsafe { sys::sendmmsg(socket.as_raw_fd(), self.hdrs.as_mut_ptr(), n as u32, 0) };
+            if sent < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            self.syscalls += 1;
+            self.datagrams += sent as u64;
+            Ok(sent as usize)
+        }
+        #[cfg(not(target_os = "linux"))]
+        unreachable!("batched mode never resolves on this platform")
+    }
+
+    /// Like [`BatchSender::send`], but the packets are `count` equal
+    /// [`seg_bytes`]-sized segments of one flat buffer — the shape of a
+    /// probe train encoded into a single reused allocation, so the
+    /// steady-state TX path needs no per-train slice-of-slices. Same
+    /// prefix/short-count/error semantics as `send`.
+    ///
+    /// [`seg_bytes`]: Self::send_segments
+    pub fn send_segments(
+        &mut self,
+        socket: &UdpSocket,
+        buf: &[u8],
+        seg_bytes: usize,
+        count: usize,
+    ) -> io::Result<usize> {
+        assert!(
+            count * seg_bytes <= buf.len(),
+            "train overruns its buffer: {count} x {seg_bytes} > {}",
+            buf.len()
+        );
+        if count == 0 {
+            return Ok(0);
+        }
+        if !self.batched {
+            socket.send(&buf[..seg_bytes])?;
+            self.syscalls += 1;
+            self.datagrams += 1;
+            return Ok(1);
+        }
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::fd::AsRawFd;
+            let n = count.min(self.cap);
+            for i in 0..n {
+                // The kernel never writes through a send iovec; the cast
+                // from shared to mut is only to satisfy the C signature.
+                self.iovs[i] = sys::iovec {
+                    iov_base: buf[i * seg_bytes..].as_ptr() as *mut u8,
+                    iov_len: seg_bytes,
+                };
+            }
+            let iovs = self.iovs.as_mut_ptr();
+            for (i, hdr) in self.hdrs.iter_mut().take(n).enumerate() {
+                *hdr = sys::mmsghdr {
+                    msg_hdr: sys::msghdr {
+                        msg_name: std::ptr::null_mut(), // connected socket
+                        msg_namelen: 0,
+                        // SAFETY: indexes this sender's own iovec vector.
+                        msg_iov: unsafe { iovs.add(i) },
+                        msg_iovlen: 1,
+                        msg_control: std::ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                };
+            }
+            // SAFETY: `n` valid header entries; fd owned by `socket`.
+            let sent =
+                unsafe { sys::sendmmsg(socket.as_raw_fd(), self.hdrs.as_mut_ptr(), n as u32, 0) };
+            if sent < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            self.syscalls += 1;
+            self.datagrams += sent as u64;
+            Ok(sent as usize)
+        }
+        #[cfg(not(target_os = "linux"))]
+        unreachable!("batched mode never resolves on this platform")
+    }
+
+    /// Send syscalls issued so far.
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Datagrams handed to the kernel so far.
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams
+    }
+}
+
+/// Best-effort enlargement of the socket's kernel buffers (no-op off
+/// Linux). High-rate loopback benches overflow the default `rcvbuf`
+/// long before the datapath is the bottleneck; failures are ignored —
+/// this is an optimization, never a correctness requirement.
+pub fn set_buffer_sizes(socket: &UdpSocket, recv_bytes: usize, send_bytes: usize) {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::fd::AsRawFd;
+        for (opt, bytes) in [(sys::SO_RCVBUF, recv_bytes), (sys::SO_SNDBUF, send_bytes)] {
+            let val = bytes as i32;
+            // SAFETY: setsockopt reads exactly 4 bytes from a valid i32.
+            unsafe {
+                sys::setsockopt(
+                    socket.as_raw_fd(),
+                    sys::SOL_SOCKET,
+                    opt,
+                    &val as *const i32 as *const core::ffi::c_void,
+                    std::mem::size_of::<i32>() as u32,
+                );
+            }
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (socket, recv_bytes, send_bytes);
+    }
+}
+
+/// Hand-declared Linux syscall surface (the workspace builds offline,
+/// without the `libc` crate). Layouts match the x86_64/aarch64 glibc
+/// ABI; `repr(C)` reproduces the same padding the C definitions have.
+#[cfg(target_os = "linux")]
+mod sys {
+    #![allow(non_camel_case_types)]
+
+    use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, SocketAddrV6};
+
+    pub const AF_INET: u16 = 2;
+    pub const AF_INET6: u16 = 10;
+    /// recvmmsg: block for the first datagram only, then drain
+    /// non-blocking.
+    pub const MSG_WAITFORONE: i32 = 0x10000;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_RCVBUF: i32 = 8;
+    pub const SO_SNDBUF: i32 = 7;
+    pub const SOCKADDR_STORAGE_BYTES: usize = 128;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct iovec {
+        pub iov_base: *mut u8,
+        pub iov_len: usize,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct msghdr {
+        pub msg_name: *mut u8,
+        pub msg_namelen: u32,
+        pub msg_iov: *mut iovec,
+        pub msg_iovlen: usize,
+        pub msg_control: *mut core::ffi::c_void,
+        pub msg_controllen: usize,
+        pub msg_flags: i32,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct mmsghdr {
+        pub msg_hdr: msghdr,
+        pub msg_len: u32,
+    }
+
+    /// Stand-in for `struct sockaddr_storage` (128 bytes, 8-aligned).
+    #[repr(C, align(8))]
+    #[derive(Clone, Copy)]
+    pub struct sockaddr_storage {
+        pub bytes: [u8; SOCKADDR_STORAGE_BYTES],
+    }
+
+    extern "C" {
+        pub fn recvmmsg(
+            sockfd: i32,
+            msgvec: *mut mmsghdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut core::ffi::c_void,
+        ) -> i32;
+        pub fn sendmmsg(sockfd: i32, msgvec: *mut mmsghdr, vlen: u32, flags: i32) -> i32;
+        pub fn setsockopt(
+            sockfd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+
+    /// Decode a kernel-filled sockaddr (`sin_family` is native-endian,
+    /// ports are network order).
+    pub fn parse_sockaddr(ss: &sockaddr_storage) -> Option<SocketAddr> {
+        let b = &ss.bytes;
+        match u16::from_ne_bytes([b[0], b[1]]) {
+            AF_INET => {
+                let port = u16::from_be_bytes([b[2], b[3]]);
+                Some(SocketAddr::from((
+                    Ipv4Addr::new(b[4], b[5], b[6], b[7]),
+                    port,
+                )))
+            }
+            AF_INET6 => {
+                let port = u16::from_be_bytes([b[2], b[3]]);
+                let flowinfo = u32::from_ne_bytes([b[4], b[5], b[6], b[7]]);
+                let mut addr = [0u8; 16];
+                addr.copy_from_slice(&b[8..24]);
+                let scope = u32::from_ne_bytes([b[24], b[25], b[26], b[27]]);
+                Some(SocketAddr::V6(SocketAddrV6::new(
+                    Ipv6Addr::from(addr),
+                    port,
+                    flowinfo,
+                    scope,
+                )))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pair() -> (UdpSocket, UdpSocket) {
+        let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        tx.connect(rx.local_addr().unwrap()).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        (rx, tx)
+    }
+
+    fn roundtrip(mode: IoMode) {
+        let (rx, tx) = pair();
+        let payloads: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 64 + i as usize]).collect();
+        let pkts: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let mut sender = BatchSender::new(8, mode);
+        let mut off = 0;
+        while off < pkts.len() {
+            off += sender.send(&tx, &pkts[off..]).unwrap();
+        }
+        assert_eq!(sender.datagrams(), 5);
+
+        let mut ring = BatchReceiver::new(4, mode);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while got.len() < 5 {
+            let n = ring.recv(&rx).unwrap();
+            assert!((1..=4).contains(&n));
+            for i in 0..n {
+                let (data, src) = ring.datagram(i);
+                assert_eq!(src, tx.local_addr().unwrap());
+                got.push(data.to_vec());
+            }
+        }
+        // UDP loopback preserves order in practice, but only assert set
+        // equality to stay robust.
+        got.sort();
+        let mut want = payloads.clone();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(ring.datagrams(), 5);
+        assert!(ring.syscalls() <= 5);
+
+        // A drained socket times out like recv_from does.
+        let err = ring.recv(&rx).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected timeout error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn fallback_roundtrip() {
+        roundtrip(IoMode::Fallback);
+    }
+
+    #[test]
+    fn auto_roundtrip() {
+        roundtrip(IoMode::Auto);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn batched_mode_resolves_on_linux() {
+        assert!(IoMode::Auto.use_batched());
+        assert!(IoMode::Batched.use_batched());
+        assert!(!IoMode::Fallback.use_batched());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn batched_recv_drains_queued_datagrams_in_one_call() {
+        let (rx, tx) = pair();
+        // Queue 6 datagrams before the first recv: the batched ring must
+        // pick up several per syscall (MSG_WAITFORONE drains what's
+        // there), and far fewer syscalls than datagrams.
+        for i in 0u8..6 {
+            tx.send(&[i; 32]).unwrap();
+        }
+        // Let the loopback queue settle so all 6 are receivable.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut ring = BatchReceiver::new(8, IoMode::Batched);
+        let mut total = 0;
+        while total < 6 {
+            total += ring.recv(&rx).unwrap();
+        }
+        assert_eq!(total, 6);
+        assert_eq!(
+            ring.syscalls(),
+            1,
+            "queued datagrams must drain in one recvmmsg"
+        );
+    }
+
+    #[test]
+    fn segment_send_matches_slice_send() {
+        for mode in [IoMode::Fallback, IoMode::Auto] {
+            let (rx, tx) = pair();
+            // A 3-segment train in one flat buffer.
+            let seg = 48;
+            let mut train = vec![0u8; 3 * seg];
+            for (i, chunk) in train.chunks_mut(seg).enumerate() {
+                chunk.fill(i as u8 + 1);
+            }
+            let mut sender = BatchSender::new(8, mode);
+            let mut sent = 0;
+            while sent < 3 {
+                sent += sender
+                    .send_segments(&tx, &train[sent * seg..], seg, 3 - sent)
+                    .unwrap();
+            }
+            assert_eq!(sender.datagrams(), 3);
+            let mut buf = [0u8; 256];
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..3 {
+                let (len, _) = rx.recv_from(&mut buf).unwrap();
+                got.push(buf[..len].to_vec());
+            }
+            got.sort();
+            let mut want: Vec<Vec<u8>> = train.chunks(seg).map(<[u8]>::to_vec).collect();
+            want.sort();
+            assert_eq!(got, want, "mode {mode:?}");
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn batched_send_is_one_syscall_per_train() {
+        let (rx, tx) = pair();
+        let payloads: Vec<Vec<u8>> = (0u8..3).map(|i| vec![i; 100]).collect();
+        let pkts: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let mut sender = BatchSender::new(8, IoMode::Batched);
+        assert_eq!(sender.send(&tx, &pkts).unwrap(), 3);
+        assert_eq!(sender.syscalls(), 1);
+        let mut buf = [0u8; 256];
+        for want in &payloads {
+            let (len, _) = rx.recv_from(&mut buf).unwrap();
+            assert_eq!(&buf[..len], &want[..]);
+        }
+    }
+}

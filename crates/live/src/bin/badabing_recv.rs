@@ -18,9 +18,11 @@
 //! ```text
 //! badabing_recv --bind 127.0.0.1:9000 --secs 70 \
 //!     [--session N|any] [--max-sessions N] [--log receiver.json] \
-//!     [--metrics metrics.json] [--idle-timeout 30]
+//!     [--metrics metrics.json] [--idle-timeout 30] \
+//!     [--io auto|batched|fallback] [--recv-threads N] [--shards N]
 //! ```
 
+use badabing_live::batch_io::IoMode;
 use badabing_live::cli::Flags;
 use badabing_live::persist::ReceiverFile;
 use badabing_live::receiver::{
@@ -33,7 +35,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "badabing_recv --bind ADDR --secs S [--session N|any] [--max-sessions N] \
-                     [--log PATH] [--metrics PATH] [--idle-timeout S]";
+                     [--log PATH] [--metrics PATH] [--idle-timeout S] \
+                     [--io auto|batched|fallback] [--recv-threads N] [--shards N]";
 
 /// `receiver.json` → `receiver.<id>.json` for per-session logs.
 fn session_log_path(base: &Path, session: u32) -> PathBuf {
@@ -62,6 +65,9 @@ fn main() -> std::io::Result<()> {
             idle_timeout,
             max_sessions,
             metrics: Some(metrics.clone()),
+            io: flags.opt::<IoMode>("io", IoMode::Auto),
+            recv_threads: flags.opt("recv-threads", 1usize).max(1),
+            shards: flags.opt("shards", badabing_live::receiver::DEFAULT_SHARDS),
             ..ServerConfig::any(bind, max_sessions)
         })?;
         eprintln!(

@@ -24,6 +24,7 @@
 //! partial manifest is still written), 2 on usage errors.
 
 use badabing_core::config::BadabingConfig;
+use badabing_live::batch_io::IoMode;
 use badabing_live::cli::Flags;
 use badabing_live::control::ControlConfig;
 use badabing_live::persist::{ManifestFile, ReceiverFile};
@@ -39,7 +40,7 @@ const USAGE: &str = "badabing_send --target ADDR --secs S [--p P] [--improved] \
                      [--session N] [--seed N] [--bind ADDR] [--manifest PATH] \
                      [--control ADDR] [--no-control] [--log PATH] [--metrics PATH] \
                      [--retry-base-ms MS] [--retry-cap-ms MS] [--attempts N] \
-                     [--hb-ms MS] [--hb-misses N]";
+                     [--hb-ms MS] [--hb-misses N] [--io auto|batched|fallback]";
 
 fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &["improved", "no-control"]);
@@ -79,6 +80,7 @@ fn main() -> std::io::Result<()> {
         session,
         control,
         metrics: Some(metrics.clone()),
+        io: flags.opt::<IoMode>("io", IoMode::Auto),
     };
     eprintln!(
         "sending to {target}: p={p}, {} slots of {} ms, offered load ≈ {:.0} kb/s",

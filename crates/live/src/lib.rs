@@ -37,6 +37,7 @@
 //! crate's integration tests.
 
 pub mod analyze;
+pub mod batch_io;
 pub mod cli;
 pub mod control;
 pub mod emulator;
@@ -46,6 +47,7 @@ pub mod sender;
 pub mod skew;
 
 pub use analyze::{analyze_run, LiveAnalysis};
+pub use batch_io::{BatchReceiver, BatchSender, IoMode};
 pub use control::{ControlClient, ControlConfig, ControlError};
 pub use emulator::{Emulator, EmulatorConfig, EmulatorStats, SessionFlow};
 pub use receiver::{

@@ -1,12 +1,23 @@
 //! The live probe receiver: a multi-session server.
 //!
-//! Collects probe packets on a plain `std::net::UdpSocket` (one thread,
-//! no async runtime), computes per-packet delay against its own
-//! monotonic clock, and removes the unknown clock offset and skew by
-//! fitting the lower envelope of the raw delay series (§7; see
+//! Collects probe packets on a plain `std::net::UdpSocket` (plain
+//! threads, no async runtime), computes per-packet delay against its
+//! own monotonic clock, and removes the unknown clock offset and skew
+//! by fitting the lower envelope of the raw delay series (§7; see
 //! [`crate::skew`]). What remains is queueing delay above the path
 //! minimum — exactly the quantity the §6.1 `(1-α)·OWDmax` threshold
 //! discriminates on.
+//!
+//! The datapath is split in two. Probes take the **fast path**: drained
+//! in batches (Linux `recvmmsg` via [`crate::batch_io`], one-datagram
+//! fallback elsewhere), timestamped once per batch, and dispatched into
+//! a **sharded** session registry (`session_id % shards`, one lock per
+//! shard) through allocation-free accounting
+//! ([`SessionState::ingest`]). Control messages take the slow path and
+//! reply through a reused stack buffer. `recv_threads > 1` drains the
+//! same socket from several threads; the batched and fallback paths
+//! produce byte-identical per-session reports for the same arrival
+//! sequence (see the differential tests).
 //!
 //! One process serves **many concurrent sender sessions**: a session
 //! registry keyed by session id holds per-session accumulation state
@@ -36,15 +47,17 @@
 //! run per session at that session's finalization, so concurrent
 //! sessions never contaminate each other's clock model or records.
 
+use crate::batch_io::{BatchReceiver, IoMode, DEFAULT_RECV_BATCH};
 use badabing_metrics::{Counter, Registry};
 use badabing_wire::control::{
-    chunk_records, ControlMessage, RejectReason, ReportRecord, ReportSummary, SessionParams,
+    chunk_count, encode_report_chunk_into, ControlMessage, RejectReason, ReportRecord,
+    ReportSummary, SessionParams, MAX_CONTROL_BYTES,
 };
 use badabing_wire::ProbeHeader;
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Single-session receiver configuration (the original tool shape).
@@ -117,11 +130,30 @@ pub struct ServerConfig {
     /// Per-session instruments are published under a `session_<id>_`
     /// prefix alongside the server-wide ones.
     pub metrics: Option<Arc<Registry>>,
+    /// Datapath implementation: batched syscalls where available
+    /// ([`IoMode::Auto`], the default), or forced either way — the
+    /// differential tests pin both and hold them to identical reports.
+    pub io: IoMode,
+    /// Threads draining the shared socket (≥ 1). Every thread runs the
+    /// full loop (probe fast path + control slow path); the sharded
+    /// session registry keeps concurrent sessions from serializing on
+    /// one lock. The default of 1 preserves strictly sequential
+    /// datagram handling.
+    pub recv_threads: usize,
+    /// Session-registry shards (sessions map to `session_id % shards`,
+    /// each shard behind its own lock).
+    pub shards: usize,
 }
+
+/// Default shard count for the session registry: enough to make lock
+/// collisions between a handful of concurrent sessions unlikely, small
+/// enough that the watchdog sweep stays trivial.
+pub const DEFAULT_SHARDS: usize = 8;
 
 impl ServerConfig {
     /// A server on `bind` admitting any session up to `max_sessions`:
-    /// control plane on, no idle watchdog, no metrics.
+    /// control plane on, no idle watchdog, no metrics, auto-batched I/O
+    /// on a single drain thread.
     pub fn any(bind: SocketAddr, max_sessions: usize) -> Self {
         Self {
             bind,
@@ -130,6 +162,9 @@ impl ServerConfig {
             idle_timeout: None,
             serve_control: true,
             metrics: None,
+            io: IoMode::Auto,
+            recv_threads: 1,
+            shards: DEFAULT_SHARDS,
         }
     }
 }
@@ -365,9 +400,13 @@ struct ProbeArrivals {
 }
 
 /// A finalized session snapshot: frozen at the first FIN (or at reap
-/// time) and re-served verbatim on every retransmit.
+/// time) and re-served verbatim on every retransmit. Chunks are not
+/// materialized: any requested chunk is encoded on demand straight from
+/// a window of `records` ([`encode_report_chunk_into`]), byte-identical
+/// across re-requests, with no per-chunk record clone.
 struct Finalized {
-    chunks: Vec<ControlMessage>,
+    records: Vec<ReportRecord>,
+    total_chunks: u32,
     summary: ReportSummary,
     log: ReceiverLog,
 }
@@ -406,13 +445,55 @@ impl SessionState {
         }
     }
 
-    fn touch(&mut self) {
-        self.last_activity = Instant::now();
+    /// Pre-size the accumulation maps from the SYN-carried tool config,
+    /// so a full-length run never rehashes mid-flight: the expected
+    /// probe count is `p·n_slots` experiments times the slots each one
+    /// probes (3 under the improved §5.3 schedule, 2 basic), and the
+    /// dedup set / raw-delay series see one entry per *packet*. Capped
+    /// so a malicious SYN cannot balloon memory; `reserve` is additive,
+    /// so re-announcing (SYN retransmit) never shrinks anything.
+    fn reserve_for(&mut self, params: &SessionParams) {
+        const MAX_RESERVED_PROBES: usize = 1 << 21;
+        let slots_per_exp: usize = if params.improved { 3 } else { 2 };
+        let experiments = (params.n_slots as f64 * params.p).ceil() as usize;
+        let probes = experiments
+            .saturating_mul(slots_per_exp)
+            .min(MAX_RESERVED_PROBES);
+        let packets = probes.saturating_mul(usize::from(params.probe_packets.max(1)));
+        self.probes
+            .reserve(probes.saturating_sub(self.probes.len()));
+        self.seen.reserve(packets.saturating_sub(self.seen.len()));
+        self.raw_delays
+            .reserve(packets.saturating_sub(self.raw_delays.len()));
+    }
+
+    /// Per-probe accounting shared verbatim by the batched and fallback
+    /// datapaths (the differential test feeds both through here with
+    /// identical timestamps and demands byte-identical reports).
+    /// Returns `false` for a duplicated `(seq, idx)` datagram, which is
+    /// tracked but never inflates arrival counts — a lost probe must
+    /// not look complete.
+    fn ingest(&mut self, h: &ProbeHeader, now: Duration) -> bool {
+        if !self.seen.insert((h.seq, h.idx)) {
+            self.duplicates += 1;
+            let entry = self.probes.entry((h.experiment, h.slot)).or_default();
+            entry.duplicates = entry.duplicates.saturating_add(1);
+            return false;
+        }
+        self.packets += 1;
+        let raw = now.as_nanos() as i64 - h.send_ns as i64;
+        self.min_raw = Some(self.min_raw.map_or(raw, |m| m.min(raw)));
+        self.raw_delays
+            .push((h.experiment, h.slot, now.as_secs_f64(), raw));
+        let entry = self.probes.entry((h.experiment, h.slot)).or_default();
+        entry.seen_idx.insert(h.idx);
+        entry.probe_len = entry.probe_len.max(h.probe_len);
+        true
     }
 
     /// Freeze the session log on first call; later calls re-serve the
     /// same snapshot (FIN idempotency).
-    fn finalize(&mut self, session: u32, rejected: u64, metrics: Option<&Registry>) -> &Finalized {
+    fn finalize(&mut self, rejected: u64, metrics: Option<&Registry>) -> &Finalized {
         if self.finalized.is_none() {
             let log = build_log(
                 &self.raw_delays,
@@ -425,9 +506,10 @@ impl SessionState {
                 metrics,
             );
             let summary = log.summary();
-            let chunks = chunk_records(session, &log.to_records());
+            let records = log.to_records();
             self.finalized = Some(Finalized {
-                chunks,
+                total_chunks: chunk_count(records.len()),
+                records,
                 summary,
                 log,
             });
@@ -442,7 +524,7 @@ impl SessionState {
         rejected: u64,
         metrics: Option<&Registry>,
     ) -> SessionOutcome {
-        self.finalize(session, rejected, metrics);
+        self.finalize(rejected, metrics);
         let log = self.finalized.expect("just finalized").log;
         SessionOutcome { session, end, log }
     }
@@ -460,6 +542,9 @@ pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
         idle_timeout: cfg.idle_timeout,
         serve_control: cfg.serve_control,
         metrics: cfg.metrics,
+        io: IoMode::Auto,
+        recv_threads: 1,
+        shards: 1,
     })?;
     Ok(ReceiverHandle { session, inner })
 }
@@ -471,6 +556,9 @@ pub fn start_server(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let socket = UdpSocket::bind(cfg.bind)?;
     let local_addr = socket.local_addr()?;
     socket.set_read_timeout(Some(POLL_INTERVAL))?;
+    // Best effort: at probe rates worth batching for, the default kernel
+    // rcvbuf overflows between scheduler quanta.
+    crate::batch_io::set_buffer_sizes(&socket, 1 << 22, 1 << 22);
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
     let anchor = Instant::now();
@@ -487,6 +575,119 @@ pub fn start_server(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
+fn inc(c: &Option<Arc<Counter>>) {
+    if let Some(c) = c {
+        c.inc();
+    }
+}
+
+/// Batch-friendly counter bump: one atomic add for a whole batch.
+fn add(c: &Option<Arc<Counter>>, n: u64) {
+    if let Some(c) = c {
+        if n > 0 {
+            c.add(n);
+        }
+    }
+}
+
+/// Server-wide instruments, shared by every drain thread.
+struct ServeCounters {
+    packets: Option<Arc<Counter>>,
+    rejected: Option<Arc<Counter>>,
+    dup: Option<Arc<Counter>>,
+    ctrl: Option<Arc<Counter>>,
+    opened: Option<Arc<Counter>>,
+    completed: Option<Arc<Counter>>,
+    idle_reaped: Option<Arc<Counter>>,
+    syn_rejected: Option<Arc<Counter>>,
+    stale: Option<Arc<Counter>>,
+    recv_syscalls: Option<Arc<Counter>>,
+    recv_datagrams: Option<Arc<Counter>>,
+}
+
+impl ServeCounters {
+    fn new(metrics: Option<&Registry>) -> Self {
+        Self {
+            packets: metrics.map(|m| m.counter("packets_accepted")),
+            rejected: metrics.map(|m| m.counter("datagrams_rejected")),
+            dup: metrics.map(|m| m.counter("duplicates")),
+            ctrl: metrics.map(|m| m.counter("control_messages")),
+            opened: metrics.map(|m| m.counter("sessions_opened")),
+            completed: metrics.map(|m| m.counter("sessions_completed")),
+            idle_reaped: metrics.map(|m| m.counter("sessions_idle_reaped")),
+            syn_rejected: metrics.map(|m| m.counter("syns_rejected")),
+            stale: metrics.map(|m| m.counter("control_stale")),
+            recv_syscalls: metrics.map(|m| m.counter("recv_syscalls")),
+            recv_datagrams: metrics.map(|m| m.counter("recv_datagrams")),
+        }
+    }
+}
+
+/// Everything the drain threads share. The session registry is sharded
+/// by `session_id % shards`, each shard behind its own lock, so probe
+/// bursts for different sessions land on different locks instead of
+/// serializing on one map; global tallies are atomics bumped once per
+/// batch.
+struct Shared<'a> {
+    cfg: &'a ServerConfig,
+    socket: &'a UdpSocket,
+    anchor: Instant,
+    single_id: Option<u32>,
+    shards: Vec<Mutex<HashMap<u32, SessionState>>>,
+    /// Open sessions across all shards (registry admission cap).
+    active: AtomicUsize,
+    outcomes: Mutex<Vec<SessionOutcome>>,
+    rejected: AtomicU64,
+    syns_rejected: AtomicU64,
+    /// Set when the serve loop should exit: single-session completion,
+    /// a hard socket error, or external stop.
+    done: AtomicBool,
+    stop: &'a AtomicBool,
+    c: ServeCounters,
+}
+
+impl Shared<'_> {
+    fn metrics(&self) -> Option<&Registry> {
+        self.cfg.metrics.as_deref()
+    }
+
+    fn shard(&self, session: u32) -> &Mutex<HashMap<u32, SessionState>> {
+        &self.shards[session as usize % self.shards.len()]
+    }
+
+    /// Reserve one admission slot below `max_sessions`, exactly (CAS
+    /// loop: concurrent SYNs on different shards cannot over-admit).
+    fn try_admit(&self) -> bool {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cfg.max_sessions {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Finalize a session already removed from its shard and record its
+    /// outcome. Ends the whole serve loop in single mode.
+    fn end_session(&self, id: u32, state: SessionState, end: SessionEnd) {
+        let rejected = self.rejected.load(Ordering::Relaxed);
+        let outcome = state.into_outcome(id, end, rejected, self.metrics());
+        self.outcomes.lock().expect("outcomes lock").push(outcome);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        if self.single_id == Some(id) {
+            self.done.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
 fn serve_loop(
     socket: &UdpSocket,
     cfg: &ServerConfig,
@@ -497,243 +698,49 @@ fn serve_loop(
         SessionPolicy::Single(id) => Some(id),
         SessionPolicy::Any => None,
     };
-    let metrics = cfg.metrics.as_deref();
-
-    let mut sessions: HashMap<u32, SessionState> = HashMap::new();
-    let mut outcomes: Vec<SessionOutcome> = Vec::new();
-    let mut rejected = 0u64;
-    let mut syns_rejected = 0u64;
-
-    let m_packets = metrics.map(|m| m.counter("packets_accepted"));
-    let m_rejected = metrics.map(|m| m.counter("datagrams_rejected"));
-    let m_dup = metrics.map(|m| m.counter("duplicates"));
-    let m_ctrl = metrics.map(|m| m.counter("control_messages"));
-    let m_opened = metrics.map(|m| m.counter("sessions_opened"));
-    let m_completed = metrics.map(|m| m.counter("sessions_completed"));
-    let m_idle_reaped = metrics.map(|m| m.counter("sessions_idle_reaped"));
-    let m_syn_rejected = metrics.map(|m| m.counter("syns_rejected"));
-    let m_stale = metrics.map(|m| m.counter("control_stale"));
-    let inc = |c: &Option<Arc<Counter>>| {
-        if let Some(c) = c {
-            c.inc();
-        }
+    let shared = Shared {
+        cfg,
+        socket,
+        anchor,
+        single_id,
+        shards: (0..cfg.shards.max(1))
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
+        active: AtomicUsize::new(0),
+        outcomes: Mutex::new(Vec::new()),
+        rejected: AtomicU64::new(0),
+        syns_rejected: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        stop,
+        c: ServeCounters::new(cfg.metrics.as_deref()),
     };
 
-    let mut done = false;
-    let mut buf = vec![0u8; 65_536];
-    while !stop.load(Ordering::Relaxed) && !done {
-        // Per-session idle watchdog: reap silent sessions without
-        // killing the loop (single mode: the one session ending ends
-        // the loop, preserving the original watchdog semantics).
-        if let Some(timeout) = cfg.idle_timeout {
-            let expired: Vec<u32> = sessions
-                .iter()
-                .filter(|(_, s)| s.last_activity.elapsed() >= timeout)
-                .map(|(&id, _)| id)
-                .collect();
-            for id in expired {
-                let state = sessions.remove(&id).expect("expired session present");
-                outcomes.push(state.into_outcome(id, SessionEnd::IdleTimeout, rejected, metrics));
-                inc(&m_idle_reaped);
-                if single_id == Some(id) {
-                    done = true;
-                }
-            }
-            if done {
-                break;
-            }
+    std::thread::scope(|s| {
+        for _ in 1..cfg.recv_threads.max(1) {
+            s.spawn(|| drain_loop(&shared, false));
         }
+        // The main thread drains too, and owns the idle watchdog.
+        drain_loop(&shared, true);
+        // Workers notice `done`/`stop` within one poll interval; the
+        // scope joins them before the registry is torn down.
+    });
 
-        let (len, src) = match socket.recv_from(&mut buf) {
-            Ok(ok) => ok,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(_) => break,
-        };
-        let now = anchor.elapsed();
-        let data = &buf[..len];
-
-        if let Ok(h) = ProbeHeader::decode(data) {
-            // Probes open the session only in single mode (the legacy
-            // open-loop tool has no handshake); under `Any` the SYN is
-            // the sole door in.
-            let state = match single_id {
-                Some(id) if h.session == id => Some(sessions.entry(id).or_insert_with(|| {
-                    inc(&m_opened);
-                    SessionState::new(id, metrics)
-                })),
-                Some(_) => None,
-                None => sessions.get_mut(&h.session),
-            };
-            let Some(state) = state else {
-                rejected += 1;
-                inc(&m_rejected);
-                continue;
-            };
-            state.touch();
-            if !state.seen.insert((h.seq, h.idx)) {
-                // Duplicated datagram: a copy of (seq, idx) was already
-                // counted. Track it, but never let it inflate arrival
-                // counts — a lost probe must not look complete.
-                state.duplicates += 1;
-                let entry = state.probes.entry((h.experiment, h.slot)).or_default();
-                entry.duplicates = entry.duplicates.saturating_add(1);
-                inc(&m_dup);
-                inc(&state.m_duplicates);
-                continue;
-            }
-            state.packets += 1;
-            inc(&m_packets);
-            inc(&state.m_packets);
-            let raw = now.as_nanos() as i64 - h.send_ns as i64;
-            state.min_raw = Some(state.min_raw.map_or(raw, |m| m.min(raw)));
-            state
-                .raw_delays
-                .push((h.experiment, h.slot, now.as_secs_f64(), raw));
-            let entry = state.probes.entry((h.experiment, h.slot)).or_default();
-            entry.seen_idx.insert(h.idx);
-            entry.probe_len = entry.probe_len.max(h.probe_len);
-            continue;
-        }
-
-        let Ok(msg) = ControlMessage::decode(data) else {
-            rejected += 1;
-            inc(&m_rejected);
-            continue;
-        };
-        if !cfg.serve_control || matches!((single_id, msg.session()), (Some(id), s) if s != id) {
-            rejected += 1;
-            inc(&m_rejected);
-            continue;
-        }
-        inc(&m_ctrl);
-        let id = msg.session();
-        match msg {
-            ControlMessage::Syn { session, params } => {
-                // Admission: an existing session's SYN retransmit is
-                // refreshed and re-acked (idempotent); a new session is
-                // admitted only below the registry cap.
-                if !sessions.contains_key(&session) {
-                    if single_id.is_none() && sessions.len() >= cfg.max_sessions {
-                        syns_rejected += 1;
-                        inc(&m_syn_rejected);
-                        let nack = ControlMessage::SynNack {
-                            session,
-                            reason: RejectReason::Capacity,
-                        };
-                        let _ = socket.send_to(&nack.encode(), src);
-                        continue;
-                    }
-                    inc(&m_opened);
-                }
-                let state = sessions
-                    .entry(session)
-                    .or_insert_with(|| SessionState::new(session, metrics));
-                state.touch();
-                state.handshake = Some(params);
-                let _ = socket.send_to(&ControlMessage::SynAck { session }.encode(), src);
-            }
-            ControlMessage::Heartbeat { session, seq } => {
-                // In single mode a heartbeat may arrive before any probe
-                // and still opens the session (arming the watchdog, as
-                // the pre-registry receiver did). Under `Any` a
-                // heartbeat for an unknown session is a stale
-                // retransmit from a reaped session: ignoring it (no
-                // ack) lets the sender's own watchdog conclude death.
-                let state = match single_id {
-                    Some(id) => Some(sessions.entry(id).or_insert_with(|| {
-                        inc(&m_opened);
-                        SessionState::new(id, metrics)
-                    })),
-                    None => sessions.get_mut(&session),
-                };
-                let Some(state) = state else {
-                    inc(&m_stale);
-                    continue;
-                };
-                state.touch();
-                let _ =
-                    socket.send_to(&ControlMessage::HeartbeatAck { session, seq }.encode(), src);
-            }
-            ControlMessage::Fin { session, .. } => {
-                let state = match single_id {
-                    Some(id) => Some(sessions.entry(id).or_insert_with(|| {
-                        inc(&m_opened);
-                        SessionState::new(id, metrics)
-                    })),
-                    None => sessions.get_mut(&session),
-                };
-                let Some(state) = state else {
-                    inc(&m_stale);
-                    continue;
-                };
-                state.touch();
-                // Finalize once; FIN retransmits re-serve the same
-                // snapshot so retrieval is idempotent.
-                let finalized = state.finalize(session, rejected, metrics);
-                let ack = ControlMessage::FinAck {
-                    session,
-                    total_chunks: finalized.chunks.len() as u32,
-                    summary: finalized.summary,
-                };
-                let _ = socket.send_to(&ack.encode(), src);
-            }
-            ControlMessage::ReportRequest { chunk, .. } => {
-                let Some(state) = sessions.get_mut(&id) else {
-                    inc(&m_stale);
-                    continue;
-                };
-                state.touch();
-                if let Some(finalized) = &state.finalized {
-                    if let Some(msg) = finalized.chunks.get(chunk as usize) {
-                        let _ = socket.send_to(&msg.encode(), src);
-                    }
-                }
-            }
-            ControlMessage::ReportAck { chunk, .. } => {
-                let complete = match sessions.get_mut(&id) {
-                    Some(state) => {
-                        state.touch();
-                        state
-                            .finalized
-                            .as_ref()
-                            .is_some_and(|f| chunk as usize >= f.chunks.len())
-                    }
-                    None => {
-                        // Duplicate closing ack to an already-reaped
-                        // session.
-                        inc(&m_stale);
-                        false
-                    }
-                };
-                if complete {
-                    // The sender holds the full report: reap the
-                    // session. Other sessions keep flowing.
-                    let state = sessions.remove(&id).expect("completed session present");
-                    outcomes.push(state.into_outcome(id, SessionEnd::Completed, rejected, metrics));
-                    inc(&m_completed);
-                    if single_id == Some(id) {
-                        done = true;
-                    }
-                }
-            }
-            // Receiver-emitted messages arriving here are stray
-            // reflections; ignore them.
-            ControlMessage::SynAck { .. }
-            | ControlMessage::SynNack { .. }
-            | ControlMessage::HeartbeatAck { .. }
-            | ControlMessage::FinAck { .. }
-            | ControlMessage::ReportChunk { .. } => {}
-        }
-    }
-
+    let metrics = cfg.metrics.as_deref();
+    let Shared {
+        shards,
+        outcomes,
+        rejected,
+        syns_rejected,
+        ..
+    } = shared;
+    let rejected = rejected.into_inner();
+    let mut outcomes = outcomes.into_inner().expect("outcomes lock");
     // Anything still open when the loop ends is finalized as stopped,
     // in id order for determinism.
-    let mut open: Vec<(u32, SessionState)> = sessions.drain().collect();
+    let mut open: Vec<(u32, SessionState)> = shards
+        .into_iter()
+        .flat_map(|m| m.into_inner().expect("shard lock"))
+        .collect();
     open.sort_by_key(|&(id, _)| id);
     for (id, state) in open {
         outcomes.push(state.into_outcome(id, SessionEnd::Stopped, rejected, metrics));
@@ -742,8 +749,326 @@ fn serve_loop(
     ServerReport {
         sessions: outcomes,
         rejected,
-        syns_rejected,
+        syns_rejected: syns_rejected.into_inner(),
     }
+}
+
+/// One drain thread: batched receive (one syscall per batch where the
+/// platform allows), one timestamp per batch, probe fast path into the
+/// sharded registry, control messages on the slow path. All reply
+/// encoding goes through a reused stack buffer — the steady-state probe
+/// path allocates nothing per datagram.
+fn drain_loop(shared: &Shared<'_>, run_watchdog: bool) {
+    let mut ring = BatchReceiver::new(DEFAULT_RECV_BATCH, shared.cfg.io);
+    let mut scratch = [0u8; MAX_CONTROL_BYTES];
+    while !shared.stop.load(Ordering::Relaxed) && !shared.done.load(Ordering::Relaxed) {
+        if run_watchdog {
+            watchdog_sweep(shared);
+            if shared.done.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        let n = match ring.recv(shared.socket) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => {
+                // Hard socket error: bring the whole server down (open
+                // sessions become `Stopped` outcomes), as the
+                // single-loop implementation did.
+                shared.done.store(true, Ordering::Relaxed);
+                break;
+            }
+        };
+        // One receive timestamp per batch: every datagram a single
+        // recvmmsg return delivered shares it. The fallback path's
+        // batches are single datagrams, so it degenerates to the old
+        // per-datagram stamping.
+        let now = shared.anchor.elapsed();
+        let wall = Instant::now();
+        process_batch(shared, &ring, n, now, wall, &mut scratch);
+    }
+    add(&shared.c.recv_syscalls, ring.syscalls());
+    add(&shared.c.recv_datagrams, ring.datagrams());
+}
+
+/// Reap sessions idle past the configured timeout, without stopping the
+/// loop (single mode: that one session ending ends the loop, preserving
+/// the original watchdog semantics).
+fn watchdog_sweep(shared: &Shared<'_>) {
+    let Some(timeout) = shared.cfg.idle_timeout else {
+        return;
+    };
+    for shard in &shared.shards {
+        let mut sessions = shard.lock().expect("shard lock");
+        let expired: Vec<u32> = sessions
+            .iter()
+            .filter(|(_, s)| s.last_activity.elapsed() >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let state = sessions.remove(&id).expect("expired session present");
+            shared.end_session(id, state, SessionEnd::IdleTimeout);
+            inc(&shared.c.idle_reaped);
+        }
+    }
+}
+
+enum Ingest {
+    Accepted,
+    Duplicate,
+    Rejected,
+}
+
+fn process_batch(
+    shared: &Shared<'_>,
+    ring: &BatchReceiver,
+    n: usize,
+    now: Duration,
+    wall: Instant,
+    scratch: &mut [u8; MAX_CONTROL_BYTES],
+) {
+    // Hot counters accumulate across the batch and land as one atomic
+    // add each, instead of one per datagram.
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut duplicates = 0u64;
+    for i in 0..n {
+        let (data, src) = ring.datagram(i);
+        if let Ok(h) = ProbeHeader::decode(data) {
+            match ingest_probe(shared, &h, now, wall) {
+                Ingest::Accepted => accepted += 1,
+                Ingest::Duplicate => duplicates += 1,
+                Ingest::Rejected => rejected += 1,
+            }
+        } else if let Ok(msg) = ControlMessage::decode(data) {
+            rejected += u64::from(!handle_control(shared, msg, src, wall, scratch));
+        } else {
+            rejected += 1;
+        }
+    }
+    add(&shared.c.packets, accepted);
+    add(&shared.c.dup, duplicates);
+    if rejected > 0 {
+        shared.rejected.fetch_add(rejected, Ordering::Relaxed);
+        add(&shared.c.rejected, rejected);
+    }
+}
+
+/// The probe fast path: one shard lock, the shared [`SessionState::ingest`]
+/// accounting, no socket writes, no allocation.
+fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, now: Duration, wall: Instant) -> Ingest {
+    let mut sessions = shared.shard(h.session).lock().expect("shard lock");
+    // Probes open the session only in single mode (the legacy open-loop
+    // tool has no handshake); under `Any` the SYN is the sole door in.
+    let state = match shared.single_id {
+        Some(id) if h.session == id => Some(sessions.entry(id).or_insert_with(|| {
+            shared.active.fetch_add(1, Ordering::Relaxed);
+            inc(&shared.c.opened);
+            SessionState::new(id, shared.metrics())
+        })),
+        Some(_) => None,
+        None => sessions.get_mut(&h.session),
+    };
+    let Some(state) = state else {
+        return Ingest::Rejected;
+    };
+    state.last_activity = wall;
+    if state.ingest(h, now) {
+        inc(&state.m_packets);
+        Ingest::Accepted
+    } else {
+        inc(&state.m_duplicates);
+        Ingest::Duplicate
+    }
+}
+
+/// Encode a reply into the reused scratch buffer and send it (replies
+/// are best-effort, like every control datagram).
+fn send_reply(
+    socket: &UdpSocket,
+    msg: &ControlMessage,
+    src: SocketAddr,
+    scratch: &mut [u8; MAX_CONTROL_BYTES],
+) {
+    let n = msg.encode_into(scratch);
+    let _ = socket.send_to(&scratch[..n], src);
+}
+
+/// The control slow path. Returns `false` when the datagram is counted
+/// as rejected (control plane off, or wrong session in single mode).
+fn handle_control(
+    shared: &Shared<'_>,
+    msg: ControlMessage,
+    src: SocketAddr,
+    wall: Instant,
+    scratch: &mut [u8; MAX_CONTROL_BYTES],
+) -> bool {
+    use badabing_wire::control::RECORDS_PER_CHUNK;
+    let cfg = shared.cfg;
+    if !cfg.serve_control || matches!((shared.single_id, msg.session()), (Some(id), s) if s != id) {
+        return false;
+    }
+    inc(&shared.c.ctrl);
+    let id = msg.session();
+    match msg {
+        ControlMessage::Syn { session, params } => {
+            let mut sessions = shared.shard(session).lock().expect("shard lock");
+            // Admission: an existing session's SYN retransmit is
+            // refreshed and re-acked (idempotent); a new session is
+            // admitted only below the registry cap.
+            if let std::collections::hash_map::Entry::Vacant(e) = sessions.entry(session) {
+                if shared.single_id.is_none() && !shared.try_admit() {
+                    shared.syns_rejected.fetch_add(1, Ordering::Relaxed);
+                    inc(&shared.c.syn_rejected);
+                    let nack = ControlMessage::SynNack {
+                        session,
+                        reason: RejectReason::Capacity,
+                    };
+                    send_reply(shared.socket, &nack, src, scratch);
+                    return true;
+                }
+                if shared.single_id.is_some() {
+                    shared.active.fetch_add(1, Ordering::Relaxed);
+                }
+                inc(&shared.c.opened);
+                e.insert(SessionState::new(session, shared.metrics()));
+            }
+            let state = sessions.get_mut(&session).expect("just ensured");
+            state.last_activity = wall;
+            state.handshake = Some(params);
+            // The SYN announces the run size: pre-size the accumulation
+            // maps so the hot path never rehashes mid-run.
+            state.reserve_for(&params);
+            send_reply(
+                shared.socket,
+                &ControlMessage::SynAck { session },
+                src,
+                scratch,
+            );
+        }
+        ControlMessage::Heartbeat { session, seq } => {
+            // In single mode a heartbeat may arrive before any probe
+            // and still opens the session (arming the watchdog, as
+            // the pre-registry receiver did). Under `Any` a
+            // heartbeat for an unknown session is a stale
+            // retransmit from a reaped session: ignoring it (no
+            // ack) lets the sender's own watchdog conclude death.
+            let mut sessions = shared.shard(id).lock().expect("shard lock");
+            let state = match shared.single_id {
+                Some(sid) => Some(sessions.entry(sid).or_insert_with(|| {
+                    shared.active.fetch_add(1, Ordering::Relaxed);
+                    inc(&shared.c.opened);
+                    SessionState::new(sid, shared.metrics())
+                })),
+                None => sessions.get_mut(&session),
+            };
+            let Some(state) = state else {
+                inc(&shared.c.stale);
+                return true;
+            };
+            state.last_activity = wall;
+            send_reply(
+                shared.socket,
+                &ControlMessage::HeartbeatAck { session, seq },
+                src,
+                scratch,
+            );
+        }
+        ControlMessage::Fin { session, .. } => {
+            let mut sessions = shared.shard(id).lock().expect("shard lock");
+            let state = match shared.single_id {
+                Some(sid) => Some(sessions.entry(sid).or_insert_with(|| {
+                    shared.active.fetch_add(1, Ordering::Relaxed);
+                    inc(&shared.c.opened);
+                    SessionState::new(sid, shared.metrics())
+                })),
+                None => sessions.get_mut(&session),
+            };
+            let Some(state) = state else {
+                inc(&shared.c.stale);
+                return true;
+            };
+            state.last_activity = wall;
+            // Finalize once; FIN retransmits re-serve the same
+            // snapshot so retrieval is idempotent.
+            let rejected = shared.rejected.load(Ordering::Relaxed);
+            let finalized = state.finalize(rejected, shared.metrics());
+            let ack = ControlMessage::FinAck {
+                session,
+                total_chunks: finalized.total_chunks,
+                summary: finalized.summary,
+            };
+            send_reply(shared.socket, &ack, src, scratch);
+        }
+        ControlMessage::ReportRequest { chunk, .. } => {
+            let mut sessions = shared.shard(id).lock().expect("shard lock");
+            let Some(state) = sessions.get_mut(&id) else {
+                inc(&shared.c.stale);
+                return true;
+            };
+            state.last_activity = wall;
+            if let Some(finalized) = &state.finalized {
+                if chunk < finalized.total_chunks {
+                    // Serve the chunk straight from the snapshot's
+                    // record slice: no clone, byte-identical on every
+                    // re-request.
+                    let lo = chunk as usize * RECORDS_PER_CHUNK;
+                    let hi = (lo + RECORDS_PER_CHUNK).min(finalized.records.len());
+                    let n = encode_report_chunk_into(
+                        id,
+                        chunk,
+                        finalized.total_chunks,
+                        &finalized.records[lo..hi],
+                        scratch,
+                    );
+                    let _ = shared.socket.send_to(&scratch[..n], src);
+                }
+            }
+        }
+        ControlMessage::ReportAck { chunk, .. } => {
+            let mut sessions = shared.shard(id).lock().expect("shard lock");
+            let complete = match sessions.get_mut(&id) {
+                Some(state) => {
+                    state.last_activity = wall;
+                    state
+                        .finalized
+                        .as_ref()
+                        .is_some_and(|f| chunk >= f.total_chunks)
+                }
+                None => {
+                    // Duplicate closing ack to an already-reaped
+                    // session.
+                    inc(&shared.c.stale);
+                    false
+                }
+            };
+            if complete {
+                // The sender holds the full report: reap the
+                // session. Other sessions keep flowing.
+                let state = sessions.remove(&id).expect("completed session present");
+                drop(sessions);
+                shared.end_session(id, state, SessionEnd::Completed);
+                inc(&shared.c.completed);
+            }
+        }
+        // Receiver-emitted messages arriving here are stray
+        // reflections; ignore them.
+        ControlMessage::SynAck { .. }
+        | ControlMessage::SynNack { .. }
+        | ControlMessage::HeartbeatAck { .. }
+        | ControlMessage::FinAck { .. }
+        | ControlMessage::ReportChunk { .. } => {}
+    }
+    true
 }
 
 /// Assemble a session's final log: fit the clock baseline over the whole
@@ -1124,5 +1449,194 @@ mod tests {
             rec.qdelay_max_secs < 0.0,
             "an all-negative probe must not report a phantom 0.0 max"
         );
+    }
+
+    /// A synthetic arrival stream: multi-packet probes, one duplicated
+    /// datagram, one lost packet, non-monotone send timestamps — enough
+    /// structure to shake out any path-dependent accounting.
+    fn synthetic_arrivals() -> Vec<(ProbeHeader, Duration)> {
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        for exp in 0..40u64 {
+            for idx in 0..3u8 {
+                if exp % 7 == 3 && idx == 2 {
+                    // Lost packet: never arrives.
+                    seq += 1;
+                    continue;
+                }
+                let h = ProbeHeader {
+                    session: 11,
+                    experiment: exp,
+                    slot: exp * 5 + u64::from(idx),
+                    seq,
+                    send_ns: 1_000_000 * exp + 10_000 * u64::from(idx),
+                    idx,
+                    probe_len: 3,
+                };
+                let now = Duration::from_nanos(1_000_000 * exp + 40_000 * u64::from(idx) + 7_000);
+                out.push((h, now));
+                if exp % 11 == 5 && idx == 0 {
+                    // Duplicated datagram.
+                    out.push((h, now + Duration::from_nanos(500)));
+                }
+                seq += 1;
+            }
+        }
+        out
+    }
+
+    /// The differential contract: the same (header, timestamp) sequence
+    /// must yield **byte-identical** report chunks whether ingested as
+    /// one big batch or one datagram at a time — the batched recvmmsg
+    /// path and the portable fallback differ only in syscall grouping,
+    /// never in accounting.
+    #[test]
+    fn batched_and_single_ingest_reports_are_byte_identical() {
+        let arrivals = synthetic_arrivals();
+
+        // "Fallback": one datagram per ingest call.
+        let mut single = SessionState::new(11, None);
+        for (h, now) in &arrivals {
+            single.ingest(h, *now);
+        }
+        // "Batched": the same stream in chunks of a recv batch.
+        let mut batched = SessionState::new(11, None);
+        for batch in arrivals.chunks(DEFAULT_RECV_BATCH) {
+            for (h, now) in batch {
+                batched.ingest(h, *now);
+            }
+        }
+
+        let fs = single.finalize(3, None);
+        let single_records = fs.records.clone();
+        let single_total = fs.total_chunks;
+        let single_summary = fs.summary;
+        let fb = batched.finalize(3, None);
+        assert_eq!(fb.records, single_records);
+        assert_eq!(fb.total_chunks, single_total);
+        assert_eq!(fb.summary, single_summary);
+        assert!(single_total > 1, "test must span multiple chunks");
+
+        use badabing_wire::control::RECORDS_PER_CHUNK;
+        let mut buf_a = [0u8; MAX_CONTROL_BYTES];
+        let mut buf_b = [0u8; MAX_CONTROL_BYTES];
+        for chunk in 0..single_total {
+            let lo = chunk as usize * RECORDS_PER_CHUNK;
+            let hi = (lo + RECORDS_PER_CHUNK).min(single_records.len());
+            let na = encode_report_chunk_into(
+                11,
+                chunk,
+                single_total,
+                &single_records[lo..hi],
+                &mut buf_a,
+            );
+            let nb = encode_report_chunk_into(
+                11,
+                chunk,
+                fb.total_chunks,
+                &fb.records[lo..hi],
+                &mut buf_b,
+            );
+            assert_eq!(
+                &buf_a[..na],
+                &buf_b[..nb],
+                "report chunk {chunk} differs between ingest groupings"
+            );
+        }
+    }
+
+    /// Satellite regression: the SYN-carried run size must pre-size the
+    /// per-session maps so the hot path never rehashes mid-run.
+    #[test]
+    fn syn_params_presize_session_maps() {
+        let params = SessionParams {
+            n_slots: 10_000,
+            slot_ns: 5_000_000,
+            probe_packets: 3,
+            packet_bytes: 600,
+            p: 0.3,
+            improved: true,
+        };
+        let mut state = SessionState::new(1, None);
+        state.reserve_for(&params);
+        // ceil(10_000 * 0.3) experiments × 3 slots each = 9_000 probes,
+        // × 3 packets = 27_000 packet-level entries.
+        assert!(state.probes.capacity() >= 9_000, "probe map under-sized");
+        assert!(state.seen.capacity() >= 27_000, "dedup set under-sized");
+        assert!(
+            state.raw_delays.capacity() >= 27_000,
+            "raw-delay series under-sized"
+        );
+        // The cap keeps a hostile SYN from reserving unbounded memory.
+        let hostile = SessionParams {
+            n_slots: u64::MAX,
+            p: 1.0,
+            ..params
+        };
+        let mut state = SessionState::new(2, None);
+        state.reserve_for(&hostile);
+        assert!(state.probes.capacity() < (1 << 22), "reserve cap ignored");
+    }
+
+    /// The server config's sharding and multi-thread drain must not
+    /// change what a session records (end-to-end smoke over loopback).
+    #[test]
+    fn sharded_multithread_server_accepts_probes() {
+        let metrics = Arc::new(Registry::new("recv-shard-test"));
+        let handle = start_server(ServerConfig {
+            metrics: Some(metrics.clone()),
+            recv_threads: 2,
+            shards: 4,
+            io: IoMode::Auto,
+            ..ServerConfig::any(local0(), 8)
+        })
+        .unwrap();
+        let target = handle.local_addr();
+        let sock = UdpSocket::bind(local0()).unwrap();
+        // Open two sessions via SYN, then interleave probes.
+        for session in [1u32, 2] {
+            let syn = ControlMessage::Syn {
+                session,
+                params: SessionParams {
+                    n_slots: 100,
+                    slot_ns: 5_000_000,
+                    probe_packets: 1,
+                    packet_bytes: 64,
+                    p: 0.3,
+                    improved: true,
+                },
+            };
+            sock.send_to(&syn.encode(), target).unwrap();
+        }
+        settle();
+        for i in 0..20u64 {
+            for session in [1u32, 2] {
+                let h = ProbeHeader {
+                    session,
+                    experiment: i,
+                    slot: i,
+                    seq: i,
+                    send_ns: 0,
+                    idx: 0,
+                    probe_len: 1,
+                };
+                send_header(&sock, target, &h, 64);
+            }
+        }
+        settle();
+        let report = handle.stop();
+        assert_eq!(report.sessions.len(), 2);
+        for outcome in &report.sessions {
+            assert_eq!(
+                outcome.log.packets, 20,
+                "session {} dropped packets",
+                outcome.session
+            );
+        }
+        assert_eq!(metrics.counter("packets_accepted").get(), 40);
+        assert_eq!(metrics.counter("sessions_opened").get(), 2);
+        // The drain loops flush their ring stats on exit.
+        assert!(metrics.counter("recv_datagrams").get() >= 42);
+        assert!(metrics.counter("recv_syscalls").get() >= 1);
     }
 }

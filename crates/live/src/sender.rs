@@ -14,6 +14,7 @@
 //! sender returns a *partial* manifest with a diagnostic instead of
 //! hanging (see [`SenderOutcome`]).
 
+use crate::batch_io::{BatchSender, IoMode};
 use crate::control::{ControlClient, ControlConfig};
 use crate::receiver::ReceiverLog;
 use badabing_core::config::BadabingConfig;
@@ -45,6 +46,10 @@ pub struct SenderConfig {
     pub control: Option<ControlConfig>,
     /// Run counters and latency histograms, if observability is wanted.
     pub metrics: Option<Arc<Registry>>,
+    /// Probe-train I/O: batched `sendmmsg` where available
+    /// ([`IoMode::Auto`], the default) or the portable
+    /// one-packet-per-syscall path ([`IoMode::Fallback`]).
+    pub io: IoMode,
 }
 
 impl SenderConfig {
@@ -62,6 +67,7 @@ impl SenderConfig {
             session,
             control: None,
             metrics: None,
+            io: IoMode::Auto,
         }
     }
 
@@ -245,6 +251,12 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     let mut seq = 0u64;
     let n = cfg.tool.probe_packets;
     let bytes = cfg.tool.packet_bytes as usize;
+    // Steady-state TX is allocation-free: every packet of a train
+    // encodes into its segment of this one reused buffer, and the whole
+    // train goes to the kernel in (ideally) one sendmmsg.
+    let mut train = vec![0u8; usize::from(n.max(1)) * bytes];
+    let mut tx = BatchSender::new(usize::from(n.max(1)), cfg.io);
+    crate::batch_io::set_buffer_sizes(&socket, 1 << 20, 1 << 22);
     let m_probes = cfg.metrics.as_ref().map(|m| m.counter("probes_sent"));
     let m_packets = cfg.metrics.as_ref().map(|m| m.counter("packets_sent"));
     let m_refused = cfg.metrics.as_ref().map(|m| m.counter("packets_refused"));
@@ -264,7 +276,10 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
         if let Some(h) = &m_lateness {
             h.record_secs((Instant::now() - due).as_secs_f64());
         }
-        let mut sent_ok = 0u8;
+        // Encode the whole train first — each packet still carries its
+        // own monotonic send stamp, taken at encode time immediately
+        // before the batch syscall — then hand it to the kernel in one
+        // sendmmsg (fallback: one send per packet).
         for idx in 0..n {
             let header = ProbeHeader {
                 session: cfg.session,
@@ -276,26 +291,29 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
                 probe_len: n,
             };
             seq += 1;
-            // Count only after the send succeeds: packets the OS refuses
-            // to emit never reach the wire, and pre-counting them would
-            // overstate the loss-accounting denominator in the manifest.
-            match socket.send(&header.encode(bytes)) {
-                Ok(_) => {
-                    sent_ok += 1;
-                    packets_sent += 1;
-                    if let Some(c) = &m_packets {
-                        c.inc();
-                    }
+            header.encode_into(&mut train[usize::from(idx) * bytes..][..bytes]);
+        }
+        let total = usize::from(n);
+        let mut off = 0usize;
+        let mut refused_here = 0u64;
+        // Count only what the kernel accepts: a short sendmmsg count or
+        // a refused packet never reaches the wire, and pre-counting
+        // would overstate the loss-accounting denominator.
+        while off < total {
+            match tx.send_segments(&socket, &train[off * bytes..], bytes, total - off) {
+                Ok(k) => {
+                    packets_sent += k as u64;
+                    off += k;
                 }
                 // A dead on-path destination surfaces as
                 // ConnectionRefused on loopback; the heartbeat watchdog
                 // is the authority on peer death, so skip the packet
-                // rather than crash.
+                // rather than crash. The batched path reports an error
+                // only for the first unsent packet, so this accounting
+                // is identical in both modes.
                 Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
-                    packets_refused += 1;
-                    if let Some(c) = &m_refused {
-                        c.inc();
-                    }
+                    refused_here += 1;
+                    off += 1;
                 }
                 Err(e) => {
                     done.store(true, Ordering::Relaxed);
@@ -304,6 +322,17 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
                     }
                     return Err(e);
                 }
+            }
+        }
+        let sent_ok = (total as u64 - refused_here) as u8;
+        packets_refused += refused_here;
+        // One counter bump per train, not per packet.
+        if let Some(c) = &m_packets {
+            c.add(u64::from(sent_ok));
+        }
+        if refused_here > 0 {
+            if let Some(c) = &m_refused {
+                c.add(refused_here);
             }
         }
         if let Some(c) = &m_probes {

@@ -87,7 +87,7 @@ fn dup_reorder_proxy(target: SocketAddr) -> SocketAddr {
                 continue;
             }
             let _ = sock.send_to(&data, target);
-            if i % 5 == 0 {
+            if i.is_multiple_of(5) {
                 let _ = sock.send_to(&data, target); // duplicate
             }
             if let Some(h) = held.take() {

@@ -162,6 +162,31 @@ impl Histogram {
         (self.count() > 0).then(|| self.max_ns.load(Ordering::Relaxed) as f64 / 1e9)
     }
 
+    /// Bucket-resolution estimate of the `q`-quantile (0 < q ≤ 1) in
+    /// seconds: the upper edge of the bucket where the cumulative count
+    /// crosses `q·total`, clamped to the observed min/max so coarse
+    /// edges never report a value outside the recorded range. Samples in
+    /// the overflow bucket report the observed maximum. `None` when
+    /// empty.
+    pub fn quantile_secs(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let min = self.min_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let max = self.max_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let mut seen = 0u64;
+        for (i, slot) in self.buckets.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= rank {
+                let edge = self.bounds_ns.get(i).map_or(max, |&ns| ns as f64 / 1e9);
+                return Some(edge.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
     fn to_value(&self) -> Value {
         let count = self.count();
         let sum_secs = self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
@@ -419,6 +444,29 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_bounds_panic() {
         let _ = Histogram::new(&[0.1, 0.01]);
+    }
+
+    #[test]
+    fn quantile_estimates_land_in_the_right_bucket() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        assert_eq!(h.quantile_secs(0.99), None);
+        for _ in 0..98 {
+            h.record_secs(0.0005); // bucket 0
+        }
+        h.record_secs(0.05); //  bucket 2
+        h.record_secs(0.5); //   overflow
+        let p50 = h.quantile_secs(0.50).unwrap();
+        assert!((p50 - 0.001).abs() < 1e-9, "p50 = {p50}");
+        let p99 = h.quantile_secs(0.99).unwrap();
+        assert!((p99 - 0.1).abs() < 1e-9, "p99 = {p99}");
+        // The last sample lives in the overflow bucket: the observed
+        // max, not infinity.
+        let p100 = h.quantile_secs(1.0).unwrap();
+        assert!((p100 - 0.5).abs() < 1e-9, "p100 = {p100}");
+        // A one-sample histogram clamps to the observation.
+        let one = Histogram::new(&[1.0]);
+        one.record_secs(0.25);
+        assert!((one.quantile_secs(0.99).unwrap() - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -55,8 +55,8 @@
 //! Control datagrams start with [`CONTROL_MAGIC`] (`"BDC1"`), distinct
 //! from the probe magic, so both kinds can share one socket.
 
-use crate::DecodeError;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::{DecodeError, SliceWriter};
+use bytes::{Buf, BufMut, Bytes};
 
 /// Identifies control datagrams: `"BDC1"` (BaDabing Control, version 1).
 pub const CONTROL_MAGIC: u32 = 0x4244_4331;
@@ -69,6 +69,14 @@ pub const RECORDS_PER_CHUNK: usize = 32;
 
 /// Encoded size of one [`ReportRecord`].
 const RECORD_BYTES: usize = 34;
+
+/// Common prefix of every control datagram: magic, type tag, session id.
+const PREFIX_BYTES: usize = 9;
+
+/// Upper bound on any encoded control message (a full
+/// [`ControlMessage::ReportChunk`]): size one reusable encode buffer
+/// with this and [`ControlMessage::encode_into`] never overflows.
+pub const MAX_CONTROL_BYTES: usize = PREFIX_BYTES + 4 + 4 + 2 + RECORDS_PER_CHUNK * RECORD_BYTES;
 
 /// The tool configuration a SYN carries, so a bare receiver can size its
 /// run without out-of-band agreement.
@@ -106,7 +114,7 @@ pub struct ReportRecord {
 }
 
 impl ReportRecord {
-    fn put(&self, buf: &mut BytesMut) {
+    fn put(&self, buf: &mut impl BufMut) {
         buf.put_u64(self.experiment);
         buf.put_u64(self.slot);
         buf.put_u8(self.received);
@@ -292,96 +300,120 @@ impl ControlMessage {
         }
     }
 
+    /// Exact encoded size of this message in bytes.
+    pub fn encoded_len(&self) -> usize {
+        PREFIX_BYTES
+            + match self {
+                ControlMessage::Syn { .. } => 8 + 8 + 1 + 4 + 8 + 1,
+                ControlMessage::SynAck { .. } => 0,
+                ControlMessage::SynNack { .. } => 1,
+                ControlMessage::Heartbeat { .. } | ControlMessage::HeartbeatAck { .. } => 8,
+                ControlMessage::Fin { .. } => 16,
+                ControlMessage::FinAck { .. } => 4 + 24 + 1 + 8,
+                ControlMessage::ReportRequest { .. } | ControlMessage::ReportAck { .. } => 4,
+                ControlMessage::ReportChunk { records, .. } => {
+                    4 + 4 + 2 + records.len() * RECORD_BYTES
+                }
+            }
+    }
+
     /// Encode into a datagram.
+    ///
+    /// Allocates the exact-size buffer; the zero-allocation hot path is
+    /// [`ControlMessage::encode_into`], of which this is a thin wrapper.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
-        buf.put_u32(CONTROL_MAGIC);
+        let mut buf = vec![0u8; self.encoded_len()];
+        let n = self.encode_into(&mut buf);
+        debug_assert_eq!(n, buf.len());
+        Bytes::from(buf)
+    }
+
+    /// Encode into a caller-provided buffer without allocating; returns
+    /// the datagram length. Size the buffer with
+    /// [`ControlMessage::encoded_len`] or [`MAX_CONTROL_BYTES`].
+    ///
+    /// # Panics
+    /// Panics if `buf` is smaller than the encoded message.
+    pub fn encode_into(&self, buf: &mut [u8]) -> usize {
+        if let ControlMessage::ReportChunk {
+            session,
+            chunk,
+            total_chunks,
+            records,
+        } = self
+        {
+            return encode_report_chunk_into(*session, *chunk, *total_chunks, records, buf);
+        }
+        let mut w = SliceWriter::new(buf);
+        w.put_u32(CONTROL_MAGIC);
         match self {
             ControlMessage::Syn { session, params } => {
-                buf.put_u8(TYPE_SYN);
-                buf.put_u32(*session);
-                buf.put_u64(params.n_slots);
-                buf.put_u64(params.slot_ns);
-                buf.put_u8(params.probe_packets);
-                buf.put_u32(params.packet_bytes);
-                buf.put_f64(params.p);
-                buf.put_u8(u8::from(params.improved));
+                w.put_u8(TYPE_SYN);
+                w.put_u32(*session);
+                w.put_u64(params.n_slots);
+                w.put_u64(params.slot_ns);
+                w.put_u8(params.probe_packets);
+                w.put_u32(params.packet_bytes);
+                w.put_f64(params.p);
+                w.put_u8(u8::from(params.improved));
             }
             ControlMessage::SynAck { session } => {
-                buf.put_u8(TYPE_SYN_ACK);
-                buf.put_u32(*session);
+                w.put_u8(TYPE_SYN_ACK);
+                w.put_u32(*session);
             }
             ControlMessage::SynNack { session, reason } => {
-                buf.put_u8(TYPE_SYN_NACK);
-                buf.put_u32(*session);
-                buf.put_u8(reason.code());
+                w.put_u8(TYPE_SYN_NACK);
+                w.put_u32(*session);
+                w.put_u8(reason.code());
             }
             ControlMessage::Heartbeat { session, seq } => {
-                buf.put_u8(TYPE_HEARTBEAT);
-                buf.put_u32(*session);
-                buf.put_u64(*seq);
+                w.put_u8(TYPE_HEARTBEAT);
+                w.put_u32(*session);
+                w.put_u64(*seq);
             }
             ControlMessage::HeartbeatAck { session, seq } => {
-                buf.put_u8(TYPE_HEARTBEAT_ACK);
-                buf.put_u32(*session);
-                buf.put_u64(*seq);
+                w.put_u8(TYPE_HEARTBEAT_ACK);
+                w.put_u32(*session);
+                w.put_u64(*seq);
             }
             ControlMessage::Fin {
                 session,
                 probes_sent,
                 packets_sent,
             } => {
-                buf.put_u8(TYPE_FIN);
-                buf.put_u32(*session);
-                buf.put_u64(*probes_sent);
-                buf.put_u64(*packets_sent);
+                w.put_u8(TYPE_FIN);
+                w.put_u32(*session);
+                w.put_u64(*probes_sent);
+                w.put_u64(*packets_sent);
             }
             ControlMessage::FinAck {
                 session,
                 total_chunks,
                 summary,
             } => {
-                buf.put_u8(TYPE_FIN_ACK);
-                buf.put_u32(*session);
-                buf.put_u32(*total_chunks);
-                buf.put_u64(summary.packets);
-                buf.put_u64(summary.rejected);
-                buf.put_u64(summary.duplicates);
-                buf.put_u8(u8::from(summary.min_raw_delay_ns.is_some()));
-                buf.put_i64(summary.min_raw_delay_ns.unwrap_or(0));
+                w.put_u8(TYPE_FIN_ACK);
+                w.put_u32(*session);
+                w.put_u32(*total_chunks);
+                w.put_u64(summary.packets);
+                w.put_u64(summary.rejected);
+                w.put_u64(summary.duplicates);
+                w.put_u8(u8::from(summary.min_raw_delay_ns.is_some()));
+                w.put_i64(summary.min_raw_delay_ns.unwrap_or(0));
             }
             ControlMessage::ReportRequest { session, chunk } => {
-                buf.put_u8(TYPE_REPORT_REQUEST);
-                buf.put_u32(*session);
-                buf.put_u32(*chunk);
+                w.put_u8(TYPE_REPORT_REQUEST);
+                w.put_u32(*session);
+                w.put_u32(*chunk);
             }
-            ControlMessage::ReportChunk {
-                session,
-                chunk,
-                total_chunks,
-                records,
-            } => {
-                assert!(
-                    records.len() <= RECORDS_PER_CHUNK,
-                    "chunk carries {} records, limit is {RECORDS_PER_CHUNK}",
-                    records.len()
-                );
-                buf.put_u8(TYPE_REPORT_CHUNK);
-                buf.put_u32(*session);
-                buf.put_u32(*chunk);
-                buf.put_u32(*total_chunks);
-                buf.put_u16(records.len() as u16);
-                for r in records {
-                    r.put(&mut buf);
-                }
-            }
+            ControlMessage::ReportChunk { .. } => unreachable!("handled above"),
             ControlMessage::ReportAck { session, chunk } => {
-                buf.put_u8(TYPE_REPORT_ACK);
-                buf.put_u32(*session);
-                buf.put_u32(*chunk);
+                w.put_u8(TYPE_REPORT_ACK);
+                w.put_u32(*session);
+                w.put_u32(*chunk);
             }
         }
-        buf.freeze()
+        debug_assert_eq!(w.written(), self.encoded_len());
+        w.written()
     }
 
     /// Decode from a received datagram.
@@ -513,9 +545,55 @@ impl ControlMessage {
     }
 }
 
+/// Encode one [`ControlMessage::ReportChunk`] straight from a window of
+/// the session's record slice — no per-chunk `Vec` clone, no message
+/// construction. Byte-identical to
+/// `ControlMessage::ReportChunk { records: window.to_vec(), .. }.encode()`;
+/// a receiver holds one `Vec<ReportRecord>` per finalized session and
+/// serves any chunk, any number of times, from subslices of it.
+///
+/// Returns the datagram length.
+///
+/// # Panics
+/// Panics if `records.len() > RECORDS_PER_CHUNK` or `buf` is too small
+/// (size it with [`MAX_CONTROL_BYTES`]).
+pub fn encode_report_chunk_into(
+    session: u32,
+    chunk: u32,
+    total_chunks: u32,
+    records: &[ReportRecord],
+    buf: &mut [u8],
+) -> usize {
+    assert!(
+        records.len() <= RECORDS_PER_CHUNK,
+        "chunk carries {} records, limit is {RECORDS_PER_CHUNK}",
+        records.len()
+    );
+    let mut w = SliceWriter::new(buf);
+    w.put_u32(CONTROL_MAGIC);
+    w.put_u8(TYPE_REPORT_CHUNK);
+    w.put_u32(session);
+    w.put_u32(chunk);
+    w.put_u32(total_chunks);
+    w.put_u16(records.len() as u16);
+    for r in records {
+        r.put(&mut w);
+    }
+    w.written()
+}
+
+/// Number of chunks a report of `n_records` records splits into.
+pub fn chunk_count(n_records: usize) -> u32 {
+    n_records.div_ceil(RECORDS_PER_CHUNK) as u32
+}
+
 /// Split a full report into encode-ready chunks.
+///
+/// Convenience for tests and offline tooling: every chunk clones its
+/// record window into an owned message. The receiver's serving path uses
+/// [`encode_report_chunk_into`] on subslices instead.
 pub fn chunk_records(session: u32, records: &[ReportRecord]) -> Vec<ControlMessage> {
-    let total_chunks = records.len().div_ceil(RECORDS_PER_CHUNK) as u32;
+    let total_chunks = chunk_count(records.len());
     records
         .chunks(RECORDS_PER_CHUNK)
         .enumerate()
@@ -627,6 +705,157 @@ mod tests {
         }
     }
 
+    fn all_messages() -> Vec<ControlMessage> {
+        vec![
+            ControlMessage::Syn {
+                session: 7,
+                params: params(),
+            },
+            ControlMessage::SynAck { session: 7 },
+            ControlMessage::SynNack {
+                session: 7,
+                reason: RejectReason::Capacity,
+            },
+            ControlMessage::Heartbeat {
+                session: 7,
+                seq: 42,
+            },
+            ControlMessage::HeartbeatAck {
+                session: 7,
+                seq: 42,
+            },
+            ControlMessage::Fin {
+                session: 7,
+                probes_sent: 100,
+                packets_sent: 300,
+            },
+            ControlMessage::FinAck {
+                session: 7,
+                total_chunks: 4,
+                summary: ReportSummary {
+                    packets: 298,
+                    rejected: 3,
+                    duplicates: 2,
+                    min_raw_delay_ns: Some(-1_234_567),
+                },
+            },
+            ControlMessage::ReportRequest {
+                session: 7,
+                chunk: 2,
+            },
+            ControlMessage::ReportChunk {
+                session: 7,
+                chunk: 2,
+                total_chunks: 4,
+                records: (0..RECORDS_PER_CHUNK as u64).map(record).collect(),
+            },
+            ControlMessage::ReportChunk {
+                session: 7,
+                chunk: 3,
+                total_chunks: 4,
+                records: vec![],
+            },
+            ControlMessage::ReportAck {
+                session: 7,
+                chunk: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_into_matches_allocating_encode() {
+        for msg in all_messages() {
+            let wire = msg.encode();
+            assert_eq!(wire.len(), msg.encoded_len(), "{msg:?}");
+            let mut buf = [0xAAu8; MAX_CONTROL_BYTES];
+            let n = msg.encode_into(&mut buf);
+            assert_eq!(&buf[..n], &wire[..], "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn max_control_bytes_bounds_every_variant() {
+        for msg in all_messages() {
+            assert!(msg.encoded_len() <= MAX_CONTROL_BYTES, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn slice_chunk_encoding_matches_cloning_path() {
+        // Satellite contract: the borrow-based chunk serializer emits
+        // bytes identical to the old clone-per-window path, chunk by
+        // chunk, including the empty-tail and exact-multiple cases.
+        for n in [0usize, 1, 31, 32, 33, 64, 69] {
+            let records: Vec<ReportRecord> = (0..n as u64).map(record).collect();
+            let old = chunk_records(11, &records);
+            assert_eq!(old.len() as u32, chunk_count(records.len()));
+            let mut buf = [0u8; MAX_CONTROL_BYTES];
+            for (i, window) in records.chunks(RECORDS_PER_CHUNK).enumerate() {
+                let len = encode_report_chunk_into(
+                    11,
+                    i as u32,
+                    chunk_count(records.len()),
+                    window,
+                    &mut buf,
+                );
+                assert_eq!(&buf[..len], &old[i].encode()[..], "chunk {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        let mut x: u64 = 0x0bad_cafe_dead_beef;
+        for len in 0..(MAX_CONTROL_BYTES + 40) {
+            let mut data = vec![0u8; len];
+            for b in &mut data {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (x >> 56) as u8;
+            }
+            let _ = ControlMessage::decode(&data);
+            // And with a valid magic + random tag, so we exercise the
+            // per-variant field parsers, not just the magic check.
+            if len >= 4 {
+                data[..4].copy_from_slice(&CONTROL_MAGIC.to_be_bytes());
+                let _ = ControlMessage::decode(&data);
+            }
+        }
+    }
+
+    #[test]
+    fn every_variant_truncation_errors_cleanly() {
+        for msg in all_messages() {
+            let wire = msg.encode();
+            for len in 0..wire.len() {
+                assert!(
+                    ControlMessage::decode(&wire[..len]).is_err(),
+                    "{msg:?} truncated to {len} bytes decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_datagrams_decode_ignoring_trailing_bytes() {
+        // UDP can deliver padded datagrams; trailing junk after a valid
+        // message must not panic and must not change the decode.
+        for msg in all_messages() {
+            let mut wire = msg.encode().to_vec();
+            wire.extend_from_slice(&[0x5A; 64]);
+            assert_eq!(ControlMessage::decode(&wire).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_edge_cases() {
+        assert_eq!(chunk_count(0), 0);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(RECORDS_PER_CHUNK), 1);
+        assert_eq!(chunk_count(RECORDS_PER_CHUNK + 1), 2);
+    }
+
     #[test]
     fn probe_and_control_magics_differ() {
         assert_ne!(CONTROL_MAGIC, crate::MAGIC);
@@ -667,7 +896,7 @@ mod tests {
                 "truncated to {len} bytes decoded successfully"
             );
         }
-        assert_eq!(ControlMessage::decode(&full).is_ok(), true);
+        assert!(ControlMessage::decode(&full).is_ok());
     }
 
     #[test]

@@ -37,9 +37,50 @@
 //! assert_eq!(ProbeHeader::decode(&datagram).unwrap(), header);
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 
 pub mod control;
+
+/// A [`BufMut`] writing into a caller-provided `&mut [u8]` instead of a
+/// growable buffer, so hot-path encoders ([`ProbeHeader::encode_into`],
+/// [`control::ControlMessage::encode_into`]) can reuse one preallocated
+/// buffer per socket and do zero heap allocation in steady state.
+///
+/// Writes past the end of the slice panic; callers size the buffer from
+/// [`HEADER_BYTES`] / [`control::MAX_CONTROL_BYTES`] /
+/// [`ControlMessage::encoded_len`](control::ControlMessage::encoded_len).
+#[derive(Debug)]
+pub struct SliceWriter<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> SliceWriter<'a> {
+    /// Start writing at the beginning of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> usize {
+        self.pos
+    }
+}
+
+impl BufMut for SliceWriter<'_> {
+    fn put_slice(&mut self, src: &[u8]) {
+        let end = self.pos + src.len();
+        assert!(
+            end <= self.buf.len(),
+            "SliceWriter overflow: {} + {} > {}",
+            self.pos,
+            src.len(),
+            self.buf.len()
+        );
+        self.buf[self.pos..end].copy_from_slice(src);
+        self.pos = end;
+    }
+}
 
 /// Identifies probe packets and version: the ASCII bytes `"BDG1"`
 /// (BaDabinG, format version 1). Bump the trailing digit on any header
@@ -116,23 +157,40 @@ impl ProbeHeader {
     /// # Panics
     /// Panics if `packet_bytes < HEADER_BYTES`.
     pub fn encode(&self, packet_bytes: usize) -> Bytes {
+        let mut buf = vec![0u8; packet_bytes];
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Encode into a caller-provided buffer without allocating: the
+    /// header goes at the front, the rest of `buf` is zeroed as padding
+    /// (the whole slice is the datagram). Returns the datagram length,
+    /// always `buf.len()`. This is the steady-state TX path; [`encode`]
+    /// (which allocates a fresh [`Bytes`]) is a thin wrapper over it.
+    ///
+    /// [`encode`]: ProbeHeader::encode
+    ///
+    /// # Panics
+    /// Panics if `buf.len() < HEADER_BYTES`.
+    pub fn encode_into(&self, buf: &mut [u8]) -> usize {
         assert!(
-            packet_bytes >= HEADER_BYTES,
-            "packet size {packet_bytes} below header size {HEADER_BYTES}"
+            buf.len() >= HEADER_BYTES,
+            "packet size {} below header size {HEADER_BYTES}",
+            buf.len()
         );
-        let mut buf = BytesMut::with_capacity(packet_bytes);
-        buf.put_u32(MAGIC);
-        buf.put_u32(self.session);
-        buf.put_u64(self.experiment);
-        buf.put_u64(self.slot);
-        buf.put_u64(self.seq);
-        buf.put_u64(self.send_ns);
-        buf.put_u8(self.idx);
-        buf.put_u8(self.probe_len);
-        buf.put_u16(0); // reserved / alignment
-        debug_assert_eq!(buf.len(), HEADER_BYTES);
-        buf.resize(packet_bytes, 0);
-        buf.freeze()
+        let mut w = SliceWriter::new(buf);
+        w.put_u32(MAGIC);
+        w.put_u32(self.session);
+        w.put_u64(self.experiment);
+        w.put_u64(self.slot);
+        w.put_u64(self.seq);
+        w.put_u64(self.send_ns);
+        w.put_u8(self.idx);
+        w.put_u8(self.probe_len);
+        w.put_u16(0); // reserved / alignment
+        debug_assert_eq!(w.written(), HEADER_BYTES);
+        buf[HEADER_BYTES..].fill(0);
+        buf.len()
     }
 
     /// Decode from a received datagram.
@@ -246,6 +304,50 @@ mod tests {
         h2.idx = 0;
         let wire2 = h2.encode(600);
         assert_eq!(ProbeHeader::decode(&wire2), Err(DecodeError::BadFields));
+    }
+
+    #[test]
+    fn encode_into_matches_allocating_encode() {
+        let h = header();
+        for size in [HEADER_BYTES, 64, 600] {
+            // Fill with junk so stale bytes would show up as a diff.
+            let mut buf = vec![0xAA; size];
+            let n = h.encode_into(&mut buf);
+            assert_eq!(n, size);
+            assert_eq!(&buf[..], &h.encode(size)[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below header size")]
+    fn encode_into_rejects_tiny_buffers() {
+        let mut buf = [0u8; 10];
+        let _ = header().encode_into(&mut buf);
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        // A deterministic junk generator: every decode must return a
+        // clean error or a valid header, never panic.
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        for len in 0..200 {
+            let mut data = vec![0u8; len];
+            for b in &mut data {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (x >> 56) as u8;
+            }
+            let _ = ProbeHeader::decode(&data);
+        }
+    }
+
+    #[test]
+    fn oversized_datagram_ignores_trailing_bytes() {
+        let h = header();
+        let mut wire = h.encode(600).to_vec();
+        wire.extend_from_slice(&[0xFF; 300]);
+        assert_eq!(ProbeHeader::decode(&wire).unwrap(), h);
     }
 
     #[test]

@@ -61,12 +61,9 @@ proptest! {
     /// the field invariants hold.
     #[test]
     fn garbage_probe_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
-        match ProbeHeader::decode(&bytes) {
-            Ok(h) => {
-                prop_assert!(h.probe_len > 0 && h.idx < h.probe_len);
-                prop_assert_eq!(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]), MAGIC);
-            }
-            Err(_) => {}
+        if let Ok(h) = ProbeHeader::decode(&bytes) {
+            prop_assert!(h.probe_len > 0 && h.idx < h.probe_len);
+            prop_assert_eq!(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]), MAGIC);
         }
     }
 
@@ -114,7 +111,7 @@ proptest! {
             probe_packets,
             packet_bytes,
             p: f64::from(p_milli) / 1000.0,
-            improved: seq % 2 == 0,
+            improved: seq.is_multiple_of(2),
         };
         let records: Vec<ReportRecord> = (0..n_records as u64)
             .map(|i| ReportRecord {
