@@ -87,10 +87,12 @@ pub struct BatchReceiver {
     bufs: Vec<u8>,
     lens: Vec<usize>,
     srcs: Vec<SocketAddr>,
+    truncs: Vec<bool>,
     count: usize,
     batched: bool,
     syscalls: u64,
     datagrams: u64,
+    truncated: u64,
     #[cfg(target_os = "linux")]
     raw: RawRing,
 }
@@ -112,10 +114,12 @@ impl BatchReceiver {
             bufs: vec![0u8; cap * DATAGRAM_BYTES],
             lens: vec![0; cap],
             srcs: vec![unspecified(); cap],
+            truncs: vec![false; cap],
             count: 0,
             batched: mode.use_batched(),
             syscalls: 0,
             datagrams: 0,
+            truncated: 0,
             #[cfg(target_os = "linux")]
             raw: RawRing {
                 // SAFETY: all-zero bytes are a valid value for these
@@ -186,6 +190,15 @@ impl BatchReceiver {
             let (len, src) = socket.recv_from(&mut self.bufs[..self.slot])?;
             self.lens[0] = len;
             self.srcs[0] = src;
+            // `recv_from` silently clips oversized datagrams to the
+            // buffer and reports the clipped length, so a slot-filling
+            // read is the only truncation signal this path has. Probe
+            // and control payloads are all well under a slot, so a
+            // full slot can only be an oversized (clipped) datagram.
+            self.truncs[0] = len >= self.slot;
+            if self.truncs[0] {
+                self.truncated += 1;
+            }
             self.count = 1;
             self.syscalls += 1;
             self.datagrams += 1;
@@ -221,6 +234,11 @@ impl BatchReceiver {
             for i in 0..n {
                 self.lens[i] = self.raw.hdrs[i].msg_len as usize;
                 self.srcs[i] = sys::parse_sockaddr(&self.raw.addrs[i]).unwrap_or_else(unspecified);
+                // The kernel flags clipped datagrams explicitly here.
+                self.truncs[i] = self.raw.hdrs[i].msg_hdr.msg_flags & sys::MSG_TRUNC != 0;
+                if self.truncs[i] {
+                    self.truncated += 1;
+                }
             }
             self.count = n;
             self.syscalls += 1;
@@ -239,6 +257,13 @@ impl BatchReceiver {
         (&self.bufs[i * self.slot..i * self.slot + len], self.srcs[i])
     }
 
+    /// Whether datagram `i` of the last recv was clipped to the ring
+    /// slot (its payload is incomplete — drop it, don't decode it).
+    pub fn is_truncated(&self, i: usize) -> bool {
+        assert!(i < self.count, "datagram index {i} >= batch {}", self.count);
+        self.truncs[i]
+    }
+
     /// Receive syscalls issued so far.
     pub fn syscalls(&self) -> u64 {
         self.syscalls
@@ -247,6 +272,11 @@ impl BatchReceiver {
     /// Datagrams received so far.
     pub fn datagrams(&self) -> u64 {
         self.datagrams
+    }
+
+    /// Datagrams received clipped (see [`BatchReceiver::is_truncated`]).
+    pub fn truncated(&self) -> u64 {
+        self.truncated
     }
 }
 
@@ -469,6 +499,9 @@ mod sys {
     /// recvmmsg: block for the first datagram only, then drain
     /// non-blocking.
     pub const MSG_WAITFORONE: i32 = 0x10000;
+    /// Set by the kernel in `msg_flags` when a datagram was clipped to
+    /// the supplied buffer.
+    pub const MSG_TRUNC: i32 = 0x20;
     pub const SOL_SOCKET: i32 = 1;
     pub const SO_RCVBUF: i32 = 8;
     pub const SO_SNDBUF: i32 = 7;
@@ -682,6 +715,32 @@ mod tests {
             let mut want: Vec<Vec<u8>> = train.chunks(seg).map(<[u8]>::to_vec).collect();
             want.sort();
             assert_eq!(got, want, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_datagrams_are_flagged_truncated_not_decoded_short() {
+        for mode in [IoMode::Fallback, IoMode::Auto] {
+            let (rx, tx) = pair();
+            // One datagram larger than a ring slot, one normal-sized.
+            tx.send(&vec![0xAB; DATAGRAM_BYTES + 512]).unwrap();
+            tx.send(&[0xCD; 64]).unwrap();
+            let mut ring = BatchReceiver::new(4, mode);
+            let mut seen = Vec::new();
+            while seen.len() < 2 {
+                let n = ring.recv(&rx).unwrap();
+                for i in 0..n {
+                    let (data, _) = ring.datagram(i);
+                    seen.push((data.len(), ring.is_truncated(i)));
+                }
+            }
+            seen.sort();
+            assert_eq!(
+                seen,
+                vec![(64, false), (DATAGRAM_BYTES, true)],
+                "mode {mode:?}: the clipped datagram must be flagged"
+            );
+            assert_eq!(ring.truncated(), 1, "mode {mode:?}");
         }
     }
 

@@ -15,6 +15,7 @@
 
 use badabing_live::cli::Flags;
 use badabing_live::emulator::{Emulator, EmulatorConfig};
+use badabing_live::provider::Provider;
 use badabing_metrics::Registry;
 use badabing_stats::rng::seeded;
 use std::net::SocketAddr;
@@ -29,7 +30,7 @@ fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &[]);
     let bind: SocketAddr = flags.req("bind");
     let target: SocketAddr = flags.req("target");
-    let secs: f64 = flags.req("secs");
+    let run_for = flags.req_secs("secs");
     let rate_mbps: f64 = flags.opt("rate-mbps", 20.0);
     let buffer_ms: f64 = flags.opt("buffer-ms", 100.0);
     let episode_gap: f64 = flags.opt("episode-gap", 10.0);
@@ -49,12 +50,13 @@ fn main() -> std::io::Result<()> {
         episode_loss_secs: episode_loss,
         burst_factor: burst,
         metrics: Some(metrics.clone()),
+        provider: Provider::default(),
     };
     eprintln!(
         "emulating a {rate_mbps} Mb/s bottleneck ({buffer_ms} ms buffer) from {bind} to {target}"
     );
     let emulator = Emulator::start(cfg, seeded(seed, "emulator"))?;
-    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    std::thread::sleep(run_for);
     let stats = emulator.stop();
     eprintln!(
         "forwarded {} datagrams, dropped {}, ran {} scripted episodes",

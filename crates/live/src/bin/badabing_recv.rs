@@ -25,6 +25,7 @@
 use badabing_live::batch_io::IoMode;
 use badabing_live::cli::Flags;
 use badabing_live::persist::ReceiverFile;
+use badabing_live::provider::Provider;
 use badabing_live::receiver::{
     start_receiver, start_server, ReceiverConfig, ServerConfig, SessionEnd,
 };
@@ -49,23 +50,24 @@ fn session_log_path(base: &Path, session: u32) -> PathBuf {
 fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &[]);
     let bind: SocketAddr = flags.req("bind");
-    let secs: f64 = flags.req("secs");
+    let run_for = flags.req_secs("secs");
+    let secs = run_for.as_secs_f64();
     let session = flags.opt_str("session", "1");
     let max_sessions: usize = flags.opt("max-sessions", 64);
-    let idle_timeout: f64 = flags.opt("idle-timeout", 30.0);
+    let idle_timeout = flags.opt_secs("idle-timeout", Duration::from_secs(30));
     let log_path = PathBuf::from(flags.opt_str("log", "receiver.json"));
     let metrics_path = flags.opt_str("metrics", "");
 
     let metrics = Arc::new(Registry::new("badabing_recv"));
-    let idle_timeout = (idle_timeout > 0.0).then(|| Duration::from_secs_f64(idle_timeout));
-    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let idle_timeout = (idle_timeout > Duration::ZERO).then_some(idle_timeout);
+    let deadline = Instant::now() + run_for;
 
     if session == "any" {
         let server = start_server(ServerConfig {
             idle_timeout,
             max_sessions,
             metrics: Some(metrics.clone()),
-            io: flags.opt::<IoMode>("io", IoMode::Auto),
+            provider: Provider::udp(flags.opt::<IoMode>("io", IoMode::Auto)),
             recv_threads: flags.opt("recv-threads", 1usize).max(1),
             shards: flags.opt("shards", badabing_live::receiver::DEFAULT_SHARDS),
             ..ServerConfig::any(bind, max_sessions)

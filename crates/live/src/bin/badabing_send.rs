@@ -28,6 +28,7 @@ use badabing_live::batch_io::IoMode;
 use badabing_live::cli::Flags;
 use badabing_live::control::ControlConfig;
 use badabing_live::persist::{ManifestFile, ReceiverFile};
+use badabing_live::provider::Provider;
 use badabing_live::sender::{run_sender, SenderConfig};
 use badabing_metrics::Registry;
 use badabing_stats::rng::seeded;
@@ -45,7 +46,7 @@ const USAGE: &str = "badabing_send --target ADDR --secs S [--p P] [--improved] \
 fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &["improved", "no-control"]);
     let target: SocketAddr = flags.req("target");
-    let secs: f64 = flags.req("secs");
+    let secs = flags.req_secs("secs").as_secs_f64();
     let p: f64 = flags.opt("p", 0.3);
     let session: u32 = flags.opt("session", 1);
     let seed: u64 = flags.opt("seed", 1);
@@ -80,7 +81,7 @@ fn main() -> std::io::Result<()> {
         session,
         control,
         metrics: Some(metrics.clone()),
-        io: flags.opt::<IoMode>("io", IoMode::Auto),
+        provider: Provider::udp(flags.opt::<IoMode>("io", IoMode::Auto)),
     };
     eprintln!(
         "sending to {target}: p={p}, {} slots of {} ms, offered load ≈ {:.0} kb/s",

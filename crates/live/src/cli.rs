@@ -2,6 +2,36 @@
 //! footprint inside the approved crate list).
 
 use std::collections::HashMap;
+use std::time::Duration;
+
+/// Validate a strictly positive `--flag S` seconds value: a finite
+/// number, `> 0`, and representable as a `Duration`. Everything that
+/// would make `Duration::from_secs_f64` panic (NaN, negative,
+/// overflow) comes back as an error message instead.
+pub fn positive_secs(raw: &str) -> Result<Duration, String> {
+    let secs: f64 = raw
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a number"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!(
+            "`{raw}` must be a positive finite number of seconds"
+        ));
+    }
+    Duration::try_from_secs_f64(secs).map_err(|e| format!("`{raw}`: {e}"))
+}
+
+/// Like [`positive_secs`] but allows `0` (conventionally "disabled").
+pub fn nonneg_secs(raw: &str) -> Result<Duration, String> {
+    let secs: f64 = raw
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a number"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "`{raw}` must be a non-negative finite number of seconds"
+        ));
+    }
+    Duration::try_from_secs_f64(secs).map_err(|e| format!("`{raw}`: {e}"))
+}
 
 /// Parsed `--key value` flags (and bare `--switch`es, stored as empty
 /// strings).
@@ -71,5 +101,53 @@ impl Flags {
             .get(key)
             .cloned()
             .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A required duration flag in fractional seconds, validated by
+    /// [`positive_secs`] (a `--secs nan` is a usage error, not a panic
+    /// further down the stack).
+    pub fn req_secs(&self, key: &str) -> Duration {
+        match self.values.get(key) {
+            Some(v) => match positive_secs(v) {
+                Ok(d) => d,
+                Err(e) => Self::die(self.usage, &format!("--{key}: {e}")),
+            },
+            None => Self::die(self.usage, &format!("--{key} is required")),
+        }
+    }
+
+    /// An optional duration flag in fractional seconds, validated by
+    /// [`nonneg_secs`]; zero conventionally means "disabled".
+    pub fn opt_secs(&self, key: &str, default: Duration) -> Duration {
+        match self.values.get(key) {
+            Some(v) => match nonneg_secs(v) {
+                Ok(d) => d,
+                Err(e) => Self::die(self.usage, &format!("--{key}: {e}")),
+            },
+            None => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_secs_accepts_fractions_and_rejects_panic_inputs() {
+        assert_eq!(positive_secs("0.005").unwrap(), Duration::from_millis(5));
+        assert_eq!(positive_secs("60").unwrap(), Duration::from_secs(60));
+        for bad in ["nan", "-1", "0", "-0.0", "inf", "-inf", "1e300", "week"] {
+            assert!(positive_secs(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn nonneg_secs_allows_zero_only() {
+        assert_eq!(nonneg_secs("0").unwrap(), Duration::ZERO);
+        assert_eq!(nonneg_secs("30").unwrap(), Duration::from_secs(30));
+        for bad in ["nan", "-1", "-0.5", "inf", "1e300", "soon"] {
+            assert!(nonneg_secs(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 }

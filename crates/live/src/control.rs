@@ -10,12 +10,13 @@
 //! failed report retrieval degrades to a partial result (the manifest
 //! alone still supports loss accounting for every probe that was sent).
 
+use crate::provider::{Clock, Provider, Socket};
 use badabing_metrics::Registry;
 use badabing_wire::control::{
     ControlMessage, RejectReason, ReportRecord, ReportSummary, SessionParams,
 };
 use std::io;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::SocketAddr;
 use std::time::Duration;
 
 /// Timeouts and retry policy for the sender's control plane.
@@ -25,6 +26,13 @@ pub struct ControlConfig {
     /// the receiver's own address — not an emulator in front of it —
     /// because replies flow back over the request's return path.
     pub addr: SocketAddr,
+    /// Which I/O backend the control socket binds through. `run_sender`
+    /// overwrites this with the sender's own provider so one run never
+    /// straddles two backends.
+    pub provider: Provider,
+    /// Local address for the control socket (`None`: an ephemeral port
+    /// on the unspecified address of `addr`'s family).
+    pub bind: Option<SocketAddr>,
     /// First retry delay; doubles per attempt.
     pub retry_base: Duration,
     /// Retry delay ceiling.
@@ -47,6 +55,8 @@ impl ControlConfig {
     pub fn new(addr: SocketAddr) -> Self {
         Self {
             addr,
+            provider: Provider::default(),
+            bind: None,
             retry_base: Duration::from_millis(25),
             retry_cap: Duration::from_millis(400),
             max_attempts: 12,
@@ -139,27 +149,32 @@ impl From<io::Error> for ControlError {
 
 /// A connected control-plane client socket.
 pub struct ControlClient {
-    socket: UdpSocket,
+    socket: Socket,
+    clock: Clock,
     cfg: ControlConfig,
     metrics: Option<std::sync::Arc<Registry>>,
 }
 
 impl ControlClient {
-    /// Bind an ephemeral socket and connect it to the receiver's control
-    /// address.
+    /// Bind an ephemeral socket on the configured provider and connect
+    /// it to the receiver's control address.
     pub fn connect(
         cfg: ControlConfig,
         metrics: Option<std::sync::Arc<Registry>>,
     ) -> io::Result<Self> {
-        let bind: SocketAddr = if cfg.addr.is_ipv4() {
-            "0.0.0.0:0".parse().expect("static addr")
-        } else {
-            "[::]:0".parse().expect("static addr")
-        };
-        let socket = UdpSocket::bind(bind)?;
+        let bind: SocketAddr = cfg.bind.unwrap_or_else(|| {
+            if cfg.addr.is_ipv4() {
+                "0.0.0.0:0".parse().expect("static addr")
+            } else {
+                "[::]:0".parse().expect("static addr")
+            }
+        });
+        let socket = cfg.provider.bind(bind)?;
         socket.connect(cfg.addr)?;
+        let clock = cfg.provider.clock();
         Ok(Self {
             socket,
+            clock,
             cfg,
             metrics,
         })
@@ -170,10 +185,25 @@ impl ControlClient {
         &self.cfg
     }
 
+    /// The clock the client's timeouts run on (the sender shares it for
+    /// its own pacing so one run never straddles two time sources).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn note(&self, counter: &str) {
+        if let Some(m) = &self.metrics {
+            m.counter(counter).inc();
+        }
+    }
+
     /// Send `request`, wait for the first reply `matches` accepts,
     /// retrying on the backoff schedule. Non-matching datagrams (stale
-    /// chunks, undecodable noise) are skipped without consuming the
-    /// attempt's remaining wait.
+    /// chunks, undecodable noise, traffic for another session) are
+    /// skipped without consuming the attempt's remaining wait, but they
+    /// are *counted* (`control_decode_errors`,
+    /// `control_foreign_session`) so a misconfigured peer shows up in
+    /// the metrics instead of presenting as a plain timeout.
     pub fn request<T>(
         &self,
         what: &'static str,
@@ -185,29 +215,27 @@ impl ControlClient {
         let mut backoff = Backoff::new(&self.cfg);
         for attempt in 0..self.cfg.max_attempts {
             if attempt > 0 {
-                if let Some(m) = &self.metrics {
-                    m.counter("control_retries").inc();
-                }
+                self.note("control_retries");
             }
             self.socket.send(&wire)?;
             let wait = backoff.next().expect("backoff is infinite");
-            let deadline = std::time::Instant::now() + wait;
+            let deadline = self.clock.now() + wait;
             loop {
-                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                let remaining = deadline.saturating_sub(self.clock.now());
                 if remaining.is_zero() {
                     break;
                 }
                 self.socket.set_read_timeout(Some(remaining))?;
                 match self.socket.recv(&mut buf) {
-                    Ok(len) => {
-                        if let Ok(msg) = ControlMessage::decode(&buf[..len]) {
-                            if msg.session() == request.session() {
-                                if let Some(out) = matches(msg) {
-                                    return Ok(out);
-                                }
+                    Ok(len) => match ControlMessage::decode(&buf[..len]) {
+                        Ok(msg) if msg.session() == request.session() => {
+                            if let Some(out) = matches(msg) {
+                                return Ok(out);
                             }
                         }
-                    }
+                        Ok(_) => self.note("control_foreign_session"),
+                        Err(_) => self.note("control_decode_errors"),
+                    },
                     Err(e)
                         if e.kind() == io::ErrorKind::WouldBlock
                             || e.kind() == io::ErrorKind::TimedOut =>
@@ -249,9 +277,9 @@ impl ControlClient {
         self.socket
             .send(&ControlMessage::Heartbeat { session, seq }.encode())?;
         let mut buf = [0u8; 256];
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = self.clock.now() + timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let remaining = deadline.saturating_sub(self.clock.now());
             if remaining.is_zero() {
                 return Ok(false);
             }
@@ -392,5 +420,60 @@ mod tests {
             "{err}"
         );
         assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn garbage_and_foreign_replies_are_counted_not_silent() {
+        // A confused peer answers every request with undecodable noise
+        // plus a well-formed reply for the wrong session. The request
+        // still times out, but the failure mode must be visible in the
+        // metrics rather than indistinguishable from a dead peer.
+        let peer = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer_addr = peer.local_addr().unwrap();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let fake = std::thread::spawn(move || {
+            peer.set_read_timeout(Some(Duration::from_millis(20)))
+                .unwrap();
+            let mut buf = [0u8; 2048];
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Ok((_, from)) = peer.recv_from(&mut buf) {
+                    let _ = peer.send_to(b"\xFFnot a control message", from);
+                    let wrong = ControlMessage::SynAck { session: 999 }.encode();
+                    let _ = peer.send_to(&wrong, from);
+                }
+            }
+        });
+
+        let mut c = ControlConfig::new(peer_addr);
+        c.retry_base = Duration::from_millis(30);
+        c.retry_cap = Duration::from_millis(30);
+        c.max_attempts = 2;
+        let metrics = std::sync::Arc::new(Registry::new("ctl"));
+        let client = ControlClient::connect(c, Some(metrics.clone())).unwrap();
+        let err = client
+            .handshake(
+                1,
+                SessionParams {
+                    n_slots: 10,
+                    slot_ns: 5_000_000,
+                    probe_packets: 3,
+                    packet_bytes: 600,
+                    p: 0.3,
+                    improved: false,
+                },
+            )
+            .unwrap_err();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        fake.join().unwrap();
+        assert!(matches!(err, ControlError::Unreachable { .. }), "{err}");
+        assert!(
+            metrics.counter("control_decode_errors").get() >= 1,
+            "undecodable replies must be counted"
+        );
+        assert!(
+            metrics.counter("control_foreign_session").get() >= 1,
+            "wrong-session replies must be counted"
+        );
     }
 }

@@ -1,0 +1,1007 @@
+//! An in-process, seeded virtual network with virtual time.
+//!
+//! `FaultNet` carries the *full* live datapath — control plane and probe
+//! trains — between in-process senders and receivers with **no real
+//! sockets and no real timers**. Datagrams traverse per-link fault
+//! models (Gilbert–Elliott loss bursts, reordering, duplication,
+//! latency jitter, MTU truncation), every random draw comes from a
+//! per-link RNG seeded from the net seed and the link endpoints, and
+//! time is a shared virtual clock that only advances when every
+//! participating thread is parked in a virtual wait. The same seed
+//! therefore reproduces the same run, byte for byte: bug reproduction
+//! becomes a one-seed unit test instead of "rerun loopback 100×".
+//!
+//! ## Virtual time
+//!
+//! Threads interact with the net through [`FaultSocket`]s and the
+//! virtual clock ([`crate::provider::Clock`]). A thread is *enrolled*
+//! the first time it touches the net and counts as **busy** until it
+//! parks in a virtual wait (a blocking receive, a timed sleep) or
+//! exits. When the busy count hits zero, the parked thread that
+//! notices advances the clock to the earliest pending event — the next
+//! in-flight datagram delivery or the next wait deadline — delivers
+//! what matured, and hands a wake *token* to each waiter whose
+//! condition is now satisfiable. Tokens pre-count the woken threads as
+//! busy, so a second advance cannot overshoot an event another thread
+//! has not yet observed. The result is a cooperative lockstep: thread
+//! switches happen only at virtual wait points, which is what makes
+//! the schedule — and therefore every timestamp and RNG draw —
+//! deterministic regardless of real scheduling.
+//!
+//! A thread that must block on something *outside* the net (joining
+//! another enrolled thread, most commonly) wraps the wait in
+//! [`FaultNet::unenrolled`] so the virtual world keeps moving
+//! underneath it.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed seed, topology, and fault configuration, and one drain
+//! thread per socket: send times, per-datagram delivery times, loss /
+//! duplication / reordering decisions, and therefore sender manifests
+//! and receiver report chunks are identical across runs — asserted
+//! byte-for-byte in `tests/faultnet.rs`. Control-plane *liveness*
+//! traffic (heartbeat counts, retry timing) may interleave
+//! differently between runs, but by construction it cannot perturb
+//! the probe link's RNG stream or the finalized report snapshot.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::time::Duration;
+
+/// Per-link fault configuration. The default link is clean: a small
+/// constant latency, no jitter, no loss, no reordering, no duplication,
+/// no MTU limit.
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    /// Base one-way latency.
+    pub latency: Duration,
+    /// Uniform extra delay in `[0, jitter)` per datagram.
+    pub jitter: Duration,
+    /// Loss probability while the Gilbert–Elliott chain is GOOD.
+    pub loss_good: f64,
+    /// Loss probability while the chain is BAD (bursty-loss episodes).
+    pub loss_bad: f64,
+    /// Per-datagram probability of entering the BAD state.
+    pub p_enter_bad: f64,
+    /// Per-datagram probability of leaving the BAD state.
+    pub p_exit_bad: f64,
+    /// Probability a datagram is duplicated (the copy takes an
+    /// independent jitter draw on top of `latency + reorder_extra`).
+    pub dup_prob: f64,
+    /// Probability a datagram is held back by `reorder_extra`, landing
+    /// after datagrams sent later.
+    pub reorder_prob: f64,
+    /// Extra delay applied to reordered datagrams.
+    pub reorder_extra: Duration,
+    /// Truncate datagrams to this many bytes (delivered marked
+    /// truncated, like a kernel `MSG_TRUNC`). `None` carries any size.
+    pub mtu: Option<usize>,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self {
+            latency: Duration::from_micros(100),
+            jitter: Duration::ZERO,
+            loss_good: 0.0,
+            loss_bad: 0.0,
+            p_enter_bad: 0.0,
+            p_exit_bad: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_extra: Duration::from_millis(2),
+            mtu: None,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// Uniform (state-independent) datagram loss.
+    pub fn uniform_loss(p: f64) -> Self {
+        Self {
+            loss_good: p,
+            loss_bad: p,
+            ..Self::default()
+        }
+    }
+
+    /// Bursty loss: a Gilbert–Elliott chain that is lossless in GOOD
+    /// and loses `loss_bad` of datagrams in BAD.
+    pub fn gilbert_elliott(p_enter_bad: f64, p_exit_bad: f64, loss_bad: f64) -> Self {
+        Self {
+            p_enter_bad,
+            p_exit_bad,
+            loss_bad,
+            ..Self::default()
+        }
+    }
+
+    /// Add reordering: with probability `prob` a datagram is delayed by
+    /// `extra` beyond the link latency.
+    pub fn with_reordering(mut self, prob: f64, extra: Duration) -> Self {
+        self.reorder_prob = prob;
+        self.reorder_extra = extra;
+        self
+    }
+
+    /// Add duplication with the given per-datagram probability.
+    pub fn with_duplication(mut self, prob: f64) -> Self {
+        self.dup_prob = prob;
+        self
+    }
+
+    /// Add uniform latency jitter in `[0, jitter)`.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Truncate datagrams larger than `bytes` (delivered marked
+    /// truncated).
+    pub fn with_mtu(mut self, bytes: usize) -> Self {
+        self.mtu = Some(bytes);
+        self
+    }
+}
+
+/// One datagram as delivered by the virtual network.
+#[derive(Debug, Clone)]
+pub struct FaultDatagram {
+    /// Payload (already truncated to the link MTU if one applied).
+    pub data: Vec<u8>,
+    /// Sender's bound address.
+    pub src: SocketAddr,
+    /// Virtual delivery time (since the net's epoch).
+    pub stamp: Duration,
+    /// Whether the link MTU cut the payload short.
+    pub truncated: bool,
+}
+
+/// An in-flight datagram, ordered by (delivery time, send sequence).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Flight {
+    due_ns: u64,
+    seq: u64,
+    dst: SocketAddr,
+    src: SocketAddr,
+    truncated: bool,
+    data: Vec<u8>,
+}
+
+struct SockState {
+    inbox: VecDeque<FaultDatagram>,
+    connected: Option<SocketAddr>,
+    read_timeout: Option<Duration>,
+}
+
+struct LinkState {
+    rng: StdRng,
+    bad: bool,
+    faults: LinkFaults,
+}
+
+struct Waiter {
+    /// Socket whose inbox satisfies this waiter (`None` for sleepers).
+    addr: Option<SocketAddr>,
+    deadline_ns: Option<u64>,
+    /// Wake token: this waiter's condition matured and it has already
+    /// been counted busy on its behalf.
+    ready: bool,
+}
+
+struct Core {
+    now_ns: u64,
+    seed: u64,
+    next_port: u16,
+    flight_seq: u64,
+    next_waiter: u64,
+    /// Enrolled threads currently runnable. Time advances only at zero.
+    busy: usize,
+    sockets: HashMap<SocketAddr, SockState>,
+    faults: HashMap<(SocketAddr, SocketAddr), LinkFaults>,
+    links: HashMap<(SocketAddr, SocketAddr), LinkState>,
+    inflight: BinaryHeap<Reverse<Flight>>,
+    waiters: HashMap<u64, Waiter>,
+}
+
+/// The seeded in-process virtual network. See the module docs.
+pub struct FaultNet {
+    id: u64,
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for FaultNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultNet#{}", self.id)
+    }
+}
+
+static NET_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// FNV-1a over the link endpoints, mixed with the net seed: every link
+/// gets an independent, reproducible RNG stream.
+fn link_seed(seed: u64, src: &SocketAddr, dst: &SocketAddr) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x1000_0000_01b3);
+    for b in format!("{src}->{dst}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+struct Enrollment {
+    net_id: u64,
+    net: Weak<FaultNet>,
+}
+
+/// A busy token reserved by [`FaultNet::reserve`] for a thread that has
+/// not started running yet. Move it into the spawned closure and claim
+/// it with [`FaultNet::adopt`].
+#[must_use = "move the ticket into the spawned thread and adopt it"]
+pub struct Ticket {
+    net_id: u64,
+    net: Weak<FaultNet>,
+    armed: bool,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Some(net) = self.net.upgrade() {
+                let mut core = net.lock();
+                core.busy -= 1;
+                drop(core);
+                net.cv.notify_all();
+            }
+        }
+    }
+}
+
+impl Drop for Enrollment {
+    fn drop(&mut self) {
+        if let Some(net) = self.net.upgrade() {
+            let mut core = net.lock();
+            core.busy -= 1;
+            drop(core);
+            net.cv.notify_all();
+        }
+    }
+}
+
+thread_local! {
+    static ENROLLMENTS: RefCell<Vec<Enrollment>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Real waits between progress checks while another thread is busy; a
+/// leaked busy count degrades to this polling granularity instead of a
+/// deadlock.
+const PARK: Duration = Duration::from_millis(5);
+/// Consecutive no-progress parks before declaring the net stalled
+/// (a loud failure beats a silent CI hang).
+const STALL_LIMIT: u32 = 4000; // ≈ 20 s
+
+impl FaultNet {
+    /// A fresh virtual network. All randomness derives from `seed`.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(Self {
+            id: NET_IDS.fetch_add(1, Ordering::Relaxed),
+            core: Mutex::new(Core {
+                now_ns: 0,
+                seed,
+                next_port: 40_000,
+                flight_seq: 0,
+                next_waiter: 0,
+                busy: 0,
+                sockets: HashMap::new(),
+                faults: HashMap::new(),
+                links: HashMap::new(),
+                inflight: BinaryHeap::new(),
+                waiters: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().expect("faultnet lock")
+    }
+
+    /// Count the calling thread as a busy participant (idempotent per
+    /// thread; undone automatically at thread exit).
+    fn enroll(self: &Arc<Self>) {
+        ENROLLMENTS.with(|e| {
+            let mut list = e.borrow_mut();
+            if !list.iter().any(|g| g.net_id == self.id) {
+                self.lock().busy += 1;
+                list.push(Enrollment {
+                    net_id: self.id,
+                    net: Arc::downgrade(self),
+                });
+            }
+        });
+    }
+
+    fn is_enrolled(&self) -> bool {
+        ENROLLMENTS.with(|e| e.borrow().iter().any(|g| g.net_id == self.id))
+    }
+
+    /// Run `f` with this thread's busy token released, so the virtual
+    /// world keeps moving while `f` blocks on something outside the net
+    /// (typically joining another enrolled thread).
+    pub fn unenrolled<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !self.is_enrolled() {
+            return f();
+        }
+        {
+            let mut core = self.lock();
+            core.busy -= 1;
+        }
+        self.cv.notify_all();
+        let out = f();
+        self.lock().busy += 1;
+        out
+    }
+
+    /// Wake every parked waiter to re-check its exit condition (used
+    /// after flipping an abort/done flag another thread sleeps on).
+    ///
+    /// Each waiter is *granted a busy token* with the wake: flag-based
+    /// exit conditions live outside the engine, so without the token
+    /// the net could observe `busy == 0` and advance virtual time in
+    /// the real-time gap before a woken thread reschedules. Waiters
+    /// whose condition turns out unmet return the token before
+    /// re-parking (the stale-token path in `block_on`).
+    pub fn notify_waiters(&self) {
+        {
+            let mut core = self.lock();
+            let mut granted = 0usize;
+            for w in core.waiters.values_mut() {
+                if !w.ready {
+                    w.ready = true;
+                    granted += 1;
+                }
+            }
+            core.busy += granted;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Reserve a busy token on behalf of a thread that is about to be
+    /// spawned. Virtual time cannot advance past the reservation, so
+    /// the child can never miss events (or let peers burn timeouts)
+    /// while the OS is still scheduling it. The child claims the token
+    /// with [`FaultNet::adopt`]; dropping an unclaimed ticket returns
+    /// it.
+    pub fn reserve(self: &Arc<Self>) -> Ticket {
+        self.lock().busy += 1;
+        Ticket {
+            net_id: self.id,
+            net: Arc::downgrade(self),
+            armed: true,
+        }
+    }
+
+    /// Claim a reservation made by the spawning thread: the caller
+    /// becomes an enrolled participant without double-counting. Must be
+    /// the first thing the spawned thread does.
+    pub fn adopt(self: &Arc<Self>, mut ticket: Ticket) {
+        assert_eq!(ticket.net_id, self.id, "ticket belongs to another net");
+        ticket.armed = false;
+        ENROLLMENTS.with(|e| {
+            let mut list = e.borrow_mut();
+            if list.iter().any(|g| g.net_id == self.id) {
+                // Already enrolled: hand the reserved token back.
+                let mut core = self.lock();
+                core.busy -= 1;
+                drop(core);
+                self.cv.notify_all();
+            } else {
+                list.push(Enrollment {
+                    net_id: self.id,
+                    net: Arc::downgrade(self),
+                });
+            }
+        });
+    }
+
+    /// Current virtual time since the net's epoch.
+    pub fn now(self: &Arc<Self>) -> Duration {
+        self.enroll();
+        Duration::from_nanos(self.lock().now_ns)
+    }
+
+    /// Configure the fault model of the directed link `src → dst`.
+    /// Resets the link's RNG and Gilbert–Elliott state; call before
+    /// traffic flows for reproducible runs.
+    pub fn set_faults(self: &Arc<Self>, src: SocketAddr, dst: SocketAddr, faults: LinkFaults) {
+        self.enroll();
+        let mut core = self.lock();
+        core.links.remove(&(src, dst));
+        core.faults.insert((src, dst), faults);
+    }
+
+    /// Bind a virtual socket. Port 0 gets a sequentially assigned port,
+    /// so binds are reproducible; rebinding a taken address fails with
+    /// `AddrInUse` like the real stack.
+    pub fn bind(self: &Arc<Self>, addr: SocketAddr) -> io::Result<FaultSocket> {
+        self.enroll();
+        let mut core = self.lock();
+        let mut addr = addr;
+        if addr.port() == 0 {
+            loop {
+                let port = core.next_port;
+                core.next_port = core.next_port.wrapping_add(1).max(40_000);
+                addr.set_port(port);
+                if !core.sockets.contains_key(&addr) {
+                    break;
+                }
+            }
+        } else if core.sockets.contains_key(&addr) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("virtual address {addr} already bound"),
+            ));
+        }
+        core.sockets.insert(
+            addr,
+            SockState {
+                inbox: VecDeque::new(),
+                connected: None,
+                read_timeout: None,
+            },
+        );
+        Ok(FaultSocket {
+            net: self.clone(),
+            addr,
+        })
+    }
+
+    /// Deliver every in-flight datagram that has matured. Flights to
+    /// unbound addresses (or filtered by the destination's connected
+    /// peer) are dropped silently, like unheard UDP.
+    fn deliver_due(core: &mut Core) -> bool {
+        let mut any = false;
+        while core
+            .inflight
+            .peek()
+            .is_some_and(|Reverse(f)| f.due_ns <= core.now_ns)
+        {
+            let Reverse(f) = core.inflight.pop().expect("peeked");
+            any = true;
+            if let Some(sock) = core.sockets.get_mut(&f.dst) {
+                if sock.connected.is_none_or(|peer| peer == f.src) {
+                    sock.inbox.push_back(FaultDatagram {
+                        data: f.data,
+                        src: f.src,
+                        stamp: Duration::from_nanos(f.due_ns),
+                        truncated: f.truncated,
+                    });
+                }
+            }
+        }
+        any
+    }
+
+    /// Hand a wake token (and a busy count) to every waiter whose
+    /// condition is now satisfiable.
+    fn grant_tokens(core: &mut Core) -> bool {
+        let mut granted = false;
+        let now = core.now_ns;
+        // Collect first: granting mutates waiters while conditions read
+        // sockets.
+        let ids: Vec<u64> = core
+            .waiters
+            .iter()
+            .filter(|(_, w)| {
+                !w.ready
+                    && (w.deadline_ns.is_some_and(|d| now >= d)
+                        || w.addr.is_some_and(|a| {
+                            core.sockets.get(&a).is_some_and(|s| !s.inbox.is_empty())
+                        }))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            core.waiters.get_mut(&id).expect("waiter present").ready = true;
+            core.busy += 1;
+            granted = true;
+        }
+        granted
+    }
+
+    /// One scheduler step, run by a parked thread that observed
+    /// `busy == 0`: deliver/grant at the current time, else advance the
+    /// clock to the earliest pending event and deliver/grant there.
+    /// Returns whether anything happened.
+    fn step(&self, core: &mut Core) -> bool {
+        let mut progressed = Self::deliver_due(core);
+        progressed |= Self::grant_tokens(core);
+        if progressed {
+            self.cv.notify_all();
+            return true;
+        }
+        let next_flight = core.inflight.peek().map(|Reverse(f)| f.due_ns);
+        let next_deadline = core
+            .waiters
+            .values()
+            .filter(|w| !w.ready)
+            .filter_map(|w| w.deadline_ns)
+            .min();
+        let next = match (next_flight, next_deadline) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return false,
+        };
+        if next > core.now_ns {
+            core.now_ns = next;
+        }
+        let mut progressed = Self::deliver_due(core);
+        progressed |= Self::grant_tokens(core);
+        if progressed {
+            self.cv.notify_all();
+        }
+        progressed
+    }
+
+    /// Park the calling thread until `check` yields a value or the
+    /// deadline matures (`None`). The busy token is released for the
+    /// duration; see the module docs for the token protocol.
+    fn block_on<T>(
+        &self,
+        addr: Option<SocketAddr>,
+        deadline_ns: Option<u64>,
+        mut check: impl FnMut(&mut Core) -> Option<T>,
+    ) -> Option<T> {
+        let mut core = self.lock();
+        core.busy -= 1;
+        let id = core.next_waiter;
+        core.next_waiter += 1;
+        core.waiters.insert(
+            id,
+            Waiter {
+                addr,
+                deadline_ns,
+                ready: false,
+            },
+        );
+        self.cv.notify_all();
+        let mut stall = 0u32;
+        let out = loop {
+            if let Some(v) = check(&mut core) {
+                break Some(v);
+            }
+            if deadline_ns.is_some_and(|d| core.now_ns >= d) {
+                break None;
+            }
+            // A token whose condition evaporated (another thread
+            // consumed the datagram first) is returned before parking.
+            let w = core.waiters.get_mut(&id).expect("own waiter");
+            if w.ready {
+                w.ready = false;
+                core.busy -= 1;
+                self.cv.notify_all();
+            }
+            if core.busy == 0 && self.step(&mut core) {
+                stall = 0;
+                continue;
+            }
+            let (c, timeout) = self
+                .cv
+                .wait_timeout(core, PARK)
+                .expect("faultnet lock poisoned");
+            core = c;
+            if timeout.timed_out() {
+                stall += 1;
+                assert!(
+                    stall <= STALL_LIMIT,
+                    "FaultNet stalled: {} busy, {} waiters, {} in flight at t={}ns",
+                    core.busy,
+                    core.waiters.len(),
+                    core.inflight.len(),
+                    core.now_ns
+                );
+            } else {
+                stall = 0;
+            }
+        };
+        let w = core.waiters.remove(&id).expect("own waiter");
+        if !w.ready {
+            core.busy += 1;
+        }
+        out
+    }
+
+    /// Sleep until the virtual `due`, waking early if `abort` flips.
+    /// Returns `false` on abort, like the sender's real-clock wait.
+    pub fn sleep_until(self: &Arc<Self>, due: Duration, abort: &AtomicBool) -> bool {
+        self.enroll();
+        if abort.load(Ordering::Relaxed) {
+            return false;
+        }
+        let due_ns = due.as_nanos() as u64;
+        match self.block_on(None, Some(due_ns), |_| {
+            abort.load(Ordering::Relaxed).then_some(())
+        }) {
+            Some(()) => false,
+            None => true,
+        }
+    }
+
+    fn send_from(self: &Arc<Self>, src: SocketAddr, dst: SocketAddr, buf: &[u8]) -> usize {
+        self.enroll();
+        let mut core = self.lock();
+        let key = (src, dst);
+        if !core.links.contains_key(&key) {
+            let faults = core.faults.get(&key).cloned().unwrap_or_default();
+            let rng = StdRng::seed_from_u64(link_seed(core.seed, &src, &dst));
+            core.links.insert(
+                key,
+                LinkState {
+                    rng,
+                    bad: false,
+                    faults,
+                },
+            );
+        }
+        let now_ns = core.now_ns;
+        let link = core.links.get_mut(&key).expect("just ensured");
+        // Draw order per datagram is fixed (state transition, loss,
+        // jitter, reorder, duplication) so a seed pins the whole fault
+        // sequence of a link.
+        let f = link.faults.clone();
+        if link.bad {
+            if f.p_exit_bad > 0.0 && link.rng.random_bool(f.p_exit_bad) {
+                link.bad = false;
+            }
+        } else if f.p_enter_bad > 0.0 && link.rng.random_bool(f.p_enter_bad) {
+            link.bad = true;
+        }
+        let p_loss = if link.bad { f.loss_bad } else { f.loss_good };
+        if p_loss > 0.0 && link.rng.random_bool(p_loss.min(1.0)) {
+            return buf.len(); // lost on the wire; the sender saw a clean send
+        }
+        let mut delay = f.latency;
+        if !f.jitter.is_zero() {
+            delay += Duration::from_nanos(link.rng.random_range(0..f.jitter.as_nanos() as u64));
+        }
+        if f.reorder_prob > 0.0 && link.rng.random_bool(f.reorder_prob) {
+            delay += f.reorder_extra;
+        }
+        let duplicated = f.dup_prob > 0.0 && link.rng.random_bool(f.dup_prob);
+        let (data, truncated) = match f.mtu {
+            Some(mtu) if buf.len() > mtu => (buf[..mtu].to_vec(), true),
+            _ => (buf.to_vec(), false),
+        };
+        let push = |core: &mut Core, extra: Duration| {
+            let flight = Flight {
+                due_ns: now_ns + (delay + extra).as_nanos() as u64,
+                seq: core.flight_seq,
+                dst,
+                src,
+                truncated,
+                data: data.clone(),
+            };
+            core.flight_seq += 1;
+            core.inflight.push(Reverse(flight));
+        };
+        push(&mut core, Duration::ZERO);
+        if duplicated {
+            // The copy trails by the reorder delay so it lands as a
+            // genuinely separate arrival.
+            push(&mut core, f.reorder_extra);
+        }
+        buf.len()
+    }
+
+    fn recv_on(self: &Arc<Self>, addr: SocketAddr) -> io::Result<FaultDatagram> {
+        self.enroll();
+        let deadline_ns = {
+            let core = self.lock();
+            let sock = core.sockets.get(&addr).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotConnected, "virtual socket closed")
+            })?;
+            sock.read_timeout.map(|t| core.now_ns + t.as_nanos() as u64)
+        };
+        self.block_on(Some(addr), deadline_ns, |core| {
+            core.sockets
+                .get_mut(&addr)
+                .and_then(|s| s.inbox.pop_front())
+        })
+        .ok_or_else(|| io::Error::new(io::ErrorKind::WouldBlock, "virtual read timed out"))
+    }
+
+    fn try_recv_on(self: &Arc<Self>, addr: SocketAddr) -> Option<FaultDatagram> {
+        self.enroll();
+        let mut core = self.lock();
+        // Pick up anything already matured without waiting.
+        Self::deliver_due(&mut core);
+        core.sockets
+            .get_mut(&addr)
+            .and_then(|s| s.inbox.pop_front())
+    }
+}
+
+/// A bound endpoint on a [`FaultNet`]. API mirrors the blocking subset
+/// of `std::net::UdpSocket` that the live tool uses.
+pub struct FaultSocket {
+    net: Arc<FaultNet>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for FaultSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultSocket({} on {:?})", self.addr, self.net)
+    }
+}
+
+impl FaultSocket {
+    /// The bound virtual address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The owning virtual network.
+    pub fn net(&self) -> &Arc<FaultNet> {
+        &self.net
+    }
+
+    /// Set the default peer; received datagrams from other sources are
+    /// dropped at delivery, like a connected UDP socket.
+    pub fn connect(&self, peer: SocketAddr) -> io::Result<()> {
+        let mut core = self.net.lock();
+        if let Some(s) = core.sockets.get_mut(&self.addr) {
+            s.connected = Some(peer);
+        }
+        Ok(())
+    }
+
+    /// Read timeout for [`FaultSocket::recv_msg`] (virtual time).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        let mut core = self.net.lock();
+        if let Some(s) = core.sockets.get_mut(&self.addr) {
+            s.read_timeout = timeout;
+        }
+        Ok(())
+    }
+
+    /// Send to the connected peer.
+    pub fn send(&self, buf: &[u8]) -> io::Result<usize> {
+        let peer = {
+            let core = self.net.lock();
+            core.sockets.get(&self.addr).and_then(|s| s.connected)
+        };
+        let peer = peer.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "virtual socket not connected")
+        })?;
+        Ok(self.net.send_from(self.addr, peer, buf))
+    }
+
+    /// Send to an explicit destination. Always succeeds: the virtual
+    /// wire accepts everything, and an unbound destination just never
+    /// hears it (no ICMP refusals in this world).
+    pub fn send_to(&self, buf: &[u8], dst: SocketAddr) -> io::Result<usize> {
+        Ok(self.net.send_from(self.addr, dst, buf))
+    }
+
+    /// Blocking receive of one datagram with its delivery stamp,
+    /// honouring the read timeout in virtual time (`WouldBlock` on
+    /// expiry, like a real socket).
+    pub fn recv_msg(&self) -> io::Result<FaultDatagram> {
+        self.net.recv_on(self.addr)
+    }
+
+    /// Non-blocking drain of one already-delivered datagram.
+    pub fn try_recv_msg(&self) -> Option<FaultDatagram> {
+        self.net.try_recv_on(self.addr)
+    }
+}
+
+impl Drop for FaultSocket {
+    fn drop(&mut self) {
+        let mut core = self.net.lock();
+        core.sockets.remove(&self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn clean_link_delivers_in_order_with_latency_stamps() {
+        let net = FaultNet::new(7);
+        let a = net.bind(addr("10.0.0.1:100")).unwrap();
+        let b = net.bind(addr("10.0.0.2:200")).unwrap();
+        b.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        for i in 0u8..4 {
+            a.send_to(&[i; 8], b.local_addr()).unwrap();
+        }
+        for i in 0u8..4 {
+            let m = b.recv_msg().unwrap();
+            assert_eq!(m.data, vec![i; 8], "in-order delivery");
+            assert_eq!(m.src, a.local_addr());
+            assert_eq!(m.stamp, Duration::from_micros(100), "default latency");
+            assert!(!m.truncated);
+        }
+        // Drained: the read timeout matures in virtual time instantly.
+        let err = b.recv_msg().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(net.now(), Duration::from_micros(100 + 50_000));
+    }
+
+    #[test]
+    fn same_seed_same_faults_reproduce_identical_delivery() {
+        let run = |seed: u64| -> Vec<(Vec<u8>, u128)> {
+            let net = FaultNet::new(seed);
+            let a = net.bind(addr("10.0.0.1:100")).unwrap();
+            let b = net.bind(addr("10.0.0.2:200")).unwrap();
+            net.set_faults(
+                a.local_addr(),
+                b.local_addr(),
+                LinkFaults::uniform_loss(0.3)
+                    .with_reordering(0.2, Duration::from_millis(3))
+                    .with_duplication(0.1)
+                    .with_jitter(Duration::from_micros(500)),
+            );
+            b.set_read_timeout(Some(Duration::from_millis(1))).unwrap();
+            for i in 0u8..100 {
+                a.send_to(&[i; 16], b.local_addr()).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(m) = b.recv_msg() {
+                got.push((m.data, m.stamp.as_nanos()));
+            }
+            got
+        };
+        let one = run(42);
+        let two = run(42);
+        assert_eq!(one, two, "same seed must reproduce byte-identically");
+        assert!(
+            one.len() > 50 && one.len() < 100,
+            "loss visible: {}",
+            one.len()
+        );
+        let other = run(43);
+        assert_ne!(one, other, "different seed must differ");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_come_in_bursts() {
+        let net = FaultNet::new(9);
+        let a = net.bind(addr("10.0.0.1:1")).unwrap();
+        let b = net.bind(addr("10.0.0.2:2")).unwrap();
+        net.set_faults(
+            a.local_addr(),
+            b.local_addr(),
+            LinkFaults::gilbert_elliott(0.02, 0.25, 1.0),
+        );
+        b.set_read_timeout(Some(Duration::from_millis(1))).unwrap();
+        let n = 2000u16;
+        for i in 0..n {
+            a.send_to(&i.to_be_bytes(), b.local_addr()).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(m) = b.recv_msg() {
+            got.push(u16::from_be_bytes([m.data[0], m.data[1]]));
+        }
+        let lost = usize::from(n) - got.len();
+        assert!(lost > 50, "expected bursty loss, lost only {lost}");
+        // Burstiness: count loss runs; with p_exit 0.25 the mean burst
+        // is 4, so far fewer runs than losses.
+        let mut runs = 0;
+        let mut prev_present = true;
+        let present: std::collections::HashSet<u16> = got.into_iter().collect();
+        for i in 0..n {
+            let here = present.contains(&i);
+            if !here && prev_present {
+                runs += 1;
+            }
+            prev_present = here;
+        }
+        assert!(
+            runs * 2 < lost,
+            "losses not bursty: {lost} losses in {runs} runs"
+        );
+    }
+
+    #[test]
+    fn mtu_truncates_and_marks() {
+        let net = FaultNet::new(1);
+        let a = net.bind(addr("10.0.0.1:1")).unwrap();
+        let b = net.bind(addr("10.0.0.2:2")).unwrap();
+        net.set_faults(
+            a.local_addr(),
+            b.local_addr(),
+            LinkFaults::default().with_mtu(10),
+        );
+        b.set_read_timeout(Some(Duration::from_millis(1))).unwrap();
+        a.send_to(&[1u8; 100], b.local_addr()).unwrap();
+        a.send_to(&[2u8; 8], b.local_addr()).unwrap();
+        let m = b.recv_msg().unwrap();
+        assert!(m.truncated);
+        assert_eq!(m.data.len(), 10);
+        let m = b.recv_msg().unwrap();
+        assert!(!m.truncated);
+        assert_eq!(m.data.len(), 8);
+    }
+
+    #[test]
+    fn connected_socket_filters_foreign_sources() {
+        let net = FaultNet::new(1);
+        let a = net.bind(addr("10.0.0.1:1")).unwrap();
+        let stranger = net.bind(addr("10.0.0.3:3")).unwrap();
+        let b = net.bind(addr("10.0.0.2:2")).unwrap();
+        b.connect(a.local_addr()).unwrap();
+        b.set_read_timeout(Some(Duration::from_millis(1))).unwrap();
+        stranger.send_to(b"intruder", b.local_addr()).unwrap();
+        a.send_to(b"friend", b.local_addr()).unwrap();
+        let m = b.recv_msg().unwrap();
+        assert_eq!(m.data, b"friend");
+        assert!(b.recv_msg().is_err(), "foreign datagram must be dropped");
+    }
+
+    #[test]
+    fn sleep_until_advances_virtual_time_exactly() {
+        let net = FaultNet::new(1);
+        let never = AtomicBool::new(false);
+        assert!(net.sleep_until(Duration::from_millis(250), &never));
+        assert_eq!(net.now(), Duration::from_millis(250));
+        // A second sleeper with an earlier deadline does not rewind.
+        assert!(net.sleep_until(Duration::from_millis(100), &never));
+        assert_eq!(net.now(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn two_threads_lockstep_through_virtual_time() {
+        let net = FaultNet::new(5);
+        let a = net.bind(addr("10.0.0.1:1")).unwrap();
+        let b = net.bind(addr("10.0.0.2:2")).unwrap();
+        b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        b.connect(a.local_addr()).unwrap();
+        a.connect(b.local_addr()).unwrap();
+        a.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let net2 = net.clone();
+        let echo = std::thread::spawn(move || {
+            // Echo three datagrams back with their stamps.
+            let mut stamps = Vec::new();
+            for _ in 0..3 {
+                let m = b.recv_msg().unwrap();
+                stamps.push(m.stamp);
+                b.send(&m.data).unwrap();
+            }
+            drop(b);
+            let _ = net2;
+            stamps
+        });
+        let never = AtomicBool::new(false);
+        let mut echoes = Vec::new();
+        for i in 0u8..3 {
+            // Pace sends 10 ms apart in virtual time.
+            net.sleep_until(Duration::from_millis(10 * (u64::from(i) + 1)), &never);
+            a.send(&[i; 4]).unwrap();
+            let m = a.recv_msg().unwrap();
+            echoes.push((m.data[0], m.stamp));
+        }
+        let stamps = net.unenrolled(|| echo.join()).unwrap();
+        for (i, (byte, stamp)) in echoes.iter().enumerate() {
+            assert_eq!(usize::from(*byte), i);
+            // send at 10(i+1) ms, +100 µs to B, +100 µs back.
+            let sent = Duration::from_millis(10 * (i as u64 + 1));
+            assert_eq!(stamps[i], sent + Duration::from_micros(100));
+            assert_eq!(*stamp, sent + Duration::from_micros(200));
+        }
+    }
+}

@@ -25,6 +25,11 @@
 //!   (SYN/SYN-ACK handshake, heartbeats, FIN + chunked report retrieval
 //!   with capped exponential backoff; wire format in
 //!   `badabing_wire::control`);
+//! * [`provider`] — the I/O seam all of the above bind sockets through:
+//!   real UDP (batched or portable syscalls) or the [`faultnet`] — a
+//!   seeded in-process virtual network with virtual time and per-link
+//!   loss bursts / reordering / duplication / jitter / MTU truncation,
+//!   which makes fault reproduction a one-seed unit test;
 //! * [`emulator`] — a user-space bottleneck: a UDP forwarder with a
 //!   virtual drop-tail queue drained at a configured rate, plus scripted
 //!   overload episodes — the loopback stand-in for the testbed's OC3 hop;
@@ -41,7 +46,9 @@ pub mod batch_io;
 pub mod cli;
 pub mod control;
 pub mod emulator;
+pub mod faultnet;
 pub mod persist;
+pub mod provider;
 pub mod receiver;
 pub mod sender;
 pub mod skew;
@@ -50,6 +57,8 @@ pub use analyze::{analyze_run, LiveAnalysis};
 pub use batch_io::{BatchReceiver, BatchSender, IoMode};
 pub use control::{ControlClient, ControlConfig, ControlError};
 pub use emulator::{Emulator, EmulatorConfig, EmulatorStats, SessionFlow};
+pub use faultnet::{FaultDatagram, FaultNet, FaultSocket, LinkFaults};
+pub use provider::{Clock, Provider, RecvBatch, SendBatch, Socket};
 pub use receiver::{
     start_receiver, start_server, ReceiverConfig, ReceiverHandle, ReceiverLog, ServerConfig,
     ServerHandle, ServerReport, SessionEnd, SessionOutcome, SessionPolicy,

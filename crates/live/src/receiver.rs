@@ -47,7 +47,8 @@
 //! run per session at that session's finalization, so concurrent
 //! sessions never contaminate each other's clock model or records.
 
-use crate::batch_io::{BatchReceiver, IoMode, DEFAULT_RECV_BATCH};
+use crate::batch_io::DEFAULT_RECV_BATCH;
+use crate::provider::{Clock, Provider, RecvBatch, Socket};
 use badabing_metrics::{Counter, Registry};
 use badabing_wire::control::{
     chunk_count, encode_report_chunk_into, ControlMessage, RejectReason, ReportRecord,
@@ -55,10 +56,10 @@ use badabing_wire::control::{
 };
 use badabing_wire::ProbeHeader;
 use std::collections::{HashMap, HashSet};
-use std::net::{SocketAddr, UdpSocket};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Single-session receiver configuration (the original tool shape).
 #[derive(Debug, Clone)]
@@ -75,11 +76,13 @@ pub struct ReceiverConfig {
     pub serve_control: bool,
     /// Run counters and delay histograms, if observability is wanted.
     pub metrics: Option<Arc<Registry>>,
+    /// Which I/O backend to bind through (real UDP by default).
+    pub provider: Provider,
 }
 
 impl ReceiverConfig {
     /// A receiver on `bind` for `session`: control plane on, no
-    /// watchdog, no metrics.
+    /// watchdog, no metrics, real UDP.
     pub fn new(bind: SocketAddr, session: u32) -> Self {
         Self {
             bind,
@@ -87,6 +90,7 @@ impl ReceiverConfig {
             idle_timeout: None,
             serve_control: true,
             metrics: None,
+            provider: Provider::default(),
         }
     }
 }
@@ -130,10 +134,12 @@ pub struct ServerConfig {
     /// Per-session instruments are published under a `session_<id>_`
     /// prefix alongside the server-wide ones.
     pub metrics: Option<Arc<Registry>>,
-    /// Datapath implementation: batched syscalls where available
-    /// ([`IoMode::Auto`], the default), or forced either way — the
-    /// differential tests pin both and hold them to identical reports.
-    pub io: IoMode,
+    /// The I/O backend everything binds through: real UDP with batched
+    /// syscalls where available (the default), real UDP with the
+    /// portable path forced ([`Provider::udp`]), or a seeded in-process
+    /// [`crate::faultnet::FaultNet`] — the differential tests pin the
+    /// real backends and hold them to identical reports.
+    pub provider: Provider,
     /// Threads draining the shared socket (≥ 1). Every thread runs the
     /// full loop (probe fast path + control slow path); the sharded
     /// session registry keeps concurrent sessions from serializing on
@@ -162,7 +168,7 @@ impl ServerConfig {
             idle_timeout: None,
             serve_control: true,
             metrics: None,
-            io: IoMode::Auto,
+            provider: Provider::default(),
             recv_threads: 1,
             shards: DEFAULT_SHARDS,
         }
@@ -312,6 +318,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     joined: std::thread::JoinHandle<ServerReport>,
     local_addr: SocketAddr,
+    clock: Clock,
 }
 
 impl ServerHandle {
@@ -330,14 +337,23 @@ impl ServerHandle {
     /// Stop the server and collect its report.
     pub fn stop(self) -> ServerReport {
         self.stop.store(true, Ordering::Relaxed);
-        self.joined.join().expect("receiver thread panicked")
+        self.clock.notify_waiters();
+        // Join outside the virtual busy count, or a fault-backed serve
+        // thread could never be scheduled to observe the stop flag.
+        let joined = self.joined;
+        self.clock
+            .unenrolled(|| joined.join())
+            .expect("receiver thread panicked")
     }
 
     /// Wait for the serve loop to exit on its own and collect the
     /// report. Blocks indefinitely for an any-policy server that is
     /// never stopped.
     pub fn join(self) -> ServerReport {
-        self.joined.join().expect("receiver thread panicked")
+        let joined = self.joined;
+        self.clock
+            .unenrolled(|| joined.join())
+            .expect("receiver thread panicked")
     }
 }
 
@@ -421,14 +437,16 @@ struct SessionState {
     duplicates: u64,
     min_raw: Option<i64>,
     handshake: Option<SessionParams>,
-    last_activity: Instant,
+    /// Clock time (absolute, since the provider clock's epoch) of the
+    /// last datagram for this session — the idle watchdog's input.
+    last_activity: Duration,
     finalized: Option<Finalized>,
     m_packets: Option<Arc<Counter>>,
     m_duplicates: Option<Arc<Counter>>,
 }
 
 impl SessionState {
-    fn new(session: u32, metrics: Option<&Registry>) -> Self {
+    fn new(session: u32, metrics: Option<&Registry>, now: Duration) -> Self {
         let scope = metrics.map(|m| m.scope(format!("session_{session}")));
         Self {
             raw_delays: Vec::new(),
@@ -438,7 +456,7 @@ impl SessionState {
             duplicates: 0,
             min_raw: None,
             handshake: None,
-            last_activity: Instant::now(),
+            last_activity: now,
             finalized: None,
             m_packets: scope.as_ref().map(|s| s.counter("packets_accepted")),
             m_duplicates: scope.as_ref().map(|s| s.counter("duplicates")),
@@ -542,7 +560,7 @@ pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
         idle_timeout: cfg.idle_timeout,
         serve_control: cfg.serve_control,
         metrics: cfg.metrics,
-        io: IoMode::Auto,
+        provider: cfg.provider,
         recv_threads: 1,
         shards: 1,
     })?;
@@ -553,25 +571,35 @@ pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
 /// configured policy until stopped (or, under
 /// [`SessionPolicy::Single`], until that session ends).
 pub fn start_server(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
-    let socket = UdpSocket::bind(cfg.bind)?;
+    let socket = cfg.provider.bind(cfg.bind)?;
     let local_addr = socket.local_addr()?;
     socket.set_read_timeout(Some(POLL_INTERVAL))?;
     // Best effort: at probe rates worth batching for, the default kernel
     // rcvbuf overflows between scheduler quanta.
-    crate::batch_io::set_buffer_sizes(&socket, 1 << 22, 1 << 22);
+    socket.set_buffer_sizes(1 << 22, 1 << 22);
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
-    let anchor = Instant::now();
+    let clock = cfg.provider.clock();
+    let serve_clock = clock.clone();
+    let t0 = clock.now();
 
+    // Pre-register the serve thread so a virtual net cannot advance
+    // time (and let the sender's handshake retries expire) before the
+    // OS has even scheduled it.
+    let enlistment = clock.enlist();
     let joined = std::thread::Builder::new()
         .name("badabing-recv".into())
-        .spawn(move || serve_loop(&socket, &cfg, anchor, &stop_flag))
+        .spawn(move || {
+            serve_clock.adopt(enlistment);
+            serve_loop(&socket, &cfg, &serve_clock, t0, &stop_flag)
+        })
         .expect("spawn receiver thread");
 
     Ok(ServerHandle {
         stop,
         joined,
         local_addr,
+        clock,
     })
 }
 
@@ -601,6 +629,7 @@ struct ServeCounters {
     idle_reaped: Option<Arc<Counter>>,
     syn_rejected: Option<Arc<Counter>>,
     stale: Option<Arc<Counter>>,
+    truncated: Option<Arc<Counter>>,
     recv_syscalls: Option<Arc<Counter>>,
     recv_datagrams: Option<Arc<Counter>>,
 }
@@ -617,6 +646,7 @@ impl ServeCounters {
             idle_reaped: metrics.map(|m| m.counter("sessions_idle_reaped")),
             syn_rejected: metrics.map(|m| m.counter("syns_rejected")),
             stale: metrics.map(|m| m.counter("control_stale")),
+            truncated: metrics.map(|m| m.counter("packets_truncated")),
             recv_syscalls: metrics.map(|m| m.counter("recv_syscalls")),
             recv_datagrams: metrics.map(|m| m.counter("recv_datagrams")),
         }
@@ -630,8 +660,11 @@ impl ServeCounters {
 /// batch.
 struct Shared<'a> {
     cfg: &'a ServerConfig,
-    socket: &'a UdpSocket,
-    anchor: Instant,
+    socket: &'a Socket,
+    clock: &'a Clock,
+    /// Clock reading at serve start; per-packet delay stamps are taken
+    /// relative to it so the time base matches the old `Instant` anchor.
+    t0: Duration,
     single_id: Option<u32>,
     shards: Vec<Mutex<HashMap<u32, SessionState>>>,
     /// Open sessions across all shards (registry admission cap).
@@ -689,9 +722,10 @@ impl Shared<'_> {
 }
 
 fn serve_loop(
-    socket: &UdpSocket,
+    socket: &Socket,
     cfg: &ServerConfig,
-    anchor: Instant,
+    clock: &Clock,
+    t0: Duration,
     stop: &AtomicBool,
 ) -> ServerReport {
     let single_id = match cfg.policy {
@@ -701,7 +735,8 @@ fn serve_loop(
     let shared = Shared {
         cfg,
         socket,
-        anchor,
+        clock,
+        t0,
         single_id,
         shards: (0..cfg.shards.max(1))
             .map(|_| Mutex::new(HashMap::new()))
@@ -759,7 +794,7 @@ fn serve_loop(
 /// encoding goes through a reused stack buffer — the steady-state probe
 /// path allocates nothing per datagram.
 fn drain_loop(shared: &Shared<'_>, run_watchdog: bool) {
-    let mut ring = BatchReceiver::new(DEFAULT_RECV_BATCH, shared.cfg.io);
+    let mut ring = RecvBatch::new(DEFAULT_RECV_BATCH, &shared.cfg.provider);
     let mut scratch = [0u8; MAX_CONTROL_BYTES];
     while !shared.stop.load(Ordering::Relaxed) && !shared.done.load(Ordering::Relaxed) {
         if run_watchdog {
@@ -789,12 +824,13 @@ fn drain_loop(shared: &Shared<'_>, run_watchdog: bool) {
             }
         };
         // One receive timestamp per batch: every datagram a single
-        // recvmmsg return delivered shares it. The fallback path's
-        // batches are single datagrams, so it degenerates to the old
-        // per-datagram stamping.
-        let now = shared.anchor.elapsed();
-        let wall = Instant::now();
-        process_batch(shared, &ring, n, now, wall, &mut scratch);
+        // recvmmsg return delivered shares it, unless the backend
+        // stamped the datagram itself (the fault net stamps every
+        // delivery exactly, which is what makes same-seed runs
+        // byte-identical). The fallback path's batches are single
+        // datagrams, so it degenerates to the old per-datagram stamping.
+        let batch_abs = shared.clock.now();
+        process_batch(shared, &ring, n, batch_abs, &mut scratch);
     }
     add(&shared.c.recv_syscalls, ring.syscalls());
     add(&shared.c.recv_datagrams, ring.datagrams());
@@ -807,11 +843,12 @@ fn watchdog_sweep(shared: &Shared<'_>) {
     let Some(timeout) = shared.cfg.idle_timeout else {
         return;
     };
+    let now = shared.clock.now();
     for shard in &shared.shards {
         let mut sessions = shard.lock().expect("shard lock");
         let expired: Vec<u32> = sessions
             .iter()
-            .filter(|(_, s)| s.last_activity.elapsed() >= timeout)
+            .filter(|(_, s)| now.saturating_sub(s.last_activity) >= timeout)
             .map(|(&id, _)| id)
             .collect();
         for id in expired {
@@ -830,10 +867,9 @@ enum Ingest {
 
 fn process_batch(
     shared: &Shared<'_>,
-    ring: &BatchReceiver,
+    ring: &RecvBatch,
     n: usize,
-    now: Duration,
-    wall: Instant,
+    batch_abs: Duration,
     scratch: &mut [u8; MAX_CONTROL_BYTES],
 ) {
     // Hot counters accumulate across the batch and land as one atomic
@@ -841,22 +877,33 @@ fn process_batch(
     let mut accepted = 0u64;
     let mut rejected = 0u64;
     let mut duplicates = 0u64;
+    let mut truncated = 0u64;
     for i in 0..n {
+        // A clipped datagram's payload is incomplete: decoding it would
+        // either fail noisily or, worse, parse a valid-looking prefix
+        // into garbage accounting. Drop it and make the drop countable.
+        if ring.is_truncated(i) {
+            truncated += 1;
+            continue;
+        }
+        let abs = ring.stamp(i).unwrap_or(batch_abs);
+        let rel = abs.saturating_sub(shared.t0);
         let (data, src) = ring.datagram(i);
         if let Ok(h) = ProbeHeader::decode(data) {
-            match ingest_probe(shared, &h, now, wall) {
+            match ingest_probe(shared, &h, rel, abs) {
                 Ingest::Accepted => accepted += 1,
                 Ingest::Duplicate => duplicates += 1,
                 Ingest::Rejected => rejected += 1,
             }
         } else if let Ok(msg) = ControlMessage::decode(data) {
-            rejected += u64::from(!handle_control(shared, msg, src, wall, scratch));
+            rejected += u64::from(!handle_control(shared, msg, src, abs, scratch));
         } else {
             rejected += 1;
         }
     }
     add(&shared.c.packets, accepted);
     add(&shared.c.dup, duplicates);
+    add(&shared.c.truncated, truncated);
     if rejected > 0 {
         shared.rejected.fetch_add(rejected, Ordering::Relaxed);
         add(&shared.c.rejected, rejected);
@@ -865,7 +912,7 @@ fn process_batch(
 
 /// The probe fast path: one shard lock, the shared [`SessionState::ingest`]
 /// accounting, no socket writes, no allocation.
-fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, now: Duration, wall: Instant) -> Ingest {
+fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, rel: Duration, abs: Duration) -> Ingest {
     let mut sessions = shared.shard(h.session).lock().expect("shard lock");
     // Probes open the session only in single mode (the legacy open-loop
     // tool has no handshake); under `Any` the SYN is the sole door in.
@@ -873,7 +920,7 @@ fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, now: Duration, wall: Insta
         Some(id) if h.session == id => Some(sessions.entry(id).or_insert_with(|| {
             shared.active.fetch_add(1, Ordering::Relaxed);
             inc(&shared.c.opened);
-            SessionState::new(id, shared.metrics())
+            SessionState::new(id, shared.metrics(), abs)
         })),
         Some(_) => None,
         None => sessions.get_mut(&h.session),
@@ -881,8 +928,8 @@ fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, now: Duration, wall: Insta
     let Some(state) = state else {
         return Ingest::Rejected;
     };
-    state.last_activity = wall;
-    if state.ingest(h, now) {
+    state.last_activity = abs;
+    if state.ingest(h, rel) {
         inc(&state.m_packets);
         Ingest::Accepted
     } else {
@@ -894,7 +941,7 @@ fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, now: Duration, wall: Insta
 /// Encode a reply into the reused scratch buffer and send it (replies
 /// are best-effort, like every control datagram).
 fn send_reply(
-    socket: &UdpSocket,
+    socket: &Socket,
     msg: &ControlMessage,
     src: SocketAddr,
     scratch: &mut [u8; MAX_CONTROL_BYTES],
@@ -909,7 +956,7 @@ fn handle_control(
     shared: &Shared<'_>,
     msg: ControlMessage,
     src: SocketAddr,
-    wall: Instant,
+    abs: Duration,
     scratch: &mut [u8; MAX_CONTROL_BYTES],
 ) -> bool {
     use badabing_wire::control::RECORDS_PER_CHUNK;
@@ -940,10 +987,10 @@ fn handle_control(
                     shared.active.fetch_add(1, Ordering::Relaxed);
                 }
                 inc(&shared.c.opened);
-                e.insert(SessionState::new(session, shared.metrics()));
+                e.insert(SessionState::new(session, shared.metrics(), abs));
             }
             let state = sessions.get_mut(&session).expect("just ensured");
-            state.last_activity = wall;
+            state.last_activity = abs;
             state.handshake = Some(params);
             // The SYN announces the run size: pre-size the accumulation
             // maps so the hot path never rehashes mid-run.
@@ -967,7 +1014,7 @@ fn handle_control(
                 Some(sid) => Some(sessions.entry(sid).or_insert_with(|| {
                     shared.active.fetch_add(1, Ordering::Relaxed);
                     inc(&shared.c.opened);
-                    SessionState::new(sid, shared.metrics())
+                    SessionState::new(sid, shared.metrics(), abs)
                 })),
                 None => sessions.get_mut(&session),
             };
@@ -975,7 +1022,7 @@ fn handle_control(
                 inc(&shared.c.stale);
                 return true;
             };
-            state.last_activity = wall;
+            state.last_activity = abs;
             send_reply(
                 shared.socket,
                 &ControlMessage::HeartbeatAck { session, seq },
@@ -989,7 +1036,7 @@ fn handle_control(
                 Some(sid) => Some(sessions.entry(sid).or_insert_with(|| {
                     shared.active.fetch_add(1, Ordering::Relaxed);
                     inc(&shared.c.opened);
-                    SessionState::new(sid, shared.metrics())
+                    SessionState::new(sid, shared.metrics(), abs)
                 })),
                 None => sessions.get_mut(&session),
             };
@@ -997,7 +1044,7 @@ fn handle_control(
                 inc(&shared.c.stale);
                 return true;
             };
-            state.last_activity = wall;
+            state.last_activity = abs;
             // Finalize once; FIN retransmits re-serve the same
             // snapshot so retrieval is idempotent.
             let rejected = shared.rejected.load(Ordering::Relaxed);
@@ -1015,7 +1062,7 @@ fn handle_control(
                 inc(&shared.c.stale);
                 return true;
             };
-            state.last_activity = wall;
+            state.last_activity = abs;
             if let Some(finalized) = &state.finalized {
                 if chunk < finalized.total_chunks {
                     // Serve the chunk straight from the snapshot's
@@ -1038,7 +1085,7 @@ fn handle_control(
             let mut sessions = shared.shard(id).lock().expect("shard lock");
             let complete = match sessions.get_mut(&id) {
                 Some(state) => {
-                    state.last_activity = wall;
+                    state.last_activity = abs;
                     state
                         .finalized
                         .as_ref()
@@ -1149,6 +1196,8 @@ fn apply_baseline(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::UdpSocket;
+    use std::time::Instant;
 
     fn local0() -> SocketAddr {
         "127.0.0.1:0".parse().unwrap()
@@ -1495,12 +1544,12 @@ mod tests {
         let arrivals = synthetic_arrivals();
 
         // "Fallback": one datagram per ingest call.
-        let mut single = SessionState::new(11, None);
+        let mut single = SessionState::new(11, None, Duration::ZERO);
         for (h, now) in &arrivals {
             single.ingest(h, *now);
         }
         // "Batched": the same stream in chunks of a recv batch.
-        let mut batched = SessionState::new(11, None);
+        let mut batched = SessionState::new(11, None, Duration::ZERO);
         for batch in arrivals.chunks(DEFAULT_RECV_BATCH) {
             for (h, now) in batch {
                 batched.ingest(h, *now);
@@ -1557,7 +1606,7 @@ mod tests {
             p: 0.3,
             improved: true,
         };
-        let mut state = SessionState::new(1, None);
+        let mut state = SessionState::new(1, None, Duration::ZERO);
         state.reserve_for(&params);
         // ceil(10_000 * 0.3) experiments × 3 slots each = 9_000 probes,
         // × 3 packets = 27_000 packet-level entries.
@@ -1573,7 +1622,7 @@ mod tests {
             p: 1.0,
             ..params
         };
-        let mut state = SessionState::new(2, None);
+        let mut state = SessionState::new(2, None, Duration::ZERO);
         state.reserve_for(&hostile);
         assert!(state.probes.capacity() < (1 << 22), "reserve cap ignored");
     }
@@ -1587,7 +1636,6 @@ mod tests {
             metrics: Some(metrics.clone()),
             recv_threads: 2,
             shards: 4,
-            io: IoMode::Auto,
             ..ServerConfig::any(local0(), 8)
         })
         .unwrap();

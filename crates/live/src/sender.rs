@@ -14,8 +14,8 @@
 //! sender returns a *partial* manifest with a diagnostic instead of
 //! hanging (see [`SenderOutcome`]).
 
-use crate::batch_io::{BatchSender, IoMode};
 use crate::control::{ControlClient, ControlConfig};
+use crate::provider::{Clock, Provider, SendBatch};
 use crate::receiver::ReceiverLog;
 use badabing_core::config::BadabingConfig;
 use badabing_core::schedule::ExperimentScheduler;
@@ -23,10 +23,10 @@ use badabing_metrics::Registry;
 use badabing_wire::control::SessionParams;
 use badabing_wire::ProbeHeader;
 use rand::rngs::StdRng;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Sender configuration.
 #[derive(Debug, Clone)]
@@ -46,10 +46,11 @@ pub struct SenderConfig {
     pub control: Option<ControlConfig>,
     /// Run counters and latency histograms, if observability is wanted.
     pub metrics: Option<Arc<Registry>>,
-    /// Probe-train I/O: batched `sendmmsg` where available
-    /// ([`IoMode::Auto`], the default) or the portable
-    /// one-packet-per-syscall path ([`IoMode::Fallback`]).
-    pub io: IoMode,
+    /// I/O backend for probes *and* control: real UDP (batched or
+    /// portable syscalls) or a [`crate::FaultNet`]. The sender's
+    /// provider wins over whatever the [`ControlConfig`] carries, so a
+    /// run can never straddle two backends.
+    pub provider: Provider,
 }
 
 impl SenderConfig {
@@ -67,21 +68,48 @@ impl SenderConfig {
             session,
             control: None,
             metrics: None,
-            io: IoMode::Auto,
+            provider: Provider::default(),
         }
     }
 
     /// The handshake announcement derived from this config.
+    ///
+    /// `run_sender` rejects a non-finite / non-positive slot width with
+    /// a proper error before this runs; a direct caller with a bad
+    /// width gets `slot_ns == 0` here rather than a panic.
     pub fn session_params(&self) -> SessionParams {
         SessionParams {
             n_slots: self.n_slots,
-            slot_ns: Duration::from_secs_f64(self.tool.slot_secs).as_nanos() as u64,
+            slot_ns: Duration::try_from_secs_f64(self.tool.slot_secs)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0),
             probe_packets: self.tool.probe_packets,
             packet_bytes: self.tool.packet_bytes,
             p: self.tool.p,
             improved: self.tool.improved,
         }
     }
+}
+
+/// Validate a user-supplied duration in (fractional) seconds.
+///
+/// `Duration::from_secs_f64` *panics* on NaN, negative, and overflowing
+/// inputs — a `--slot-secs nan` on the command line must surface as a
+/// usage error, not a crash. Zero is also rejected: a zero-width slot
+/// makes every deadline "now" and the schedule meaningless.
+pub fn checked_secs(secs: f64, what: &str) -> std::io::Result<Duration> {
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{what} must be a positive finite number of seconds, got {secs}"),
+        ));
+    }
+    Duration::try_from_secs_f64(secs).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{what} = {secs}: {e}"),
+        )
+    })
 }
 
 /// One probe as sent, for the post-run join with receiver records.
@@ -145,31 +173,18 @@ pub fn slot_offset(slot_dur: Duration, slot: u64) -> Duration {
     Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
 }
 
-/// Granularity of abort-flag checks while waiting for a slot deadline.
-const SLEEP_CHUNK: Duration = Duration::from_millis(50);
-
-/// Sleep until `due`, waking periodically to honour `abort`. Returns
-/// `false` if aborted before the deadline.
-fn sleep_until_unless_aborted(due: Instant, abort: &AtomicBool) -> bool {
-    loop {
-        if abort.load(Ordering::Relaxed) {
-            return false;
-        }
-        let now = Instant::now();
-        if now >= due {
-            return true;
-        }
-        std::thread::sleep((due - now).min(SLEEP_CHUNK));
-    }
-}
-
 /// Run the sender to completion (or heartbeat-abort): handshake if
 /// configured, send the schedule, drain, fetch the receiver's report.
-/// Fails with `Err` only on local socket errors or an unreachable
-/// receiver at handshake time — anything that goes wrong *after* probes
-/// start flowing degrades to a partial [`SenderOutcome`] instead.
+/// Fails with `Err` only on invalid config, local socket errors, or an
+/// unreachable receiver at handshake time — anything that goes wrong
+/// *after* probes start flowing degrades to a partial [`SenderOutcome`]
+/// instead.
 pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutcome> {
-    let socket = UdpSocket::bind(cfg.bind)?;
+    // Reject unrepresentable slot widths up front, before any socket
+    // work: `--slot-secs nan` is a usage error, not a panic.
+    let slot_dur = checked_secs(cfg.tool.slot_secs, "slot width (slot_secs)")?;
+    let clock = cfg.provider.clock();
+    let socket = cfg.provider.bind(cfg.bind)?;
     socket.connect(cfg.target)?;
 
     // Plan the entire run up front (identical logic to the simulator
@@ -191,10 +206,11 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     // here, not after minutes of probing into the void.
     let client = match &cfg.control {
         Some(control_cfg) => {
-            let client = Arc::new(ControlClient::connect(
-                control_cfg.clone(),
-                cfg.metrics.clone(),
-            )?);
+            // The probe socket's backend wins: control traffic must ride
+            // the same (possibly virtual) network as the probes.
+            let mut control_cfg = control_cfg.clone();
+            control_cfg.provider = cfg.provider.clone();
+            let client = Arc::new(ControlClient::connect(control_cfg, cfg.metrics.clone())?);
             client
                 .handshake(cfg.session, cfg.session_params())
                 .map_err(|e| std::io::Error::other(format!("handshake failed: {e}")))?;
@@ -211,13 +227,18 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
         let done = done.clone();
         let session = cfg.session;
         let metrics = cfg.metrics.clone();
-        std::thread::spawn(move || {
+        let hb_clock = clock.clone();
+        let enlistment = clock.enlist();
+        let hb_exited = Arc::new(AtomicBool::new(false));
+        let exited = hb_exited.clone();
+        let handle = std::thread::spawn(move || {
+            hb_clock.adopt(enlistment);
             let interval = client.config().heartbeat_interval;
             let allowed = client.config().heartbeat_misses;
             let mut seq = 0u64;
             let mut misses = 0u32;
             while !done.load(Ordering::Relaxed) && !abort.load(Ordering::Relaxed) {
-                let tick = Instant::now();
+                let tick = hb_clock.now();
                 match client.heartbeat(session, seq, interval) {
                     Ok(true) => misses = 0,
                     Ok(false) => {
@@ -227,24 +248,30 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
                         }
                         if misses >= allowed {
                             abort.store(true, Ordering::Relaxed);
+                            hb_clock.notify_waiters();
                             break;
                         }
                     }
                     Err(_) => {
                         abort.store(true, Ordering::Relaxed);
+                        hb_clock.notify_waiters();
                         break;
                     }
                 }
                 seq += 1;
                 // Pace to the interval (an early ack returns quickly).
-                let _ = sleep_until_unless_aborted(tick + interval, &done);
+                let _ = hb_clock.sleep_until(tick + interval, &done);
             }
+            // Signal exit while still enrolled so the reaper can park on
+            // this flag instead of unenrolling for the join.
+            exited.store(true, Ordering::Relaxed);
+            hb_clock.notify_waiters();
             misses
-        })
+        });
+        (handle, hb_exited)
     });
 
-    let anchor = Instant::now();
-    let slot_dur = Duration::from_secs_f64(cfg.tool.slot_secs);
+    let anchor = clock.now();
     let mut sent = Vec::with_capacity(plan.len());
     let mut packets_sent = 0u64;
     let mut packets_refused = 0u64;
@@ -255,8 +282,8 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     // encodes into its segment of this one reused buffer, and the whole
     // train goes to the kernel in (ideally) one sendmmsg.
     let mut train = vec![0u8; usize::from(n.max(1)) * bytes];
-    let mut tx = BatchSender::new(usize::from(n.max(1)), cfg.io);
-    crate::batch_io::set_buffer_sizes(&socket, 1 << 20, 1 << 22);
+    let mut tx = SendBatch::new(usize::from(n.max(1)), &cfg.provider);
+    socket.set_buffer_sizes(1 << 20, 1 << 22);
     let m_probes = cfg.metrics.as_ref().map(|m| m.counter("probes_sent"));
     let m_packets = cfg.metrics.as_ref().map(|m| m.counter("packets_sent"));
     let m_refused = cfg.metrics.as_ref().map(|m| m.counter("packets_refused"));
@@ -268,13 +295,13 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
 
     for &(slot, experiment) in &plan {
         let due = anchor + slot_offset(slot_dur, slot);
-        if !sleep_until_unless_aborted(due, &abort) {
+        if !clock.sleep_until(due, &abort) {
             aborted = true;
             break;
         }
-        let send_time_secs = anchor.elapsed().as_secs_f64();
+        let send_time_secs = clock.now().saturating_sub(anchor).as_secs_f64();
         if let Some(h) = &m_lateness {
-            h.record_secs((Instant::now() - due).as_secs_f64());
+            h.record_secs(clock.now().saturating_sub(due).as_secs_f64());
         }
         // Encode the whole train first — each packet still carries its
         // own monotonic send stamp, taken at encode time immediately
@@ -286,7 +313,7 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
                 experiment,
                 slot,
                 seq,
-                send_ns: anchor.elapsed().as_nanos() as u64,
+                send_ns: clock.now().saturating_sub(anchor).as_nanos() as u64,
                 idx,
                 probe_len: n,
             };
@@ -317,9 +344,8 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
                 }
                 Err(e) => {
                     done.store(true, Ordering::Relaxed);
-                    if let Some(hb) = heartbeat.take() {
-                        let _ = hb.join();
-                    }
+                    clock.notify_waiters();
+                    reap_heartbeat(&clock, &mut heartbeat);
                     return Err(e);
                 }
             }
@@ -348,9 +374,8 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
 
     if aborted {
         done.store(true, Ordering::Relaxed);
-        if let Some(hb) = heartbeat.take() {
-            let _ = hb.join();
-        }
+        clock.notify_waiters();
+        reap_heartbeat(&clock, &mut heartbeat);
         diagnostics.push(format!(
             "receiver went silent mid-run: aborted after {} of {} probes \
              (heartbeat watchdog); manifest is partial",
@@ -381,13 +406,12 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
         // liveness here would let the receiver's watchdog reclaim the
         // session before the FIN arrives, and an otherwise-complete
         // report would be lost.
-        std::thread::sleep(client.config().drain);
+        clock.sleep(client.config().drain);
         done.store(true, Ordering::Relaxed);
-        if let Some(hb) = heartbeat.take() {
-            // The heartbeat thread shares the control socket; joining it
-            // before fetch_report serializes their use of it.
-            let _ = hb.join();
-        }
+        clock.notify_waiters();
+        // The heartbeat thread shares the control socket; reaping it
+        // before fetch_report serializes their use of it.
+        reap_heartbeat(&clock, &mut heartbeat);
         if abort.load(Ordering::Relaxed) {
             diagnostics.push(
                 "receiver went silent during the drain wait; skipping report \
@@ -409,9 +433,8 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     // Open-loop runs have no heartbeat thread, but stop it defensively
     // for any path that skipped the joins above.
     done.store(true, Ordering::Relaxed);
-    if let Some(hb) = heartbeat.take() {
-        let _ = hb.join();
-    }
+    clock.notify_waiters();
+    reap_heartbeat(&clock, &mut heartbeat);
 
     Ok(SenderOutcome {
         manifest,
@@ -421,13 +444,93 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     })
 }
 
+/// Stop-and-reap for the heartbeat thread (the caller has already set
+/// `done` and notified). On a virtual clock this parks — without
+/// unenrolling — until the thread signals exit, and only then joins.
+/// Unenrolling for the join would let the net free-run: with no busy
+/// participants the receiver's poll timeout perpetually re-arms,
+/// virtual time advances at real-time speed, and the idle watchdog can
+/// reap the session before the FIN is even sent.
+fn reap_heartbeat(
+    clock: &Clock,
+    heartbeat: &mut Option<(std::thread::JoinHandle<u32>, Arc<AtomicBool>)>,
+) {
+    if let Some((hb, exited)) = heartbeat.take() {
+        if matches!(clock, Clock::Virtual(_)) {
+            // The horizon is a stall backstop, not a real deadline: the
+            // thread's waits are all bounded, so the flag flips long
+            // before an hour of virtual time elapses.
+            let horizon = clock.now() + Duration::from_secs(3600);
+            let _ = clock.sleep_until(horizon, &exited);
+        }
+        let _ = hb.join();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use badabing_stats::rng::seeded;
+    use std::net::UdpSocket;
+    use std::time::Instant;
 
     fn local(port: u16) -> SocketAddr {
         format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn checked_secs_accepts_normal_widths() {
+        assert_eq!(checked_secs(0.005, "x").unwrap(), Duration::from_millis(5));
+        assert_eq!(checked_secs(1.0, "x").unwrap(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn checked_secs_rejects_every_panic_input() {
+        // Each of these used to reach Duration::from_secs_f64 and panic.
+        for bad in [
+            f64::NAN,
+            -1.0,
+            -0.0,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e300,
+        ] {
+            let err = checked_secs(bad, "slot width").unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidInput,
+                "input {bad} must be InvalidInput"
+            );
+            assert!(err.to_string().contains("slot width"), "{err}");
+        }
+    }
+
+    #[test]
+    fn bad_slot_secs_is_an_error_not_a_panic() {
+        for bad in [f64::NAN, -0.005, 0.0, f64::INFINITY] {
+            let cfg = SenderConfig {
+                tool: BadabingConfig {
+                    slot_secs: bad,
+                    ..BadabingConfig::paper_default(0.5)
+                },
+                ..SenderConfig::new(BadabingConfig::paper_default(0.5), 10, local(9), 1)
+            };
+            let err = run_sender(cfg, seeded(1, "live-send")).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "input {bad}");
+        }
+    }
+
+    #[test]
+    fn session_params_survive_bad_widths_without_panicking() {
+        let cfg = SenderConfig {
+            tool: BadabingConfig {
+                slot_secs: f64::NAN,
+                ..BadabingConfig::paper_default(0.5)
+            },
+            ..SenderConfig::new(BadabingConfig::paper_default(0.5), 10, local(9), 1)
+        };
+        assert_eq!(cfg.session_params().slot_ns, 0);
     }
 
     #[test]

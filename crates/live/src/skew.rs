@@ -290,6 +290,78 @@ mod tests {
     }
 
     #[test]
+    fn extreme_negative_skew_is_recovered() {
+        // 1000 ppm of negative skew (a broken clock, not commodity
+        // drift): raw delays fall by 0.6 s over a 10-minute run, dwarfing
+        // the 60 ms congestion signal. The envelope fit must still track
+        // the line instead of reporting phantom congestion at the start.
+        let pts = synthetic(2000, 600.0, 4.0, -1e-3, |t| {
+            if (200.0..205.0).contains(&t) {
+                0.06
+            } else {
+                0.0002
+            }
+        });
+        let b = fit_baseline(&pts).unwrap();
+        assert!((b.slope + 1e-3).abs() < 1e-5, "slope {}", b.slope);
+        for &(t, raw) in &pts {
+            let q = b.correct(t, raw);
+            assert!(q >= -1e-9, "residual {q} below numerical error");
+            if (200.0..205.0).contains(&t) {
+                assert!((q - 0.06).abs() < 0.005, "congested sample read {q}");
+            } else {
+                assert!(q < 0.005, "idle sample read {q} at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn seven_points_pin_slope_even_over_a_long_span() {
+        // The span is long enough to resolve a slope, but 7 points are
+        // below the 8-point floor: the fit must still fall back to
+        // offset-only rather than draw a line through noise.
+        let pts = synthetic(7, 30.0, 2.0, 50e-6, |_| 0.001);
+        assert_eq!(pts.len(), 7);
+        let b = fit_baseline(&pts).unwrap();
+        assert_eq!(b.slope, 0.0, "7-point run must not fit a slope");
+        let min_corrected = pts
+            .iter()
+            .map(|&(t, d)| b.correct(t, d))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_corrected.abs() < 1e-12);
+        assert!(pts.iter().all(|&(t, d)| b.correct(t, d) >= -1e-12));
+    }
+
+    #[test]
+    fn window_minima_in_the_same_second_pin_slope() {
+        // A 2.4 s run whose only idle dips sit at t≈0.75 and t≈1.65:
+        // both land inside their thirds ([0, 0.8] and [1.6, 2.4]), but
+        // the lever arm between them is 0.9 s < 1 s, far too short for a
+        // ppm-scale slope. The fit must detect the degenerate anchors
+        // and pin the slope to zero instead of fitting the dip noise.
+        let pts: Vec<(f64, f64)> = (0..240)
+            .map(|i| {
+                let t = i as f64 * 0.01;
+                let congestion = if (0.74..0.76).contains(&t) || (1.64..1.66).contains(&t) {
+                    0.0
+                } else {
+                    0.05
+                };
+                (t, congestion + 3.0 + 20e-6 * t)
+            })
+            .collect();
+        let b = fit_baseline(&pts).unwrap();
+        assert_eq!(b.slope, 0.0, "same-second minima must not fit a slope");
+        // Offset-only fallback still touches the envelope: the global
+        // minimum corrects to ~0 and nothing goes negative.
+        let min_corrected = pts
+            .iter()
+            .map(|&(t, d)| b.correct(t, d))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_corrected.abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_input_is_none() {
         assert_eq!(fit_baseline(&[]), None);
     }

@@ -13,6 +13,7 @@
 use badabing_core::config::BadabingConfig;
 use badabing_live::batch_io::IoMode;
 use badabing_live::control::ControlConfig;
+use badabing_live::provider::Provider;
 use badabing_live::receiver::{start_server, ReceiverLog, ServerConfig};
 use badabing_live::sender::{run_sender, SenderConfig, SenderManifest};
 use badabing_stats::rng::seeded;
@@ -35,7 +36,7 @@ fn fast_tool() -> BadabingConfig {
 /// control plane fetched.
 fn run_mode(io: IoMode, session: u32) -> (SenderManifest, ReceiverLog) {
     let server = start_server(ServerConfig {
-        io,
+        provider: Provider::udp(io),
         idle_timeout: Some(Duration::from_secs(10)),
         ..ServerConfig::any(local0(), 4)
     })
@@ -45,7 +46,7 @@ fn run_mode(io: IoMode, session: u32) -> (SenderManifest, ReceiverLog) {
     control.drain = Duration::from_millis(100);
     let cfg = SenderConfig {
         tool,
-        io,
+        provider: Provider::udp(io),
         control: Some(control),
         ..SenderConfig::new(tool, 400 /* 2 s */, server.local_addr(), session)
     };

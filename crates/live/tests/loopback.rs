@@ -137,9 +137,7 @@ fn emulated_bottleneck_produces_loss_episodes() {
         episode_mean_gap_secs: 1.0, // dense episodes for a short test
         episode_loss_secs: 0.120,
         burst_factor: 4.0,
-        bind: local0(),
-        target: receiver.local_addr(),
-        metrics: None,
+        ..EmulatorConfig::loopback_default(local0(), receiver.local_addr())
     };
     let emulator = Emulator::start(emu_cfg, seeded(2, "emu")).unwrap();
     let tool = fast_tool();

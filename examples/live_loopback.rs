@@ -54,9 +54,7 @@ fn main() -> std::io::Result<()> {
             episode_mean_gap_secs: 2.0, // dense episodes for a short demo
             episode_loss_secs: 0.120,
             burst_factor: 4.0,
-            bind: local0,
-            target: receiver.local_addr(),
-            metrics: None,
+            ..EmulatorConfig::loopback_default(local0, receiver.local_addr())
         },
         seeded(2, "emu"),
     )?;
