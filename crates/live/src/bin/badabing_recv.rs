@@ -19,15 +19,19 @@
 //! badabing_recv --bind 127.0.0.1:9000 --secs 70 \
 //!     [--session N|any] [--max-sessions N] [--log receiver.json] \
 //!     [--metrics metrics.json] [--idle-timeout 30] \
-//!     [--io auto|batched|fallback] [--recv-threads N] [--shards N]
+//!     [--io auto|batched|fallback] [--recv-threads N] [--shards N] \
+//!     [--poll auto|epoll|timeout] [--session-budget-mb N] \
+//!     [--global-budget-mb N] [--on-pressure reject|evict]
 //! ```
 
 use badabing_live::batch_io::IoMode;
 use badabing_live::cli::Flags;
+use badabing_live::event_loop::PollMode;
 use badabing_live::persist::ReceiverFile;
 use badabing_live::provider::Provider;
 use badabing_live::receiver::{
-    start_receiver, start_server, ReceiverConfig, ServerConfig, SessionEnd,
+    start_receiver, start_server, PressurePolicy, ReceiverConfig, ServerConfig, SessionEnd,
+    DEFAULT_SESSION_BUDGET_BYTES,
 };
 use badabing_metrics::Registry;
 use std::net::SocketAddr;
@@ -37,7 +41,9 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "badabing_recv --bind ADDR --secs S [--session N|any] [--max-sessions N] \
                      [--log PATH] [--metrics PATH] [--idle-timeout S] \
-                     [--io auto|batched|fallback] [--recv-threads N] [--shards N]";
+                     [--io auto|batched|fallback] [--recv-threads N] [--shards N] \
+                     [--poll auto|epoll|timeout] [--session-budget-mb N] \
+                     [--global-budget-mb N] [--on-pressure reject|evict]";
 
 /// `receiver.json` → `receiver.<id>.json` for per-session logs.
 fn session_log_path(base: &Path, session: u32) -> PathBuf {
@@ -63,6 +69,9 @@ fn main() -> std::io::Result<()> {
     let deadline = Instant::now() + run_for;
 
     if session == "any" {
+        let session_budget_mb: usize =
+            flags.opt("session-budget-mb", DEFAULT_SESSION_BUDGET_BYTES >> 20);
+        let global_budget_mb: usize = flags.opt("global-budget-mb", 0usize);
         let server = start_server(ServerConfig {
             idle_timeout,
             max_sessions,
@@ -70,6 +79,10 @@ fn main() -> std::io::Result<()> {
             provider: Provider::udp(flags.opt::<IoMode>("io", IoMode::Auto)),
             recv_threads: flags.opt("recv-threads", 1usize).max(1),
             shards: flags.opt("shards", badabing_live::receiver::DEFAULT_SHARDS),
+            poll: flags.opt("poll", PollMode::Auto),
+            session_budget_bytes: session_budget_mb << 20,
+            global_budget_bytes: (global_budget_mb > 0).then_some(global_budget_mb << 20),
+            on_pressure: flags.opt("on-pressure", PressurePolicy::Reject),
             ..ServerConfig::any(bind, max_sessions)
         })?;
         eprintln!(
@@ -81,15 +94,21 @@ fn main() -> std::io::Result<()> {
         }
         let report = server.stop();
         eprintln!(
-            "{} sessions finished ({} datagrams rejected, {} SYNs refused)",
+            "{} sessions finished ({} datagrams rejected, {} SYNs refused — {} over budget, \
+             {} sessions evicted, {} chunk NACKs, {} B peak session memory)",
             report.sessions.len(),
             report.rejected,
-            report.syns_rejected
+            report.syns_rejected,
+            report.budget_rejects,
+            report.sessions_evicted,
+            report.chunk_nacks,
+            report.mem_peak_bytes
         );
         for outcome in &report.sessions {
             let end = match outcome.end {
                 SessionEnd::Completed => "completed",
                 SessionEnd::IdleTimeout => "idle-reaped",
+                SessionEnd::Evicted => "evicted under memory pressure",
                 SessionEnd::Stopped => "open at shutdown",
             };
             eprintln!(

@@ -204,6 +204,12 @@ impl ControlClient {
     /// are *counted* (`control_decode_errors`,
     /// `control_foreign_session`) so a misconfigured peer shows up in
     /// the metrics instead of presenting as a plain timeout.
+    ///
+    /// A SYN-NACK for this session fails the whole exchange fast with
+    /// [`ControlError::Rejected`], whatever was being requested: the
+    /// receiver sends one for a refused handshake *and* for any control
+    /// message addressed to a session it evicted under memory pressure,
+    /// and in both cases retrying cannot succeed.
     pub fn request<T>(
         &self,
         what: &'static str,
@@ -228,6 +234,12 @@ impl ControlClient {
                 self.socket.set_read_timeout(Some(remaining))?;
                 match self.socket.recv(&mut buf) {
                     Ok(len) => match ControlMessage::decode(&buf[..len]) {
+                        Ok(ControlMessage::SynNack { session, reason })
+                            if session == request.session() =>
+                        {
+                            self.note("control_rejected");
+                            return Err(ControlError::Rejected { reason });
+                        }
                         Ok(msg) if msg.session() == request.session() => {
                             if let Some(out) = matches(msg) {
                                 return Ok(out);
@@ -257,19 +269,18 @@ impl ControlClient {
     }
 
     /// Run the SYN/SYN-ACK handshake. A SYN-NACK from the receiver
-    /// (session refused, e.g. at capacity) fails fast with
-    /// [`ControlError::Rejected`] instead of burning the retry budget.
+    /// (session refused: at capacity, or over the memory budget) fails
+    /// fast with [`ControlError::Rejected`] instead of burning the
+    /// retry budget — `request` handles the NACK centrally.
     pub fn handshake(&self, session: u32, params: SessionParams) -> Result<(), ControlError> {
         self.request(
             "handshake",
             &ControlMessage::Syn { session, params },
             |msg| match msg {
-                ControlMessage::SynAck { .. } => Some(Ok(())),
-                ControlMessage::SynNack { reason, .. } => Some(Err(reason)),
+                ControlMessage::SynAck { .. } => Some(()),
                 _ => None,
             },
-        )?
-        .map_err(|reason| ControlError::Rejected { reason })
+        )
     }
 
     /// Send one heartbeat and wait up to `timeout` for its ack.
@@ -285,17 +296,19 @@ impl ControlClient {
             }
             self.socket.set_read_timeout(Some(remaining))?;
             match self.socket.recv(&mut buf) {
-                Ok(len) => {
-                    if let Ok(ControlMessage::HeartbeatAck {
+                Ok(len) => match ControlMessage::decode(&buf[..len]) {
+                    Ok(ControlMessage::HeartbeatAck {
                         session: s,
                         seq: got,
-                    }) = ControlMessage::decode(&buf[..len])
-                    {
-                        if s == session && got == seq {
-                            return Ok(true);
-                        }
+                    }) if s == session && got == seq => return Ok(true),
+                    // The receiver NACKs control traffic for a session
+                    // it evicted: no ack is ever coming, report the
+                    // miss immediately instead of waiting it out.
+                    Ok(ControlMessage::SynNack { session: s, .. }) if s == session => {
+                        return Ok(false)
                     }
-                }
+                    _ => {}
+                },
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut

@@ -1,0 +1,439 @@
+//! Event-driven readiness for the receiver's drain loops.
+//!
+//! The pre-fleet receiver woke every [`crate::receiver`] poll interval
+//! (25 ms) per drain thread just to re-check its stop flag and idle
+//! watchdog — cheap with 8 sessions, pure waste with 10k mostly-idle
+//! ones. This module gives the drain loop a readiness primitive instead:
+//! on Linux a shared **epoll** instance watches the receive socket plus
+//! an **eventfd** wake channel, so an idle receiver parks in
+//! `epoll_wait` until a datagram actually arrives, the idle-watchdog
+//! deadline comes due, or [`PollWaker::wake`] is called (server stop, a
+//! peer drain thread flipping `done`). Sessions that are idle cost zero
+//! wakeups and zero threads — the same drain threads serve all of them.
+//!
+//! The workspace is fully offline (no `libc` crate), so the syscalls are
+//! hand-declared against the C library in a `sys` module, in the same
+//! style as `batch_io.rs`. Every other platform — and the virtual
+//! [`crate::faultnet::FaultNet`] backend, whose sockets have no fd — gets
+//! [`PollMode::Timeout`]: [`Poller::wait`] reports ready immediately and
+//! the caller's blocking `recv` (bounded by the socket read timeout)
+//! provides the pacing, which is exactly the pre-epoll behaviour.
+//!
+//! Only the **control path's scheduling** changes: once `epoll_wait`
+//! reports the socket readable, datagrams are still drained through the
+//! blocking batched ring (`recvmmsg` with `MSG_WAITFORONE`), so the
+//! probe fast path keeps its one-syscall-per-batch shape. Readiness
+//! decides *when* to call recv, never *how*.
+
+use crate::provider::Socket;
+use std::io;
+use std::time::Duration;
+
+/// How a drain loop waits for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollMode {
+    /// Epoll readiness where the platform and backend support it
+    /// (Linux, real UDP sockets), the timeout loop elsewhere.
+    #[default]
+    Auto,
+    /// Epoll readiness. Fails socket setup on platforms or backends
+    /// without it (virtual sockets have no fd to register).
+    Epoll,
+    /// The portable polling loop: blocking recv bounded by the socket
+    /// read timeout, re-checking flags between calls.
+    Timeout,
+}
+
+impl PollMode {
+    /// Whether this mode resolves to the epoll implementation for the
+    /// given socket.
+    pub fn use_epoll(self, socket: &Socket) -> bool {
+        let fd_backed = matches!(socket, Socket::Udp(_));
+        match self {
+            PollMode::Auto | PollMode::Epoll => cfg!(target_os = "linux") && fd_backed,
+            PollMode::Timeout => false,
+        }
+    }
+}
+
+impl std::str::FromStr for PollMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(PollMode::Auto),
+            "epoll" => Ok(PollMode::Epoll),
+            "timeout" => Ok(PollMode::Timeout),
+            other => Err(format!(
+                "unknown poll mode {other:?} (expected auto|epoll|timeout)"
+            )),
+        }
+    }
+}
+
+/// What a [`Poller::wait`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// The socket is readable (or this is the timeout backend, which
+    /// always proceeds straight to its blocking recv).
+    Ready,
+    /// The timeout elapsed with nothing readable.
+    TimedOut,
+    /// [`PollWaker::wake`] was called (or the wait was interrupted):
+    /// re-check stop/done flags before waiting again.
+    Woken,
+}
+
+/// A wake channel into a [`Poller`]'s `epoll_wait` — an eventfd on the
+/// epoll backend, a no-op on the timeout backend (whose loops re-check
+/// their flags every blocking-recv timeout anyway). Shared by handle
+/// and drain threads; waking is async-signal-cheap (one `write`).
+#[derive(Debug)]
+pub struct PollWaker {
+    #[cfg(target_os = "linux")]
+    fd: i32,
+    #[cfg(not(target_os = "linux"))]
+    fd: (),
+}
+
+impl PollWaker {
+    /// A wake channel. `active` is whether an epoll poller will actually
+    /// watch it (timeout-mode wakers hold no fd at all).
+    pub fn new(active: bool) -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            let fd = if active {
+                // SAFETY: plain syscall; the returned fd is owned here
+                // and closed in Drop.
+                let fd = unsafe { sys::eventfd(0, sys::EFD_NONBLOCK | sys::EFD_CLOEXEC) };
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                fd
+            } else {
+                -1
+            };
+            Ok(Self { fd })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = active;
+            Ok(Self { fd: () })
+        }
+    }
+
+    /// Wake every thread parked in [`Poller::wait`]. Best-effort and
+    /// idempotent: the eventfd counter saturates, never blocks the
+    /// caller, and is drained by whichever waiter sees it first.
+    pub fn wake(&self) {
+        #[cfg(target_os = "linux")]
+        if self.fd >= 0 {
+            let one: u64 = 1;
+            // SAFETY: writes 8 bytes from a live stack value to an fd
+            // this struct owns. EAGAIN (counter full) still wakes.
+            let _ = unsafe { sys::write(self.fd, (&raw const one).cast(), 8) };
+        }
+    }
+
+    /// Drain the wake counter so a consumed wake does not spin the
+    /// level-triggered epoll. Called by waiters, never by wakers.
+    fn drain(&self) {
+        #[cfg(target_os = "linux")]
+        if self.fd >= 0 {
+            let mut buf = 0u64;
+            // SAFETY: reads 8 bytes into a live stack value; the fd is
+            // nonblocking so an already-drained counter returns EAGAIN.
+            let _ = unsafe { sys::read(self.fd, (&raw mut buf).cast(), 8) };
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn raw_fd(&self) -> i32 {
+        self.fd
+    }
+}
+
+impl Drop for PollWaker {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if self.fd >= 0 {
+            // SAFETY: closing an fd this struct owns, exactly once.
+            unsafe { sys::close(self.fd) };
+        }
+    }
+}
+
+/// A readiness waiter over one receive socket. One instance is shared by
+/// every drain thread of a server (`epoll_wait` on one epoll fd from
+/// several threads is the intended kernel usage; each waiter brings its
+/// own event buffer).
+#[derive(Debug)]
+pub struct Poller {
+    imp: Imp,
+}
+
+#[derive(Debug)]
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: i32,
+    },
+    Timeout,
+}
+
+/// `epoll_event.data` tag for the receive socket.
+#[cfg(target_os = "linux")]
+const TAG_SOCKET: u64 = 0;
+/// `epoll_event.data` tag for the waker eventfd.
+#[cfg(target_os = "linux")]
+const TAG_WAKER: u64 = 1;
+
+impl Poller {
+    /// Build the resolved poller for `socket`. With [`PollMode::Epoll`]
+    /// on an unsupported platform/backend this errors; [`PollMode::Auto`]
+    /// silently takes the timeout loop instead.
+    pub fn new(socket: &Socket, mode: PollMode, waker: &PollWaker) -> io::Result<Self> {
+        if !mode.use_epoll(socket) {
+            if mode == PollMode::Epoll {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll polling needs a Linux fd-backed socket",
+                ));
+            }
+            return Ok(Self { imp: Imp::Timeout });
+        }
+        #[cfg(target_os = "linux")]
+        {
+            let sock_fd = socket
+                .raw_fd()
+                .expect("use_epoll implies an fd-backed socket");
+            // SAFETY: plain syscalls. The epoll fd is owned here and
+            // closed in Drop; registered fds (socket, eventfd) outlive
+            // the poller by construction (the server owns all three).
+            unsafe {
+                let epfd = sys::epoll_create1(sys::EPOLL_CLOEXEC);
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let mut ev = sys::epoll_event {
+                    events: sys::EPOLLIN,
+                    data: TAG_SOCKET,
+                };
+                if sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, sock_fd, &mut ev) < 0 {
+                    let e = io::Error::last_os_error();
+                    sys::close(epfd);
+                    return Err(e);
+                }
+                if waker.raw_fd() >= 0 {
+                    let mut ev = sys::epoll_event {
+                        events: sys::EPOLLIN,
+                        data: TAG_WAKER,
+                    };
+                    if sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, waker.raw_fd(), &mut ev) < 0 {
+                        let e = io::Error::last_os_error();
+                        sys::close(epfd);
+                        return Err(e);
+                    }
+                }
+                Ok(Self {
+                    imp: Imp::Epoll { epfd },
+                })
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        unreachable!("use_epoll is false off Linux")
+    }
+
+    /// The plain timeout-loop poller, unconditionally. The fallback when
+    /// an epoll backend cannot come up: readiness is an optimization and
+    /// the caller's socket read timeout keeps the loop correct without it.
+    pub fn timeout() -> Self {
+        Self { imp: Imp::Timeout }
+    }
+
+    /// Whether this poller parks in epoll (true) or defers pacing to the
+    /// caller's blocking recv (false).
+    pub fn is_epoll(&self) -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            matches!(self.imp, Imp::Epoll { .. })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            false
+        }
+    }
+
+    /// Wait until the socket is readable, `timeout` elapses, or the
+    /// waker fires. The timeout backend returns [`Wait::Ready`]
+    /// immediately — its caller's blocking recv (bounded by the socket
+    /// read timeout) is the wait.
+    pub fn wait(&self, timeout: Duration, waker: &PollWaker) -> Wait {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd } => {
+                let ms: i32 = timeout.as_millis().min(i32::MAX as u128) as i32;
+                let mut events = [sys::epoll_event { events: 0, data: 0 }; 4];
+                // SAFETY: the events buffer is a live stack array sized
+                // by the len we pass; epfd is owned by self.
+                let n = unsafe {
+                    sys::epoll_wait(*epfd, events.as_mut_ptr(), events.len() as i32, ms.max(0))
+                };
+                if n < 0 {
+                    // EINTR and friends: surface as a spurious wake so
+                    // the loop re-checks its flags and parks again.
+                    return Wait::Woken;
+                }
+                if n == 0 {
+                    return Wait::TimedOut;
+                }
+                let mut ready = false;
+                let mut woken = false;
+                for ev in &events[..n as usize] {
+                    // Copy out of the (packed on x86_64) event struct
+                    // before inspecting.
+                    let tag = ev.data;
+                    if tag == TAG_SOCKET {
+                        ready = true;
+                    } else {
+                        woken = true;
+                    }
+                }
+                if woken {
+                    waker.drain();
+                }
+                if ready {
+                    Wait::Ready
+                } else {
+                    Wait::Woken
+                }
+            }
+            Imp::Timeout => Wait::Ready,
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Imp::Epoll { epfd } = self.imp {
+            // SAFETY: closing an fd this struct owns, exactly once.
+            unsafe { sys::close(epfd) };
+        }
+    }
+}
+
+/// Hand-declared Linux syscall surface (the workspace builds offline,
+/// without the `libc` crate) — same idiom as `batch_io::sys`.
+#[cfg(target_os = "linux")]
+mod sys {
+    #![allow(non_camel_case_types)]
+
+    pub const EPOLL_CLOEXEC: i32 = 0x80000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EFD_CLOEXEC: i32 = 0x80000;
+    pub const EFD_NONBLOCK: i32 = 0x800;
+
+    /// The kernel ABI packs `epoll_event` on x86-64 only (see
+    /// `EPOLL_PACKED` in the kernel's `eventpoll.h`); other
+    /// architectures use natural `repr(C)` layout.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut epoll_event) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut epoll_event, maxevents: i32, timeout: i32)
+            -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::Provider;
+
+    fn udp_pair() -> (Socket, Socket) {
+        let p = Provider::default();
+        let rx = p.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let tx = p.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        tx.connect(rx.local_addr().unwrap()).unwrap();
+        (rx, tx)
+    }
+
+    #[test]
+    fn poll_mode_parses() {
+        assert_eq!("auto".parse::<PollMode>().unwrap(), PollMode::Auto);
+        assert_eq!("epoll".parse::<PollMode>().unwrap(), PollMode::Epoll);
+        assert_eq!("timeout".parse::<PollMode>().unwrap(), PollMode::Timeout);
+        assert!("select".parse::<PollMode>().is_err());
+    }
+
+    #[test]
+    fn timeout_mode_always_reports_ready() {
+        let (rx, _tx) = udp_pair();
+        let waker = PollWaker::new(false).unwrap();
+        let poller = Poller::new(&rx, PollMode::Timeout, &waker).unwrap();
+        assert!(!poller.is_epoll());
+        assert_eq!(poller.wait(Duration::from_millis(1), &waker), Wait::Ready);
+    }
+
+    #[test]
+    fn virtual_sockets_resolve_to_the_timeout_loop() {
+        let net = crate::faultnet::FaultNet::new(3);
+        let p = Provider::Fault(net);
+        let sock = p.bind("10.9.0.1:1".parse().unwrap()).unwrap();
+        assert!(!PollMode::Auto.use_epoll(&sock));
+        let waker = PollWaker::new(false).unwrap();
+        let poller = Poller::new(&sock, PollMode::Auto, &waker).unwrap();
+        assert!(!poller.is_epoll());
+        // Forcing epoll on a backend with no fd is a loud setup error,
+        // not a silent downgrade.
+        assert!(Poller::new(&sock, PollMode::Epoll, &waker).is_err());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_wakes_on_data_timeout_and_waker() {
+        let (rx, tx) = udp_pair();
+        let waker = PollWaker::new(true).unwrap();
+        let poller = Poller::new(&rx, PollMode::Auto, &waker).unwrap();
+        assert!(poller.is_epoll());
+
+        // Nothing readable: the wait times out.
+        assert_eq!(
+            poller.wait(Duration::from_millis(10), &waker),
+            Wait::TimedOut
+        );
+
+        // A datagram makes it ready — and stays ready (level-triggered)
+        // until drained.
+        tx.send(b"ping").unwrap();
+        assert_eq!(poller.wait(Duration::from_secs(5), &waker), Wait::Ready);
+        assert_eq!(poller.wait(Duration::from_secs(5), &waker), Wait::Ready);
+        let mut buf = [0u8; 16];
+        rx.recv(&mut buf).unwrap();
+        assert_eq!(
+            poller.wait(Duration::from_millis(10), &waker),
+            Wait::TimedOut
+        );
+
+        // The waker cuts a long park short and is drained by the waiter.
+        waker.wake();
+        assert_eq!(poller.wait(Duration::from_secs(5), &waker), Wait::Woken);
+        assert_eq!(
+            poller.wait(Duration::from_millis(10), &waker),
+            Wait::TimedOut
+        );
+    }
+}

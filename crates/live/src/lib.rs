@@ -13,8 +13,13 @@
 //!   manifest with diagnostics if the receiver dies mid-run;
 //! * [`receiver`] — a session server: one process serves many
 //!   concurrent sender sessions from a registry keyed by session id
-//!   (opened on SYN, bounded by `max_sessions`, reaped on completion or
-//!   idle timeout). Per session it deduplicates arrivals by
+//!   (opened on SYN, bounded by `max_sessions` and explicit memory
+//!   budgets with a reject-or-evict admission policy, reaped on
+//!   completion or idle timeout). The drain loops wait for work
+//!   through [`event_loop`] — epoll readiness plus an eventfd waker on
+//!   Linux, a portable timeout loop elsewhere — with a
+//!   deadline-scheduled idle watchdog, so a fleet of idle sessions
+//!   costs zero wakeups. Per session it deduplicates arrivals by
 //!   `(seq, idx)` so duplicated datagrams never mask loss, removes
 //!   clock offset/skew via a lower-envelope fit (yielding *queueing*
 //!   delay, which is what the α/OWDmax threshold actually needs),
@@ -46,6 +51,7 @@ pub mod batch_io;
 pub mod cli;
 pub mod control;
 pub mod emulator;
+pub mod event_loop;
 pub mod faultnet;
 pub mod persist;
 pub mod provider;
@@ -57,10 +63,12 @@ pub use analyze::{analyze_run, LiveAnalysis};
 pub use batch_io::{BatchReceiver, BatchSender, IoMode};
 pub use control::{ControlClient, ControlConfig, ControlError};
 pub use emulator::{Emulator, EmulatorConfig, EmulatorStats, SessionFlow};
+pub use event_loop::{PollMode, PollWaker, Poller};
 pub use faultnet::{FaultDatagram, FaultNet, FaultSocket, LinkFaults};
 pub use provider::{Clock, Provider, RecvBatch, SendBatch, Socket};
 pub use receiver::{
-    start_receiver, start_server, ReceiverConfig, ReceiverHandle, ReceiverLog, ServerConfig,
-    ServerHandle, ServerReport, SessionEnd, SessionOutcome, SessionPolicy,
+    start_receiver, start_server, PressurePolicy, ReceiverConfig, ReceiverHandle, ReceiverLog,
+    ServerConfig, ServerHandle, ServerReport, SessionEnd, SessionOutcome, SessionPolicy,
+    DEFAULT_SESSION_BUDGET_BYTES,
 };
 pub use sender::{run_sender, SenderConfig, SenderManifest, SenderOutcome, SentProbeInfo};

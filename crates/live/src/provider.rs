@@ -152,6 +152,18 @@ impl Socket {
             batch_io::set_buffer_sizes(s, recv_bytes, send_bytes);
         }
     }
+
+    /// The underlying OS file descriptor, where the backend has one —
+    /// what an epoll readiness loop registers. Virtual sockets have no
+    /// fd (their readiness is the virtual clock's business), so callers
+    /// must fall back to the timeout loop for them.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> Option<i32> {
+        match self {
+            Socket::Udp(s) => Some(std::os::fd::AsRawFd::as_raw_fd(s)),
+            Socket::Fault(_) => None,
+        }
+    }
 }
 
 /// Process-wide epoch for [`Clock::Real`], so every component in one

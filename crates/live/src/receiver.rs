@@ -48,14 +48,15 @@
 //! sessions never contaminate each other's clock model or records.
 
 use crate::batch_io::DEFAULT_RECV_BATCH;
+use crate::event_loop::{PollMode, PollWaker, Poller, Wait};
 use crate::provider::{Clock, Provider, RecvBatch, Socket};
 use badabing_metrics::{Counter, Registry};
 use badabing_wire::control::{
-    chunk_count, encode_report_chunk_into, ControlMessage, RejectReason, ReportRecord,
-    ReportSummary, SessionParams, MAX_CONTROL_BYTES,
+    chunk_count, chunk_window, encode_report_chunk_into, ControlMessage, RejectReason,
+    ReportRecord, ReportSummary, SessionParams, MAX_CONTROL_BYTES,
 };
 use badabing_wire::ProbeHeader;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -149,6 +150,52 @@ pub struct ServerConfig {
     /// Session-registry shards (sessions map to `session_id % shards`,
     /// each shard behind its own lock).
     pub shards: usize,
+    /// How the drain loops wait for work: epoll readiness where
+    /// available ([`PollMode::Auto`]), or the portable timeout loop.
+    /// Idle sessions cost zero wakeups under epoll — the loop parks
+    /// until a datagram or the next watchdog deadline.
+    pub poll: PollMode,
+    /// Per-session memory ceiling (approximate, capacity-based — see
+    /// [`ServerReport::mem_peak_bytes`]). Bounds what one session's
+    /// SYN-announced pre-sizing may reserve *and* what its probe stream
+    /// may accumulate: probe datagrams that would push the session past
+    /// the ceiling are dropped and counted instead of stored.
+    pub session_budget_bytes: usize,
+    /// Global memory ceiling across every open session. `None` is
+    /// unlimited. A SYN whose (budget-capped) projected reservation
+    /// would cross it triggers [`ServerConfig::on_pressure`].
+    pub global_budget_bytes: Option<usize>,
+    /// What to do when admitting a session would exceed the global
+    /// budget.
+    pub on_pressure: PressurePolicy,
+}
+
+/// Admission behaviour under global-budget pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PressurePolicy {
+    /// Refuse the new session with [`RejectReason::Budget`].
+    #[default]
+    Reject,
+    /// Evict the longest-idle open session(s) to make room; refuse with
+    /// [`RejectReason::Budget`] only if eviction cannot free enough.
+    /// Evicted sessions are finalized as [`SessionEnd::Evicted`] and
+    /// their later control messages answered with
+    /// [`RejectReason::Evicted`] so the far sender fails fast.
+    EvictIdle,
+}
+
+impl std::str::FromStr for PressurePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reject" => Ok(PressurePolicy::Reject),
+            "evict" | "evict-idle" => Ok(PressurePolicy::EvictIdle),
+            other => Err(format!(
+                "unknown pressure policy {other:?} (expected reject|evict)"
+            )),
+        }
+    }
 }
 
 /// Default shard count for the session registry: enough to make lock
@@ -156,10 +203,16 @@ pub struct ServerConfig {
 /// enough that the watchdog sweep stays trivial.
 pub const DEFAULT_SHARDS: usize = 8;
 
+/// Default per-session memory ceiling. Generous enough for the paper's
+/// largest runs (a 180k-slot improved run at 3 packets/probe accounts
+/// ~45 MB); tight enough that one hostile session cannot claim the box.
+pub const DEFAULT_SESSION_BUDGET_BYTES: usize = 256 << 20;
+
 impl ServerConfig {
     /// A server on `bind` admitting any session up to `max_sessions`:
     /// control plane on, no idle watchdog, no metrics, auto-batched I/O
-    /// on a single drain thread.
+    /// on a single drain thread, epoll readiness where available, and
+    /// the default per-session budget with no global ceiling.
     pub fn any(bind: SocketAddr, max_sessions: usize) -> Self {
         Self {
             bind,
@@ -171,6 +224,10 @@ impl ServerConfig {
             provider: Provider::default(),
             recv_threads: 1,
             shards: DEFAULT_SHARDS,
+            poll: PollMode::Auto,
+            session_budget_bytes: DEFAULT_SESSION_BUDGET_BYTES,
+            global_budget_bytes: None,
+            on_pressure: PressurePolicy::default(),
         }
     }
 }
@@ -273,6 +330,10 @@ pub enum SessionEnd {
     Completed,
     /// The per-session idle watchdog reclaimed it.
     IdleTimeout,
+    /// Evicted as the longest-idle session to relieve global memory
+    /// pressure ([`PressurePolicy::EvictIdle`]). Its sender's later
+    /// control messages are answered with [`RejectReason::Evicted`].
+    Evicted,
     /// The server was stopped while the session was still open.
     Stopped,
 }
@@ -297,10 +358,24 @@ pub struct ServerReport {
     /// [`SessionEnd::Stopped`]).
     pub sessions: Vec<SessionOutcome>,
     /// Datagrams rejected across the whole run (unknown-session probes,
-    /// undecodable noise, wrong-session traffic in single mode).
+    /// undecodable noise, wrong-session traffic in single mode,
+    /// over-budget probe drops).
     pub rejected: u64,
-    /// SYNs refused because the registry was at `max_sessions`.
+    /// SYNs refused at admission — registry at `max_sessions`, or over
+    /// the global memory budget.
     pub syns_rejected: u64,
+    /// The subset of `syns_rejected` refused for the memory budget
+    /// specifically ([`RejectReason::Budget`]).
+    pub budget_rejects: u64,
+    /// Sessions evicted to relieve global-budget pressure
+    /// ([`SessionEnd::Evicted`]).
+    pub sessions_evicted: u64,
+    /// Out-of-range or pre-FIN report requests answered with an empty
+    /// deterministic chunk instead of silence.
+    pub chunk_nacks: u64,
+    /// High-water mark of the capacity-based session memory accounting,
+    /// in bytes (an estimate of registry RSS, not an allocator audit).
+    pub mem_peak_bytes: usize,
 }
 
 impl ServerReport {
@@ -319,6 +394,7 @@ pub struct ServerHandle {
     joined: std::thread::JoinHandle<ServerReport>,
     local_addr: SocketAddr,
     clock: Clock,
+    waker: Arc<PollWaker>,
 }
 
 impl ServerHandle {
@@ -337,6 +413,9 @@ impl ServerHandle {
     /// Stop the server and collect its report.
     pub fn stop(self) -> ServerReport {
         self.stop.store(true, Ordering::Relaxed);
+        // Kick every parked drain thread out of epoll_wait; no-op on
+        // the timeout loop (its blocking recv times out on its own).
+        self.waker.wake();
         self.clock.notify_waiters();
         // Join outside the virtual busy count, or a fault-backed serve
         // thread could never be scheduled to observe the stop flag.
@@ -407,6 +486,33 @@ impl ReceiverHandle {
 /// How often the receive loop wakes to check the stop flag and watchdog.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
+/// Upper bound on one epoll park: keeps stop-flag latency bounded even
+/// if a wake is somehow lost, without costing idle CPU (one wakeup per
+/// half-second is noise).
+const EPOLL_MAX_PARK: Duration = Duration::from_millis(500);
+
+/// Floor between two watchdog sweeps, so clustered session deadlines
+/// cannot turn the sweep into a hot spin.
+const MIN_SWEEP_GAP: Duration = Duration::from_millis(5);
+
+/// Sweep cadence when no idle timeout schedules one: sweeps still
+/// re-settle per-session memory accounting and reconcile the global
+/// budget, so they must keep running.
+const SWEEP_FALLBACK: Duration = Duration::from_millis(200);
+
+/// Capacity-based per-entry cost estimates for the memory budgets.
+/// Hash entries include bucket/control-byte overhead, vector elements
+/// their size; deliberately round and slightly generous — the budget is
+/// a guard rail against hostile or runaway sessions, not an allocator
+/// audit.
+const PROBE_ENTRY_BYTES: usize = 96;
+/// Dedup-set entry: `(u64, u8)` key plus hash overhead.
+const SEEN_ENTRY_BYTES: usize = 24;
+/// Raw-delay element: `(u64, u64, f64, i64)`.
+const RAW_ENTRY_BYTES: usize = 32;
+/// Finalized report record plus its share of the snapshot log.
+const RECORD_ENTRY_BYTES: usize = 112;
+
 /// Per-probe accumulation state.
 #[derive(Default)]
 struct ProbeArrivals {
@@ -441,6 +547,10 @@ struct SessionState {
     /// last datagram for this session — the idle watchdog's input.
     last_activity: Duration,
     finalized: Option<Finalized>,
+    /// What this session last settled against the server's global
+    /// memory tally ([`Shared::settle_mem`]); released when the session
+    /// leaves the registry.
+    accounted_bytes: usize,
     m_packets: Option<Arc<Counter>>,
     m_duplicates: Option<Arc<Counter>>,
 }
@@ -458,26 +568,76 @@ impl SessionState {
             handshake: None,
             last_activity: now,
             finalized: None,
+            accounted_bytes: 0,
             m_packets: scope.as_ref().map(|s| s.counter("packets_accepted")),
             m_duplicates: scope.as_ref().map(|s| s.counter("duplicates")),
         }
+    }
+
+    /// Approximate bytes this session's containers hold, computed from
+    /// their *capacities* (what was reserved, not merely filled) — that
+    /// is what a hostile SYN inflates and what the budgets must bound.
+    /// Pure arithmetic on a handful of fields: cheap enough for the
+    /// per-datagram fast path.
+    fn mem_bytes(&self) -> usize {
+        self.probes.capacity() * PROBE_ENTRY_BYTES
+            + self.seen.capacity() * SEEN_ENTRY_BYTES
+            + self.raw_delays.capacity() * RAW_ENTRY_BYTES
+            + self
+                .finalized
+                .as_ref()
+                .map_or(0, |f| f.records.capacity() * RECORD_ENTRY_BYTES)
+    }
+
+    /// What a SYN announcing `params` asks to have reserved, after the
+    /// hard anti-hostile caps. Both the probe map *and* the per-packet
+    /// containers are capped: the earlier code capped only the probe
+    /// count and then multiplied it by `probe_packets` (up to 255),
+    /// which let one datagram demand gigabytes of reservation.
+    fn desired_entries(params: &SessionParams) -> (usize, usize) {
+        const MAX_RESERVED_PROBES: usize = 1 << 21;
+        const MAX_RESERVED_PACKETS: usize = 1 << 22;
+        let slots_per_exp: usize = if params.improved { 3 } else { 2 };
+        let experiments = (params.n_slots as f64 * params.p).ceil() as usize;
+        let probes = experiments
+            .saturating_mul(slots_per_exp)
+            .min(MAX_RESERVED_PROBES);
+        let packets = probes
+            .saturating_mul(usize::from(params.probe_packets.max(1)))
+            .min(MAX_RESERVED_PACKETS);
+        (probes, packets)
+    }
+
+    /// The bytes [`SessionState::reserve_for`] would take a fresh
+    /// session to, clamped by the per-session budget — what admission
+    /// charges against the global budget before any container exists.
+    fn projected_bytes(params: &SessionParams, session_budget: usize) -> usize {
+        let (probes, packets) = Self::desired_entries(params);
+        (probes * PROBE_ENTRY_BYTES + packets * (SEEN_ENTRY_BYTES + RAW_ENTRY_BYTES))
+            .min(session_budget)
     }
 
     /// Pre-size the accumulation maps from the SYN-carried tool config,
     /// so a full-length run never rehashes mid-flight: the expected
     /// probe count is `p·n_slots` experiments times the slots each one
     /// probes (3 under the improved §5.3 schedule, 2 basic), and the
-    /// dedup set / raw-delay series see one entry per *packet*. Capped
-    /// so a malicious SYN cannot balloon memory; `reserve` is additive,
-    /// so re-announcing (SYN retransmit) never shrinks anything.
-    fn reserve_for(&mut self, params: &SessionParams) {
-        const MAX_RESERVED_PROBES: usize = 1 << 21;
-        let slots_per_exp: usize = if params.improved { 3 } else { 2 };
-        let experiments = (params.n_slots as f64 * params.p).ceil() as usize;
-        let probes = experiments
-            .saturating_mul(slots_per_exp)
-            .min(MAX_RESERVED_PROBES);
-        let packets = probes.saturating_mul(usize::from(params.probe_packets.max(1)));
+    /// dedup set / raw-delay series see one entry per *packet*. Hard
+    /// caps on both counts ([`SessionState::desired_entries`]) plus the
+    /// per-session byte budget bound what a malicious SYN can balloon;
+    /// `reserve` is additive, so re-announcing (SYN retransmit) never
+    /// shrinks anything.
+    fn reserve_for(&mut self, params: &SessionParams, session_budget: usize) {
+        let (mut probes, mut packets) = Self::desired_entries(params);
+        // Scale the reservation down to what the per-session budget
+        // leaves: a SYN may promise any run size, the receiver only
+        // pays up to the budget for it.
+        let want = probes * PROBE_ENTRY_BYTES + packets * (SEEN_ENTRY_BYTES + RAW_ENTRY_BYTES);
+        let remaining = session_budget.saturating_sub(self.mem_bytes());
+        if want > remaining {
+            let scale = remaining as f64 / want.max(1) as f64;
+            probes = (probes as f64 * scale) as usize;
+            packets = (packets as f64 * scale) as usize;
+        }
         self.probes
             .reserve(probes.saturating_sub(self.probes.len()));
         self.seen.reserve(packets.saturating_sub(self.seen.len()));
@@ -563,6 +723,10 @@ pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
         provider: cfg.provider,
         recv_threads: 1,
         shards: 1,
+        poll: PollMode::Auto,
+        session_budget_bytes: DEFAULT_SESSION_BUDGET_BYTES,
+        global_budget_bytes: None,
+        on_pressure: PressurePolicy::default(),
     })?;
     Ok(ReceiverHandle { session, inner })
 }
@@ -577,6 +741,17 @@ pub fn start_server(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     // Best effort: at probe rates worth batching for, the default kernel
     // rcvbuf overflows between scheduler quanta.
     socket.set_buffer_sizes(1 << 22, 1 << 22);
+    // Resolve the readiness backend up front so a forced-epoll config
+    // fails here, synchronously, not inside the serve thread.
+    let use_epoll = cfg.poll.use_epoll(&socket);
+    if cfg.poll == PollMode::Epoll && !use_epoll {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "epoll polling needs a Linux fd-backed (real UDP) socket",
+        ));
+    }
+    let waker = Arc::new(PollWaker::new(use_epoll)?);
+    let serve_waker = waker.clone();
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
     let clock = cfg.provider.clock();
@@ -591,7 +766,7 @@ pub fn start_server(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         .name("badabing-recv".into())
         .spawn(move || {
             serve_clock.adopt(enlistment);
-            serve_loop(&socket, &cfg, &serve_clock, t0, &stop_flag)
+            serve_loop(&socket, &cfg, &serve_clock, t0, &stop_flag, &serve_waker)
         })
         .expect("spawn receiver thread");
 
@@ -600,6 +775,7 @@ pub fn start_server(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         joined,
         local_addr,
         clock,
+        waker,
     })
 }
 
@@ -632,6 +808,10 @@ struct ServeCounters {
     truncated: Option<Arc<Counter>>,
     recv_syscalls: Option<Arc<Counter>>,
     recv_datagrams: Option<Arc<Counter>>,
+    evicted: Option<Arc<Counter>>,
+    budget_rejected: Option<Arc<Counter>>,
+    chunk_nacks: Option<Arc<Counter>>,
+    over_budget: Option<Arc<Counter>>,
 }
 
 impl ServeCounters {
@@ -649,9 +829,26 @@ impl ServeCounters {
             truncated: metrics.map(|m| m.counter("packets_truncated")),
             recv_syscalls: metrics.map(|m| m.counter("recv_syscalls")),
             recv_datagrams: metrics.map(|m| m.counter("recv_datagrams")),
+            evicted: metrics.map(|m| m.counter("sessions_evicted")),
+            budget_rejected: metrics.map(|m| m.counter("syns_budget_rejected")),
+            chunk_nacks: metrics.map(|m| m.counter("report_chunk_nacks")),
+            over_budget: metrics.map(|m| m.counter("probes_dropped_over_budget")),
         }
     }
 }
+
+/// Recently evicted session ids, bounded: enough to answer a stale
+/// sender's next control message with an explicit
+/// [`RejectReason::Evicted`] NACK instead of silence, small enough to
+/// never matter for the budgets it exists to serve.
+#[derive(Default)]
+struct Tombstones {
+    order: VecDeque<u32>,
+    set: HashSet<u32>,
+}
+
+/// How many evicted session ids the tombstone ring remembers.
+const TOMBSTONE_CAP: usize = 4096;
 
 /// Everything the drain threads share. The session registry is sharded
 /// by `session_id % shards`, each shard behind its own lock, so probe
@@ -672,10 +869,20 @@ struct Shared<'a> {
     outcomes: Mutex<Vec<SessionOutcome>>,
     rejected: AtomicU64,
     syns_rejected: AtomicU64,
+    budget_rejects: AtomicU64,
+    sessions_evicted: AtomicU64,
+    chunk_nacks: AtomicU64,
+    /// Capacity-based bytes currently settled across open sessions.
+    mem_used: AtomicUsize,
+    /// High-water mark of `mem_used`.
+    mem_peak: AtomicUsize,
+    tombstones: Mutex<Tombstones>,
     /// Set when the serve loop should exit: single-session completion,
     /// a hard socket error, or external stop.
     done: AtomicBool,
     stop: &'a AtomicBool,
+    /// Kicks parked epoll waiters on `done`/stop transitions.
+    waker: &'a PollWaker,
     c: ServeCounters,
 }
 
@@ -709,15 +916,154 @@ impl Shared<'_> {
     }
 
     /// Finalize a session already removed from its shard and record its
-    /// outcome. Ends the whole serve loop in single mode.
+    /// outcome. Releases its settled memory and ends the whole serve
+    /// loop in single mode.
     fn end_session(&self, id: u32, state: SessionState, end: SessionEnd) {
+        self.mem_used
+            .fetch_sub(state.accounted_bytes, Ordering::Relaxed);
         let rejected = self.rejected.load(Ordering::Relaxed);
         let outcome = state.into_outcome(id, end, rejected, self.metrics());
         self.outcomes.lock().expect("outcomes lock").push(outcome);
         self.active.fetch_sub(1, Ordering::Relaxed);
         if self.single_id == Some(id) {
             self.done.store(true, Ordering::Relaxed);
+            self.waker.wake();
         }
+    }
+
+    /// Re-settle a session's capacity-based memory estimate against the
+    /// global tally, after anything that may have grown (or shrunk) its
+    /// containers.
+    fn settle_mem(&self, state: &mut SessionState) {
+        let now = state.mem_bytes();
+        let before = std::mem::replace(&mut state.accounted_bytes, now);
+        if now > before {
+            let used = self.mem_used.fetch_add(now - before, Ordering::Relaxed) + (now - before);
+            self.mem_peak.fetch_max(used, Ordering::Relaxed);
+        } else if before > now {
+            self.mem_used.fetch_sub(before - now, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge `bytes` against the global budget, evicting idle sessions
+    /// under [`PressurePolicy::EvictIdle`] until it fits. Must be
+    /// called with NO shard lock held — the eviction path takes them
+    /// one at a time.
+    fn try_charge(&self, bytes: usize) -> bool {
+        let Some(global) = self.cfg.global_budget_bytes else {
+            let used = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+            self.mem_peak.fetch_max(used, Ordering::Relaxed);
+            return true;
+        };
+        loop {
+            let used = self.mem_used.load(Ordering::Relaxed);
+            if used.saturating_add(bytes) <= global {
+                if self
+                    .mem_used
+                    .compare_exchange_weak(used, used + bytes, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.mem_peak.fetch_max(used + bytes, Ordering::Relaxed);
+                    return true;
+                }
+                continue;
+            }
+            match self.cfg.on_pressure {
+                PressurePolicy::Reject => return false,
+                PressurePolicy::EvictIdle => {
+                    if !self.evict_oldest_idle() {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict the longest-idle open session to relieve memory pressure:
+    /// it is finalized as [`SessionEnd::Evicted`] and tombstoned so its
+    /// sender's next control message gets an explicit NACK. Returns
+    /// `false` when the registry is empty (nothing left to shed).
+    /// Shard locks are taken one at a time — never nested.
+    fn evict_oldest_idle(&self) -> bool {
+        let mut oldest: Option<(usize, u32, Duration)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let sessions = shard.lock().expect("shard lock");
+            for (&id, s) in sessions.iter() {
+                if oldest.is_none_or(|(_, _, t)| s.last_activity < t) {
+                    oldest = Some((i, id, s.last_activity));
+                }
+            }
+        }
+        let Some((i, id, _)) = oldest else {
+            return false;
+        };
+        let mut sessions = self.shards[i].lock().expect("shard lock");
+        let Some(state) = sessions.remove(&id) else {
+            // Raced with completion or reaping between the scan and the
+            // re-lock; memory was freed either way, let the caller
+            // re-evaluate.
+            return true;
+        };
+        drop(sessions);
+        self.tombstone(id);
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        inc(&self.c.evicted);
+        self.end_session(id, state, SessionEnd::Evicted);
+        true
+    }
+
+    fn tombstone(&self, id: u32) {
+        let mut t = self.tombstones.lock().expect("tombstones lock");
+        if t.set.insert(id) {
+            t.order.push_back(id);
+            if t.order.len() > TOMBSTONE_CAP {
+                if let Some(old) = t.order.pop_front() {
+                    t.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// A session id re-admitted by a fresh SYN is no longer "evicted".
+    fn untombstone(&self, id: u32) {
+        let mut t = self.tombstones.lock().expect("tombstones lock");
+        if t.set.remove(&id) {
+            t.order.retain(|&o| o != id);
+        }
+    }
+
+    /// If `id` was evicted, answer its stale control message with an
+    /// explicit [`RejectReason::Evicted`] NACK so the far sender fails
+    /// fast instead of burning its whole retry schedule.
+    fn reply_if_evicted(&self, id: u32, src: SocketAddr, scratch: &mut [u8; MAX_CONTROL_BYTES]) {
+        let evicted = self
+            .tombstones
+            .lock()
+            .expect("tombstones lock")
+            .set
+            .contains(&id);
+        if evicted {
+            let nack = ControlMessage::SynNack {
+                session: id,
+                reason: RejectReason::Evicted,
+            };
+            send_reply(self.socket, &nack, src, scratch);
+        }
+    }
+
+    /// Refuse a SYN with `reason` (counted in both the total and, where
+    /// applicable, the per-reason tallies by the caller).
+    fn refuse_syn(
+        &self,
+        session: u32,
+        reason: RejectReason,
+        src: SocketAddr,
+        scratch: &mut [u8; MAX_CONTROL_BYTES],
+    ) {
+        self.syns_rejected.fetch_add(1, Ordering::Relaxed);
+        inc(&self.c.syn_rejected);
+        let nack = ControlMessage::SynNack { session, reason };
+        send_reply(self.socket, &nack, src, scratch);
     }
 }
 
@@ -727,6 +1073,7 @@ fn serve_loop(
     clock: &Clock,
     t0: Duration,
     stop: &AtomicBool,
+    waker: &PollWaker,
 ) -> ServerReport {
     let single_id = match cfg.policy {
         SessionPolicy::Single(id) => Some(id),
@@ -745,19 +1092,34 @@ fn serve_loop(
         outcomes: Mutex::new(Vec::new()),
         rejected: AtomicU64::new(0),
         syns_rejected: AtomicU64::new(0),
+        budget_rejects: AtomicU64::new(0),
+        sessions_evicted: AtomicU64::new(0),
+        chunk_nacks: AtomicU64::new(0),
+        mem_used: AtomicUsize::new(0),
+        mem_peak: AtomicUsize::new(0),
+        tombstones: Mutex::new(Tombstones::default()),
         done: AtomicBool::new(false),
         stop,
+        waker,
         c: ServeCounters::new(cfg.metrics.as_deref()),
     };
 
+    // One readiness poller shared by every drain thread: they all park
+    // in epoll_wait on the same epoll fd. If the epoll backend cannot
+    // come up (forced-mode configs were validated in `start_server`),
+    // fall back to the timeout loop — readiness is an optimization, the
+    // socket read timeout keeps the loop correct without it.
+    let poller = Poller::new(socket, cfg.poll, waker).unwrap_or_else(|_| Poller::timeout());
+
     std::thread::scope(|s| {
         for _ in 1..cfg.recv_threads.max(1) {
-            s.spawn(|| drain_loop(&shared, false));
+            s.spawn(|| drain_loop(&shared, &poller, false));
         }
         // The main thread drains too, and owns the idle watchdog.
-        drain_loop(&shared, true);
-        // Workers notice `done`/`stop` within one poll interval; the
-        // scope joins them before the registry is torn down.
+        drain_loop(&shared, &poller, true);
+        // Workers notice `done`/`stop` within one poll interval (the
+        // flag transitions also kick the waker); the scope joins them
+        // before the registry is torn down.
     });
 
     let metrics = cfg.metrics.as_deref();
@@ -766,6 +1128,10 @@ fn serve_loop(
         outcomes,
         rejected,
         syns_rejected,
+        budget_rejects,
+        sessions_evicted,
+        chunk_nacks,
+        mem_peak,
         ..
     } = shared;
     let rejected = rejected.into_inner();
@@ -785,22 +1151,45 @@ fn serve_loop(
         sessions: outcomes,
         rejected,
         syns_rejected: syns_rejected.into_inner(),
+        budget_rejects: budget_rejects.into_inner(),
+        sessions_evicted: sessions_evicted.into_inner(),
+        chunk_nacks: chunk_nacks.into_inner(),
+        mem_peak_bytes: mem_peak.into_inner(),
     }
 }
 
-/// One drain thread: batched receive (one syscall per batch where the
-/// platform allows), one timestamp per batch, probe fast path into the
-/// sharded registry, control messages on the slow path. All reply
-/// encoding goes through a reused stack buffer — the steady-state probe
-/// path allocates nothing per datagram.
-fn drain_loop(shared: &Shared<'_>, run_watchdog: bool) {
+/// One drain thread: park on readiness (epoll where available), batched
+/// receive (one syscall per batch where the platform allows), one
+/// timestamp per batch, probe fast path into the sharded registry,
+/// control messages on the slow path. All reply encoding goes through a
+/// reused stack buffer — the steady-state probe path allocates nothing
+/// per datagram.
+fn drain_loop(shared: &Shared<'_>, poller: &Poller, run_watchdog: bool) {
     let mut ring = RecvBatch::new(DEFAULT_RECV_BATCH, &shared.cfg.provider);
     let mut scratch = [0u8; MAX_CONTROL_BYTES];
+    let mut next_sweep: Option<Duration> = None;
     while !shared.stop.load(Ordering::Relaxed) && !shared.done.load(Ordering::Relaxed) {
         if run_watchdog {
-            watchdog_sweep(shared);
+            maybe_sweep(shared, &mut next_sweep);
             if shared.done.load(Ordering::Relaxed) {
                 break;
+            }
+        }
+        // Under epoll, park until a datagram arrives, the waker fires
+        // (stop / single-session completion), or the next watchdog
+        // deadline — idle sessions cost zero wakeups. The timeout
+        // backend reports ready immediately and lets the socket's own
+        // read timeout pace the loop (the pre-epoll shape).
+        if poller.is_epoll() {
+            let now = shared.clock.now();
+            let horizon = now + EPOLL_MAX_PARK;
+            let due = match (run_watchdog, next_sweep) {
+                (true, Some(d)) => d.min(horizon),
+                _ => horizon,
+            };
+            match poller.wait(due.saturating_sub(now), shared.waker) {
+                Wait::Ready => {}
+                Wait::TimedOut | Wait::Woken => continue,
             }
         }
         let n = match ring.recv(shared.socket) {
@@ -820,6 +1209,7 @@ fn drain_loop(shared: &Shared<'_>, run_watchdog: bool) {
                 // sessions become `Stopped` outcomes), as the
                 // single-loop implementation did.
                 shared.done.store(true, Ordering::Relaxed);
+                shared.waker.wake();
                 break;
             }
         };
@@ -836,33 +1226,72 @@ fn drain_loop(shared: &Shared<'_>, run_watchdog: bool) {
     add(&shared.c.recv_datagrams, ring.datagrams());
 }
 
-/// Reap sessions idle past the configured timeout, without stopping the
-/// loop (single mode: that one session ending ends the loop, preserving
-/// the original watchdog semantics).
-fn watchdog_sweep(shared: &Shared<'_>) {
-    let Some(timeout) = shared.cfg.idle_timeout else {
-        return;
-    };
+/// The deadline-scheduled watchdog. Reaps sessions idle past the
+/// configured timeout without stopping the loop (single mode: that one
+/// session ending ends the loop, preserving the original watchdog
+/// semantics), re-settles per-session memory accounting (ingest growth
+/// since the last sweep), and — under [`PressurePolicy::EvictIdle`] —
+/// evicts until back under the global budget.
+///
+/// `next_sweep` is the absolute clock time before which nothing can
+/// possibly expire: the minimum session deadline at the last sweep. At
+/// fleet scale this is the difference between one registry walk per
+/// deadline and one per 25 ms poll tick; it is also exactly how long
+/// the epoll loop may park.
+fn maybe_sweep(shared: &Shared<'_>, next_sweep: &mut Option<Duration>) {
     let now = shared.clock.now();
-    for shard in &shared.shards {
-        let mut sessions = shard.lock().expect("shard lock");
-        let expired: Vec<u32> = sessions
-            .iter()
-            .filter(|(_, s)| now.saturating_sub(s.last_activity) >= timeout)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in expired {
-            let state = sessions.remove(&id).expect("expired session present");
-            shared.end_session(id, state, SessionEnd::IdleTimeout);
-            inc(&shared.c.idle_reaped);
+    if let Some(due) = *next_sweep {
+        if now < due {
+            return;
         }
     }
+    let timeout = shared.cfg.idle_timeout;
+    let mut earliest: Option<Duration> = None;
+    for shard in &shared.shards {
+        let mut sessions = shard.lock().expect("shard lock");
+        if let Some(timeout) = timeout {
+            let expired: Vec<u32> = sessions
+                .iter()
+                .filter(|(_, s)| now.saturating_sub(s.last_activity) >= timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                let state = sessions.remove(&id).expect("expired session present");
+                shared.end_session(id, state, SessionEnd::IdleTimeout);
+                inc(&shared.c.idle_reaped);
+            }
+        }
+        for state in sessions.values_mut() {
+            shared.settle_mem(state);
+            if let Some(timeout) = timeout {
+                let deadline = state.last_activity + timeout;
+                earliest = Some(earliest.map_or(deadline, |e| e.min(deadline)));
+            }
+        }
+    }
+    // Probe ingest can grow sessions past the global budget between
+    // sweeps (admission only gates SYNs); under the eviction policy,
+    // shed the longest-idle sessions until back under.
+    if let (Some(global), PressurePolicy::EvictIdle) =
+        (shared.cfg.global_budget_bytes, shared.cfg.on_pressure)
+    {
+        while shared.mem_used.load(Ordering::Relaxed) > global {
+            if !shared.evict_oldest_idle() {
+                break;
+            }
+        }
+    }
+    let fallback = now + timeout.unwrap_or(SWEEP_FALLBACK);
+    *next_sweep = Some(earliest.unwrap_or(fallback).max(now + MIN_SWEEP_GAP));
 }
 
 enum Ingest {
     Accepted,
     Duplicate,
     Rejected,
+    /// Dropped because storing it would push the session past its
+    /// memory budget (counted as rejected, plus its own counter).
+    OverBudget,
 }
 
 fn process_batch(
@@ -878,6 +1307,7 @@ fn process_batch(
     let mut rejected = 0u64;
     let mut duplicates = 0u64;
     let mut truncated = 0u64;
+    let mut over_budget = 0u64;
     for i in 0..n {
         // A clipped datagram's payload is incomplete: decoding it would
         // either fail noisily or, worse, parse a valid-looking prefix
@@ -894,6 +1324,10 @@ fn process_batch(
                 Ingest::Accepted => accepted += 1,
                 Ingest::Duplicate => duplicates += 1,
                 Ingest::Rejected => rejected += 1,
+                Ingest::OverBudget => {
+                    rejected += 1;
+                    over_budget += 1;
+                }
             }
         } else if let Ok(msg) = ControlMessage::decode(data) {
             rejected += u64::from(!handle_control(shared, msg, src, abs, scratch));
@@ -904,6 +1338,7 @@ fn process_batch(
     add(&shared.c.packets, accepted);
     add(&shared.c.dup, duplicates);
     add(&shared.c.truncated, truncated);
+    add(&shared.c.over_budget, over_budget);
     if rejected > 0 {
         shared.rejected.fetch_add(rejected, Ordering::Relaxed);
         add(&shared.c.rejected, rejected);
@@ -929,6 +1364,13 @@ fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, rel: Duration, abs: Durati
         return Ingest::Rejected;
     };
     state.last_activity = abs;
+    // Per-session budget on the hot path: a sender that announced a
+    // small run and then floods must not grow the maps without bound.
+    // Capacity arithmetic only — no atomics, no allocation; the global
+    // tally catches up at the next watchdog sweep.
+    if state.mem_bytes() >= shared.cfg.session_budget_bytes {
+        return Ingest::OverBudget;
+    }
     if state.ingest(h, rel) {
         inc(&state.m_packets);
         Ingest::Accepted
@@ -959,7 +1401,6 @@ fn handle_control(
     abs: Duration,
     scratch: &mut [u8; MAX_CONTROL_BYTES],
 ) -> bool {
-    use badabing_wire::control::RECORDS_PER_CHUNK;
     let cfg = shared.cfg;
     if !cfg.serve_control || matches!((shared.single_id, msg.session()), (Some(id), s) if s != id) {
         return false;
@@ -968,33 +1409,82 @@ fn handle_control(
     let id = msg.session();
     match msg {
         ControlMessage::Syn { session, params } => {
-            let mut sessions = shared.shard(session).lock().expect("shard lock");
-            // Admission: an existing session's SYN retransmit is
-            // refreshed and re-acked (idempotent); a new session is
-            // admitted only below the registry cap.
-            if let std::collections::hash_map::Entry::Vacant(e) = sessions.entry(session) {
-                if shared.single_id.is_none() && !shared.try_admit() {
-                    shared.syns_rejected.fetch_add(1, Ordering::Relaxed);
-                    inc(&shared.c.syn_rejected);
-                    let nack = ControlMessage::SynNack {
-                        session,
-                        reason: RejectReason::Capacity,
-                    };
-                    send_reply(shared.socket, &nack, src, scratch);
+            // An existing session's SYN retransmit is refreshed and
+            // re-acked (idempotent) under its own shard lock, without
+            // touching admission.
+            {
+                let mut sessions = shared.shard(session).lock().expect("shard lock");
+                if let Some(state) = sessions.get_mut(&session) {
+                    state.last_activity = abs;
+                    state.handshake = Some(params);
+                    state.reserve_for(&params, cfg.session_budget_bytes);
+                    shared.settle_mem(state);
+                    drop(sessions);
+                    send_reply(
+                        shared.socket,
+                        &ControlMessage::SynAck { session },
+                        src,
+                        scratch,
+                    );
                     return true;
                 }
-                if shared.single_id.is_some() {
-                    shared.active.fetch_add(1, Ordering::Relaxed);
-                }
-                inc(&shared.c.opened);
-                e.insert(SessionState::new(session, shared.metrics(), abs));
             }
-            let state = sessions.get_mut(&session).expect("just ensured");
-            state.last_activity = abs;
-            state.handshake = Some(params);
-            // The SYN announces the run size: pre-size the accumulation
-            // maps so the hot path never rehashes mid-run.
-            state.reserve_for(&params);
+            // New session: admission below the registry cap, then below
+            // the global memory budget — both checked with NO shard
+            // lock held, so the eviction path can walk the shards
+            // without nesting locks. The budget charge uses the SYN's
+            // budget-capped projected reservation, so a fleet of
+            // hostile SYNs cannot over-commit memory that is only
+            // allocated a moment later.
+            let projected = SessionState::projected_bytes(&params, cfg.session_budget_bytes);
+            if shared.single_id.is_none() {
+                if !shared.try_admit() {
+                    shared.refuse_syn(session, RejectReason::Capacity, src, scratch);
+                    return true;
+                }
+                if !shared.try_charge(projected) {
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                    shared.budget_rejects.fetch_add(1, Ordering::Relaxed);
+                    inc(&shared.c.budget_rejected);
+                    shared.refuse_syn(session, RejectReason::Budget, src, scratch);
+                    return true;
+                }
+            } else {
+                // Single mode: probes and heartbeats can open the one
+                // session too; no admission beyond the id filter above.
+                shared.mem_used.fetch_add(projected, Ordering::Relaxed);
+                shared.active.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut sessions = shared.shard(session).lock().expect("shard lock");
+            match sessions.entry(session) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    // Lost a race with this same session's SYN on
+                    // another drain thread: hand back the slot and the
+                    // charge, then refresh like a retransmit.
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                    shared.mem_used.fetch_sub(projected, Ordering::Relaxed);
+                    let state = e.get_mut();
+                    state.last_activity = abs;
+                    state.handshake = Some(params);
+                    state.reserve_for(&params, cfg.session_budget_bytes);
+                    shared.settle_mem(state);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    inc(&shared.c.opened);
+                    let state = e.insert(SessionState::new(session, shared.metrics(), abs));
+                    state.handshake = Some(params);
+                    // The SYN announces the run size: pre-size the
+                    // accumulation maps so the hot path never rehashes
+                    // mid-run.
+                    state.reserve_for(&params, cfg.session_budget_bytes);
+                    // The admission charge holds `projected`; settle to
+                    // the actual capacity-based figure.
+                    state.accounted_bytes = projected;
+                    shared.settle_mem(state);
+                }
+            }
+            drop(sessions);
+            shared.untombstone(session);
             send_reply(
                 shared.socket,
                 &ControlMessage::SynAck { session },
@@ -1019,6 +1509,8 @@ fn handle_control(
                 None => sessions.get_mut(&session),
             };
             let Some(state) = state else {
+                drop(sessions);
+                shared.reply_if_evicted(session, src, scratch);
                 inc(&shared.c.stale);
                 return true;
             };
@@ -1041,6 +1533,8 @@ fn handle_control(
                 None => sessions.get_mut(&session),
             };
             let Some(state) = state else {
+                drop(sessions);
+                shared.reply_if_evicted(session, src, scratch);
                 inc(&shared.c.stale);
                 return true;
             };
@@ -1054,35 +1548,50 @@ fn handle_control(
                 total_chunks: finalized.total_chunks,
                 summary: finalized.summary,
             };
+            // Finalization just materialized the record snapshot:
+            // settle it against the global tally.
+            shared.settle_mem(state);
             send_reply(shared.socket, &ack, src, scratch);
         }
         ControlMessage::ReportRequest { chunk, .. } => {
             let mut sessions = shared.shard(id).lock().expect("shard lock");
             let Some(state) = sessions.get_mut(&id) else {
+                drop(sessions);
+                shared.reply_if_evicted(id, src, scratch);
                 inc(&shared.c.stale);
                 return true;
             };
             state.last_activity = abs;
-            if let Some(finalized) = &state.finalized {
-                if chunk < finalized.total_chunks {
-                    // Serve the chunk straight from the snapshot's
-                    // record slice: no clone, byte-identical on every
-                    // re-request.
-                    let lo = chunk as usize * RECORDS_PER_CHUNK;
-                    let hi = (lo + RECORDS_PER_CHUNK).min(finalized.records.len());
-                    let n = encode_report_chunk_into(
-                        id,
-                        chunk,
-                        finalized.total_chunks,
-                        &finalized.records[lo..hi],
-                        scratch,
-                    );
-                    let _ = shared.socket.send_to(&scratch[..n], src);
+            // Every request from a live session gets a deterministic
+            // reply. In-range chunks are served straight from the
+            // snapshot's record slice ([`chunk_window`]): no clone,
+            // byte-identical on every re-request. Out-of-range chunks
+            // (sender bug, corrupted index) get an *empty* chunk
+            // echoing the true `total_chunks`; requests before any FIN
+            // get one with `total_chunks: 0`. Silence in either case
+            // would leave the sender burning its full retry/backoff
+            // schedule per chunk before concluding anything.
+            let (total, window) = match &state.finalized {
+                Some(f) if chunk < f.total_chunks => {
+                    (f.total_chunks, chunk_window(&f.records, chunk))
                 }
-            }
+                Some(f) => {
+                    shared.chunk_nacks.fetch_add(1, Ordering::Relaxed);
+                    inc(&shared.c.chunk_nacks);
+                    (f.total_chunks, &[][..])
+                }
+                None => {
+                    shared.chunk_nacks.fetch_add(1, Ordering::Relaxed);
+                    inc(&shared.c.chunk_nacks);
+                    (0, &[][..])
+                }
+            };
+            let n = encode_report_chunk_into(id, chunk, total, window, scratch);
+            let _ = shared.socket.send_to(&scratch[..n], src);
         }
         ControlMessage::ReportAck { chunk, .. } => {
             let mut sessions = shared.shard(id).lock().expect("shard lock");
+            let mut stale = false;
             let complete = match sessions.get_mut(&id) {
                 Some(state) => {
                     state.last_activity = abs;
@@ -1094,7 +1603,7 @@ fn handle_control(
                 None => {
                     // Duplicate closing ack to an already-reaped
                     // session.
-                    inc(&shared.c.stale);
+                    stale = true;
                     false
                 }
             };
@@ -1105,6 +1614,10 @@ fn handle_control(
                 drop(sessions);
                 shared.end_session(id, state, SessionEnd::Completed);
                 inc(&shared.c.completed);
+            } else if stale {
+                drop(sessions);
+                shared.reply_if_evicted(id, src, scratch);
+                inc(&shared.c.stale);
             }
         }
         // Receiver-emitted messages arriving here are stray
@@ -1566,24 +2079,21 @@ mod tests {
         assert_eq!(fb.summary, single_summary);
         assert!(single_total > 1, "test must span multiple chunks");
 
-        use badabing_wire::control::RECORDS_PER_CHUNK;
         let mut buf_a = [0u8; MAX_CONTROL_BYTES];
         let mut buf_b = [0u8; MAX_CONTROL_BYTES];
         for chunk in 0..single_total {
-            let lo = chunk as usize * RECORDS_PER_CHUNK;
-            let hi = (lo + RECORDS_PER_CHUNK).min(single_records.len());
             let na = encode_report_chunk_into(
                 11,
                 chunk,
                 single_total,
-                &single_records[lo..hi],
+                chunk_window(&single_records, chunk),
                 &mut buf_a,
             );
             let nb = encode_report_chunk_into(
                 11,
                 chunk,
                 fb.total_chunks,
-                &fb.records[lo..hi],
+                chunk_window(&fb.records, chunk),
                 &mut buf_b,
             );
             assert_eq!(
@@ -1607,7 +2117,7 @@ mod tests {
             improved: true,
         };
         let mut state = SessionState::new(1, None, Duration::ZERO);
-        state.reserve_for(&params);
+        state.reserve_for(&params, DEFAULT_SESSION_BUDGET_BYTES);
         // ceil(10_000 * 0.3) experiments × 3 slots each = 9_000 probes,
         // × 3 packets = 27_000 packet-level entries.
         assert!(state.probes.capacity() >= 9_000, "probe map under-sized");
@@ -1623,8 +2133,61 @@ mod tests {
             ..params
         };
         let mut state = SessionState::new(2, None, Duration::ZERO);
-        state.reserve_for(&hostile);
+        state.reserve_for(&hostile, DEFAULT_SESSION_BUDGET_BYTES);
         assert!(state.probes.capacity() < (1 << 22), "reserve cap ignored");
+    }
+
+    /// Satellite regression (pre-fix failure): the probe-count cap
+    /// alone is not enough — `probe_packets` multiplied the capped
+    /// count back out, so a single hostile SYN with `probe_packets:
+    /// 255` demanded a ~500M-entry (multi-GB) reservation for the
+    /// dedup set and raw-delay series. Both per-packet containers must
+    /// honor the hard cap and the per-session byte budget.
+    #[test]
+    fn hostile_syn_cannot_reserve_unbounded_packet_state() {
+        let hostile = SessionParams {
+            n_slots: u64::MAX,
+            slot_ns: 5_000_000,
+            probe_packets: 255,
+            packet_bytes: 600,
+            p: 1.0,
+            improved: true,
+        };
+        let mut state = SessionState::new(3, None, Duration::ZERO);
+        state.reserve_for(&hostile, DEFAULT_SESSION_BUDGET_BYTES);
+        // The hard packet cap is 1<<22 entries; allow hash-map headroom.
+        assert!(
+            state.seen.capacity() <= (1 << 23),
+            "dedup set reservation unbounded: {} entries",
+            state.seen.capacity()
+        );
+        assert!(
+            state.raw_delays.capacity() <= (1 << 23),
+            "raw-delay reservation unbounded: {} entries",
+            state.raw_delays.capacity()
+        );
+        // And the whole reservation respects the per-session budget
+        // (with allocator rounding headroom).
+        assert!(
+            state.mem_bytes() <= 2 * DEFAULT_SESSION_BUDGET_BYTES,
+            "reservation ignores the session budget: {} bytes",
+            state.mem_bytes()
+        );
+
+        // A tight budget scales the reservation down proportionally
+        // and composes with admission's projected charge.
+        let budget = 1 << 20; // 1 MiB
+        let mut tight = SessionState::new(4, None, Duration::ZERO);
+        tight.reserve_for(&hostile, budget);
+        assert!(
+            tight.mem_bytes() <= 2 * budget,
+            "tight budget ignored: {} bytes",
+            tight.mem_bytes()
+        );
+        assert!(
+            SessionState::projected_bytes(&hostile, budget) <= budget,
+            "projected admission charge exceeds the session budget"
+        );
     }
 
     /// The server config's sharding and multi-thread drain must not

@@ -1,0 +1,409 @@
+//! Fleet-era receiver tests: the event-driven readiness loop, the
+//! memory budgets with their admission/eviction policy, and the
+//! control-plane lifecycle regressions that the fleet rewrite must pin:
+//!
+//! * a slow chunked report fetch must keep its session alive through a
+//!   short idle timeout (every control message refreshes the idle
+//!   deadline — a reap mid-fetch strands the sender);
+//! * an out-of-range or pre-FIN `ReportRequest` gets a deterministic
+//!   empty-chunk reply, never silence;
+//! * under global-budget pressure, new sessions are either refused with
+//!   [`RejectReason::Budget`] or admitted by evicting the longest-idle
+//!   session, whose sender then sees [`RejectReason::Evicted`] on its
+//!   next control exchange;
+//! * the forced epoll and forced timeout loops both serve complete
+//!   sessions end to end over real UDP.
+
+use badabing_core::config::BadabingConfig;
+use badabing_live::control::{ControlClient, ControlConfig, ControlError};
+use badabing_live::event_loop::PollMode;
+use badabing_live::faultnet::{FaultNet, LinkFaults};
+use badabing_live::provider::Provider;
+use badabing_live::receiver::{start_server, PressurePolicy, ServerConfig, SessionEnd};
+use badabing_live::sender::{run_sender, SenderConfig};
+use badabing_metrics::Registry;
+use badabing_stats::rng::seeded;
+use badabing_wire::control::{ControlMessage, RejectReason, SessionParams};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn local0() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+fn addr(s: &str) -> SocketAddr {
+    s.parse().unwrap()
+}
+
+fn fast_tool() -> BadabingConfig {
+    BadabingConfig {
+        slot_secs: 0.005,
+        ..BadabingConfig::paper_default(0.5)
+    }
+}
+
+/// Announces a run big enough that its budget-capped projected
+/// reservation is ~24 MB — two of them cannot fit a 40 MB global
+/// budget, which is what the pressure tests arrange.
+fn big_params() -> SessionParams {
+    SessionParams {
+        n_slots: 100_000,
+        slot_ns: 5_000_000,
+        probe_packets: 3,
+        packet_bytes: 600,
+        p: 0.3,
+        improved: true,
+    }
+}
+
+/// Satellite regression: a chunked report fetch over slow links must
+/// not lose its session to a short idle watchdog mid-fetch. Each link
+/// adds 50 ms one way, the idle timeout is 250 ms, and the report spans
+/// many chunks — the session only survives because *every* control
+/// message (FIN retransmits, each ReportRequest, the closing acks)
+/// refreshes `last_activity`. A receiver that only refreshed on probes
+/// or heartbeats would reap the session between chunks and strand the
+/// sender.
+#[test]
+fn chunked_fetch_survives_short_idle_timeout_on_slow_links() {
+    const RECV: &str = "10.0.0.1:9000";
+    const PROBE_SRC: &str = "10.0.0.2:7000";
+    const CTL_SRC: &str = "10.0.0.2:7001";
+
+    let net = FaultNet::new(77);
+    // Slow but reliable control links: every exchange costs a 100 ms
+    // round trip against a 250 ms idle timeout.
+    let slow = LinkFaults {
+        latency: Duration::from_millis(50),
+        ..LinkFaults::default()
+    };
+    net.set_faults(addr(CTL_SRC), addr(RECV), slow.clone());
+    net.set_faults(addr(RECV), addr(CTL_SRC), slow);
+    let provider = Provider::Fault(net.clone());
+
+    let metrics = Arc::new(Registry::new("fleet-slow-fetch"));
+    let server = start_server(ServerConfig {
+        provider: provider.clone(),
+        idle_timeout: Some(Duration::from_millis(250)),
+        metrics: Some(metrics.clone()),
+        ..ServerConfig::any(addr(RECV), 4)
+    })
+    .unwrap();
+
+    let tool = fast_tool();
+    let mut control = ControlConfig::new(addr(RECV));
+    control.bind = Some(addr(CTL_SRC));
+    control.drain = Duration::from_millis(100);
+    // One retry period must cover the 100 ms control RTT, or every
+    // exchange needlessly retransmits before its reply can arrive.
+    control.retry_base = Duration::from_millis(150);
+    let cfg = SenderConfig {
+        tool,
+        bind: addr(PROBE_SRC),
+        control: Some(control),
+        provider,
+        ..SenderConfig::new(tool, 400, addr(RECV), 0xF1)
+    };
+    let outcome = run_sender(cfg, seeded(77, "slow-fetch")).unwrap();
+
+    assert!(
+        outcome.completed,
+        "session reaped mid-fetch: {:?}",
+        outcome.diagnostics
+    );
+    let log = outcome.receiver_log.expect("report fetched");
+    assert!(
+        log.arrivals.len() > 64,
+        "report too small to need multiple chunks: {} records",
+        log.arrivals.len()
+    );
+
+    // The closing ReportAck is fire-and-forget and still rides the
+    // 50 ms virtual link; wait for the server to mark the session
+    // complete before tearing it down. The wait must run unenrolled,
+    // or this thread's busy token freezes virtual time and the ack
+    // never delivers.
+    let completed = metrics.counter("sessions_completed");
+    net.unenrolled(|| {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while completed.get() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+
+    let report = server.stop();
+    assert_eq!(report.sessions.len(), 1);
+    assert_eq!(
+        report.sessions[0].end,
+        SessionEnd::Completed,
+        "the fetch's own control traffic must keep the session alive"
+    );
+}
+
+/// Satellite regression: a `ReportRequest` from a live session always
+/// gets a deterministic reply. Before the fix the receiver answered
+/// out-of-range chunk indices — and any request before FIN — with
+/// silence, so the sender burned its entire retry/backoff schedule per
+/// chunk before learning anything.
+#[test]
+fn report_requests_never_go_unanswered() {
+    let server = start_server(ServerConfig::any(local0(), 4)).unwrap();
+    let target = server.local_addr();
+    let session = 0xE3;
+
+    let client = ControlClient::connect(ControlConfig::new(target), None).unwrap();
+    client.handshake(session, big_params()).unwrap();
+
+    let sock = UdpSocket::bind(local0()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    let mut buf = [0u8; 2048];
+    let mut exchange = |msg: ControlMessage| -> Option<ControlMessage> {
+        sock.send_to(&msg.encode(), target).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            let Ok((len, _)) = sock.recv_from(&mut buf) else {
+                return None;
+            };
+            if let Ok(reply) = ControlMessage::decode(&buf[..len]) {
+                if reply.session() == session {
+                    return Some(reply);
+                }
+            }
+        }
+        None
+    };
+
+    // Before any FIN there is no snapshot: the reply is an empty chunk
+    // with `total_chunks: 0`, not silence.
+    let reply = exchange(ControlMessage::ReportRequest { session, chunk: 0 })
+        .expect("pre-FIN report request must be answered");
+    match reply {
+        ControlMessage::ReportChunk {
+            chunk,
+            total_chunks,
+            records,
+            ..
+        } => {
+            assert_eq!(chunk, 0);
+            assert_eq!(total_chunks, 0, "no snapshot exists before FIN");
+            assert!(records.is_empty());
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Finalize (no probes: a legitimate empty report).
+    let fin = exchange(ControlMessage::Fin {
+        session,
+        probes_sent: 0,
+        packets_sent: 0,
+    })
+    .expect("FIN must be acked");
+    let total = match fin {
+        ControlMessage::FinAck { total_chunks, .. } => total_chunks,
+        other => panic!("unexpected reply {other:?}"),
+    };
+
+    // An out-of-range index (sender bug, corrupted datagram) gets an
+    // empty chunk echoing the *true* total, byte-deterministic.
+    let hostile = total + 7;
+    let reply = exchange(ControlMessage::ReportRequest {
+        session,
+        chunk: hostile,
+    })
+    .expect("out-of-range report request must be answered");
+    match reply {
+        ControlMessage::ReportChunk {
+            chunk,
+            total_chunks,
+            records,
+            ..
+        } => {
+            assert_eq!(chunk, hostile);
+            assert_eq!(total_chunks, total, "reply must echo the real chunk count");
+            assert!(records.is_empty());
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    let report = server.stop();
+    assert_eq!(report.chunk_nacks, 2, "both oddball requests counted");
+}
+
+/// Budget admission, reject policy: once the global budget cannot cover
+/// a new session's projected reservation, its SYN fails fast with an
+/// explicit `Budget` NACK.
+#[test]
+fn syns_over_the_global_budget_are_rejected_fast() {
+    let metrics = Arc::new(Registry::new("budget-reject"));
+    let server = start_server(ServerConfig {
+        global_budget_bytes: Some(40 << 20),
+        on_pressure: PressurePolicy::Reject,
+        metrics: Some(metrics.clone()),
+        ..ServerConfig::any(local0(), 16)
+    })
+    .unwrap();
+    let target = server.local_addr();
+
+    let first = ControlClient::connect(ControlConfig::new(target), None).unwrap();
+    first.handshake(1, big_params()).expect("fits the budget");
+
+    let second = ControlClient::connect(ControlConfig::new(target), None).unwrap();
+    let started = Instant::now();
+    let err = second.handshake(2, big_params()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ControlError::Rejected {
+                reason: RejectReason::Budget
+            }
+        ),
+        "{err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "budget NACK must short-circuit the backoff schedule"
+    );
+
+    let report = server.stop();
+    assert_eq!(report.budget_rejects, 1);
+    assert_eq!(report.syns_rejected, 1, "budget rejects count as refusals");
+    assert_eq!(report.sessions_evicted, 0);
+    assert_eq!(report.sessions.len(), 1);
+    assert!(report.mem_peak_bytes > 0, "admission settles the charge");
+    assert_eq!(metrics.counter("syns_budget_rejected").get(), 1);
+}
+
+/// Budget admission, eviction policy: the longest-idle session is
+/// evicted to make room, its end is reported as `Evicted`, and its
+/// sender's next control exchange fails fast with `Evicted` (served
+/// from the tombstone ring) instead of timing out.
+#[test]
+fn budget_pressure_evicts_the_longest_idle_session() {
+    let metrics = Arc::new(Registry::new("budget-evict"));
+    let server = start_server(ServerConfig {
+        global_budget_bytes: Some(40 << 20),
+        on_pressure: PressurePolicy::EvictIdle,
+        metrics: Some(metrics.clone()),
+        ..ServerConfig::any(local0(), 16)
+    })
+    .unwrap();
+    let target = server.local_addr();
+
+    let first = ControlClient::connect(ControlConfig::new(target), None).unwrap();
+    first.handshake(11, big_params()).expect("fits the budget");
+
+    // The second SYN cannot fit alongside the first: admission evicts
+    // session 11 (the only — hence longest-idle — session) instead of
+    // refusing.
+    let second = ControlClient::connect(ControlConfig::new(target), None).unwrap();
+    second
+        .handshake(12, big_params())
+        .expect("eviction must make room for the new session");
+
+    // The evicted session's sender is told explicitly on its next
+    // exchange — a heartbeat miss first (no ack is coming)…
+    assert!(
+        !first
+            .heartbeat(11, 1, Duration::from_millis(500))
+            .expect("heartbeat io"),
+        "an evicted session must not be ackable"
+    );
+    // …and a hard `Rejected { Evicted }` on any requested exchange.
+    let started = Instant::now();
+    let err = first.fetch_report(11, 0, 0).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ControlError::Rejected {
+                reason: RejectReason::Evicted
+            }
+        ),
+        "{err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "eviction NACK must short-circuit the backoff schedule"
+    );
+
+    let report = server.stop();
+    assert_eq!(report.sessions_evicted, 1);
+    assert_eq!(report.budget_rejects, 0, "eviction made room, no refusal");
+    let by_id = |id: u32| {
+        report
+            .sessions
+            .iter()
+            .find(|o| o.session == id)
+            .unwrap_or_else(|| panic!("session {id} missing from report"))
+    };
+    assert_eq!(by_id(11).end, SessionEnd::Evicted);
+    assert_eq!(by_id(12).end, SessionEnd::Stopped);
+    assert_eq!(metrics.counter("sessions_evicted").get(), 1);
+}
+
+/// A full end-to-end session must complete under both forced poll
+/// modes: the epoll readiness loop (Linux) and the portable timeout
+/// fallback. `Auto` picks between them, so forcing each pins both
+/// implementations, not just the default.
+fn full_session_under(poll: PollMode, session: u32, seed: u64) {
+    let metrics = Arc::new(Registry::new("poll-mode"));
+    let server = start_server(ServerConfig {
+        poll,
+        idle_timeout: Some(Duration::from_secs(10)),
+        metrics: Some(metrics.clone()),
+        ..ServerConfig::any(local0(), 4)
+    })
+    .unwrap();
+    let tool = fast_tool();
+    let mut control = ControlConfig::new(server.local_addr());
+    control.drain = Duration::from_millis(100);
+    let cfg = SenderConfig {
+        tool,
+        control: Some(control),
+        ..SenderConfig::new(tool, 400, server.local_addr(), session)
+    };
+    let outcome = run_sender(cfg, seeded(seed, "poll-mode")).unwrap();
+    assert!(
+        outcome.completed,
+        "session under {poll:?} failed: {:?}",
+        outcome.diagnostics
+    );
+    assert!(outcome.receiver_log.is_some());
+    // The closing ReportAck is fire-and-forget: give the server a
+    // bounded moment to process it before collecting the report.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while metrics.counter("sessions_completed").get() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = server.stop();
+    assert_eq!(report.sessions.len(), 1);
+    assert_eq!(report.sessions[0].end, SessionEnd::Completed);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn epoll_loop_serves_a_full_session() {
+    full_session_under(PollMode::Epoll, 0xA1, 31);
+}
+
+#[test]
+fn timeout_loop_serves_a_full_session() {
+    full_session_under(PollMode::Timeout, 0xA2, 32);
+}
+
+/// Forcing epoll on a virtual-network socket is a configuration error,
+/// reported synchronously from `start_server` — not a silent fallback
+/// and not a dead serve thread.
+#[test]
+fn forced_epoll_on_a_virtual_socket_fails_fast() {
+    let net = FaultNet::new(1);
+    match start_server(ServerConfig {
+        provider: Provider::Fault(net),
+        poll: PollMode::Epoll,
+        ..ServerConfig::any(addr("10.0.0.9:9000"), 4)
+    }) {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::Unsupported),
+        Ok(_) => panic!("forced epoll on a virtual socket must fail at startup"),
+    }
+}

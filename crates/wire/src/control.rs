@@ -135,11 +135,19 @@ impl ReportRecord {
     }
 }
 
-/// Why a receiver refused a [`ControlMessage::Syn`].
+/// Why a receiver refused a [`ControlMessage::Syn`] — or, for
+/// [`RejectReason::Evicted`], any control message from a session the
+/// receiver has since reclaimed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
     /// The receiver's session registry is at its `max_sessions` cap.
     Capacity,
+    /// Admitting the session would exceed the receiver's memory budget
+    /// (and its pressure policy found nothing to evict).
+    Budget,
+    /// The session was evicted under memory pressure: the receiver no
+    /// longer holds its state, so retrying any exchange is futile.
+    Evicted,
     /// A reason this build does not know (forward compatibility).
     Other(u8),
 }
@@ -149,6 +157,8 @@ impl RejectReason {
     pub fn code(self) -> u8 {
         match self {
             RejectReason::Capacity => 1,
+            RejectReason::Budget => 2,
+            RejectReason::Evicted => 3,
             RejectReason::Other(code) => code,
         }
     }
@@ -157,6 +167,8 @@ impl RejectReason {
     pub fn from_code(code: u8) -> Self {
         match code {
             1 => RejectReason::Capacity,
+            2 => RejectReason::Budget,
+            3 => RejectReason::Evicted,
             other => RejectReason::Other(other),
         }
     }
@@ -166,6 +178,8 @@ impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RejectReason::Capacity => write!(f, "at session capacity"),
+            RejectReason::Budget => write!(f, "over memory budget"),
+            RejectReason::Evicted => write!(f, "session evicted under memory pressure"),
             RejectReason::Other(code) => write!(f, "unknown reason {code}"),
         }
     }
@@ -587,6 +601,23 @@ pub fn chunk_count(n_records: usize) -> u32 {
     n_records.div_ceil(RECORDS_PER_CHUNK) as u32
 }
 
+/// The record window chunk `chunk` of a report covers: records
+/// `[chunk·RECORDS_PER_CHUNK, (chunk+1)·RECORDS_PER_CHUNK)`, clipped to
+/// the report. An out-of-range chunk index yields the **empty** window —
+/// never a panic — so a serving path can answer any request
+/// deterministically (the receiver replies with an empty chunk rather
+/// than silence, keeping a buggy sender out of endless backoff).
+///
+/// This is the one home of the chunk-slicing arithmetic; the receiver's
+/// serving path and the differential tests both go through it.
+pub fn chunk_window(records: &[ReportRecord], chunk: u32) -> &[ReportRecord] {
+    let lo = (chunk as usize)
+        .saturating_mul(RECORDS_PER_CHUNK)
+        .min(records.len());
+    let hi = lo.saturating_add(RECORDS_PER_CHUNK).min(records.len());
+    &records[lo..hi]
+}
+
 /// Split a full report into encode-ready chunks.
 ///
 /// Convenience for tests and offline tooling: every chunk clones its
@@ -854,6 +885,47 @@ mod tests {
         assert_eq!(chunk_count(1), 1);
         assert_eq!(chunk_count(RECORDS_PER_CHUNK), 1);
         assert_eq!(chunk_count(RECORDS_PER_CHUNK + 1), 2);
+    }
+
+    #[test]
+    fn chunk_window_covers_the_report_exactly_once() {
+        let records: Vec<ReportRecord> = (0..(2 * RECORDS_PER_CHUNK as u64 + 5))
+            .map(record)
+            .collect();
+        let total = chunk_count(records.len());
+        assert_eq!(total, 3);
+        let mut rebuilt = Vec::new();
+        for chunk in 0..total {
+            let window = chunk_window(&records, chunk);
+            assert!(window.len() <= RECORDS_PER_CHUNK);
+            rebuilt.extend_from_slice(window);
+        }
+        assert_eq!(rebuilt, records);
+        assert_eq!(chunk_window(&records, 2).len(), 5);
+    }
+
+    #[test]
+    fn chunk_window_out_of_range_is_empty_not_a_panic() {
+        let records: Vec<ReportRecord> = (0..3).map(record).collect();
+        assert!(chunk_window(&records, 1).is_empty());
+        assert!(chunk_window(&records, u32::MAX).is_empty());
+        assert!(chunk_window(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn reject_reasons_roundtrip_distinct_codes() {
+        let reasons = [
+            RejectReason::Capacity,
+            RejectReason::Budget,
+            RejectReason::Evicted,
+            RejectReason::Other(200),
+        ];
+        for (i, a) in reasons.iter().enumerate() {
+            assert_eq!(RejectReason::from_code(a.code()), *a);
+            for b in &reasons[i + 1..] {
+                assert_ne!(a.code(), b.code(), "{a:?} and {b:?} share a wire code");
+            }
+        }
     }
 
     #[test]
