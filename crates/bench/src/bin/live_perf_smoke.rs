@@ -1,5 +1,5 @@
-//! The live-datapath perf gate: batched vs fallback I/O on loopback,
-//! with a JSON trajectory point (`BENCH_live.json`).
+//! The live-datapath perf gate: fallback vs batched vs GSO/GRO offload
+//! I/O on loopback, with a JSON trajectory point (`BENCH_live.json`).
 //!
 //! Three measurements, mirroring the tentpole claims of the batched
 //! datapath:
@@ -34,6 +34,17 @@
 //!    send-to-timestamp latency; the JSON records its p99 per mode,
 //!    which bounds the staleness batch-granular timestamping can add.
 //!
+//! The offload tier adds two more rows when the running kernel supports
+//! it (probed with [`kernel_offload_caps`], recorded as
+//! `"skipped": true` rather than failing elsewhere): `gso` submits each
+//! burst as flat super-datagrams that the kernel segments
+//! (`UDP_SEGMENT`), and `gso+gro` additionally coalesces on receive
+//! (`UDP_GRO`). For those rows the send loop is timed too, because
+//! kernel segmentation is a *TX*-side claim: the gate demands the
+//! combined (TX + RX) syscalls per packet drop a further ≥ 4× below the
+//! batched row's, and the combined packets/sec (received over TX busy +
+//! RX busy) beat it outright.
+//!
 //! Syscalls-avoided comes from the ring's own accounting
 //! (`datagrams - syscalls`). CI runs this under a hard timeout and
 //! uploads the JSON next to `BENCH_sim.json`.
@@ -43,6 +54,8 @@
 //! ```
 
 use badabing_live::batch_io::{set_buffer_sizes, BatchReceiver, BatchSender, IoMode};
+use badabing_live::cmsg::MAX_GSO_SEGMENTS;
+use badabing_live::kernel_offload_caps;
 use badabing_metrics::Histogram;
 use badabing_wire::{ProbeHeader, HEADER_BYTES};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -97,6 +110,12 @@ const RECV_BATCH: usize = 32;
 /// "strictly faster" while the syscall reduction carries the multiple).
 const MIN_SYSCALL_REDUCTION: f64 = 8.0;
 const MIN_SPEEDUP: f64 = 1.1;
+/// The offload rows must cut combined (TX + RX) syscalls per packet at
+/// least this much further below the batched row. Structural: a
+/// 192-packet burst costs batched 64 sendmmsg + 6 recvmmsg, GSO 3
+/// sendmsg + 6 recvmmsg — ~7.8× — so 4× leaves headroom for ring-size
+/// drift without ever passing on a path that fell back to sendmmsg.
+const MIN_GSO_SYSCALL_REDUCTION: f64 = 4.0;
 
 const _: () = assert!(PACKET_BYTES >= HEADER_BYTES, "probe must fit its header");
 
@@ -161,6 +180,33 @@ struct RxResult {
     datagrams: u64,
     p99_latency_secs: f64,
     drain_allocs: u64,
+    /// TX-side accounting for the same run: syscalls issued, time spent
+    /// in the send loop, and how many trains went out as one GSO
+    /// super-datagram (0 for the non-offload rows).
+    tx_syscalls: u64,
+    tx_busy_secs: f64,
+    gso_sends: u64,
+    gro_segments_split: u64,
+    cmsg_decode_errors: u64,
+    rx_kernel_stamped: u64,
+}
+
+impl RxResult {
+    /// Combined TX + RX syscalls per logical datagram — the structural
+    /// cost the offload tier attacks from both sides.
+    fn combined_syscalls_per_pkt(&self) -> f64 {
+        (self.tx_syscalls + self.syscalls) as f64 / self.datagrams.max(1) as f64
+    }
+
+    /// Packets moved per second of combined TX + RX busy time.
+    fn combined_pps(&self) -> f64 {
+        let busy = self.tx_busy_secs + self.busy_secs;
+        if busy > 0.0 {
+            self.received as f64 / busy
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Datagrams queued per round: small enough to fit any kernel rcvbuf
@@ -172,10 +218,17 @@ const BURST: u64 = 192;
 /// Phase 2+3: burst-then-drain rounds. Each round queues [`BURST`]
 /// probes into the receive socket, then drains them through the same
 /// `BatchReceiver` + decode + batch-timestamp loop the live receiver
-/// uses. Only the drain is timed, so the two modes compare pure
-/// receive-path cost on identical queue depths. Sender and receiver
-/// share one monotonic anchor (same process), making
-/// `batch_timestamp - send_stamp` a true send-to-timestamp latency.
+/// uses. Only the drain contributes to `busy_secs`, so every mode
+/// compares pure receive-path cost on identical queue depths; the send
+/// loop is separately timed into `tx_busy_secs` because the GSO rows'
+/// claim is a TX-side one. Sender and receiver share one monotonic
+/// anchor (same process), making `batch_timestamp - send_stamp` a true
+/// send-to-timestamp latency.
+///
+/// Non-offload modes queue per train of [`TRAIN`] — the live sender's
+/// unit of work. GSO modes encode the whole burst into one flat buffer
+/// and submit it in `MAX_GSO_SEGMENTS`-sized super-datagrams, which is
+/// exactly how a fleet sender amortizes a dense schedule.
 fn rx_phase(mode: IoMode, label: &'static str, count: u64) -> RxResult {
     let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
     set_buffer_sizes(&rx, 1 << 22, 1 << 20);
@@ -185,33 +238,45 @@ fn rx_phase(mode: IoMode, label: &'static str, count: u64) -> RxResult {
     tx.connect(rx.local_addr().unwrap()).unwrap();
     set_buffer_sizes(&tx, 1 << 20, 1 << 22);
 
+    let gso = mode.wants_gso();
+    let chunk = if gso { BURST as usize } else { TRAIN };
     let anchor = Instant::now();
     let latency = Histogram::latency();
     let mut ring = BatchReceiver::new(RECV_BATCH, mode);
-    let mut train = vec![0u8; TRAIN * PACKET_BYTES];
-    let mut sender = BatchSender::new(TRAIN, mode);
+    let mut train = vec![0u8; chunk * PACKET_BYTES];
+    let mut sender = BatchSender::new(if gso { MAX_GSO_SEGMENTS } else { TRAIN }, mode);
 
     let mut sent = 0u64;
     let mut received = 0u64;
+    let mut kernel_stamped = 0u64;
     let mut busy = Duration::ZERO;
+    let mut tx_busy = Duration::ZERO;
     let alloc_before = ALLOCS.load(Ordering::Relaxed);
     while sent < count {
-        // Queue one burst (untimed: TX cost is phase 1's concern).
+        // Queue one burst: encode `chunk` packets at a time into the
+        // reused buffer, then hand each encoded block to the kernel.
         let round_target = BURST.min(count - sent);
         let mut queued = 0u64;
         while queued < round_target {
-            for idx in 0..TRAIN {
-                let h = header(sent, anchor.elapsed().as_nanos() as u64, idx as u8);
+            let n = (chunk as u64).min(round_target - queued) as usize;
+            for idx in 0..n {
+                let h = header(
+                    sent,
+                    anchor.elapsed().as_nanos() as u64,
+                    (idx % TRAIN) as u8,
+                );
                 sent += 1;
                 h.encode_into(&mut train[idx * PACKET_BYTES..][..PACKET_BYTES]);
             }
+            let t0 = Instant::now();
             let mut off = 0;
-            while off < TRAIN {
+            while off < n {
                 off += sender
-                    .send_segments(&tx, &train[off * PACKET_BYTES..], PACKET_BYTES, TRAIN - off)
+                    .send_segments(&tx, &train[off * PACKET_BYTES..], PACKET_BYTES, n - off)
                     .unwrap();
             }
-            queued += TRAIN as u64;
+            tx_busy += t0.elapsed();
+            queued += n as u64;
         }
         // Drain it, timing only the receive path.
         let mut round_received = 0u64;
@@ -224,6 +289,9 @@ fn rx_phase(mode: IoMode, label: &'static str, count: u64) -> RxResult {
                     let now_ns = anchor.elapsed().as_nanos() as u64;
                     for i in 0..n {
                         let (data, _) = ring.datagram(i);
+                        if ring.stamp_age_ns(i).is_some() {
+                            kernel_stamped += 1;
+                        }
                         if let Ok(h) = ProbeHeader::decode(data) {
                             round_received += 1;
                             latency.record_ns(now_ns.saturating_sub(h.send_ns));
@@ -264,6 +332,12 @@ fn rx_phase(mode: IoMode, label: &'static str, count: u64) -> RxResult {
         datagrams: ring.datagrams(),
         p99_latency_secs: latency.quantile_secs(0.99).unwrap_or(0.0),
         drain_allocs,
+        tx_syscalls: sender.syscalls(),
+        tx_busy_secs: tx_busy.as_secs_f64(),
+        gso_sends: sender.gso_sends(),
+        gro_segments_split: ring.gro_segments_split(),
+        cmsg_decode_errors: ring.cmsg_decode_errors(),
+        rx_kernel_stamped: kernel_stamped,
     }
 }
 
@@ -301,24 +375,52 @@ fn main() {
          over {tx_trains} trains)"
     );
 
-    // Phases 2+3: receive throughput and latency, fallback first.
+    // Phases 2+3: receive throughput and latency, fallback first, then
+    // the offload rows where the running kernel supports them.
+    let caps = kernel_offload_caps();
     let fallback = rx_phase(IoMode::Fallback, "fallback", count);
     let batched = rx_phase(IoMode::Batched, "batched", count);
-    for r in [&fallback, &batched] {
+    let gso = caps
+        .gso_ready()
+        .then(|| rx_phase(IoMode::Gso, "gso", count));
+    let gso_gro = caps
+        .gro_ready()
+        .then(|| rx_phase(IoMode::GsoGro, "gso+gro", count));
+    let rows: Vec<&RxResult> = [
+        Some(&fallback),
+        Some(&batched),
+        gso.as_ref(),
+        gso_gro.as_ref(),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    for r in &rows {
         println!(
-            "rx {:>8}: {:>9.0} pkts/s ({} of {} in {:.3}s busy), {} syscalls for {} datagrams \
-             (avoided {}), p99 latency {:.1} µs, {} allocs in drain",
+            "rx {:>8}: {:>9.0} pkts/s ({} of {} in {:.3}s busy), {} rx + {} tx syscalls for \
+             {} datagrams (avoided {}), p99 latency {:.1} µs, {} allocs in drain, \
+             {} GSO sends, {} GRO splits, {} kernel-stamped",
             r.mode,
             r.pps,
             r.received,
             r.sent,
             r.busy_secs,
             r.syscalls,
+            r.tx_syscalls,
             r.datagrams,
             r.datagrams.saturating_sub(r.syscalls),
             r.p99_latency_secs * 1e6,
             r.drain_allocs,
+            r.gso_sends,
+            r.gro_segments_split,
+            r.rx_kernel_stamped,
         );
+    }
+    if gso.is_none() {
+        println!("rx      gso: skipped (kernel lacks UDP_SEGMENT)");
+    }
+    if gso_gro.is_none() {
+        println!("rx  gso+gro: skipped (kernel lacks UDP_SEGMENT+UDP_GRO)");
     }
 
     let speedup = if fallback.pps > 0.0 {
@@ -356,13 +458,66 @@ fn main() {
         println!("(no batched syscalls on this platform: results reported, not gated)");
     }
 
+    // The offload gate compares combined TX + RX cost: kernel
+    // segmentation is worthless if it just moves syscalls to the other
+    // side of the wire.
+    let mut gso_reduction = 0.0;
+    for r in gso.iter().chain(gso_gro.iter()) {
+        let reduction = batched.combined_syscalls_per_pkt() / r.combined_syscalls_per_pkt();
+        println!(
+            "{} vs batched: combined syscalls/pkt {:.4} vs {:.4} ({reduction:.1}x), \
+             combined pps {:.0} vs {:.0}",
+            r.mode,
+            r.combined_syscalls_per_pkt(),
+            batched.combined_syscalls_per_pkt(),
+            r.combined_pps(),
+            batched.combined_pps(),
+        );
+        assert!(
+            reduction >= MIN_GSO_SYSCALL_REDUCTION,
+            "perf gate: {} must cut combined syscalls/pkt >= {MIN_GSO_SYSCALL_REDUCTION}x \
+             further than batched, got {reduction:.1}x",
+            r.mode
+        );
+        assert!(
+            r.combined_pps() > batched.combined_pps(),
+            "perf gate: {} combined pps ({:.0}) must beat batched ({:.0})",
+            r.mode,
+            r.combined_pps(),
+            batched.combined_pps(),
+        );
+        assert!(
+            r.gso_sends > 0,
+            "perf gate: {} row must actually exercise UDP_SEGMENT",
+            r.mode
+        );
+        assert_eq!(
+            r.drain_allocs, 0,
+            "perf gate: the {} drain loop must not allocate",
+            r.mode
+        );
+        assert_eq!(
+            r.cmsg_decode_errors, 0,
+            "perf gate: {} must decode every cmsg it asked for",
+            r.mode
+        );
+        if r.mode == "gso" {
+            gso_reduction = reduction;
+        }
+    }
+
     let rx_json = |r: &RxResult| {
         format!(
             concat!(
-                "    {{\"mode\": \"{}\", \"batched\": {}, \"packets_sent\": {}, ",
+                "    {{\"mode\": \"{}\", \"batched\": {}, \"skipped\": false, ",
+                "\"packets_sent\": {}, ",
                 "\"packets_received\": {}, \"busy_secs\": {:.6}, \"packets_per_sec\": {:.0}, ",
                 "\"syscalls\": {}, \"datagrams\": {}, \"syscalls_avoided\": {}, ",
-                "\"p99_latency_secs\": {:.9}, \"drain_allocs\": {}}}"
+                "\"p99_latency_secs\": {:.9}, \"drain_allocs\": {}, ",
+                "\"tx_syscalls\": {}, \"tx_busy_secs\": {:.6}, ",
+                "\"combined_packets_per_sec\": {:.0}, \"combined_syscalls_per_pkt\": {:.6}, ",
+                "\"gso_sends\": {}, \"gro_segments_split\": {}, ",
+                "\"cmsg_decode_errors\": {}, \"rx_timestamp_kernel\": {}}}"
             ),
             r.mode,
             r.batched,
@@ -375,8 +530,30 @@ fn main() {
             r.datagrams.saturating_sub(r.syscalls),
             r.p99_latency_secs,
             r.drain_allocs,
+            r.tx_syscalls,
+            r.tx_busy_secs,
+            r.combined_pps(),
+            r.combined_syscalls_per_pkt(),
+            r.gso_sends,
+            r.gro_segments_split,
+            r.cmsg_decode_errors,
+            r.rx_kernel_stamped,
         )
     };
+    // Unsupported kernels record a skip, not a failure: the trajectory
+    // file stays comparable across fleets with and without offload.
+    let skipped_json = |mode: &str, reason: &str| {
+        format!("    {{\"mode\": \"{mode}\", \"skipped\": true, \"reason\": \"{reason}\"}}")
+    };
+    let mut rx_rows = vec![rx_json(&fallback), rx_json(&batched)];
+    rx_rows.push(match &gso {
+        Some(r) => rx_json(r),
+        None => skipped_json("gso", "kernel lacks UDP_SEGMENT"),
+    });
+    rx_rows.push(match &gso_gro {
+        Some(r) => rx_json(r),
+        None => skipped_json("gso+gro", "kernel lacks UDP_SEGMENT+UDP_GRO"),
+    });
     let json = format!(
         concat!(
             "{{\n",
@@ -385,29 +562,36 @@ fn main() {
             "  \"packet_bytes\": {},\n",
             "  \"train_packets\": {},\n",
             "  \"recv_batch\": {},\n",
+            "  \"caps\": {{\"udp_segment\": {}, \"udp_gro\": {}, \"so_timestamping\": {}}},\n",
             "  \"tx\": {{\"trains\": {}, \"packets\": {}, \"steady_state_allocs\": {}, ",
             "\"allocs_per_probe\": {}}},\n",
-            "  \"rx\": [\n{},\n{}\n  ],\n",
+            "  \"rx\": [\n{}\n  ],\n",
             "  \"gate\": {{\"speedup\": {:.3}, \"min_speedup\": {}, ",
             "\"syscall_reduction\": {:.1}, \"min_syscall_reduction\": {}, ",
-            "\"gated\": {}}}\n",
+            "\"gso_syscall_reduction\": {:.1}, \"min_gso_syscall_reduction\": {}, ",
+            "\"gated\": {}, \"gso_gated\": {}}}\n",
             "}}\n"
         ),
         quick,
         PACKET_BYTES,
         TRAIN,
         RECV_BATCH,
+        caps.udp_segment,
+        caps.udp_gro,
+        caps.so_timestamping,
         tx_trains,
         tx_trains * TRAIN as u64,
         tx_allocs,
         tx_allocs / tx_trains.max(1),
-        rx_json(&fallback),
-        rx_json(&batched),
+        rx_rows.join(",\n"),
         speedup,
         MIN_SPEEDUP,
         syscall_reduction,
         MIN_SYSCALL_REDUCTION,
+        gso_reduction,
+        MIN_GSO_SYSCALL_REDUCTION,
         batched.batched,
+        gso.is_some(),
     );
     let path = out.unwrap_or_else(|| PathBuf::from("BENCH_live.json"));
     if let Some(dir) = path.parent() {

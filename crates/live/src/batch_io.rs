@@ -16,12 +16,30 @@
 //! *same* API, so the receiver and sender code is identical on both
 //! paths and differential tests can force either one.
 //!
-//! Behaviour contract: the batched and fallback paths deliver the same
-//! datagrams with the same payloads; only the number of syscalls (and
-//! the granularity of batch timestamps the *caller* takes) differs.
+//! A third tier sits above batching: **segmentation offload**. In
+//! [`IoMode::Gso`] the sender hands the kernel one flat super-datagram
+//! per `sendmsg` with a `UDP_SEGMENT` cmsg and lets the kernel split it
+//! into wire packets (up to [`crate::cmsg::MAX_GSO_SEGMENTS`] per
+//! call), and the receiver enables `SO_TIMESTAMPING` so every datagram
+//! carries the kernel's software RX stamp instead of a userspace
+//! timestamp taken after scheduler noise. [`IoMode::GsoGro`] adds
+//! `UDP_GRO` on the receive side: the ring's slots grow to
+//! super-datagram size and coalesced reads are split back into logical
+//! datagrams by the cmsg-reported segment size (tail segment included)
+//! before the caller ever sees them — `datagram(i)` indexes logical
+//! datagrams on every path. Offload support is probed at runtime
+//! ([`kernel_offload_caps`]); a send the kernel refuses (`EINVAL`/`EIO`
+//! — typical for missing offload support) flips the sender back to the
+//! `sendmmsg` path permanently for that socket, so the offload tier
+//! degrades to the batched tier instead of failing.
+//!
+//! Behaviour contract: all paths deliver the same datagrams with the
+//! same payloads; only the number of syscalls (and the granularity and
+//! source of the timestamps the *caller* takes) differs.
 //! `crates/live/tests/batch_differential.rs` holds the receiver to
 //! byte-identical reports across the two paths.
 
+use crate::cmsg;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 
@@ -45,15 +63,44 @@ pub enum IoMode {
     Batched,
     /// The portable one-datagram-per-syscall path, everywhere.
     Fallback,
+    /// The offload tier, TX side: `UDP_SEGMENT` super-datagram sends
+    /// plus kernel software RX timestamps (`SO_TIMESTAMPING`) on the
+    /// receive ring. Falls back to the batched tier per-socket when the
+    /// kernel refuses the offload, and to the portable path off Linux.
+    Gso,
+    /// The full offload tier: [`IoMode::Gso`] plus `UDP_GRO` receive
+    /// coalescing — the receive ring grows super-datagram slots and
+    /// splits coalesced reads by the cmsg segment size.
+    GsoGro,
 }
 
 impl IoMode {
     /// Whether this mode resolves to the batched implementation here.
     pub fn use_batched(self) -> bool {
         match self {
-            IoMode::Auto | IoMode::Batched => cfg!(target_os = "linux"),
+            IoMode::Auto | IoMode::Batched | IoMode::Gso | IoMode::GsoGro => {
+                cfg!(target_os = "linux")
+            }
             IoMode::Fallback => false,
         }
+    }
+
+    /// Whether senders should attempt `UDP_SEGMENT` offload sends.
+    pub fn wants_gso(self) -> bool {
+        matches!(self, IoMode::Gso | IoMode::GsoGro)
+    }
+
+    /// Whether receive rings should enable `UDP_GRO` coalescing.
+    pub fn wants_gro(self) -> bool {
+        matches!(self, IoMode::GsoGro)
+    }
+
+    /// Whether receive rings should enable kernel software RX
+    /// timestamps (`SO_TIMESTAMPING`). Both offload modes do: the
+    /// kernel stamp is taken before scheduler noise, which is the whole
+    /// point of the tier for delay measurement.
+    pub fn wants_kernel_stamps(self) -> bool {
+        matches!(self, IoMode::Gso | IoMode::GsoGro)
     }
 }
 
@@ -65,8 +112,10 @@ impl std::str::FromStr for IoMode {
             "auto" => Ok(IoMode::Auto),
             "batched" => Ok(IoMode::Batched),
             "fallback" => Ok(IoMode::Fallback),
+            "gso" => Ok(IoMode::Gso),
+            "gso+gro" | "gso-gro" => Ok(IoMode::GsoGro),
             other => Err(format!(
-                "unknown io mode {other:?} (expected auto|batched|fallback)"
+                "unknown io mode {other:?} (expected auto|batched|fallback|gso|gso+gro)"
             )),
         }
     }
@@ -78,9 +127,25 @@ fn unspecified() -> SocketAddr {
     SocketAddr::from(([0, 0, 0, 0], 0))
 }
 
+/// Bytes per ring slot when `UDP_GRO` is on: a coalesced read can be a
+/// whole super-datagram (up to the UDP payload maximum).
+pub const GRO_SLOT_BYTES: usize = 65_536;
+
+/// One logical datagram of the last recv: a window into a ring slot.
+/// Without GRO every slot is exactly one window; a coalesced read is
+/// split into one window per segment.
+#[derive(Debug, Clone, Copy)]
+struct View {
+    slot: u32,
+    off: u32,
+    len: u32,
+}
+
 /// A preallocated receive ring: one `recv` call fills up to `cap`
 /// datagram slots (one syscall on the batched path, exactly one datagram
-/// on the fallback path) with no allocation.
+/// on the fallback path) with no allocation. Indices handed to
+/// [`BatchReceiver::datagram`] address *logical* datagrams: under GRO a
+/// single slot may carry many.
 pub struct BatchReceiver {
     cap: usize,
     slot: usize,
@@ -88,11 +153,26 @@ pub struct BatchReceiver {
     lens: Vec<usize>,
     srcs: Vec<SocketAddr>,
     truncs: Vec<bool>,
+    /// Per-slot kernel RX stamp, expressed as its age in nanoseconds
+    /// relative to the wall sample taken right after the syscall
+    /// (`u64::MAX` = no kernel stamp for that slot).
+    ages: Vec<u64>,
+    /// Logical datagrams of the last recv, in arrival order.
+    views: Vec<View>,
     count: usize,
     batched: bool,
+    want_gro: bool,
+    want_stamps: bool,
+    gro_on: bool,
+    stamps_on: bool,
+    configured: bool,
     syscalls: u64,
     datagrams: u64,
     truncated: u64,
+    gro_segments_split: u64,
+    cmsg_decode_errors: u64,
+    #[cfg(target_os = "linux")]
+    ctrl: Vec<u8>,
     #[cfg(target_os = "linux")]
     raw: RawRing,
 }
@@ -105,21 +185,54 @@ struct RawRing {
 }
 
 impl BatchReceiver {
-    /// A ring of `cap` slots of [`DATAGRAM_BYTES`] each.
+    /// A ring of `cap` slots of [`DATAGRAM_BYTES`] each
+    /// ([`GRO_SLOT_BYTES`] when the mode coalesces).
     pub fn new(cap: usize, mode: IoMode) -> Self {
         assert!(cap >= 1, "batch capacity must be at least 1");
+        let batched = mode.use_batched();
+        let want_gro = mode.wants_gro() && batched;
+        let want_stamps = mode.wants_kernel_stamps() && batched;
+        let slot = if want_gro {
+            GRO_SLOT_BYTES
+        } else {
+            DATAGRAM_BYTES
+        };
+        // A GRO slot splits into at most MAX_GSO_SEGMENTS logical
+        // datagrams (the kernel's own coalescing cap); one extra slot
+        // of headroom absorbs a misbehaving kernel via tail-merge
+        // without ever reallocating mid-drain.
+        let max_views = if want_gro {
+            cap * (cmsg::MAX_GSO_SEGMENTS + 1)
+        } else {
+            cap
+        };
         let mut out = Self {
             cap,
-            slot: DATAGRAM_BYTES,
-            bufs: vec![0u8; cap * DATAGRAM_BYTES],
+            slot,
+            bufs: vec![0u8; cap * slot],
             lens: vec![0; cap],
             srcs: vec![unspecified(); cap],
             truncs: vec![false; cap],
+            ages: vec![u64::MAX; cap],
+            views: Vec::with_capacity(max_views),
             count: 0,
-            batched: mode.use_batched(),
+            batched,
+            want_gro,
+            want_stamps,
+            gro_on: false,
+            stamps_on: false,
+            configured: false,
             syscalls: 0,
             datagrams: 0,
             truncated: 0,
+            gro_segments_split: 0,
+            cmsg_decode_errors: 0,
+            #[cfg(target_os = "linux")]
+            ctrl: if want_gro || want_stamps {
+                vec![0u8; cap * cmsg::RECV_CONTROL_BYTES]
+            } else {
+                Vec::new()
+            },
             #[cfg(target_os = "linux")]
             raw: RawRing {
                 // SAFETY: all-zero bytes are a valid value for these
@@ -151,8 +264,9 @@ impl BatchReceiver {
         }
         let iovs = self.raw.iovs.as_mut_ptr();
         let addrs = self.raw.addrs.as_mut_ptr();
+        let want_ctrl = !self.ctrl.is_empty();
         for (i, hdr) in self.raw.hdrs.iter_mut().enumerate() {
-            // SAFETY: both pointers index into the raw ring's own
+            // SAFETY: all three pointers index into the raw ring's own
             // vectors. The vectors are never resized after construction,
             // so their heap allocations — which is what these pointers
             // address — stay put even if the `BatchReceiver` itself
@@ -164,8 +278,16 @@ impl BatchReceiver {
                     msg_namelen: sys::SOCKADDR_STORAGE_BYTES as u32,
                     msg_iov: unsafe { iovs.add(i) },
                     msg_iovlen: 1,
-                    msg_control: std::ptr::null_mut(),
-                    msg_controllen: 0,
+                    msg_control: if want_ctrl {
+                        self.ctrl[i * cmsg::RECV_CONTROL_BYTES..].as_mut_ptr() as *mut _
+                    } else {
+                        std::ptr::null_mut()
+                    },
+                    msg_controllen: if want_ctrl {
+                        cmsg::RECV_CONTROL_BYTES
+                    } else {
+                        0
+                    },
                     msg_flags: 0,
                 },
                 msg_len: 0,
@@ -178,14 +300,59 @@ impl BatchReceiver {
         self.batched
     }
 
+    /// Enable the requested socket options the first time the ring sees
+    /// its socket. Failures degrade stickily (the flag stays off and is
+    /// never retried): an old kernel without `UDP_GRO` still receives,
+    /// it just never coalesces, and timestamp consumers fall back to the
+    /// userspace clock.
+    #[cfg(target_os = "linux")]
+    fn ensure_socket_setup(&mut self, socket: &UdpSocket) {
+        use std::os::fd::AsRawFd;
+        if self.configured {
+            return;
+        }
+        self.configured = true;
+        let fd = socket.as_raw_fd();
+        if self.want_stamps {
+            let flags: u32 = cmsg::SOF_TIMESTAMPING_RX_SOFTWARE | cmsg::SOF_TIMESTAMPING_SOFTWARE;
+            // SAFETY: passes a 4-byte value the kernel only reads.
+            let rc = unsafe {
+                sys::setsockopt(
+                    fd,
+                    sys::SOL_SOCKET,
+                    cmsg::SO_TIMESTAMPING,
+                    &flags as *const u32 as *const _,
+                    4,
+                )
+            };
+            self.stamps_on = rc == 0;
+        }
+        if self.want_gro {
+            let on: i32 = 1;
+            // SAFETY: passes a 4-byte value the kernel only reads.
+            let rc = unsafe {
+                sys::setsockopt(
+                    fd,
+                    cmsg::SOL_UDP,
+                    cmsg::UDP_GRO,
+                    &on as *const i32 as *const _,
+                    4,
+                )
+            };
+            self.gro_on = rc == 0;
+        }
+    }
+
     /// Receive into the ring: blocks per the socket's read timeout for
     /// the first datagram, then (batched path) drains whatever else is
     /// already queued, up to capacity, without blocking again
-    /// (`MSG_WAITFORONE`). Returns the number of datagrams now readable
-    /// via [`BatchReceiver::datagram`]. Timeouts surface as
-    /// `WouldBlock`/`TimedOut` exactly like `recv_from`.
+    /// (`MSG_WAITFORONE`). Returns the number of **logical** datagrams
+    /// now readable via [`BatchReceiver::datagram`] — under GRO one read
+    /// may split into many. Timeouts surface as `WouldBlock`/`TimedOut`
+    /// exactly like `recv_from`.
     pub fn recv(&mut self, socket: &UdpSocket) -> io::Result<usize> {
         self.count = 0;
+        self.views.clear();
         if !self.batched {
             let (len, src) = socket.recv_from(&mut self.bufs[..self.slot])?;
             self.lens[0] = len;
@@ -199,6 +366,12 @@ impl BatchReceiver {
             if self.truncs[0] {
                 self.truncated += 1;
             }
+            self.ages[0] = u64::MAX;
+            self.views.push(View {
+                slot: 0,
+                off: 0,
+                len: len.min(self.slot) as u32,
+            });
             self.count = 1;
             self.syscalls += 1;
             self.datagrams += 1;
@@ -207,6 +380,8 @@ impl BatchReceiver {
         #[cfg(target_os = "linux")]
         {
             use std::os::fd::AsRawFd;
+            self.ensure_socket_setup(socket);
+            let want_ctrl = !self.ctrl.is_empty();
             // The ring was wired up once in `init_ring`; per call only
             // the fields the kernel overwrites need resetting. The
             // kernel rewrites each sockaddr before reporting it, so the
@@ -215,9 +390,15 @@ impl BatchReceiver {
                 hdr.msg_hdr.msg_namelen = sys::SOCKADDR_STORAGE_BYTES as u32;
                 hdr.msg_hdr.msg_flags = 0;
                 hdr.msg_len = 0;
+                if want_ctrl {
+                    // The kernel shrinks controllen to what it wrote;
+                    // restore the full window (the pointer is untouched).
+                    hdr.msg_hdr.msg_controllen = cmsg::RECV_CONTROL_BYTES;
+                }
             }
-            // SAFETY: hdrs/iovs/addrs are `cap` valid, live entries; the
-            // fd is owned by `socket` which outlives the call.
+            // SAFETY: hdrs/iovs/addrs (and ctrl when wired) are `cap`
+            // valid, live entries; the fd is owned by `socket` which
+            // outlives the call.
             let n = unsafe {
                 sys::recvmmsg(
                     socket.as_raw_fd(),
@@ -231,6 +412,17 @@ impl BatchReceiver {
                 return Err(io::Error::last_os_error());
             }
             let n = n as usize;
+            // One wall sample right after the syscall maps kernel
+            // CLOCK_REALTIME stamps into the caller's clock domain as
+            // ages ("this packet hit the NIC stack X ns before now"),
+            // which keeps the measurement path monotonic-clock only.
+            let wall = if self.stamps_on && n > 0 {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .ok()
+            } else {
+                None
+            };
             for i in 0..n {
                 self.lens[i] = self.raw.hdrs[i].msg_len as usize;
                 self.srcs[i] = sys::parse_sockaddr(&self.raw.addrs[i]).unwrap_or_else(unspecified);
@@ -239,29 +431,125 @@ impl BatchReceiver {
                 if self.truncs[i] {
                     self.truncated += 1;
                 }
+                self.ages[i] = u64::MAX;
+                let len = self.lens[i].min(self.slot);
+                let mut seg = 0usize;
+                if want_ctrl {
+                    let clen = self.raw.hdrs[i]
+                        .msg_hdr
+                        .msg_controllen
+                        .min(cmsg::RECV_CONTROL_BYTES);
+                    let ctrl = &self.ctrl[i * cmsg::RECV_CONTROL_BYTES..][..clen];
+                    let mut it = cmsg::CmsgIter::new(ctrl);
+                    for c in it.by_ref() {
+                        match (c.level, c.ty) {
+                            (sys::SOL_SOCKET, cmsg::SCM_TIMESTAMPING) => {
+                                // An all-zero stamp means "not stamped"
+                                // (only one of the three timespecs is
+                                // ever filled) — that is a fallback, not
+                                // a decode error.
+                                if let (Some(stamp), Some(w)) =
+                                    (cmsg::parse_scm_timestamping(c.data), wall)
+                                {
+                                    let age = w.saturating_sub(stamp).as_nanos();
+                                    self.ages[i] = age.min(u64::MAX as u128) as u64;
+                                }
+                            }
+                            (cmsg::SOL_UDP, cmsg::UDP_GRO) => {
+                                match cmsg::parse_gro_segment_size(c.data) {
+                                    Some(s) => seg = s,
+                                    None => self.cmsg_decode_errors += 1,
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if it.malformed {
+                        self.cmsg_decode_errors += 1;
+                    }
+                }
+                if seg > 0 && seg < len && !self.truncs[i] {
+                    // A coalesced super-datagram: split it into logical
+                    // datagrams at the kernel-reported segment size. The
+                    // last segment may be short (a genuinely smaller
+                    // trailing packet).
+                    let mut produced: u64 = 0;
+                    for (off, seg_len) in cmsg::segments(len, seg) {
+                        if self.views.len() == self.views.capacity() {
+                            // A kernel coalescing beyond its own
+                            // documented cap: merge the remainder into
+                            // the final view rather than reallocating
+                            // (zero-alloc drain contract) and flag it.
+                            self.cmsg_decode_errors += 1;
+                            let last = self.views.last_mut().expect("view capacity is nonzero");
+                            last.len = (len - last.off as usize) as u32;
+                            break;
+                        }
+                        self.views.push(View {
+                            slot: i as u32,
+                            off: off as u32,
+                            len: seg_len as u32,
+                        });
+                        produced += 1;
+                    }
+                    if produced > 1 {
+                        self.gro_segments_split += produced;
+                    }
+                } else {
+                    self.views.push(View {
+                        slot: i as u32,
+                        off: 0,
+                        len: len as u32,
+                    });
+                }
             }
-            self.count = n;
+            self.count = self.views.len();
             self.syscalls += 1;
-            self.datagrams += n as u64;
-            Ok(n)
+            self.datagrams += self.count as u64;
+            Ok(self.count)
         }
         #[cfg(not(target_os = "linux"))]
         unreachable!("batched mode never resolves on this platform")
     }
 
-    /// Datagram `i` of the last [`BatchReceiver::recv`] (panics past its
-    /// return value).
+    /// Logical datagram `i` of the last [`BatchReceiver::recv`] (panics
+    /// past its return value).
     pub fn datagram(&self, i: usize) -> (&[u8], SocketAddr) {
         assert!(i < self.count, "datagram index {i} >= batch {}", self.count);
-        let len = self.lens[i].min(self.slot);
-        (&self.bufs[i * self.slot..i * self.slot + len], self.srcs[i])
+        let v = self.views[i];
+        let start = v.slot as usize * self.slot + v.off as usize;
+        (
+            &self.bufs[start..start + v.len as usize],
+            self.srcs[v.slot as usize],
+        )
     }
 
     /// Whether datagram `i` of the last recv was clipped to the ring
     /// slot (its payload is incomplete — drop it, don't decode it).
     pub fn is_truncated(&self, i: usize) -> bool {
         assert!(i < self.count, "datagram index {i} >= batch {}", self.count);
-        self.truncs[i]
+        self.truncs[self.views[i].slot as usize]
+    }
+
+    /// Kernel RX stamp of datagram `i` of the last recv, as its age in
+    /// nanoseconds at the moment `recv` returned (`None` when the kernel
+    /// didn't stamp it — stamping off, unsupported, or the datagram was
+    /// queued before stamping was enabled). Segments split from one GRO
+    /// super-datagram share their slot's stamp.
+    pub fn stamp_age_ns(&self, i: usize) -> Option<u64> {
+        assert!(i < self.count, "datagram index {i} >= batch {}", self.count);
+        let age = self.ages[self.views[i].slot as usize];
+        (age != u64::MAX).then_some(age)
+    }
+
+    /// Whether kernel RX timestamping actually engaged on the socket.
+    pub fn kernel_stamps_enabled(&self) -> bool {
+        self.stamps_on
+    }
+
+    /// Whether GRO coalescing actually engaged on the socket.
+    pub fn gro_enabled(&self) -> bool {
+        self.gro_on
     }
 
     /// Receive syscalls issued so far.
@@ -269,7 +557,7 @@ impl BatchReceiver {
         self.syscalls
     }
 
-    /// Datagrams received so far.
+    /// Logical datagrams received so far (each GRO segment counts one).
     pub fn datagrams(&self) -> u64 {
         self.datagrams
     }
@@ -277,6 +565,17 @@ impl BatchReceiver {
     /// Datagrams received clipped (see [`BatchReceiver::is_truncated`]).
     pub fn truncated(&self) -> u64 {
         self.truncated
+    }
+
+    /// Logical datagrams produced by splitting GRO super-datagrams (only
+    /// counts reads that actually coalesced two or more segments).
+    pub fn gro_segments_split(&self) -> u64 {
+        self.gro_segments_split
+    }
+
+    /// Control messages (or GRO splits) that failed to decode sanely.
+    pub fn cmsg_decode_errors(&self) -> u64 {
+        self.cmsg_decode_errors
     }
 }
 
@@ -287,27 +586,42 @@ impl BatchReceiver {
 pub struct BatchSender {
     cap: usize,
     batched: bool,
+    /// Whether the mode asks for `UDP_SEGMENT` offload at all.
+    gso: bool,
+    /// Sticky health of the offload: the first send the kernel rejects
+    /// with "no offload here" (`EIO`/`EINVAL`/`EOPNOTSUPP`) clears this
+    /// and every later train goes straight to `sendmmsg`.
+    gso_ok: bool,
     syscalls: u64,
     datagrams: u64,
+    gso_sends: u64,
     #[cfg(target_os = "linux")]
     hdrs: Vec<sys::mmsghdr>,
     #[cfg(target_os = "linux")]
     iovs: Vec<sys::iovec>,
+    #[cfg(target_os = "linux")]
+    gso_cmsg: [u8; cmsg::space(2)],
 }
 
 impl BatchSender {
     /// A sender batching up to `cap` datagrams per syscall.
     pub fn new(cap: usize, mode: IoMode) -> Self {
         assert!(cap >= 1, "batch capacity must be at least 1");
+        let batched = mode.use_batched();
         Self {
             cap,
-            batched: mode.use_batched(),
+            batched,
+            gso: mode.wants_gso() && batched,
+            gso_ok: true,
             syscalls: 0,
             datagrams: 0,
+            gso_sends: 0,
             #[cfg(target_os = "linux")]
             hdrs: vec![unsafe { std::mem::zeroed() }; cap],
             #[cfg(target_os = "linux")]
             iovs: vec![unsafe { std::mem::zeroed() }; cap],
+            #[cfg(target_os = "linux")]
+            gso_cmsg: [0u8; cmsg::space(2)],
         }
     }
 
@@ -382,6 +696,13 @@ impl BatchSender {
     /// steady-state TX path needs no per-train slice-of-slices. Same
     /// prefix/short-count/error semantics as `send`.
     ///
+    /// On a GSO mode this is the offload entry point: the whole prefix
+    /// goes down as **one** `sendmsg` carrying a `UDP_SEGMENT` cmsg and
+    /// the kernel segments it, clamped to the kernel's own limits (64
+    /// segments, 64 KiB total). If the path reports it can't offload
+    /// (`EIO`/`EINVAL`/`EOPNOTSUPP`) the sender degrades stickily to
+    /// `sendmmsg` and stays correct.
+    ///
     /// [`seg_bytes`]: Self::send_segments
     pub fn send_segments(
         &mut self,
@@ -407,6 +728,18 @@ impl BatchSender {
         #[cfg(target_os = "linux")]
         {
             use std::os::fd::AsRawFd;
+            if self.gso
+                && self.gso_ok
+                && count > 1
+                && seg_bytes > 0
+                && seg_bytes <= u16::MAX as usize
+            {
+                if let Some(result) = self.send_gso(socket, buf, seg_bytes, count) {
+                    return result;
+                }
+                // Offload refused: degraded for good, fall through to
+                // the sendmmsg path below for this and all later trains.
+            }
             let n = count.min(self.cap);
             for i in 0..n {
                 // The kernel never writes through a send iovec; the cast
@@ -446,6 +779,77 @@ impl BatchSender {
         unreachable!("batched mode never resolves on this platform")
     }
 
+    /// The `UDP_SEGMENT` fast path: one `sendmsg` of a clamped prefix of
+    /// the flat buffer, segmented by the kernel. Returns `None` when the
+    /// kernel signals the path can't offload — the caller falls through
+    /// to `sendmmsg` (and `gso_ok` stays cleared so it never retries) —
+    /// or when the clamp leaves a single segment, where offload buys
+    /// nothing. Real send errors (e.g. `ECONNREFUSED`) come back as
+    /// `Some(Err(..))` so per-packet error accounting matches the other
+    /// paths: an error always refers to the first datagram.
+    #[cfg(target_os = "linux")]
+    fn send_gso(
+        &mut self,
+        socket: &UdpSocket,
+        buf: &[u8],
+        seg_bytes: usize,
+        count: usize,
+    ) -> Option<io::Result<usize>> {
+        use std::os::fd::AsRawFd;
+        let k = count
+            .min(self.cap)
+            .min(cmsg::MAX_GSO_SEGMENTS)
+            .min(cmsg::MAX_GSO_BYTES / seg_bytes);
+        if k <= 1 {
+            return None;
+        }
+        let total = k * seg_bytes;
+        // The kernel never writes through a send iovec; the cast from
+        // shared to mut is only to satisfy the C signature.
+        self.iovs[0] = sys::iovec {
+            iov_base: buf.as_ptr() as *mut u8,
+            iov_len: total,
+        };
+        let clen = cmsg::write(
+            &mut self.gso_cmsg,
+            cmsg::SOL_UDP,
+            cmsg::UDP_SEGMENT,
+            &(seg_bytes as u16).to_ne_bytes(),
+        );
+        let hdr = sys::msghdr {
+            msg_name: std::ptr::null_mut(), // connected socket
+            msg_namelen: 0,
+            msg_iov: self.iovs.as_mut_ptr(),
+            msg_iovlen: 1,
+            msg_control: self.gso_cmsg.as_mut_ptr() as *mut _,
+            msg_controllen: clen,
+            msg_flags: 0,
+        };
+        // SAFETY: the iovec points at `total` live bytes of `buf`, the
+        // control buffer at `clen` live bytes of `gso_cmsg`; the fd is
+        // owned by `socket` which outlives the call.
+        let sent = unsafe { sys::sendmsg(socket.as_raw_fd(), &hdr, 0) };
+        if sent < 0 {
+            let err = io::Error::last_os_error();
+            return match err.raw_os_error() {
+                // EIO(5) / EINVAL(22) / EOPNOTSUPP(95): this path can't
+                // segment — not a datagram-level failure. Degrade.
+                Some(5 | 22 | 95) => {
+                    self.gso_ok = false;
+                    None
+                }
+                _ => Some(Err(err)),
+            };
+        }
+        // A short byte count is a short datagram count, rounded up: the
+        // kernel segments every started segment.
+        let accepted = (sent as usize).div_ceil(seg_bytes).clamp(1, k);
+        self.syscalls += 1;
+        self.gso_sends += 1;
+        self.datagrams += accepted as u64;
+        Some(Ok(accepted))
+    }
+
     /// Send syscalls issued so far.
     pub fn syscalls(&self) -> u64 {
         self.syscalls
@@ -454,6 +858,11 @@ impl BatchSender {
     /// Datagrams handed to the kernel so far.
     pub fn datagrams(&self) -> u64 {
         self.datagrams
+    }
+
+    /// Trains submitted through the `UDP_SEGMENT` offload so far.
+    pub fn gso_sends(&self) -> u64 {
+        self.gso_sends
     }
 }
 
@@ -483,6 +892,61 @@ pub fn set_buffer_sizes(socket: &UdpSocket, recv_bytes: usize, send_bytes: usize
     {
         let _ = (socket, recv_bytes, send_bytes);
     }
+}
+
+/// What the running kernel's UDP stack can actually do, probed at
+/// runtime on a scratch socket. CI on old kernels uses this to record a
+/// skip instead of failing the offload benches; tests gate on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffloadCaps {
+    /// `UDP_SEGMENT` (sender-side GSO) accepted.
+    pub udp_segment: bool,
+    /// `UDP_GRO` (receiver-side coalescing) accepted.
+    pub udp_gro: bool,
+    /// `SO_TIMESTAMPING` with software RX stamps accepted.
+    pub so_timestamping: bool,
+}
+
+impl OffloadCaps {
+    /// Whether `--io gso` can engage its fast path here.
+    pub fn gso_ready(&self) -> bool {
+        self.udp_segment
+    }
+
+    /// Whether `--io gso+gro` can engage both directions here.
+    pub fn gro_ready(&self) -> bool {
+        self.udp_segment && self.udp_gro
+    }
+}
+
+/// Probe the running kernel for the offload tier's prerequisites by
+/// attempting each `setsockopt` on a throwaway loopback socket. Always
+/// all-false off Linux (and when even binding fails).
+pub fn kernel_offload_caps() -> OffloadCaps {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::fd::AsRawFd;
+        let Ok(probe) = UdpSocket::bind("127.0.0.1:0") else {
+            return OffloadCaps::default();
+        };
+        let fd = probe.as_raw_fd();
+        let try_opt = |level: i32, opt: i32, val: i32| -> bool {
+            // SAFETY: passes a 4-byte value the kernel only reads; the
+            // fd stays owned by `probe` for the whole call.
+            unsafe { sys::setsockopt(fd, level, opt, &val as *const i32 as *const _, 4) == 0 }
+        };
+        OffloadCaps {
+            udp_segment: try_opt(cmsg::SOL_UDP, cmsg::UDP_SEGMENT, 1200),
+            udp_gro: try_opt(cmsg::SOL_UDP, cmsg::UDP_GRO, 1),
+            so_timestamping: try_opt(
+                sys::SOL_SOCKET,
+                cmsg::SO_TIMESTAMPING,
+                (cmsg::SOF_TIMESTAMPING_RX_SOFTWARE | cmsg::SOF_TIMESTAMPING_SOFTWARE) as i32,
+            ),
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    OffloadCaps::default()
 }
 
 /// Hand-declared Linux syscall surface (the workspace builds offline,
@@ -549,6 +1013,7 @@ mod sys {
             timeout: *mut core::ffi::c_void,
         ) -> i32;
         pub fn sendmmsg(sockfd: i32, msgvec: *mut mmsghdr, vlen: u32, flags: i32) -> i32;
+        pub fn sendmsg(sockfd: i32, msg: *const msghdr, flags: i32) -> isize;
         pub fn setsockopt(
             sockfd: i32,
             level: i32,
@@ -660,6 +1125,20 @@ mod tests {
         assert!(IoMode::Auto.use_batched());
         assert!(IoMode::Batched.use_batched());
         assert!(!IoMode::Fallback.use_batched());
+        assert!(IoMode::Gso.use_batched());
+        assert!(IoMode::GsoGro.use_batched());
+        assert!(IoMode::Gso.wants_gso() && !IoMode::Gso.wants_gro());
+        assert!(IoMode::GsoGro.wants_gso() && IoMode::GsoGro.wants_gro());
+        assert!(IoMode::Gso.wants_kernel_stamps() && IoMode::GsoGro.wants_kernel_stamps());
+        assert!(!IoMode::Batched.wants_gso() && !IoMode::Auto.wants_kernel_stamps());
+    }
+
+    #[test]
+    fn io_mode_parses_offload_spellings() {
+        assert_eq!("gso".parse::<IoMode>().unwrap(), IoMode::Gso);
+        assert_eq!("gso+gro".parse::<IoMode>().unwrap(), IoMode::GsoGro);
+        assert_eq!("gso-gro".parse::<IoMode>().unwrap(), IoMode::GsoGro);
+        assert!("gro".parse::<IoMode>().is_err());
     }
 
     #[cfg(target_os = "linux")]
@@ -758,5 +1237,139 @@ mod tests {
             let (len, _) = rx.recv_from(&mut buf).unwrap();
             assert_eq!(&buf[..len], &want[..]);
         }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn gso_send_is_one_syscall_and_arrives_as_distinct_datagrams() {
+        if !kernel_offload_caps().gso_ready() {
+            eprintln!("skipping: kernel has no UDP_SEGMENT");
+            return;
+        }
+        let (rx, tx) = pair();
+        let seg = 48;
+        let mut train = vec![0u8; 5 * seg];
+        for (i, chunk) in train.chunks_mut(seg).enumerate() {
+            chunk.fill(i as u8 + 1);
+        }
+        let mut sender = BatchSender::new(8, IoMode::Gso);
+        assert_eq!(
+            sender.send_segments(&tx, &train, seg, 5).unwrap(),
+            5,
+            "the whole train fits one super-datagram"
+        );
+        assert_eq!(sender.syscalls(), 1, "one sendmsg for the whole train");
+        assert_eq!(sender.gso_sends(), 1);
+        assert_eq!(sender.datagrams(), 5);
+        // The kernel segmented it: five ordinary datagrams on the wire.
+        let mut buf = [0u8; 256];
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..5 {
+            let (len, _) = rx.recv_from(&mut buf).unwrap();
+            got.push(buf[..len].to_vec());
+        }
+        got.sort();
+        let mut want: Vec<Vec<u8>> = train.chunks(seg).map(<[u8]>::to_vec).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn gso_clamps_to_kernel_segment_cap() {
+        if !kernel_offload_caps().gso_ready() {
+            eprintln!("skipping: kernel has no UDP_SEGMENT");
+            return;
+        }
+        let (rx, tx) = pair();
+        let seg = 32;
+        let count = 100; // past UDP_MAX_SEGMENTS: must clamp to 64
+        let train = vec![0x5Au8; count * seg];
+        let mut sender = BatchSender::new(128, IoMode::Gso);
+        let accepted = sender.send_segments(&tx, &train, seg, count).unwrap();
+        assert_eq!(accepted, cmsg::MAX_GSO_SEGMENTS, "prefix is the kernel cap");
+        let mut buf = [0u8; 256];
+        for _ in 0..accepted {
+            let (len, _) = rx.recv_from(&mut buf).unwrap();
+            assert_eq!(len, seg);
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn gro_ring_reports_logical_datagrams_with_kernel_stamps() {
+        let caps = kernel_offload_caps();
+        if !caps.gro_ready() || !caps.so_timestamping {
+            eprintln!("skipping: kernel has no UDP_GRO / SO_TIMESTAMPING");
+            return;
+        }
+        let (rx, tx) = pair();
+        let mut ring = BatchReceiver::new(4, IoMode::GsoGro);
+        let seg = 512;
+        let mut train = vec![0u8; 6 * seg];
+        for (i, chunk) in train.chunks_mut(seg).enumerate() {
+            chunk.fill(i as u8 + 1);
+        }
+        let mut sender = BatchSender::new(8, IoMode::Gso);
+        assert_eq!(sender.send_segments(&tx, &train, seg, 6).unwrap(), 6);
+        // Whether or not loopback actually coalesced, the ring must
+        // surface exactly six logical datagrams with the right payloads.
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while got.len() < 6 {
+            let n = ring.recv(&rx).unwrap();
+            for i in 0..n {
+                let (data, _) = ring.datagram(i);
+                got.push(data.to_vec());
+                assert!(!ring.is_truncated(i));
+                if ring.kernel_stamps_enabled() {
+                    if let Some(age) = ring.stamp_age_ns(i) {
+                        assert!(
+                            age < 60 * 1_000_000_000,
+                            "a fresh loopback stamp cannot be {age} ns old"
+                        );
+                    }
+                }
+            }
+        }
+        got.sort();
+        let mut want: Vec<Vec<u8>> = train.chunks(seg).map(<[u8]>::to_vec).collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(ring.datagrams(), 6);
+        assert!(ring.gro_enabled(), "UDP_GRO accepted on this kernel");
+        assert_eq!(ring.cmsg_decode_errors(), 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn kernel_stamps_engage_on_plain_gso_mode_too() {
+        let caps = kernel_offload_caps();
+        if !caps.so_timestamping {
+            eprintln!("skipping: kernel has no SO_TIMESTAMPING");
+            return;
+        }
+        let (rx, tx) = pair();
+        let mut ring = BatchReceiver::new(4, IoMode::Gso);
+        tx.send(&[0x11; 64]).unwrap();
+        let n = ring.recv(&rx).unwrap();
+        assert_eq!(n, 1);
+        assert!(ring.kernel_stamps_enabled());
+        // The datagram was queued after stamping was enabled... only if
+        // setup beat the send; both outcomes are legal, but if a stamp
+        // is reported it must be sane.
+        if let Some(age) = ring.stamp_age_ns(0) {
+            assert!(age < 60 * 1_000_000_000, "stamp age {age} ns is absurd");
+        }
+    }
+
+    #[test]
+    fn offload_caps_probe_never_panics_and_is_consistent() {
+        let caps = kernel_offload_caps();
+        // gro_ready implies gso-capable by definition.
+        if caps.gro_ready() {
+            assert!(caps.gso_ready());
+        }
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!(caps, OffloadCaps::default());
     }
 }

@@ -19,7 +19,7 @@
 //! badabing_recv --bind 127.0.0.1:9000 --secs 70 \
 //!     [--session N|any] [--max-sessions N] [--log receiver.json] \
 //!     [--metrics metrics.json] [--idle-timeout 30] \
-//!     [--io auto|batched|fallback] [--recv-threads N] [--shards N] \
+//!     [--io auto|batched|fallback|gso|gso+gro] [--recv-threads N] [--shards N] \
 //!     [--poll auto|epoll|timeout] [--session-budget-mb N] \
 //!     [--global-budget-mb N] [--on-pressure reject|evict]
 //! ```
@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "badabing_recv --bind ADDR --secs S [--session N|any] [--max-sessions N] \
                      [--log PATH] [--metrics PATH] [--idle-timeout S] \
-                     [--io auto|batched|fallback] [--recv-threads N] [--shards N] \
+                     [--io auto|batched|fallback|gso|gso+gro] [--recv-threads N] [--shards N] \
                      [--poll auto|epoll|timeout] [--session-budget-mb N] \
                      [--global-budget-mb N] [--on-pressure reject|evict]";
 
@@ -103,6 +103,14 @@ fn main() -> std::io::Result<()> {
             report.sessions_evicted,
             report.chunk_nacks,
             report.mem_peak_bytes
+        );
+        eprintln!(
+            "offload: {} GRO segments split, {} cmsg decode errors, \
+             {} kernel-stamped arrivals, {} userspace-stamped arrivals",
+            report.gro_segments_split,
+            report.cmsg_decode_errors,
+            report.rx_timestamp_kernel,
+            report.rx_timestamp_user_fallback
         );
         for outcome in &report.sessions {
             let end = match outcome.end {

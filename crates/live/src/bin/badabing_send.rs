@@ -41,7 +41,7 @@ const USAGE: &str = "badabing_send --target ADDR --secs S [--p P] [--improved] \
                      [--session N] [--seed N] [--bind ADDR] [--manifest PATH] \
                      [--control ADDR] [--no-control] [--log PATH] [--metrics PATH] \
                      [--retry-base-ms MS] [--retry-cap-ms MS] [--attempts N] \
-                     [--hb-ms MS] [--hb-misses N] [--io auto|batched|fallback]";
+                     [--hb-ms MS] [--hb-misses N] [--io auto|batched|fallback|gso|gso+gro]";
 
 fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &["improved", "no-control"]);

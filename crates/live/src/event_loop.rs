@@ -23,7 +23,11 @@
 //! reports the socket readable, datagrams are still drained through the
 //! blocking batched ring (`recvmmsg` with `MSG_WAITFORONE`), so the
 //! probe fast path keeps its one-syscall-per-batch shape. Readiness
-//! decides *when* to call recv, never *how*.
+//! decides *when* to call recv, never *how*. This holds for the
+//! offload tier too: with `UDP_GRO` enabled a "readable" socket may
+//! yield coalesced super-datagrams, but level-triggered epoll only
+//! cares that the receive queue is non-empty — the ring splits the
+//! segments after the wakeup, invisibly to this module.
 
 use crate::provider::Socket;
 use std::io;

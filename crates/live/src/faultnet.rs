@@ -33,6 +33,18 @@
 //! [`FaultNet::unenrolled`] so the virtual world keeps moving
 //! underneath it.
 //!
+//! ## Segmentation offload under FaultNet
+//!
+//! The virtual net emulates the kernel's GSO contract at the provider
+//! seam: a segmented send (`SendBatch::send_segments`) is split into
+//! per-datagram sends *in submission order*, so every fault draw (loss
+//! state transition, jitter, reordering, duplication) consumes RNG
+//! state exactly as a non-offloaded send would — a seed produces the
+//! same run whether the caller batches, segments, or sends one at a
+//! time. Delivery stamps are per-datagram and exact by construction,
+//! which is why the virtual receive path reports
+//! [`crate::provider::TimestampSource::Kernel`].
+//!
 //! ## Determinism contract
 //!
 //! For a fixed seed, topology, and fault configuration, and one drain

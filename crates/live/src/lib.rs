@@ -49,6 +49,7 @@
 pub mod analyze;
 pub mod batch_io;
 pub mod cli;
+pub mod cmsg;
 pub mod control;
 pub mod emulator;
 pub mod event_loop;
@@ -60,12 +61,12 @@ pub mod sender;
 pub mod skew;
 
 pub use analyze::{analyze_run, LiveAnalysis};
-pub use batch_io::{BatchReceiver, BatchSender, IoMode};
+pub use batch_io::{kernel_offload_caps, BatchReceiver, BatchSender, IoMode, OffloadCaps};
 pub use control::{ControlClient, ControlConfig, ControlError};
 pub use emulator::{Emulator, EmulatorConfig, EmulatorStats, SessionFlow};
 pub use event_loop::{PollMode, PollWaker, Poller};
 pub use faultnet::{FaultDatagram, FaultNet, FaultSocket, LinkFaults};
-pub use provider::{Clock, Provider, RecvBatch, SendBatch, Socket};
+pub use provider::{Clock, Provider, RecvBatch, SendBatch, Socket, TimestampSource};
 pub use receiver::{
     start_receiver, start_server, PressurePolicy, ReceiverConfig, ReceiverHandle, ReceiverLog,
     ServerConfig, ServerHandle, ServerReport, SessionEnd, SessionOutcome, SessionPolicy,

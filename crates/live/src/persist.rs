@@ -81,6 +81,8 @@ pub struct ArrivalEntry {
     pub qdelay_last_secs: f64,
     /// Maximum queueing delay, seconds.
     pub qdelay_max_secs: f64,
+    /// Whether every arrival carried a kernel RX timestamp.
+    pub kernel_stamped: bool,
 }
 
 fn tool_to_value(tool: &BadabingConfig) -> Value {
@@ -234,6 +236,7 @@ impl ReceiverFile {
                 duplicates: r.duplicates,
                 qdelay_last_secs: r.qdelay_last_secs,
                 qdelay_max_secs: r.qdelay_max_secs,
+                kernel_stamped: r.kernel_stamped,
             })
             .collect();
         arrivals.sort_by_key(|a| (a.experiment, a.slot));
@@ -257,6 +260,7 @@ impl ReceiverFile {
                     duplicates: a.duplicates,
                     qdelay_last_secs: a.qdelay_last_secs,
                     qdelay_max_secs: a.qdelay_max_secs,
+                    kernel_stamped: a.kernel_stamped,
                 },
             );
         }
@@ -282,6 +286,7 @@ impl ReceiverFile {
                     ("duplicates", Value::Num(f64::from(a.duplicates))),
                     ("qdelay_last_secs", Value::Num(a.qdelay_last_secs)),
                     ("qdelay_max_secs", Value::Num(a.qdelay_max_secs)),
+                    ("kernel_stamped", Value::Bool(a.kernel_stamped)),
                 ])
             })
             .collect();
@@ -310,6 +315,12 @@ impl ReceiverFile {
                     duplicates: a.get("duplicates").and_then(Value::as_u64).unwrap_or(0) as u8,
                     qdelay_last_secs: req_f64(a, "qdelay_last_secs")?,
                     qdelay_max_secs: req_f64(a, "qdelay_max_secs")?,
+                    // Absent in logs written before kernel timestamping
+                    // existed; those arrivals were userspace-stamped.
+                    kernel_stamped: a
+                        .get("kernel_stamped")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
                 })
             })
             .collect::<io::Result<Vec<_>>>()?;
@@ -449,6 +460,7 @@ mod tests {
                 duplicates: 2,
                 qdelay_last_secs: 0.01,
                 qdelay_max_secs: 0.02,
+                kernel_stamped: true,
             },
         );
         let file = ReceiverFile::new(&log);
@@ -460,6 +472,7 @@ mod tests {
         assert_eq!(back.min_raw_delay_ns, Some(-12345));
         assert_eq!(back.arrivals[&(0, 4)].received, 3);
         assert_eq!(back.arrivals[&(0, 4)].duplicates, 2);
+        assert!(back.arrivals[&(0, 4)].kernel_stamped);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -485,6 +498,10 @@ mod tests {
         assert_eq!(log.duplicates, 0);
         assert_eq!(log.arrivals[&(1, 2)].duplicates, 0);
         assert_eq!(log.min_raw_delay_ns, None);
+        assert!(
+            !log.arrivals[&(1, 2)].kernel_stamped,
+            "pre-timestamping logs load as userspace-stamped"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -276,14 +276,35 @@ pub enum Enlistment {
     Virtual(crate::faultnet::Ticket),
 }
 
+/// Where an arrival timestamp came from — the kernel's per-datagram
+/// software RX stamp (taken in the network stack, before scheduler
+/// noise) or the userspace clock read after the receive syscall
+/// returned. The tag rides with every arrival through the receiver's
+/// qdelay pipeline and into persisted records, so analysis can tell
+/// precision-grade stamps from fallback ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimestampSource {
+    /// Kernel software RX stamp (or the virtual net's exact delivery
+    /// stamp, which has the same per-datagram precision property).
+    Kernel,
+    /// Userspace clock read after the receive call — the whole batch
+    /// shares one reading, so it carries batching + scheduler noise.
+    User,
+}
+
 /// A batched-receive ring over either backend: real rings issue
 /// `recvmmsg`, virtual rings drain the socket's inbox, and both expose
-/// per-datagram payload, source, truncation flag, and (virtual only) an
-/// exact per-datagram delivery stamp.
+/// per-datagram payload, source, truncation flag, and a tagged arrival
+/// stamp (see [`RecvBatch::stamp`]).
 pub struct RecvBatch {
     inner: RecvInner,
 }
 
+// One `RecvBatch` exists per drain thread for the life of a session, so
+// the size gap between the real ring (which owns its iovec/cmsg
+// bookkeeping inline) and the small virtual arm costs nothing; boxing
+// the ring would buy an indirection on every hot-path access instead.
+#[allow(clippy::large_enum_variant)]
 enum RecvInner {
     Udp(BatchReceiver),
     Fault {
@@ -366,13 +387,29 @@ impl RecvBatch {
         }
     }
 
-    /// Exact delivery stamp of datagram `i`, where the backend has one
-    /// (virtual nets stamp every datagram; kernels don't, so the caller
-    /// falls back to its per-batch timestamp).
-    pub fn stamp(&self, i: usize) -> Option<Duration> {
+    /// Arrival stamp of datagram `i` of the last recv, on the caller's
+    /// clock, tagged with where it came from.
+    ///
+    /// `batch_abs` is the caller's own clock reading for this batch.
+    /// Real sockets with kernel RX timestamping return
+    /// [`TimestampSource::Kernel`]: the kernel's per-datagram software
+    /// stamp, re-anchored to the caller's clock by subtracting the
+    /// stamp's age from `batch_abs` (pre-scheduler-noise precision
+    /// without ever mixing clock domains). Without a kernel stamp the
+    /// batch time itself comes back as [`TimestampSource::User`]. The
+    /// virtual backend's exact delivery stamps count as `Kernel` — they
+    /// are per-datagram and scheduler-noise-free by construction, which
+    /// keeps differential runs exercising the same downstream paths.
+    pub fn stamp(&self, i: usize, batch_abs: Duration) -> (Duration, TimestampSource) {
         match &self.inner {
-            RecvInner::Udp(_) => None,
-            RecvInner::Fault { msgs, .. } => Some(msgs[i].stamp),
+            RecvInner::Udp(ring) => match ring.stamp_age_ns(i) {
+                Some(age) => (
+                    batch_abs.saturating_sub(Duration::from_nanos(age)),
+                    TimestampSource::Kernel,
+                ),
+                None => (batch_abs, TimestampSource::User),
+            },
+            RecvInner::Fault { msgs, .. } => (msgs[i].stamp, TimestampSource::Kernel),
         }
     }
 
@@ -397,6 +434,23 @@ impl RecvBatch {
         match &self.inner {
             RecvInner::Udp(ring) => ring.truncated(),
             RecvInner::Fault { truncated, .. } => *truncated,
+        }
+    }
+
+    /// Logical datagrams produced by splitting GRO super-datagrams (real
+    /// backend only; the virtual net never coalesces).
+    pub fn gro_segments_split(&self) -> u64 {
+        match &self.inner {
+            RecvInner::Udp(ring) => ring.gro_segments_split(),
+            RecvInner::Fault { .. } => 0,
+        }
+    }
+
+    /// Control messages that failed to decode sanely (real backend only).
+    pub fn cmsg_decode_errors(&self) -> u64 {
+        match &self.inner {
+            RecvInner::Udp(ring) => ring.cmsg_decode_errors(),
+            RecvInner::Fault { .. } => 0,
         }
     }
 }
@@ -430,6 +484,13 @@ impl SendBatch {
     /// train in one flat buffer. Returns how many datagrams were
     /// accepted (a prefix; callers loop), with errors always referring
     /// to the first unsent segment.
+    ///
+    /// The virtual arm emulates kernel segmentation exactly: the flat
+    /// buffer is split at `seg_bytes` and delivered as `count` ordinary
+    /// datagrams **in order**, so every per-datagram fault draw (loss,
+    /// jitter, reorder, duplication) happens in the same sequence a
+    /// non-offloaded send would produce. That is what keeps differential
+    /// tests byte-identical across all `IoMode`s on a fixed seed.
     pub fn send_segments(
         &mut self,
         socket: &Socket,
@@ -472,6 +533,16 @@ impl SendBatch {
         match &self.inner {
             SendInner::Udp(tx) => tx.datagrams(),
             SendInner::Fault { datagrams, .. } => *datagrams,
+        }
+    }
+
+    /// Trains submitted through `UDP_SEGMENT` offload so far (real
+    /// backend only; the virtual net's emulated segmentation is not an
+    /// offload).
+    pub fn gso_sends(&self) -> u64 {
+        match &self.inner {
+            SendInner::Udp(tx) => tx.gso_sends(),
+            SendInner::Fault { .. } => 0,
         }
     }
 }
@@ -518,15 +589,67 @@ mod tests {
         let mut ring = RecvBatch::new(8, &p);
         let n = ring.recv(&rx).unwrap();
         assert_eq!(n, 3, "queued virtual datagrams drain in one call");
+        let batch_abs = Duration::from_secs(1000);
         for i in 0..n {
             let (data, src) = ring.datagram(i);
             assert_eq!(data, &[7u8; 32]);
             assert_eq!(src, tx.local_addr().unwrap());
-            assert!(ring.stamp(i).is_some(), "virtual stamps are exact");
+            let (stamp, source) = ring.stamp(i, batch_abs);
+            assert_eq!(source, TimestampSource::Kernel, "virtual stamps are exact");
+            assert_ne!(
+                stamp, batch_abs,
+                "virtual stamp is per-datagram, not batch time"
+            );
             assert!(!ring.is_truncated(i));
         }
         assert_eq!(ring.syscalls(), 1);
         assert_eq!(ring.datagrams(), 3);
+        assert_eq!(ring.gro_segments_split(), 0);
+        assert_eq!(ring.cmsg_decode_errors(), 0);
+        assert_eq!(sender.gso_sends(), 0);
+    }
+
+    #[test]
+    fn fault_segment_send_matches_per_datagram_sends_on_a_seed() {
+        // Two identical virtual nets on one seed: a flat segmented train
+        // through one must produce the same deliveries as hand-split
+        // per-datagram sends through the other — the emulation contract
+        // that keeps differential tests byte-identical across IoModes.
+        let run = |segmented: bool| -> Vec<(Vec<u8>, Duration)> {
+            let net = FaultNet::new(4242);
+            let p = Provider::Fault(net.clone());
+            let rx = p.bind("10.0.0.1:9".parse().unwrap()).unwrap();
+            let tx = p.bind("10.0.0.2:9".parse().unwrap()).unwrap();
+            tx.connect(rx.local_addr().unwrap()).unwrap();
+            rx.set_read_timeout(Some(Duration::from_millis(10)))
+                .unwrap();
+            let mut buf = vec![0u8; 6 * 48];
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = (i % 251) as u8;
+            }
+            if segmented {
+                let mut sender = SendBatch::new(8, &p);
+                assert_eq!(sender.send_segments(&tx, &buf, 48, 6).unwrap(), 6);
+            } else {
+                for i in 0..6 {
+                    tx.send(&buf[i * 48..(i + 1) * 48]).unwrap();
+                }
+            }
+            let mut ring = RecvBatch::new(8, &p);
+            let mut out = Vec::new();
+            while let Ok(n) = ring.recv(&rx) {
+                for i in 0..n {
+                    let (data, _) = ring.datagram(i);
+                    let (stamp, _) = ring.stamp(i, Duration::ZERO);
+                    out.push((data.to_vec(), stamp));
+                }
+                if out.len() >= 6 {
+                    break;
+                }
+            }
+            out
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

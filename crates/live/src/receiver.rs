@@ -49,11 +49,11 @@
 
 use crate::batch_io::DEFAULT_RECV_BATCH;
 use crate::event_loop::{PollMode, PollWaker, Poller, Wait};
-use crate::provider::{Clock, Provider, RecvBatch, Socket};
+use crate::provider::{Clock, Provider, RecvBatch, Socket, TimestampSource};
 use badabing_metrics::{Counter, Registry};
 use badabing_wire::control::{
     chunk_count, chunk_window, encode_report_chunk_into, ControlMessage, RejectReason,
-    ReportRecord, ReportSummary, SessionParams, MAX_CONTROL_BYTES,
+    ReportRecord, ReportSummary, SessionParams, MAX_CONTROL_BYTES, RECORD_FLAG_KERNEL_STAMPED,
 };
 use badabing_wire::ProbeHeader;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -245,6 +245,10 @@ pub struct ArrivalRecord {
     pub qdelay_last_secs: f64,
     /// Maximum queueing delay over the probe's arrivals.
     pub qdelay_max_secs: f64,
+    /// Whether every arrival of this probe carried a kernel RX stamp
+    /// (precision-grade delay; a userspace-stamped arrival anywhere in
+    /// the probe clears it).
+    pub kernel_stamped: bool,
 }
 
 /// Everything the receiver collected for one session.
@@ -292,6 +296,11 @@ impl ReceiverLog {
                 duplicates: r.duplicates,
                 qdelay_last_secs: r.qdelay_last_secs,
                 qdelay_max_secs: r.qdelay_max_secs,
+                flags: if r.kernel_stamped {
+                    RECORD_FLAG_KERNEL_STAMPED
+                } else {
+                    0
+                },
             })
             .collect();
         records.sort_by_key(|r| (r.experiment, r.slot));
@@ -316,6 +325,7 @@ impl ReceiverLog {
                     duplicates: r.duplicates,
                     qdelay_last_secs: r.qdelay_last_secs,
                     qdelay_max_secs: r.qdelay_max_secs,
+                    kernel_stamped: r.flags & RECORD_FLAG_KERNEL_STAMPED != 0,
                 },
             );
         }
@@ -376,6 +386,14 @@ pub struct ServerReport {
     /// High-water mark of the capacity-based session memory accounting,
     /// in bytes (an estimate of registry RSS, not an allocator audit).
     pub mem_peak_bytes: usize,
+    /// Logical datagrams produced by splitting GRO super-datagrams.
+    pub gro_segments_split: u64,
+    /// Control messages (cmsgs) that failed to decode sanely.
+    pub cmsg_decode_errors: u64,
+    /// Datagrams whose arrival time came from a kernel RX stamp.
+    pub rx_timestamp_kernel: u64,
+    /// Datagrams that fell back to the userspace per-batch clock read.
+    pub rx_timestamp_user_fallback: u64,
 }
 
 impl ServerReport {
@@ -514,11 +532,24 @@ const RAW_ENTRY_BYTES: usize = 32;
 const RECORD_ENTRY_BYTES: usize = 112;
 
 /// Per-probe accumulation state.
-#[derive(Default)]
 struct ProbeArrivals {
     seen_idx: HashSet<u8>,
     probe_len: u8,
     duplicates: u8,
+    /// Stays set only while every distinct arrival of the probe carried
+    /// a kernel RX stamp.
+    kernel_stamped: bool,
+}
+
+impl Default for ProbeArrivals {
+    fn default() -> Self {
+        Self {
+            seen_idx: HashSet::new(),
+            probe_len: 0,
+            duplicates: 0,
+            kernel_stamped: true,
+        }
+    }
 }
 
 /// A finalized session snapshot: frozen at the first FIN (or at reap
@@ -651,7 +682,7 @@ impl SessionState {
     /// Returns `false` for a duplicated `(seq, idx)` datagram, which is
     /// tracked but never inflates arrival counts — a lost probe must
     /// not look complete.
-    fn ingest(&mut self, h: &ProbeHeader, now: Duration) -> bool {
+    fn ingest(&mut self, h: &ProbeHeader, now: Duration, source: TimestampSource) -> bool {
         if !self.seen.insert((h.seq, h.idx)) {
             self.duplicates += 1;
             let entry = self.probes.entry((h.experiment, h.slot)).or_default();
@@ -666,6 +697,9 @@ impl SessionState {
         let entry = self.probes.entry((h.experiment, h.slot)).or_default();
         entry.seen_idx.insert(h.idx);
         entry.probe_len = entry.probe_len.max(h.probe_len);
+        // A probe is precision-grade only if every one of its arrivals
+        // was; duplicates don't weigh in (they never touch delays).
+        entry.kernel_stamped &= source == TimestampSource::Kernel;
         true
     }
 
@@ -812,6 +846,10 @@ struct ServeCounters {
     budget_rejected: Option<Arc<Counter>>,
     chunk_nacks: Option<Arc<Counter>>,
     over_budget: Option<Arc<Counter>>,
+    gro_split: Option<Arc<Counter>>,
+    cmsg_errors: Option<Arc<Counter>>,
+    ts_kernel: Option<Arc<Counter>>,
+    ts_user: Option<Arc<Counter>>,
 }
 
 impl ServeCounters {
@@ -833,6 +871,10 @@ impl ServeCounters {
             budget_rejected: metrics.map(|m| m.counter("syns_budget_rejected")),
             chunk_nacks: metrics.map(|m| m.counter("report_chunk_nacks")),
             over_budget: metrics.map(|m| m.counter("probes_dropped_over_budget")),
+            gro_split: metrics.map(|m| m.counter("gro_segments_split")),
+            cmsg_errors: metrics.map(|m| m.counter("cmsg_decode_errors")),
+            ts_kernel: metrics.map(|m| m.counter("rx_timestamp_kernel")),
+            ts_user: metrics.map(|m| m.counter("rx_timestamp_user_fallback")),
         }
     }
 }
@@ -872,6 +914,10 @@ struct Shared<'a> {
     budget_rejects: AtomicU64,
     sessions_evicted: AtomicU64,
     chunk_nacks: AtomicU64,
+    gro_segments_split: AtomicU64,
+    cmsg_decode_errors: AtomicU64,
+    rx_timestamp_kernel: AtomicU64,
+    rx_timestamp_user: AtomicU64,
     /// Capacity-based bytes currently settled across open sessions.
     mem_used: AtomicUsize,
     /// High-water mark of `mem_used`.
@@ -1095,6 +1141,10 @@ fn serve_loop(
         budget_rejects: AtomicU64::new(0),
         sessions_evicted: AtomicU64::new(0),
         chunk_nacks: AtomicU64::new(0),
+        gro_segments_split: AtomicU64::new(0),
+        cmsg_decode_errors: AtomicU64::new(0),
+        rx_timestamp_kernel: AtomicU64::new(0),
+        rx_timestamp_user: AtomicU64::new(0),
         mem_used: AtomicUsize::new(0),
         mem_peak: AtomicUsize::new(0),
         tombstones: Mutex::new(Tombstones::default()),
@@ -1131,6 +1181,10 @@ fn serve_loop(
         budget_rejects,
         sessions_evicted,
         chunk_nacks,
+        gro_segments_split,
+        cmsg_decode_errors,
+        rx_timestamp_kernel,
+        rx_timestamp_user,
         mem_peak,
         ..
     } = shared;
@@ -1155,6 +1209,10 @@ fn serve_loop(
         sessions_evicted: sessions_evicted.into_inner(),
         chunk_nacks: chunk_nacks.into_inner(),
         mem_peak_bytes: mem_peak.into_inner(),
+        gro_segments_split: gro_segments_split.into_inner(),
+        cmsg_decode_errors: cmsg_decode_errors.into_inner(),
+        rx_timestamp_kernel: rx_timestamp_kernel.into_inner(),
+        rx_timestamp_user_fallback: rx_timestamp_user.into_inner(),
     }
 }
 
@@ -1224,6 +1282,14 @@ fn drain_loop(shared: &Shared<'_>, poller: &Poller, run_watchdog: bool) {
     }
     add(&shared.c.recv_syscalls, ring.syscalls());
     add(&shared.c.recv_datagrams, ring.datagrams());
+    add(&shared.c.gro_split, ring.gro_segments_split());
+    add(&shared.c.cmsg_errors, ring.cmsg_decode_errors());
+    shared
+        .gro_segments_split
+        .fetch_add(ring.gro_segments_split(), Ordering::Relaxed);
+    shared
+        .cmsg_decode_errors
+        .fetch_add(ring.cmsg_decode_errors(), Ordering::Relaxed);
 }
 
 /// The deadline-scheduled watchdog. Reaps sessions idle past the
@@ -1308,6 +1374,8 @@ fn process_batch(
     let mut duplicates = 0u64;
     let mut truncated = 0u64;
     let mut over_budget = 0u64;
+    let mut ts_kernel = 0u64;
+    let mut ts_user = 0u64;
     for i in 0..n {
         // A clipped datagram's payload is incomplete: decoding it would
         // either fail noisily or, worse, parse a valid-looking prefix
@@ -1316,11 +1384,15 @@ fn process_batch(
             truncated += 1;
             continue;
         }
-        let abs = ring.stamp(i).unwrap_or(batch_abs);
+        let (abs, source) = ring.stamp(i, batch_abs);
+        match source {
+            TimestampSource::Kernel => ts_kernel += 1,
+            TimestampSource::User => ts_user += 1,
+        }
         let rel = abs.saturating_sub(shared.t0);
         let (data, src) = ring.datagram(i);
         if let Ok(h) = ProbeHeader::decode(data) {
-            match ingest_probe(shared, &h, rel, abs) {
+            match ingest_probe(shared, &h, rel, abs, source) {
                 Ingest::Accepted => accepted += 1,
                 Ingest::Duplicate => duplicates += 1,
                 Ingest::Rejected => rejected += 1,
@@ -1339,6 +1411,18 @@ fn process_batch(
     add(&shared.c.dup, duplicates);
     add(&shared.c.truncated, truncated);
     add(&shared.c.over_budget, over_budget);
+    add(&shared.c.ts_kernel, ts_kernel);
+    add(&shared.c.ts_user, ts_user);
+    if ts_kernel > 0 {
+        shared
+            .rx_timestamp_kernel
+            .fetch_add(ts_kernel, Ordering::Relaxed);
+    }
+    if ts_user > 0 {
+        shared
+            .rx_timestamp_user
+            .fetch_add(ts_user, Ordering::Relaxed);
+    }
     if rejected > 0 {
         shared.rejected.fetch_add(rejected, Ordering::Relaxed);
         add(&shared.c.rejected, rejected);
@@ -1347,7 +1431,13 @@ fn process_batch(
 
 /// The probe fast path: one shard lock, the shared [`SessionState::ingest`]
 /// accounting, no socket writes, no allocation.
-fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, rel: Duration, abs: Duration) -> Ingest {
+fn ingest_probe(
+    shared: &Shared<'_>,
+    h: &ProbeHeader,
+    rel: Duration,
+    abs: Duration,
+    source: TimestampSource,
+) -> Ingest {
     let mut sessions = shared.shard(h.session).lock().expect("shard lock");
     // Probes open the session only in single mode (the legacy open-loop
     // tool has no handshake); under `Any` the SYN is the sole door in.
@@ -1371,7 +1461,7 @@ fn ingest_probe(shared: &Shared<'_>, h: &ProbeHeader, rel: Duration, abs: Durati
     if state.mem_bytes() >= shared.cfg.session_budget_bytes {
         return Ingest::OverBudget;
     }
-    if state.ingest(h, rel) {
+    if state.ingest(h, rel, source) {
         inc(&state.m_packets);
         Ingest::Accepted
     } else {
@@ -1703,6 +1793,7 @@ fn apply_baseline(
         rec.duplicates = state.duplicates;
         rec.qdelay_last_secs = q;
         rec.qdelay_max_secs = rec.qdelay_max_secs.max(q);
+        rec.kernel_stamped = state.kernel_stamped;
     }
 }
 
@@ -1945,6 +2036,7 @@ mod tests {
                 duplicates: 1,
                 qdelay_last_secs: 0.01,
                 qdelay_max_secs: 0.02,
+                kernel_stamped: true,
             },
         );
         log.arrivals.insert(
@@ -1954,6 +2046,7 @@ mod tests {
                 duplicates: 0,
                 qdelay_last_secs: 0.0,
                 qdelay_max_secs: 0.0,
+                kernel_stamped: false,
             },
         );
         let records = log.to_records();
@@ -1964,6 +2057,11 @@ mod tests {
         assert_eq!(back.duplicates, 1);
         assert_eq!(back.arrivals[&(3, 7)].received, 2);
         assert_eq!(back.arrivals[&(3, 7)].duplicates, 1);
+        assert!(
+            back.arrivals[&(3, 7)].kernel_stamped,
+            "kernel-stamped flag survives the wire roundtrip"
+        );
+        assert!(!back.arrivals[&(4, 1)].kernel_stamped);
     }
 
     #[test]
@@ -1988,6 +2086,7 @@ mod tests {
                 seen_idx: [0u8, 1].into_iter().collect(),
                 probe_len: 2,
                 duplicates: 0,
+                kernel_stamped: true,
             },
         );
         let mut log = ReceiverLog::default();
@@ -2014,9 +2113,10 @@ mod tests {
     }
 
     /// A synthetic arrival stream: multi-packet probes, one duplicated
-    /// datagram, one lost packet, non-monotone send timestamps — enough
-    /// structure to shake out any path-dependent accounting.
-    fn synthetic_arrivals() -> Vec<(ProbeHeader, Duration)> {
+    /// datagram, one lost packet, non-monotone send timestamps, and a
+    /// deterministic mix of kernel- and userspace-stamped arrivals —
+    /// enough structure to shake out any path-dependent accounting.
+    fn synthetic_arrivals() -> Vec<(ProbeHeader, Duration, TimestampSource)> {
         let mut out = Vec::new();
         let mut seq = 0u64;
         for exp in 0..40u64 {
@@ -2036,10 +2136,17 @@ mod tests {
                     probe_len: 3,
                 };
                 let now = Duration::from_nanos(1_000_000 * exp + 40_000 * u64::from(idx) + 7_000);
-                out.push((h, now));
+                // Some arrivals fall back to userspace stamps (queued
+                // before SO_TIMESTAMPING engaged, or stamping off).
+                let source = if exp % 5 == 0 && idx == 1 {
+                    TimestampSource::User
+                } else {
+                    TimestampSource::Kernel
+                };
+                out.push((h, now, source));
                 if exp % 11 == 5 && idx == 0 {
                     // Duplicated datagram.
-                    out.push((h, now + Duration::from_nanos(500)));
+                    out.push((h, now + Duration::from_nanos(500), source));
                 }
                 seq += 1;
             }
@@ -2047,60 +2154,75 @@ mod tests {
         out
     }
 
-    /// The differential contract: the same (header, timestamp) sequence
-    /// must yield **byte-identical** report chunks whether ingested as
-    /// one big batch or one datagram at a time — the batched recvmmsg
-    /// path and the portable fallback differ only in syscall grouping,
-    /// never in accounting.
+    /// The differential contract: the same (header, timestamp, source)
+    /// sequence must yield **byte-identical** report chunks however the
+    /// syscall layer grouped it — one datagram at a time (fallback),
+    /// recv-batch chunks (recvmmsg), or super-datagram-sized chunks
+    /// (GRO splits). The I/O tiers differ only in grouping, never in
+    /// accounting.
     #[test]
     fn batched_and_single_ingest_reports_are_byte_identical() {
         let arrivals = synthetic_arrivals();
 
-        // "Fallback": one datagram per ingest call.
-        let mut single = SessionState::new(11, None, Duration::ZERO);
-        for (h, now) in &arrivals {
-            single.ingest(h, *now);
-        }
-        // "Batched": the same stream in chunks of a recv batch.
-        let mut batched = SessionState::new(11, None, Duration::ZERO);
-        for batch in arrivals.chunks(DEFAULT_RECV_BATCH) {
-            for (h, now) in batch {
-                batched.ingest(h, *now);
+        let ingest_in_chunks = |chunk: usize| -> SessionState {
+            let mut state = SessionState::new(11, None, Duration::ZERO);
+            for batch in arrivals.chunks(chunk) {
+                for (h, now, source) in batch {
+                    state.ingest(h, *now, *source);
+                }
             }
-        }
+            state
+        };
+
+        // "Fallback": one datagram per ingest call.
+        let mut single = ingest_in_chunks(1);
+        // "Batched": the same stream in chunks of a recv batch.
+        let mut batched = ingest_in_chunks(DEFAULT_RECV_BATCH);
+        // "GRO": the same stream grouped like split super-datagrams (up
+        // to 64 segments surface from one slot, plus the short tail).
+        let mut gro = ingest_in_chunks(65);
 
         let fs = single.finalize(3, None);
         let single_records = fs.records.clone();
         let single_total = fs.total_chunks;
         let single_summary = fs.summary;
-        let fb = batched.finalize(3, None);
-        assert_eq!(fb.records, single_records);
-        assert_eq!(fb.total_chunks, single_total);
-        assert_eq!(fb.summary, single_summary);
+        assert!(
+            single_records.iter().any(|r| r.flags == 0)
+                && single_records
+                    .iter()
+                    .any(|r| r.flags & RECORD_FLAG_KERNEL_STAMPED != 0),
+            "stream must exercise both timestamp sources"
+        );
         assert!(single_total > 1, "test must span multiple chunks");
 
         let mut buf_a = [0u8; MAX_CONTROL_BYTES];
         let mut buf_b = [0u8; MAX_CONTROL_BYTES];
-        for chunk in 0..single_total {
-            let na = encode_report_chunk_into(
-                11,
-                chunk,
-                single_total,
-                chunk_window(&single_records, chunk),
-                &mut buf_a,
-            );
-            let nb = encode_report_chunk_into(
-                11,
-                chunk,
-                fb.total_chunks,
-                chunk_window(&fb.records, chunk),
-                &mut buf_b,
-            );
-            assert_eq!(
-                &buf_a[..na],
-                &buf_b[..nb],
-                "report chunk {chunk} differs between ingest groupings"
-            );
+        for (label, other) in [("batched", &mut batched), ("gro", &mut gro)] {
+            let fb = other.finalize(3, None);
+            assert_eq!(fb.records, single_records, "{label} records differ");
+            assert_eq!(fb.total_chunks, single_total);
+            assert_eq!(fb.summary, single_summary);
+            for chunk in 0..single_total {
+                let na = encode_report_chunk_into(
+                    11,
+                    chunk,
+                    single_total,
+                    chunk_window(&single_records, chunk),
+                    &mut buf_a,
+                );
+                let nb = encode_report_chunk_into(
+                    11,
+                    chunk,
+                    fb.total_chunks,
+                    chunk_window(&fb.records, chunk),
+                    &mut buf_b,
+                );
+                assert_eq!(
+                    &buf_a[..na],
+                    &buf_b[..nb],
+                    "report chunk {chunk} differs between single and {label} groupings"
+                );
+            }
         }
     }
 

@@ -372,6 +372,14 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
         });
     }
 
+    // Offload observability: how many trains the kernel segmented for
+    // us (0 when GSO is off or was sticky-degraded) and what the whole
+    // run cost in TX syscalls.
+    if let Some(m) = &cfg.metrics {
+        m.counter("gso_sends").add(tx.gso_sends());
+        m.counter("tx_syscalls").add(tx.syscalls());
+    }
+
     if aborted {
         done.store(true, Ordering::Relaxed);
         clock.notify_waiters();

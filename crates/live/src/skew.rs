@@ -365,4 +365,92 @@ mod tests {
     fn empty_input_is_none() {
         assert_eq!(fit_baseline(&[]), None);
     }
+
+    /// A delay series mixing kernel-stamped and userspace-stamped
+    /// arrivals, mirroring the offload tier: kernel stamps sit on the
+    /// clock line exactly; userspace stamps carry one-sided positive
+    /// staleness (batch-granular stamping can only *delay* the observed
+    /// arrival, never advance it).
+    fn mixed_source(
+        n: usize,
+        span_secs: f64,
+        offset: f64,
+        skew: f64,
+        user_every: usize,
+        user_noise: impl Fn(u64) -> f64,
+    ) -> Vec<(f64, f64)> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * span_secs / n as f64;
+                let clean = offset + skew * t;
+                if user_every > 0 && i % user_every == 0 {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (t, clean + user_noise(state >> 33))
+                } else {
+                    (t, clean)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn user_stamp_noise_does_not_pull_the_baseline_off_the_kernel_floor() {
+        // Every 5th point is userspace-stamped with up to 400 µs of
+        // positive staleness; the rest are kernel-stamped and sit on the
+        // clock line. The window minima — and therefore the fit — must
+        // come from the kernel-stamped floor, so the recovered slope and
+        // offset match the clock parameters, not the noise.
+        let offset = 2.0;
+        let skew = 30e-6;
+        let pts = mixed_source(600, 300.0, offset, skew, 5, |r| (r % 400) as f64 * 1e-6);
+        let b = fit_baseline(&pts).unwrap();
+        assert!((b.slope - skew).abs() < 1e-6, "slope {}", b.slope);
+        assert!((b.offset - offset).abs() < 1e-4, "offset {}", b.offset);
+        for &(t, raw) in &pts {
+            let q = b.correct(t, raw);
+            assert!(q >= -1e-9, "residual {q} went negative");
+            assert!(q < 0.5e-3, "residual {q} exceeds the staleness bound");
+        }
+    }
+
+    #[test]
+    fn mixed_fit_matches_the_pure_kernel_fit() {
+        // The same clock line fitted from a pure kernel-stamped series
+        // and from a mixed series must agree: user-stamped points only
+        // ever sit *above* the envelope, so they are invisible to the
+        // lower-envelope construction.
+        let kernel = mixed_source(400, 200.0, 1.25, -15e-6, 0, |_| 0.0);
+        let mixed = mixed_source(400, 200.0, 1.25, -15e-6, 3, |r| {
+            50e-6 + (r % 300) as f64 * 1e-6
+        });
+        let bk = fit_baseline(&kernel).unwrap();
+        let bm = fit_baseline(&mixed).unwrap();
+        assert!(
+            (bk.slope - bm.slope).abs() < 1e-6,
+            "slopes diverged: kernel {} vs mixed {}",
+            bk.slope,
+            bm.slope
+        );
+        assert!(
+            (bk.offset - bm.offset).abs() < 1e-4,
+            "offsets diverged: kernel {} vs mixed {}",
+            bk.offset,
+            bm.offset
+        );
+    }
+
+    #[test]
+    fn all_user_stamped_series_still_yields_nonnegative_residuals() {
+        // Degraded run (offload unavailable): every point carries batch
+        // staleness. Accuracy necessarily suffers, but the fit's own
+        // invariant — no residual below numerical error — must hold.
+        let pts = mixed_source(300, 150.0, 0.8, 40e-6, 1, |r| (r % 1000) as f64 * 1e-6);
+        let b = fit_baseline(&pts).unwrap();
+        for &(t, raw) in &pts {
+            assert!(b.correct(t, raw) >= -1e-9);
+        }
+    }
 }

@@ -13,6 +13,7 @@
 use badabing_core::config::BadabingConfig;
 use badabing_live::batch_io::IoMode;
 use badabing_live::control::ControlConfig;
+use badabing_live::kernel_offload_caps;
 use badabing_live::provider::Provider;
 use badabing_live::receiver::{start_server, ReceiverLog, ServerConfig};
 use badabing_live::sender::{run_sender, SenderConfig, SenderManifest};
@@ -60,37 +61,72 @@ fn run_mode(io: IoMode, session: u32) -> (SenderManifest, ReceiverLog) {
     (outcome.manifest, log)
 }
 
-#[test]
-fn batched_and_fallback_paths_agree_end_to_end() {
-    let (m_fall, log_fall) = run_mode(IoMode::Fallback, 0xD1);
-    let (m_batch, log_batch) = run_mode(IoMode::Batched, 0xD2);
-
+/// Everything that must not depend on the I/O mode: same probe plan,
+/// same send accounting, lossless loopback delivery, and identical
+/// per-probe keys/counts in both reports.
+fn assert_modes_agree(
+    a_name: &str,
+    (m_a, log_a): &(SenderManifest, ReceiverLog),
+    b_name: &str,
+    (m_b, log_b): &(SenderManifest, ReceiverLog),
+) {
     // The probe plan is a pure function of the seed: identical streams
     // of (experiment, slot, packets) regardless of I/O mode.
-    assert_eq!(m_fall.sent.len(), m_batch.sent.len());
-    for (a, b) in m_fall.sent.iter().zip(&m_batch.sent) {
+    assert_eq!(m_a.sent.len(), m_b.sent.len());
+    for (a, b) in m_a.sent.iter().zip(&m_b.sent) {
         assert_eq!(
             (a.experiment, a.slot, a.packets),
             (b.experiment, b.slot, b.packets)
         );
     }
-    assert_eq!(m_fall.packets_sent, m_batch.packets_sent);
-    assert_eq!(m_fall.packets_refused, 0);
-    assert_eq!(m_batch.packets_refused, 0);
+    assert_eq!(m_a.packets_sent, m_b.packets_sent);
+    assert_eq!(m_a.packets_refused, 0, "{a_name}");
+    assert_eq!(m_b.packets_refused, 0, "{b_name}");
 
     // Loopback is lossless: both reports must hold every probe, with
     // identical keys and counts.
-    assert_eq!(log_fall.packets, m_fall.packets_sent);
-    assert_eq!(log_batch.packets, m_batch.packets_sent);
-    assert_eq!(log_fall.duplicates, 0);
-    assert_eq!(log_batch.duplicates, 0);
-    assert_eq!(log_fall.arrivals.len(), log_batch.arrivals.len());
-    for (key, rec) in &log_fall.arrivals {
-        let other = log_batch
+    assert_eq!(log_a.packets, m_a.packets_sent, "{a_name}");
+    assert_eq!(log_b.packets, m_b.packets_sent, "{b_name}");
+    assert_eq!(log_a.duplicates, 0, "{a_name}");
+    assert_eq!(log_b.duplicates, 0, "{b_name}");
+    assert_eq!(log_a.arrivals.len(), log_b.arrivals.len());
+    for (key, rec) in &log_a.arrivals {
+        let other = log_b
             .arrivals
             .get(key)
-            .unwrap_or_else(|| panic!("probe {key:?} missing from batched run"));
+            .unwrap_or_else(|| panic!("probe {key:?} missing from {b_name} run"));
         assert_eq!(rec.received, other.received, "probe {key:?}");
         assert_eq!(rec.duplicates, other.duplicates, "probe {key:?}");
+    }
+}
+
+#[test]
+fn batched_and_fallback_paths_agree_end_to_end() {
+    let fall = run_mode(IoMode::Fallback, 0xD1);
+    let batch = run_mode(IoMode::Batched, 0xD2);
+    assert_modes_agree("fallback", &fall, "batched", &batch);
+}
+
+/// The offload tier must be invisible to the accounting: a GSO (and,
+/// where the kernel supports it, GSO+GRO) session produces the same
+/// probe keys and counts as a batched one. Timestamps legitimately
+/// differ — the offload rows stamp in the kernel — so only keys and
+/// counts are compared. Skips (passes trivially) on kernels without
+/// `UDP_SEGMENT`/`UDP_GRO`.
+#[test]
+fn offload_paths_agree_with_batched_end_to_end() {
+    let caps = kernel_offload_caps();
+    if !caps.gso_ready() {
+        eprintln!("skipping: kernel has no UDP_SEGMENT");
+        return;
+    }
+    let batch = run_mode(IoMode::Batched, 0xE1);
+    let gso = run_mode(IoMode::Gso, 0xE2);
+    assert_modes_agree("batched", &batch, "gso", &gso);
+    if caps.gro_ready() {
+        let gro = run_mode(IoMode::GsoGro, 0xE3);
+        assert_modes_agree("batched", &batch, "gso+gro", &gro);
+    } else {
+        eprintln!("kernel has no UDP_GRO: gso+gro leg skipped");
     }
 }

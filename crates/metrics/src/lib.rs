@@ -86,10 +86,14 @@ pub struct Histogram {
     max_ns: AtomicU64,
 }
 
-/// Default edges for network latencies: 10 µs to 30 s, roughly
-/// half-decade spacing.
-pub const LATENCY_BOUNDS_SECS: [f64; 12] = [
-    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0, 10.0, 30.0,
+/// Default edges for network latencies: 1 µs to 30 s on a 1-2-4-7
+/// log-scale grid. The grid is deliberately fine below a millisecond —
+/// loopback and LAN tails live there, and the previous half-decade
+/// spacing quantized every sub-ms p99 to the same 300 µs edge, making
+/// benchmark latency columns indistinguishable across I/O modes.
+pub const LATENCY_BOUNDS_SECS: [f64; 30] = [
+    1e-6, 2e-6, 4e-6, 7e-6, 1e-5, 2e-5, 4e-5, 7e-5, 1e-4, 2e-4, 4e-4, 7e-4, 1e-3, 2e-3, 4e-3, 7e-3,
+    1e-2, 2e-2, 4e-2, 7e-2, 1e-1, 2e-1, 4e-1, 7e-1, 1.0, 2.0, 4.0, 7.0, 10.0, 30.0,
 ];
 
 impl Histogram {
@@ -467,6 +471,33 @@ mod tests {
         let one = Histogram::new(&[1.0]);
         one.record_secs(0.25);
         assert!((one.quantile_secs(0.99).unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_latency_edges_resolve_sub_millisecond_tails() {
+        // Regression for the live-bench latency columns: two streams
+        // whose p99s genuinely differ (90 µs vs 160 µs) must produce
+        // distinct estimates. The old half-decade grid put both in the
+        // same [1e-4, 3e-4] bucket and reported 300 µs for each.
+        let fast = Histogram::latency();
+        let slow = Histogram::latency();
+        for _ in 0..1000 {
+            fast.record_secs(90e-6);
+            slow.record_secs(160e-6);
+        }
+        let p_fast = fast.quantile_secs(0.99).unwrap();
+        let p_slow = slow.quantile_secs(0.99).unwrap();
+        assert!(
+            p_fast < p_slow,
+            "sub-ms p99s collapsed: fast={p_fast} slow={p_slow}"
+        );
+        assert!(p_fast <= 1e-4, "90 µs stream must stay below 100 µs edge");
+        assert!(p_slow <= 2e-4, "160 µs stream must stay below 200 µs edge");
+        // The grid still covers the long tail.
+        assert!(
+            (LATENCY_BOUNDS_SECS.last().unwrap() - 30.0).abs() < 1e-12,
+            "top edge stays 30 s"
+        );
     }
 
     #[test]

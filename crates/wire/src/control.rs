@@ -64,11 +64,15 @@ pub const CONTROL_MAGIC: u32 = 0x4244_4331;
 /// Probe arrival records carried per [`ControlMessage::ReportChunk`].
 ///
 /// Sized so a full chunk stays well under any sane MTU:
-/// `8 + 32·34 = 1096` bytes of payload.
+/// `8 + 32·35 = 1128` bytes of payload.
 pub const RECORDS_PER_CHUNK: usize = 32;
 
 /// Encoded size of one [`ReportRecord`].
-const RECORD_BYTES: usize = 34;
+const RECORD_BYTES: usize = 35;
+
+/// [`ReportRecord::flags`] bit: every arrival of the probe carried a
+/// kernel RX timestamp (its delays are pre-scheduler-noise precision).
+pub const RECORD_FLAG_KERNEL_STAMPED: u8 = 1;
 
 /// Common prefix of every control datagram: magic, type tag, session id.
 const PREFIX_BYTES: usize = 9;
@@ -111,6 +115,9 @@ pub struct ReportRecord {
     pub qdelay_last_secs: f64,
     /// Maximum queueing delay over the probe's arrivals, seconds.
     pub qdelay_max_secs: f64,
+    /// Record metadata bits ([`RECORD_FLAG_KERNEL_STAMPED`]; the rest
+    /// reserved, zero on encode).
+    pub flags: u8,
 }
 
 impl ReportRecord {
@@ -121,6 +128,7 @@ impl ReportRecord {
         buf.put_u8(self.duplicates);
         buf.put_f64(self.qdelay_last_secs);
         buf.put_f64(self.qdelay_max_secs);
+        buf.put_u8(self.flags);
     }
 
     fn get(data: &mut &[u8]) -> Self {
@@ -131,6 +139,7 @@ impl ReportRecord {
             duplicates: data.get_u8(),
             qdelay_last_secs: data.get_f64(),
             qdelay_max_secs: data.get_f64(),
+            flags: data.get_u8(),
         }
     }
 }
@@ -660,6 +669,7 @@ mod tests {
             duplicates: (i % 3) as u8,
             qdelay_last_secs: 0.001 * i as f64,
             qdelay_max_secs: 0.002 * i as f64,
+            flags: (i % 2) as u8 * RECORD_FLAG_KERNEL_STAMPED,
         }
     }
 

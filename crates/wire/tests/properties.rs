@@ -121,6 +121,7 @@ proptest! {
                 duplicates: (i % 2) as u8,
                 qdelay_last_secs: i as f64 * 1e-4,
                 qdelay_max_secs: i as f64 * 2e-4,
+                flags: (i % 2) as u8,
             })
             .collect();
         let messages = [
