@@ -16,6 +16,14 @@
 //! 3. **fetch** — FIN through the last report chunk, the chunked
 //!    retrieval path.
 //!
+//! Each session's burst forms proper BADABING experiments — two
+//! contiguous slots (2j, 2j+1) of `TRAIN` packets — so the receiver's
+//! online estimator assembles real outcomes. Between the burst phase
+//! and the fetch phase one **fleet-scope `EstimateRequest`** merges all
+//! live sessions' online counters in a single exchange; the reply rides
+//! in the stable JSON, which makes the merged-estimate path part of the
+//! `--quick` byte-identical determinism gate.
+//!
 //! Every link carries mild faults (0.5 % loss, 200 µs jitter on a
 //! 100 µs base), so the tails include genuine retransmits — the p999
 //! is a retry story, not a rounding artifact. All latencies are virtual
@@ -37,12 +45,12 @@
 //! fleet_smoke [--quick] [--sessions N] [--out PATH]
 //! ```
 
-use badabing_live::control::{ControlClient, ControlConfig};
+use badabing_live::control::{ControlClient, ControlConfig, EstimateReport};
 use badabing_live::faultnet::{FaultNet, LinkFaults};
 use badabing_live::provider::Provider;
 use badabing_live::receiver::{start_server, PressurePolicy, ServerConfig, SessionEnd};
 use badabing_metrics::Registry;
-use badabing_wire::control::SessionParams;
+use badabing_wire::control::{EstimateScope, SessionParams};
 use badabing_wire::ProbeHeader;
 use std::io::Write as _;
 use std::net::SocketAddr;
@@ -114,13 +122,15 @@ struct RunStats {
     rejected: u64,
     syns_rejected: u64,
     chunk_nacks: u64,
+    fleet_estimate: EstimateReport,
     wall_secs: f64,
 }
 
-/// One full soak: open all `sessions`, burst + heartbeat each, then
-/// fetch every report. Deterministic given (`SEED`, `sessions`,
-/// `probes`): everything observable runs on the virtual clock.
-fn run_fleet(sessions: u32, probes: u64) -> RunStats {
+/// One full soak: open all `sessions`, burst + heartbeat each, query
+/// the merged fleet estimate, then fetch every report. Deterministic
+/// given (`SEED`, `sessions`, `experiments`): everything observable
+/// runs on the virtual clock.
+fn run_fleet(sessions: u32, experiments: u64) -> RunStats {
     let started = Instant::now();
     let net = FaultNet::new(SEED);
     let mild = LinkFaults::uniform_loss(LOSS).with_jitter(JITTER);
@@ -147,7 +157,7 @@ fn run_fleet(sessions: u32, probes: u64) -> RunStats {
     .expect("start fleet server");
 
     let params = SessionParams {
-        n_slots: probes.max(1),
+        n_slots: (2 * experiments).max(1),
         slot_ns: 1_000_000,
         probe_packets: TRAIN as u8,
         packet_bytes: PACKET_BYTES as u32,
@@ -177,27 +187,33 @@ fn run_fleet(sessions: u32, probes: u64) -> RunStats {
     }
 
     // Phase 2: per session, a probe burst followed immediately by a
-    // heartbeat. The ack arrives only after the receiver has drained
-    // the burst queued ahead of it on the same socket, so this RTT is
-    // the per-session drain latency under fleet load.
+    // heartbeat. Experiment `j` occupies the contiguous slot pair
+    // (2j, 2j+1) — the §3 geometry the online estimator assembles —
+    // with `TRAIN` packets per slot. The heartbeat ack arrives only
+    // after the receiver has drained the burst queued ahead of it on
+    // the same socket, so this RTT is the per-session drain latency
+    // under fleet load.
     let probe_sock = net.bind(probe_src).expect("bind probe socket");
     let mut buf = [0u8; PACKET_BYTES];
     let mut drain_ns = Vec::with_capacity(sessions as usize);
     for (i, client) in clients.iter().enumerate() {
         let id = session_id(i as u32);
-        for j in 0..probes {
-            for idx in 0..TRAIN {
-                ProbeHeader {
-                    session: id,
-                    experiment: j,
-                    slot: j,
-                    seq: j * TRAIN as u64 + idx as u64,
-                    send_ns: clock.now().as_nanos() as u64,
-                    idx: idx as u8,
-                    probe_len: TRAIN as u8,
+        for j in 0..experiments {
+            for k in 0..2u64 {
+                let slot = 2 * j + k;
+                for idx in 0..TRAIN {
+                    ProbeHeader {
+                        session: id,
+                        experiment: j,
+                        slot,
+                        seq: slot * TRAIN as u64 + idx as u64,
+                        send_ns: clock.now().as_nanos() as u64,
+                        idx: idx as u8,
+                        probe_len: TRAIN as u8,
+                    }
+                    .encode_into(&mut buf);
+                    probe_sock.send_to(&buf, recv).expect("send probe");
                 }
-                .encode_into(&mut buf);
-                probe_sock.send_to(&buf, recv).expect("send probe");
             }
         }
         let t0 = clock.now();
@@ -215,7 +231,29 @@ fn run_fleet(sessions: u32, probes: u64) -> RunStats {
         drain_ns.push((clock.now() - t0).as_nanos() as u64);
     }
 
+    // Phase 2½: one fleet-scope estimate query while every session is
+    // still live. All bursts are drained (each session's heartbeat
+    // acked behind its own burst), so the merged counters are a pure
+    // function of the seed-determined packet deliveries — which puts
+    // this reply inside the byte-identical determinism gate.
+    let fleet_estimate = clients[0]
+        .fetch_estimate(session_id(0), EstimateScope::Fleet)
+        .expect("fleet estimate query");
+    assert_eq!(
+        fleet_estimate.sessions, sessions,
+        "fleet estimate must merge every live session"
+    );
+    assert!(
+        fleet_estimate.estimates.experiments > 0,
+        "two-slot bursts must assemble online experiments"
+    );
+    assert!(
+        fleet_estimate.estimates.experiments <= sessions as u64 * experiments,
+        "merged experiments cannot exceed the offered population"
+    );
+
     // Phase 3: fetch every report — FIN, chunks, closing ack.
+    let probes = 2 * experiments;
     let mut fetch_ns = Vec::with_capacity(sessions as usize);
     let mut records_fetched = 0u64;
     for (i, client) in clients.iter().enumerate() {
@@ -262,6 +300,7 @@ fn run_fleet(sessions: u32, probes: u64) -> RunStats {
         rejected: report.rejected,
         syns_rejected: report.syns_rejected,
         chunk_nacks: report.chunk_nacks,
+        fleet_estimate,
         wall_secs: started.elapsed().as_secs_f64(),
     }
 }
@@ -291,10 +330,12 @@ fn q_json(label: &str, q: &Quantiles) -> String {
 /// The JSON body minus the fields that legitimately differ between
 /// reruns (`quick`, wall time) — this is the string the determinism
 /// check compares byte-for-byte.
-fn stable_json(sessions: u32, probes: u64, stats: &RunStats) -> String {
+fn stable_json(sessions: u32, experiments: u64, stats: &RunStats) -> String {
+    let est = &stats.fleet_estimate.estimates;
     [
         format!("  \"sessions\": {sessions},"),
-        format!("  \"probes_per_session\": {probes},"),
+        format!("  \"experiments_per_session\": {experiments},"),
+        format!("  \"probes_per_session\": {},", 2 * experiments),
         format!("  \"packets_per_probe\": {TRAIN},"),
         format!("  \"packet_bytes\": {PACKET_BYTES},"),
         format!("  \"seed\": {SEED},"),
@@ -318,6 +359,27 @@ fn stable_json(sessions: u32, probes: u64, stats: &RunStats) -> String {
             stats.rejected,
             stats.syns_rejected,
             stats.chunk_nacks,
+        ),
+        format!(
+            concat!(
+                "  \"fleet_estimate\": {{\"sessions_merged\": {}, \"experiments\": {}, ",
+                "\"z_sum\": {}, \"basic\": {}, \"extended\": {}, \"r\": {}, \"s\": {}, ",
+                "\"u\": {}, \"v\": {}, \"malformed\": {}, \"delay_samples\": {}, ",
+                "\"delay_p50_secs\": {}, \"delay_p99_secs\": {}}},"
+            ),
+            stats.fleet_estimate.sessions,
+            est.experiments,
+            est.z_sum,
+            est.basic_experiments,
+            est.extended_experiments,
+            est.r,
+            est.s,
+            est.u,
+            est.v,
+            est.outcomes_malformed,
+            stats.fleet_estimate.delay_samples,
+            stats.fleet_estimate.delay_p50_secs,
+            stats.fleet_estimate.delay_p99_secs,
         ),
         format!(
             "  \"gate\": {{\"setup_p99_max_ns\": {SETUP_P99_MAX_NS}, \
@@ -347,16 +409,16 @@ fn main() {
         }
     }
     let sessions = sessions.unwrap_or(2048);
-    let probes: u64 = if quick { 2 } else { 8 };
+    let experiments: u64 = if quick { 2 } else { 4 };
 
     println!(
-        "=== fleet_smoke: {sessions} concurrent sessions, {probes} probes each, \
-         {:.1}% loss links ===",
+        "=== fleet_smoke: {sessions} concurrent sessions, {experiments} two-slot experiments \
+         each, {:.1}% loss links ===",
         LOSS * 100.0
     );
 
-    let stats = run_fleet(sessions, probes);
-    let payload = stable_json(sessions, probes, &stats);
+    let stats = run_fleet(sessions, experiments);
+    let payload = stable_json(sessions, experiments, &stats);
 
     println!(
         "setup  p50 {:>7.1} µs  p99 {:>9.1} µs  p999 {:>9.1} µs",
@@ -382,6 +444,17 @@ fn main() {
         stats.records_fetched,
         stats.mem_peak_bytes as f64 / (1 << 20) as f64,
         stats.wall_secs,
+    );
+    println!(
+        "fleet estimate: {} sessions merged, {} experiments, F={}, {} delay samples",
+        stats.fleet_estimate.sessions,
+        stats.fleet_estimate.estimates.experiments,
+        stats
+            .fleet_estimate
+            .estimates
+            .frequency()
+            .map_or_else(|| "n/a".to_string(), |f| format!("{f:.4}")),
+        stats.fleet_estimate.delay_samples,
     );
 
     // The latency gates: structural ceilings, not hardware measurements
@@ -412,8 +485,8 @@ fn main() {
     // reproduce the same virtual-time story byte for byte.
     if quick {
         println!("[determinism check: re-running the identical scenario]");
-        let second = run_fleet(sessions, probes);
-        let replay = stable_json(sessions, probes, &second);
+        let second = run_fleet(sessions, experiments);
+        let replay = stable_json(sessions, experiments, &second);
         assert_eq!(
             payload, replay,
             "fleet gate: same-seed rerun produced a different trajectory"

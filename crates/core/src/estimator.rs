@@ -17,11 +17,19 @@
 //! the `01` and `10` boundary counts; using `S = #01 + #10` in a single
 //! quotient is exactly that averaging.
 
-use crate::outcome::ExperimentLog;
+use crate::outcome::{ExperimentLog, Outcome};
 use serde::{Deserialize, Serialize};
 
 /// Pattern counts and derived estimates for one run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+///
+/// Every field is a plain sum over outcomes, so the struct is a
+/// *mergeable summary*: [`Self::push`] folds in one outcome,
+/// [`Self::merge`] adds two summaries counter-by-counter, and both
+/// operations commute and associate by construction. A fleet of
+/// receivers can therefore keep one `Estimates` per session, updated
+/// online, and an aggregator can combine them in any order and get the
+/// same bits as a single fold over the concatenated logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Estimates {
     /// Total experiments (`M`).
     pub experiments: u64,
@@ -47,53 +55,153 @@ pub struct Estimates {
     /// unknown `p₃`, but usable for the triple-window duration estimator
     /// when the two-state fidelity model is assumed to extend).
     pub n111: u64,
+    /// Outcomes whose probe count was outside {2, 3} — corrupted or
+    /// truncated records from a hostile or damaged log. They contribute
+    /// to *no* estimator counter (not even `experiments`/`z_sum`: a
+    /// record we cannot classify carries no trustworthy first digit),
+    /// but they are counted here so callers can surface the damage in
+    /// estimate metadata instead of silently analyzing a partial log.
+    #[serde(default)]
+    pub outcomes_malformed: u64,
     /// Slot width in seconds (copied from the log for unit conversion).
     pub slot_secs: f64,
 }
 
 impl Estimates {
-    /// Compute all counts from a log.
+    /// Compute all counts from a log: a thin fold over [`Self::push`],
+    /// kept as the reference implementation that online (incremental)
+    /// estimates are differentially tested against.
     pub fn from_log(log: &ExperimentLog) -> Self {
         let mut e = Estimates {
             slot_secs: log.slot_secs(),
             ..Default::default()
         };
         for o in log.outcomes() {
-            e.experiments += 1;
-            if o.z() {
-                e.z_sum += 1;
-            }
-            match o.probes {
-                2 => {
-                    e.basic_experiments += 1;
-                    match o.pattern() {
-                        0b01 => {
-                            e.n01 += 1;
-                            e.s += 1;
-                            e.r += 1;
-                        }
-                        0b10 => {
-                            e.n10 += 1;
-                            e.s += 1;
-                            e.r += 1;
-                        }
-                        0b11 => e.r += 1,
-                        _ => {}
-                    }
-                }
-                3 => {
-                    e.extended_experiments += 1;
-                    match o.pattern() {
-                        0b011 | 0b110 => e.u += 1,
-                        0b001 | 0b100 => e.v += 1,
-                        0b111 => e.n111 += 1,
-                        _ => {}
-                    }
-                }
-                n => panic!("outcome with {n} probes"),
-            }
+            e.push(o);
         }
         e
+    }
+
+    /// Fold one outcome into the counters.
+    ///
+    /// Malformed outcomes (probe count outside {2, 3}) only bump
+    /// `outcomes_malformed` — they used to panic here, which let one
+    /// corrupted report record abort analysis of an entire run.
+    pub fn push(&mut self, o: &Outcome) {
+        match o.probes {
+            2 => {
+                self.experiments += 1;
+                if o.z() {
+                    self.z_sum += 1;
+                }
+                self.basic_experiments += 1;
+                match o.pattern() {
+                    0b01 => {
+                        self.n01 += 1;
+                        self.s += 1;
+                        self.r += 1;
+                    }
+                    0b10 => {
+                        self.n10 += 1;
+                        self.s += 1;
+                        self.r += 1;
+                    }
+                    0b11 => self.r += 1,
+                    _ => {}
+                }
+            }
+            3 => {
+                self.experiments += 1;
+                if o.z() {
+                    self.z_sum += 1;
+                }
+                self.extended_experiments += 1;
+                match o.pattern() {
+                    0b011 | 0b110 => self.u += 1,
+                    0b001 | 0b100 => self.v += 1,
+                    0b111 => self.n111 += 1,
+                    _ => {}
+                }
+            }
+            // Guarded *before* `pattern()`/`digits()`, which index
+            // `states[..probes]` and would themselves panic for > 3.
+            _ => self.outcomes_malformed += 1,
+        }
+    }
+
+    /// Exact inverse of [`Self::push`]: remove one previously-pushed
+    /// outcome. The online receiver fold uses this to revise an
+    /// experiment's contribution as more of its probes arrive
+    /// (retract the stale outcome, push the refined one).
+    ///
+    /// Callers must only retract outcomes they pushed; the subtraction
+    /// saturates so a violated contract degrades the counters instead
+    /// of wrapping them into astronomically wrong estimates.
+    pub fn retract(&mut self, o: &Outcome) {
+        match o.probes {
+            2 => {
+                self.experiments = self.experiments.saturating_sub(1);
+                if o.z() {
+                    self.z_sum = self.z_sum.saturating_sub(1);
+                }
+                self.basic_experiments = self.basic_experiments.saturating_sub(1);
+                match o.pattern() {
+                    0b01 => {
+                        self.n01 = self.n01.saturating_sub(1);
+                        self.s = self.s.saturating_sub(1);
+                        self.r = self.r.saturating_sub(1);
+                    }
+                    0b10 => {
+                        self.n10 = self.n10.saturating_sub(1);
+                        self.s = self.s.saturating_sub(1);
+                        self.r = self.r.saturating_sub(1);
+                    }
+                    0b11 => self.r = self.r.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            3 => {
+                self.experiments = self.experiments.saturating_sub(1);
+                if o.z() {
+                    self.z_sum = self.z_sum.saturating_sub(1);
+                }
+                self.extended_experiments = self.extended_experiments.saturating_sub(1);
+                match o.pattern() {
+                    0b011 | 0b110 => self.u = self.u.saturating_sub(1),
+                    0b001 | 0b100 => self.v = self.v.saturating_sub(1),
+                    0b111 => self.n111 = self.n111.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            _ => self.outcomes_malformed = self.outcomes_malformed.saturating_sub(1),
+        }
+    }
+
+    /// Merge another summary into this one: pure counter addition, so
+    /// the operation is associative and commutative by construction and
+    /// `merge(from_log(a), from_log(b)) == from_log(a ++ b)` exactly.
+    ///
+    /// `slot_secs` is metadata, not a counter: it is kept unless unset
+    /// (zero, the `Default`), in which case the other side's value is
+    /// adopted. Merging summaries with *different* non-zero slot widths
+    /// is a caller error — second-scale conversions would be
+    /// meaningless — but the slot-denominated counters stay exact.
+    pub fn merge(&mut self, other: &Estimates) {
+        self.experiments += other.experiments;
+        self.z_sum += other.z_sum;
+        self.basic_experiments += other.basic_experiments;
+        self.extended_experiments += other.extended_experiments;
+        self.r += other.r;
+        self.s += other.s;
+        self.n01 += other.n01;
+        self.n10 += other.n10;
+        self.u += other.u;
+        self.v += other.v;
+        self.n111 += other.n111;
+        self.outcomes_malformed += other.outcomes_malformed;
+        if self.slot_secs == 0.0 {
+            self.slot_secs = other.slot_secs;
+        }
     }
 
     /// `F̂ = Σ zᵢ / M`; `None` for an empty log.
@@ -528,5 +636,183 @@ mod tests {
         assert!((e.frequency().unwrap() - 0.5).abs() < 1e-12);
         assert_eq!(e.basic_experiments, 0);
         assert_eq!(e.extended_experiments, 2);
+    }
+
+    /// Regression: a hostile log with probe counts outside {2, 3} used
+    /// to panic `from_log` (`outcome with {n} probes`). It must instead
+    /// skip the records, count them, and estimate from the valid rest.
+    #[test]
+    fn hostile_log_is_counted_not_fatal() {
+        let mut log = ExperimentLog::new(1_000, 0.005);
+        log.push(Outcome::basic(0, 0, true, false));
+        for probes in [0u8, 1, 4, 7, 255] {
+            log.push(Outcome {
+                id: 100 + u64::from(probes),
+                start_slot: 10,
+                probes,
+                states: [true, true, true],
+            });
+        }
+        log.push(Outcome::extended(1, 20, false, false, true));
+        let e = Estimates::from_log(&log);
+        assert_eq!(e.outcomes_malformed, 5);
+        assert_eq!(e.experiments, 2, "malformed records are not experiments");
+        assert_eq!(e.z_sum, 1, "malformed first digits are not trusted");
+        assert_eq!(e.basic_experiments, 1);
+        assert_eq!(e.extended_experiments, 1);
+        assert_eq!(e.n10, 1);
+        assert_eq!(e.v, 1);
+    }
+
+    #[test]
+    fn retract_inverts_push() {
+        let mut outcomes = vec![
+            Outcome::basic(0, 0, false, true),
+            Outcome::basic(1, 10, true, false),
+            Outcome::basic(2, 20, true, true),
+            Outcome::basic(3, 30, false, false),
+            Outcome::extended(4, 40, false, true, true),
+            Outcome::extended(5, 50, false, false, true),
+            Outcome::extended(6, 60, true, true, true),
+        ];
+        outcomes.push(Outcome {
+            id: 7,
+            start_slot: 70,
+            probes: 9,
+            states: [false; 3],
+        });
+        let mut e = Estimates {
+            slot_secs: 0.005,
+            ..Default::default()
+        };
+        for o in &outcomes {
+            e.push(o);
+        }
+        // Retract half, re-push, retract all: back to empty counters.
+        for o in &outcomes[..4] {
+            e.retract(o);
+        }
+        for o in &outcomes[..4] {
+            e.push(o);
+        }
+        for o in &outcomes {
+            e.retract(o);
+        }
+        let empty = Estimates {
+            slot_secs: 0.005,
+            ..Default::default()
+        };
+        assert_eq!(e, empty);
+    }
+
+    #[test]
+    fn retract_saturates_instead_of_wrapping() {
+        let mut e = Estimates::default();
+        e.retract(&Outcome::basic(0, 0, true, true));
+        assert_eq!(e, Estimates::default());
+    }
+
+    #[test]
+    fn merge_adopts_slot_width_when_unset() {
+        let mut a = Estimates::default();
+        let b = Estimates {
+            slot_secs: 0.005,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.slot_secs, 0.005);
+        let c = Estimates {
+            slot_secs: 0.010,
+            ..Default::default()
+        };
+        a.merge(&c);
+        assert_eq!(a.slot_secs, 0.005, "a set slot width is kept");
+    }
+
+    /// Deterministic pseudo-random outcome stream for the merge laws:
+    /// mostly valid 2/3-probe outcomes with occasional malformed ones.
+    fn stream(seed: u64, len: usize) -> Vec<Outcome> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut step = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        (0..len)
+            .map(|i| {
+                let bits = step();
+                let probes = match bits % 16 {
+                    0 => (bits >> 8) as u8, // hostile: arbitrary count
+                    n if n < 8 => 2,
+                    _ => 3,
+                };
+                Outcome {
+                    id: i as u64,
+                    start_slot: (i as u64) * 3,
+                    probes,
+                    states: [bits & 16 != 0, bits & 32 != 0, bits & 64 != 0],
+                }
+            })
+            .collect()
+    }
+
+    fn fold(outcomes: &[Outcome]) -> Estimates {
+        let mut e = Estimates {
+            slot_secs: 0.005,
+            ..Default::default()
+        };
+        for o in outcomes {
+            e.push(o);
+        }
+        e
+    }
+
+    proptest::proptest! {
+        /// merge(fold(a), fold(b)) == fold(a ++ b) for any split point.
+        #[test]
+        fn merge_equals_concatenated_fold(seed in 0u64..1024, len in 0usize..200, cut in 0usize..200) {
+            let s = stream(seed, len);
+            let cut = cut.min(s.len());
+            let mut left = fold(&s[..cut]);
+            left.merge(&fold(&s[cut..]));
+            proptest::prop_assert_eq!(left, fold(&s));
+        }
+
+        #[test]
+        fn merge_is_commutative(sa in 0u64..512, sb in 0u64..512, la in 0usize..150, lb in 0usize..150) {
+            let (a, b) = (fold(&stream(sa, la)), fold(&stream(sb, lb)));
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            proptest::prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(sa in 0u64..256, sb in 0u64..256, sc in 0u64..256, len in 1usize..120) {
+            let (a, b, c) = (fold(&stream(sa, len)), fold(&stream(sb, len)), fold(&stream(sc, len)));
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            proptest::prop_assert_eq!(left, right);
+        }
+
+        /// Push/retract in arbitrary interleavings always lands back on
+        /// the fold of what remains pushed.
+        #[test]
+        fn retract_is_exact_inverse(seed in 0u64..1024, len in 1usize..120, keep in 0usize..120) {
+            let s = stream(seed, len);
+            let keep = keep.min(s.len());
+            let mut e = fold(&s);
+            for o in &s[keep..] {
+                e.retract(o);
+            }
+            proptest::prop_assert_eq!(e, fold(&s[..keep]));
+        }
     }
 }

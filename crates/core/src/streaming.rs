@@ -44,69 +44,46 @@ impl StreamingEstimator {
     }
 
     /// Fold in one outcome.
+    ///
+    /// Malformed outcomes (probe count outside {2, 3}) are counted in
+    /// `estimates().outcomes_malformed` and otherwise ignored — in
+    /// particular they do not advance the effective-`N` window. The
+    /// probes-0 case used to underflow the span arithmetic below before
+    /// the pattern match could even reject it.
     pub fn push(&mut self, o: &Outcome) {
-        // k probes starting at slot s occupy slots s ..= s+k-1.
-        let end_slot = o.start_slot + u64::from(o.probes) - 1;
+        if o.probes != 2 && o.probes != 3 {
+            self.estimates.push(o);
+            return;
+        }
+        // k probes starting at slot s occupy slots s ..= s+k-1;
+        // saturating so a hostile start slot near u64::MAX cannot wrap
+        // the window to zero.
+        let end_slot = o.start_slot.saturating_add(u64::from(o.probes) - 1);
         self.max_slot_seen = self.max_slot_seen.max(end_slot);
 
-        self.estimates.experiments += 1;
-        if o.z() {
-            self.estimates.z_sum += 1;
-        }
+        // Estimator counters are the shared incremental fold; only the
+        // finer-grained validation tallies stay local to this type.
+        self.estimates.push(o);
         match o.probes {
-            2 => {
-                self.estimates.basic_experiments += 1;
-                match o.pattern() {
-                    0b00 => self.validation.n00 += 1,
-                    0b01 => {
-                        self.validation.n01 += 1;
-                        self.estimates.n01 += 1;
-                        self.estimates.s += 1;
-                        self.estimates.r += 1;
-                    }
-                    0b10 => {
-                        self.validation.n10 += 1;
-                        self.estimates.n10 += 1;
-                        self.estimates.s += 1;
-                        self.estimates.r += 1;
-                    }
-                    0b11 => {
-                        self.validation.n11 += 1;
-                        self.estimates.r += 1;
-                    }
-                    _ => unreachable!("2-probe pattern out of range"),
-                }
-            }
-            3 => {
-                self.estimates.extended_experiments += 1;
-                match o.pattern() {
-                    0b000 => self.validation.n000 += 1,
-                    0b001 => {
-                        self.validation.n001 += 1;
-                        self.estimates.v += 1;
-                    }
-                    0b100 => {
-                        self.validation.n100 += 1;
-                        self.estimates.v += 1;
-                    }
-                    0b011 => {
-                        self.validation.n011 += 1;
-                        self.estimates.u += 1;
-                    }
-                    0b110 => {
-                        self.validation.n110 += 1;
-                        self.estimates.u += 1;
-                    }
-                    0b010 => self.validation.n010 += 1,
-                    0b101 => self.validation.n101 += 1,
-                    0b111 => {
-                        self.validation.n111 += 1;
-                        self.estimates.n111 += 1;
-                    }
-                    _ => unreachable!("3-probe pattern out of range"),
-                }
-            }
-            n => panic!("outcome with {n} probes"),
+            2 => match o.pattern() {
+                0b00 => self.validation.n00 += 1,
+                0b01 => self.validation.n01 += 1,
+                0b10 => self.validation.n10 += 1,
+                0b11 => self.validation.n11 += 1,
+                _ => unreachable!("2-probe pattern out of range"),
+            },
+            3 => match o.pattern() {
+                0b000 => self.validation.n000 += 1,
+                0b001 => self.validation.n001 += 1,
+                0b100 => self.validation.n100 += 1,
+                0b011 => self.validation.n011 += 1,
+                0b110 => self.validation.n110 += 1,
+                0b010 => self.validation.n010 += 1,
+                0b101 => self.validation.n101 += 1,
+                0b111 => self.validation.n111 += 1,
+                _ => unreachable!("3-probe pattern out of range"),
+            },
+            _ => unreachable!("rejected above"),
         }
     }
 
@@ -305,5 +282,59 @@ mod tests {
     #[should_panic(expected = "p must be in (0,1]")]
     fn rejects_bad_p() {
         let _ = StreamingEstimator::new(1.5, 0.005);
+    }
+
+    /// Regression: a zero-probe outcome at slot 0 used to compute
+    /// `0 + 0 - 1` for its end slot — a debug-mode panic and a
+    /// release-mode wrap to `u64::MAX` that poisoned `effective_slots`
+    /// (and with it `L̂` and the §7 stddev model) for the whole run.
+    #[test]
+    fn malformed_outcomes_do_not_poison_the_window() {
+        let mut s = StreamingEstimator::new(0.5, 0.005);
+        for probes in [0u8, 1, 4, 200] {
+            s.push(&Outcome {
+                id: u64::from(probes),
+                start_slot: 0,
+                probes,
+                states: [true; 3],
+            });
+        }
+        assert_eq!(s.effective_slots(), 0);
+        assert_eq!(s.loss_event_rate(), None);
+        assert_eq!(s.predicted_duration_stddev(), None);
+        assert_eq!(s.estimates().outcomes_malformed, 4);
+        assert_eq!(s.len(), 0, "malformed records are not experiments");
+
+        // Valid data afterwards estimates as if the noise never arrived.
+        s.push(&Outcome::basic(10, 400, false, true));
+        let l = s.loss_event_rate().unwrap();
+        assert!(l.is_finite() && l > 0.0, "L̂ = {l}");
+        assert!(s.predicted_duration_stddev().unwrap().is_finite());
+    }
+
+    /// The degenerate zero-slot window: `loss_event_rate` divides by
+    /// `max_slot_seen`, so boundary counts with no recorded span must
+    /// yield `None`, never `inf`/`NaN`. Same audit for
+    /// `predicted_duration_stddev`, which feeds the same `N` into the
+    /// §7 model.
+    #[test]
+    fn zero_slot_window_yields_none_not_inf() {
+        let mut s = StreamingEstimator::new(0.5, 0.005);
+        // Force the degenerate state directly: a boundary count with an
+        // empty window (as a corrupted snapshot could deserialize to).
+        s.estimates.n01 = 3;
+        assert_eq!(s.max_slot_seen, 0);
+        assert_eq!(s.loss_event_rate(), None);
+        assert_eq!(s.predicted_duration_stddev(), None);
+    }
+
+    /// A hostile start slot near `u64::MAX` saturates the window
+    /// instead of wrapping it back to a tiny `N`.
+    #[test]
+    fn huge_start_slot_saturates_the_window() {
+        let mut s = StreamingEstimator::new(0.5, 0.005);
+        s.push(&Outcome::basic(0, u64::MAX - 1, false, true));
+        assert_eq!(s.effective_slots(), u64::MAX);
+        assert!(s.loss_event_rate().unwrap().is_finite());
     }
 }

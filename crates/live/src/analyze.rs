@@ -12,8 +12,62 @@ use crate::sender::SenderManifest;
 use badabing_core::config::BadabingConfig;
 use badabing_core::detector::{CongestionDetector, DetectorReport, ProbeObservation};
 use badabing_core::estimator::Estimates;
-use badabing_core::outcome::ExperimentLog;
+use badabing_core::outcome::{ExperimentLog, Outcome};
 use badabing_core::validate::Validation;
+use badabing_wire::control::ReportRecord;
+
+/// The canonical **loss-only** experiment log over fetched report
+/// records — the reference fold the receiver's online estimator is
+/// differentially tested against.
+///
+/// The derivation mirrors the receiver's online rule exactly: records
+/// are grouped by experiment, a group only yields an outcome when its
+/// slots are contiguous and 2 or 3 wide (the `detector::assemble`
+/// grouping discipline), and a probe is congested iff its clamped
+/// arrival count is short of the train length (`received.min(train) <
+/// train`). Probes lost in their entirety never produce a record, so
+/// their experiment stays incomplete on both sides. Unlike
+/// [`analyze_run`] this needs no sender manifest and no delay data: it
+/// is computable from the report alone, which is what makes the FIN
+/// differential (`online == from_log(loss_log_from_records(report))`)
+/// a closed contract.
+pub fn loss_log_from_records(
+    records: &[ReportRecord],
+    train: u8,
+    n_slots: u64,
+    slot_secs: f64,
+) -> ExperimentLog {
+    let mut sorted: Vec<&ReportRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| (r.experiment, r.slot));
+    let mut log = ExperimentLog::new(n_slots, slot_secs);
+    let mut i = 0;
+    while i < sorted.len() {
+        let exp = sorted[i].experiment;
+        let mut j = i;
+        while j < sorted.len() && sorted[j].experiment == exp {
+            j += 1;
+        }
+        let group = &sorted[i..j];
+        i = j;
+        let lo = group[0].slot;
+        let hi = group[group.len() - 1].slot;
+        let span = (hi - lo).saturating_add(1);
+        if !(group.len() == 2 || group.len() == 3) || span != group.len() as u64 {
+            continue;
+        }
+        let mut states = [false; 3];
+        for (k, r) in group.iter().enumerate() {
+            states[k] = r.received.min(train) < train;
+        }
+        log.push(Outcome {
+            id: exp,
+            start_slot: lo,
+            probes: group.len() as u8,
+            states,
+        });
+    }
+    log
+}
 
 /// Results of a live run.
 #[derive(Debug, Clone)]

@@ -21,8 +21,14 @@
 //!     [--metrics metrics.json] [--idle-timeout 30] \
 //!     [--io auto|batched|fallback|gso|gso+gro] [--recv-threads N] [--shards N] \
 //!     [--poll auto|epoll|timeout] [--session-budget-mb N] \
-//!     [--global-budget-mb N] [--on-pressure reject|evict]
+//!     [--global-budget-mb N] [--on-pressure reject|evict] \
+//!     [--estimate-interval-ms N]
 //! ```
+//!
+//! With `--estimate-interval-ms N` (N > 0, multi-session mode) the
+//! server periodically merges every live session's online estimator and
+//! publishes the fleet-wide view as `fleet_*` gauges in the metrics
+//! snapshot.
 
 use badabing_live::batch_io::IoMode;
 use badabing_live::cli::Flags;
@@ -43,7 +49,8 @@ const USAGE: &str = "badabing_recv --bind ADDR --secs S [--session N|any] [--max
                      [--log PATH] [--metrics PATH] [--idle-timeout S] \
                      [--io auto|batched|fallback|gso|gso+gro] [--recv-threads N] [--shards N] \
                      [--poll auto|epoll|timeout] [--session-budget-mb N] \
-                     [--global-budget-mb N] [--on-pressure reject|evict]";
+                     [--global-budget-mb N] [--on-pressure reject|evict] \
+                     [--estimate-interval-ms N]";
 
 /// `receiver.json` → `receiver.<id>.json` for per-session logs.
 fn session_log_path(base: &Path, session: u32) -> PathBuf {
@@ -72,6 +79,7 @@ fn main() -> std::io::Result<()> {
         let session_budget_mb: usize =
             flags.opt("session-budget-mb", DEFAULT_SESSION_BUDGET_BYTES >> 20);
         let global_budget_mb: usize = flags.opt("global-budget-mb", 0usize);
+        let estimate_interval_ms: u64 = flags.opt("estimate-interval-ms", 0);
         let server = start_server(ServerConfig {
             idle_timeout,
             max_sessions,
@@ -83,6 +91,8 @@ fn main() -> std::io::Result<()> {
             session_budget_bytes: session_budget_mb << 20,
             global_budget_bytes: (global_budget_mb > 0).then_some(global_budget_mb << 20),
             on_pressure: flags.opt("on-pressure", PressurePolicy::Reject),
+            estimate_interval: (estimate_interval_ms > 0)
+                .then(|| Duration::from_millis(estimate_interval_ms)),
             ..ServerConfig::any(bind, max_sessions)
         })?;
         eprintln!(

@@ -17,8 +17,14 @@
 //!     [--control ADDR | --no-control] [--manifest manifest.json] \
 //!     [--log receiver.json] [--metrics metrics.json] \
 //!     [--retry-base-ms 25] [--retry-cap-ms 400] [--attempts 12] \
-//!     [--hb-ms 200] [--hb-misses 3]
+//!     [--hb-ms 200] [--hb-misses 3] \
+//!     [--estimate-every-ms 0] [--estimate-out estimate.json]
 //! ```
+//!
+//! With `--estimate-every-ms N` (N > 0) the heartbeat thread also polls
+//! the receiver's online estimator every N milliseconds; the last
+//! snapshot fetched is printed at exit and, with `--estimate-out`,
+//! written as JSON.
 //!
 //! Exits 0 on a complete run, 1 if the receiver went silent mid-run (a
 //! partial manifest is still written), 2 on usage errors.
@@ -27,7 +33,7 @@ use badabing_core::config::BadabingConfig;
 use badabing_live::batch_io::IoMode;
 use badabing_live::cli::Flags;
 use badabing_live::control::ControlConfig;
-use badabing_live::persist::{ManifestFile, ReceiverFile};
+use badabing_live::persist::{EstimateFile, ManifestFile, ReceiverFile};
 use badabing_live::provider::Provider;
 use badabing_live::sender::{run_sender, SenderConfig};
 use badabing_metrics::Registry;
@@ -41,7 +47,8 @@ const USAGE: &str = "badabing_send --target ADDR --secs S [--p P] [--improved] \
                      [--session N] [--seed N] [--bind ADDR] [--manifest PATH] \
                      [--control ADDR] [--no-control] [--log PATH] [--metrics PATH] \
                      [--retry-base-ms MS] [--retry-cap-ms MS] [--attempts N] \
-                     [--hb-ms MS] [--hb-misses N] [--io auto|batched|fallback|gso|gso+gro]";
+                     [--hb-ms MS] [--hb-misses N] [--io auto|batched|fallback|gso|gso+gro] \
+                     [--estimate-every-ms MS] [--estimate-out PATH]";
 
 fn main() -> std::io::Result<()> {
     let flags = Flags::parse(USAGE, &["improved", "no-control"]);
@@ -54,6 +61,8 @@ fn main() -> std::io::Result<()> {
     let manifest_path = PathBuf::from(flags.opt_str("manifest", "manifest.json"));
     let log_path = PathBuf::from(flags.opt_str("log", "receiver.json"));
     let metrics_path = flags.opt_str("metrics", "");
+    let estimate_every_ms: u64 = flags.opt("estimate-every-ms", 0);
+    let estimate_out = flags.opt_str("estimate-out", "");
 
     let mut tool = BadabingConfig::paper_default(p);
     if flags.has("improved") {
@@ -82,6 +91,7 @@ fn main() -> std::io::Result<()> {
         control,
         metrics: Some(metrics.clone()),
         provider: Provider::udp(flags.opt::<IoMode>("io", IoMode::Auto)),
+        estimate_every: (estimate_every_ms > 0).then(|| Duration::from_millis(estimate_every_ms)),
     };
     eprintln!(
         "sending to {target}: p={p}, {} slots of {} ms, offered load ≈ {:.0} kb/s",
@@ -105,6 +115,24 @@ fn main() -> std::io::Result<()> {
         );
         ReceiverFile::new(log).save(&log_path)?;
         eprintln!("receiver log written to {}", log_path.display());
+    }
+    if let Some(est) = &outcome.mid_run_estimate {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.4}"));
+        eprintln!(
+            "mid-run estimate ({} experiments): F={} D_basic={} slots D_improved={} slots \
+             delay p50={:.6}s p99={:.6}s over {} samples",
+            est.estimates.experiments,
+            fmt(est.estimates.frequency()),
+            fmt(est.estimates.duration_slots_basic()),
+            fmt(est.estimates.duration_slots_improved()),
+            est.delay_p50_secs,
+            est.delay_p99_secs,
+            est.delay_samples
+        );
+        if !estimate_out.is_empty() {
+            EstimateFile::new(est).save(Path::new(&estimate_out))?;
+            eprintln!("estimate snapshot written to {estimate_out}");
+        }
     }
     for note in &outcome.diagnostics {
         eprintln!("warning: {note}");

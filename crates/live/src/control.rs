@@ -11,13 +11,73 @@
 //! alone still supports loss accounting for every probe that was sent).
 
 use crate::provider::{Clock, Provider, Socket};
+use badabing_core::estimator::Estimates;
 use badabing_metrics::Registry;
 use badabing_wire::control::{
-    ControlMessage, RejectReason, ReportRecord, ReportSummary, SessionParams,
+    ControlMessage, EstimateCounters, EstimateScope, RejectReason, ReportRecord, ReportSummary,
+    SessionParams,
 };
 use std::io;
 use std::net::SocketAddr;
 use std::time::Duration;
+
+/// Convert in-memory estimator counters to their wire form (loses
+/// nothing: the wire struct carries every counter verbatim).
+pub fn estimate_counters(e: &Estimates) -> EstimateCounters {
+    EstimateCounters {
+        experiments: e.experiments,
+        z_sum: e.z_sum,
+        basic_experiments: e.basic_experiments,
+        extended_experiments: e.extended_experiments,
+        r: e.r,
+        s: e.s,
+        n01: e.n01,
+        n10: e.n10,
+        u: e.u,
+        v: e.v,
+        n111: e.n111,
+        outcomes_malformed: e.outcomes_malformed,
+        slot_secs: e.slot_secs,
+    }
+}
+
+/// Rebuild in-memory estimator counters from their wire form — the
+/// exact inverse of [`estimate_counters`], so a fetched snapshot
+/// supports every derived §5 estimate (and further merging) locally.
+pub fn estimates_from_counters(c: &EstimateCounters) -> Estimates {
+    Estimates {
+        experiments: c.experiments,
+        z_sum: c.z_sum,
+        basic_experiments: c.basic_experiments,
+        extended_experiments: c.extended_experiments,
+        r: c.r,
+        s: c.s,
+        n01: c.n01,
+        n10: c.n10,
+        u: c.u,
+        v: c.v,
+        n111: c.n111,
+        outcomes_malformed: c.outcomes_malformed,
+        slot_secs: c.slot_secs,
+    }
+}
+
+/// A mid-run estimate snapshot fetched over the control plane.
+#[derive(Debug, Clone)]
+pub struct EstimateReport {
+    /// Which population the snapshot covers.
+    pub scope: EstimateScope,
+    /// Live sessions merged into the counters (1 for session scope).
+    pub sessions: u32,
+    /// The mergeable §5 counters, ready for derived estimates.
+    pub estimates: Estimates,
+    /// Delay samples in the receiver's sketch.
+    pub delay_samples: u64,
+    /// Median queueing delay (sketch bucket edge), seconds.
+    pub delay_p50_secs: f64,
+    /// 99th-percentile queueing delay (sketch bucket edge), seconds.
+    pub delay_p99_secs: f64,
+}
 
 /// Timeouts and retry policy for the sender's control plane.
 #[derive(Debug, Clone)]
@@ -319,6 +379,37 @@ impl ControlClient {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Fetch a mid-run estimate snapshot without finalizing anything:
+    /// per-session (`scope: Session`) or merged across every live
+    /// session on the receiver (`scope: Fleet`). An old receiver that
+    /// predates the message drops it as an unknown type, so this fails
+    /// as [`ControlError::Unreachable`] after the retry budget — the
+    /// run itself is unaffected.
+    pub fn fetch_estimate(
+        &self,
+        session: u32,
+        scope: EstimateScope,
+    ) -> Result<EstimateReport, ControlError> {
+        let req = ControlMessage::EstimateRequest { session, scope };
+        self.request("estimate", &req, |msg| match msg {
+            ControlMessage::EstimateReply {
+                scope: got,
+                sessions,
+                counters,
+                delay,
+                ..
+            } if got == scope => Some(EstimateReport {
+                scope: got,
+                sessions,
+                estimates: estimates_from_counters(&counters),
+                delay_samples: delay.samples,
+                delay_p50_secs: delay.p50_secs,
+                delay_p99_secs: delay.p99_secs,
+            }),
+            _ => None,
+        })
     }
 
     /// FIN, then pull every report chunk, then the closing ack.

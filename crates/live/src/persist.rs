@@ -10,10 +10,13 @@
 //! Encoding is the dependency-free JSON codec from `badabing-metrics`
 //! (this workspace builds offline; there is no serde_json to lean on).
 
+use crate::control::EstimateReport;
 use crate::receiver::{ArrivalRecord, ReceiverLog};
 use crate::sender::{SenderManifest, SentProbeInfo};
 use badabing_core::config::BadabingConfig;
+use badabing_core::estimator::Estimates;
 use badabing_metrics::json::Value;
+use badabing_wire::control::EstimateScope;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
@@ -334,6 +337,125 @@ impl ReceiverFile {
             duplicates: v.get("duplicates").and_then(Value::as_u64).unwrap_or(0),
             min_raw_delay_ns,
             arrivals,
+        })
+    }
+
+    /// Write as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        write_json(path, &self.to_value())
+    }
+
+    /// Read from JSON.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::from_value(&read_json(path)?)
+    }
+}
+
+/// Serialized form of a mid-run estimate snapshot fetched over the
+/// control plane (`badabing_send --estimate-out`).
+///
+/// The raw counters are the source of truth — they are lossless u64s
+/// and merge by addition — so only they are parsed back on load; the
+/// `derived` section (F̂, D̂ variants, episode rate) is recomputed from
+/// the counters and written purely for human readers and dashboards.
+#[derive(Debug, Clone)]
+pub struct EstimateFile {
+    /// `"session"`, `"fleet"`, or `"other"`.
+    pub scope: String,
+    /// Sessions merged into the counters (1 for session scope).
+    pub sessions: u32,
+    /// The mergeable counter set.
+    pub estimates: Estimates,
+    /// Delay-sketch sample count.
+    pub delay_samples: u64,
+    /// Median offset-adjusted delay, seconds (0.0 when empty).
+    pub delay_p50_secs: f64,
+    /// 99th-percentile offset-adjusted delay, seconds (0.0 when empty).
+    pub delay_p99_secs: f64,
+}
+
+impl EstimateFile {
+    /// Build from a fetched report.
+    pub fn new(report: &EstimateReport) -> Self {
+        let scope = match report.scope {
+            EstimateScope::Session => "session",
+            EstimateScope::Fleet => "fleet",
+            EstimateScope::Other(_) => "other",
+        };
+        Self {
+            scope: scope.to_string(),
+            sessions: report.sessions,
+            estimates: report.estimates,
+            delay_samples: report.delay_samples,
+            delay_p50_secs: report.delay_p50_secs,
+            delay_p99_secs: report.delay_p99_secs,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let e = &self.estimates;
+        let counters = Value::obj(vec![
+            ("experiments", num_u64(e.experiments)),
+            ("z_sum", num_u64(e.z_sum)),
+            ("basic_experiments", num_u64(e.basic_experiments)),
+            ("extended_experiments", num_u64(e.extended_experiments)),
+            ("r", num_u64(e.r)),
+            ("s", num_u64(e.s)),
+            ("n01", num_u64(e.n01)),
+            ("n10", num_u64(e.n10)),
+            ("u", num_u64(e.u)),
+            ("v", num_u64(e.v)),
+            ("n111", num_u64(e.n111)),
+            ("outcomes_malformed", num_u64(e.outcomes_malformed)),
+            ("slot_secs", Value::Num(e.slot_secs)),
+        ]);
+        let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Num);
+        let derived = Value::obj(vec![
+            ("frequency", opt(e.frequency())),
+            ("duration_slots_basic", opt(e.duration_slots_basic())),
+            ("duration_slots_improved", opt(e.duration_slots_improved())),
+            ("duration_slots_pooled", opt(e.duration_slots_pooled())),
+            ("episode_rate_per_slot", opt(e.episode_rate_per_slot())),
+        ]);
+        Value::obj(vec![
+            ("scope", Value::Str(self.scope.clone())),
+            ("sessions", num_u64(u64::from(self.sessions))),
+            ("counters", counters),
+            ("derived", derived),
+            ("delay_samples", num_u64(self.delay_samples)),
+            ("delay_p50_secs", Value::Num(self.delay_p50_secs)),
+            ("delay_p99_secs", Value::Num(self.delay_p99_secs)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> io::Result<Self> {
+        let c = field(v, "counters")?;
+        let estimates = Estimates {
+            experiments: req_u64(c, "experiments")?,
+            z_sum: req_u64(c, "z_sum")?,
+            basic_experiments: req_u64(c, "basic_experiments")?,
+            extended_experiments: req_u64(c, "extended_experiments")?,
+            r: req_u64(c, "r")?,
+            s: req_u64(c, "s")?,
+            n01: req_u64(c, "n01")?,
+            n10: req_u64(c, "n10")?,
+            u: req_u64(c, "u")?,
+            v: req_u64(c, "v")?,
+            n111: req_u64(c, "n111")?,
+            outcomes_malformed: req_u64(c, "outcomes_malformed")?,
+            slot_secs: req_f64(c, "slot_secs")?,
+        };
+        let scope = match field(v, "scope")? {
+            Value::Str(s) => s.clone(),
+            _ => return Err(bad("scope")),
+        };
+        Ok(Self {
+            scope,
+            sessions: req_u64(v, "sessions")? as u32,
+            estimates,
+            delay_samples: req_u64(v, "delay_samples")?,
+            delay_p50_secs: req_f64(v, "delay_p50_secs")?,
+            delay_p99_secs: req_f64(v, "delay_p99_secs")?,
         })
     }
 

@@ -48,12 +48,17 @@
 //! sessions never contaminate each other's clock model or records.
 
 use crate::batch_io::DEFAULT_RECV_BATCH;
+use crate::control::estimate_counters;
 use crate::event_loop::{PollMode, PollWaker, Poller, Wait};
 use crate::provider::{Clock, Provider, RecvBatch, Socket, TimestampSource};
+use badabing_core::estimator::Estimates;
+use badabing_core::outcome::Outcome;
 use badabing_metrics::{Counter, Registry};
+use badabing_stats::DelaySketch;
 use badabing_wire::control::{
-    chunk_count, chunk_window, encode_report_chunk_into, ControlMessage, RejectReason,
-    ReportRecord, ReportSummary, SessionParams, MAX_CONTROL_BYTES, RECORD_FLAG_KERNEL_STAMPED,
+    chunk_count, chunk_window, encode_report_chunk_into, ControlMessage, DelaySummary,
+    EstimateScope, RejectReason, ReportRecord, ReportSummary, SessionParams, MAX_CONTROL_BYTES,
+    RECORD_FLAG_KERNEL_STAMPED,
 };
 use badabing_wire::ProbeHeader;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -168,6 +173,11 @@ pub struct ServerConfig {
     /// What to do when admitting a session would exceed the global
     /// budget.
     pub on_pressure: PressurePolicy,
+    /// Periodically merge every live session's online estimator
+    /// counters and delay sketch into fleet-wide metrics gauges
+    /// (`fleet_*`). `None` disables the snapshots; they also require
+    /// [`ServerConfig::metrics`] to be set to have anywhere to land.
+    pub estimate_interval: Option<Duration>,
 }
 
 /// Admission behaviour under global-budget pressure.
@@ -228,6 +238,7 @@ impl ServerConfig {
             session_budget_bytes: DEFAULT_SESSION_BUDGET_BYTES,
             global_budget_bytes: None,
             on_pressure: PressurePolicy::default(),
+            estimate_interval: None,
         }
     }
 }
@@ -530,6 +541,9 @@ const SEEN_ENTRY_BYTES: usize = 24;
 const RAW_ENTRY_BYTES: usize = 32;
 /// Finalized report record plus its share of the snapshot log.
 const RECORD_ENTRY_BYTES: usize = 112;
+/// Online-estimator assembly entry: `u64` key, [`ExpAssembly`], hash
+/// overhead.
+const EXP_ENTRY_BYTES: usize = 80;
 
 /// Per-probe accumulation state.
 struct ProbeArrivals {
@@ -550,6 +564,24 @@ impl Default for ProbeArrivals {
             kernel_stamped: true,
         }
     }
+}
+
+/// Per-experiment assembly state for the online estimator fold: just
+/// enough to re-derive the experiment's current [`Outcome`] from the
+/// probe map without walking it (bounds + distinct-slot count), plus
+/// the outcome currently folded into the session's [`Estimates`] so a
+/// revision can retract it exactly.
+#[derive(Default)]
+struct ExpAssembly {
+    /// Lowest slot seen for this experiment.
+    lo: u64,
+    /// Highest slot seen for this experiment.
+    hi: u64,
+    /// Distinct slots seen (saturating; 0 = nothing yet).
+    slots: u8,
+    /// The outcome currently counted in the session's online
+    /// [`Estimates`], if the experiment has ever looked complete.
+    folded: Option<Outcome>,
 }
 
 /// A finalized session snapshot: frozen at the first FIN (or at reap
@@ -578,6 +610,16 @@ struct SessionState {
     /// last datagram for this session — the idle watchdog's input.
     last_activity: Duration,
     finalized: Option<Finalized>,
+    /// §5 pattern counters maintained incrementally on the ingest fast
+    /// path (loss-only outcome derivation — see [`derive_outcome`]).
+    /// Frozen once the session finalizes, so post-FIN strays cannot
+    /// drift the snapshot the differential contract pins.
+    online: Estimates,
+    /// Fixed log-scale sketch of offset-adjusted raw delays (seconds
+    /// above the running path minimum), mergeable across sessions.
+    delay_sketch: DelaySketch,
+    /// Online assembly state, one entry per experiment seen.
+    exps: HashMap<u64, ExpAssembly>,
     /// What this session last settled against the server's global
     /// memory tally ([`Shared::settle_mem`]); released when the session
     /// leaves the registry.
@@ -599,6 +641,9 @@ impl SessionState {
             handshake: None,
             last_activity: now,
             finalized: None,
+            online: Estimates::default(),
+            delay_sketch: DelaySketch::new(),
+            exps: HashMap::new(),
             accounted_bytes: 0,
             m_packets: scope.as_ref().map(|s| s.counter("packets_accepted")),
             m_duplicates: scope.as_ref().map(|s| s.counter("duplicates")),
@@ -614,6 +659,7 @@ impl SessionState {
         self.probes.capacity() * PROBE_ENTRY_BYTES
             + self.seen.capacity() * SEEN_ENTRY_BYTES
             + self.raw_delays.capacity() * RAW_ENTRY_BYTES
+            + self.exps.capacity() * EXP_ENTRY_BYTES
             + self
                 .finalized
                 .as_ref()
@@ -625,7 +671,7 @@ impl SessionState {
     /// containers are capped: the earlier code capped only the probe
     /// count and then multiplied it by `probe_packets` (up to 255),
     /// which let one datagram demand gigabytes of reservation.
-    fn desired_entries(params: &SessionParams) -> (usize, usize) {
+    fn desired_entries(params: &SessionParams) -> (usize, usize, usize) {
         const MAX_RESERVED_PROBES: usize = 1 << 21;
         const MAX_RESERVED_PACKETS: usize = 1 << 22;
         let slots_per_exp: usize = if params.improved { 3 } else { 2 };
@@ -636,15 +682,19 @@ impl SessionState {
         let packets = probes
             .saturating_mul(usize::from(params.probe_packets.max(1)))
             .min(MAX_RESERVED_PACKETS);
-        (probes, packets)
+        // The online assembly map holds one entry per experiment; the
+        // probe cap bounds it transitively.
+        (probes / slots_per_exp, probes, packets)
     }
 
     /// The bytes [`SessionState::reserve_for`] would take a fresh
     /// session to, clamped by the per-session budget — what admission
     /// charges against the global budget before any container exists.
     fn projected_bytes(params: &SessionParams, session_budget: usize) -> usize {
-        let (probes, packets) = Self::desired_entries(params);
-        (probes * PROBE_ENTRY_BYTES + packets * (SEEN_ENTRY_BYTES + RAW_ENTRY_BYTES))
+        let (exps, probes, packets) = Self::desired_entries(params);
+        (probes * PROBE_ENTRY_BYTES
+            + packets * (SEEN_ENTRY_BYTES + RAW_ENTRY_BYTES)
+            + exps * EXP_ENTRY_BYTES)
             .min(session_budget)
     }
 
@@ -658,22 +708,36 @@ impl SessionState {
     /// `reserve` is additive, so re-announcing (SYN retransmit) never
     /// shrinks anything.
     fn reserve_for(&mut self, params: &SessionParams, session_budget: usize) {
-        let (mut probes, mut packets) = Self::desired_entries(params);
+        let (mut exps, mut probes, mut packets) = Self::desired_entries(params);
         // Scale the reservation down to what the per-session budget
         // leaves: a SYN may promise any run size, the receiver only
         // pays up to the budget for it.
-        let want = probes * PROBE_ENTRY_BYTES + packets * (SEEN_ENTRY_BYTES + RAW_ENTRY_BYTES);
+        let want = probes * PROBE_ENTRY_BYTES
+            + packets * (SEEN_ENTRY_BYTES + RAW_ENTRY_BYTES)
+            + exps * EXP_ENTRY_BYTES;
         let remaining = session_budget.saturating_sub(self.mem_bytes());
         if want > remaining {
             let scale = remaining as f64 / want.max(1) as f64;
             probes = (probes as f64 * scale) as usize;
             packets = (packets as f64 * scale) as usize;
+            exps = (exps as f64 * scale) as usize;
         }
         self.probes
             .reserve(probes.saturating_sub(self.probes.len()));
         self.seen.reserve(packets.saturating_sub(self.seen.len()));
         self.raw_delays
             .reserve(packets.saturating_sub(self.raw_delays.len()));
+        self.exps.reserve(exps.saturating_sub(self.exps.len()));
+    }
+
+    /// Record the SYN-announced tool configuration: keep the params for
+    /// the final log, seed the online estimator's slot width (the same
+    /// expression the report-side fold uses, so the FIN differential is
+    /// bit-exact), and pre-size the accumulation maps.
+    fn apply_handshake(&mut self, params: SessionParams, session_budget: usize) {
+        self.handshake = Some(params);
+        self.online.slot_secs = params.slot_ns as f64 / 1e9;
+        self.reserve_for(&params, session_budget);
     }
 
     /// Per-probe accounting shared verbatim by the batched and fallback
@@ -694,13 +758,55 @@ impl SessionState {
         self.min_raw = Some(self.min_raw.map_or(raw, |m| m.min(raw)));
         self.raw_delays
             .push((h.experiment, h.slot, now.as_secs_f64(), raw));
+        let new_slot = !self.probes.contains_key(&(h.experiment, h.slot));
         let entry = self.probes.entry((h.experiment, h.slot)).or_default();
         entry.seen_idx.insert(h.idx);
         entry.probe_len = entry.probe_len.max(h.probe_len);
         // A probe is precision-grade only if every one of its arrivals
         // was; duplicates don't weigh in (they never touch delays).
         entry.kernel_stamped &= source == TimestampSource::Kernel;
+        // Online estimator fold + delay sketch, frozen once the session
+        // has finalized: the FIN snapshot is the contract, and a stray
+        // post-FIN probe must not drift the live estimate away from it.
+        if self.finalized.is_none() {
+            self.fold_online(h.experiment, h.slot, new_slot);
+            let min = self.min_raw.unwrap_or(raw);
+            self.delay_sketch.push((raw - min) as f64 / 1e9);
+        }
         true
+    }
+
+    /// Revise this experiment's contribution to the online counters
+    /// after one accepted packet: update the assembly bounds, re-derive
+    /// the experiment's current outcome, and retract-old/push-new on
+    /// any change — so at every instant the online `Estimates` equal a
+    /// fold over the outcomes derivable from the data received so far.
+    fn fold_online(&mut self, exp: u64, slot: u64, new_slot: bool) {
+        let a = self.exps.entry(exp).or_default();
+        if new_slot {
+            if a.slots == 0 {
+                a.lo = slot;
+                a.hi = slot;
+            } else {
+                a.lo = a.lo.min(slot);
+                a.hi = a.hi.max(slot);
+            }
+            a.slots = a.slots.saturating_add(1);
+        }
+        let (lo, hi, slots, old) = (a.lo, a.hi, a.slots, a.folded);
+        let new = derive_outcome(&self.probes, exp, lo, hi, slots);
+        if new != old {
+            if let Some(o) = &old {
+                self.online.retract(o);
+            }
+            if let Some(o) = &new {
+                self.online.push(o);
+            }
+            self.exps
+                .get_mut(&exp)
+                .expect("assembly just touched")
+                .folded = new;
+        }
     }
 
     /// Freeze the session log on first call; later calls re-serve the
@@ -761,6 +867,7 @@ pub fn start_receiver(cfg: ReceiverConfig) -> std::io::Result<ReceiverHandle> {
         session_budget_bytes: DEFAULT_SESSION_BUDGET_BYTES,
         global_budget_bytes: None,
         on_pressure: PressurePolicy::default(),
+        estimate_interval: None,
     })?;
     Ok(ReceiverHandle { session, inner })
 }
@@ -1097,6 +1204,26 @@ impl Shared<'_> {
         }
     }
 
+    /// Merge every live session's online counters and delay sketch into
+    /// one fleet summary. Shard locks are taken one at a time — never
+    /// nested — and both merges are counter additions, so neither the
+    /// visit order nor sessions completing mid-walk can produce a sum
+    /// that no sequential merge order would.
+    fn fleet_estimate(&self) -> (u32, Estimates, DelaySketch) {
+        let mut est = Estimates::default();
+        let mut sketch = DelaySketch::new();
+        let mut sessions_merged = 0u32;
+        for shard in &self.shards {
+            let sessions = shard.lock().expect("shard lock");
+            for s in sessions.values() {
+                est.merge(&s.online);
+                sketch.merge(&s.delay_sketch);
+                sessions_merged += 1;
+            }
+        }
+        (sessions_merged, est, sketch)
+    }
+
     /// Refuse a SYN with `reason` (counted in both the total and, where
     /// applicable, the per-reason tallies by the caller).
     fn refuse_syn(
@@ -1226,25 +1353,32 @@ fn drain_loop(shared: &Shared<'_>, poller: &Poller, run_watchdog: bool) {
     let mut ring = RecvBatch::new(DEFAULT_RECV_BATCH, &shared.cfg.provider);
     let mut scratch = [0u8; MAX_CONTROL_BYTES];
     let mut next_sweep: Option<Duration> = None;
+    let mut next_estimate: Option<Duration> = None;
     while !shared.stop.load(Ordering::Relaxed) && !shared.done.load(Ordering::Relaxed) {
         if run_watchdog {
             maybe_sweep(shared, &mut next_sweep);
+            maybe_estimate(shared, &mut next_estimate);
             if shared.done.load(Ordering::Relaxed) {
                 break;
             }
         }
         // Under epoll, park until a datagram arrives, the waker fires
-        // (stop / single-session completion), or the next watchdog
-        // deadline — idle sessions cost zero wakeups. The timeout
-        // backend reports ready immediately and lets the socket's own
-        // read timeout pace the loop (the pre-epoll shape).
+        // (stop / single-session completion), or the next watchdog /
+        // estimate-snapshot deadline — idle sessions cost zero wakeups.
+        // The timeout backend reports ready immediately and lets the
+        // socket's own read timeout pace the loop (the pre-epoll shape).
         if poller.is_epoll() {
             let now = shared.clock.now();
             let horizon = now + EPOLL_MAX_PARK;
-            let due = match (run_watchdog, next_sweep) {
-                (true, Some(d)) => d.min(horizon),
-                _ => horizon,
-            };
+            let mut due = horizon;
+            if run_watchdog {
+                if let Some(d) = next_sweep {
+                    due = due.min(d);
+                }
+                if let Some(d) = next_estimate {
+                    due = due.min(d);
+                }
+            }
             match poller.wait(due.saturating_sub(now), shared.waker) {
                 Wait::Ready => {}
                 Wait::TimedOut | Wait::Woken => continue,
@@ -1349,6 +1483,52 @@ fn maybe_sweep(shared: &Shared<'_>, next_sweep: &mut Option<Duration>) {
     }
     let fallback = now + timeout.unwrap_or(SWEEP_FALLBACK);
     *next_sweep = Some(earliest.unwrap_or(fallback).max(now + MIN_SWEEP_GAP));
+}
+
+/// Deadline-scheduled fleet-estimate snapshot (watchdog thread only):
+/// merge every live session's online counters and publish the derived
+/// §5 estimates as `fleet_*` gauges in the metrics registry. Derived
+/// estimates that do not exist yet (`None`) leave their gauge at its
+/// last value rather than publishing a NaN.
+fn maybe_estimate(shared: &Shared<'_>, next: &mut Option<Duration>) {
+    let Some(interval) = shared.cfg.estimate_interval else {
+        return;
+    };
+    let Some(metrics) = shared.metrics() else {
+        return;
+    };
+    let now = shared.clock.now();
+    if let Some(due) = *next {
+        if now < due {
+            return;
+        }
+    }
+    *next = Some(now + interval.max(MIN_SWEEP_GAP));
+    let (sessions_merged, est, sketch) = shared.fleet_estimate();
+    metrics
+        .gauge("fleet_sessions")
+        .set(f64::from(sessions_merged));
+    metrics
+        .gauge("fleet_outcomes_malformed")
+        .set(est.outcomes_malformed as f64);
+    let derived = [
+        ("fleet_frequency", est.frequency()),
+        ("fleet_duration_slots_basic", est.duration_slots_basic()),
+        (
+            "fleet_duration_slots_improved",
+            est.duration_slots_improved(),
+        ),
+        ("fleet_duration_slots_pooled", est.duration_slots_pooled()),
+        ("fleet_episode_rate_per_slot", est.episode_rate_per_slot()),
+        ("fleet_delay_p50_secs", sketch.quantile(0.5)),
+        ("fleet_delay_p99_secs", sketch.quantile(0.99)),
+    ];
+    for (name, value) in derived {
+        if let Some(v) = value {
+            metrics.gauge(name).set(v);
+        }
+    }
+    metrics.counter("estimate_snapshots").inc();
 }
 
 enum Ingest {
@@ -1506,8 +1686,7 @@ fn handle_control(
                 let mut sessions = shared.shard(session).lock().expect("shard lock");
                 if let Some(state) = sessions.get_mut(&session) {
                     state.last_activity = abs;
-                    state.handshake = Some(params);
-                    state.reserve_for(&params, cfg.session_budget_bytes);
+                    state.apply_handshake(params, cfg.session_budget_bytes);
                     shared.settle_mem(state);
                     drop(sessions);
                     send_reply(
@@ -1555,18 +1734,16 @@ fn handle_control(
                     shared.mem_used.fetch_sub(projected, Ordering::Relaxed);
                     let state = e.get_mut();
                     state.last_activity = abs;
-                    state.handshake = Some(params);
-                    state.reserve_for(&params, cfg.session_budget_bytes);
+                    state.apply_handshake(params, cfg.session_budget_bytes);
                     shared.settle_mem(state);
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     inc(&shared.c.opened);
                     let state = e.insert(SessionState::new(session, shared.metrics(), abs));
-                    state.handshake = Some(params);
                     // The SYN announces the run size: pre-size the
                     // accumulation maps so the hot path never rehashes
                     // mid-run.
-                    state.reserve_for(&params, cfg.session_budget_bytes);
+                    state.apply_handshake(params, cfg.session_budget_bytes);
                     // The admission charge holds `projected`; settle to
                     // the actual capacity-based figure.
                     state.accounted_bytes = projected;
@@ -1710,15 +1887,96 @@ fn handle_control(
                 inc(&shared.c.stale);
             }
         }
+        ControlMessage::EstimateRequest { session, scope } => match scope {
+            EstimateScope::Session => {
+                let mut sessions = shared.shard(id).lock().expect("shard lock");
+                let Some(state) = sessions.get_mut(&id) else {
+                    drop(sessions);
+                    shared.reply_if_evicted(id, src, scratch);
+                    inc(&shared.c.stale);
+                    return true;
+                };
+                state.last_activity = abs;
+                let reply = estimate_reply(session, scope, 1, &state.online, &state.delay_sketch);
+                drop(sessions);
+                send_reply(shared.socket, &reply, src, scratch);
+            }
+            EstimateScope::Fleet => {
+                let (sessions_merged, est, sketch) = shared.fleet_estimate();
+                let reply = estimate_reply(session, scope, sessions_merged, &est, &sketch);
+                send_reply(shared.socket, &reply, src, scratch);
+            }
+            // A scope from a newer peer: stay silent rather than answer
+            // with the wrong population and let it mis-merge.
+            EstimateScope::Other(_) => {}
+        },
         // Receiver-emitted messages arriving here are stray
         // reflections; ignore them.
         ControlMessage::SynAck { .. }
         | ControlMessage::SynNack { .. }
         | ControlMessage::HeartbeatAck { .. }
         | ControlMessage::FinAck { .. }
-        | ControlMessage::ReportChunk { .. } => {}
+        | ControlMessage::ReportChunk { .. }
+        | ControlMessage::EstimateReply { .. } => {}
     }
     true
+}
+
+/// Build an [`ControlMessage::EstimateReply`] from online state: raw
+/// mergeable counters plus the sketch's deterministic bucket-edge
+/// quantiles (`0.0` when empty — see [`DelaySummary`]).
+fn estimate_reply(
+    session: u32,
+    scope: EstimateScope,
+    sessions: u32,
+    est: &Estimates,
+    sketch: &DelaySketch,
+) -> ControlMessage {
+    ControlMessage::EstimateReply {
+        session,
+        scope,
+        sessions,
+        counters: estimate_counters(est),
+        delay: DelaySummary {
+            samples: sketch.count(),
+            p50_secs: sketch.quantile(0.5).unwrap_or(0.0),
+            p99_secs: sketch.quantile(0.99).unwrap_or(0.0),
+        },
+    }
+}
+
+/// The outcome the report-side pipeline would currently derive for one
+/// experiment from loss alone.
+///
+/// Mirrors the FIN path exactly: a probe is congested iff its clamped
+/// arrival count is short (`(seen.min(probe_len)) < probe_len`, the
+/// same clamp [`apply_baseline`] writes into `ReportRecord::received`),
+/// and an experiment only yields an outcome while its slots are
+/// contiguous and 2 or 3 wide (the `detector::assemble` grouping rule).
+/// Anything else — one slot so far, a gap, a hostile slot spray — is
+/// `None`, and whatever was previously folded gets retracted.
+fn derive_outcome(
+    probes: &HashMap<(u64, u64), ProbeArrivals>,
+    exp: u64,
+    lo: u64,
+    hi: u64,
+    slots: u8,
+) -> Option<Outcome> {
+    let span = (hi - lo).saturating_add(1);
+    if !(slots == 2 || slots == 3) || span != u64::from(slots) {
+        return None;
+    }
+    let mut states = [false; 3];
+    for (k, s) in states.iter_mut().take(usize::from(slots)).enumerate() {
+        let p = &probes[&(exp, lo + k as u64)];
+        *s = (p.seen_idx.len() as u8).min(p.probe_len) < p.probe_len;
+    }
+    Some(Outcome {
+        id: exp,
+        start_slot: lo,
+        probes: slots,
+        states,
+    })
 }
 
 /// Assemble a session's final log: fit the clock baseline over the whole

@@ -14,18 +14,18 @@
 //! sender returns a *partial* manifest with a diagnostic instead of
 //! hanging (see [`SenderOutcome`]).
 
-use crate::control::{ControlClient, ControlConfig};
+use crate::control::{ControlClient, ControlConfig, EstimateReport};
 use crate::provider::{Clock, Provider, SendBatch};
 use crate::receiver::ReceiverLog;
 use badabing_core::config::BadabingConfig;
 use badabing_core::schedule::ExperimentScheduler;
 use badabing_metrics::Registry;
-use badabing_wire::control::SessionParams;
+use badabing_wire::control::{EstimateScope, SessionParams};
 use badabing_wire::ProbeHeader;
 use rand::rngs::StdRng;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Sender configuration.
@@ -51,6 +51,12 @@ pub struct SenderConfig {
     /// provider wins over whatever the [`ControlConfig`] carries, so a
     /// run can never straddle two backends.
     pub provider: Provider,
+    /// Poll the receiver's online estimate (session scope) at this
+    /// cadence during the run, from the heartbeat thread. The latest
+    /// snapshot lands in [`SenderOutcome::mid_run_estimate`] and — when
+    /// metrics are on — in `est_*` gauges. `None` disables polling;
+    /// requires a control plane to do anything.
+    pub estimate_every: Option<Duration>,
 }
 
 impl SenderConfig {
@@ -69,6 +75,7 @@ impl SenderConfig {
             control: None,
             metrics: None,
             provider: Provider::default(),
+            estimate_every: None,
         }
     }
 
@@ -157,6 +164,10 @@ pub struct SenderOutcome {
     /// Whether the whole schedule ran. `false` means the heartbeat
     /// watchdog aborted mid-run; the manifest covers only what was sent.
     pub completed: bool,
+    /// The last mid-run estimate snapshot fetched from the receiver,
+    /// when [`SenderConfig::estimate_every`] polling was on and at
+    /// least one poll succeeded.
+    pub mid_run_estimate: Option<EstimateReport>,
     /// Human-readable notes about anything that went wrong.
     pub diagnostics: Vec<String>,
 }
@@ -221,12 +232,18 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
 
     // Liveness: heartbeats ride alongside the probe schedule; enough
     // consecutive misses raise the abort flag the probe loop watches.
+    // The heartbeat thread doubles as the mid-run estimate poller: it
+    // already owns the control socket for the run's duration, so the
+    // two request/reply exchanges serialize naturally.
+    let mid_run_estimate: Arc<Mutex<Option<EstimateReport>>> = Arc::new(Mutex::new(None));
     let mut heartbeat = client.as_ref().map(|client| {
         let client = client.clone();
         let abort = abort.clone();
         let done = done.clone();
         let session = cfg.session;
         let metrics = cfg.metrics.clone();
+        let estimate_every = cfg.estimate_every;
+        let estimate_slot = mid_run_estimate.clone();
         let hb_clock = clock.clone();
         let enlistment = clock.enlist();
         let hb_exited = Arc::new(AtomicBool::new(false));
@@ -237,6 +254,7 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
             let allowed = client.config().heartbeat_misses;
             let mut seq = 0u64;
             let mut misses = 0u32;
+            let mut next_estimate = estimate_every.map(|every| hb_clock.now() + every);
             while !done.load(Ordering::Relaxed) && !abort.load(Ordering::Relaxed) {
                 let tick = hb_clock.now();
                 match client.heartbeat(session, seq, interval) {
@@ -259,6 +277,18 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
                     }
                 }
                 seq += 1;
+                if let (Some(every), Some(due)) = (estimate_every, next_estimate) {
+                    if hb_clock.now() >= due {
+                        next_estimate = Some(hb_clock.now() + every);
+                        // Best effort: a receiver too old to know the
+                        // message just burns this poll's retry budget;
+                        // liveness is the heartbeat's job, not this one's.
+                        if let Ok(est) = client.fetch_estimate(session, EstimateScope::Session) {
+                            publish_estimate(metrics.as_deref(), &est);
+                            *estimate_slot.lock().expect("estimate slot") = Some(est);
+                        }
+                    }
+                }
                 // Pace to the interval (an early ack returns quickly).
                 let _ = hb_clock.sleep_until(tick + interval, &done);
             }
@@ -444,12 +474,37 @@ pub fn run_sender(cfg: SenderConfig, rng: StdRng) -> std::io::Result<SenderOutco
     clock.notify_waiters();
     reap_heartbeat(&clock, &mut heartbeat);
 
+    let mid_run_estimate = mid_run_estimate.lock().expect("estimate slot").take();
     Ok(SenderOutcome {
         manifest,
         receiver_log,
         completed: !aborted,
+        mid_run_estimate,
         diagnostics,
     })
+}
+
+/// Publish a fetched estimate snapshot into `est_*` metrics gauges.
+/// Derived estimates that do not exist yet (`None`) leave their gauge
+/// at its last value rather than publishing a NaN.
+fn publish_estimate(metrics: Option<&Registry>, est: &EstimateReport) {
+    let Some(m) = metrics else { return };
+    m.counter("estimates_fetched").inc();
+    let e = &est.estimates;
+    let derived = [
+        ("est_frequency", e.frequency()),
+        ("est_duration_slots_basic", e.duration_slots_basic()),
+        ("est_duration_slots_improved", e.duration_slots_improved()),
+        ("est_duration_slots_pooled", e.duration_slots_pooled()),
+        ("est_episode_rate_per_slot", e.episode_rate_per_slot()),
+    ];
+    for (name, value) in derived {
+        if let Some(v) = value {
+            m.gauge(name).set(v);
+        }
+    }
+    m.gauge("est_delay_p50_secs").set(est.delay_p50_secs);
+    m.gauge("est_delay_p99_secs").set(est.delay_p99_secs);
 }
 
 /// Stop-and-reap for the heartbeat thread (the caller has already set

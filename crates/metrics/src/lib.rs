@@ -69,6 +69,34 @@ impl Counter {
     }
 }
 
+/// A last-written-value gauge holding one `f64`.
+///
+/// Counters are monotonic; periodic estimate snapshots (`F̂`, `D̂`,
+/// delay quantiles) are not — they are re-derived each interval and can
+/// move in either direction — so they get their own instrument. Stored
+/// as the value's bit pattern in an atomic, so `set`/`get` are
+/// lock-free like the other instruments.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// A fixed-bucket histogram of durations, recorded in nanoseconds.
 ///
 /// Bounds are upper bucket edges in seconds; one implicit overflow bucket
@@ -235,6 +263,7 @@ pub struct Registry {
     name: String,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -249,6 +278,10 @@ impl std::fmt::Debug for Registry {
                 "histograms",
                 &self.histograms.lock().expect("registry poisoned").len(),
             )
+            .field(
+                "gauges",
+                &self.gauges.lock().expect("registry poisoned").len(),
+            )
             .finish()
     }
 }
@@ -260,6 +293,7 @@ impl Registry {
             name: name.to_string(),
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -271,6 +305,16 @@ impl Registry {
     /// Get or create a counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         self.counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create a gauge (initial value `0.0`).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauges
             .lock()
             .expect("registry poisoned")
             .entry(name.to_string())
@@ -321,11 +365,33 @@ impl Registry {
             .iter()
             .map(|(k, h)| (k.clone(), h.to_value()))
             .collect();
-        Value::obj(vec![
+        let gauges: Vec<(String, Value)> = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, g)| {
+                let v = g.get();
+                // JSON has no NaN/inf; snapshot non-finite values as null.
+                let v = if v.is_finite() {
+                    Value::Num(v)
+                } else {
+                    Value::Null
+                };
+                (k.clone(), v)
+            })
+            .collect();
+        let mut fields = vec![
             ("name", Value::Str(self.name.clone())),
             ("counters", Value::Obj(counters)),
             ("histograms", Value::Obj(histograms)),
-        ])
+        ];
+        // Only emitted when present, keeping every pre-gauge snapshot
+        // byte-identical to what it was.
+        if !gauges.is_empty() {
+            fields.push(("gauges", Value::Obj(gauges)));
+        }
+        Value::obj(fields)
     }
 
     /// Snapshot as pretty-printed JSON text.
@@ -362,6 +428,11 @@ impl Scope<'_> {
     /// Get or create `<prefix>_<name>` in the parent registry.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         self.registry.counter(&self.full(name))
+    }
+
+    /// Get or create gauge `<prefix>_<name>`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(&self.full(name))
     }
 
     /// Get or create histogram `<prefix>_<name>` with the default
@@ -498,6 +569,42 @@ mod tests {
             (LATENCY_BOUNDS_SECS.last().unwrap() - 30.0).abs() < 1e-12,
             "top edge stays 30 s"
         );
+    }
+
+    /// Pinning regression for the estimator-path hardening: a remote
+    /// peer can drive quantile queries, so out-of-range `q` (including
+    /// NaN) must stay `None`, never a panic.
+    #[test]
+    fn quantile_out_of_range_is_none_not_panic() {
+        let h = Histogram::latency();
+        h.record_secs(0.01);
+        assert_eq!(h.quantile_secs(-0.1), None);
+        assert_eq!(h.quantile_secs(1.5), None);
+        assert_eq!(h.quantile_secs(f64::NAN), None);
+        assert!(h.quantile_secs(0.5).is_some());
+    }
+
+    #[test]
+    fn gauges_hold_last_value_and_snapshot() {
+        let reg = Registry::new("g");
+        let g = reg.gauge("fleet_frequency");
+        assert_eq!(g.get(), 0.0);
+        g.set(0.25);
+        g.set(0.125); // non-monotonic by design
+        reg.scope("fleet").gauge("sessions").set(2048.0);
+        reg.gauge("bad").set(f64::NAN);
+        let v = reg.snapshot();
+        let gauges = v.get("gauges").unwrap();
+        assert_eq!(gauges.get("fleet_frequency").unwrap(), &Value::Num(0.125));
+        assert_eq!(gauges.get("fleet_sessions").unwrap().as_u64(), Some(2048));
+        assert_eq!(gauges.get("bad").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn snapshot_without_gauges_has_no_gauges_section() {
+        let reg = Registry::new("plain");
+        reg.counter("x").inc();
+        assert!(reg.snapshot().get("gauges").is_none());
     }
 
     #[test]

@@ -88,15 +88,14 @@ impl Histogram {
 
     /// Approximate `q`-quantile by interpolating within the bucket where
     /// the cumulative count crosses `q·total`. Under/overflow samples are
-    /// pinned to the range edges. `None` when empty.
-    ///
-    /// # Panics
-    /// Panics unless `0 <= q <= 1`.
+    /// pinned to the range edges. `None` when empty or when `q` is
+    /// outside `[0, 1]` (including NaN) — quantile requests can now
+    /// arrive from remote peers via the control plane, so a bad `q`
+    /// must not panic the process that holds the data.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!(
-            (0.0..=1.0).contains(&q),
-            "quantile must be in [0,1], got {q}"
-        );
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
         if self.count == 0 {
             return None;
         }
@@ -137,6 +136,88 @@ impl Histogram {
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.count += other.count;
+    }
+}
+
+/// Bucket upper edges for [`DelaySketch`], in seconds: a 1–2–4–7
+/// log-scale grid from 1 µs to 30 s, matching the latency buckets the
+/// metrics crate uses so sketch quantiles and metrics histograms line
+/// up row for row.
+pub const SKETCH_BOUNDS_SECS: [f64; 30] = [
+    1e-6, 2e-6, 4e-6, 7e-6, 1e-5, 2e-5, 4e-5, 7e-5, 1e-4, 2e-4, 4e-4, 7e-4, 1e-3, 2e-3, 4e-3, 7e-3,
+    1e-2, 2e-2, 4e-2, 7e-2, 1e-1, 2e-1, 4e-1, 7e-1, 1.0, 2.0, 4.0, 7.0, 10.0, 30.0,
+];
+
+/// A fixed-bucket log-scale quantile sketch for delay samples.
+///
+/// Unlike [`Histogram`], whose geometry is chosen per run, every
+/// `DelaySketch` shares the one [`SKETCH_BOUNDS_SECS`] grid — which is
+/// what makes it *mergeable*: [`Self::merge`] is element-wise counter
+/// addition (associative and commutative by construction), so a fleet
+/// aggregator can combine per-session sketches in any order and read
+/// the same quantiles as one sketch fed every sample. Quantiles are
+/// deterministic (a pure function of the counts) and resolve to bucket
+/// upper edges, so same-seed runs report byte-identical values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelaySketch {
+    /// `buckets[i]` counts samples `≤ SKETCH_BOUNDS_SECS[i]` (and above
+    /// the previous bound); the final slot counts overflow.
+    buckets: [u64; 31],
+    count: u64,
+}
+
+impl DelaySketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one delay sample in seconds. Negative and non-finite
+    /// values (clock skew artifacts, corrupted input) clamp into the
+    /// first bucket rather than being dropped, so `count` always equals
+    /// the number of pushes.
+    pub fn push(&mut self, secs: f64) {
+        let idx = SKETCH_BOUNDS_SECS.partition_point(|&b| secs > b);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket counts (last slot is overflow beyond the top bound).
+    pub fn buckets(&self) -> &[u64; 31] {
+        &self.buckets
+    }
+
+    /// Fold another sketch in: element-wise addition.
+    pub fn merge(&mut self, other: &DelaySketch) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The `q`-quantile as the upper edge of the bucket where the
+    /// cumulative count reaches `⌈q·total⌉`. Overflow samples report
+    /// the top bound. `None` when empty or `q` outside `[0, 1]`
+    /// (including NaN) — never a panic, since `q` can come from a
+    /// remote peer.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) || self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(SKETCH_BOUNDS_SECS[i.min(SKETCH_BOUNDS_SECS.len() - 1)]);
+            }
+        }
+        unreachable!("count equals the bucket sum")
     }
 }
 
@@ -209,5 +290,100 @@ mod tests {
         let mut a = Histogram::new(0.0, 1.0, 2);
         let b = Histogram::new(0.0, 1.0, 3);
         a.merge(&b);
+    }
+
+    /// Regression: out-of-range `q` used to assert. A remote peer can
+    /// now drive quantile requests, so it must be `None` instead.
+    #[test]
+    fn out_of_range_quantile_is_none_not_panic() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert!(h.quantile(0.5).is_some(), "in-range q still works");
+    }
+
+    #[test]
+    fn sketch_buckets_by_log_grid() {
+        let mut s = DelaySketch::new();
+        s.push(0.5e-6); // ≤ 1 µs → bucket 0
+        s.push(1e-6); // boundary is inclusive → bucket 0
+        s.push(3e-3); // (2 ms, 4 ms] → bucket 14
+        s.push(100.0); // beyond 30 s → overflow
+        s.push(-1.0); // clamps into the first bucket
+        s.push(f64::NAN); // likewise
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.buckets()[0], 4);
+        assert_eq!(s.buckets()[14], 1);
+        assert_eq!(s.buckets()[30], 1);
+    }
+
+    #[test]
+    fn sketch_quantiles_resolve_to_bucket_edges() {
+        let mut s = DelaySketch::new();
+        assert_eq!(s.quantile(0.5), None, "empty sketch");
+        for _ in 0..90 {
+            s.push(1.5e-3); // → 2 ms bucket
+        }
+        for _ in 0..10 {
+            s.push(5e-2); // → 70 ms bucket
+        }
+        assert_eq!(s.quantile(0.0), Some(2e-3));
+        assert_eq!(s.quantile(0.5), Some(2e-3));
+        assert_eq!(s.quantile(0.9), Some(2e-3));
+        assert_eq!(s.quantile(0.99), Some(7e-2));
+        assert_eq!(s.quantile(1.0), Some(7e-2));
+        assert_eq!(s.quantile(1.5), None);
+        assert_eq!(s.quantile(f64::NAN), None);
+        // Overflow reports the top bound.
+        let mut o = DelaySketch::new();
+        o.push(1e9);
+        assert_eq!(o.quantile(0.5), Some(30.0));
+    }
+
+    /// Satellite property: merging sketches must be indistinguishable
+    /// from pushing every sample into one histogram, at arbitrary
+    /// split points of a seeded random stream.
+    #[test]
+    fn sketch_merge_equals_single_histogram() {
+        let samples: Vec<f64> = {
+            let mut x = 0x5EEDu64;
+            (0..500)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    // Span the grid: ~1 µs to ~30 s, log-uniform-ish.
+                    1e-6 * 10f64.powf(((x >> 40) % 15_360) as f64 / 2048.0)
+                })
+                .collect()
+        };
+        let mut whole = DelaySketch::new();
+        for &s in &samples {
+            whole.push(s);
+        }
+        for cut in [0, 1, 125, 250, 499, 500] {
+            let (mut a, mut b) = (DelaySketch::new(), DelaySketch::new());
+            for &s in &samples[..cut] {
+                a.push(s);
+            }
+            for &s in &samples[cut..] {
+                b.push(s);
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "split at {cut}");
+        }
+        // Commutativity at one split.
+        let (mut a, mut b) = (DelaySketch::new(), DelaySketch::new());
+        for &s in &samples[..200] {
+            a.push(s);
+        }
+        for &s in &samples[200..] {
+            b.push(s);
+        }
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ba, whole);
     }
 }

@@ -38,7 +38,7 @@ pub mod summary;
 pub mod timeseries;
 
 pub use dist::{Exponential, Geometric, Pareto, Uniform};
-pub use histogram::Histogram;
+pub use histogram::{DelaySketch, Histogram, SKETCH_BOUNDS_SECS};
 pub use runs::{Episode, EpisodeSet};
 pub use summary::Summary;
 pub use timeseries::SlotSeries;

@@ -194,6 +194,130 @@ impl std::fmt::Display for RejectReason {
     }
 }
 
+/// Which population an estimate exchange covers.
+///
+/// Forward-compatible like [`RejectReason`]: scopes this build does not
+/// know decode as [`EstimateScope::Other`] instead of failing, so an
+/// old receiver can skip a newer peer's request (and an old sender a
+/// newer reply) without tearing anything down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateScope {
+    /// The one session named in the message.
+    Session,
+    /// Every live session on the receiver, merged.
+    Fleet,
+    /// A scope this build does not know (forward compatibility).
+    Other(u8),
+}
+
+impl EstimateScope {
+    /// Wire code for this scope.
+    pub fn code(self) -> u8 {
+        match self {
+            EstimateScope::Session => 0,
+            EstimateScope::Fleet => 1,
+            EstimateScope::Other(code) => code,
+        }
+    }
+
+    /// Scope for a wire code.
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => EstimateScope::Session,
+            1 => EstimateScope::Fleet,
+            other => EstimateScope::Other(other),
+        }
+    }
+}
+
+/// The mergeable estimator counters as shipped over the control plane —
+/// the raw sums, not the derived `F̂`/`D̂`, so any consumer can merge
+/// replies from several receivers (counter addition) and derive every
+/// §5 estimate itself, exactly as if it had folded the logs locally.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EstimateCounters {
+    /// Total valid experiments (`M`).
+    pub experiments: u64,
+    /// Experiments whose first digit was 1 (`Σ zᵢ`).
+    pub z_sum: u64,
+    /// Two-probe experiments.
+    pub basic_experiments: u64,
+    /// Three-probe experiments.
+    pub extended_experiments: u64,
+    /// `R = #{01, 10, 11}` over two-probe experiments.
+    pub r: u64,
+    /// `S = #{01, 10}` over two-probe experiments.
+    pub s: u64,
+    /// `#{01}` alone.
+    pub n01: u64,
+    /// `#{10}` alone.
+    pub n10: u64,
+    /// `U = #{011, 110}` over three-probe experiments.
+    pub u: u64,
+    /// `V = #{001, 100}` over three-probe experiments.
+    pub v: u64,
+    /// `#{111}` over three-probe experiments.
+    pub n111: u64,
+    /// Records skipped as malformed (probe count outside {2, 3}).
+    pub outcomes_malformed: u64,
+    /// Slot width in seconds (zero when unknown).
+    pub slot_secs: f64,
+}
+
+impl EstimateCounters {
+    /// Encoded size on the wire.
+    const BYTES: usize = 13 * 8;
+
+    fn put(&self, buf: &mut impl BufMut) {
+        buf.put_u64(self.experiments);
+        buf.put_u64(self.z_sum);
+        buf.put_u64(self.basic_experiments);
+        buf.put_u64(self.extended_experiments);
+        buf.put_u64(self.r);
+        buf.put_u64(self.s);
+        buf.put_u64(self.n01);
+        buf.put_u64(self.n10);
+        buf.put_u64(self.u);
+        buf.put_u64(self.v);
+        buf.put_u64(self.n111);
+        buf.put_u64(self.outcomes_malformed);
+        buf.put_f64(self.slot_secs);
+    }
+
+    fn get(data: &mut &[u8]) -> Self {
+        Self {
+            experiments: data.get_u64(),
+            z_sum: data.get_u64(),
+            basic_experiments: data.get_u64(),
+            extended_experiments: data.get_u64(),
+            r: data.get_u64(),
+            s: data.get_u64(),
+            n01: data.get_u64(),
+            n10: data.get_u64(),
+            u: data.get_u64(),
+            v: data.get_u64(),
+            n111: data.get_u64(),
+            outcomes_malformed: data.get_u64(),
+            slot_secs: data.get_f64(),
+        }
+    }
+}
+
+/// Delay distribution summary riding along in an
+/// [`ControlMessage::EstimateReply`]: the quantiles are bucket edges of
+/// the receiver's fixed log-scale sketch, so same-seed runs report
+/// byte-identical values. Both quantiles are `0.0` when `samples == 0`
+/// (a NaN sentinel would break equality-based idempotency checks).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelaySummary {
+    /// Delay samples folded into the sketch.
+    pub samples: u64,
+    /// Median queueing delay, seconds.
+    pub p50_secs: f64,
+    /// 99th-percentile queueing delay, seconds.
+    pub p99_secs: f64,
+}
+
 /// Summary of a finalized receiver log, returned in a FIN-ACK so the
 /// sender can reconstruct the log's metadata without a side channel.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -293,6 +417,34 @@ pub enum ControlMessage {
         /// the whole report arrived.
         chunk: u32,
     },
+    /// Mid-run estimate query, sender/operator → receiver: read the
+    /// receiver's online `F̂`/`D̂` counters without finalizing anything.
+    /// Old receivers that predate this message drop it as an unknown
+    /// type; the requester simply times out, nothing breaks.
+    EstimateRequest {
+        /// Session whose estimate is wanted (for
+        /// [`EstimateScope::Fleet`], the session the requester uses as
+        /// its own control identity — echoed so reply matching works).
+        session: u32,
+        /// Per-session or merged-fleet.
+        scope: EstimateScope,
+    },
+    /// Online estimate snapshot, receiver → requester: the raw
+    /// mergeable counters (see [`EstimateCounters`]) plus a delay
+    /// summary. Old senders drop it as an unknown type.
+    EstimateReply {
+        /// Echoed session id.
+        session: u32,
+        /// Echoed scope.
+        scope: EstimateScope,
+        /// Live sessions merged into the counters (1 for
+        /// session scope).
+        sessions: u32,
+        /// The mergeable §5 pattern counters.
+        counters: EstimateCounters,
+        /// Queueing-delay sketch summary.
+        delay: DelaySummary,
+    },
 }
 
 const TYPE_SYN: u8 = 1;
@@ -305,6 +457,8 @@ const TYPE_REPORT_REQUEST: u8 = 7;
 const TYPE_REPORT_CHUNK: u8 = 8;
 const TYPE_REPORT_ACK: u8 = 9;
 const TYPE_SYN_NACK: u8 = 10;
+const TYPE_ESTIMATE_REQUEST: u8 = 11;
+const TYPE_ESTIMATE_REPLY: u8 = 12;
 
 impl ControlMessage {
     /// The session id carried by any control message.
@@ -319,7 +473,9 @@ impl ControlMessage {
             | ControlMessage::FinAck { session, .. }
             | ControlMessage::ReportRequest { session, .. }
             | ControlMessage::ReportChunk { session, .. }
-            | ControlMessage::ReportAck { session, .. } => session,
+            | ControlMessage::ReportAck { session, .. }
+            | ControlMessage::EstimateRequest { session, .. }
+            | ControlMessage::EstimateReply { session, .. } => session,
         }
     }
 
@@ -337,6 +493,8 @@ impl ControlMessage {
                 ControlMessage::ReportChunk { records, .. } => {
                     4 + 4 + 2 + records.len() * RECORD_BYTES
                 }
+                ControlMessage::EstimateRequest { .. } => 1,
+                ControlMessage::EstimateReply { .. } => 1 + 4 + EstimateCounters::BYTES + 24,
             }
     }
 
@@ -433,6 +591,27 @@ impl ControlMessage {
                 w.put_u8(TYPE_REPORT_ACK);
                 w.put_u32(*session);
                 w.put_u32(*chunk);
+            }
+            ControlMessage::EstimateRequest { session, scope } => {
+                w.put_u8(TYPE_ESTIMATE_REQUEST);
+                w.put_u32(*session);
+                w.put_u8(scope.code());
+            }
+            ControlMessage::EstimateReply {
+                session,
+                scope,
+                sessions,
+                counters,
+                delay,
+            } => {
+                w.put_u8(TYPE_ESTIMATE_REPLY);
+                w.put_u32(*session);
+                w.put_u8(scope.code());
+                w.put_u32(*sessions);
+                counters.put(&mut w);
+                w.put_u64(delay.samples);
+                w.put_f64(delay.p50_secs);
+                w.put_f64(delay.p99_secs);
             }
         }
         debug_assert_eq!(w.written(), self.encoded_len());
@@ -563,6 +742,31 @@ impl ControlMessage {
                     chunk: data.get_u32(),
                 })
             }
+            TYPE_ESTIMATE_REQUEST => {
+                need(1, data.len())?;
+                Ok(ControlMessage::EstimateRequest {
+                    session,
+                    scope: EstimateScope::from_code(data.get_u8()),
+                })
+            }
+            TYPE_ESTIMATE_REPLY => {
+                need(1 + 4 + EstimateCounters::BYTES + 24, data.len())?;
+                let scope = EstimateScope::from_code(data.get_u8());
+                let sessions = data.get_u32();
+                let counters = EstimateCounters::get(&mut data);
+                let delay = DelaySummary {
+                    samples: data.get_u64(),
+                    p50_secs: data.get_f64(),
+                    p99_secs: data.get_f64(),
+                };
+                Ok(ControlMessage::EstimateReply {
+                    session,
+                    scope,
+                    sessions,
+                    counters,
+                    delay,
+                })
+            }
             got => Err(DecodeError::UnknownType { got }),
         }
     }
@@ -673,6 +877,24 @@ mod tests {
         }
     }
 
+    fn counters() -> EstimateCounters {
+        EstimateCounters {
+            experiments: 1000,
+            z_sum: 120,
+            basic_experiments: 600,
+            extended_experiments: 400,
+            r: 210,
+            s: 90,
+            n01: 44,
+            n10: 46,
+            u: 30,
+            v: 28,
+            n111: 9,
+            outcomes_malformed: 2,
+            slot_secs: 0.005,
+        }
+    }
+
     #[test]
     fn all_variants_roundtrip() {
         let messages = vec![
@@ -737,6 +959,32 @@ mod tests {
                 session: 7,
                 chunk: 4,
             },
+            ControlMessage::EstimateRequest {
+                session: 7,
+                scope: EstimateScope::Session,
+            },
+            ControlMessage::EstimateRequest {
+                session: 7,
+                scope: EstimateScope::Other(0x7E),
+            },
+            ControlMessage::EstimateReply {
+                session: 7,
+                scope: EstimateScope::Fleet,
+                sessions: 2048,
+                counters: counters(),
+                delay: DelaySummary {
+                    samples: 5_000,
+                    p50_secs: 0.002,
+                    p99_secs: 0.07,
+                },
+            },
+            ControlMessage::EstimateReply {
+                session: 7,
+                scope: EstimateScope::Session,
+                sessions: 1,
+                counters: EstimateCounters::default(),
+                delay: DelaySummary::default(),
+            },
         ];
         for msg in messages {
             let wire = msg.encode();
@@ -799,6 +1047,21 @@ mod tests {
             ControlMessage::ReportAck {
                 session: 7,
                 chunk: 4,
+            },
+            ControlMessage::EstimateRequest {
+                session: 7,
+                scope: EstimateScope::Fleet,
+            },
+            ControlMessage::EstimateReply {
+                session: 7,
+                scope: EstimateScope::Fleet,
+                sessions: 2048,
+                counters: counters(),
+                delay: DelaySummary {
+                    samples: 5_000,
+                    p50_secs: 0.002,
+                    p99_secs: 0.07,
+                },
             },
         ]
     }
@@ -935,6 +1198,34 @@ mod tests {
             for b in &reasons[i + 1..] {
                 assert_ne!(a.code(), b.code(), "{a:?} and {b:?} share a wire code");
             }
+        }
+    }
+
+    #[test]
+    fn estimate_scopes_roundtrip_distinct_codes() {
+        let scopes = [
+            EstimateScope::Session,
+            EstimateScope::Fleet,
+            EstimateScope::Other(0xC3),
+        ];
+        for (i, a) in scopes.iter().enumerate() {
+            assert_eq!(EstimateScope::from_code(a.code()), *a);
+            for b in &scopes[i + 1..] {
+                assert_ne!(a.code(), b.code(), "{a:?} and {b:?} share a wire code");
+            }
+        }
+    }
+
+    /// Version safety: a peer built before the estimate messages sees
+    /// them as unknown types — a clean `UnknownType` error it already
+    /// ignores — never a panic or a misparse as another variant.
+    #[test]
+    fn estimate_messages_look_unknown_to_old_peers() {
+        for tag in [TYPE_ESTIMATE_REQUEST, TYPE_ESTIMATE_REPLY] {
+            assert!(
+                tag > TYPE_SYN_NACK,
+                "estimate tags must extend, not reuse, the pre-existing tag space"
+            );
         }
     }
 
